@@ -1,0 +1,133 @@
+//! Single-threaded operation latency across the four centralized
+//! implementations and the B-link tree: what each protocol's locking
+//! discipline costs before any contention exists.
+
+use ceh_btree::{BLinkTree, BLinkTreeConfig};
+use ceh_core::{ConcurrentHashFile, GlobalLockFile, Solution1, Solution2};
+use ceh_sequential::SequentialHashFile;
+use ceh_types::{HashFileConfig, Key, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const PRELOAD: u64 = 100_000;
+
+fn preload_concurrent(f: &dyn ConcurrentHashFile) {
+    for k in 0..PRELOAD {
+        f.insert(Key(k), Value(k)).unwrap();
+    }
+}
+
+fn bench_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_hot");
+    let cfg = HashFileConfig::default().with_bucket_capacity(64);
+
+    let mut seq = SequentialHashFile::new(cfg.clone()).unwrap();
+    for k in 0..PRELOAD {
+        seq.insert(Key(k), Value(k)).unwrap();
+    }
+    let mut i = 0u64;
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            i = (i + 7919) % PRELOAD;
+            black_box(seq.find(Key(i)).unwrap())
+        })
+    });
+
+    let s1 = Solution1::new(cfg.clone()).unwrap();
+    preload_concurrent(&s1);
+    group.bench_function("solution1", |b| {
+        b.iter(|| {
+            i = (i + 7919) % PRELOAD;
+            black_box(s1.find(Key(i)).unwrap())
+        })
+    });
+
+    let s2 = Solution2::new(cfg.clone()).unwrap();
+    preload_concurrent(&s2);
+    group.bench_function("solution2", |b| {
+        b.iter(|| {
+            i = (i + 7919) % PRELOAD;
+            black_box(s2.find(Key(i)).unwrap())
+        })
+    });
+
+    let gl = GlobalLockFile::new(cfg.clone()).unwrap();
+    preload_concurrent(&gl);
+    group.bench_function("global_lock", |b| {
+        b.iter(|| {
+            i = (i + 7919) % PRELOAD;
+            black_box(gl.find(Key(i)).unwrap())
+        })
+    });
+
+    let bt = BLinkTree::new(BLinkTreeConfig { fanout: 64 });
+    for k in 0..PRELOAD {
+        bt.insert(Key(k), Value(k)).unwrap();
+    }
+    group.bench_function("blink_tree", |b| {
+        b.iter(|| {
+            i = (i + 7919) % PRELOAD;
+            black_box(bt.find(Key(i)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert_delete_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_delete_cycle");
+    let cfg = HashFileConfig::default().with_bucket_capacity(64);
+
+    let s1 = Solution1::new(cfg.clone()).unwrap();
+    preload_concurrent(&s1);
+    let mut k = PRELOAD;
+    group.bench_function("solution1", |b| {
+        b.iter(|| {
+            k += 1;
+            s1.insert(Key(k), Value(k)).unwrap();
+            s1.delete(Key(k)).unwrap();
+        })
+    });
+
+    let s2 = Solution2::new(cfg.clone()).unwrap();
+    preload_concurrent(&s2);
+    group.bench_function("solution2", |b| {
+        b.iter(|| {
+            k += 1;
+            s2.insert(Key(k), Value(k)).unwrap();
+            s2.delete(Key(k)).unwrap();
+        })
+    });
+
+    let gl = GlobalLockFile::new(cfg).unwrap();
+    preload_concurrent(&gl);
+    group.bench_function("global_lock", |b| {
+        b.iter(|| {
+            k += 1;
+            gl.insert(Key(k), Value(k)).unwrap();
+            gl.delete(Key(k)).unwrap();
+        })
+    });
+
+    let bt = BLinkTree::new(BLinkTreeConfig { fanout: 64 });
+    for kk in 0..PRELOAD {
+        bt.insert(Key(kk), Value(kk)).unwrap();
+    }
+    group.bench_function("blink_tree", |b| {
+        b.iter(|| {
+            k += 1;
+            bt.insert(Key(k), Value(k)).unwrap();
+            bt.delete(Key(k)).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = single_op;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_find, bench_insert_delete_cycle
+}
+criterion_main!(single_op);

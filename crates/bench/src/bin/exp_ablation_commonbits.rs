@@ -1,0 +1,81 @@
+//! **A2 — Ablation: the `commonbits` field vs. rehashing a resident key**
+//! (DESIGN.md §6).
+//!
+//! §2.1 offers two wrong-bucket tests: a stored `commonbits` pattern, or
+//! "reapply the hash function to any key stored in the bucket … as long
+//! as the possibility of an empty bucket is taken care of". This ablation
+//! measures both: the per-check cost, and how often the rehash variant's
+//! empty-bucket conservatism would force spurious `next` chases on a real
+//! structure.
+//!
+//! ```sh
+//! cargo run -p ceh-bench --release --bin exp_ablation_commonbits
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ceh_bench::{md_table, preload, quick_mode};
+use ceh_core::{invariants, ConcurrentHashFile, Solution2};
+use ceh_types::{hash_key, HashFileConfig, Key, Pseudokey};
+
+fn main() {
+    let keys = if quick_mode() { 10_000 } else { 100_000 };
+
+    // Build a realistic structure to check against.
+    let file = Arc::new(Solution2::new(HashFileConfig::default().with_bucket_capacity(16)).unwrap());
+    preload(&*file, keys, 1 << 22);
+    // Delete a slice to create some emptier buckets.
+    for key in ceh_workload::prefill_keys(keys / 4, 1 << 22) {
+        file.delete(key).unwrap();
+    }
+    let snap = invariants::snapshot_core(file.core()).unwrap();
+    let buckets: Vec<_> = snap.buckets.values().cloned().collect();
+    let probes: Vec<Pseudokey> = (0..100_000u64).map(|i| hash_key(Key(i))).collect();
+
+    // Timed check loops.
+    let iters = if quick_mode() { 2 } else { 20 };
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        for (b, p) in buckets.iter().zip(probes.iter().cycle()) {
+            acc += b.owns(*p) as u64;
+        }
+    }
+    let commonbits_ns =
+        t0.elapsed().as_nanos() as f64 / (iters * buckets.len()) as f64;
+
+    let t1 = Instant::now();
+    let mut acc2 = 0u64;
+    for _ in 0..iters {
+        for (b, p) in buckets.iter().zip(probes.iter().cycle()) {
+            acc2 += b.owns_by_rehash(*p, hash_key) as u64;
+        }
+    }
+    let rehash_ns = t1.elapsed().as_nanos() as f64 / (iters * buckets.len()) as f64;
+
+    // Disagreement = buckets where the rehash variant is conservative
+    // (empty buckets): each such bucket costs an extra next-hop whenever
+    // a search lands on it.
+    let empty = buckets.iter().filter(|b| b.records.is_empty()).count();
+
+    println!("### A2 — wrong-bucket test: commonbits field vs rehash-resident-key\n");
+    println!(
+        "{}",
+        md_table(
+            &["variant", "ns/check", "bytes/bucket", "false 'wrong bucket' on empties"],
+            &[
+                vec!["commonbits".into(), format!("{commonbits_ns:.1}"), "8".into(), "never".into()],
+                vec![
+                    "rehash resident".into(),
+                    format!("{rehash_ns:.1}"),
+                    "0".into(),
+                    format!("{empty} of {} buckets ({:.1}%)", buckets.len(),
+                        100.0 * empty as f64 / buckets.len() as f64),
+                ],
+            ]
+        )
+    );
+    println!("(checksums {acc} / {acc2}, structure of {} buckets at depth {})",
+        buckets.len(), snap.depth);
+}

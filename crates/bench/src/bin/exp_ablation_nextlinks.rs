@@ -1,0 +1,67 @@
+//! **A1 — Ablation: next-link recovery vs. holding the directory lock**
+//! (DESIGN.md §6).
+//!
+//! §2.2 mentions and rejects the alternative to `next`-link recovery:
+//! "the reader could have held the ρ-lock on the directory until it had
+//! the right bucket, but this would be a more pessimistic approach".
+//! This ablation runs Solution 1 both ways. The pessimistic variant's
+//! readers hold the directory ρ-lock for their whole search, so every
+//! reader serializes against the deleters' ξ for longer — measurable as
+//! throughput loss that grows with update share.
+//!
+//! ```sh
+//! cargo run -p ceh-bench --release --bin exp_ablation_nextlinks
+//! ```
+
+use std::sync::Arc;
+
+use ceh_bench::{md_table, preload, quick_mode, throughput, RunConfig};
+use ceh_core::{Solution1, Solution1Options};
+use ceh_types::HashFileConfig;
+use ceh_workload::{KeyDist, OpMix};
+
+fn main() {
+    let cfg = HashFileConfig::default().with_bucket_capacity(64);
+    let threads = 8;
+    let total_ops = if quick_mode() { 1_600 } else { 16_000 };
+
+    println!("### A1 — next-link recovery vs pessimistic directory holding (Solution 1, {threads} threads)\n");
+    let mut rows = Vec::new();
+    for (label, mix) in OpMix::STANDARD_SWEEP {
+        let run = |opts: Solution1Options| {
+            let file = Arc::new(Solution1::with_options(cfg.clone(), opts).unwrap());
+            preload(&*file, 50_000, 1 << 17);
+            ceh_core::ConcurrentHashFile::set_io_latency_ns(&*file, ceh_bench::SIM_IO_LATENCY_NS);
+            let r = throughput(
+                &file,
+                &RunConfig {
+                    threads,
+                    ops_per_thread: total_ops / threads as usize,
+                    key_space: 1 << 17,
+                    dist: KeyDist::Uniform,
+                    mix,
+                    latency_sample_every: 0,
+                    seed: 0xA1,
+                },
+            );
+            (r.ops_per_sec(), file.core().locks().stats().contention_ratio())
+        };
+        let (with_links, c1) = run(Solution1Options { pessimistic_find: false });
+        let (pessimistic, c2) = run(Solution1Options { pessimistic_find: true });
+        rows.push(vec![
+            label.to_string(),
+            format!("{with_links:.0}"),
+            format!("{pessimistic:.0}"),
+            format!("{:.2}x", with_links / pessimistic),
+            format!("{c1:.3}"),
+            format!("{c2:.3}"),
+        ]);
+    }
+    println!(
+        "{}",
+        md_table(
+            &["mix", "next-links ops/s", "pessimistic ops/s", "speedup", "links wait ratio", "pess. wait ratio"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,66 @@
+//! **E5 — Bucket capacity trade-off** (DESIGN.md §6).
+//!
+//! Larger buckets mean fewer splits and a shallower directory but more
+//! in-bucket scan work and bigger page transfers; smaller buckets the
+//! reverse. This sweep shows the structure metrics and throughput per
+//! capacity.
+//!
+//! ```sh
+//! cargo run -p ceh-bench --release --bin exp_bucket_size
+//! ```
+
+use std::sync::Arc;
+
+use ceh_bench::{md_table, preload, quick_mode, throughput, RunConfig};
+use ceh_core::{ConcurrentHashFile, Solution2};
+use ceh_types::HashFileConfig;
+use ceh_workload::{KeyDist, OpMix};
+
+fn main() {
+    let threads = 8;
+    let keys = if quick_mode() { 20_000 } else { 200_000 };
+    let total_ops = if quick_mode() { 1_600 } else { 16_000 };
+    let caps: &[usize] = if quick_mode() { &[4, 64] } else { &[4, 16, 64, 250] };
+
+    println!("### E5 — bucket capacity sweep (Solution 2, {keys} keys preloaded)\n");
+    let mut rows = Vec::new();
+    for &cap in caps {
+        let cfg = HashFileConfig::default().with_bucket_capacity(cap).with_max_depth(24);
+        let file = Arc::new(Solution2::new(cfg).unwrap());
+        preload(&*file, keys, 1 << 22);
+        file.set_io_latency_ns(ceh_bench::SIM_IO_LATENCY_NS);
+        let depth = file.core().dir().depth();
+        let pages = file.core().store().allocated_pages();
+        let load_factor = keys as f64 / (pages as f64 * cap as f64);
+        file.core().stats().reset();
+        let r = throughput(
+            &file,
+            &RunConfig {
+                threads,
+                ops_per_thread: total_ops / threads as usize,
+                key_space: 1 << 22,
+                dist: KeyDist::Uniform,
+                mix: OpMix::BALANCED,
+                latency_sample_every: 0,
+                seed: 0xE5,
+            },
+        );
+        let s = file.core().stats().snapshot();
+        rows.push(vec![
+            cap.to_string(),
+            depth.to_string(),
+            pages.to_string(),
+            format!("{load_factor:.2}"),
+            format!("{:.0}", r.ops_per_sec()),
+            s.splits.to_string(),
+            s.merges.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        md_table(
+            &["bucket cap", "dir depth", "buckets", "load factor", "ops/s (50/25/25)", "splits", "merges"],
+            &rows
+        )
+    );
+}

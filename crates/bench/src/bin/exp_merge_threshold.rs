@@ -1,0 +1,79 @@
+//! **A3 — Ablation: merge-threshold policy** (extension; DESIGN.md §3.1).
+//!
+//! The paper's "simplest interpretation" of *too empty* merges only when
+//! the record being deleted is the bucket's last. This library
+//! generalizes: a delete attempts a merge when at most `merge_threshold`
+//! records would remain. The sweep shows the trade: larger thresholds
+//! reclaim space sooner (more merges, shallower directories after
+//! shrink) at the cost of more merge work per delete — and, in
+//! Solution 2, more label-A revalidation traffic.
+//!
+//! Workload: grow to N keys, then churn (delete+insert), then shrink to
+//! N/8, reporting structure metrics at each phase.
+//!
+//! ```sh
+//! cargo run -p ceh-bench --release --bin exp_merge_threshold
+//! ```
+
+use std::sync::Arc;
+
+use ceh_bench::{md_table, quick_mode};
+use ceh_core::{ConcurrentHashFile, Solution2};
+use ceh_types::{HashFileConfig, Value};
+use ceh_workload::prefill_keys;
+
+fn main() {
+    let n = if quick_mode() { 4_000 } else { 40_000 };
+    let cap = 8usize;
+
+    println!("### A3 — merge threshold sweep (Solution 2, capacity {cap}, {n} keys grow → shrink to n/8)\n");
+    let mut rows = Vec::new();
+    for threshold in [0usize, 1, 2, 4] {
+        let cfg = HashFileConfig::default()
+            .with_bucket_capacity(cap)
+            .with_merge_threshold(threshold);
+        let file = Arc::new(Solution2::new(cfg).unwrap());
+        let keys = prefill_keys(n, 1 << 24);
+        for &k in &keys {
+            file.insert(k, Value(k.0)).unwrap();
+        }
+        let peak_pages = file.core().store().allocated_pages();
+        let peak_depth = file.core().dir().depth();
+
+        // Shrink to n/8.
+        for &k in &keys[n / 8..] {
+            file.delete(k).unwrap();
+        }
+        let end_pages = file.core().store().allocated_pages();
+        let end_depth = file.core().dir().depth();
+        let s = file.core().stats().snapshot();
+        let residual_load =
+            (n / 8) as f64 / (end_pages as f64 * cap as f64);
+        ceh_core::invariants::check_concurrent_file(file.core()).unwrap();
+        rows.push(vec![
+            threshold.to_string(),
+            format!("{peak_pages} @ d{peak_depth}"),
+            format!("{end_pages} @ d{end_depth}"),
+            format!("{residual_load:.2}"),
+            s.merges.to_string(),
+            s.halvings.to_string(),
+            s.delete_retries.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        md_table(
+            &[
+                "threshold",
+                "peak pages@depth",
+                "end pages@depth",
+                "residual load",
+                "merges",
+                "halvings",
+                "delete retries"
+            ],
+            &rows
+        )
+    );
+    println!("\nthreshold 0 is the paper's policy; larger thresholds trade merge work for space.");
+}

@@ -1,0 +1,127 @@
+//! **E3 — Reader latency under an update storm** (DESIGN.md §6).
+//!
+//! Claims under test: readers never block on inserters (ρ/α compatible)
+//! in either solution, but deleters exclude readers — fully in Solution 1
+//! (ξ on the directory for the whole delete) and only around the touched
+//! buckets in Solution 2. §2.3 also concedes "lockout of readers is
+//! possible if their target buckets are constantly changing" — the p99.9
+//! column is that lockout made visible.
+//!
+//! ```sh
+//! cargo run -p ceh-bench --release --bin exp_reader_latency
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ceh_bench::{md_table, preload, quick_mode};
+use ceh_core::{ConcurrentHashFile, GlobalLockFile, Solution1, Solution2};
+use ceh_types::{HashFileConfig, Key, Value};
+use ceh_workload::{KeyDist, KeySampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const READERS: u64 = 4;
+const KEY_SPACE: u64 = 1 << 16;
+
+/// Returns sorted reader latencies (ns) while `updaters` churn.
+fn measure(file: Arc<dyn ConcurrentHashFile>, updaters: u64, reads_per_reader: usize) -> Vec<u64> {
+    preload(&*file, 30_000, KEY_SPACE);
+    file.set_io_latency_ns(ceh_bench::SIM_IO_LATENCY_NS);
+    let stop = Arc::new(AtomicBool::new(false));
+    let churners: Vec<_> = (0..updaters)
+        .map(|t| {
+            let file = Arc::clone(&file);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t);
+                let mut sampler = KeySampler::new(KeyDist::Uniform, KEY_SPACE);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = sampler.sample(&mut rng);
+                    if rng.random_bool(0.5) {
+                        let _ = file.insert(k, Value(k.0));
+                    } else {
+                        let _ = file.delete(k);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            let file = Arc::clone(&file);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBEEF + t);
+                let mut sampler = KeySampler::new(KeyDist::Uniform, KEY_SPACE);
+                let mut lats = Vec::with_capacity(reads_per_reader);
+                for _ in 0..reads_per_reader {
+                    let k = sampler.sample(&mut rng);
+                    let t0 = Instant::now();
+                    let _ = file.find(k).unwrap();
+                    lats.push(t0.elapsed().as_nanos() as u64);
+                }
+                lats
+            })
+        })
+        .collect();
+
+    let mut all = Vec::new();
+    for r in readers {
+        all.extend(r.join().unwrap());
+    }
+    stop.store(true, Ordering::Relaxed);
+    for c in churners {
+        c.join().unwrap();
+    }
+    all.sort_unstable();
+    all
+}
+
+fn pct(v: &[u64], p: f64) -> f64 {
+    v[((p / 100.0) * (v.len() - 1) as f64).round() as usize] as f64 / 1000.0
+}
+
+fn main() {
+    let cfg = HashFileConfig::default().with_bucket_capacity(64);
+    let reads = if quick_mode() { 200 } else { 2_000 };
+    let updater_counts: &[u64] = if quick_mode() { &[0, 8] } else { &[0, 2, 4, 8, 12] };
+
+    println!("### E3 — reader find latency (µs) with {READERS} readers vs concurrent updaters\n");
+    type Maker = Box<dyn Fn() -> Arc<dyn ConcurrentHashFile>>;
+    let impls: Vec<(&str, Maker)> = vec![
+        ("global-lock", {
+            let cfg = cfg.clone();
+            Box::new(move || Arc::new(GlobalLockFile::new(cfg.clone()).unwrap()) as _)
+        }),
+        ("solution1", {
+            let cfg = cfg.clone();
+            Box::new(move || Arc::new(Solution1::new(cfg.clone()).unwrap()) as _)
+        }),
+        ("solution2", {
+            let cfg = cfg.clone();
+            Box::new(move || Arc::new(Solution2::new(cfg.clone()).unwrap()) as _)
+        }),
+    ];
+    for (name, make) in impls {
+        let mut rows = Vec::new();
+        for &u in updater_counts {
+            let lats = measure(make(), u, reads);
+            rows.push(vec![
+                u.to_string(),
+                format!("{:.1}", pct(&lats, 50.0)),
+                format!("{:.1}", pct(&lats, 99.0)),
+                format!("{:.1}", pct(&lats, 99.9)),
+                format!("{:.1}", *lats.last().unwrap() as f64 / 1000.0),
+            ]);
+        }
+        println!("**{name}**\n");
+        println!(
+            "{}",
+            md_table(&["updaters", "p50 µs", "p99 µs", "p99.9 µs", "max µs"], &rows)
+        );
+    }
+    // Keep the sanity key in scope for the type checker's benefit.
+    let _ = Key(0);
+}

@@ -1,0 +1,67 @@
+//! **E4 — Wrong-bucket recovery frequency and cost** (DESIGN.md §6).
+//!
+//! Claim under test: the `next`-link recovery path (the structural price
+//! of letting readers run under updaters) is taken rarely and the chains
+//! chased are short — most recoveries are one hop to the freshly split
+//! partner.
+//!
+//! ```sh
+//! cargo run -p ceh-bench --release --bin exp_recovery
+//! ```
+
+use std::sync::Arc;
+
+use ceh_bench::{md_table, preload, quick_mode, throughput, RunConfig};
+use ceh_core::{ConcurrentHashFile, Solution2};
+use ceh_types::HashFileConfig;
+use ceh_workload::{KeyDist, OpMix};
+
+fn main() {
+    let threads = 8;
+    let total_ops = if quick_mode() { 1_600 } else { 16_000 };
+
+    println!("### E4 — wrong-bucket recoveries (Solution 2, {threads} threads, {total_ops} ops)\n");
+    let mut rows = Vec::new();
+    for (label, mix) in OpMix::STANDARD_SWEEP {
+        // Small buckets → frequent splits → maximal recovery pressure.
+        for cap in [4usize, 64] {
+            let cfg = HashFileConfig::default()
+                .with_bucket_capacity(cap)
+                .with_io_latency_ns(ceh_bench::SIM_IO_LATENCY_NS);
+            let file = Arc::new(Solution2::new(cfg).unwrap());
+            preload(&*file, 30_000, 1 << 16);
+            file.set_io_latency_ns(ceh_bench::SIM_IO_LATENCY_NS);
+            file.core().stats().reset();
+            let r = throughput(
+                &file,
+                &RunConfig {
+                    threads,
+                    ops_per_thread: total_ops / threads as usize,
+                    key_space: 1 << 16,
+                    dist: KeyDist::Uniform,
+                    mix,
+                    latency_sample_every: 0,
+                    seed: 0xE4,
+                },
+            );
+            let s = file.core().stats().snapshot();
+            rows.push(vec![
+                label.to_string(),
+                cap.to_string(),
+                format!("{:.0}", r.ops_per_sec()),
+                s.wrong_bucket_recoveries.to_string(),
+                format!("{:.4}%", 100.0 * s.wrong_bucket_recoveries as f64 / s.total_ops() as f64),
+                format!("{:.2}", s.mean_recovery_hops()),
+                s.splits.to_string(),
+                s.merges.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        md_table(
+            &["mix", "bucket cap", "ops/s", "recoveries", "recovery rate", "mean hops", "splits", "merges"],
+            &rows
+        )
+    );
+}

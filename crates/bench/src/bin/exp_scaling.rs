@@ -1,0 +1,63 @@
+//! **E1 — Throughput vs. thread count** (DESIGN.md §6).
+//!
+//! Claim under test: both locking protocols scale with readers and mixed
+//! load, the global lock does not; Solution 2 leads under update-heavy
+//! mixes.
+//!
+//! ```sh
+//! cargo run -p ceh-bench --release --bin exp_scaling
+//! ```
+
+use std::sync::Arc;
+
+use ceh_bench::{md_table, preload, quick_mode, throughput, RunConfig};
+use ceh_core::{ConcurrentHashFile, GlobalLockFile, Solution1, Solution2};
+use ceh_types::HashFileConfig;
+use ceh_workload::{KeyDist, OpMix};
+
+fn run_one(file: Arc<dyn ConcurrentHashFile>, threads: u64, mix: OpMix, ops: usize) -> f64 {
+    preload(&*file, 50_000, 1 << 17);
+    // Charge for page I/O only in the measured phase.
+    file.set_io_latency_ns(ceh_bench::SIM_IO_LATENCY_NS);
+    let cfg = RunConfig {
+        threads,
+        ops_per_thread: ops / threads as usize,
+        key_space: 1 << 17,
+        dist: KeyDist::Uniform,
+        mix,
+        latency_sample_every: 0,
+        seed: 0xE1,
+    };
+    throughput(&file, &cfg).ops_per_sec()
+}
+
+fn main() {
+    let cfg = HashFileConfig::default().with_bucket_capacity(64);
+    let total_ops = if quick_mode() { 1_600 } else { 12_000 };
+    let threads: &[u64] = if quick_mode() { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+
+    for (label, mix) in OpMix::STANDARD_SWEEP {
+        println!("\n### E1 — mix {label} (find/insert/delete), {total_ops} ops\n");
+        let mut rows = Vec::new();
+        for &t in threads {
+            let g = run_one(Arc::new(GlobalLockFile::new(cfg.clone()).unwrap()), t, mix, total_ops);
+            let s1 = run_one(Arc::new(Solution1::new(cfg.clone()).unwrap()), t, mix, total_ops);
+            let s2 = run_one(Arc::new(Solution2::new(cfg.clone()).unwrap()), t, mix, total_ops);
+            rows.push(vec![
+                t.to_string(),
+                format!("{g:.0}"),
+                format!("{s1:.0}"),
+                format!("{s2:.0}"),
+                format!("{:.2}x", s1 / g),
+                format!("{:.2}x", s2 / g),
+            ]);
+        }
+        println!(
+            "{}",
+            md_table(
+                &["threads", "global-lock ops/s", "solution1 ops/s", "solution2 ops/s", "s1/global", "s2/global"],
+                &rows
+            )
+        );
+    }
+}

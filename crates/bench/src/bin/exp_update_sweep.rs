@@ -1,0 +1,69 @@
+//! **E2 — Update-fraction sweep** (DESIGN.md §6).
+//!
+//! Claim under test (§2.4): Solution 1 serializes updaters on the
+//! directory for their entire operation, while Solution 2 α-locks it only
+//! when the directory actually changes — so Solution 2's advantage grows
+//! with the update fraction.
+//!
+//! ```sh
+//! cargo run -p ceh-bench --release --bin exp_update_sweep
+//! ```
+
+use std::sync::Arc;
+
+use ceh_bench::{md_table, preload, quick_mode, throughput, RunConfig};
+use ceh_core::{ConcurrentHashFile, Solution1, Solution2};
+use ceh_types::HashFileConfig;
+use ceh_workload::{KeyDist, OpMix};
+
+fn main() {
+    let cfg = HashFileConfig::default().with_bucket_capacity(64);
+    let threads = 8u64;
+    let total_ops = if quick_mode() { 1_600 } else { 16_000 };
+    let fractions: &[u32] =
+        if quick_mode() { &[0, 50, 100] } else { &[0, 10, 20, 40, 60, 80, 100] };
+
+    println!("### E2 — throughput vs update fraction, {threads} threads\n");
+    let mut rows = Vec::new();
+    for &pct in fractions {
+        let mix = OpMix::with_update_pct(pct);
+        let run = |file: Arc<dyn ConcurrentHashFile>| {
+            preload(&*file, 50_000, 1 << 17);
+            file.set_io_latency_ns(ceh_bench::SIM_IO_LATENCY_NS);
+            throughput(
+                &file,
+                &RunConfig {
+                    threads,
+                    ops_per_thread: total_ops / threads as usize,
+                    key_space: 1 << 17,
+                    dist: KeyDist::Uniform,
+                    mix,
+                    latency_sample_every: 0,
+                    seed: 0xE2,
+                },
+            )
+            .ops_per_sec()
+        };
+        let s1_file = Arc::new(Solution1::new(cfg.clone()).unwrap());
+        let s1 = run(Arc::clone(&s1_file) as _);
+        let s1_waits = s1_file.core().locks().stats();
+        let s2_file = Arc::new(Solution2::new(cfg.clone()).unwrap());
+        let s2 = run(Arc::clone(&s2_file) as _);
+        let s2_waits = s2_file.core().locks().stats();
+        rows.push(vec![
+            format!("{pct}%"),
+            format!("{s1:.0}"),
+            format!("{s2:.0}"),
+            format!("{:.2}x", s2 / s1),
+            format!("{:.3}", s1_waits.contention_ratio()),
+            format!("{:.3}", s2_waits.contention_ratio()),
+        ]);
+    }
+    println!(
+        "{}",
+        md_table(
+            &["updates", "solution1 ops/s", "solution2 ops/s", "s2/s1", "s1 wait ratio", "s2 wait ratio"],
+            &rows
+        )
+    );
+}

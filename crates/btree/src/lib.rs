@@ -1,0 +1,36 @@
+//! # ceh-btree — a Lehman–Yao B-link tree
+//!
+//! The paper positions its protocols against "proposals for concurrency
+//! in B-tree variants" and promises to "evaluate the performance of these
+//! algorithms and comparable B-tree solutions" (§4). This crate is that
+//! comparator: a concurrent B-link tree per Lehman & Yao, *Efficient
+//! Locking for Concurrent Operations on B-Trees* (TODS 1981) — the very
+//! solution whose link-pointer technique the paper borrows for its `next`
+//! fields ("The approach is similar to the use of link pointers in Lehman
+//! and Yao's Blink-tree solution", §2.1).
+//!
+//! Faithful to Lehman–Yao's design points:
+//!
+//! * every node carries a **high key** and a **right link**; a process
+//!   that reaches a node whose high key is below its search key simply
+//!   *moves right* — the recovery path for racing splits, exactly like
+//!   the hash file's `next` chase;
+//! * readers take **no lock coupling**: one node is read-latched at a
+//!   time (the latch stands in for Lehman–Yao's atomic page read, the
+//!   same substrate assumption as `getbucket`);
+//! * writers latch only the leaf they modify, splitting bottom-up with at
+//!   most one latch per level held at a time;
+//! * **deletion does not rebalance** — Lehman & Yao explicitly leave
+//!   underflow handling out of scope ("we have not considered the
+//!   problem of merging nodes"), so deletes just remove from the leaf.
+//!
+//! [`BLinkTree`] exposes the same find/insert/delete surface as the hash
+//! files so the benchmark harness can swap them interchangeably.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod node;
+mod tree;
+
+pub use tree::{BLinkTree, BLinkTreeConfig};

@@ -1,0 +1,190 @@
+//! B-link tree nodes.
+
+/// Index of a node in the tree's slab.
+pub(crate) type NodeId = usize;
+
+/// A B-link node. Leaves hold `(key, value)` pairs; internal nodes hold
+/// separator keys and children.
+///
+/// Layout invariants:
+/// * `keys` is strictly sorted ascending;
+/// * leaf: `vals.len() == keys.len()`, `children` empty;
+/// * internal: `children.len() == keys.len() + 1`; child `i` covers keys
+///   `≤ keys[i]` (for `i < keys.len()`) and the last child covers the
+///   rest up to `high_key`;
+/// * `high_key == None` means +∞ (the rightmost node on its level);
+///   otherwise every key in the subtree is `≤ high_key`;
+/// * `right` is the Lehman–Yao right link (`None` on the rightmost node).
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub leaf: bool,
+    /// Height above the leaves (leaf = 0); used to find a split node's
+    /// parent level after root growth.
+    pub level: u32,
+    pub keys: Vec<u64>,
+    pub vals: Vec<u64>,
+    pub children: Vec<NodeId>,
+    pub high_key: Option<u64>,
+    pub right: Option<NodeId>,
+}
+
+impl Node {
+    pub fn new_leaf() -> Self {
+        Node {
+            leaf: true,
+            level: 0,
+            keys: Vec::new(),
+            vals: Vec::new(),
+            children: Vec::new(),
+            high_key: None,
+            right: None,
+        }
+    }
+
+    pub fn new_internal(level: u32, children: Vec<NodeId>, keys: Vec<u64>) -> Self {
+        debug_assert_eq!(children.len(), keys.len() + 1);
+        Node { leaf: false, level, keys, vals: Vec::new(), children, high_key: None, right: None }
+    }
+
+    /// Does `key` belong in this node (or must the searcher move right)?
+    #[inline]
+    pub fn covers(&self, key: u64) -> bool {
+        match self.high_key {
+            None => true,
+            Some(h) => key <= h,
+        }
+    }
+
+    /// Leaf: position of `key` if present.
+    pub fn leaf_find(&self, key: u64) -> Option<usize> {
+        debug_assert!(self.leaf);
+        self.keys.binary_search(&key).ok()
+    }
+
+    /// Leaf: insert `(key, value)` keeping order. Caller checked absence
+    /// and capacity.
+    pub fn leaf_insert(&mut self, key: u64, value: u64) {
+        debug_assert!(self.leaf);
+        let pos = self.keys.binary_search(&key).unwrap_err();
+        self.keys.insert(pos, key);
+        self.vals.insert(pos, value);
+    }
+
+    /// Internal: the child to descend into for `key`.
+    pub fn child_for(&self, key: u64) -> NodeId {
+        debug_assert!(!self.leaf);
+        // keys[i] is the max key of children[i].
+        let pos = match self.keys.binary_search(&key) {
+            Ok(i) => i,      // key == separator → left child holds it (≤)
+            Err(i) => i,
+        };
+        self.children[pos]
+    }
+
+    /// Internal: insert a separator/child pair after a child split.
+    /// `sep` is the max key remaining in the split child; `new_child` is
+    /// its new right sibling.
+    pub fn internal_insert(&mut self, sep: u64, new_child: NodeId) {
+        debug_assert!(!self.leaf);
+        let pos = self.keys.binary_search(&sep).unwrap_err();
+        self.keys.insert(pos, sep);
+        self.children.insert(pos + 1, new_child);
+    }
+
+    /// Split the upper half into a returned new node; `self` keeps the
+    /// lower half and gets `high_key`/`right` updated (the caller links
+    /// `right` to the new node's id afterwards). Returns
+    /// `(new_node, separator)` where `separator` is the max key kept by
+    /// `self`.
+    pub fn split(&mut self) -> (Node, u64) {
+        let mid = self.keys.len() / 2;
+        debug_assert!(mid >= 1);
+        let mut new = Node {
+            leaf: self.leaf,
+            level: self.level,
+            keys: self.keys.split_off(mid),
+            vals: if self.leaf { self.vals.split_off(mid) } else { Vec::new() },
+            children: Vec::new(),
+            high_key: self.high_key,
+            right: self.right,
+        };
+        if !self.leaf {
+            // Internal split: the middle key moves *up*, not right.
+            // After split_off, new.keys starts with the separator.
+            let sep_up = new.keys.remove(0);
+            new.children = self.children.split_off(mid + 1);
+            debug_assert_eq!(new.children.len(), new.keys.len() + 1);
+            let sep = sep_up;
+            self.high_key = Some(sep);
+            return (new, sep);
+        }
+        let sep = *self.keys.last().expect("non-empty lower half");
+        self.high_key = Some(sep);
+        (new, sep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_insert_keeps_order() {
+        let mut n = Node::new_leaf();
+        for k in [5u64, 1, 3, 2, 4] {
+            n.leaf_insert(k, k * 10);
+        }
+        assert_eq!(n.keys, vec![1, 2, 3, 4, 5]);
+        assert_eq!(n.vals, vec![10, 20, 30, 40, 50]);
+        assert_eq!(n.leaf_find(3), Some(2));
+        assert_eq!(n.leaf_find(9), None);
+    }
+
+    #[test]
+    fn leaf_split_halves_and_links() {
+        let mut n = Node::new_leaf();
+        for k in 1..=6u64 {
+            n.leaf_insert(k, k);
+        }
+        n.right = Some(99);
+        let (new, sep) = n.split();
+        assert_eq!(n.keys, vec![1, 2, 3]);
+        assert_eq!(new.keys, vec![4, 5, 6]);
+        assert_eq!(sep, 3);
+        assert_eq!(n.high_key, Some(3));
+        assert_eq!(new.high_key, None);
+        assert_eq!(new.right, Some(99), "new node inherits the old right link");
+    }
+
+    #[test]
+    fn internal_split_promotes_separator() {
+        // children c0..c4 with separators 10,20,30,40.
+        let mut n = Node::new_internal(1, vec![0, 1, 2, 3, 4], vec![10, 20, 30, 40]);
+        let (new, sep) = n.split();
+        assert_eq!(sep, 30, "middle separator moves up");
+        assert_eq!(n.keys, vec![10, 20]);
+        assert_eq!(n.children, vec![0, 1, 2]);
+        assert_eq!(new.keys, vec![40]);
+        assert_eq!(new.children, vec![3, 4]);
+        assert_eq!(n.high_key, Some(30));
+    }
+
+    #[test]
+    fn child_routing() {
+        let n = Node::new_internal(1, vec![100, 101, 102], vec![10, 20]);
+        assert_eq!(n.child_for(5), 100);
+        assert_eq!(n.child_for(10), 100, "separator key goes left (≤)");
+        assert_eq!(n.child_for(11), 101);
+        assert_eq!(n.child_for(20), 101);
+        assert_eq!(n.child_for(99), 102);
+    }
+
+    #[test]
+    fn covers_respects_high_key() {
+        let mut n = Node::new_leaf();
+        assert!(n.covers(u64::MAX));
+        n.high_key = Some(10);
+        assert!(n.covers(10));
+        assert!(!n.covers(11));
+    }
+}

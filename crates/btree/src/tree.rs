@@ -1,0 +1,609 @@
+//! The concurrent B-link tree.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ceh_types::{DeleteOutcome, InsertOutcome, Key, Result, Value};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
+
+use crate::node::{Node, NodeId};
+
+/// Tuning for a [`BLinkTree`].
+#[derive(Debug, Clone)]
+pub struct BLinkTreeConfig {
+    /// Maximum keys per node before it splits. Comparable to the hash
+    /// file's `bucket_capacity`.
+    pub fanout: usize,
+}
+
+impl Default for BLinkTreeConfig {
+    fn default() -> Self {
+        BLinkTreeConfig { fanout: 64 }
+    }
+}
+
+/// A concurrent B-link tree (Lehman & Yao 1981). See the crate docs for
+/// design notes and fidelity statements.
+///
+/// ```
+/// use ceh_btree::{BLinkTree, BLinkTreeConfig};
+/// use ceh_types::{Key, Value};
+///
+/// let tree = BLinkTree::new(BLinkTreeConfig { fanout: 8 });
+/// for k in 0..100 {
+///     tree.insert(Key(k), Value(k))?;
+/// }
+/// assert_eq!(tree.find(Key(42))?, Some(Value(42)));
+/// // Ordered range scans — the B-tree's edge over the hash file.
+/// let range = tree.range(Key(10), Key(14));
+/// assert_eq!(range.iter().map(|(k, _)| k.0).collect::<Vec<_>>(), vec![10, 11, 12, 13, 14]);
+/// tree.check_invariants()?;
+/// # Ok::<(), ceh_types::Error>(())
+/// ```
+pub struct BLinkTree {
+    /// Grow-only node slab; a node's index is its identity (the "page
+    /// address"). The outer lock is write-taken only to append.
+    slab: RwLock<Vec<Arc<RwLock<Node>>>>,
+    root: AtomicUsize,
+    /// Serializes root growth only.
+    root_growth: Mutex<()>,
+    fanout: usize,
+    len: AtomicUsize,
+}
+
+impl std::fmt::Debug for BLinkTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BLinkTree")
+            .field("fanout", &self.fanout)
+            .field("len", &self.len())
+            .field("nodes", &self.slab.read().len())
+            .finish()
+    }
+}
+
+impl BLinkTree {
+    /// Create an empty tree.
+    pub fn new(cfg: BLinkTreeConfig) -> Self {
+        assert!(cfg.fanout >= 4, "fanout below 4 cannot split meaningfully");
+        let slab = vec![Arc::new(RwLock::new(Node::new_leaf()))];
+        BLinkTree {
+            slab: RwLock::new(slab),
+            root: AtomicUsize::new(0),
+            root_growth: Mutex::new(()),
+            fanout: cfg.fanout,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of records (exact at quiescence).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Is the tree empty (quiescent)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total nodes allocated (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.slab.read().len()
+    }
+
+    fn node(&self, id: NodeId) -> Arc<RwLock<Node>> {
+        Arc::clone(&self.slab.read()[id])
+    }
+
+    fn alloc(&self, node: Node) -> NodeId {
+        let mut slab = self.slab.write();
+        slab.push(Arc::new(RwLock::new(node)));
+        slab.len() - 1
+    }
+
+    /// Read-descend to the leaf that should hold `key`, with Lehman–Yao
+    /// move-right at every level. No lock coupling: at most one read
+    /// latch held at a time. Optionally records the descent stack of
+    /// internal node ids (for insert's bottom-up split propagation).
+    fn descend(&self, key: u64, stack: Option<&mut Vec<NodeId>>) -> NodeId {
+        let mut stack = stack;
+        let mut cur = self.root.load(Ordering::Acquire);
+        loop {
+            let arc = self.node(cur);
+            let node = arc.read();
+            if !node.covers(key) {
+                cur = node.right.expect("high key bound implies a right sibling");
+                continue; // move right; never recorded on the stack
+            }
+            if node.leaf {
+                return cur;
+            }
+            if let Some(s) = stack.as_deref_mut() {
+                s.push(cur);
+            }
+            cur = node.child_for(key);
+        }
+    }
+
+    /// Write-latch `start`, moving right until the node covers `key`.
+    fn latch_covering(&self, mut cur: NodeId, key: u64) -> (NodeId, ArcWriteGuard) {
+        loop {
+            let arc = self.node(cur);
+            let guard = ArcWriteGuard::lock(arc);
+            if guard.covers(key) {
+                return (cur, guard);
+            }
+            cur = guard.right.expect("high key bound implies a right sibling");
+        }
+    }
+
+    /// Look up a key.
+    pub fn find(&self, key: Key) -> Result<Option<Value>> {
+        let leaf = self.descend(key.0, None);
+        // Latch the leaf for the read (the atomic page read); may still
+        // need to move right if a split raced the descent.
+        let mut cur = leaf;
+        loop {
+            let arc = self.node(cur);
+            let node = arc.read();
+            if !node.covers(key.0) {
+                cur = node.right.expect("high key bound implies a right sibling");
+                continue;
+            }
+            return Ok(node.leaf_find(key.0).map(|i| Value(node.vals[i])));
+        }
+    }
+
+    /// Insert a key (add-if-absent, like the hash files).
+    pub fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        let mut stack = Vec::new();
+        let leaf = self.descend(key.0, Some(&mut stack));
+        let (_cur, mut guard) = self.latch_covering(leaf, key.0);
+
+        if guard.leaf_find(key.0).is_some() {
+            return Ok(InsertOutcome::AlreadyPresent);
+        }
+        if guard.keys.len() < self.fanout {
+            guard.leaf_insert(key.0, value.0);
+            self.len.fetch_add(1, Ordering::Relaxed);
+            return Ok(InsertOutcome::Inserted);
+        }
+
+        // Split the leaf, placing the new record in the proper half.
+        let (mut new_node, sep) = guard.split();
+        if key.0 <= sep {
+            guard.leaf_insert(key.0, value.0);
+        } else {
+            new_node.leaf_insert(key.0, value.0);
+        }
+        let new_id = self.alloc(new_node);
+        guard.right = Some(new_id);
+        let split_level = guard.level;
+        drop(guard);
+        self.len.fetch_add(1, Ordering::Relaxed);
+
+        // Propagate the separator upward.
+        self.insert_into_parents(stack, split_level, sep, new_id);
+        Ok(InsertOutcome::Inserted)
+    }
+
+    /// Bottom-up split propagation: insert `(sep, new_child)` into the
+    /// parent level, splitting upward as needed; grow the root when the
+    /// split node had no parent.
+    fn insert_into_parents(
+        &self,
+        mut stack: Vec<NodeId>,
+        mut split_level: u32,
+        mut sep: u64,
+        mut new_child: NodeId,
+    ) {
+        loop {
+            let parent_start = match stack.pop() {
+                Some(p) => p,
+                None => {
+                    // The node we split had no recorded parent: it was
+                    // (or had become a right sibling of) the root when we
+                    // descended. Ensure a parent level exists, then find
+                    // the parent by a fresh partial descent.
+                    self.ensure_parent_level(split_level);
+                    self.find_at_level(sep, split_level + 1)
+                }
+            };
+            let (_pid, mut guard) = self.latch_covering(parent_start, sep);
+            guard.internal_insert(sep, new_child);
+            if guard.keys.len() <= self.fanout {
+                return;
+            }
+            let (new_node, s) = guard.split();
+            let nid = self.alloc(new_node);
+            guard.right = Some(nid);
+            split_level = guard.level;
+            drop(guard);
+            sep = s;
+            new_child = nid;
+        }
+    }
+
+    /// Make sure the tree has at least one level above `level` (grow the
+    /// root if the current root sits at `level`). Serialized by the root
+    /// growth mutex; idempotent.
+    fn ensure_parent_level(&self, level: u32) {
+        let _g = self.root_growth.lock();
+        let root_id = self.root.load(Ordering::Acquire);
+        let root_level = self.node(root_id).read().level;
+        if root_level > level {
+            return; // someone else already grew it
+        }
+        debug_assert_eq!(root_level, level);
+        // A one-child, zero-key internal node over the old root: searches
+        // route through it unchanged, and the pending separator will be
+        // inserted by the caller's normal parent-level pass.
+        let new_root = Node::new_internal(level + 1, vec![root_id], Vec::new());
+        let new_id = self.alloc(new_root);
+        self.root.store(new_id, Ordering::Release);
+    }
+
+    /// Fresh descent from the current root down to `level`, returning a
+    /// node at that level whose range may cover `key` (the caller still
+    /// latches and moves right).
+    fn find_at_level(&self, key: u64, level: u32) -> NodeId {
+        let mut cur = self.root.load(Ordering::Acquire);
+        loop {
+            let arc = self.node(cur);
+            let node = arc.read();
+            if !node.covers(key) {
+                cur = node.right.expect("high key bound implies a right sibling");
+                continue;
+            }
+            if node.level == level {
+                return cur;
+            }
+            debug_assert!(node.level > level, "descended past the target level");
+            cur = node.child_for(key);
+        }
+    }
+
+    /// Range scan: every `(key, value)` with `lo <= key <= hi`, in key
+    /// order — the operation that separates the B-tree from the hash
+    /// file (extendible hashing scatters adjacent keys across buckets,
+    /// so its only "range scan" is a full sweep). Traverses the leaf
+    /// chain left to right, latching one leaf at a time; concurrent
+    /// splits are survived via the usual move-right rule, so the scan
+    /// sees every key that was present for the whole scan (keys inserted
+    /// or deleted mid-scan may or may not appear — standard latch-free
+    /// scan semantics).
+    pub fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        if lo.0 > hi.0 {
+            return out;
+        }
+        let mut cur = self.descend(lo.0, None);
+        loop {
+            let arc = self.node(cur);
+            let n = arc.read();
+            for (i, &k) in n.keys.iter().enumerate() {
+                if k >= lo.0 && k <= hi.0 {
+                    out.push((Key(k), Value(n.vals[i])));
+                }
+            }
+            // This node covers keys up to high_key (∞ when None): once
+            // that reaches hi, everything in range has been seen.
+            match n.high_key {
+                None => break,
+                Some(h) if h >= hi.0 => break,
+                _ => {}
+            }
+            match n.right {
+                Some(r) => cur = r,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Delete a key. Lehman–Yao leave node merging out of scope, so this
+    /// only removes from the leaf (leaves may become underfull or empty).
+    pub fn delete(&self, key: Key) -> Result<DeleteOutcome> {
+        let leaf = self.descend(key.0, None);
+        let (_id, mut guard) = self.latch_covering(leaf, key.0);
+        match guard.leaf_find(key.0) {
+            Some(i) => {
+                guard.keys.remove(i);
+                guard.vals.remove(i);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                Ok(DeleteOutcome::Deleted)
+            }
+            None => Ok(DeleteOutcome::NotFound),
+        }
+    }
+
+    /// Check structural invariants (quiescent): key order within nodes,
+    /// high-key bounds, leaf-chain order across right links, and that
+    /// every key is reachable from the root.
+    pub fn check_invariants(&self) -> Result<()> {
+        use ceh_types::Error;
+        // Walk the leaf level left-to-right via right links.
+        let mut cur = self.root.load(Ordering::Acquire);
+        loop {
+            let arc = self.node(cur);
+            let n = arc.read();
+            if n.leaf {
+                break;
+            }
+            cur = n.children[0];
+        }
+        let mut total = 0usize;
+        let mut last: Option<u64> = None;
+        loop {
+            let arc = self.node(cur);
+            let (sample, right) = {
+                let n = arc.read();
+                for w in n.keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(Error::Corrupt(format!("node {cur}: keys out of order")));
+                    }
+                }
+                if let (Some(prev), Some(&first)) = (last, n.keys.first()) {
+                    if first <= prev {
+                        return Err(Error::Corrupt(format!(
+                            "leaf chain order violated entering node {cur}"
+                        )));
+                    }
+                }
+                if let (Some(h), Some(&max)) = (n.high_key, n.keys.last()) {
+                    if max > h {
+                        return Err(Error::Corrupt(format!("node {cur}: key above high key")));
+                    }
+                }
+                if let Some(&k) = n.keys.last() {
+                    last = Some(k);
+                }
+                total += n.keys.len();
+                (n.keys.first().copied(), n.right)
+            };
+            // One key per leaf must be findable from the root (sampling
+            // keeps the sweep O(n log n)).
+            if let Some(k) = sample {
+                if self.find(Key(k))?.is_none() {
+                    return Err(Error::Corrupt(format!("key {k} unreachable from root")));
+                }
+            }
+            match right {
+                Some(r) => cur = r,
+                None => break,
+            }
+        }
+        if total != self.len() {
+            return Err(Error::Corrupt(format!(
+                "leaf chain holds {total} keys, len() is {}",
+                self.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A write guard that owns its `Arc`, so it can outlive the borrow of the
+/// slab (self-referential pair handled by keeping both together).
+struct ArcWriteGuard {
+    // Field order matters: guard drops before the arc it borrows.
+    guard: RwLockWriteGuard<'static, Node>,
+    _arc: Arc<RwLock<Node>>,
+}
+
+impl ArcWriteGuard {
+    fn lock(arc: Arc<RwLock<Node>>) -> Self {
+        // SAFETY: the guard borrows the RwLock inside `arc`; we keep the
+        // Arc alive in the same struct for as long as the guard exists,
+        // and declare drop order so the guard dies first.
+        let guard = unsafe {
+            std::mem::transmute::<RwLockWriteGuard<'_, Node>, RwLockWriteGuard<'static, Node>>(
+                arc.write(),
+            )
+        };
+        ArcWriteGuard { guard, _arc: arc }
+    }
+}
+
+impl std::ops::Deref for ArcWriteGuard {
+    type Target = Node;
+    fn deref(&self) -> &Node {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for ArcWriteGuard {
+    fn deref_mut(&mut self) -> &mut Node {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(fanout: usize) -> BLinkTree {
+        BLinkTree::new(BLinkTreeConfig { fanout })
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let t = tree(4);
+        assert_eq!(t.insert(Key(5), Value(50)).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(t.insert(Key(5), Value(99)).unwrap(), InsertOutcome::AlreadyPresent);
+        assert_eq!(t.find(Key(5)).unwrap(), Some(Value(50)));
+        assert_eq!(t.delete(Key(5)).unwrap(), DeleteOutcome::Deleted);
+        assert_eq!(t.delete(Key(5)).unwrap(), DeleteOutcome::NotFound);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn grows_through_many_splits() {
+        let t = tree(4);
+        for k in 0..1000u64 {
+            t.insert(Key(k), Value(k * 2)).unwrap();
+        }
+        t.check_invariants().unwrap();
+        for k in 0..1000u64 {
+            assert_eq!(t.find(Key(k)).unwrap(), Some(Value(k * 2)), "key {k}");
+        }
+        assert_eq!(t.find(Key(5000)).unwrap(), None);
+        assert!(t.node_count() > 250, "fanout 4 with 1000 keys needs many nodes");
+    }
+
+    #[test]
+    fn reverse_and_random_orders() {
+        for order in 0..3 {
+            let t = tree(6);
+            let keys: Vec<u64> = match order {
+                0 => (0..500).rev().collect(),
+                1 => (0..500).collect(),
+                _ => (0..500).map(|i| (i * 2654435761) % 10000).collect(),
+            };
+            for &k in &keys {
+                t.insert(Key(k), Value(k)).unwrap();
+            }
+            t.check_invariants().unwrap();
+            for &k in &keys {
+                assert_eq!(t.find(Key(k)).unwrap(), Some(Value(k)));
+            }
+        }
+    }
+
+    #[test]
+    fn delete_leaves_tree_searchable() {
+        let t = tree(4);
+        for k in 0..300u64 {
+            t.insert(Key(k), Value(k)).unwrap();
+        }
+        for k in (0..300u64).step_by(2) {
+            assert_eq!(t.delete(Key(k)).unwrap(), DeleteOutcome::Deleted);
+        }
+        t.check_invariants().unwrap();
+        for k in 0..300u64 {
+            let expect = if k % 2 == 0 { None } else { Some(Value(k)) };
+            assert_eq!(t.find(Key(k)).unwrap(), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_scans_are_ordered_and_complete() {
+        let t = tree(5);
+        for k in (0..500u64).step_by(3) {
+            t.insert(Key(k), Value(k * 2)).unwrap();
+        }
+        // Full range.
+        let all = t.range(Key(0), Key(1000));
+        assert_eq!(all.len(), 167);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "ordered");
+        // Interior range.
+        let mid = t.range(Key(100), Key(200));
+        assert_eq!(
+            mid.iter().map(|(k, _)| k.0).collect::<Vec<_>>(),
+            (100..=200).filter(|k| k % 3 == 0).collect::<Vec<_>>()
+        );
+        for (k, v) in mid {
+            assert_eq!(v.0, k.0 * 2);
+        }
+        // Empty and inverted ranges.
+        assert!(t.range(Key(1), Key(2)).is_empty());
+        assert!(t.range(Key(10), Key(5)).is_empty());
+        // Single-point range.
+        assert_eq!(t.range(Key(9), Key(9)), vec![(Key(9), Value(18))]);
+    }
+
+    #[test]
+    fn range_scan_during_concurrent_inserts_sees_stable_keys() {
+        let t = Arc::new(tree(5));
+        // Stable keys: evens in 0..1000. Concurrent writers add odds.
+        for k in (0..1000u64).step_by(2) {
+            t.insert(Key(k), Value(k)).unwrap();
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let (t, stop) = (Arc::clone(&t), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut k = 1u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    t.insert(Key(k % 1000), Value(k)).unwrap();
+                    k += 2;
+                }
+            })
+        };
+        for _ in 0..50 {
+            let got = t.range(Key(0), Key(999));
+            let evens: Vec<u64> =
+                got.iter().map(|(k, _)| k.0).filter(|k| k % 2 == 0).collect();
+            assert_eq!(evens, (0..1000u64).step_by(2).collect::<Vec<_>>(), "stable keys all seen");
+            assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "ordered despite racing splits");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_inserts_and_finds() {
+        let t = Arc::new(tree(8));
+        let handles: Vec<_> = (0..8u64)
+            .map(|th| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = i * 8 + th;
+                        t.insert(Key(k), Value(k)).unwrap();
+                        assert_eq!(t.find(Key(k)).unwrap(), Some(Value(k)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 4000);
+        t.check_invariants().unwrap();
+        for k in 0..4000u64 {
+            assert_eq!(t.find(Key(k)).unwrap(), Some(Value(k)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let t = Arc::new(tree(6));
+        let handles: Vec<_> = (0..6u64)
+            .map(|th| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(th);
+                    let mut mine = std::collections::HashMap::new();
+                    for i in 0..2000u64 {
+                        let k = rng.random_range(0..128u64) * 6 + th;
+                        match rng.random_range(0..3) {
+                            0 => {
+                                let out = t.insert(Key(k), Value(i)).unwrap();
+                                assert_eq!(
+                                    out == InsertOutcome::Inserted,
+                                    !mine.contains_key(&k)
+                                );
+                                mine.entry(k).or_insert(i);
+                            }
+                            1 => {
+                                let out = t.delete(Key(k)).unwrap();
+                                assert_eq!(out == DeleteOutcome::Deleted, mine.remove(&k).is_some());
+                            }
+                            _ => {
+                                assert_eq!(
+                                    t.find(Key(k)).unwrap().map(|v| v.0),
+                                    mine.get(&k).copied()
+                                );
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.check_invariants().unwrap();
+    }
+}

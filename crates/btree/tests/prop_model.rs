@@ -1,0 +1,67 @@
+//! Model-based property tests for the B-link tree.
+
+use std::collections::BTreeMap;
+
+use ceh_btree::{BLinkTree, BLinkTreeConfig};
+use ceh_types::{DeleteOutcome, InsertOutcome, Key, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Find(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let key = 0u64..128;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Delete),
+        key.prop_map(Op::Find),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_btreemap(
+        fanout in 4usize..12,
+        ops in proptest::collection::vec(arb_op(), 1..400),
+    ) {
+        let t = BLinkTree::new(BLinkTreeConfig { fanout });
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let out = t.insert(Key(k), Value(v)).unwrap();
+                    let expected = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                        e.insert(v);
+                        InsertOutcome::Inserted
+                    } else {
+                        InsertOutcome::AlreadyPresent
+                    };
+                    prop_assert_eq!(out, expected);
+                }
+                Op::Delete(k) => {
+                    let out = t.delete(Key(k)).unwrap();
+                    let expected = if model.remove(&k).is_some() {
+                        DeleteOutcome::Deleted
+                    } else {
+                        DeleteOutcome::NotFound
+                    };
+                    prop_assert_eq!(out, expected);
+                }
+                Op::Find(k) => {
+                    prop_assert_eq!(t.find(Key(k)).unwrap().map(|v| v.0), model.get(&k).copied());
+                }
+            }
+            prop_assert_eq!(t.len(), model.len());
+        }
+        t.check_invariants().unwrap();
+        for (&k, &v) in &model {
+            prop_assert_eq!(t.find(Key(k)).unwrap(), Some(Value(v)));
+        }
+    }
+}

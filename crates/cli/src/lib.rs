@@ -1,0 +1,298 @@
+//! # ceh-cli — command parsing and execution for the `ceh` binary
+//!
+//! A small durable key-value index tool over the Solution-2 concurrent
+//! extendible hash file with a file-backed page store:
+//!
+//! ```text
+//! $ ceh /tmp/my.index put 42 4200
+//! inserted
+//! $ ceh /tmp/my.index get 42
+//! 4200
+//! $ ceh /tmp/my.index            # no command → REPL
+//! ceh> stats
+//! records: 1, depth: 0, buckets: 1
+//! ```
+//!
+//! Parsing lives here (unit-testable); the binary is a thin wrapper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::Arc;
+
+use ceh_core::{invariants, ConcurrentHashFile, FileCore, Solution2};
+use ceh_locks::LockManager;
+use ceh_storage::{PageStore, PageStoreConfig};
+use ceh_types::bucket::Bucket;
+use ceh_types::{hash_key, DeleteOutcome, Error, HashFileConfig, InsertOutcome, Key, Result, Value};
+
+/// A parsed CLI command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Insert a key/value pair.
+    Put(Key, Value),
+    /// Look up a key.
+    Get(Key),
+    /// Delete a key.
+    Del(Key),
+    /// List every key/value (quiescent snapshot), in key order.
+    Scan,
+    /// Print structural and operation statistics.
+    Stats,
+    /// Render the directory-and-buckets diagram (the paper's Figure 1/3
+    /// notation).
+    Dump,
+    /// Run the full invariant check.
+    Verify,
+    /// Bulk-insert `n` deterministic filler records.
+    Fill(u64),
+    /// Print command help.
+    Help,
+    /// Leave the REPL.
+    Quit,
+}
+
+/// Parse one command line. Numbers accept decimal or `0x…` hex.
+pub fn parse_command(line: &str) -> std::result::Result<Command, String> {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().ok_or("empty command")?;
+    let mut arg = |name: &str| -> std::result::Result<u64, String> {
+        let raw = parts.next().ok_or_else(|| format!("{cmd}: missing <{name}>"))?;
+        parse_u64(raw).ok_or_else(|| format!("{cmd}: <{name}> must be a number, got {raw:?}"))
+    };
+    let parsed = match cmd {
+        "put" | "insert" | "set" => Command::Put(Key(arg("key")?), Value(arg("value")?)),
+        "get" | "find" => Command::Get(Key(arg("key")?)),
+        "del" | "delete" | "rm" => Command::Del(Key(arg("key")?)),
+        "scan" | "list" => Command::Scan,
+        "stats" | "info" => Command::Stats,
+        "dump" | "render" => Command::Dump,
+        "verify" | "check" => Command::Verify,
+        "fill" => Command::Fill(arg("n")?),
+        "help" | "?" => Command::Help,
+        "quit" | "exit" | "q" => Command::Quit,
+        other => return Err(format!("unknown command {other:?} (try `help`)")),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(format!("{cmd}: unexpected trailing argument {extra:?}"));
+    }
+    Ok(parsed)
+}
+
+fn parse_u64(raw: &str) -> Option<u64> {
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+commands:
+  put <key> <value>   insert (add-if-absent)
+  get <key>           look up
+  del <key>           delete
+  scan                list all records in key order
+  stats               structure + operation statistics
+  dump                render the directory/bucket diagram
+  verify              run the full structural invariant check
+  fill <n>            bulk-insert n deterministic filler records
+  help                this text
+  quit                exit the REPL
+numbers are decimal or 0x-prefixed hex";
+
+/// The open index: a Solution-2 file over a file-backed store.
+pub struct Index {
+    file: Solution2,
+}
+
+impl Index {
+    /// Open (recovering) or create the index at `path`.
+    pub fn open(path: &std::path::Path) -> Result<Index> {
+        let cfg = HashFileConfig::default().with_bucket_capacity(126); // 2 KiB pages
+        let store_cfg = PageStoreConfig {
+            page_size: Bucket::page_size_for(cfg.bucket_capacity),
+            initial_pages: 0,
+            ..Default::default()
+        };
+        let locks = Arc::new(LockManager::default());
+        let core = if path.exists() {
+            let store = Arc::new(PageStore::open_file(path, store_cfg)?);
+            FileCore::recover(cfg, store, locks, hash_key)?
+        } else {
+            let store = Arc::new(PageStore::create_file(path, store_cfg)?);
+            FileCore::with_parts(cfg, store, locks, hash_key)?
+        };
+        Ok(Index { file: Solution2::from_core(core) })
+    }
+
+    /// Execute one command, returning the text to print.
+    pub fn execute(&self, cmd: Command) -> Result<String> {
+        Ok(match cmd {
+            Command::Put(k, v) => match self.file.insert(k, v)? {
+                InsertOutcome::Inserted => "inserted".into(),
+                InsertOutcome::AlreadyPresent => "already present (not overwritten)".into(),
+            },
+            Command::Get(k) => match self.file.find(k)? {
+                Some(v) => v.0.to_string(),
+                None => "(not found)".into(),
+            },
+            Command::Del(k) => match self.file.delete(k)? {
+                DeleteOutcome::Deleted => "deleted".into(),
+                DeleteOutcome::NotFound => "(not found)".into(),
+            },
+            Command::Scan => {
+                let snap = invariants::snapshot_core(self.file.core())?;
+                let mut records: Vec<(u64, u64)> = snap
+                    .buckets
+                    .values()
+                    .flat_map(|b| b.records.iter().map(|r| (r.key.0, r.value.0)))
+                    .collect();
+                records.sort_unstable();
+                let mut out = String::new();
+                for (k, v) in &records {
+                    out.push_str(&format!("{k} = {v}\n"));
+                }
+                out.push_str(&format!("({} records)", records.len()));
+                out
+            }
+            Command::Stats => {
+                let core = self.file.core();
+                let s = core.stats().snapshot();
+                format!(
+                    "records: {}, depth: {}, buckets: {}, load factor: {:.2}\n\
+                     ops: {} finds ({} hits), {} inserts, {} deletes\n\
+                     restructuring: {} splits, {} merges, {} doublings, {} halvings\n\
+                     recoveries: {} wrong-bucket chases ({:.2} mean hops)",
+                    core.len(),
+                    core.dir().depth(),
+                    core.store().allocated_pages(),
+                    core.len() as f64
+                        / (core.store().allocated_pages().max(1)
+                            * core.config().bucket_capacity) as f64,
+                    s.finds_hit + s.finds_miss,
+                    s.finds_hit,
+                    s.inserts + s.inserts_duplicate,
+                    s.deletes + s.deletes_miss,
+                    s.splits,
+                    s.merges,
+                    s.doublings,
+                    s.halvings,
+                    s.wrong_bucket_recoveries,
+                    s.mean_recovery_hops(),
+                )
+            }
+            Command::Dump => {
+                let snap = invariants::snapshot_core(self.file.core())?;
+                if snap.entries.len() > 64 {
+                    format!(
+                        "directory too large to draw ({} entries at depth {}); try `stats`",
+                        snap.entries.len(),
+                        snap.depth
+                    )
+                } else {
+                    snap.render().trim_end().to_string()
+                }
+            }
+            Command::Verify => {
+                invariants::check_concurrent_file(self.file.core())?;
+                "all structural invariants hold".into()
+            }
+            Command::Fill(n) => {
+                let mut inserted = 0u64;
+                for i in 0..n {
+                    let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+                    if self.file.insert(Key(k), Value(i))? == InsertOutcome::Inserted {
+                        inserted += 1;
+                    }
+                }
+                format!("inserted {inserted} of {n}")
+            }
+            Command::Help => HELP.into(),
+            Command::Quit => "bye".into(),
+        })
+    }
+
+    /// The record count.
+    pub fn len(&self) -> usize {
+        ConcurrentHashFile::len(&self.file)
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Convenience: parse + execute, mapping parse errors into [`Error`].
+pub fn run_line(index: &Index, line: &str) -> Result<String> {
+    let cmd = parse_command(line).map_err(Error::Config)?;
+    index.execute(cmd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_command("put 1 2").unwrap(), Command::Put(Key(1), Value(2)));
+        assert_eq!(parse_command("set 0x10 0xff").unwrap(), Command::Put(Key(16), Value(255)));
+        assert_eq!(parse_command("get 7").unwrap(), Command::Get(Key(7)));
+        assert_eq!(parse_command("del 7").unwrap(), Command::Del(Key(7)));
+        assert_eq!(parse_command("scan").unwrap(), Command::Scan);
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("dump").unwrap(), Command::Dump);
+        assert_eq!(parse_command("verify").unwrap(), Command::Verify);
+        assert_eq!(parse_command("fill 100").unwrap(), Command::Fill(100));
+        assert_eq!(parse_command("help").unwrap(), Command::Help);
+        assert_eq!(parse_command("quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("put 1").is_err(), "missing value");
+        assert!(parse_command("put 1 2 3").is_err(), "trailing junk");
+        assert!(parse_command("get banana").is_err(), "non-numeric key");
+        assert!(parse_command("launch_missiles").is_err());
+    }
+
+    fn temp_index(tag: &str) -> (Index, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("ceh-cli-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cli.index");
+        (Index::open(&path).unwrap(), path)
+    }
+
+    #[test]
+    fn end_to_end_session() {
+        let (index, path) = temp_index("session");
+        assert_eq!(run_line(&index, "put 42 4200").unwrap(), "inserted");
+        assert_eq!(run_line(&index, "put 42 9").unwrap(), "already present (not overwritten)");
+        assert_eq!(run_line(&index, "get 42").unwrap(), "4200");
+        assert_eq!(run_line(&index, "get 43").unwrap(), "(not found)");
+        assert!(run_line(&index, "fill 500").unwrap().starts_with("inserted"));
+        assert!(run_line(&index, "stats").unwrap().contains("records: 501"));
+        assert_eq!(run_line(&index, "verify").unwrap(), "all structural invariants hold");
+        let scan = run_line(&index, "scan").unwrap();
+        assert!(scan.contains("42 = 4200"));
+        assert!(scan.ends_with("(501 records)"));
+        let dump = run_line(&index, "dump").unwrap();
+        assert!(
+            dump.contains("depth") || dump.contains("directory too large"),
+            "dump renders: {dump}"
+        );
+        assert_eq!(run_line(&index, "del 42").unwrap(), "deleted");
+        assert_eq!(run_line(&index, "del 42").unwrap(), "(not found)");
+        drop(index);
+
+        // Reopen: durable.
+        let reopened = Index::open(&path).unwrap();
+        assert_eq!(reopened.len(), 500);
+        assert_eq!(run_line(&reopened, "get 42").unwrap(), "(not found)");
+        assert_eq!(run_line(&reopened, "verify").unwrap(), "all structural invariants hold");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,80 @@
+//! The `ceh` binary: one-shot commands or a REPL over a durable index.
+//!
+//! ```sh
+//! ceh <index-file>                 # REPL
+//! ceh <index-file> put 42 4200     # one-shot
+//! ```
+
+use std::io::{BufRead, Write};
+
+use ceh_cli::{parse_command, Command, Index, HELP};
+
+/// Print a line to stdout, exiting quietly if the pipe is gone (`ceh …
+/// | head` must not panic).
+fn say(text: &str) {
+    let mut out = std::io::stdout();
+    if writeln!(out, "{text}").is_err() || out.flush().is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: ceh <index-file> [command...]\n\n{HELP}");
+        std::process::exit(2);
+    };
+    let index = match Index::open(std::path::Path::new(path)) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("ceh: cannot open {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if args.len() > 1 {
+        // One-shot mode: the rest of argv is the command.
+        let line = args[1..].join(" ");
+        match parse_command(&line).map_err(ceh_types::Error::Config).and_then(|c| index.execute(c))
+        {
+            Ok(out) => say(&out),
+            Err(e) => {
+                eprintln!("ceh: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // REPL mode.
+    say(&format!("ceh — extendible hash index at {path} ({} records). `help` for commands.", index.len()));
+    let stdin = std::io::stdin();
+    loop {
+        print!("ceh> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("ceh: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_command(line) {
+            Ok(Command::Quit) => {
+                say("bye");
+                break;
+            }
+            Ok(cmd) => match index.execute(cmd) {
+                Ok(out) => say(&out),
+                Err(e) => eprintln!("ceh: {e}"),
+            },
+            Err(msg) => eprintln!("ceh: {msg}"),
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! State and helpers shared by both concurrent solutions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ceh_locks::{LockId, LockManager, LockMode, OwnerId};
+use ceh_storage::{PageBuf, PageStore, PageStoreConfig};
+use ceh_types::bucket::Bucket;
+use ceh_types::{hash_key, Error, HashFileConfig, Key, PageId, Pseudokey, Result, Value};
+
+use crate::directory::Directory;
+use crate::stats::OpStats;
+
+/// Propagate an error out of a protocol function after dropping every
+/// lock the operation holds. Mid-protocol failures (page store exhausted,
+/// directory at max depth) must not leave locks behind.
+macro_rules! try_or_release {
+    ($core:expr, $owner:expr, $e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(err) => {
+                $core.locks().release_all($owner);
+                return Err(err);
+            }
+        }
+    };
+}
+pub(crate) use try_or_release;
+
+/// The shared-state core of a concurrent extendible hash file: the page
+/// store (disk), lock manager, directory, configuration, and counters.
+///
+/// Solution 1 and Solution 2 are thin protocol layers over this; both
+/// expose it via `core()` so tests and the invariant checker can inspect
+/// structure without duplicating plumbing.
+pub struct FileCore {
+    store: Arc<PageStore>,
+    locks: Arc<LockManager>,
+    dir: Directory,
+    cfg: HashFileConfig,
+    hasher: fn(Key) -> Pseudokey,
+    stats: OpStats,
+    len: AtomicUsize,
+}
+
+impl std::fmt::Debug for FileCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileCore")
+            .field("dir", &self.dir)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl FileCore {
+    /// Build a core with its own page store and lock manager. The
+    /// configured `io_latency_ns` is applied to every page read/write —
+    /// the paper's buckets live on disk, and the protocols' value shows
+    /// when I/O, not lock-manager software overhead, is the unit of cost.
+    pub fn new(cfg: HashFileConfig) -> Result<Self> {
+        let store = PageStore::new_shared(PageStoreConfig {
+            page_size: Bucket::page_size_for(cfg.bucket_capacity),
+            io_latency_ns: cfg.io_latency_ns,
+            ..Default::default()
+        });
+        let locks = Arc::new(LockManager::default());
+        Self::with_parts(cfg, store, locks, hash_key)
+    }
+
+    /// Build a core over caller-supplied substrates (tests inject the
+    /// identity pseudokey function and watchdog-armed lock managers).
+    pub fn with_parts(
+        cfg: HashFileConfig,
+        store: Arc<PageStore>,
+        locks: Arc<LockManager>,
+        hasher: fn(Key) -> Pseudokey,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        if Bucket::capacity_for(store.page_size()) < cfg.bucket_capacity {
+            return Err(Error::Config(format!(
+                "page size {} holds only {} records, config wants {}",
+                store.page_size(),
+                Bucket::capacity_for(store.page_size()),
+                cfg.bucket_capacity
+            )));
+        }
+        let root = store.alloc()?;
+        let bucket = Bucket::new(0, 0);
+        let mut buf = PageBuf::zeroed(store.page_size());
+        bucket.encode(&mut buf)?;
+        store.write(root, &buf)?;
+        let dir = Directory::new(cfg.max_depth, root)?;
+        Ok(FileCore {
+            store,
+            locks,
+            dir,
+            cfg,
+            hasher,
+            stats: OpStats::new(),
+            len: AtomicUsize::new(0),
+        })
+    }
+
+    /// Rebuild a core from an existing (typically file-backed) store by
+    /// scanning its pages — the concurrent-file recovery path. Reuses the
+    /// sequential recovery scan (see
+    /// [`ceh_sequential::SequentialHashFile::recover`]), then installs
+    /// the rebuilt layout into the concurrent directory.
+    pub fn recover(
+        cfg: HashFileConfig,
+        store: Arc<PageStore>,
+        locks: Arc<LockManager>,
+        hasher: fn(Key) -> Pseudokey,
+    ) -> Result<Self> {
+        let recovered =
+            ceh_sequential::SequentialHashFile::recover(cfg.clone(), Arc::clone(&store), hasher)?;
+        let snap = recovered.snapshot()?;
+        let dir = Directory::restore(cfg.max_depth, &snap.entries, snap.depthcount)?;
+        let len = recovered.len();
+        drop(recovered);
+        Ok(FileCore {
+            store,
+            locks,
+            dir,
+            cfg,
+            hasher,
+            stats: OpStats::new(),
+            len: AtomicUsize::new(len),
+        })
+    }
+
+    /// The directory.
+    pub fn dir(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// The page store.
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+
+    /// The lock manager.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HashFileConfig {
+        &self.cfg
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// The pseudokey function in use.
+    pub fn hasher(&self) -> fn(Key) -> Pseudokey {
+        self.hasher
+    }
+
+    /// Record count (exact at quiescence).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Is the file empty (quiescent)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn len_inc(&self) {
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn len_dec(&self) {
+        self.len.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Fresh page buffer.
+    pub fn new_buf(&self) -> PageBuf {
+        PageBuf::zeroed(self.store.page_size())
+    }
+
+    /// `getbucket(page, buffer)`: read and decode.
+    pub fn getbucket(&self, page: PageId, buf: &mut PageBuf) -> Result<Bucket> {
+        self.store.read(page, buf)?;
+        Bucket::decode(buf)
+    }
+
+    /// `putbucket(page, buffer)`: encode and write.
+    pub fn putbucket(&self, page: PageId, bucket: &Bucket, buf: &mut PageBuf) -> Result<()> {
+        bucket.encode(buf)?;
+        self.store.write(page, buf)
+    }
+
+    /// Lock-manager shorthands keeping the transliterations readable:
+    /// `rho_lock(owner, LockId::Directory)` reads like the figure's
+    /// `RhoLock (directory)`.
+    #[inline]
+    pub(crate) fn rho_lock(&self, o: OwnerId, id: LockId) {
+        self.locks.lock(o, id, LockMode::Rho);
+    }
+
+    #[inline]
+    pub(crate) fn un_rho_lock(&self, o: OwnerId, id: LockId) {
+        self.locks.unlock(o, id, LockMode::Rho);
+    }
+
+    #[inline]
+    pub(crate) fn alpha_lock(&self, o: OwnerId, id: LockId) {
+        self.locks.lock(o, id, LockMode::Alpha);
+    }
+
+    #[inline]
+    pub(crate) fn un_alpha_lock(&self, o: OwnerId, id: LockId) {
+        self.locks.unlock(o, id, LockMode::Alpha);
+    }
+
+    #[inline]
+    pub(crate) fn xi_lock(&self, o: OwnerId, id: LockId) {
+        self.locks.lock(o, id, LockMode::Xi);
+    }
+
+    #[inline]
+    pub(crate) fn un_xi_lock(&self, o: OwnerId, id: LockId) {
+        self.locks.unlock(o, id, LockMode::Xi);
+    }
+
+    /// The find algorithm of Figure 5, shared verbatim by both solutions
+    /// ("The procedure for the find operation is the same as before",
+    /// §2.4). With `hold_directory` set, runs the "more pessimistic
+    /// approach" §2.2 mentions and rejects — the reader keeps its ρ-lock
+    /// on the directory until it holds the right bucket — which is the A1
+    /// ablation baseline.
+    pub(crate) fn find_impl(&self, key: Key, hold_directory: bool) -> Result<Option<Value>> {
+        let owner = self.locks.new_owner();
+        let pk = (self.hasher)(key);
+        let mut buf = self.new_buf();
+
+        self.rho_lock(owner, LockId::Directory);
+        let (_depth, mut oldpage) = self.dir.lookup(pk);
+        self.rho_lock(owner, LockId::Page(oldpage));
+        if !hold_directory {
+            self.un_rho_lock(owner, LockId::Directory);
+        }
+        let mut current = self.getbucket(oldpage, &mut buf)?;
+        let mut recovered = false;
+        while !current.owns(pk) {
+            /* WRONG BUCKET */
+            recovered = true;
+            self.stats.chain_hops();
+            let newpage = current.next;
+            if newpage.is_null() {
+                // Structurally impossible under the protocols; if it
+                // happens the structure is corrupt and silence would be
+                // worse than an error.
+                self.un_rho_lock(owner, LockId::Page(oldpage));
+                if hold_directory {
+                    self.un_rho_lock(owner, LockId::Directory);
+                }
+                return Err(Error::Corrupt(format!(
+                    "find({key:?}): wrong bucket {oldpage} has no next link"
+                )));
+            }
+            self.rho_lock(owner, LockId::Page(newpage));
+            current = self.getbucket(newpage, &mut buf)?;
+            self.un_rho_lock(owner, LockId::Page(oldpage));
+            oldpage = newpage;
+        }
+        if recovered {
+            self.stats.wrong_bucket_recoveries();
+        }
+        if hold_directory {
+            self.un_rho_lock(owner, LockId::Directory);
+        }
+        let found = current.search(key);
+        self.un_rho_lock(owner, LockId::Page(oldpage));
+        match found {
+            Some(_) => self.stats.finds_hit(),
+            None => self.stats.finds_miss(),
+        }
+        Ok(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_initializes_with_one_empty_bucket() {
+        let core = FileCore::new(HashFileConfig::tiny()).unwrap();
+        assert_eq!(core.dir().depth(), 0);
+        assert_eq!(core.dir().depthcount(), 1);
+        assert!(core.is_empty());
+        let mut buf = core.new_buf();
+        let root = core.dir().index(0);
+        let b = core.getbucket(root, &mut buf).unwrap();
+        assert_eq!(b.localdepth, 0);
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn find_on_empty_file_misses() {
+        let core = FileCore::new(HashFileConfig::tiny()).unwrap();
+        assert_eq!(core.find_impl(Key(42), false).unwrap(), None);
+        assert_eq!(core.find_impl(Key(42), true).unwrap(), None);
+        let s = core.stats().snapshot();
+        assert_eq!(s.finds_miss, 2);
+        assert_eq!(core.locks().total_granted(), 0, "find released everything");
+    }
+
+    #[test]
+    fn rejects_capacity_beyond_page() {
+        let store = PageStore::new_shared(PageStoreConfig { page_size: 128, ..Default::default() });
+        let locks = Arc::new(LockManager::default());
+        let cfg = HashFileConfig::tiny().with_bucket_capacity(1000);
+        assert!(FileCore::with_parts(cfg, store, locks, hash_key).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! The shared directory, readable under ρ while writers hold α.
+//!
+//! ρ and α are *compatible*, so the directory must tolerate being read
+//! while an inserter doubles it or redirects entries. The paper's argument
+//! (§2.3) is that doubling appears atomic "because of the choice to use
+//! the least significant bits of the pseudokey": the new top half is
+//! copied *before* `depth` is incremented, and every entry a reader can
+//! see under the old depth is still valid. In Rust that concurrent
+//! read/write pattern requires atomics:
+//!
+//! * entries are `AtomicU64` page ids in an array pre-sized to
+//!   `1 << max_depth` (the paper declares `int directory[1<<maxdepth]`);
+//! * `depth` is an `AtomicU32`; doubling stores the copied entries with
+//!   `Release` ordering *then* publishes the new depth, and readers load
+//!   `depth` with `Acquire` — the exact memory-ordering shape of the
+//!   paper's "it is the act of incrementing depth that makes the new
+//!   directory entries visible";
+//! * individual entry redirects are single atomic stores: a racing reader
+//!   sees the old or the new pointer, and both lead to the right bucket
+//!   via `next`-link recovery.
+//!
+//! Mutating methods require the caller to hold the appropriate directory
+//! lock (α for double/update, ξ for halve); that is the protocol's
+//! responsibility, not this struct's.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use ceh_types::{Error, PageId, Pseudokey, Result};
+
+/// Atomic u64 array entry. `u64::MAX` (== `PageId::NULL`) marks entries
+/// that have never been written (beyond the current depth).
+type Entry = std::sync::atomic::AtomicU64;
+
+/// The concurrently-readable directory.
+pub struct Directory {
+    entries: Box<[Entry]>,
+    depth: AtomicU32,
+    /// Number of buckets with `localdepth == depth` (§2.2). Mutated only
+    /// under α or ξ on the directory; atomic so quiescent checkers can
+    /// read it without locks.
+    depthcount: AtomicU32,
+    max_depth: u32,
+}
+
+impl std::fmt::Debug for Directory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Directory")
+            .field("depth", &self.depth())
+            .field("depthcount", &self.depthcount())
+            .field("max_depth", &self.max_depth)
+            .finish()
+    }
+}
+
+impl Directory {
+    /// Hard cap on `max_depth` for the concurrent directory: the entry
+    /// array is pre-allocated, and 2^26 entries is already 512 MiB.
+    pub const MAX_SUPPORTED_DEPTH: u32 = 26;
+
+    /// Create a depth-0 directory whose single entry points at `root`.
+    pub fn new(max_depth: u32, root: PageId) -> Result<Self> {
+        if max_depth == 0 || max_depth > Self::MAX_SUPPORTED_DEPTH {
+            return Err(Error::Config(format!(
+                "concurrent directory max_depth must be in 1..={}, got {max_depth}",
+                Self::MAX_SUPPORTED_DEPTH
+            )));
+        }
+        let entries: Box<[Entry]> =
+            (0..1usize << max_depth).map(|_| Entry::new(PageId::NULL.0)).collect();
+        entries[0].store(root.0, Ordering::Relaxed);
+        Ok(Directory {
+            entries,
+            depth: AtomicU32::new(0),
+            depthcount: AtomicU32::new(1),
+            max_depth,
+        })
+    }
+
+    /// Restore a directory from recovered state (see
+    /// [`crate::FileCore::recover`]): `entries` must be exactly
+    /// `2^depth` page ids.
+    pub fn restore(max_depth: u32, entries: &[PageId], depthcount: u32) -> Result<Self> {
+        if entries.is_empty() {
+            return Err(Error::Corrupt("restore: empty directory".into()));
+        }
+        let depth = entries.len().trailing_zeros();
+        if entries.len() != 1usize << depth {
+            return Err(Error::Corrupt(format!(
+                "restore: {} entries is not a power of two",
+                entries.len()
+            )));
+        }
+        if depth > max_depth {
+            return Err(Error::DirectoryFull { max_depth });
+        }
+        let dir = Self::new(max_depth, entries[0])?;
+        for (i, p) in entries.iter().enumerate() {
+            dir.entries[i].store(p.0, Ordering::Relaxed);
+        }
+        dir.depth.store(depth, Ordering::Release);
+        dir.depthcount.store(depthcount, Ordering::Relaxed);
+        Ok(dir)
+    }
+
+    /// The configured maximum depth.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Current depth (`Acquire`: pairs with the `Release` publish in
+    /// [`Directory::double`]).
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Current depthcount.
+    #[inline]
+    pub fn depthcount(&self) -> u32 {
+        self.depthcount.load(Ordering::Relaxed)
+    }
+
+    /// Adjust depthcount by `delta` (caller holds α or ξ).
+    pub fn add_depthcount(&self, delta: i32) {
+        if delta >= 0 {
+            self.depthcount.fetch_add(delta as u32, Ordering::Relaxed);
+        } else {
+            self.depthcount.fetch_sub((-delta) as u32, Ordering::Relaxed);
+        }
+    }
+
+    /// `indexdirectory(bits)`: the entry for the given low bits.
+    #[inline]
+    pub fn index(&self, bits: u64) -> PageId {
+        PageId(self.entries[bits as usize].load(Ordering::Acquire))
+    }
+
+    /// Read depth and index in one step: `indexdirectory(pseudokey &
+    /// mask(depth))`, the opening move of every figure.
+    #[inline]
+    pub fn lookup(&self, pk: Pseudokey) -> (u32, PageId) {
+        let d = self.depth();
+        (d, self.index(pk.low_bits(d)))
+    }
+
+    /// `doubledirectory()`: copy the bottom half into the top half, then
+    /// publish the new depth. Caller holds α (Solution 1 holds it from
+    /// the start; Solution 2 converts its ρ). Zeroes `depthcount` (§2.2).
+    ///
+    /// Readers may run concurrently under ρ: they either see the old
+    /// depth (old entries, all valid) or the new depth (entries published
+    /// by the `Release`/`Acquire` pair).
+    pub fn double(&self) -> Result<()> {
+        let d = self.depth.load(Ordering::Relaxed); // only writers race us, and α excludes them
+        if d >= self.max_depth {
+            return Err(Error::DirectoryFull { max_depth: self.max_depth });
+        }
+        let half = 1usize << d;
+        for i in 0..half {
+            let v = self.entries[i].load(Ordering::Relaxed);
+            self.entries[i + half].store(v, Ordering::Relaxed);
+        }
+        // "It is the act of incrementing depth that makes the new
+        // directory entries visible."
+        self.depth.store(d + 1, Ordering::Release);
+        self.depthcount.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// `halvedirectory()`: drop the top half (depth decrement only — the
+    /// discarded entries stay in the array, invisible beyond the new
+    /// depth) and recompute `depthcount` by "comparing corresponding
+    /// entries in the top and bottom halves for pointers which differ"
+    /// (§2.2). Cascades while the recount is zero. Caller holds ξ — no
+    /// concurrent access of any kind.
+    pub fn halve(&self) {
+        loop {
+            let d = self.depth.load(Ordering::Relaxed);
+            debug_assert!(d >= 1, "halving a depth-0 directory");
+            // The halves need not be bit-identical here: Figure 7/9 halve
+            // *instead of* redirecting the just-merged pair's entries, so
+            // the top-half entry for that pair still points at the
+            // garbage bucket. Merges always survive on the "0" partner
+            // (bottom half), which is exactly why discarding the top half
+            // is correct. Every *other* pair is identical because
+            // depthcount == 0.
+            self.depth.store(d - 1, Ordering::Release);
+            let new_d = d - 1;
+            if new_d == 0 {
+                self.depthcount.store(1, Ordering::Relaxed);
+                return;
+            }
+            let quarter = 1usize << (new_d - 1);
+            let mut count = 0u32;
+            for i in 0..quarter {
+                if self.entries[i].load(Ordering::Relaxed)
+                    != self.entries[i + quarter].load(Ordering::Relaxed)
+                {
+                    count += 2;
+                }
+            }
+            self.depthcount.store(count, Ordering::Relaxed);
+            if count != 0 || new_d <= 1 {
+                return;
+            }
+        }
+    }
+
+    /// `updatedirectory(page, d, pseudokey)` with the semantics both
+    /// Figure 6 and Figure 7 need: redirect the **"1"-partner group at
+    /// depth `d`** — every entry whose low `d` bits are
+    /// `(pseudokey's low d-1 bits) | partner_bit(d)` — to `page`.
+    ///
+    /// Splits create the new bucket on the "1" side (its entries must
+    /// point at `newpage`); merges survive on the "0" side (the
+    /// tombstone's "1"-side entries must point at `merged`). One
+    /// operation serves both, which is why the paper can pass a single
+    /// `(page, localdepth, pseudokey)` triple from either call site.
+    ///
+    /// Caller holds α; concurrent ρ readers see each entry flip
+    /// atomically and recover through `next` links if they read the old
+    /// value.
+    pub fn update_one_side(&self, page: PageId, d: u32, pk: Pseudokey) {
+        debug_assert!(d >= 1);
+        let depth = self.depth.load(Ordering::Relaxed); // stable under our α
+        let pattern = pk.low_bits(d - 1) | ceh_types::partner_bit(d);
+        let step = 1u64 << d;
+        let size = 1u64 << depth;
+        let mut i = pattern;
+        while i < size {
+            self.entries[i as usize].store(page.0, Ordering::Release);
+            i += step;
+        }
+    }
+
+    /// Snapshot the live entries (quiescent use: invariant checker,
+    /// figure rendering).
+    pub fn entries_snapshot(&self) -> Vec<PageId> {
+        let d = self.depth();
+        (0..1usize << d).map(|i| PageId(self.entries[i].load(Ordering::Relaxed))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_directory_is_depth_zero() {
+        let d = Directory::new(4, PageId(7)).unwrap();
+        assert_eq!(d.depth(), 0);
+        assert_eq!(d.depthcount(), 1);
+        assert_eq!(d.index(0), PageId(7));
+        assert_eq!(d.entries_snapshot(), vec![PageId(7)]);
+    }
+
+    #[test]
+    fn rejects_bad_max_depth() {
+        assert!(Directory::new(0, PageId(0)).is_err());
+        assert!(Directory::new(27, PageId(0)).is_err());
+    }
+
+    #[test]
+    fn double_copies_bottom_half() {
+        let d = Directory::new(4, PageId(1)).unwrap();
+        d.double().unwrap();
+        assert_eq!(d.depth(), 1);
+        assert_eq!(d.entries_snapshot(), vec![PageId(1), PageId(1)]);
+        assert_eq!(d.depthcount(), 0, "doubling zeroes depthcount");
+    }
+
+    #[test]
+    fn double_refuses_past_max() {
+        let d = Directory::new(2, PageId(1)).unwrap();
+        d.double().unwrap();
+        d.double().unwrap();
+        assert_eq!(d.double().unwrap_err(), Error::DirectoryFull { max_depth: 2 });
+    }
+
+    #[test]
+    fn update_one_side_redirects_the_partner_group() {
+        let d = Directory::new(4, PageId(1)).unwrap();
+        d.double().unwrap();
+        d.double().unwrap(); // depth 2: entries 00,01,10,11 all -> p1
+        // Split the bucket holding …0 (localdepth 1): the new "1" partner
+        // (pattern 1 at depth 1) goes to p2.
+        d.update_one_side(PageId(2), 1, Pseudokey(0b0));
+        assert_eq!(
+            d.entries_snapshot(),
+            vec![PageId(1), PageId(2), PageId(1), PageId(2)],
+            "entries 01 and 11 redirected"
+        );
+        // Now split p2 (localdepth 2, commonbits 01): new "1" partner
+        // (pattern 11 at depth 2) goes to p3.
+        d.update_one_side(PageId(3), 2, Pseudokey(0b01));
+        assert_eq!(
+            d.entries_snapshot(),
+            vec![PageId(1), PageId(2), PageId(1), PageId(3)]
+        );
+    }
+
+    #[test]
+    fn halve_recounts_depthcount() {
+        let d = Directory::new(4, PageId(1)).unwrap();
+        d.double().unwrap(); // depth 1
+        d.update_one_side(PageId(2), 1, Pseudokey(0)); // [p1, p2]
+        d.add_depthcount(2); // both at depth 1
+        d.double().unwrap(); // depth 2: [p1, p2, p1, p2], depthcount 0
+        // Merge nothing — just halve (legal: halves are identical).
+        d.halve();
+        assert_eq!(d.depth(), 1);
+        assert_eq!(d.entries_snapshot(), vec![PageId(1), PageId(2)]);
+        assert_eq!(d.depthcount(), 2, "recount finds both depth-1 buckets");
+    }
+
+    #[test]
+    fn lookup_reads_depth_and_entry_together() {
+        let d = Directory::new(4, PageId(1)).unwrap();
+        d.double().unwrap();
+        d.update_one_side(PageId(2), 1, Pseudokey(0));
+        assert_eq!(d.lookup(Pseudokey(0b10)), (1, PageId(1)));
+        assert_eq!(d.lookup(Pseudokey(0b11)), (1, PageId(2)));
+    }
+
+    #[test]
+    fn concurrent_readers_during_doubling_see_valid_entries() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let d = Arc::new(Directory::new(12, PageId(1)).unwrap());
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut checks = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (depth, page) = d.lookup(Pseudokey(0xABCD_EF01));
+                        assert!(!page.is_null(), "reader saw unpublished entry at depth {depth}");
+                        checks += 1;
+                    }
+                    checks
+                })
+            })
+            .collect();
+        for _ in 0..12 {
+            d.double().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+    }
+}

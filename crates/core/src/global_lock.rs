@@ -1,0 +1,93 @@
+//! The naive baseline: one readers-writer lock around the sequential file.
+//!
+//! This is the comparator every concurrency protocol is implicitly
+//! measured against — finds share a read lock, any update excludes
+//! everything. The benchmark suite (E1/E2) shows where the paper's
+//! protocols buy their complexity back.
+
+use parking_lot::RwLock;
+
+use ceh_sequential::SequentialHashFile;
+use ceh_types::{DeleteOutcome, HashFileConfig, InsertOutcome, Key, Result, Value};
+
+use crate::traits::ConcurrentHashFile;
+
+/// A sequential extendible hash file behind one `RwLock`.
+pub struct GlobalLockFile {
+    file: RwLock<SequentialHashFile>,
+}
+
+impl GlobalLockFile {
+    /// Create the file.
+    pub fn new(cfg: HashFileConfig) -> Result<Self> {
+        Ok(GlobalLockFile { file: RwLock::new(SequentialHashFile::new(cfg)?) })
+    }
+
+    /// Run a closure over the inner file (tests: snapshots, invariants).
+    pub fn with_inner<T>(&self, f: impl FnOnce(&SequentialHashFile) -> T) -> T {
+        f(&self.file.read())
+    }
+}
+
+impl ConcurrentHashFile for GlobalLockFile {
+    fn find(&self, key: Key) -> Result<Option<Value>> {
+        self.file.read().find(key)
+    }
+
+    fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        self.file.write().insert(key, value)
+    }
+
+    fn delete(&self, key: Key) -> Result<DeleteOutcome> {
+        self.file.write().delete(key)
+    }
+
+    fn len(&self) -> usize {
+        self.file.read().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "global-lock"
+    }
+
+    fn set_io_latency_ns(&self, ns: u64) {
+        self.file.read().store().set_io_latency_ns(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn crud_through_the_trait() {
+        let f = GlobalLockFile::new(HashFileConfig::tiny()).unwrap();
+        assert_eq!(f.insert(Key(5), Value(50)).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(f.find(Key(5)).unwrap(), Some(Value(50)));
+        assert_eq!(f.delete(Key(5)).unwrap(), DeleteOutcome::Deleted);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let f = Arc::new(GlobalLockFile::new(HashFileConfig::tiny()).unwrap());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let k = t * 1000 + i;
+                        f.insert(Key(k), Value(k)).unwrap();
+                        assert_eq!(f.find(Key(k)).unwrap(), Some(Value(k)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.len(), 800);
+        f.with_inner(|inner| inner.check_invariants()).unwrap();
+    }
+}

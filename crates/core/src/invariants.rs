@@ -1,0 +1,212 @@
+//! Quiescent structural invariant checking for the concurrent files.
+//!
+//! Run when no operations are in flight (the stress tests quiesce first).
+//! On top of the Fagin-79 invariants shared with the sequential file
+//! (directory/commonbits/refcount/depthcount consistency — see
+//! [`ceh_sequential::FileSnapshot::check_invariants`]), the concurrent
+//! structure adds the `next`-chain properties the §2.3/§2.5 correctness
+//! arguments rest on:
+//!
+//! 1. **Chain totality**: starting at the bucket for pseudokey `0…0`
+//!    (directory entry 0) and following `next` links visits every bucket
+//!    exactly once and ends at the all-ones bucket. This is the "for as
+//!    long as any two buckets remain in the hashfile, the ordering imposed
+//!    on them by reachability through next links remains the same"
+//!    property.
+//! 2. **Chain order**: buckets appear in strictly increasing *bit-reversed
+//!    commonbits* order (treating the low-bit-first pattern as a binary
+//!    fraction). Splits insert the "1" half immediately after the "0"
+//!    half, and merges splice one element out, so the list is always
+//!    sorted this way. Together with totality this implies the §2.3
+//!    property that "between any two partner buckets, there is a path
+//!    from the '0' partner to the '1' partner".
+//! 3. **No tombstones at rest**: buckets marked deleted (Solution 2) are
+//!    unreachable and deallocated once garbage collection has run.
+//! 4. **No leaks**: every allocated page in the store is referenced by
+//!    the directory.
+
+use std::collections::BTreeSet;
+
+use ceh_sequential::FileSnapshot;
+use ceh_types::bits::mask;
+use ceh_types::{Error, PageId, Result};
+
+use crate::common::FileCore;
+
+/// Capture a [`FileSnapshot`] of a concurrent file's current structure.
+/// Quiescent use only.
+pub fn snapshot_core(core: &FileCore) -> Result<FileSnapshot> {
+    let entries = core.dir().entries_snapshot();
+    FileSnapshot::capture(
+        core.store(),
+        &entries,
+        core.dir().depth(),
+        core.dir().depthcount(),
+        core.config().bucket_capacity,
+    )
+}
+
+/// Check every structural invariant of a quiescent concurrent file.
+pub fn check_concurrent_file(core: &FileCore) -> Result<()> {
+    let snap = snapshot_core(core)?;
+    // The sequential invariants (1-7 in ceh-sequential's docs).
+    snap.check_invariants(core.hasher())?;
+
+    // Record count agrees with the maintained len.
+    if snap.total_records() != core.len() {
+        return Err(Error::Corrupt(format!(
+            "len() is {} but the structure holds {} records",
+            core.len(),
+            snap.total_records()
+        )));
+    }
+
+    // No tombstones reachable at rest.
+    for (&p, b) in &snap.buckets {
+        if b.is_deleted() {
+            return Err(Error::Corrupt(format!("{p} is a reachable tombstone at quiescence")));
+        }
+    }
+
+    check_chain(&snap)?;
+
+    // Leak check: every allocated page is a directory-referenced bucket.
+    let reachable: BTreeSet<PageId> = snap.buckets.keys().copied().collect();
+    for p in core.store().allocated_page_ids() {
+        if !reachable.contains(&p) {
+            return Err(Error::Corrupt(format!("{p} is allocated but unreachable (leak)")));
+        }
+    }
+
+    // All locks released.
+    if core.locks().total_granted() != 0 {
+        return Err(Error::Corrupt(format!(
+            "{} locks still granted at quiescence",
+            core.locks().total_granted()
+        )));
+    }
+    Ok(())
+}
+
+/// Invariants 1 and 2: the global `next` chain.
+fn check_chain(snap: &FileSnapshot) -> Result<()> {
+    if snap.entries.is_empty() {
+        return Err(Error::Corrupt("empty directory".into()));
+    }
+    let head = snap.entries[0];
+    let mut visited = BTreeSet::new();
+    let mut page = head;
+    let mut prev_revkey: Option<u64> = None;
+    loop {
+        if !visited.insert(page) {
+            return Err(Error::Corrupt(format!("next chain revisits {page} (cycle)")));
+        }
+        let b = snap
+            .buckets
+            .get(&page)
+            .ok_or_else(|| Error::Corrupt(format!("chain reaches non-directory bucket {page}")))?;
+        // Chain order: bit-reversed commonbits strictly increase. A
+        // commonbits value occupies the low `localdepth` bits, so
+        // `reverse_bits` places bit 1 at the top — exactly the binary
+        // fraction 0.c₁c₂…  the split order sorts by.
+        let revkey = b.commonbits.reverse_bits();
+        if let Some(prev) = prev_revkey {
+            if revkey <= prev {
+                return Err(Error::Corrupt(format!(
+                    "chain order violated at {page} (cb {:b}/{}): bit-reversed key \
+                     {revkey:#x} not above predecessor {prev:#x}",
+                    b.commonbits, b.localdepth
+                )));
+            }
+        }
+        prev_revkey = Some(revkey);
+        if b.next.is_null() {
+            // Must be the all-ones bucket (or the single depth-0 bucket).
+            if b.localdepth > 0 && b.commonbits != mask(b.localdepth) {
+                return Err(Error::Corrupt(format!(
+                    "chain ends at {page} with commonbits {:b}, localdepth {} (not all-ones)",
+                    b.commonbits, b.localdepth
+                )));
+            }
+            break;
+        }
+        if !snap.buckets.contains_key(&b.next) {
+            return Err(Error::Corrupt(format!("{page}.next -> {} not in directory", b.next)));
+        }
+        page = b.next;
+    }
+    if visited.len() != snap.bucket_count() {
+        return Err(Error::Corrupt(format!(
+            "chain visits {} buckets but the directory references {}",
+            visited.len(),
+            snap.bucket_count()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution1::Solution1;
+    use crate::traits::ConcurrentHashFile;
+    use ceh_types::{HashFileConfig, Key, Value};
+
+    #[test]
+    fn fresh_file_passes() {
+        let f = Solution1::new(HashFileConfig::tiny()).unwrap();
+        check_concurrent_file(f.core()).unwrap();
+    }
+
+    #[test]
+    fn populated_file_passes_and_chain_is_total() {
+        let f = Solution1::new(HashFileConfig::tiny()).unwrap();
+        for k in 0..100u64 {
+            f.insert(Key(k), Value(k)).unwrap();
+        }
+        let snap = snapshot_core(f.core()).unwrap();
+        assert!(snap.bucket_count() > 10);
+        check_concurrent_file(f.core()).unwrap();
+    }
+
+    #[test]
+    fn detects_broken_chain() {
+        let f = Solution1::new(HashFileConfig::tiny()).unwrap();
+        for k in 0..40u64 {
+            f.insert(Key(k), Value(k)).unwrap();
+        }
+        // Sabotage: cut one bucket's next link.
+        let snap = snapshot_core(f.core()).unwrap();
+        let head = snap.entries[0];
+        let mut b = snap.buckets[&head].clone();
+        assert!(!b.next.is_null());
+        b.next = ceh_types::PageId::NULL;
+        let mut buf = f.core().new_buf();
+        f.core().putbucket(head, &b, &mut buf).unwrap();
+        assert!(check_concurrent_file(f.core()).is_err());
+    }
+
+    #[test]
+    fn detects_reachable_tombstone() {
+        let f = Solution1::new(HashFileConfig::tiny()).unwrap();
+        for k in 0..10u64 {
+            f.insert(Key(k), Value(k)).unwrap();
+        }
+        let snap = snapshot_core(f.core()).unwrap();
+        let (&p, b) = snap.buckets.iter().next().unwrap();
+        let mut b = b.clone();
+        b.mark_deleted();
+        let mut buf = f.core().new_buf();
+        f.core().putbucket(p, &b, &mut buf).unwrap();
+        assert!(check_concurrent_file(f.core()).is_err());
+    }
+
+    #[test]
+    fn detects_page_leak() {
+        let f = Solution1::new(HashFileConfig::tiny()).unwrap();
+        f.insert(Key(0), Value(0)).unwrap();
+        let _leaked = f.core().store().alloc().unwrap();
+        let err = check_concurrent_file(f.core()).unwrap_err();
+        assert!(err.to_string().contains("leak"), "{err}");
+    }
+}

@@ -1,0 +1,429 @@
+//! **Solution 1** — the top-down locking protocol of §2.2, Figures 5–7.
+//!
+//! "A lock is placed on each level of the structure (in this case there
+//! are only two levels, the directory then a bucket) and held until it is
+//! found to be no longer needed."
+//!
+//! * `find` (Figure 5): ρ on the directory, then hand-over-hand ρ along
+//!   buckets; recovery from concurrent splits via `next`.
+//! * `insert` (Figure 6): α on the directory held for the whole
+//!   operation; readers proceed (ρ/α compatible), other updaters wait.
+//! * `delete` (Figure 7): ξ on the directory for the whole operation —
+//!   deleters exclude everyone, because a reader racing a merge could
+//!   chase a pointer into a deallocated bucket.
+//!
+//! Updaters never see a wrong bucket here: their directory lock excludes
+//! every process that could restructure underneath them.
+
+use ceh_locks::LockId;
+use ceh_types::bits::{mask, partner_bit, partner_commonbits};
+use ceh_types::{
+    DeleteOutcome, HashFileConfig, InsertOutcome, Key, ManagerId, Result, Value,
+};
+
+use crate::common::{try_or_release, FileCore};
+use crate::traits::ConcurrentHashFile;
+
+/// Tuning knobs for [`Solution1`].
+#[derive(Debug, Clone, Default)]
+pub struct Solution1Options {
+    /// Run `find` in the "more pessimistic approach" §2.2 mentions and
+    /// rejects: hold the directory ρ-lock until the right bucket is
+    /// locked. The A1 ablation measures what that costs.
+    pub pessimistic_find: bool,
+}
+
+/// The Solution-1 concurrent extendible hash file.
+///
+/// ```
+/// use ceh_core::{ConcurrentHashFile, Solution1};
+/// use ceh_types::{DeleteOutcome, HashFileConfig, Key, Value};
+///
+/// let file = Solution1::new(HashFileConfig::tiny())?;
+/// file.insert(Key(7), Value(70))?;
+/// assert_eq!(file.find(Key(7))?, Some(Value(70)));
+/// assert_eq!(file.delete(Key(7))?, DeleteOutcome::Deleted);
+/// assert!(file.is_empty());
+/// # Ok::<(), ceh_types::Error>(())
+/// ```
+pub struct Solution1 {
+    core: FileCore,
+    opts: Solution1Options,
+}
+
+impl std::fmt::Debug for Solution1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solution1").field("core", &self.core).finish()
+    }
+}
+
+impl Solution1 {
+    /// Create a file with default options.
+    pub fn new(cfg: HashFileConfig) -> Result<Self> {
+        Ok(Solution1 { core: FileCore::new(cfg)?, opts: Solution1Options::default() })
+    }
+
+    /// Create a file with explicit options.
+    pub fn with_options(cfg: HashFileConfig, opts: Solution1Options) -> Result<Self> {
+        Ok(Solution1 { core: FileCore::new(cfg)?, opts })
+    }
+
+    /// Create a file over a prebuilt core (tests inject substrates).
+    pub fn from_core(core: FileCore) -> Self {
+        Solution1 { core, opts: Solution1Options::default() }
+    }
+
+    /// The shared core (stats, store, directory — for tests and benches).
+    pub fn core(&self) -> &FileCore {
+        &self.core
+    }
+
+    /// Figure 6, the insertion algorithm.
+    fn insert_impl(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        let core = &self.core;
+        let cap = core.config().bucket_capacity;
+        let pk = (core.hasher())(key);
+        let mut buf = core.new_buf();
+        // "if (!done) insert (z)" — the recursion is this loop.
+        loop {
+            let owner = core.locks().new_owner();
+            core.alpha_lock(owner, LockId::Directory);
+            let (_depth, oldpage) = core.dir().lookup(pk);
+            core.alpha_lock(owner, LockId::Page(oldpage));
+            let current = try_or_release!(core, owner, core.getbucket(oldpage, &mut buf));
+            debug_assert!(
+                current.owns(pk),
+                "a Solution-1 updater can never have the wrong bucket: its α on the \
+                 directory excludes every restructurer"
+            );
+
+            if current.search(key).is_some() {
+                /* z is already there */
+                core.un_alpha_lock(owner, LockId::Directory);
+                core.un_alpha_lock(owner, LockId::Page(oldpage));
+                core.stats().inserts_duplicate();
+                return Ok(InsertOutcome::AlreadyPresent);
+            }
+
+            if current.count() != cap {
+                /* current bucket not full */
+                core.un_alpha_lock(owner, LockId::Directory);
+                let mut current = current;
+                current.add(ceh_types::Record { key, value });
+                try_or_release!(core, owner, core.putbucket(oldpage, &current, &mut buf));
+                core.un_alpha_lock(owner, LockId::Page(oldpage));
+                core.len_inc();
+                core.stats().inserts();
+                return Ok(InsertOutcome::Inserted);
+            }
+
+            /* current is full */
+            if current.localdepth == core.dir().depth() {
+                try_or_release!(core, owner, core.dir().double());
+                core.stats().doublings();
+            }
+            let newpage = try_or_release!(core, owner, core.store().alloc());
+            let (half1, half2, done) = current.split(
+                key,
+                value,
+                cap,
+                core.hasher(),
+                oldpage,
+                ManagerId::NONE,
+                newpage,
+                ManagerId::NONE,
+            );
+            // "The second half of the pair is written first in a newly
+            // allocated disk page and then the old bucket is replaced by
+            // the first half" — this order is what makes the split look
+            // atomic to concurrent readers (§2.3).
+            try_or_release!(core, owner, core.putbucket(newpage, &half2, &mut buf));
+            try_or_release!(core, owner, core.putbucket(oldpage, &half1, &mut buf));
+            core.un_alpha_lock(owner, LockId::Page(oldpage));
+            core.dir().update_one_side(newpage, half1.localdepth, pk);
+            if half1.localdepth == core.dir().depth() {
+                // "Splitting a bucket of localdepth = depth-1 would add
+                // two" (§2.2).
+                core.dir().add_depthcount(2);
+            }
+            core.stats().splits();
+            core.un_alpha_lock(owner, LockId::Directory);
+            if done {
+                core.len_inc();
+                core.stats().inserts();
+                return Ok(InsertOutcome::Inserted);
+            }
+            core.stats().insert_retries();
+        }
+    }
+
+    /// Figure 7, the deletion algorithm.
+    fn delete_impl(&self, key: Key) -> Result<DeleteOutcome> {
+        let core = &self.core;
+        let threshold = core.config().merge_threshold;
+        let cap = core.config().bucket_capacity;
+        let pk = (core.hasher())(key);
+        let mut buf = core.new_buf();
+        let owner = core.locks().new_owner();
+
+        core.xi_lock(owner, LockId::Directory);
+        let depth = core.dir().depth();
+        let selectedbits = pk.low_bits(depth);
+        let oldpage = core.dir().index(selectedbits);
+        core.xi_lock(owner, LockId::Page(oldpage));
+        let mut current = try_or_release!(core, owner, core.getbucket(oldpage, &mut buf));
+        debug_assert!(current.owns(pk), "ξ on the directory: no wrong buckets possible");
+
+        // DEVIATION: check presence before considering a merge. Figure 7's
+        // merge path never searches for z; at merge_threshold 0 the lone
+        // record in a too-empty bucket is silently assumed to be z, and a
+        // delete of an absent key would discard an innocent record. (The
+        // Figure 9 version of the same code adds exactly this check.)
+        if current.search(key).is_none() {
+            core.un_xi_lock(owner, LockId::Directory);
+            core.un_xi_lock(owner, LockId::Page(oldpage));
+            core.stats().deletes_miss();
+            return Ok(DeleteOutcome::NotFound);
+        }
+
+        let too_empty = current.count() <= threshold + 1 && current.localdepth > 1;
+        if !too_empty {
+            /* current not too empty */
+            core.un_xi_lock(owner, LockId::Directory);
+            current.remove(key);
+            try_or_release!(core, owner, core.putbucket(oldpage, &current, &mut buf));
+            core.un_xi_lock(owner, LockId::Page(oldpage));
+            core.len_dec();
+            core.stats().deletes();
+            return Ok(DeleteOutcome::Deleted);
+        }
+
+        // Merge attempt. Identify the partner with respect to localdepth.
+        let m = partner_bit(current.localdepth);
+        let (brother, newpage, merged_page, garbage_page) = if pk.0 & m != m {
+            /* z goes in first of pair: the partner follows via next */
+            let newpage = current.next;
+            if newpage.is_null() {
+                // Defensive: a "0" bucket of localdepth ≥ 2 always has a
+                // next under the protocols; treat a missing one as
+                // unmergeable rather than corrupting the chain.
+                return self.finish_unmergeable(owner, key, oldpage, current, buf);
+            }
+            core.xi_lock(owner, LockId::Page(newpage));
+            let brother = try_or_release!(core, owner, core.getbucket(newpage, &mut buf));
+            (brother, newpage, oldpage, newpage)
+        } else {
+            /* z goes in second of pair: the "0" partner via the directory */
+            let newpage = core.dir().index(selectedbits & !m);
+            // Lock in next-link order to avoid deadlock with readers
+            // "following next links from C to B" (§2.2): release B,
+            // request C then B.
+            core.un_xi_lock(owner, LockId::Page(oldpage));
+            core.xi_lock(owner, LockId::Page(newpage));
+            core.xi_lock(owner, LockId::Page(oldpage));
+            let brother = try_or_release!(core, owner, core.getbucket(newpage, &mut buf));
+            // No re-validation needed, unlike Figure 9: our ξ on the
+            // directory never left, so nothing can have changed while
+            // oldpage was unlocked (readers don't write).
+            (brother, newpage, newpage, oldpage)
+        };
+
+        let mergeable = current.localdepth == brother.localdepth
+            && current.count() - 1 + brother.count() <= cap;
+        if !mergeable {
+            /* not possible to merge these two */
+            core.un_xi_lock(owner, LockId::Page(newpage));
+            return self.finish_unmergeable(owner, key, oldpage, current, buf);
+        }
+        debug_assert_eq!(
+            brother.commonbits,
+            partner_commonbits(current.commonbits, current.localdepth),
+            "next/directory led somewhere other than the partner"
+        );
+
+        /* mergeable */
+        let old_ld = brother.localdepth;
+        if old_ld == depth {
+            // "Merging two buckets of localdepth = depth would subtract
+            // two" (§2.2).
+            core.dir().add_depthcount(-2);
+        }
+        let mut merged = brother;
+        merged.localdepth -= 1;
+        merged.commonbits &= mask(merged.localdepth);
+        if garbage_page == oldpage {
+            // z's bucket is the "1" partner: unlink it from the chain.
+            merged.next = current.next;
+            merged.next_mgr = current.next_mgr;
+        }
+        // Move the survivors of z's bucket across (none at the paper's
+        // merge_threshold = 0).
+        current.remove(key);
+        merged.records.extend(current.records.iter().copied());
+        merged.version = merged.version.max(current.version) + 1;
+        try_or_release!(core, owner, core.putbucket(merged_page, &merged, &mut buf));
+        if core.dir().depthcount() == 0 {
+            core.dir().halve();
+            core.stats().halvings();
+        } else {
+            core.dir().update_one_side(merged_page, old_ld, pk);
+        }
+        try_or_release!(core, owner, core.store().dealloc(garbage_page));
+        core.stats().merges();
+        core.un_xi_lock(owner, LockId::Page(newpage));
+        core.un_xi_lock(owner, LockId::Page(oldpage));
+        core.un_xi_lock(owner, LockId::Directory);
+        core.len_dec();
+        core.stats().deletes();
+        Ok(DeleteOutcome::Deleted)
+    }
+
+    /// Shared tail: remove the key without merging and release everything
+    /// (the "not possible to merge these two" path of Figure 7).
+    fn finish_unmergeable(
+        &self,
+        owner: ceh_locks::OwnerId,
+        key: Key,
+        oldpage: ceh_types::PageId,
+        mut current: ceh_types::bucket::Bucket,
+        mut buf: ceh_storage::PageBuf,
+    ) -> Result<DeleteOutcome> {
+        let core = &self.core;
+        let removed = current.remove(key);
+        debug_assert!(removed, "presence was checked under ξ");
+        try_or_release!(core, owner, core.putbucket(oldpage, &current, &mut buf));
+        core.un_xi_lock(owner, LockId::Page(oldpage));
+        core.un_xi_lock(owner, LockId::Directory);
+        core.len_dec();
+        core.stats().deletes();
+        Ok(DeleteOutcome::Deleted)
+    }
+}
+
+impl ConcurrentHashFile for Solution1 {
+    fn find(&self, key: Key) -> Result<Option<Value>> {
+        self.core.find_impl(key, self.opts.pessimistic_find)
+    }
+
+    fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        self.insert_impl(key, value)
+    }
+
+    fn delete(&self, key: Key) -> Result<DeleteOutcome> {
+        self.delete_impl(key)
+    }
+
+    fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.opts.pessimistic_find {
+            "solution1-pessimistic"
+        } else {
+            "solution1"
+        }
+    }
+
+    fn set_io_latency_ns(&self, ns: u64) {
+        self.core.store().set_io_latency_ns(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::check_concurrent_file;
+    use ceh_types::Error;
+
+    fn file() -> Solution1 {
+        Solution1::new(HashFileConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn single_thread_crud() {
+        let f = file();
+        assert_eq!(f.insert(Key(1), Value(10)).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(f.insert(Key(1), Value(20)).unwrap(), InsertOutcome::AlreadyPresent);
+        assert_eq!(f.find(Key(1)).unwrap(), Some(Value(10)));
+        assert_eq!(f.delete(Key(1)).unwrap(), DeleteOutcome::Deleted);
+        assert_eq!(f.delete(Key(1)).unwrap(), DeleteOutcome::NotFound);
+        assert_eq!(f.find(Key(1)).unwrap(), None);
+        assert_eq!(f.core().locks().total_granted(), 0);
+    }
+
+    #[test]
+    fn grow_and_shrink_preserves_structure() {
+        let f = file();
+        for k in 0..300u64 {
+            f.insert(Key(k), Value(k)).unwrap();
+        }
+        check_concurrent_file(f.core()).unwrap();
+        assert!(f.core().dir().depth() >= 5);
+        for k in 0..300u64 {
+            assert_eq!(f.find(Key(k)).unwrap(), Some(Value(k)), "key {k}");
+        }
+        for k in 0..300u64 {
+            assert_eq!(f.delete(Key(k)).unwrap(), DeleteOutcome::Deleted, "key {k}");
+        }
+        assert!(f.is_empty());
+        check_concurrent_file(f.core()).unwrap();
+        assert_eq!(f.core().locks().total_granted(), 0);
+    }
+
+    #[test]
+    fn stats_track_splits_and_merges() {
+        let f = file();
+        for k in 0..50u64 {
+            f.insert(Key(k), Value(k)).unwrap();
+        }
+        for k in 0..50u64 {
+            f.delete(Key(k)).unwrap();
+        }
+        let s = f.core().stats().snapshot();
+        assert!(s.splits > 0);
+        assert!(s.merges > 0);
+        assert!(s.doublings > 0);
+        assert!(s.halvings > 0);
+        assert_eq!(s.inserts, 50);
+        assert_eq!(s.deletes, 50);
+    }
+
+    #[test]
+    fn directory_full_releases_locks() {
+        let cfg = HashFileConfig::tiny().with_bucket_capacity(1).with_max_depth(2);
+        let f = Solution1::new(cfg).unwrap();
+        let mut got_err = false;
+        for k in 0..64u64 {
+            match f.insert(Key(k), Value(k)) {
+                Ok(_) => {}
+                Err(Error::DirectoryFull { .. }) => {
+                    got_err = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(got_err);
+        assert_eq!(f.core().locks().total_granted(), 0, "error path released all locks");
+        // The file keeps working after the failure.
+        let present = (0..64u64).filter(|&k| f.find(Key(k)).unwrap().is_some()).count();
+        assert!(present > 0);
+    }
+
+    #[test]
+    fn pessimistic_find_option_works() {
+        let f = Solution1::with_options(
+            HashFileConfig::tiny(),
+            Solution1Options { pessimistic_find: true },
+        )
+        .unwrap();
+        for k in 0..100u64 {
+            f.insert(Key(k), Value(k + 1)).unwrap();
+        }
+        for k in 0..100u64 {
+            assert_eq!(f.find(Key(k)).unwrap(), Some(Value(k + 1)));
+        }
+        assert_eq!(f.name(), "solution1-pessimistic");
+    }
+}

@@ -1,0 +1,768 @@
+//! **Solution 2** — the optimistic protocol of §2.4, Figures 8–9.
+//!
+//! "The recognized problem with top-down protocols is the need to hold a
+//! lock on the bottleneck of the structure while determining if
+//! restructuring will be required. This is avoided in the next protocol.
+//! The idea is for updating processes to act like readers during their
+//! search for the right bucket."
+//!
+//! Differences from Solution 1:
+//!
+//! * updaters take only ρ on the directory while searching and *convert*
+//!   to α when the directory will actually change (the queue-bypassing
+//!   conversion in `ceh-locks` exists for exactly this step);
+//! * updaters can land on the **wrong bucket** — including one that was
+//!   *merged away*: merges leave the "1" partner's page as a tombstone
+//!   (marked deleted via `commonbits`, `next` pointing at the survivor),
+//!   so stale directory entries still lead somewhere useful;
+//! * deleters whose target is the "1" partner must release and re-lock in
+//!   next-link order, then re-validate everything that could have changed
+//!   in the window (the label-A checks of Figure 9) — partner no longer
+//!   linked, bucket refilled, key moved by a split, pair already merged —
+//!   and retry the whole operation if validation fails;
+//! * tombstone deallocation and directory halving happen in a separate
+//!   garbage-collection phase under ξ-locks, after all other locks are
+//!   released.
+
+use ceh_locks::{LockId, OwnerId};
+use ceh_types::bits::{mask, partner_bit};
+use ceh_types::bucket::Bucket;
+use ceh_types::{
+    DeleteOutcome, Error, HashFileConfig, InsertOutcome, Key, ManagerId, PageId, Result, Value,
+};
+
+use crate::common::{try_or_release, FileCore};
+use crate::traits::ConcurrentHashFile;
+
+/// When tombstones are deallocated and the directory halved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcStrategy {
+    /// The paper's placement: each deleter runs its own GC phase at the
+    /// end of its merge (Figure 9's final ξ-locked block).
+    Inline,
+    /// Extension: deleters hand garbage to a dedicated collector thread,
+    /// which batches up to `batch` pages under one directory ξ-lock. The
+    /// deleter returns sooner; tombstones linger a little longer (still
+    /// perfectly usable as recovery paths). The A4 ablation measures the
+    /// trade.
+    Background {
+        /// Pages collected per ξ-locked pass.
+        batch: usize,
+    },
+}
+
+/// Tuning knobs for [`Solution2`].
+#[derive(Debug, Clone)]
+pub struct Solution2Options {
+    /// Upper bound on whole-operation restarts (Figure 9's `delete (z)`
+    /// recursion). The paper notes "lockout is possible for all
+    /// processes"; a bound turns a pathological livelock into an error
+    /// instead of a hang.
+    pub max_retries: usize,
+    /// Garbage-collection placement.
+    pub gc: GcStrategy,
+}
+
+impl Default for Solution2Options {
+    fn default() -> Self {
+        Solution2Options { max_retries: 10_000, gc: GcStrategy::Inline }
+    }
+}
+
+/// Messages to the background collector.
+enum GcMsg {
+    Garbage(PageId),
+    /// Collect everything queued so far, then signal.
+    Flush(std::sync::mpsc::SyncSender<()>),
+    Stop,
+}
+
+/// The Solution-2 concurrent extendible hash file.
+///
+/// ```
+/// use std::sync::Arc;
+/// use ceh_core::{ConcurrentHashFile, Solution2};
+/// use ceh_types::{HashFileConfig, Key, Value};
+///
+/// let file = Arc::new(Solution2::new(HashFileConfig::default())?);
+/// let writers: Vec<_> = (0..4u64)
+///     .map(|t| {
+///         let file = Arc::clone(&file);
+///         std::thread::spawn(move || {
+///             for i in 0..100 {
+///                 file.insert(Key(t * 100 + i), Value(i)).unwrap();
+///             }
+///         })
+///     })
+///     .collect();
+/// for w in writers {
+///     w.join().unwrap();
+/// }
+/// assert_eq!(file.len(), 400);
+/// assert_eq!(file.find(Key(205))?, Some(Value(5)));
+/// ceh_core::invariants::check_concurrent_file(file.core())?;
+/// # Ok::<(), ceh_types::Error>(())
+/// ```
+pub struct Solution2 {
+    core: std::sync::Arc<FileCore>,
+    opts: Solution2Options,
+    /// Present when `gc` is [`GcStrategy::Background`].
+    gc_tx: Option<std::sync::mpsc::Sender<GcMsg>>,
+    gc_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Solution2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solution2").field("core", &self.core).finish()
+    }
+}
+
+impl Drop for Solution2 {
+    fn drop(&mut self) {
+        if let Some(tx) = self.gc_tx.take() {
+            let _ = tx.send(GcMsg::Stop);
+        }
+        if let Some(h) = self.gc_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Solution2 {
+    /// Create a file with default options.
+    pub fn new(cfg: HashFileConfig) -> Result<Self> {
+        Ok(Self::assemble(FileCore::new(cfg)?, Solution2Options::default()))
+    }
+
+    /// Create a file with explicit options.
+    pub fn with_options(cfg: HashFileConfig, opts: Solution2Options) -> Result<Self> {
+        Ok(Self::assemble(FileCore::new(cfg)?, opts))
+    }
+
+    /// Create a file over a prebuilt core (tests inject substrates).
+    pub fn from_core(core: FileCore) -> Self {
+        Self::assemble(core, Solution2Options::default())
+    }
+
+    /// Create a file over a prebuilt core with explicit options.
+    pub fn from_core_with_options(core: FileCore, opts: Solution2Options) -> Self {
+        Self::assemble(core, opts)
+    }
+
+    fn assemble(core: FileCore, opts: Solution2Options) -> Self {
+        let core = std::sync::Arc::new(core);
+        let (gc_tx, gc_thread) = match opts.gc {
+            GcStrategy::Inline => (None, None),
+            GcStrategy::Background { batch } => {
+                let (tx, rx) = std::sync::mpsc::channel::<GcMsg>();
+                let core2 = std::sync::Arc::clone(&core);
+                let handle = std::thread::Builder::new()
+                    .name("ceh-gc".into())
+                    .spawn(move || Self::collector_loop(&core2, rx, batch.max(1)))
+                    .expect("spawn gc collector");
+                (Some(tx), Some(handle))
+            }
+        };
+        Solution2 { core, opts, gc_tx, gc_thread }
+    }
+
+    /// The background collector: drain garbage page ids, reclaiming up to
+    /// `batch` per ξ-locked pass (one directory lock amortized over the
+    /// whole batch — the point of the strategy).
+    fn collector_loop(core: &FileCore, rx: std::sync::mpsc::Receiver<GcMsg>, batch: usize) {
+        let mut queue: Vec<PageId> = Vec::new();
+        let mut flushes: Vec<std::sync::mpsc::SyncSender<()>> = Vec::new();
+        loop {
+            // Block for the first message, then opportunistically drain.
+            let mut stopping = false;
+            match rx.recv() {
+                Ok(GcMsg::Garbage(p)) => queue.push(p),
+                Ok(GcMsg::Flush(done)) => flushes.push(done),
+                Ok(GcMsg::Stop) | Err(_) => stopping = true,
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(GcMsg::Garbage(p)) => queue.push(p),
+                    Ok(GcMsg::Flush(done)) => flushes.push(done),
+                    Ok(GcMsg::Stop) => {
+                        stopping = true;
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+            while queue.len() >= batch
+                || (!queue.is_empty() && (stopping || !flushes.is_empty()))
+            {
+                let take = queue.len().min(batch);
+                let pass: Vec<PageId> = queue.drain(..take).collect();
+                Self::gc_pass(core, &pass);
+            }
+            for done in flushes.drain(..) {
+                let _ = done.send(());
+            }
+            if stopping {
+                // Final drain: everything queued must be reclaimed.
+                if !queue.is_empty() {
+                    Self::gc_pass(core, &queue);
+                }
+                return;
+            }
+        }
+    }
+
+    /// One ξ-locked garbage-collection pass over `pages` (the Figure-9
+    /// epilogue, amortized).
+    fn gc_pass(core: &FileCore, pages: &[PageId]) {
+        let owner = core.locks().new_owner();
+        core.xi_lock(owner, LockId::Directory);
+        for &page in pages {
+            core.xi_lock(owner, LockId::Page(page));
+            if core.dir().depthcount() == 0 {
+                core.dir().halve();
+                core.stats().halvings();
+            }
+            core.store().dealloc(page).expect("background GC double-free");
+            core.un_xi_lock(owner, LockId::Page(page));
+        }
+        if core.dir().depthcount() == 0 && core.dir().depth() > 1 {
+            core.dir().halve();
+            core.stats().halvings();
+        }
+        core.un_xi_lock(owner, LockId::Directory);
+        core.stats().gc_phases();
+    }
+
+    /// Wait until every piece of garbage handed to the background
+    /// collector so far has been reclaimed (and any pending directory
+    /// halving applied). No-op under [`GcStrategy::Inline`]. Call before
+    /// structural checks.
+    pub fn flush_gc(&self) {
+        if let Some(tx) = &self.gc_tx {
+            let (done_tx, done_rx) = std::sync::mpsc::sync_channel(1);
+            if tx.send(GcMsg::Flush(done_tx)).is_ok() {
+                let _ = done_rx.recv();
+            }
+        }
+    }
+
+    /// The shared core.
+    pub fn core(&self) -> &FileCore {
+        &self.core
+    }
+
+    /// Hand-over-hand walk to the bucket owning `pk`, locking each bucket
+    /// with `mode` — the `/* WRONG BUCKET */` loops that open Figures 8
+    /// and 9. Returns the final (page, bucket); the lock on that page is
+    /// *held*. Tombstones are walked through like any wrong bucket: their
+    /// `next` is the recovery path.
+    fn walk_to_owner(
+        &self,
+        owner: OwnerId,
+        mode: ceh_locks::LockMode,
+        mut oldpage: PageId,
+        pk: ceh_types::Pseudokey,
+        buf: &mut ceh_storage::PageBuf,
+    ) -> Result<(PageId, Bucket)> {
+        let core = &self.core;
+        core.locks().lock(owner, LockId::Page(oldpage), mode);
+        let mut current = try_or_release!(core, owner, core.getbucket(oldpage, buf));
+        let mut recovered = false;
+        while !current.owns(pk) {
+            /* WRONG BUCKET */
+            recovered = true;
+            core.stats().chain_hops();
+            let newpage = current.next;
+            if newpage.is_null() {
+                core.locks().release_all(owner);
+                return Err(Error::Corrupt(format!(
+                    "walk for {pk:?}: wrong bucket {oldpage} has no next link"
+                )));
+            }
+            core.locks().lock(owner, LockId::Page(newpage), mode);
+            current = try_or_release!(core, owner, core.getbucket(newpage, buf));
+            core.locks().unlock(owner, LockId::Page(oldpage), mode);
+            oldpage = newpage;
+        }
+        if recovered {
+            core.stats().wrong_bucket_recoveries();
+        }
+        Ok((oldpage, current))
+    }
+
+    /// Figure 8, the insertion algorithm.
+    fn insert_impl(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        let core = &self.core;
+        let cap = core.config().bucket_capacity;
+        let pk = (core.hasher())(key);
+        let mut buf = core.new_buf();
+
+        for _ in 0..self.opts.max_retries {
+            let owner = core.locks().new_owner();
+            core.rho_lock(owner, LockId::Directory);
+            let (_depth, start) = core.dir().lookup(pk);
+            let (oldpage, mut current) =
+                self.walk_to_owner(owner, ceh_locks::LockMode::Alpha, start, pk, &mut buf)?;
+
+            if current.search(key).is_some() {
+                /* IS Z ALREADY THERE? */
+                core.un_rho_lock(owner, LockId::Directory);
+                core.un_alpha_lock(owner, LockId::Page(oldpage));
+                core.stats().inserts_duplicate();
+                return Ok(InsertOutcome::AlreadyPresent);
+            }
+
+            if current.count() != cap {
+                core.un_rho_lock(owner, LockId::Directory);
+                current.add(ceh_types::Record { key, value });
+                try_or_release!(core, owner, core.putbucket(oldpage, &current, &mut buf));
+                core.un_alpha_lock(owner, LockId::Page(oldpage));
+                core.len_inc();
+                core.stats().inserts();
+                return Ok(InsertOutcome::Inserted);
+            }
+
+            /* CURRENT IS FULL - DIRECTORY WILL BE AFFECTED */
+            // ρ → α conversion: checked against granted locks only (the
+            // §2.5 deadlock-freedom argument; see ceh-locks docs).
+            core.alpha_lock(owner, LockId::Directory);
+            if current.localdepth == core.dir().depth() {
+                try_or_release!(core, owner, core.dir().double());
+                core.stats().doublings();
+            }
+            let newpage = try_or_release!(core, owner, core.store().alloc());
+            let (half1, half2, done) = current.split(
+                key,
+                value,
+                cap,
+                core.hasher(),
+                oldpage,
+                ManagerId::NONE,
+                newpage,
+                ManagerId::NONE,
+            );
+            try_or_release!(core, owner, core.putbucket(newpage, &half2, &mut buf));
+            try_or_release!(core, owner, core.putbucket(oldpage, &half1, &mut buf));
+            core.dir().update_one_side(newpage, half1.localdepth, pk);
+            if half1.localdepth == core.dir().depth() {
+                core.dir().add_depthcount(2);
+            }
+            core.stats().splits();
+            core.un_alpha_lock(owner, LockId::Page(oldpage));
+            core.un_alpha_lock(owner, LockId::Directory);
+            core.un_rho_lock(owner, LockId::Directory);
+            if done {
+                core.len_inc();
+                core.stats().inserts();
+                return Ok(InsertOutcome::Inserted);
+            }
+            core.stats().insert_retries();
+        }
+        Err(Error::RetriesExhausted { op: "solution2 insert" })
+    }
+
+    /// Figure 9, the deletion algorithm.
+    fn delete_impl(&self, key: Key) -> Result<DeleteOutcome> {
+        let core = &self.core;
+        let threshold = core.config().merge_threshold;
+        let cap = core.config().bucket_capacity;
+        let pk = (core.hasher())(key);
+        let mut buf = core.new_buf();
+
+        'retry: for attempt in 0..self.opts.max_retries {
+            // DEVIATION: Figure 9's label-A path re-runs `delete (z)`
+            // wholesale, but when the cause is persistent (the "0"
+            // partner split deeper, so "the local depths do not match"),
+            // the retry re-encounters the same state forever. §2.5's
+            // prose says the deleter "goes back to simply trying to
+            // remove its key" — which is what we do after a few retries:
+            // give up on merging for this operation and take the plain
+            // removal path, which only ever locks in directory→bucket
+            // walk order and is therefore deadlock-safe.
+            let allow_merge = attempt < 3;
+            let owner = core.locks().new_owner();
+            core.rho_lock(owner, LockId::Directory);
+            let depth_at_lookup = core.dir().depth();
+            let selectedbits = pk.low_bits(depth_at_lookup);
+            let start = core.dir().index(selectedbits);
+            let (oldpage, mut current) =
+                self.walk_to_owner(owner, ceh_locks::LockMode::Xi, start, pk, &mut buf)?;
+
+            let too_empty =
+                allow_merge && current.count() <= threshold + 1 && current.localdepth > 1;
+            if !too_empty {
+                core.un_rho_lock(owner, LockId::Directory);
+                let outcome = if current.remove(key) {
+                    try_or_release!(core, owner, core.putbucket(oldpage, &current, &mut buf));
+                    core.len_dec();
+                    core.stats().deletes();
+                    DeleteOutcome::Deleted
+                } else {
+                    core.stats().deletes_miss();
+                    DeleteOutcome::NotFound
+                };
+                core.un_xi_lock(owner, LockId::Page(oldpage));
+                return Ok(outcome);
+            }
+
+            /* IF EVERYTHING STAYS THE SAME - TRY TO MERGE */
+            if current.search(key).is_none() {
+                /* Z NOT THERE */
+                core.un_xi_lock(owner, LockId::Page(oldpage));
+                core.un_rho_lock(owner, LockId::Directory);
+                core.stats().deletes_miss();
+                return Ok(DeleteOutcome::NotFound);
+            }
+
+            let m = partner_bit(current.localdepth);
+            let (brother, newpage, merged_page, garbage_page);
+            if pk.0 & m != m {
+                /* Z IN FIRST OF PAIR */
+                let np = current.next;
+                if np.is_null() {
+                    // Defensive (see Solution 1): treat as unmergeable.
+                    return self.remove_without_merge(owner, key, oldpage, current, buf);
+                }
+                core.xi_lock(owner, LockId::Page(np));
+                brother = try_or_release!(core, owner, core.getbucket(np, &mut buf));
+                newpage = np;
+                garbage_page = np;
+                merged_page = oldpage;
+            } else {
+                /* Z IN SECOND OF PAIR */
+                let np = core.dir().index(selectedbits & !m);
+                core.un_xi_lock(owner, LockId::Page(oldpage));
+                core.xi_lock(owner, LockId::Page(np));
+                brother = try_or_release!(core, owner, core.getbucket(np, &mut buf));
+                if brother.next != oldpage || brother.is_deleted() {
+                    /* A: OLDPAGE AND NEWPAGE ARE NOT MERGABLE PARTNERS */
+                    // The stale directory entry led somewhere that is no
+                    // longer (or never was) the live "0" partner.
+                    // Locking oldpage from here would risk deadlock;
+                    // restart instead (Figure 9's `delete (z); return;`).
+                    core.un_xi_lock(owner, LockId::Page(np));
+                    core.un_rho_lock(owner, LockId::Directory);
+                    core.stats().delete_retries();
+                    continue 'retry;
+                }
+                core.xi_lock(owner, LockId::Page(oldpage));
+                current = try_or_release!(core, owner, core.getbucket(oldpage, &mut buf));
+                if !current.owns(pk) {
+                    /* Z no longer belongs in oldpage - while waiting to
+                    re-lock oldpage it may have filled up and split,
+                    moving z */
+                    core.un_xi_lock(owner, LockId::Page(oldpage));
+                    core.un_xi_lock(owner, LockId::Page(np));
+                    core.un_rho_lock(owner, LockId::Directory);
+                    core.stats().delete_retries();
+                    continue 'retry;
+                }
+                newpage = np;
+                garbage_page = oldpage;
+                merged_page = np;
+            }
+
+            // Figure 9's combined re-validation: "Either it is not
+            // possible to merge because of localdepths or something
+            // happened while waiting to re-lock oldpage - more data
+            // inserted into oldpage so it is no longer empty and maybe
+            // then z deleted".
+            let still_mergeable = current.localdepth == brother.localdepth
+                && current.count() <= threshold + 1
+                && current.search(key).is_some()
+                && current.count() - 1 + brother.count() <= cap;
+            if !still_mergeable {
+                core.un_xi_lock(owner, LockId::Page(newpage));
+                return self.remove_without_merge(owner, key, oldpage, current, buf);
+            }
+
+            /* MERGE */
+            core.alpha_lock(owner, LockId::Directory); // ρ → α conversion
+            let old_ld = brother.localdepth;
+            if old_ld == core.dir().depth() {
+                core.dir().add_depthcount(-2);
+            }
+            let mut survivor = brother.clone();
+            survivor.localdepth -= 1;
+            survivor.commonbits &= mask(survivor.localdepth);
+            if garbage_page == oldpage {
+                // z's bucket is the "1" partner: splice it out of the
+                // chain (brother -> next = current -> next).
+                survivor.next = current.next;
+                survivor.next_mgr = current.next_mgr;
+            }
+            current.remove(key);
+            survivor.records.extend(current.records.iter().copied());
+            survivor.version = survivor.version.max(current.version) + 1;
+
+            // The tombstone: "marking the old partner as 'deleted' (we
+            // use the commonbits field for this), setting its next field
+            // to point to the merged bucket".
+            let mut tombstone = Bucket::new(0, 0);
+            tombstone.mark_deleted();
+            tombstone.localdepth = old_ld;
+            tombstone.next = merged_page;
+            tombstone.version = survivor.version;
+
+            try_or_release!(core, owner, core.putbucket(merged_page, &survivor, &mut buf));
+            try_or_release!(core, owner, core.putbucket(garbage_page, &tombstone, &mut buf));
+            core.dir().update_one_side(merged_page, old_ld, pk);
+            core.stats().merges();
+            core.un_xi_lock(owner, LockId::Page(oldpage));
+            core.un_xi_lock(owner, LockId::Page(newpage));
+            core.un_alpha_lock(owner, LockId::Directory);
+            core.un_rho_lock(owner, LockId::Directory);
+            core.len_dec();
+            core.stats().deletes();
+
+            // Garbage-collection phase: "Deleted buckets and discarded
+            // halves of the directory are actually deallocated only after
+            // ensuring that no process needs them anymore" — the ξ-locks
+            // are that assurance (see module docs for why).
+            match (&self.opts.gc, &self.gc_tx) {
+                (GcStrategy::Background { .. }, Some(tx)) => {
+                    // Extension: hand the tombstone to the collector; it
+                    // runs the same ξ-locked phase, batched.
+                    let _ = tx.send(GcMsg::Garbage(garbage_page));
+                }
+                _ => {
+                    core.xi_lock(owner, LockId::Directory);
+                    core.xi_lock(owner, LockId::Page(garbage_page));
+                    if core.dir().depthcount() == 0 {
+                        core.dir().halve();
+                        core.stats().halvings();
+                    }
+                    try_or_release!(core, owner, core.store().dealloc(garbage_page));
+                    core.un_xi_lock(owner, LockId::Page(garbage_page));
+                    core.un_xi_lock(owner, LockId::Directory);
+                    core.stats().gc_phases();
+                }
+            }
+            return Ok(DeleteOutcome::Deleted);
+        }
+        Err(Error::RetriesExhausted { op: "solution2 delete" })
+    }
+
+    /// The "just remove it" tail shared by the unmergeable paths. Holds:
+    /// ρ(directory), ξ(oldpage). Releases everything.
+    fn remove_without_merge(
+        &self,
+        owner: OwnerId,
+        key: Key,
+        oldpage: PageId,
+        mut current: Bucket,
+        mut buf: ceh_storage::PageBuf,
+    ) -> Result<DeleteOutcome> {
+        let core = &self.core;
+        core.un_rho_lock(owner, LockId::Directory);
+        let outcome = if current.remove(key) {
+            try_or_release!(core, owner, core.putbucket(oldpage, &current, &mut buf));
+            core.len_dec();
+            core.stats().deletes();
+            DeleteOutcome::Deleted
+        } else {
+            core.stats().deletes_miss();
+            DeleteOutcome::NotFound
+        };
+        core.un_xi_lock(owner, LockId::Page(oldpage));
+        Ok(outcome)
+    }
+}
+
+impl ConcurrentHashFile for Solution2 {
+    fn find(&self, key: Key) -> Result<Option<Value>> {
+        // "The procedure for the find operation is the same as before."
+        self.core.find_impl(key, false)
+    }
+
+    fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        self.insert_impl(key, value)
+    }
+
+    fn delete(&self, key: Key) -> Result<DeleteOutcome> {
+        self.delete_impl(key)
+    }
+
+    fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "solution2"
+    }
+
+    fn set_io_latency_ns(&self, ns: u64) {
+        self.core.store().set_io_latency_ns(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::check_concurrent_file;
+
+    fn file() -> Solution2 {
+        Solution2::new(HashFileConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn single_thread_crud() {
+        let f = file();
+        assert_eq!(f.insert(Key(1), Value(10)).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(f.insert(Key(1), Value(20)).unwrap(), InsertOutcome::AlreadyPresent);
+        assert_eq!(f.find(Key(1)).unwrap(), Some(Value(10)));
+        assert_eq!(f.delete(Key(1)).unwrap(), DeleteOutcome::Deleted);
+        assert_eq!(f.delete(Key(1)).unwrap(), DeleteOutcome::NotFound);
+        assert_eq!(f.core().locks().total_granted(), 0);
+    }
+
+    #[test]
+    fn grow_and_shrink_preserves_structure() {
+        let f = file();
+        for k in 0..300u64 {
+            f.insert(Key(k), Value(k)).unwrap();
+        }
+        check_concurrent_file(f.core()).unwrap();
+        for k in 0..300u64 {
+            assert_eq!(f.find(Key(k)).unwrap(), Some(Value(k)), "key {k}");
+        }
+        for k in 0..300u64 {
+            assert_eq!(f.delete(Key(k)).unwrap(), DeleteOutcome::Deleted, "key {k}");
+        }
+        assert!(f.is_empty());
+        check_concurrent_file(f.core()).unwrap();
+        assert_eq!(f.core().locks().total_granted(), 0);
+    }
+
+    #[test]
+    fn tombstones_are_collected() {
+        let f = file();
+        for k in 0..100u64 {
+            f.insert(Key(k), Value(k)).unwrap();
+        }
+        let allocated_peak = f.core().store().allocated_pages();
+        for k in 0..100u64 {
+            f.delete(Key(k)).unwrap();
+        }
+        // Merges ran, so tombstones were created and must all be gone.
+        let s = f.core().stats().snapshot();
+        assert!(s.merges > 0);
+        assert_eq!(s.gc_phases, s.merges, "every merge runs one GC phase");
+        assert!(f.core().store().allocated_pages() < allocated_peak);
+        check_concurrent_file(f.core()).unwrap();
+    }
+
+    #[test]
+    fn interleaved_insert_delete_storms() {
+        let f = file();
+        for round in 0..5u64 {
+            for k in 0..80u64 {
+                f.insert(Key(k * 7 + round), Value(k)).unwrap();
+            }
+            for k in 0..80u64 {
+                f.delete(Key(k * 7 + round)).unwrap();
+            }
+            check_concurrent_file(f.core()).unwrap();
+        }
+    }
+
+    #[test]
+    fn background_gc_collects_everything() {
+        let f = Solution2::with_options(
+            HashFileConfig::tiny(),
+            Solution2Options { max_retries: 10_000, gc: GcStrategy::Background { batch: 8 } },
+        )
+        .unwrap();
+        for k in 0..200u64 {
+            f.insert(Key(k), Value(k)).unwrap();
+        }
+        for k in 0..200u64 {
+            assert_eq!(f.delete(Key(k)).unwrap(), DeleteOutcome::Deleted);
+        }
+        let s_before = f.core().stats().snapshot();
+        assert!(s_before.merges > 0);
+        f.flush_gc();
+        check_concurrent_file(f.core()).unwrap(); // no tombstones, no leaks
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn background_gc_under_concurrency() {
+        let f = std::sync::Arc::new(
+            Solution2::with_options(
+                HashFileConfig::tiny(),
+                Solution2Options { max_retries: 10_000, gc: GcStrategy::Background { batch: 4 } },
+            )
+            .unwrap(),
+        );
+        let handles: Vec<_> = (0..6u64)
+            .map(|t| {
+                let f = std::sync::Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for i in 0..400u64 {
+                        let k = (i % 50) * 6 + t;
+                        if i % 2 == 0 {
+                            f.insert(Key(k), Value(i)).unwrap();
+                        } else {
+                            f.delete(Key(k)).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        f.flush_gc();
+        check_concurrent_file(f.core()).unwrap();
+    }
+
+    #[test]
+    fn drop_drains_the_collector() {
+        // Dropping a background-GC file must reclaim queued garbage (the
+        // store would otherwise leak and a later recovery would see
+        // tombstones).
+        let store;
+        {
+            let core = FileCore::new(HashFileConfig::tiny()).unwrap();
+            store = std::sync::Arc::clone(core.store());
+            let f = Solution2::from_core_with_options(
+                core,
+                Solution2Options { max_retries: 10_000, gc: GcStrategy::Background { batch: 64 } },
+            );
+            for k in 0..100u64 {
+                f.insert(Key(k), Value(k)).unwrap();
+            }
+            for k in 0..100u64 {
+                f.delete(Key(k)).unwrap();
+            }
+            // No flush: drop must handle the backlog.
+        }
+        // Every surviving page decodes as a live (non-tombstone) bucket.
+        let mut buf = ceh_storage::PageBuf::zeroed(store.page_size());
+        for p in store.allocated_page_ids() {
+            store.read(p, &mut buf).unwrap();
+            let b = ceh_types::bucket::Bucket::decode(&buf).unwrap();
+            assert!(!b.is_deleted(), "{p} is an uncollected tombstone after drop");
+        }
+    }
+
+    #[test]
+    fn directory_full_releases_locks() {
+        let cfg = HashFileConfig::tiny().with_bucket_capacity(1).with_max_depth(2);
+        let f = Solution2::new(cfg).unwrap();
+        let mut got_err = false;
+        for k in 0..64u64 {
+            match f.insert(Key(k), Value(k)) {
+                Ok(_) => {}
+                Err(Error::DirectoryFull { .. }) => {
+                    got_err = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(got_err);
+        assert_eq!(f.core().locks().total_granted(), 0);
+    }
+}

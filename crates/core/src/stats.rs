@@ -1,0 +1,148 @@
+//! Per-operation counters for the concurrent files.
+//!
+//! These are the observables the evaluation harness reports: how often
+//! searches landed on the wrong bucket (E4), how long the recovery chains
+//! were, how many structure modifications of each kind happened, and how
+//! often optimistic updaters had to retry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! op_stats {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Thread-safe operation counters.
+        #[derive(Debug, Default)]
+        pub struct OpStats {
+            $($(#[$doc])* $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`OpStats`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct OpStatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl OpStats {
+            /// New zeroed counters.
+            pub fn new() -> Self { Self::default() }
+
+            $(
+                pub(crate) fn $name(&self) {
+                    self.$name.fetch_add(1, Ordering::Relaxed);
+                }
+            )+
+
+            /// Copy out the current values.
+            pub fn snapshot(&self) -> OpStatsSnapshot {
+                OpStatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Zero all counters.
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl OpStatsSnapshot {
+            /// Difference (self - earlier) for interval measurement.
+            pub fn since(&self, e: &OpStatsSnapshot) -> OpStatsSnapshot {
+                OpStatsSnapshot {
+                    $($name: self.$name - e.$name,)+
+                }
+            }
+        }
+    };
+}
+
+op_stats! {
+    /// Completed find operations that located the key.
+    finds_hit,
+    /// Completed find operations that did not.
+    finds_miss,
+    /// Inserts that added a key.
+    inserts,
+    /// Inserts that found the key already present.
+    inserts_duplicate,
+    /// Deletes that removed a key.
+    deletes,
+    /// Deletes that found nothing to remove.
+    deletes_miss,
+    /// Operations that landed on the wrong bucket and recovered via
+    /// `next` links (one count per operation, however long the chain).
+    wrong_bucket_recoveries,
+    /// Total `next`-link hops taken during recovery.
+    chain_hops,
+    /// Bucket splits performed.
+    splits,
+    /// Bucket merges performed.
+    merges,
+    /// Directory doublings.
+    doublings,
+    /// Directory halvings (cascaded halvings count once each).
+    halvings,
+    /// Insert attempts restarted after an unproductive split
+    /// ("if (!done) insert (z)").
+    insert_retries,
+    /// Delete attempts restarted by a Solution-2 validation failure
+    /// (label A and friends in Figure 9).
+    delete_retries,
+    /// Garbage-collection phases run (Solution 2).
+    gc_phases,
+}
+
+impl OpStatsSnapshot {
+    /// Total completed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.finds_hit
+            + self.finds_miss
+            + self.inserts
+            + self.inserts_duplicate
+            + self.deletes
+            + self.deletes_miss
+    }
+
+    /// Mean chain length among recoveries (0 when none).
+    pub fn mean_recovery_hops(&self) -> f64 {
+        if self.wrong_bucket_recoveries == 0 {
+            0.0
+        } else {
+            self.chain_hops as f64 / self.wrong_bucket_recoveries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_snapshot() {
+        let s = OpStats::new();
+        s.finds_hit();
+        s.finds_hit();
+        s.inserts();
+        s.wrong_bucket_recoveries();
+        s.chain_hops();
+        s.chain_hops();
+        s.chain_hops();
+        let snap = s.snapshot();
+        assert_eq!(snap.finds_hit, 2);
+        assert_eq!(snap.total_ops(), 3);
+        assert!((snap.mean_recovery_hops() - 3.0).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.snapshot(), OpStatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = OpStats::new();
+        s.inserts();
+        let a = s.snapshot();
+        s.inserts();
+        s.splits();
+        let d = s.snapshot().since(&a);
+        assert_eq!(d.inserts, 1);
+        assert_eq!(d.splits, 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! The common interface over the three concurrent implementations.
+
+use ceh_types::{DeleteOutcome, InsertOutcome, Key, Result, Value};
+
+/// A hash file safe for concurrent `find`/`insert`/`delete` from many
+/// threads.
+///
+/// Implemented by [`crate::Solution1`], [`crate::Solution2`], and
+/// [`crate::GlobalLockFile`]; the benchmark harness and the stress tests
+/// are generic over this trait so every experiment runs identically
+/// against all three.
+pub trait ConcurrentHashFile: Send + Sync {
+    /// Look up a key.
+    fn find(&self, key: Key) -> Result<Option<Value>>;
+
+    /// Insert a key (add-if-absent; see [`InsertOutcome`]).
+    fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome>;
+
+    /// Delete a key.
+    fn delete(&self, key: Key) -> Result<DeleteOutcome>;
+
+    /// Number of records. Exact at quiescence; may lag in-flight
+    /// operations.
+    fn len(&self) -> usize;
+
+    /// Is the file empty (same caveat as [`ConcurrentHashFile::len`])?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short name for reports ("solution1", "solution2", "global-lock").
+    fn name(&self) -> &'static str;
+
+    /// Benchmark-harness hook: change the simulated page-I/O latency at
+    /// runtime (preload cheap, then measure with I/O charged). No-op for
+    /// implementations without a simulated store.
+    fn set_io_latency_ns(&self, _ns: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A trivial impl to pin the object-safety of the trait (the harness
+    // passes `&dyn ConcurrentHashFile` around).
+    struct Null;
+    impl ConcurrentHashFile for Null {
+        fn find(&self, _: Key) -> Result<Option<Value>> {
+            Ok(None)
+        }
+        fn insert(&self, _: Key, _: Value) -> Result<InsertOutcome> {
+            Ok(InsertOutcome::Inserted)
+        }
+        fn delete(&self, _: Key) -> Result<DeleteOutcome> {
+            Ok(DeleteOutcome::NotFound)
+        }
+        fn len(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "null"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let f: &dyn ConcurrentHashFile = &Null;
+        assert_eq!(f.name(), "null");
+        assert!(f.is_empty());
+        assert_eq!(f.find(Key(1)).unwrap(), None);
+    }
+}

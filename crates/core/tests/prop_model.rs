@@ -1,0 +1,122 @@
+//! Single-threaded model equivalence for the concurrent implementations.
+//!
+//! Concurrency aside, Solutions 1 and 2 must behave exactly like a map —
+//! and their structures must satisfy every invariant after each
+//! operation. Property-testing them single-threaded pins the protocol
+//! *logic* (split/merge/double/halve/tombstone bookkeeping)
+//! deterministically, which the nondeterministic torture tests cannot.
+
+use std::collections::BTreeMap;
+
+use ceh_core::{invariants::check_concurrent_file, ConcurrentHashFile, Solution1, Solution2};
+use ceh_types::{DeleteOutcome, HashFileConfig, InsertOutcome, Key, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Find(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let key = 0u64..48;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Delete),
+        key.prop_map(Op::Find),
+    ]
+}
+
+fn run<F: ConcurrentHashFile>(file: &F, core: &ceh_core::FileCore, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let out = file.insert(Key(k), Value(v)).unwrap();
+                let expected = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                    e.insert(v);
+                    InsertOutcome::Inserted
+                } else {
+                    InsertOutcome::AlreadyPresent
+                };
+                assert_eq!(out, expected, "insert {k}");
+            }
+            Op::Delete(k) => {
+                let out = file.delete(Key(k)).unwrap();
+                let expected = if model.remove(&k).is_some() {
+                    DeleteOutcome::Deleted
+                } else {
+                    DeleteOutcome::NotFound
+                };
+                assert_eq!(out, expected, "delete {k}");
+            }
+            Op::Find(k) => {
+                assert_eq!(
+                    file.find(Key(k)).unwrap().map(|v| v.0),
+                    model.get(&k).copied(),
+                    "find {k}"
+                );
+            }
+        }
+        check_concurrent_file(core).unwrap();
+    }
+    assert_eq!(file.len(), model.len());
+    for (&k, &v) in &model {
+        assert_eq!(file.find(Key(k)).unwrap(), Some(Value(v)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solution1_matches_model(ops in proptest::collection::vec(arb_op(), 1..250)) {
+        let f = Solution1::new(HashFileConfig::tiny()).unwrap();
+        run(&f, f.core(), &ops);
+    }
+
+    #[test]
+    fn solution2_matches_model(ops in proptest::collection::vec(arb_op(), 1..250)) {
+        let f = Solution2::new(HashFileConfig::tiny()).unwrap();
+        run(&f, f.core(), &ops);
+    }
+
+    #[test]
+    fn solution1_matches_model_with_threshold(ops in proptest::collection::vec(arb_op(), 1..250)) {
+        let cfg = HashFileConfig::tiny().with_bucket_capacity(4).with_merge_threshold(1);
+        let f = Solution1::new(cfg).unwrap();
+        run(&f, f.core(), &ops);
+    }
+
+    #[test]
+    fn solution2_matches_model_with_threshold(ops in proptest::collection::vec(arb_op(), 1..250)) {
+        let cfg = HashFileConfig::tiny().with_bucket_capacity(4).with_merge_threshold(1);
+        let f = Solution2::new(cfg).unwrap();
+        run(&f, f.core(), &ops);
+    }
+
+    /// The two solutions agree with each other operation-for-operation.
+    #[test]
+    fn solutions_agree(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let f1 = Solution1::new(HashFileConfig::tiny()).unwrap();
+        let f2 = Solution2::new(HashFileConfig::tiny()).unwrap();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(
+                        f1.insert(Key(k), Value(v)).unwrap(),
+                        f2.insert(Key(k), Value(v)).unwrap()
+                    );
+                }
+                Op::Delete(k) => {
+                    prop_assert_eq!(f1.delete(Key(k)).unwrap(), f2.delete(Key(k)).unwrap());
+                }
+                Op::Find(k) => {
+                    prop_assert_eq!(f1.find(Key(k)).unwrap(), f2.find(Key(k)).unwrap());
+                }
+            }
+        }
+        prop_assert_eq!(f1.len(), f2.len());
+    }
+}

@@ -1,0 +1,79 @@
+//! The user-facing handle to a distributed hash file.
+
+use std::time::Duration;
+
+use ceh_net::{PortId, PortRx, SimNetwork};
+use ceh_types::{DeleteOutcome, Error, InsertOutcome, Key, Result, Value};
+
+use crate::msg::{Msg, OpKind, UserOutcome};
+
+/// A client of the distributed extendible hash file.
+///
+/// Each client owns a reply port and talks to the directory managers in
+/// round-robin — "a request can be made to any of the copies and
+/// eventually it will reach the desired data" (§3). One operation at a
+/// time per client; clone-by-construction via [`crate::Cluster::client`]
+/// for concurrency.
+pub struct DistClient {
+    net: SimNetwork<Msg>,
+    rx: PortRx<Msg>,
+    dir_ports: Vec<PortId>,
+    next_dir: std::cell::Cell<usize>,
+    timeout: Duration,
+}
+
+impl DistClient {
+    pub(crate) fn new(net: SimNetwork<Msg>, rx: PortRx<Msg>, dir_ports: Vec<PortId>) -> Self {
+        DistClient { net, rx, dir_ports, next_dir: std::cell::Cell::new(0), timeout: Duration::from_secs(60) }
+    }
+
+    /// Override the per-operation timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn request(&self, op: OpKind, key: Key, value: Value) -> Result<UserOutcome> {
+        let i = self.next_dir.get();
+        self.next_dir.set((i + 1) % self.dir_ports.len());
+        let port = self.dir_ports[i];
+        if !self.net.send(port, Msg::Request { op, key, value, user_port: self.rx.id() }) {
+            return Err(Error::Unavailable("directory manager port closed".into()));
+        }
+        match self.rx.recv_timeout(self.timeout) {
+            Ok(Msg::UserReply { outcome: UserOutcome::Failed }) => {
+                Err(Error::Unavailable("request exhausted its re-drives".into()))
+            }
+            Ok(Msg::UserReply { outcome }) => Ok(outcome),
+            Ok(other) => Err(Error::Unavailable(format!(
+                "unexpected reply {}",
+                ceh_net::MsgClass::class(&other)
+            ))),
+            Err(_) => Err(Error::Unavailable("timed out waiting for reply".into())),
+        }
+    }
+
+    /// Look up a key.
+    pub fn find(&self, key: Key) -> Result<Option<Value>> {
+        match self.request(OpKind::Find, key, Value(0))? {
+            UserOutcome::Found(v) => Ok(v),
+            other => Err(Error::Unavailable(format!("mismatched reply {other:?}"))),
+        }
+    }
+
+    /// Insert a key (add-if-absent).
+    pub fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        match self.request(OpKind::Insert, key, value)? {
+            UserOutcome::Inserted(o) => Ok(o),
+            other => Err(Error::Unavailable(format!("mismatched reply {other:?}"))),
+        }
+    }
+
+    /// Delete a key.
+    pub fn delete(&self, key: Key) -> Result<DeleteOutcome> {
+        match self.request(OpKind::Delete, key, Value(0))? {
+            UserOutcome::Deleted(o) => Ok(o),
+            other => Err(Error::Unavailable(format!("mismatched reply {other:?}"))),
+        }
+    }
+}

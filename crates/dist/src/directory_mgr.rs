@@ -1,0 +1,575 @@
+//! The directory manager server of Figure 13.
+//!
+//! "The locking of the directory in the centralized solution is embodied
+//! in the manager's explicit scheduling of requests for its attention."
+//! One thread, one replica, a context table multiplexing user requests,
+//! the ρ (requests in flight) and α (unacked copyupdates) counters, a
+//! parking lot for out-of-order updates, deferred acknowledgements for
+//! merge copyupdates, and the remembered-garbage list driving the
+//! garbage-collection phase.
+
+use std::collections::HashMap;
+
+use ceh_net::{PortId, PortRx, SimNetwork};
+use ceh_types::{hash_key, Key, ManagerId, PageId, Value};
+
+use crate::msg::{Msg, OpEnvelope, OpKind, UserOutcome};
+use crate::replica::{ApplyResult, DirReplica, DirUpdate};
+use crate::site::{bucket_mgr_name, dir_mgr_name};
+
+/// A multiplexed user request's saved state (`SaveState`/`RestoreState`).
+struct Context {
+    op: OpKind,
+    key: Key,
+    value: Value,
+    user_port: PortId,
+    /// Re-drive count: bounded so persistent bucket-level refusals
+    /// degrade to a merge-free attempt instead of looping (see the
+    /// centralized Solution 2 for the same bound and rationale).
+    attempt: u32,
+}
+
+struct Parked {
+    update: DirUpdate,
+    /// Present when this came in as a `Copyupdate` (we owe an ack).
+    ack_port: Option<PortId>,
+}
+
+pub(crate) struct DirectoryManager {
+    idx: usize,
+    net: SimNetwork<Msg>,
+    rx: PortRx<Msg>,
+    my_port: PortId,
+    replica: DirReplica,
+    contexts: HashMap<u64, Context>,
+    next_txn: u64,
+    /// Requests in flight at this manager (Figure 13's `rho`).
+    rho: usize,
+    /// Outstanding unacked copyupdates we broadcast (Figure 13's `alpha`).
+    alpha: usize,
+    parked: Vec<Parked>,
+    /// Acks for merge copyupdates, deferred until `rho == 0` — "when the
+    /// equivalent of ξ-locking occurs".
+    deferred_acks: Vec<PortId>,
+    /// Garbage from merges *we* coordinated, per owning bucket manager
+    /// (`RememberDeleted`).
+    garbage: HashMap<ManagerId, Vec<PageId>>,
+    /// Names of the other directory managers (resolved per send; peers
+    /// spawn concurrently with us).
+    peer_names: Vec<String>,
+    /// Cap on re-drives before a request is failed back to the user.
+    max_attempts: u32,
+}
+
+impl DirectoryManager {
+    pub fn new(
+        idx: usize,
+        total_dir_mgrs: usize,
+        net: SimNetwork<Msg>,
+        rx: PortRx<Msg>,
+        replica: DirReplica,
+    ) -> Self {
+        let my_port = rx.id();
+        let peer_names =
+            (0..total_dir_mgrs).filter(|&i| i != idx).map(dir_mgr_name).collect();
+        DirectoryManager {
+            idx,
+            net,
+            rx,
+            my_port,
+            replica,
+            contexts: HashMap::new(),
+            next_txn: 1,
+            rho: 0,
+            alpha: 0,
+            parked: Vec::new(),
+            deferred_acks: Vec::new(),
+            garbage: HashMap::new(),
+            peer_names,
+            max_attempts: 20,
+        }
+    }
+
+    /// The server loop (`while (true) { messageid = GetMessage (&msg); … }`).
+    pub fn run(mut self) {
+        // (recv error = network gone: exit the loop)
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                Msg::Request { op, key, value, user_port } => self.on_request(op, key, value, user_port),
+                Msg::Bucketdone { txn, success, outcome } => self.on_bucketdone(txn, success, outcome),
+                Msg::Update { txn, success, outcome, update } => {
+                    self.on_update(txn, success, outcome, update)
+                }
+                Msg::Copyupdate { update, ack_port } => self.ingest(update, Some(ack_port)),
+                Msg::CopyAck => self.alpha -= 1,
+                Msg::Status { reply_port } => self.on_status(reply_port),
+                Msg::Shutdown => break,
+                other => {
+                    debug_assert!(false, "directory manager got unexpected {}", ceh_net::MsgClass::class(&other));
+                }
+            }
+            // "if (!rho) SendRememberedAcks(); if (!rho && !alpha) GarbageCollect();"
+            self.maybe_release_acks_and_garbage();
+        }
+    }
+
+    fn on_request(&mut self, op: OpKind, key: Key, value: Value, user_port: PortId) {
+        // Globally unique transaction ids: manager index in the top bits.
+        let txn = ((self.idx as u64) << 48) | self.next_txn;
+        self.next_txn += 1;
+        self.contexts.insert(txn, Context { op, key, value, user_port, attempt: 0 });
+        self.rho += 1;
+        self.contact_bucket(txn);
+    }
+
+    /// `ContactBucket`: construct a Find/Insert/Delete message from saved
+    /// context plus a *fresh* directory lookup, and send it to the
+    /// appropriate bucket manager.
+    fn contact_bucket(&mut self, txn: u64) {
+        let ctx = self.contexts.get(&txn).expect("contact for unknown txn");
+        let pk = hash_key(ctx.key);
+        let entry = self.replica.lookup(pk);
+        let env = OpEnvelope {
+            op: ctx.op,
+            key: ctx.key,
+            value: ctx.value,
+            txn,
+            page: entry.page,
+            user_port: ctx.user_port,
+            dirmgr_port: self.my_port,
+            pseudokey: pk,
+            attempt: ctx.attempt,
+        };
+        let port = self
+            .net
+            .lookup(&bucket_mgr_name(entry.mgr))
+            .expect("bucket manager registered");
+        self.net.send(port, Msg::BucketOp(env));
+    }
+
+    fn finish(&mut self, txn: u64, outcome: UserOutcome) {
+        if let Some(ctx) = self.contexts.remove(&txn) {
+            self.net.send(ctx.user_port, Msg::UserReply { outcome });
+            self.rho -= 1;
+        }
+    }
+
+    fn redrive(&mut self, txn: u64) {
+        let exhausted = {
+            let Some(ctx) = self.contexts.get_mut(&txn) else { return };
+            ctx.attempt += 1;
+            ctx.attempt >= self.max_attempts
+        };
+        if exhausted {
+            self.finish(txn, UserOutcome::Failed);
+        } else {
+            self.contact_bucket(txn);
+        }
+    }
+
+    fn on_bucketdone(&mut self, txn: u64, success: bool, outcome: Option<UserOutcome>) {
+        if !success {
+            // The slave could not safely complete (stale page, failed
+            // merge validation): re-drive with fresh directory state.
+            self.redrive(txn);
+            return;
+        }
+        match outcome {
+            Some(o) => self.finish(txn, o),
+            None => {
+                // A find: the slave answers the user directly (Figure
+                // 14); we only clear our context.
+                if self.contexts.remove(&txn).is_some() {
+                    self.rho -= 1;
+                }
+            }
+        }
+    }
+
+    fn on_update(&mut self, txn: u64, success: bool, outcome: Option<UserOutcome>, update: DirUpdate) {
+        // Remember merge garbage: we coordinate its collection once every
+        // replica has acked.
+        if let Some(g) = update.garbage() {
+            self.garbage.entry(g.manager).or_default().push(g.page);
+        }
+        // Broadcast to the other replicas, counting the outstanding acks.
+        for name in self.peer_names.clone() {
+            if let Some(port) = self.net.lookup(&name) {
+                self.net.send(
+                    port,
+                    Msg::Copyupdate { update: update.clone(), ack_port: self.my_port },
+                );
+                self.alpha += 1;
+            }
+        }
+        // Apply (or park) locally. No ack owed to ourselves.
+        self.ingest(update, None);
+        if success {
+            match outcome {
+                Some(o) => self.finish(txn, o),
+                None => {
+                    if self.contexts.remove(&txn).is_some() {
+                        self.rho -= 1;
+                    }
+                }
+            }
+        } else {
+            // A split that failed to place the key: re-drive the insert
+            // against the post-split directory.
+            self.redrive(txn);
+        }
+    }
+
+    /// Apply an update or park it; on application (or staleness) settle
+    /// the ack, deferring merge acks until ρ reaches zero.
+    fn ingest(&mut self, update: DirUpdate, ack_port: Option<PortId>) {
+        match self.replica.apply(&update) {
+            Ok(ApplyResult::Applied) | Ok(ApplyResult::Stale) => {
+                self.settle_ack(update.is_merge(), ack_port);
+                self.release_parked();
+            }
+            Ok(ApplyResult::Parked) => {
+                self.parked.push(Parked { update, ack_port });
+            }
+            Err(e) => {
+                // A replica that cannot grow past max_depth has diverged
+                // irrecoverably — fail loudly (see DESIGN.md: size the
+                // directory with headroom; the distributed variant has no
+                // global backpressure on depth).
+                panic!("directory manager {} cannot apply update: {e}", self.idx);
+            }
+        }
+    }
+
+    fn settle_ack(&mut self, is_merge: bool, ack_port: Option<PortId>) {
+        if let Some(port) = ack_port {
+            if is_merge {
+                self.deferred_acks.push(port);
+            } else {
+                self.net.send(port, Msg::CopyAck);
+            }
+        }
+    }
+
+    /// `ReleaseSaved`: retry parked updates until a full pass applies
+    /// nothing.
+    fn release_parked(&mut self) {
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.parked.len() {
+                match self.replica.apply(&self.parked[i].update) {
+                    Ok(ApplyResult::Applied) | Ok(ApplyResult::Stale) => {
+                        let Parked { update, ack_port } = self.parked.remove(i);
+                        self.settle_ack(update.is_merge(), ack_port);
+                        progressed = true;
+                    }
+                    Ok(ApplyResult::Parked) => i += 1,
+                    Err(e) => panic!("directory manager {} parked apply failed: {e}", self.idx),
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn maybe_release_acks_and_garbage(&mut self) {
+        if self.rho == 0 && !self.deferred_acks.is_empty() {
+            for port in std::mem::take(&mut self.deferred_acks) {
+                self.net.send(port, Msg::CopyAck);
+            }
+        }
+        if self.rho == 0 && self.alpha == 0 && !self.garbage.is_empty() {
+            for (mgr, pages) in std::mem::take(&mut self.garbage) {
+                if let Some(port) = self.net.lookup(&bucket_mgr_name(mgr)) {
+                    self.net.send(port, Msg::GarbageCollect { pages });
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn set_max_attempts(&mut self, n: u32) {
+        self.max_attempts = n;
+    }
+
+    fn on_status(&mut self, reply_port: PortId) {
+        let pending_garbage = self.garbage.values().map(|v| v.len()).sum();
+        self.net.send(
+            reply_port,
+            Msg::StatusReply {
+                rho: self.rho,
+                alpha: self.alpha,
+                parked: self.parked.len(),
+                depth: self.replica.depth(),
+                entries: self.replica.entries().to_vec(),
+                pending_garbage,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Unit tests driving a directory manager thread directly, with the
+    //! test standing in for both the user and the bucket manager — so
+    //! the coordination paths the cluster tests can only hit
+    //! statistically (re-drives, the attempt cap, deferred acks) are
+    //! exercised deterministically.
+
+    use super::*;
+    use crate::msg::{OpKind, UserOutcome};
+    use crate::replica::DirUpdate;
+    use crate::site::bucket_mgr_name;
+    use ceh_net::{PortRx, SimNetwork};
+    use ceh_types::{BucketLink, DeleteOutcome, PageId, Pseudokey};
+    use std::time::Duration;
+
+    struct Rig {
+        net: SimNetwork<Msg>,
+        dir_port: PortId,
+        /// The fake bucket manager's inbox (registered as manager 0).
+        bucket_rx: PortRx<Msg>,
+        user_rx: PortRx<Msg>,
+        handle: std::thread::JoinHandle<()>,
+    }
+
+    fn rig(max_attempts: Option<u32>) -> Rig {
+        let net: SimNetwork<Msg> = SimNetwork::default();
+        let (bucket_port, bucket_rx) = net.create_port();
+        net.register_name(bucket_mgr_name(ceh_types::ManagerId(0)), bucket_port);
+        let (_user_port, user_rx) = net.create_port();
+        let (dir_port, dir_rx) = net.create_port();
+        let replica = DirReplica::new(
+            8,
+            BucketLink::new(ceh_types::ManagerId(0), PageId(0)),
+        );
+        let mut mgr = DirectoryManager::new(0, 1, net.clone(), dir_rx, replica);
+        if let Some(n) = max_attempts {
+            mgr.set_max_attempts(n);
+        }
+        let handle = std::thread::spawn(move || mgr.run());
+        Rig { net, dir_port, bucket_rx, user_rx, handle }
+    }
+
+    fn recv(rx: &PortRx<Msg>) -> Msg {
+        rx.recv_timeout(Duration::from_secs(5)).expect("timed out")
+    }
+
+    impl Rig {
+        fn shutdown(self) {
+            self.net.send(self.dir_port, Msg::Shutdown);
+            self.handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn request_is_forwarded_with_fresh_lookup_and_context() {
+        let r = rig(None);
+        r.net.send(
+            r.dir_port,
+            Msg::Request {
+                op: OpKind::Find,
+                key: Key(42),
+                value: Value(0),
+                user_port: r.user_rx.id(),
+            },
+        );
+        let Msg::BucketOp(env) = recv(&r.bucket_rx) else { panic!("expected BucketOp") };
+        assert_eq!(env.op, OpKind::Find);
+        assert_eq!(env.key, Key(42));
+        assert_eq!(env.page, PageId(0), "depth-0 replica routes everything to the root");
+        assert_eq!(env.pseudokey, hash_key(Key(42)));
+        assert_eq!(env.attempt, 0);
+        r.shutdown();
+    }
+
+    #[test]
+    fn failed_bucketdone_redrives_with_incremented_attempt() {
+        let r = rig(None);
+        r.net.send(
+            r.dir_port,
+            Msg::Request {
+                op: OpKind::Delete,
+                key: Key(7),
+                value: Value(0),
+                user_port: r.user_rx.id(),
+            },
+        );
+        let Msg::BucketOp(env) = recv(&r.bucket_rx) else { panic!() };
+        // Bucket level says "try again" (the distributed label-A path).
+        r.net.send(
+            env.dirmgr_port,
+            Msg::Bucketdone { txn: env.txn, success: false, outcome: None },
+        );
+        let Msg::BucketOp(env2) = recv(&r.bucket_rx) else { panic!() };
+        assert_eq!(env2.txn, env.txn, "same transaction re-driven");
+        assert_eq!(env2.attempt, 1);
+        // Now succeed: the user hears the outcome.
+        r.net.send(
+            env2.dirmgr_port,
+            Msg::Bucketdone {
+                txn: env2.txn,
+                success: true,
+                outcome: Some(UserOutcome::Deleted(DeleteOutcome::Deleted)),
+            },
+        );
+        match recv(&r.user_rx) {
+            Msg::UserReply { outcome: UserOutcome::Deleted(DeleteOutcome::Deleted) } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        r.shutdown();
+    }
+
+    #[test]
+    fn attempt_cap_fails_the_request_to_the_user() {
+        let r = rig(Some(3));
+        r.net.send(
+            r.dir_port,
+            Msg::Request {
+                op: OpKind::Delete,
+                key: Key(7),
+                value: Value(0),
+                user_port: r.user_rx.id(),
+            },
+        );
+        // Refuse forever.
+        for _ in 0..3 {
+            let Msg::BucketOp(env) = recv(&r.bucket_rx) else { panic!() };
+            r.net.send(
+                env.dirmgr_port,
+                Msg::Bucketdone { txn: env.txn, success: false, outcome: None },
+            );
+        }
+        match recv(&r.user_rx) {
+            Msg::UserReply { outcome: UserOutcome::Failed } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        r.shutdown();
+    }
+
+    #[test]
+    fn split_update_reroutes_the_retry_and_acks_are_counted() {
+        let r = rig(None);
+        r.net.send(
+            r.dir_port,
+            Msg::Request {
+                op: OpKind::Insert,
+                key: Key(1), // hash_key(1) is odd or even; we read it from the envelope
+                value: Value(10),
+                user_port: r.user_rx.id(),
+            },
+        );
+        let Msg::BucketOp(env) = recv(&r.bucket_rx) else { panic!() };
+        // Report a split that failed to place the key (done = false):
+        // the manager must apply the update and re-drive against the
+        // post-split directory.
+        let new_page = PageId(9);
+        r.net.send(
+            env.dirmgr_port,
+            Msg::Update {
+                txn: env.txn,
+                success: false,
+                outcome: None,
+                update: DirUpdate::Split {
+                    pseudokey: env.pseudokey,
+                    old_localdepth: 0,
+                    expected_version: 0,
+                    new_version: 1,
+                    new_bucket: BucketLink::new(ceh_types::ManagerId(0), new_page),
+                },
+            },
+        );
+        let Msg::BucketOp(env2) = recv(&r.bucket_rx) else { panic!() };
+        assert_eq!(env2.txn, env.txn);
+        let expected_page =
+            if env.pseudokey.0 & 1 == 1 { new_page } else { PageId(0) };
+        assert_eq!(env2.page, expected_page, "re-drive uses the post-split directory");
+        // Finish it.
+        r.net.send(
+            env2.dirmgr_port,
+            Msg::Bucketdone {
+                txn: env2.txn,
+                success: true,
+                outcome: Some(UserOutcome::Inserted(ceh_types::InsertOutcome::Inserted)),
+            },
+        );
+        match recv(&r.user_rx) {
+            Msg::UserReply { outcome: UserOutcome::Inserted(_) } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        r.shutdown();
+    }
+
+    #[test]
+    fn merge_copyupdate_ack_deferred_until_idle() {
+        // Replica B receives a merge copyupdate while it has a request in
+        // flight: the ack must not arrive until that request completes.
+        let r = rig(None);
+        let (ack_port, ack_rx) = r.net.create_port();
+        // Put a request in flight (rho = 1).
+        r.net.send(
+            r.dir_port,
+            Msg::Request {
+                op: OpKind::Find,
+                key: Key(3),
+                value: Value(0),
+                user_port: r.user_rx.id(),
+            },
+        );
+        let Msg::BucketOp(env) = recv(&r.bucket_rx) else { panic!() };
+        // Set up: apply a split first so the merge below is applicable.
+        r.net.send(
+            r.dir_port,
+            Msg::Copyupdate {
+                update: DirUpdate::Split {
+                    pseudokey: Pseudokey(0),
+                    old_localdepth: 0,
+                    expected_version: 0,
+                    new_version: 1,
+                    new_bucket: BucketLink::new(ceh_types::ManagerId(0), PageId(5)),
+                },
+                ack_port,
+            },
+        );
+        // Split acks are immediate.
+        match recv(&ack_rx) {
+            Msg::CopyAck => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Merge copyupdate: ack must be *deferred* (rho = 1).
+        r.net.send(
+            r.dir_port,
+            Msg::Copyupdate {
+                update: DirUpdate::Merge {
+                    pseudokey: Pseudokey(0),
+                    old_localdepth: 1,
+                    expected_v0: 1,
+                    expected_v1: 1,
+                    new_version: 2,
+                    merged: BucketLink::new(ceh_types::ManagerId(0), PageId(0)),
+                    garbage: BucketLink::new(ceh_types::ManagerId(0), PageId(5)),
+                },
+                ack_port,
+            },
+        );
+        assert!(
+            matches!(
+                ack_rx.recv_timeout(Duration::from_millis(100)),
+                Err(ceh_net::RecvError::Empty)
+            ),
+            "merge ack must wait for rho == 0"
+        );
+        // Complete the in-flight find: rho drops to 0 → ack released.
+        r.net.send(
+            env.dirmgr_port,
+            Msg::Bucketdone { txn: env.txn, success: true, outcome: None },
+        );
+        match recv(&ack_rx) {
+            Msg::CopyAck => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        r.shutdown();
+    }
+}

@@ -1,0 +1,303 @@
+//! The message vocabulary — one variant per message id of Figure 11,
+//! with the fields of Figure 12.
+//!
+//! Deviations from the figures (documented per DESIGN.md):
+//!
+//! * `Request` carries the value to insert (the paper's index stores keys
+//!   plus "associated information"; the figures elide the value).
+//! * `Bucketdone` carries the user-visible outcome so the directory
+//!   manager can answer the user — the figures track request completion
+//!   but never show the reply path for updates.
+//! * `Goahead` carries the records moved out of the deleted bucket, which
+//!   is empty at the paper's merge threshold (the lone record being
+//!   deleted) but not for the generalized thresholds this library
+//!   supports.
+
+use ceh_net::{MsgClass, PortId};
+use ceh_types::bucket::Bucket;
+use ceh_types::{
+    BucketLink, DeleteOutcome, InsertOutcome, Key, PageId, Pseudokey, Record, Value,
+};
+
+use crate::replica::DirUpdate;
+
+/// Which user operation a request/bucket message drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Look up a key.
+    Find,
+    /// Insert a key/value.
+    Insert,
+    /// Delete a key.
+    Delete,
+}
+
+/// The reply a user ultimately receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserOutcome {
+    /// Result of a find.
+    Found(Option<Value>),
+    /// Result of an insert.
+    Inserted(InsertOutcome),
+    /// Result of a delete.
+    Deleted(DeleteOutcome),
+    /// The request could not be completed after exhausting re-drives
+    /// (surfaced to the client as an availability error).
+    Failed,
+}
+
+/// Everything a bucket slave needs to carry on with a request — the
+/// common fields of the `Find`, `Insert`, `Delete`, and `Wrongbucket`
+/// messages of Figure 12.
+#[derive(Debug, Clone)]
+pub struct OpEnvelope {
+    /// Which operation.
+    pub op: OpKind,
+    /// The target key.
+    pub key: Key,
+    /// Value for inserts.
+    pub value: Value,
+    /// Transaction number (directory manager context id).
+    pub txn: u64,
+    /// The page address to start from, meaningful to the receiving
+    /// manager.
+    pub page: PageId,
+    /// The user's reply port.
+    pub user_port: PortId,
+    /// The coordinating directory manager's reply port.
+    pub dirmgr_port: PortId,
+    /// The pseudokey (precomputed by the directory manager, Figure 13).
+    pub pseudokey: Pseudokey,
+    /// How many times the coordinating directory manager has re-driven
+    /// this request; slaves stop attempting merges after a few (the same
+    /// bounded degradation as the centralized Solution 2).
+    pub attempt: u32,
+}
+
+/// All messages exchanged in the distributed system.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// User → directory manager: perform an operation.
+    Request {
+        /// The operation.
+        op: OpKind,
+        /// The key.
+        key: Key,
+        /// The value (inserts; ignored otherwise).
+        value: Value,
+        /// Where the user expects the reply.
+        user_port: PortId,
+    },
+    /// Terminal reply to the user.
+    UserReply {
+        /// The outcome.
+        outcome: UserOutcome,
+    },
+    /// Directory manager → bucket manager: run an operation at a bucket.
+    BucketOp(OpEnvelope),
+    /// Bucket manager → bucket manager: the search must continue on your
+    /// site; the sender holds its lock until you ack (hand-over-hand
+    /// across sites).
+    Wrongbucket {
+        /// The request being forwarded.
+        env: OpEnvelope,
+        /// The forwarding slave's reply port (for the ack).
+        buckmgr_port: PortId,
+    },
+    /// Ack for `Wrongbucket`: the receiver has locked the next bucket;
+    /// the forwarder may release its lock.
+    WrongbucketAck,
+    /// Bucket slave → directory manager: the operation finished (or
+    /// failed and should be re-driven) without directory changes.
+    Bucketdone {
+        /// The transaction this concludes.
+        txn: u64,
+        /// False = re-drive the request with fresh directory state.
+        success: bool,
+        /// The user-visible outcome when `success`.
+        outcome: Option<UserOutcome>,
+    },
+    /// Bucket slave → its directory manager: a split or merge happened;
+    /// update the directory (and broadcast to the other replicas).
+    Update {
+        /// The transaction that caused it.
+        txn: u64,
+        /// False for a split that failed to place the key: after the
+        /// directory update, re-drive the request.
+        success: bool,
+        /// The user-visible outcome when `success`.
+        outcome: Option<UserOutcome>,
+        /// The directory modification itself.
+        update: DirUpdate,
+    },
+    /// Directory manager → directory manager: apply this update to your
+    /// replica and ack to `ack_port`.
+    Copyupdate {
+        /// The directory modification.
+        update: DirUpdate,
+        /// Where to send the ack.
+        ack_port: PortId,
+    },
+    /// Ack for `Copyupdate` (deferred at the replica until it has no
+    /// requests in flight, for merge updates).
+    CopyAck,
+    /// Bucket slave → bucket manager front end: store this freshly split
+    /// half on your site.
+    Splitbucket {
+        /// Where to send the reply.
+        reply_port: PortId,
+        /// The new bucket's contents.
+        half2: Box<Bucket>,
+    },
+    /// Reply to `Splitbucket`: where the half landed.
+    Splitreply {
+        /// The page/manager now holding the new half.
+        link: BucketLink,
+    },
+    /// Deleter → partner's manager: z is in the "0" partner; merge the
+    /// "1" partner (at `partner`) down into it.
+    Mergedown {
+        /// The partner's page address on your site.
+        partner: PageId,
+        /// The deleter's bucket's localdepth; merge only if equal.
+        localdepth: u32,
+        /// Where to send the reply.
+        reply_port: PortId,
+    },
+    /// Reply to `Mergedown`: partner contents if merging may proceed.
+    MDReply {
+        /// The partner's contents (when `success`).
+        buffer: Option<Box<Bucket>>,
+        /// Whether the partner was mergeable (localdepths matched).
+        success: bool,
+    },
+    /// Deleter → partner's manager: z is in the "1" partner (`target`,
+    /// on the requesting manager); lock the "0" partner (at `partner`)
+    /// and hold while the deleter validates.
+    Mergeup {
+        /// The "0" partner's page on your site.
+        partner: PageId,
+        /// The deleter's bucket (the "1" partner) — for the
+        /// `brother.next == target` check.
+        target: PageId,
+        /// The manager owning `target`.
+        target_mgr: ceh_types::ManagerId,
+        /// Where to send the reply.
+        reply_port: PortId,
+    },
+    /// Reply to `Mergeup`.
+    MUReply {
+        /// The "0" partner's localdepth.
+        localdepth: u32,
+        /// The "0" partner's version.
+        version: u64,
+        /// Port awaiting the `Goahead` (when `success`).
+        goahead_port: PortId,
+        /// Whether `partner.next == target` held (merging may proceed).
+        success: bool,
+        /// The "0" partner's record count (for the merged-capacity
+        /// check under generalized merge thresholds).
+        count: usize,
+    },
+    /// Deleter → waiting `Mergeup` handler: commit or abort the merge.
+    Goahead {
+        /// Commit?
+        success: bool,
+        /// New `next` for the survivor (the deleted bucket's old next).
+        next: BucketLink,
+        /// New version for the survivor.
+        version: u64,
+        /// Records moved out of the deleted bucket (empty at the paper's
+        /// merge threshold).
+        moved: Vec<Record>,
+    },
+    /// Directory manager → bucket manager: these pages are garbage; ξ-lock
+    /// and deallocate each.
+    GarbageCollect {
+        /// The pages to reclaim.
+        pages: Vec<PageId>,
+    },
+    /// Test/diagnostic: ask a directory manager for its state.
+    Status {
+        /// Where to send the reply.
+        reply_port: PortId,
+    },
+    /// Reply to `Status`.
+    StatusReply {
+        /// In-flight request count (the ρ counter of Figure 13).
+        rho: usize,
+        /// Outstanding unacked copyupdates (the α counter).
+        alpha: usize,
+        /// Updates parked waiting for predecessors.
+        parked: usize,
+        /// Replica depth.
+        depth: u32,
+        /// Replica entries (page links with versions).
+        entries: Vec<crate::replica::DirEntry>,
+        /// Garbage pages remembered but not yet collected.
+        pending_garbage: usize,
+    },
+    /// Orderly shutdown of a manager loop.
+    Shutdown,
+}
+
+impl MsgClass for Msg {
+    fn class(&self) -> &'static str {
+        match self {
+            Msg::Request { .. } => "request",
+            Msg::UserReply { .. } => "user-reply",
+            Msg::BucketOp(env) => match env.op {
+                OpKind::Find => "find",
+                OpKind::Insert => "insert",
+                OpKind::Delete => "delete",
+            },
+            Msg::Wrongbucket { .. } => "wrongbucket",
+            Msg::WrongbucketAck => "wrongbucket-ack",
+            Msg::Bucketdone { .. } => "bucketdone",
+            Msg::Update { .. } => "update",
+            Msg::Copyupdate { .. } => "copyupdate",
+            Msg::CopyAck => "copy-ack",
+            Msg::Splitbucket { .. } => "splitbucket",
+            Msg::Splitreply { .. } => "splitreply",
+            Msg::Mergedown { .. } => "mergedown",
+            Msg::MDReply { .. } => "md-reply",
+            Msg::Mergeup { .. } => "mergeup",
+            Msg::MUReply { .. } => "mu-reply",
+            Msg::Goahead { .. } => "goahead",
+            Msg::GarbageCollect { .. } => "garbagecollect",
+            Msg::Status { .. } => "status",
+            Msg::StatusReply { .. } => "status-reply",
+            Msg::Shutdown => "shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_figure_11_taxonomy() {
+        let env = OpEnvelope {
+            op: OpKind::Find,
+            key: Key(1),
+            value: Value(0),
+            txn: 0,
+            page: PageId(0),
+            user_port: PortId(1),
+            dirmgr_port: PortId(2),
+            pseudokey: Pseudokey(0),
+            attempt: 0,
+        };
+        assert_eq!(Msg::BucketOp(env.clone()).class(), "find");
+        let mut ins = env.clone();
+        ins.op = OpKind::Insert;
+        assert_eq!(Msg::BucketOp(ins).class(), "insert");
+        assert_eq!(
+            Msg::Wrongbucket { env, buckmgr_port: PortId(3) }.class(),
+            "wrongbucket"
+        );
+        assert_eq!(Msg::CopyAck.class(), "copy-ack");
+        assert_eq!(Msg::Shutdown.class(), "shutdown");
+    }
+}

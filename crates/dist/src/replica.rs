@@ -1,0 +1,452 @@
+//! The directory replica and the version-ordered update algebra.
+//!
+//! "The ordering of different directory modifications due to operations
+//! on the same bucket should be the same across all copies and determined
+//! by the order in which the bucket operations are performed. Each bucket
+//! contains a version number that increases with each update that causes
+//! a directory update." (§3)
+//!
+//! A [`DirUpdate`] carries the *expected* (pre-update) versions of the
+//! entries it rewrites and the new version it installs. [`DirReplica::apply`]
+//! returns:
+//!
+//! * [`ApplyResult::Applied`] — versions matched; the entries now carry
+//!   the new version;
+//! * [`ApplyResult::Parked`] — some affected entry is older than
+//!   expected: a predecessor update has not arrived yet. The caller
+//!   parks the message and retries after each successful application
+//!   (`save` / `ReleaseSaved` in Figure 13);
+//! * [`ApplyResult::Stale`] — the entries are already at (or past) the
+//!   update's new version: a duplicate or an echo of something this
+//!   replica has seen; drop it.
+//!
+//! This is exactly the machinery that defuses the paper's example: a
+//! split immediately followed by a merge of the two halves, heard by a
+//! replica in the opposite order. The merge expects the post-split
+//! versions, parks, the split applies, the merge follows — and only then
+//! may the garbage bucket be deallocated.
+
+use ceh_types::bits::mask;
+use ceh_types::{BucketLink, Error, ManagerId, PageId, Pseudokey, Result};
+
+/// One directory entry: a bucket link plus the version it was last
+/// updated at (Figure 10 shows "a version field introduced into each
+/// bucket and each directory entry").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// The bucket manager owning the page.
+    pub mgr: ManagerId,
+    /// The page address at that manager.
+    pub page: PageId,
+    /// Version of the bucket this entry last tracked.
+    pub version: u64,
+}
+
+/// Outcome of [`DirReplica::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyResult {
+    /// The update took effect.
+    Applied,
+    /// A predecessor update is missing; retry after other applications.
+    Parked,
+    /// Already applied (duplicate); drop.
+    Stale,
+}
+
+/// A directory modification caused by one bucket-level operation.
+#[derive(Debug, Clone)]
+pub enum DirUpdate {
+    /// A bucket split: the "1"-side entries at depth `old_localdepth + 1`
+    /// move to `new_bucket`.
+    Split {
+        /// Pseudokey identifying the affected entry group.
+        pseudokey: Pseudokey,
+        /// The split bucket's localdepth *before* the split.
+        old_localdepth: u32,
+        /// The split bucket's version before the split.
+        expected_version: u64,
+        /// Version of both halves after the split (`expected + 1`).
+        new_version: u64,
+        /// Where the new "1" half lives.
+        new_bucket: BucketLink,
+    },
+    /// A merge: all entries of the pair move to `merged` at
+    /// `old_localdepth - 1`.
+    Merge {
+        /// Pseudokey identifying the affected entry group.
+        pseudokey: Pseudokey,
+        /// The partners' common localdepth before the merge.
+        old_localdepth: u32,
+        /// Pre-merge version of the surviving "0" partner.
+        expected_v0: u64,
+        /// Pre-merge version of the deleted "1" partner.
+        expected_v1: u64,
+        /// The survivor's version after the merge.
+        new_version: u64,
+        /// The surviving bucket.
+        merged: BucketLink,
+        /// The tombstone page to garbage-collect once every replica has
+        /// applied and acknowledged this update.
+        garbage: BucketLink,
+    },
+}
+
+impl DirUpdate {
+    /// The version this update installs.
+    pub fn new_version(&self) -> u64 {
+        match self {
+            DirUpdate::Split { new_version, .. } | DirUpdate::Merge { new_version, .. } => {
+                *new_version
+            }
+        }
+    }
+
+    /// The garbage link, for merge updates.
+    pub fn garbage(&self) -> Option<BucketLink> {
+        match self {
+            DirUpdate::Split { .. } => None,
+            DirUpdate::Merge { garbage, .. } => Some(*garbage),
+        }
+    }
+
+    /// Is this a merge (delete-side) update? Merge copyupdates get
+    /// deferred acks (the "equivalent of ξ-locking").
+    pub fn is_merge(&self) -> bool {
+        matches!(self, DirUpdate::Merge { .. })
+    }
+}
+
+/// One directory manager's full copy of the directory.
+#[derive(Debug, Clone)]
+pub struct DirReplica {
+    entries: Vec<DirEntry>,
+    depth: u32,
+    depthcount: u32,
+    max_depth: u32,
+}
+
+impl DirReplica {
+    /// A depth-0 replica pointing at the root bucket.
+    pub fn new(max_depth: u32, root: BucketLink) -> Self {
+        DirReplica {
+            entries: vec![DirEntry { mgr: root.manager, page: root.page, version: 0 }],
+            depth: 0,
+            depthcount: 1,
+            max_depth,
+        }
+    }
+
+    /// Restore a replica from recovered state (see
+    /// [`crate::Cluster::recover`]): `entries` must be exactly `2^depth`
+    /// long.
+    pub fn restore(max_depth: u32, entries: Vec<DirEntry>, depthcount: u32) -> Result<Self> {
+        if entries.is_empty() {
+            return Err(Error::Corrupt("restore: empty directory".into()));
+        }
+        let depth = entries.len().trailing_zeros();
+        if entries.len() != 1usize << depth {
+            return Err(Error::Corrupt(format!(
+                "restore: {} entries is not a power of two",
+                entries.len()
+            )));
+        }
+        if depth > max_depth {
+            return Err(Error::DirectoryFull { max_depth });
+        }
+        Ok(DirReplica { entries, depth, depthcount, max_depth })
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Current depthcount.
+    pub fn depthcount(&self) -> u32 {
+        self.depthcount
+    }
+
+    /// All entries (tests, Status replies).
+    pub fn entries(&self) -> &[DirEntry] {
+        &self.entries
+    }
+
+    /// `indexdirectory(pseudokey & mask(depth), &oldpage, &bucketmgr)`.
+    pub fn lookup(&self, pk: Pseudokey) -> DirEntry {
+        self.entries[pk.low_bits(self.depth) as usize]
+    }
+
+    fn entry_at(&self, bits: u64) -> &DirEntry {
+        &self.entries[(bits & mask(self.depth)) as usize]
+    }
+
+    fn set_group(&mut self, pattern: u64, d: u32, entry: DirEntry) {
+        // Every index whose low d bits equal `pattern`.
+        let step = 1usize << d;
+        let size = 1usize << self.depth;
+        let mut i = (pattern & mask(d)) as usize;
+        while i < size {
+            self.entries[i] = entry;
+            i += step;
+        }
+    }
+
+    fn double(&mut self) -> Result<()> {
+        if self.depth >= self.max_depth {
+            return Err(Error::DirectoryFull { max_depth: self.max_depth });
+        }
+        let old = self.entries.clone();
+        self.entries.extend_from_slice(&old);
+        self.depth += 1;
+        self.depthcount = 0;
+        Ok(())
+    }
+
+    fn halve(&mut self) {
+        loop {
+            debug_assert!(self.depth >= 1);
+            let half = 1usize << (self.depth - 1);
+            self.entries.truncate(half);
+            self.depth -= 1;
+            if self.depth == 0 {
+                self.depthcount = 1;
+                return;
+            }
+            let quarter = 1usize << (self.depth - 1);
+            let mut count = 0u32;
+            for i in 0..quarter {
+                if self.entries[i].page != self.entries[i + quarter].page
+                    || self.entries[i].mgr != self.entries[i + quarter].mgr
+                {
+                    count += 2;
+                }
+            }
+            self.depthcount = count;
+            if count != 0 || self.depth <= 1 {
+                return;
+            }
+        }
+    }
+
+    /// Try to apply an update; see the module docs for the version rules.
+    pub fn apply(&mut self, upd: &DirUpdate) -> Result<ApplyResult> {
+        match *upd {
+            DirUpdate::Split {
+                pseudokey,
+                old_localdepth: d,
+                expected_version,
+                new_version,
+                new_bucket,
+            } => {
+                let cur = *self.entry_at(pseudokey.low_bits(d.min(self.depth)));
+                if cur.version >= new_version {
+                    return Ok(ApplyResult::Stale);
+                }
+                if cur.version != expected_version {
+                    return Ok(ApplyResult::Parked);
+                }
+                if d == self.depth {
+                    self.double()?;
+                } else if d > self.depth {
+                    // Version matched but the replica is shallower than
+                    // the split's localdepth — a predecessor split that
+                    // would have deepened us has not applied yet.
+                    return Ok(ApplyResult::Parked);
+                }
+                let p0 = pseudokey.low_bits(d); // pattern with bit d+1 clear
+                let p1 = p0 | ceh_types::partner_bit(d + 1);
+                let zero_side = DirEntry { mgr: cur.mgr, page: cur.page, version: new_version };
+                let one_side =
+                    DirEntry { mgr: new_bucket.manager, page: new_bucket.page, version: new_version };
+                self.set_group(p0, d + 1, zero_side);
+                self.set_group(p1, d + 1, one_side);
+                if d + 1 == self.depth {
+                    self.depthcount += 2;
+                }
+                Ok(ApplyResult::Applied)
+            }
+            DirUpdate::Merge {
+                pseudokey,
+                old_localdepth: d,
+                expected_v0,
+                expected_v1,
+                new_version,
+                merged,
+                garbage: _,
+            } => {
+                // Staleness first, and against the *survivor group* at
+                // whatever depth we currently have: once this merge (or
+                // anything after it) has applied, the covering entry's
+                // version is ≥ new_version even if the directory has
+                // since halved below `d`. Checking the depth guard first
+                // would park a duplicate of an applied merge forever.
+                let probe = pseudokey.low_bits((d - 1).min(self.depth));
+                if self.entry_at(probe).version >= new_version {
+                    return Ok(ApplyResult::Stale);
+                }
+                if d > self.depth {
+                    // Can't even address both partners yet.
+                    return Ok(ApplyResult::Parked);
+                }
+                let bits = pseudokey.low_bits(d);
+                let p1 = bits | ceh_types::partner_bit(d);
+                let p0 = p1 ^ ceh_types::partner_bit(d);
+                let e0 = *self.entry_at(p0);
+                let e1 = *self.entry_at(p1);
+                if e0.version != expected_v0 || e1.version != expected_v1 {
+                    return Ok(ApplyResult::Parked);
+                }
+                let entry = DirEntry { mgr: merged.manager, page: merged.page, version: new_version };
+                self.set_group(p0 & mask(d - 1), d - 1, entry);
+                if d == self.depth {
+                    self.depthcount = self.depthcount.saturating_sub(2);
+                    if self.depthcount == 0 && self.depth > 1 {
+                        self.halve();
+                    }
+                }
+                Ok(ApplyResult::Applied)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(m: u32, p: u64) -> BucketLink {
+        BucketLink::new(ManagerId(m), PageId(p))
+    }
+
+    fn split(pk: u64, d: u32, ev: u64, new: BucketLink) -> DirUpdate {
+        DirUpdate::Split {
+            pseudokey: Pseudokey(pk),
+            old_localdepth: d,
+            expected_version: ev,
+            new_version: ev + 1,
+            new_bucket: new,
+        }
+    }
+
+    #[test]
+    fn split_from_depth_zero_doubles() {
+        let mut r = DirReplica::new(8, link(0, 0));
+        assert_eq!(r.apply(&split(0, 0, 0, link(0, 1))).unwrap(), ApplyResult::Applied);
+        assert_eq!(r.depth(), 1);
+        assert_eq!(r.lookup(Pseudokey(0)).page, PageId(0));
+        assert_eq!(r.lookup(Pseudokey(1)).page, PageId(1));
+        assert_eq!(r.depthcount(), 2);
+        assert_eq!(r.lookup(Pseudokey(0)).version, 1);
+    }
+
+    #[test]
+    fn duplicate_split_is_stale() {
+        let mut r = DirReplica::new(8, link(0, 0));
+        let u = split(0, 0, 0, link(0, 1));
+        assert_eq!(r.apply(&u).unwrap(), ApplyResult::Applied);
+        assert_eq!(r.apply(&u).unwrap(), ApplyResult::Stale);
+    }
+
+    #[test]
+    fn out_of_order_splits_park_until_ready() {
+        let mut r = DirReplica::new(8, link(0, 0));
+        // Second-generation split (bucket 0 at localdepth 1, version 1)
+        // arrives before the first-generation one.
+        let second = split(0b00, 1, 1, link(0, 2));
+        assert_eq!(r.apply(&second).unwrap(), ApplyResult::Parked);
+        let first = split(0, 0, 0, link(0, 1));
+        assert_eq!(r.apply(&first).unwrap(), ApplyResult::Applied);
+        assert_eq!(r.apply(&second).unwrap(), ApplyResult::Applied);
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.lookup(Pseudokey(0b00)).page, PageId(0));
+        assert_eq!(r.lookup(Pseudokey(0b10)).page, PageId(2));
+        assert_eq!(r.lookup(Pseudokey(0b01)).page, PageId(1));
+        assert_eq!(r.lookup(Pseudokey(0b11)).page, PageId(1));
+    }
+
+    #[test]
+    fn papers_split_then_merge_reordering_example() {
+        // §3: "Suppose first a split operation is performed almost
+        // immediately followed by a merge involving those two buckets.
+        // Imagine a directory manager that hears about these updates in
+        // the opposite order."
+        let mut r = DirReplica::new(8, link(0, 0));
+        r.apply(&split(0, 0, 0, link(0, 1))).unwrap(); // depth 1: [p0, p1] v1
+        // Now: split p1 (ld 1, v1) into p1/p2; then merge them back.
+        let s = split(0b1, 1, 1, link(0, 2));
+        let m = DirUpdate::Merge {
+            pseudokey: Pseudokey(0b01),
+            old_localdepth: 2,
+            expected_v0: 2,
+            expected_v1: 2,
+            new_version: 3,
+            merged: link(0, 1),
+            garbage: link(0, 2),
+        };
+        // Merge first: must park (the split's versions aren't there).
+        assert_eq!(r.apply(&m).unwrap(), ApplyResult::Parked);
+        assert_eq!(r.apply(&s).unwrap(), ApplyResult::Applied);
+        assert_eq!(r.apply(&m).unwrap(), ApplyResult::Applied);
+        // Net effect: back to [p0, p1], with p1 at version 3.
+        assert_eq!(r.depth(), 1);
+        assert_eq!(r.lookup(Pseudokey(0b1)).page, PageId(1));
+        assert_eq!(r.lookup(Pseudokey(0b1)).version, 3);
+    }
+
+    #[test]
+    fn merge_at_full_depth_halves_when_empty() {
+        let mut r = DirReplica::new(8, link(0, 0));
+        r.apply(&split(0, 0, 0, link(0, 1))).unwrap(); // depth 1, count 2
+        r.apply(&split(0b0, 1, 1, link(0, 2))).unwrap(); // depth 2: p0/p2 at ld2, count 2
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.depthcount(), 2);
+        // Merge p0/p2 back.
+        let m = DirUpdate::Merge {
+            pseudokey: Pseudokey(0b00),
+            old_localdepth: 2,
+            expected_v0: 2,
+            expected_v1: 2,
+            new_version: 3,
+            merged: link(0, 0),
+            garbage: link(0, 2),
+        };
+        assert_eq!(r.apply(&m).unwrap(), ApplyResult::Applied);
+        assert_eq!(r.depth(), 1, "depthcount hit zero → halved");
+        assert_eq!(r.lookup(Pseudokey(0)).page, PageId(0));
+        assert_eq!(r.lookup(Pseudokey(1)).page, PageId(1));
+    }
+
+    #[test]
+    fn merge_parks_until_both_versions_present() {
+        let mut r = DirReplica::new(8, link(0, 0));
+        r.apply(&split(0, 0, 0, link(0, 1))).unwrap();
+        // A merge whose "1"-side version is ahead of what we have.
+        let m = DirUpdate::Merge {
+            pseudokey: Pseudokey(0b0),
+            old_localdepth: 1,
+            expected_v0: 1,
+            expected_v1: 5,
+            new_version: 6,
+            merged: link(0, 0),
+            garbage: link(0, 1),
+        };
+        assert_eq!(r.apply(&m).unwrap(), ApplyResult::Parked);
+    }
+
+    #[test]
+    fn cross_manager_links_roundtrip() {
+        let mut r = DirReplica::new(8, link(0, 0));
+        r.apply(&split(0, 0, 0, link(3, 9))).unwrap();
+        let e = r.lookup(Pseudokey(1));
+        assert_eq!(e.mgr, ManagerId(3));
+        assert_eq!(e.page, PageId(9));
+    }
+
+    #[test]
+    fn split_past_max_depth_errors() {
+        let mut r = DirReplica::new(1, link(0, 0));
+        r.apply(&split(0, 0, 0, link(0, 1))).unwrap();
+        let too_deep = split(0b0, 1, 1, link(0, 2));
+        assert!(r.apply(&too_deep).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-site shared state for a bucket manager.
+//!
+//! "For simplicity, the bucket manager is presented here as a front end
+//! process and a set of associated processes that are assumed to reside
+//! at the same site and share secondary memory." (§3) — the front end
+//! and its slaves share this struct: the site's page store (secondary
+//! memory), the site's ρ/α/ξ lock manager, and the page quota that
+//! drives `AvailablePages()` / remote splits.
+
+use std::sync::Arc;
+
+use ceh_locks::{LockId, LockManager, LockMode, OwnerId};
+use ceh_net::{PortId, SimNetwork};
+use ceh_storage::{PageBuf, PageStore};
+use ceh_types::bucket::Bucket;
+use ceh_types::{HashFileConfig, ManagerId, PageId, Result};
+
+use crate::msg::Msg;
+
+/// Shared state of one bucket-manager site.
+pub(crate) struct Site {
+    /// This manager's identity.
+    pub id: ManagerId,
+    /// The site's secondary memory.
+    pub store: Arc<PageStore>,
+    /// The site's lock manager (locks are site-local; cross-site mutual
+    /// exclusion is by message protocol).
+    pub locks: Arc<LockManager>,
+    /// Hash-file tuning (bucket capacity, merge threshold).
+    pub cfg: HashFileConfig,
+    /// `AvailablePages()`: allocate locally while under this many live
+    /// pages; beyond it, new split halves go to another manager.
+    pub page_quota: Option<usize>,
+    /// Every bucket manager in the cluster, for `MgrWithSpace()`.
+    pub all_managers: Vec<ManagerId>,
+    /// The network.
+    pub net: SimNetwork<Msg>,
+    /// Wrong-bucket recovery hops taken by slaves on this site (both
+    /// same-site `next` chases and hops that were forwarded in). The
+    /// staleness experiment's primary observable: cross-site recoveries
+    /// show up as `wrongbucket` messages, but same-site ones only here.
+    pub recoveries: std::sync::atomic::AtomicU64,
+}
+
+impl Site {
+    /// `getbucket`.
+    pub fn getbucket(&self, page: PageId, buf: &mut PageBuf) -> Result<Bucket> {
+        self.store.read(page, buf)?;
+        Bucket::decode(buf)
+    }
+
+    /// `putbucket`.
+    pub fn putbucket(&self, page: PageId, bucket: &Bucket, buf: &mut PageBuf) -> Result<()> {
+        bucket.encode(buf)?;
+        self.store.write(page, buf)
+    }
+
+    /// Fresh page-sized buffer.
+    pub fn new_buf(&self) -> PageBuf {
+        PageBuf::zeroed(self.store.page_size())
+    }
+
+    /// `AvailablePages()`: may this site take another bucket?
+    pub fn available_pages(&self) -> bool {
+        match self.page_quota {
+            None => true,
+            Some(q) => self.store.allocated_pages() < q,
+        }
+    }
+
+    /// `MgrWithSpace()`: pick another manager to host a split half.
+    /// Round-robin from our own id; the paper leaves placement policy
+    /// open ("allocating buckets to servers on any basis other than
+    /// availability of space is a hard problem … not considered here").
+    pub fn mgr_with_space(&self) -> ManagerId {
+        let n = self.all_managers.len();
+        debug_assert!(n > 0);
+        if n == 1 {
+            return self.id;
+        }
+        let my_pos = self
+            .all_managers
+            .iter()
+            .position(|&m| m == self.id)
+            .expect("self in manager list");
+        self.all_managers[(my_pos + 1) % n]
+    }
+
+    /// Resolve a manager id to its front-end port (`namelookup`).
+    pub fn bucket_port(&self, mgr: ManagerId) -> Option<PortId> {
+        self.net.lookup(&bucket_mgr_name(mgr))
+    }
+
+    /// Lock helpers mirroring the figures' vocabulary.
+    pub fn lock(&self, owner: OwnerId, page: PageId, mode: LockMode) {
+        self.locks.lock(owner, LockId::Page(page), mode);
+    }
+
+    /// Unlock a page lock taken with [`Site::lock`].
+    pub fn unlock(&self, owner: OwnerId, page: PageId, mode: LockMode) {
+        self.locks.unlock(owner, LockId::Page(page), mode);
+    }
+}
+
+/// The registered name of a bucket manager's front-end port.
+pub(crate) fn bucket_mgr_name(mgr: ManagerId) -> String {
+    format!("bucket-mgr-{}", mgr.0)
+}
+
+/// The registered name of a directory manager's port.
+pub(crate) fn dir_mgr_name(idx: usize) -> String {
+    format!("dir-mgr-{idx}")
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use ceh_types::bucket::Bucket;
+
+    /// Build a standalone site for protocol-handler unit tests.
+    pub(crate) fn test_site(id: u32, managers: u32, quota: Option<usize>) -> Arc<Site> {
+        let cfg = HashFileConfig::tiny().with_bucket_capacity(4);
+        let store = Arc::new(ceh_storage::PageStore::new(ceh_storage::PageStoreConfig {
+            page_size: Bucket::page_size_for(cfg.bucket_capacity),
+            ..Default::default()
+        }));
+        Arc::new(Site {
+            id: ManagerId(id),
+            store,
+            locks: Arc::new(LockManager::default()),
+            cfg,
+            page_quota: quota,
+            all_managers: (0..managers).map(ManagerId).collect(),
+            net: SimNetwork::default(),
+            recoveries: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    #[test]
+    fn available_pages_respects_quota() {
+        let site = test_site(0, 1, Some(2));
+        assert!(site.available_pages());
+        site.store.alloc().unwrap();
+        assert!(site.available_pages());
+        site.store.alloc().unwrap();
+        assert!(!site.available_pages(), "at quota");
+        let unquoted = test_site(0, 1, None);
+        for _ in 0..10 {
+            unquoted.store.alloc().unwrap();
+        }
+        assert!(unquoted.available_pages(), "no quota = always available");
+    }
+
+    #[test]
+    fn mgr_with_space_round_robins_and_skips_self() {
+        let site = test_site(1, 3, Some(1));
+        assert_eq!(site.mgr_with_space(), ManagerId(2));
+        let last = test_site(2, 3, Some(1));
+        assert_eq!(last.mgr_with_space(), ManagerId(0), "wraps around");
+        let solo = test_site(0, 1, Some(1));
+        assert_eq!(solo.mgr_with_space(), ManagerId(0), "single site must self-host");
+    }
+
+    #[test]
+    fn get_put_roundtrip_through_codec() {
+        let site = test_site(0, 1, None);
+        let page = site.store.alloc().unwrap();
+        let mut b = Bucket::new(2, 0b01);
+        b.add(ceh_types::Record::new(0b101, 7));
+        let mut buf = site.new_buf();
+        site.putbucket(page, &b, &mut buf).unwrap();
+        assert_eq!(site.getbucket(page, &mut buf).unwrap(), b);
+    }
+
+    #[test]
+    fn name_helpers_are_stable() {
+        assert_eq!(bucket_mgr_name(ManagerId(3)), "bucket-mgr-3");
+        assert_eq!(dir_mgr_name(0), "dir-mgr-0");
+    }
+}

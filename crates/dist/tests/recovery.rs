@@ -1,0 +1,109 @@
+//! Cluster durability: file-backed sites and whole-cluster recovery.
+
+use std::time::Duration;
+
+use ceh_dist::{Cluster, ClusterConfig};
+use ceh_net::LatencyModel;
+use ceh_types::{DeleteOutcome, HashFileConfig, InsertOutcome, Key, Value};
+
+fn durable_cfg(tag: &str, dirs: usize, sites: usize) -> ClusterConfig {
+    let data_dir =
+        std::env::temp_dir().join(format!("ceh-cluster-{}-{tag}", std::process::id()));
+    ClusterConfig {
+        dir_managers: dirs,
+        bucket_managers: sites,
+        file: HashFileConfig::tiny().with_bucket_capacity(4),
+        page_quota: Some(16),
+        latency: LatencyModel::none(),
+        data_dir: Some(data_dir),
+    }
+}
+
+#[test]
+fn cluster_survives_shutdown_and_recovery() {
+    let cfg = durable_cfg("roundtrip", 2, 2);
+
+    // Session 1: populate across both sites, then shut down cleanly.
+    {
+        let c = Cluster::start(cfg.clone()).unwrap();
+        let client = c.client();
+        for k in 0..200u64 {
+            assert_eq!(client.insert(Key(k), Value(k * 9)).unwrap(), InsertOutcome::Inserted);
+        }
+        for k in 0..50u64 {
+            assert_eq!(client.delete(Key(k)).unwrap(), DeleteOutcome::Deleted);
+        }
+        assert!(c.quiesce(Duration::from_secs(30)));
+        c.check_invariants().unwrap();
+        let pages = c.pages_per_site();
+        assert!(pages.iter().all(|&p| p > 0), "both sites used: {pages:?}");
+        c.shutdown();
+    }
+
+    // Session 2: recover from the site files.
+    let c = Cluster::recover(cfg.clone()).unwrap();
+    assert_eq!(c.total_records().unwrap(), 150);
+    let client = c.client();
+    for k in 0..50u64 {
+        assert_eq!(client.find(Key(k)).unwrap(), None, "deleted key {k} stayed deleted");
+    }
+    for k in 50..200u64 {
+        assert_eq!(client.find(Key(k)).unwrap(), Some(Value(k * 9)), "key {k} survived");
+    }
+    // The recovered cluster keeps restructuring correctly.
+    for k in 200..400u64 {
+        client.insert(Key(k), Value(k)).unwrap();
+    }
+    for k in 50..400u64 {
+        assert_eq!(client.delete(Key(k)).unwrap(), DeleteOutcome::Deleted, "key {k}");
+    }
+    assert!(c.quiesce(Duration::from_secs(30)));
+    c.check_invariants().unwrap();
+    assert_eq!(c.total_records().unwrap(), 0);
+    c.shutdown();
+    std::fs::remove_dir_all(cfg.data_dir.unwrap()).unwrap();
+}
+
+#[test]
+fn recovery_of_empty_cluster_initializes_fresh() {
+    let cfg = durable_cfg("empty", 1, 2);
+    {
+        let c = Cluster::start(cfg.clone()).unwrap();
+        c.shutdown(); // never wrote a record (root bucket only)
+    }
+    let c = Cluster::recover(cfg.clone()).unwrap();
+    let client = c.client();
+    assert_eq!(client.find(Key(1)).unwrap(), None);
+    client.insert(Key(1), Value(1)).unwrap();
+    assert_eq!(client.find(Key(1)).unwrap(), Some(Value(1)));
+    assert!(c.quiesce(Duration::from_secs(20)));
+    c.shutdown();
+    std::fs::remove_dir_all(cfg.data_dir.unwrap()).unwrap();
+}
+
+#[test]
+fn recover_requires_data_dir() {
+    let cfg = ClusterConfig::default();
+    assert!(Cluster::recover(cfg).is_err());
+}
+
+#[test]
+fn recovered_replicas_start_identical_on_every_manager() {
+    let cfg = durable_cfg("replicas", 3, 2);
+    {
+        let c = Cluster::start(cfg.clone()).unwrap();
+        let client = c.client();
+        for k in 0..120u64 {
+            client.insert(Key(k), Value(k)).unwrap();
+        }
+        assert!(c.quiesce(Duration::from_secs(30)));
+        c.shutdown();
+    }
+    let c = Cluster::recover(cfg.clone()).unwrap();
+    assert!(c.replicas_converged(), "all three managers restored the same directory");
+    let statuses = c.dir_statuses();
+    assert_eq!(statuses.len(), 3);
+    assert!(statuses[0].depth >= 4, "120 keys / capacity 4 needs depth");
+    c.shutdown();
+    std::fs::remove_dir_all(cfg.data_dir.unwrap()).unwrap();
+}

@@ -1,0 +1,18 @@
+//! # ceh-harness
+//!
+//! This crate exists to wire the repository-root `examples/` and `tests/`
+//! directories into cargo targets (cargo only discovers targets inside a
+//! package). It re-exports the workspace's public surface so the examples
+//! and integration tests can use one import root.
+
+#![warn(rust_2018_idioms)]
+
+pub use ceh_btree;
+pub use ceh_core;
+pub use ceh_dist;
+pub use ceh_locks;
+pub use ceh_net;
+pub use ceh_sequential;
+pub use ceh_storage;
+pub use ceh_types;
+pub use ceh_workload;

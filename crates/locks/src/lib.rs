@@ -1,0 +1,50 @@
+//! # ceh-locks — ρ/α/ξ locking
+//!
+//! The paper's concurrency control rests on three lock modes placed "on the
+//! directory (as a whole) and on individual buckets" (§2.1):
+//!
+//! | request ↓ \ existing → | ρ | α | ξ |
+//! |---|---|---|---|
+//! | **ρ** (read-lock)      | yes | yes | no |
+//! | **α** (selective lock) | yes | no  | no |
+//! | **ξ** (exclusive lock) | no  | no  | no |
+//!
+//! The α ("selective") mode is the interesting one: it admits concurrent
+//! readers but excludes other updaters — it is what lets inserters run
+//! under readers in both solutions.
+//!
+//! [`LockManager`] implements:
+//!
+//! * **fair FIFO granting "subject to the compatibility relationship"**
+//!   (the fairness assumption of §2.3): a request is granted only when it
+//!   is compatible with every granted lock *and* every earlier waiter, so
+//!   a stream of readers cannot starve a waiting ξ;
+//! * **conversion-style requests**: an owner that already holds a lock on
+//!   a resource (Figure 8's inserter holds ρ on the directory and then
+//!   requests α on it) bypasses the waiting queue and is checked against
+//!   granted locks only — precisely the reasoning of §2.5 ("a process
+//!   requesting an α-lock on the directory already holds a ρ-lock on it
+//!   (essentially doing lock conversion) … The lock cannot be a ξ-lock
+//!   because of the existing ρ-lock"). Queuing a conversion behind a
+//!   waiting ξ would deadlock; bypassing is both safe and faithful;
+//! * **reentrancy**: the same owner may acquire the same (resource, mode)
+//!   multiple times; counts nest;
+//! * **statistics** ([`LockStats`]) — grants, waits, wait time by mode —
+//!   consumed by the benchmark harness;
+//! * a **waits-for deadlock detector** ([`LockManager::detect_deadlock`]),
+//!   armed by the stress tests to check the §2.3/§2.5 deadlock-freedom
+//!   arguments empirically, with an optional watchdog that panics with the
+//!   cycle when a wait exceeds a configured bound.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod guard;
+mod manager;
+mod mode;
+mod stats;
+
+pub use guard::LockGuard;
+pub use manager::{LockManager, LockManagerConfig, OwnerId};
+pub use mode::{compatible, LockId, LockMode};
+pub use stats::{LockStats, LockStatsSnapshot};

@@ -1,0 +1,116 @@
+//! Lock modes, the compatibility matrix, and lockable resources.
+
+use ceh_types::PageId;
+
+/// The paper's three lock modes (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// ρ — read lock. Compatible with ρ and α.
+    Rho,
+    /// α — "selective" lock. Compatible with ρ only: admits readers,
+    /// excludes other updaters.
+    Alpha,
+    /// ξ — exclusive lock. Compatible with nothing.
+    Xi,
+}
+
+impl LockMode {
+    /// All modes, for table-driven tests.
+    pub const ALL: [LockMode; 3] = [LockMode::Rho, LockMode::Alpha, LockMode::Xi];
+}
+
+impl std::fmt::Display for LockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockMode::Rho => write!(f, "ρ"),
+            LockMode::Alpha => write!(f, "α"),
+            LockMode::Xi => write!(f, "ξ"),
+        }
+    }
+}
+
+/// The compatibility matrix of §2.1, verbatim.
+///
+/// `compatible(requested, existing)` answers: may a `requested`-mode lock
+/// be granted while an `existing`-mode lock is held by *another* process?
+/// The matrix is symmetric, but we keep the paper's request/existing
+/// framing.
+#[inline]
+pub const fn compatible(requested: LockMode, existing: LockMode) -> bool {
+    use LockMode::*;
+    match (requested, existing) {
+        (Rho, Rho) => true,
+        (Rho, Alpha) => true,
+        (Rho, Xi) => false,
+        (Alpha, Rho) => true,
+        (Alpha, Alpha) => false,
+        (Alpha, Xi) => false,
+        (Xi, _) => false,
+    }
+}
+
+/// A lockable component of the hash file: the directory as a whole, or a
+/// single bucket page.
+///
+/// "The locking protocol uses various types of locks placed on the
+/// directory (as a whole) and on individual buckets." (§2.1)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockId {
+    /// The directory, locked as one unit.
+    Directory,
+    /// A bucket, identified by its disk page address.
+    Page(PageId),
+}
+
+impl std::fmt::Display for LockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockId::Directory => write!(f, "directory"),
+            LockId::Page(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    /// Every cell of the paper's compatibility table.
+    #[test]
+    fn compatibility_matrix_matches_paper() {
+        // Rows: requested; columns: existing (ρ, α, ξ) — §2.1 table.
+        let expect = [
+            (Rho, [true, true, false]),
+            (Alpha, [true, false, false]),
+            (Xi, [false, false, false]),
+        ];
+        for (req, row) in expect {
+            for (existing, want) in LockMode::ALL.into_iter().zip(row) {
+                assert_eq!(
+                    compatible(req, existing),
+                    want,
+                    "request {req} against existing {existing}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for a in LockMode::ALL {
+            for b in LockMode::ALL {
+                assert_eq!(compatible(a, b), compatible(b, a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_greek() {
+        assert_eq!(LockMode::Rho.to_string(), "ρ");
+        assert_eq!(LockMode::Alpha.to_string(), "α");
+        assert_eq!(LockMode::Xi.to_string(), "ξ");
+        assert_eq!(LockId::Directory.to_string(), "directory");
+        assert_eq!(LockId::Page(PageId(4)).to_string(), "p4");
+    }
+}

@@ -1,0 +1,204 @@
+//! Lock-manager statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::mode::LockMode;
+
+/// Thread-safe counters maintained by the [`crate::LockManager`].
+#[derive(Debug, Default)]
+pub struct LockStats {
+    grants_rho: AtomicU64,
+    grants_alpha: AtomicU64,
+    grants_xi: AtomicU64,
+    releases: AtomicU64,
+    waits_rho: AtomicU64,
+    waits_alpha: AtomicU64,
+    waits_xi: AtomicU64,
+    wait_ns_rho: AtomicU64,
+    wait_ns_alpha: AtomicU64,
+    wait_ns_xi: AtomicU64,
+    conversions: AtomicU64,
+}
+
+impl LockStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn grant_counter(&self, mode: LockMode) -> &AtomicU64 {
+        match mode {
+            LockMode::Rho => &self.grants_rho,
+            LockMode::Alpha => &self.grants_alpha,
+            LockMode::Xi => &self.grants_xi,
+        }
+    }
+
+    fn wait_counter(&self, mode: LockMode) -> &AtomicU64 {
+        match mode {
+            LockMode::Rho => &self.waits_rho,
+            LockMode::Alpha => &self.waits_alpha,
+            LockMode::Xi => &self.waits_xi,
+        }
+    }
+
+    fn wait_ns_counter(&self, mode: LockMode) -> &AtomicU64 {
+        match mode {
+            LockMode::Rho => &self.wait_ns_rho,
+            LockMode::Alpha => &self.wait_ns_alpha,
+            LockMode::Xi => &self.wait_ns_xi,
+        }
+    }
+
+    pub(crate) fn record_grant(&self, mode: LockMode, _waited: bool) {
+        self.grant_counter(mode).fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_release(&self, _mode: LockMode) {
+        self.releases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wait_start(&self, mode: LockMode) {
+        self.wait_counter(mode).fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wait_end(&self, mode: LockMode, elapsed: Duration) {
+        self.wait_ns_counter(mode).fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        // The waited grant itself:
+        self.record_grant(mode, true);
+    }
+
+    pub(crate) fn record_conversion(&self) {
+        self.conversions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out the current values.
+    pub fn snapshot(&self) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            grants_rho: self.grants_rho.load(Ordering::Relaxed),
+            grants_alpha: self.grants_alpha.load(Ordering::Relaxed),
+            grants_xi: self.grants_xi.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            waits_rho: self.waits_rho.load(Ordering::Relaxed),
+            waits_alpha: self.waits_alpha.load(Ordering::Relaxed),
+            waits_xi: self.waits_xi.load(Ordering::Relaxed),
+            wait_ns_rho: self.wait_ns_rho.load(Ordering::Relaxed),
+            wait_ns_alpha: self.wait_ns_alpha.load(Ordering::Relaxed),
+            wait_ns_xi: self.wait_ns_xi.load(Ordering::Relaxed),
+            conversions: self.conversions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        for c in [
+            &self.grants_rho,
+            &self.grants_alpha,
+            &self.grants_xi,
+            &self.releases,
+            &self.waits_rho,
+            &self.waits_alpha,
+            &self.waits_xi,
+            &self.wait_ns_rho,
+            &self.wait_ns_alpha,
+            &self.wait_ns_xi,
+            &self.conversions,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`LockStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStatsSnapshot {
+    /// ρ locks granted (immediate + after waiting).
+    pub grants_rho: u64,
+    /// α locks granted.
+    pub grants_alpha: u64,
+    /// ξ locks granted.
+    pub grants_xi: u64,
+    /// Total releases.
+    pub releases: u64,
+    /// ρ requests that had to wait.
+    pub waits_rho: u64,
+    /// α requests that had to wait.
+    pub waits_alpha: u64,
+    /// ξ requests that had to wait.
+    pub waits_xi: u64,
+    /// Total nanoseconds ρ requests spent waiting.
+    pub wait_ns_rho: u64,
+    /// Total nanoseconds α requests spent waiting.
+    pub wait_ns_alpha: u64,
+    /// Total nanoseconds ξ requests spent waiting.
+    pub wait_ns_xi: u64,
+    /// Conversion-style grants (owner already held a lock on the
+    /// resource).
+    pub conversions: u64,
+}
+
+impl LockStatsSnapshot {
+    /// All grants.
+    pub fn total_grants(&self) -> u64 {
+        self.grants_rho + self.grants_alpha + self.grants_xi
+    }
+
+    /// All waits.
+    pub fn total_waits(&self) -> u64 {
+        self.waits_rho + self.waits_alpha + self.waits_xi
+    }
+
+    /// All wait time.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.wait_ns_rho + self.wait_ns_alpha + self.wait_ns_xi
+    }
+
+    /// Fraction of grants that had to wait (0.0 when no grants).
+    pub fn contention_ratio(&self) -> f64 {
+        let g = self.total_grants();
+        if g == 0 {
+            0.0
+        } else {
+            self.total_waits() as f64 / g as f64
+        }
+    }
+
+    /// Difference (self - earlier) for interval measurement.
+    pub fn since(&self, e: &LockStatsSnapshot) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            grants_rho: self.grants_rho - e.grants_rho,
+            grants_alpha: self.grants_alpha - e.grants_alpha,
+            grants_xi: self.grants_xi - e.grants_xi,
+            releases: self.releases - e.releases,
+            waits_rho: self.waits_rho - e.waits_rho,
+            waits_alpha: self.waits_alpha - e.waits_alpha,
+            waits_xi: self.waits_xi - e.waits_xi,
+            wait_ns_rho: self.wait_ns_rho - e.wait_ns_rho,
+            wait_ns_alpha: self.wait_ns_alpha - e.wait_ns_alpha,
+            wait_ns_xi: self.wait_ns_xi - e.wait_ns_xi,
+            conversions: self.conversions - e.conversions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_math() {
+        let s = LockStats::new();
+        s.record_grant(LockMode::Rho, false);
+        s.record_grant(LockMode::Alpha, false);
+        s.record_wait_start(LockMode::Xi);
+        s.record_wait_end(LockMode::Xi, Duration::from_nanos(500));
+        let snap = s.snapshot();
+        assert_eq!(snap.total_grants(), 3);
+        assert_eq!(snap.total_waits(), 1);
+        assert_eq!(snap.total_wait_ns(), 500);
+        assert!((snap.contention_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        s.reset();
+        assert_eq!(s.snapshot(), LockStatsSnapshot::default());
+    }
+}

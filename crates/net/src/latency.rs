@@ -1,0 +1,109 @@
+//! The message-delay model.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delay applied to each message delivery.
+///
+/// `fixed + U[0, jitter]`. Non-zero jitter can reorder deliveries (both
+/// between senders and between consecutive sends from one sender) — a
+/// deliberate stressor for the version-number update-ordering scheme of
+/// Figure 13.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Base delay applied to every message.
+    pub fixed: Duration,
+    /// Upper bound of the uniform random extra delay.
+    pub jitter: Duration,
+    /// RNG seed so runs are reproducible.
+    pub seed: u64,
+    /// Additional delay applied to specific message classes (by their
+    /// [`crate::MsgClass::class`] label). Models replication traffic that
+    /// lags request traffic — the regime where stale directory entries
+    /// actually get dereferenced.
+    pub class_extra: Vec<(String, Duration)>,
+}
+
+impl LatencyModel {
+    /// No delay at all (the default network).
+    pub fn none() -> Self {
+        LatencyModel { fixed: Duration::ZERO, jitter: Duration::ZERO, seed: 0, class_extra: Vec::new() }
+    }
+
+    /// Fixed delay, no jitter (keeps FIFO order).
+    pub fn fixed(d: Duration) -> Self {
+        LatencyModel { fixed: d, jitter: Duration::ZERO, seed: 0, class_extra: Vec::new() }
+    }
+
+    /// Fixed plus uniform jitter (may reorder).
+    pub fn jittered(fixed: Duration, jitter: Duration, seed: u64) -> Self {
+        LatencyModel { fixed, jitter, seed, class_extra: Vec::new() }
+    }
+
+    /// Add extra delay for one message class (builder style).
+    pub fn with_class_extra(mut self, class: impl Into<String>, extra: Duration) -> Self {
+        self.class_extra.push((class.into(), extra));
+        self
+    }
+
+    /// Extra delay for the given class label.
+    pub(crate) fn extra_for(&self, class: &str) -> Duration {
+        self.class_extra
+            .iter()
+            .filter(|(c, _)| c == class)
+            .map(|&(_, d)| d)
+            .sum()
+    }
+
+    /// Is every delay zero?
+    pub fn is_zero(&self) -> bool {
+        self.fixed.is_zero() && self.jitter.is_zero() && self.class_extra.is_empty()
+    }
+
+    /// Build the per-network sampler.
+    pub(crate) fn sampler(&self) -> LatencySampler {
+        LatencySampler { model: self.clone(), rng: StdRng::seed_from_u64(self.seed) }
+    }
+}
+
+pub(crate) struct LatencySampler {
+    model: LatencyModel,
+    rng: StdRng,
+}
+
+impl LatencySampler {
+    pub(crate) fn sample(&mut self) -> Duration {
+        if self.model.jitter.is_zero() {
+            return self.model.fixed;
+        }
+        let extra_ns = self.rng.random_range(0..=self.model.jitter.as_nanos() as u64);
+        self.model.fixed + Duration::from_nanos(extra_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_samples_zero() {
+        let mut s = LatencyModel::none().sampler();
+        assert!(LatencyModel::none().is_zero());
+        assert_eq!(s.sample(), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_within_bounds_and_reproducible() {
+        let model = LatencyModel::jittered(Duration::from_micros(10), Duration::from_micros(5), 7);
+        let mut a = model.sampler();
+        let mut b = model.sampler();
+        for _ in 0..100 {
+            let d = a.sample();
+            assert_eq!(d, b.sample(), "same seed, same sequence");
+            assert!(d >= Duration::from_micros(10));
+            assert!(d <= Duration::from_micros(15));
+        }
+    }
+}

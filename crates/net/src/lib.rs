@@ -1,0 +1,33 @@
+//! # ceh-net — the simulated network
+//!
+//! §3 of the paper assumes processes that "do not share storage … and
+//! communicate through asynchronous messages", with "reliable delivery,
+//! buffering, and possible anonymity of senders (e.g. port-based
+//! communication as in [Rashid 80])". This crate is that substrate:
+//!
+//! * [`SimNetwork`] — a registry of [`PortId`]s with reliable, buffered,
+//!   sender-anonymous delivery (`send` never fails while the receiving
+//!   port exists; messages queue without bound);
+//! * [`NameService`] via [`SimNetwork::register_name`] /
+//!   [`SimNetwork::lookup`] — the paper's `namelookup(manager-id)`,
+//!   mapping long-lived manager identifiers to ports;
+//! * [`MsgStats`] — per-class message counters, the currency of the
+//!   distributed experiments (E7/E8 in DESIGN.md): every send is counted
+//!   under the label returned by [`MsgClass::class`], matching Figure 11's
+//!   message taxonomy;
+//! * an optional [`LatencyModel`] that delays deliveries (fixed + jitter).
+//!   Jitter can reorder messages *across* sends — deliberately, because
+//!   the paper's version-number scheme exists precisely to tolerate
+//!   directory updates arriving out of order (§3's split-then-merge
+//!   example).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod latency;
+mod network;
+mod stats;
+
+pub use latency::LatencyModel;
+pub use network::{MsgClass, PortId, PortRx, RecvError, SimNetwork};
+pub use stats::{MsgStats, MsgStatsSnapshot};

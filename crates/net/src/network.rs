@@ -1,0 +1,409 @@
+//! Ports, delivery, and the name service.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::RwLock;
+
+use crate::latency::LatencyModel;
+use crate::stats::{MsgStats, MsgStatsSnapshot};
+
+/// Classifies messages for the per-class counters; the distributed crate
+/// implements this with Figure 11's message taxonomy (`"find"`,
+/// `"wrongbucket"`, `"copyupdate"`, …).
+pub trait MsgClass {
+    /// The message's class label.
+    fn class(&self) -> &'static str;
+}
+
+/// A port identifier: the paper's "long-lived identifier for a manager
+/// port". Senders are anonymous — delivery carries no sender identity
+/// unless the message itself embeds a reply port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u64);
+
+/// Receiving failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message available yet (try/timeout variants only).
+    Empty,
+    /// The network (all sender handles) has shut down.
+    Disconnected,
+}
+
+struct Delayed<M> {
+    to: PortId,
+    msg: M,
+    /// Sampled at send time (the sender knows the message class).
+    delay: Duration,
+}
+
+struct Inner<M> {
+    ports: RwLock<HashMap<PortId, Sender<M>>>,
+    names: RwLock<HashMap<String, PortId>>,
+    stats: MsgStats,
+    next_port: AtomicU64,
+    /// Present when a latency model is configured; messages are routed
+    /// through the delivery thread instead of sent directly.
+    delay_tx: Option<Sender<Delayed<M>>>,
+    latency: LatencyModel,
+    sampler: parking_lot::Mutex<crate::latency::LatencySampler>,
+}
+
+impl<M> Inner<M> {
+    fn deliver(&self, to: PortId, msg: M) -> bool {
+        let ports = self.ports.read();
+        match ports.get(&to) {
+            Some(tx) => tx.send(msg).is_ok(),
+            None => false,
+        }
+    }
+}
+
+/// The simulated network. Clone freely; all clones share the same port
+/// space, name service, and counters.
+pub struct SimNetwork<M: Send + 'static> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M: Send + 'static> Clone for SimNetwork<M> {
+    fn clone(&self) -> Self {
+        SimNetwork { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<M: Send + 'static> Default for SimNetwork<M> {
+    fn default() -> Self {
+        Self::new(LatencyModel::none())
+    }
+}
+
+impl<M: Send + 'static> SimNetwork<M> {
+    /// Create a network with the given latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        let delay_tx = if latency.is_zero() {
+            None
+        } else {
+            Some(channel::unbounded::<Delayed<M>>())
+        };
+
+        let inner = Arc::new(Inner {
+            ports: RwLock::new(HashMap::new()),
+            names: RwLock::new(HashMap::new()),
+            stats: MsgStats::new(),
+            next_port: AtomicU64::new(1),
+            delay_tx: delay_tx.as_ref().map(|(tx, _)| tx.clone()),
+            sampler: parking_lot::Mutex::new(latency.sampler()),
+            latency,
+        });
+
+        if let Some((_tx, rx)) = delay_tx {
+            let weak = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name("ceh-net-delay".into())
+                .spawn(move || delay_loop(rx, weak))
+                .expect("spawn delivery thread");
+        }
+
+        SimNetwork { inner }
+    }
+
+    /// Create a port. Returns the id (give it out; it is the address) and
+    /// the receiving half (keep it; only the owner can receive).
+    pub fn create_port(&self) -> (PortId, PortRx<M>) {
+        let id = PortId(self.inner.next_port.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = channel::unbounded();
+        self.inner.ports.write().insert(id, tx);
+        (id, PortRx { id, rx, inner: Arc::downgrade(&self.inner) })
+    }
+
+    /// Register a name for a port (the paper's manager identifiers).
+    /// Re-registering a name rebinds it.
+    pub fn register_name(&self, name: impl Into<String>, port: PortId) {
+        self.inner.names.write().insert(name.into(), port);
+    }
+
+    /// Resolve a name (`namelookup` in Figures 13–14).
+    pub fn lookup(&self, name: &str) -> Option<PortId> {
+        self.inner.names.read().get(name).copied()
+    }
+
+    /// Message counters.
+    pub fn stats(&self) -> MsgStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Zero the message counters.
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset()
+    }
+
+    /// Number of open ports (diagnostic).
+    pub fn open_ports(&self) -> usize {
+        self.inner.ports.read().len()
+    }
+}
+
+impl<M: Send + MsgClass + 'static> SimNetwork<M> {
+    /// Send `msg` to `to`. Reliable while the port exists: the message is
+    /// buffered without bound until received. Returns `false` if the port
+    /// has been closed (shutdown teardown), which callers treat as "the
+    /// recipient is gone".
+    pub fn send(&self, to: PortId, msg: M) -> bool {
+        let class = msg.class();
+        self.inner.stats.record(class);
+        match &self.inner.delay_tx {
+            None => self.inner.deliver(to, msg),
+            Some(tx) => {
+                let delay =
+                    self.inner.sampler.lock().sample() + self.inner.latency.extra_for(class);
+                tx.send(Delayed { to, msg, delay }).is_ok()
+            }
+        }
+    }
+}
+
+fn delay_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, net: Weak<Inner<M>>) {
+    struct Due<M> {
+        at: Instant,
+        seq: u64,
+        item: Delayed<M>,
+    }
+    impl<M> PartialEq for Due<M> {
+        fn eq(&self, o: &Self) -> bool {
+            self.at == o.at && self.seq == o.seq
+        }
+    }
+    impl<M> Eq for Due<M> {}
+    impl<M> PartialOrd for Due<M> {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl<M> Ord for Due<M> {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            (self.at, self.seq).cmp(&(o.at, o.seq))
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Due<M>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(d)| d.at <= now) {
+            let Reverse(d) = heap.pop().expect("peeked");
+            let Some(inner) = net.upgrade() else { return };
+            inner.deliver(d.item.to, d.item.msg);
+        }
+        // Wait for the next arrival or the next due time.
+        let next = match heap.peek() {
+            Some(Reverse(d)) => {
+                let now = Instant::now();
+                match rx.recv_timeout(d.at.saturating_duration_since(now)) {
+                    Ok(item) => Some(item),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Drain: deliver the backlog immediately, then exit.
+                        while let Some(Reverse(d)) = heap.pop() {
+                            let Some(inner) = net.upgrade() else { return };
+                            inner.deliver(d.item.to, d.item.msg);
+                        }
+                        return;
+                    }
+                }
+            }
+            None => match rx.recv() {
+                Ok(item) => Some(item),
+                Err(_) => return,
+            },
+        };
+        if let Some(item) = next {
+            seq += 1;
+            let at = Instant::now() + item.delay;
+            heap.push(Reverse(Due { at, seq, item }));
+        }
+    }
+}
+
+/// The receiving half of a port. Dropping it closes the port (subsequent
+/// sends to the id return `false`).
+pub struct PortRx<M: Send + 'static> {
+    id: PortId,
+    rx: Receiver<M>,
+    inner: Weak<Inner<M>>,
+}
+
+impl<M: Send + 'static> PortRx<M> {
+    /// This port's id.
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Result<M, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Block up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<M, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Empty,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Result<M, RecvError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => RecvError::Empty,
+            TryRecvError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Messages currently buffered (diagnostic).
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl<M: Send + 'static> Drop for PortRx<M> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.upgrade() {
+            inner.ports.write().remove(&self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct TestMsg(u32);
+    impl MsgClass for TestMsg {
+        fn class(&self) -> &'static str {
+            if self.0 % 2 == 0 {
+                "even"
+            } else {
+                "odd"
+            }
+        }
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        let (id, rx) = net.create_port();
+        assert!(net.send(id, TestMsg(7)));
+        assert_eq!(rx.recv().unwrap(), TestMsg(7));
+    }
+
+    #[test]
+    fn messages_buffer_without_receiver_running() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        let (id, rx) = net.create_port();
+        for i in 0..100 {
+            assert!(net.send(id, TestMsg(i)));
+        }
+        assert_eq!(rx.queued(), 100);
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), TestMsg(i), "zero-latency network is FIFO");
+        }
+    }
+
+    #[test]
+    fn name_service_resolves_and_rebinds() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        let (a, _ra) = net.create_port();
+        let (b, _rb) = net.create_port();
+        net.register_name("mgr0", a);
+        assert_eq!(net.lookup("mgr0"), Some(a));
+        net.register_name("mgr0", b);
+        assert_eq!(net.lookup("mgr0"), Some(b));
+        assert_eq!(net.lookup("nobody"), None);
+    }
+
+    #[test]
+    fn send_to_closed_port_reports_failure() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        let (id, rx) = net.create_port();
+        drop(rx);
+        assert!(!net.send(id, TestMsg(0)));
+        assert_eq!(net.open_ports(), 0);
+    }
+
+    #[test]
+    fn stats_count_by_class() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        let (id, _rx) = net.create_port();
+        net.send(id, TestMsg(0));
+        net.send(id, TestMsg(1));
+        net.send(id, TestMsg(2));
+        let s = net.stats();
+        assert_eq!(s.get("even"), 2);
+        assert_eq!(s.get("odd"), 1);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn delayed_delivery_arrives() {
+        let net: SimNetwork<TestMsg> =
+            SimNetwork::new(LatencyModel::fixed(Duration::from_millis(5)));
+        let (id, rx) = net.create_port();
+        let t0 = Instant::now();
+        net.send(id, TestMsg(1));
+        assert_eq!(rx.try_recv(), Err(RecvError::Empty), "not due yet");
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got, TestMsg(1));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn jittered_delivery_can_reorder_but_loses_nothing() {
+        let net: SimNetwork<TestMsg> = SimNetwork::new(LatencyModel::jittered(
+            Duration::ZERO,
+            Duration::from_millis(3),
+            42,
+        ));
+        let (id, rx) = net.create_port();
+        const N: u32 = 200;
+        for i in 0..N {
+            net.send(id, TestMsg(i));
+        }
+        let mut got = Vec::new();
+        for _ in 0..N {
+            got.push(rx.recv_timeout(Duration::from_secs(5)).unwrap().0);
+        }
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..N).collect::<Vec<_>>(), "reliable: every message arrives");
+    }
+
+    #[test]
+    fn class_extra_slows_only_that_class() {
+        let net: SimNetwork<TestMsg> = SimNetwork::new(
+            LatencyModel::fixed(Duration::from_micros(1))
+                .with_class_extra("odd", Duration::from_millis(20)),
+        );
+        let (id, rx) = net.create_port();
+        net.send(id, TestMsg(1)); // odd: slow
+        net.send(id, TestMsg(2)); // even: fast
+        // The even message overtakes the odd one.
+        let first = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(first, TestMsg(2), "fast class arrives first");
+        let second = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(second, TestMsg(1));
+    }
+
+    #[test]
+    fn recv_timeout_empty() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        let (_id, rx) = net.create_port();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvError::Empty));
+    }
+}

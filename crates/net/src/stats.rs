@@ -1,0 +1,106 @@
+//! Per-class message counters.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Counts messages by class label (see [`crate::MsgClass`]).
+///
+/// Message sends are not on any nanosecond-critical path in this
+/// workspace (the distributed experiments measure message *counts*, not
+/// message-send throughput), so a mutex-guarded map keeps this simple and
+/// exact.
+#[derive(Debug, Default)]
+pub struct MsgStats {
+    counts: Mutex<HashMap<&'static str, u64>>,
+}
+
+impl MsgStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one message of the given class.
+    pub fn record(&self, class: &'static str) {
+        *self.counts.lock().entry(class).or_insert(0) += 1;
+    }
+
+    /// Copy out the current counts.
+    pub fn snapshot(&self) -> MsgStatsSnapshot {
+        MsgStatsSnapshot { counts: self.counts.lock().clone() }
+    }
+
+    /// Zero the counters.
+    pub fn reset(&self) {
+        self.counts.lock().clear();
+    }
+}
+
+/// A point-in-time copy of [`MsgStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MsgStatsSnapshot {
+    counts: HashMap<&'static str, u64>,
+}
+
+impl MsgStatsSnapshot {
+    /// Count for one class (0 if never seen).
+    pub fn get(&self, class: &str) -> u64 {
+        self.counts.get(class).copied().unwrap_or(0)
+    }
+
+    /// Total messages of all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// All (class, count) pairs, sorted by class for stable reporting.
+    pub fn sorted(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort();
+        v
+    }
+
+    /// Difference (self - earlier), for interval measurement. Classes
+    /// absent from `earlier` are kept whole.
+    pub fn since(&self, earlier: &MsgStatsSnapshot) -> MsgStatsSnapshot {
+        let mut counts = self.counts.clone();
+        for (k, v) in counts.iter_mut() {
+            *v -= earlier.get(k);
+        }
+        counts.retain(|_, v| *v > 0);
+        MsgStatsSnapshot { counts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let s = MsgStats::new();
+        s.record("find");
+        s.record("find");
+        s.record("update");
+        let snap = s.snapshot();
+        assert_eq!(snap.get("find"), 2);
+        assert_eq!(snap.get("update"), 1);
+        assert_eq!(snap.get("nope"), 0);
+        assert_eq!(snap.total(), 3);
+        assert_eq!(snap.sorted(), vec![("find", 2), ("update", 1)]);
+    }
+
+    #[test]
+    fn since_subtracts_and_prunes() {
+        let s = MsgStats::new();
+        s.record("a");
+        let before = s.snapshot();
+        s.record("a");
+        s.record("b");
+        let d = s.snapshot().since(&before);
+        assert_eq!(d.get("a"), 1);
+        assert_eq!(d.get("b"), 1);
+        assert_eq!(d.total(), 2);
+    }
+}

@@ -1,0 +1,610 @@
+//! The sequential extendible hash file.
+
+use std::sync::Arc;
+
+use ceh_storage::{PageBuf, PageStore};
+use ceh_types::bits::{mask, partner_commonbits};
+use ceh_types::bucket::Bucket;
+use ceh_types::{
+    hash_key, DeleteOutcome, Error, HashFileConfig, InsertOutcome, Key, PageId, Pseudokey,
+    Record, Result, Value,
+};
+
+use crate::snapshot::FileSnapshot;
+
+/// The sequential (single-threaded) extendible hash file of Fagin et al.
+///
+/// Not `Sync`: this is the algorithm *before* the paper's contribution.
+/// Concurrent use goes through `ceh-core`.
+///
+/// ```
+/// use ceh_sequential::SequentialHashFile;
+/// use ceh_types::{HashFileConfig, InsertOutcome, Key, Value};
+///
+/// let mut file = SequentialHashFile::new(HashFileConfig::tiny())?;
+/// for k in 0..100 {
+///     assert_eq!(file.insert(Key(k), Value(k * 2))?, InsertOutcome::Inserted);
+/// }
+/// assert_eq!(file.find(Key(40))?, Some(Value(80)));
+/// assert!(file.depth() > 0, "tiny buckets forced directory growth");
+/// file.check_invariants()?;
+/// # Ok::<(), ceh_types::Error>(())
+/// ```
+pub struct SequentialHashFile {
+    store: Arc<PageStore>,
+    cfg: HashFileConfig,
+    hasher: fn(Key) -> Pseudokey,
+    /// The directory: `2^depth` page ids.
+    directory: Vec<PageId>,
+    depth: u32,
+    /// Number of buckets whose `localdepth == depth` (§2.2).
+    depthcount: u32,
+    len: usize,
+}
+
+impl SequentialHashFile {
+    /// Create a file over its own private page store. The configured
+    /// `io_latency_ns` is applied to every page read/write.
+    pub fn new(cfg: HashFileConfig) -> Result<Self> {
+        cfg.validate()?;
+        let store = PageStore::new_shared(ceh_storage::PageStoreConfig {
+            page_size: Bucket::page_size_for(cfg.bucket_capacity),
+            io_latency_ns: cfg.io_latency_ns,
+            ..Default::default()
+        });
+        Self::with_store(cfg, store, hash_key)
+    }
+
+    /// Create a file over a caller-supplied store with a custom pseudokey
+    /// function (the figure goldens pass [`ceh_types::identity_pseudokey`]).
+    pub fn with_store(
+        cfg: HashFileConfig,
+        store: Arc<PageStore>,
+        hasher: fn(Key) -> Pseudokey,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        if Bucket::capacity_for(store.page_size()) < cfg.bucket_capacity {
+            return Err(Error::Config(format!(
+                "page size {} holds only {} records, config wants {}",
+                store.page_size(),
+                Bucket::capacity_for(store.page_size()),
+                cfg.bucket_capacity
+            )));
+        }
+        // Initial state: depth 0, a single bucket with localdepth 0.
+        let p0 = store.alloc()?;
+        let bucket = Bucket::new(0, 0);
+        let mut buf = store.new_buf();
+        bucket.encode(&mut buf)?;
+        store.write(p0, &buf)?;
+        Ok(SequentialHashFile {
+            store,
+            cfg,
+            hasher,
+            directory: vec![p0],
+            depth: 0,
+            depthcount: 1,
+            len: 0,
+        })
+    }
+
+    /// Rebuild a file from an existing (typically file-backed) store by
+    /// scanning its pages: the recovery path for a durable index.
+    ///
+    /// The directory is volatile state — everything needed to rebuild it
+    /// (`localdepth`, `commonbits`, the `next` chain) is persisted in the
+    /// buckets themselves, which is a deliberate property of the page
+    /// layout. Pages that fail to decode (poisoned free pages from a
+    /// previous run) are returned to the free list; tombstones (crash
+    /// debris from an unfinished Solution-2 merge) are collected. The
+    /// rebuilt structure is invariant-checked before being returned.
+    ///
+    /// ```no_run
+    /// use ceh_sequential::SequentialHashFile;
+    /// use ceh_storage::{PageStore, PageStoreConfig};
+    /// use ceh_types::{hash_key, HashFileConfig, Key};
+    /// use std::sync::Arc;
+    ///
+    /// let cfg = HashFileConfig::default();
+    /// let store = Arc::new(PageStore::open_file("index.ceh", PageStoreConfig {
+    ///     page_size: ceh_types::Bucket::page_size_for(cfg.bucket_capacity),
+    ///     ..Default::default()
+    /// })?);
+    /// let file = SequentialHashFile::recover(cfg, store, hash_key)?;
+    /// file.find(Key(42))?;
+    /// # Ok::<(), ceh_types::Error>(())
+    /// ```
+    pub fn recover(
+        cfg: HashFileConfig,
+        store: Arc<PageStore>,
+        hasher: fn(Key) -> Pseudokey,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        if Bucket::capacity_for(store.page_size()) < cfg.bucket_capacity {
+            return Err(Error::Config(format!(
+                "page size {} holds only {} records, config wants {}",
+                store.page_size(),
+                Bucket::capacity_for(store.page_size()),
+                cfg.bucket_capacity
+            )));
+        }
+        let mut buf = PageBuf::zeroed(store.page_size());
+        let mut live: Vec<(PageId, Bucket)> = Vec::new();
+        let mut garbage: Vec<PageId> = Vec::new();
+        for p in store.allocated_page_ids() {
+            store.read(p, &mut buf)?;
+            match Bucket::decode(&buf) {
+                Ok(b) if !b.is_deleted() => live.push((p, b)),
+                _ => garbage.push(p), // poisoned free page or tombstone
+            }
+        }
+        for p in garbage {
+            store.dealloc(p)?;
+        }
+        if live.is_empty() {
+            // Nothing recoverable: initialize fresh.
+            return Self::with_store(cfg, store, hasher);
+        }
+        let depth = live.iter().map(|(_, b)| b.localdepth).max().expect("non-empty");
+        if depth > cfg.max_depth {
+            return Err(Error::DirectoryFull { max_depth: cfg.max_depth });
+        }
+        let size = 1usize << depth;
+        let mut directory = vec![PageId::NULL; size];
+        let mut len = 0usize;
+        for (p, b) in &live {
+            len += b.count();
+            let start = b.commonbits as usize;
+            let step = 1usize << b.localdepth;
+            let mut i = start;
+            while i < size {
+                if !directory[i].is_null() {
+                    return Err(Error::Corrupt(format!(
+                        "recovery: entry {i:0w$b} claimed by both {} and {p}",
+                        directory[i],
+                        w = depth as usize
+                    )));
+                }
+                directory[i] = *p;
+                i += step;
+            }
+        }
+        if let Some(gap) = directory.iter().position(|p| p.is_null()) {
+            return Err(Error::Corrupt(format!(
+                "recovery: no bucket covers directory entry {gap:0w$b}",
+                w = depth as usize
+            )));
+        }
+        let depthcount = live.iter().filter(|(_, b)| b.localdepth == depth).count() as u32;
+        let file = SequentialHashFile { store, cfg, hasher, directory, depth, depthcount, len };
+        file.check_invariants()?;
+        Ok(file)
+    }
+
+    /// Current directory depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Current `depthcount` (buckets at full depth).
+    pub fn depthcount(&self) -> u32 {
+        self.depthcount
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the file empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HashFileConfig {
+        &self.cfg
+    }
+
+    /// The underlying page store (shared for I/O accounting).
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+
+    fn getbucket(&self, page: PageId, buf: &mut PageBuf) -> Result<Bucket> {
+        self.store.read(page, buf)?;
+        Bucket::decode(buf)
+    }
+
+    fn putbucket(&self, page: PageId, bucket: &Bucket, buf: &mut PageBuf) -> Result<()> {
+        bucket.encode(buf)?;
+        self.store.write(page, buf)
+    }
+
+    fn index(&self, pk: Pseudokey) -> PageId {
+        self.directory[pk.low_bits(self.depth) as usize]
+    }
+
+    /// `updatedirectory(page, localdepth, pseudokey)`: point every
+    /// directory entry whose index matches `pseudokey` in its low
+    /// `localdepth` bits at `page`.
+    fn update_directory(&mut self, page: PageId, localdepth: u32, pk: Pseudokey) {
+        let start = pk.low_bits(localdepth) as usize;
+        let step = 1usize << localdepth;
+        let size = 1usize << self.depth;
+        let mut i = start;
+        while i < size {
+            self.directory[i] = page;
+            i += step;
+        }
+    }
+
+    /// `doubledirectory()`: copy the bottom half into the new top half and
+    /// bump the depth. Zeroes `depthcount` per §2.2 ("doubling the
+    /// directory would set it to zero").
+    fn double_directory(&mut self) -> Result<()> {
+        if self.depth >= self.cfg.max_depth {
+            return Err(Error::DirectoryFull { max_depth: self.cfg.max_depth });
+        }
+        let old = self.directory.clone();
+        self.directory.extend_from_slice(&old);
+        self.depth += 1;
+        self.depthcount = 0;
+        Ok(())
+    }
+
+    /// `halvedirectory()`: drop the top half. Recomputes `depthcount` for
+    /// the new depth by "comparing corresponding entries in the top and
+    /// bottom halves for pointers which differ" (§2.2). Cascades while the
+    /// new depthcount is still zero.
+    fn halve_directory(&mut self) {
+        loop {
+            debug_assert!(self.depth >= 1, "halving a depth-0 directory");
+            let half = 1usize << (self.depth - 1);
+            debug_assert!(
+                (0..half).all(|i| self.directory[i] == self.directory[i + half]),
+                "halving with distinct top/bottom halves"
+            );
+            self.directory.truncate(half);
+            self.depth -= 1;
+            // Recount at the new depth.
+            if self.depth == 0 {
+                self.depthcount = 1;
+                return;
+            }
+            let quarter = 1usize << (self.depth - 1);
+            let mut count = 0u32;
+            for i in 0..quarter {
+                if self.directory[i] != self.directory[i + quarter] {
+                    count += 2;
+                }
+            }
+            self.depthcount = count;
+            if self.depthcount != 0 || self.depth <= 1 {
+                return;
+            }
+        }
+    }
+
+    /// Find a key.
+    pub fn find(&self, key: Key) -> Result<Option<Value>> {
+        let pk = (self.hasher)(key);
+        let page = self.index(pk);
+        let mut buf = self.store.new_buf();
+        let bucket = self.getbucket(page, &mut buf)?;
+        debug_assert!(bucket.owns(pk), "sequential file can never have the wrong bucket");
+        Ok(bucket.search(key))
+    }
+
+    /// Insert a key. Returns [`InsertOutcome::AlreadyPresent`] (without
+    /// overwriting) if the key exists.
+    pub fn insert(&mut self, key: Key, value: Value) -> Result<InsertOutcome> {
+        let pk = (self.hasher)(key);
+        let mut buf = self.store.new_buf();
+        // The paper's insert retries after a split that failed to make
+        // room ("if (!done) insert(z)"); the loop is that recursion.
+        loop {
+            let oldpage = self.index(pk);
+            let mut current = self.getbucket(oldpage, &mut buf)?;
+            if current.search(key).is_some() {
+                return Ok(InsertOutcome::AlreadyPresent);
+            }
+            if current.count() < self.cfg.bucket_capacity {
+                current.add(Record { key, value });
+                self.putbucket(oldpage, &current, &mut buf)?;
+                self.len += 1;
+                return Ok(InsertOutcome::Inserted);
+            }
+            // Current is full: split (doubling the directory first if the
+            // bucket is already at full depth).
+            if current.localdepth == self.depth {
+                self.double_directory()?;
+            }
+            let newpage = self.store.alloc()?;
+            let (half1, half2, done) = current.split(
+                key,
+                value,
+                self.cfg.bucket_capacity,
+                self.hasher,
+                oldpage,
+                ceh_types::ManagerId::NONE,
+                newpage,
+                ceh_types::ManagerId::NONE,
+            );
+            self.putbucket(newpage, &half2, &mut buf)?;
+            self.putbucket(oldpage, &half1, &mut buf)?;
+            self.update_directory(newpage, half2.localdepth, Pseudokey(half2.commonbits));
+            if half1.localdepth == self.depth {
+                // Two buckets now sit at full depth where none did before
+                // (the split bucket was at depth-1): "splitting a bucket
+                // of localdepth = depth-1 would add two" (§2.2).
+                self.depthcount += 2;
+            }
+            if done {
+                self.len += 1;
+                return Ok(InsertOutcome::Inserted);
+            }
+        }
+    }
+
+    /// Delete a key, merging "too empty" buckets with their partners per
+    /// §2.2.
+    pub fn delete(&mut self, key: Key) -> Result<DeleteOutcome> {
+        let pk = (self.hasher)(key);
+        let selectedbits = pk.low_bits(self.depth);
+        let oldpage = self.index(pk);
+        let mut buf = self.store.new_buf();
+        let mut current = self.getbucket(oldpage, &mut buf)?;
+
+        if current.search(key).is_none() {
+            return Ok(DeleteOutcome::NotFound);
+        }
+
+        // "Current not too empty" — or too shallow to have a partner.
+        // Figure 7's test is (count > 1 || localdepth == 1); generalized
+        // to the configured merge threshold.
+        let too_empty =
+            current.count() <= self.cfg.merge_threshold + 1 && current.localdepth > 1;
+        if !too_empty {
+            current.remove(key);
+            self.putbucket(oldpage, &current, &mut buf)?;
+            self.len -= 1;
+            return Ok(DeleteOutcome::Deleted);
+        }
+
+        // Try to merge with the partner (with respect to localdepth).
+        let d = current.localdepth;
+        let partner_idx = (selectedbits ^ ceh_types::partner_bit(d)) & mask(self.depth);
+        let partner_page = self.directory[partner_idx as usize];
+        let mut brother = self.getbucket(partner_page, &mut buf)?;
+
+        if brother.localdepth != d {
+            // "Not possible to merge these two" — localdepths differ.
+            current.remove(key);
+            self.putbucket(oldpage, &current, &mut buf)?;
+            self.len -= 1;
+            return Ok(DeleteOutcome::Deleted);
+        }
+        debug_assert_eq!(brother.commonbits, partner_commonbits(current.commonbits, d));
+
+        // Check the merged bucket fits (always true at the paper's
+        // merge_threshold = 0; can fail for larger thresholds).
+        current.remove(key);
+        if current.count() + brother.count() > self.cfg.bucket_capacity {
+            self.putbucket(oldpage, &current, &mut buf)?;
+            self.len -= 1;
+            return Ok(DeleteOutcome::Deleted);
+        }
+
+        // Merge: the "0" partner (partner bit clear) survives; move the
+        // remaining records in, shrink the localdepth, retire the other
+        // page.
+        let (merged_page, garbage_page, mut merged) =
+            if current.commonbits & ceh_types::partner_bit(d) == 0 {
+                brother.records.iter().for_each(|r| current.records.push(*r));
+                (oldpage, partner_page, current)
+            } else {
+                current.records.iter().for_each(|r| brother.records.push(*r));
+                (partner_page, oldpage, brother)
+            };
+
+        if merged.localdepth == self.depth {
+            // "Merging two buckets of localdepth = depth would subtract
+            // two" (§2.2).
+            self.depthcount -= 2;
+        }
+        merged.localdepth -= 1;
+        merged.commonbits &= mask(merged.localdepth);
+        self.putbucket(merged_page, &merged, &mut buf)?;
+        // Redirect every entry that pointed at the garbage bucket.
+        self.update_directory(merged_page, merged.localdepth, Pseudokey(merged.commonbits));
+        self.store.dealloc(garbage_page)?;
+        if self.depthcount == 0 && self.depth > 1 {
+            self.halve_directory();
+        }
+        self.len -= 1;
+        Ok(DeleteOutcome::Deleted)
+    }
+
+    /// Take a structural snapshot (testing / figures / invariants).
+    pub fn snapshot(&self) -> Result<FileSnapshot> {
+        FileSnapshot::capture(
+            &self.store,
+            &self.directory,
+            self.depth,
+            self.depthcount,
+            self.cfg.bucket_capacity,
+        )
+    }
+
+    /// Check every structural invariant, panicking with a description on
+    /// the first violation. See [`FileSnapshot::check_invariants`].
+    pub fn check_invariants(&self) -> Result<()> {
+        let snap = self.snapshot()?;
+        snap.check_invariants(self.hasher)?;
+        if snap.total_records() != self.len {
+            return Err(Error::Corrupt(format!(
+                "len {} but snapshot holds {} records",
+                self.len,
+                snap.total_records()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceh_types::identity_pseudokey;
+
+    fn tiny() -> SequentialHashFile {
+        SequentialHashFile::new(HashFileConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn empty_file_finds_nothing() {
+        let f = tiny();
+        assert_eq!(f.find(Key(1)).unwrap(), None);
+        assert!(f.is_empty());
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_then_find() {
+        let mut f = tiny();
+        assert_eq!(f.insert(Key(1), Value(10)).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(f.insert(Key(1), Value(99)).unwrap(), InsertOutcome::AlreadyPresent);
+        assert_eq!(f.find(Key(1)).unwrap(), Some(Value(10)), "insert does not overwrite");
+        assert_eq!(f.len(), 1);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grows_through_splits_and_doubling() {
+        let mut f = tiny();
+        for k in 0..200u64 {
+            f.insert(Key(k), Value(k * 2)).unwrap();
+            f.check_invariants().unwrap();
+        }
+        assert_eq!(f.len(), 200);
+        assert!(f.depth() >= 5, "200 keys / capacity 2 needs a deep directory");
+        for k in 0..200u64 {
+            assert_eq!(f.find(Key(k)).unwrap(), Some(Value(k * 2)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn shrinks_through_merges_and_halving() {
+        let mut f = tiny();
+        for k in 0..200u64 {
+            f.insert(Key(k), Value(k)).unwrap();
+        }
+        let peak_depth = f.depth();
+        for k in 0..200u64 {
+            assert_eq!(f.delete(Key(k)).unwrap(), DeleteOutcome::Deleted);
+            f.check_invariants().unwrap();
+        }
+        assert!(f.is_empty());
+        assert!(f.depth() < peak_depth, "directory should have shrunk");
+        assert_eq!(f.delete(Key(0)).unwrap(), DeleteOutcome::NotFound);
+    }
+
+    #[test]
+    fn delete_missing_key_is_notfound_even_in_empty_bucket() {
+        let mut f = tiny();
+        f.insert(Key(0b000), Value(0)).unwrap();
+        assert_eq!(f.delete(Key(0xDEAD_BEEF)).unwrap(), DeleteOutcome::NotFound);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn directory_full_surfaces() {
+        let cfg = HashFileConfig::tiny().with_max_depth(2).with_bucket_capacity(1);
+        let mut f = SequentialHashFile::new(cfg).unwrap();
+        // With identity-ish growth, capacity 1 and max_depth 2 the file
+        // holds at most 4 buckets; a fifth colliding insert must error.
+        let mut err = None;
+        for k in 0..64u64 {
+            match f.insert(Key(k), Value(k)) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(Error::DirectoryFull { max_depth: 2 }));
+    }
+
+    #[test]
+    fn identity_hash_matches_figure1_shape() {
+        // Figure 1: depth 2, four entries; keys grouped by their low bits.
+        let cfg = HashFileConfig::tiny().with_bucket_capacity(3);
+        let store = PageStore::new_shared(ceh_storage::PageStoreConfig {
+            page_size: Bucket::page_size_for(3),
+            ..Default::default()
+        });
+        let mut f = SequentialHashFile::with_store(cfg, store, identity_pseudokey).unwrap();
+        // Insert keys with low bits 00,01,10,11 until depth reaches 2.
+        for k in [0b000u64, 0b100, 0b001, 0b101, 0b010, 0b110, 0b011, 0b111] {
+            f.insert(Key(k), Value(k)).unwrap();
+            f.check_invariants().unwrap();
+        }
+        assert!(f.depth() >= 1);
+        for k in [0b000u64, 0b100, 0b001, 0b101, 0b010, 0b110, 0b011, 0b111] {
+            assert_eq!(f.find(Key(k)).unwrap(), Some(Value(k)));
+        }
+    }
+
+    #[test]
+    fn depthcount_matches_reality_throughout() {
+        let mut f = tiny();
+        let keys: Vec<u64> = (0..120).map(|i| i * 2654435761 % 1000).collect();
+        for &k in &keys {
+            f.insert(Key(k), Value(k)).unwrap();
+            let snap = f.snapshot().unwrap();
+            assert_eq!(
+                f.depthcount(),
+                snap.count_buckets_at_full_depth(),
+                "after inserting {k}"
+            );
+        }
+        for &k in &keys {
+            let _ = f.delete(Key(k)).unwrap();
+            let snap = f.snapshot().unwrap();
+            assert_eq!(f.depthcount(), snap.count_buckets_at_full_depth(), "after deleting {k}");
+        }
+    }
+
+    #[test]
+    fn split_bucket_distributes_and_links() {
+        use ceh_types::ManagerId;
+        let mut b = Bucket::new(1, 0b1);
+        // identity pseudokeys: bit 2 decides the half.
+        b.records.push(Record::new(0b001, 1)); // bit2=0 → half1
+        b.records.push(Record::new(0b011, 2)); // bit2=1 → half2
+        b.next = PageId(42);
+        let (h1, h2, done) = b.split(
+            Key(0b111),
+            Value(3),
+            2,
+            identity_pseudokey,
+            PageId(5),
+            ManagerId::NONE,
+            PageId(7),
+            ManagerId::NONE,
+        );
+        assert!(done);
+        assert_eq!(h1.localdepth, 2);
+        assert_eq!(h2.localdepth, 2);
+        assert_eq!(h1.commonbits, 0b01);
+        assert_eq!(h2.commonbits, 0b11);
+        assert_eq!(h1.next, PageId(7), "old bucket points at the new one");
+        assert_eq!(h2.next, PageId(42), "new bucket inherits the old next");
+        assert_eq!(h2.prev, PageId(5), "new bucket remembers who it split from");
+        assert_eq!(h1.records.len(), 1);
+        assert_eq!(h2.records.len(), 2); // 0b011 plus the inserted 0b111
+        assert_eq!(h1.version, b.version + 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ceh-sequential — the Fagin 79 extendible hash file
+//!
+//! "The sequential algorithms for extendible hashing are described in
+//! [Fagin 79]" (§1). This crate implements that point of departure exactly
+//! as the paper summarizes it — directory of `2^depth` bucket pointers
+//! indexed by the low `depth` bits of the pseudokey, bucket `localdepth`,
+//! splits that may double the directory, merges that may halve it, and a
+//! `depthcount` maintained by the §2.2 bookkeeping rules.
+//!
+//! It serves three roles in the workspace:
+//!
+//! 1. the **baseline** a concurrent solution departs from (and, wrapped in
+//!    one big lock, the naive comparator for the benchmarks);
+//! 2. the **oracle** for concurrent stress tests — after a concurrent run
+//!    reaches quiescence, replaying the surviving key set here must agree;
+//! 3. the executable **Figure 1 / Figure 2** reproduction: with the
+//!    identity pseudokey function and capacity-2 buckets, the golden tests
+//!    replay the paper's hand-worked example.
+//!
+//! The file lives on a [`ceh_storage::PageStore`], reading and writing
+//! buckets through the same page codec the concurrent solutions use.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod file;
+mod snapshot;
+
+pub use ceh_types::{DeleteOutcome, InsertOutcome};
+pub use file::SequentialHashFile;
+pub use snapshot::{BucketView, FileSnapshot};

@@ -1,0 +1,96 @@
+//! Model-based property test: the sequential extendible hash file must
+//! behave exactly like a `BTreeMap` under arbitrary operation sequences,
+//! and its structural invariants must hold after every operation.
+
+use std::collections::BTreeMap;
+
+use ceh_sequential::{DeleteOutcome, InsertOutcome, SequentialHashFile};
+use ceh_types::{HashFileConfig, Key, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Find(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Narrow key space so deletes hit, splits and merges both fire.
+    let key = 0u64..64;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Delete),
+        key.prop_map(Op::Find),
+    ]
+}
+
+fn run_against_model(cfg: HashFileConfig, ops: Vec<Op>, check_every_op: bool) {
+    let mut file = SequentialHashFile::new(cfg).unwrap();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                let out = file.insert(Key(k), Value(v)).unwrap();
+                let expected = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                    e.insert(v);
+                    InsertOutcome::Inserted
+                } else {
+                    InsertOutcome::AlreadyPresent
+                };
+                assert_eq!(out, expected, "insert {k}");
+            }
+            Op::Delete(k) => {
+                let out = file.delete(Key(k)).unwrap();
+                let expected = if model.remove(&k).is_some() {
+                    DeleteOutcome::Deleted
+                } else {
+                    DeleteOutcome::NotFound
+                };
+                assert_eq!(out, expected, "delete {k}");
+            }
+            Op::Find(k) => {
+                let got = file.find(Key(k)).unwrap().map(|v| v.0);
+                assert_eq!(got, model.get(&k).copied(), "find {k}");
+            }
+        }
+        assert_eq!(file.len(), model.len());
+        if check_every_op {
+            file.check_invariants().unwrap();
+        }
+    }
+    file.check_invariants().unwrap();
+    // Final full sweep.
+    for (&k, &v) in &model {
+        assert_eq!(file.find(Key(k)).unwrap(), Some(Value(v)));
+    }
+    let snap = file.snapshot().unwrap();
+    assert_eq!(
+        snap.all_keys(),
+        model.keys().map(|&k| Key(k)).collect::<Vec<_>>(),
+        "file and model hold the same key set"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_btreemap_tiny_buckets(ops in proptest::collection::vec(arb_op(), 1..300)) {
+        run_against_model(HashFileConfig::tiny(), ops, true);
+    }
+
+    #[test]
+    fn matches_btreemap_capacity_4_with_merge_threshold(
+        ops in proptest::collection::vec(arb_op(), 1..300)
+    ) {
+        let cfg = HashFileConfig::tiny().with_bucket_capacity(4).with_merge_threshold(1);
+        run_against_model(cfg, ops, true);
+    }
+
+    #[test]
+    fn matches_btreemap_larger_buckets(ops in proptest::collection::vec(arb_op(), 1..500)) {
+        let cfg = HashFileConfig::default().with_bucket_capacity(8);
+        run_against_model(cfg, ops, false);
+    }
+}

@@ -1,0 +1,74 @@
+//! Recovery as a property: for *any* operation sequence, snapshotting
+//! the store and recovering from it yields a file equal to the original
+//! — same keys, same values, same structural invariants.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ceh_sequential::SequentialHashFile;
+use ceh_storage::{PageStore, PageStoreConfig};
+use ceh_types::bucket::Bucket;
+use ceh_types::{hash_key, HashFileConfig, Key, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let key = 0u64..96;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// recover(state after ops) ≡ state after ops.
+    #[test]
+    fn recovery_is_lossless(
+        cap in 2usize..6,
+        ops in proptest::collection::vec(arb_op(), 1..250),
+    ) {
+        let cfg = HashFileConfig::tiny().with_bucket_capacity(cap);
+        let store = Arc::new(PageStore::new(PageStoreConfig {
+            page_size: Bucket::page_size_for(cap),
+            ..Default::default()
+        }));
+        let mut file =
+            SequentialHashFile::with_store(cfg.clone(), Arc::clone(&store), hash_key).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    file.insert(Key(k), Value(v)).unwrap();
+                    model.entry(k).or_insert(v);
+                }
+                Op::Delete(k) => {
+                    file.delete(Key(k)).unwrap();
+                    model.remove(&k);
+                }
+            }
+        }
+        drop(file); // "process exit" — only the store remains
+
+        let recovered = SequentialHashFile::recover(cfg, store, hash_key).unwrap();
+        prop_assert_eq!(recovered.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(recovered.find(Key(k)).unwrap(), Some(Value(v)), "key {}", k);
+        }
+        // Nothing extra.
+        for k in 0..96u64 {
+            prop_assert_eq!(
+                recovered.find(Key(k)).unwrap().map(|v| v.0),
+                model.get(&k).copied(),
+                "key {}", k
+            );
+        }
+        recovered.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,37 @@
+//! # ceh-storage — the simulated disk
+//!
+//! The paper's algorithms assume that "buckets are assumed to occupy
+//! physical pages on disk which are read and written as single operations"
+//! (§2.1). That atomicity is **load-bearing**: ρ- and α-locks are
+//! compatible, so a reader may `getbucket` a page *while* an inserter
+//! `putbucket`s it, and the correctness arguments of §2.3/§2.5 ("a reader
+//! will see either the old or the new bucket") only hold if page writes
+//! are indivisible.
+//!
+//! [`PageStore`] provides exactly that substrate:
+//!
+//! * whole-page [`PageStore::read`] / [`PageStore::write`] (the paper's
+//!   `getbucket`/`putbucket`), each atomic with respect to the other —
+//!   implemented with a per-page latch held only for the duration of the
+//!   copy, which models the disk controller's single-operation semantics
+//!   without providing any synchronization beyond it;
+//! * [`PageStore::alloc`] / [`PageStore::dealloc`] (`allocbucket` /
+//!   `deallocbucket`) backed by a free list;
+//! * **freed-page poisoning**: deallocated pages are filled with a poison
+//!   byte and reads of unallocated pages return
+//!   [`ceh_types::Error::PageFault`], so any locking-protocol violation
+//!   that lets a process touch a reclaimed bucket trips immediately
+//!   instead of silently reading stale data;
+//! * [`IoStats`] counters and optional injected latency, used by the
+//!   benchmark harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod page;
+mod stats;
+mod store;
+
+pub use page::{PageBuf, POISON_BYTE};
+pub use stats::{IoStats, IoStatsSnapshot};
+pub use store::{PageStore, PageStoreConfig};

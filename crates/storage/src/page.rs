@@ -1,0 +1,104 @@
+//! Page buffers.
+
+use std::ops::{Deref, DerefMut};
+
+/// The byte written over every freed page when poisoning is enabled.
+///
+/// Chosen so that a bucket header read from a poisoned page cannot decode
+/// as a valid bucket (the magic check fails), making use-after-free of a
+/// page loud.
+pub const POISON_BYTE: u8 = 0xDE;
+
+/// A private in-memory buffer holding one page's bytes.
+///
+/// The paper's processes "manipulate the data after locking appropriate
+/// portions of the shared structure and transferring the information into
+/// private buffers" (§2.1) — the `struct buffer B; current = &B` locals of
+/// Figures 5–9. A `PageBuf` is that private buffer: page-sized, owned by
+/// one operation, copied in and out of the [`crate::PageStore`]
+/// atomically.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PageBuf {
+    bytes: Box<[u8]>,
+}
+
+impl PageBuf {
+    /// A zeroed buffer of the given page size.
+    pub fn zeroed(page_size: usize) -> Self {
+        PageBuf { bytes: vec![0u8; page_size].into_boxed_slice() }
+    }
+
+    /// Build a buffer from existing bytes (must already be page-sized;
+    /// callers get the size from [`crate::PageStore::page_size`]).
+    pub fn from_bytes(bytes: Box<[u8]>) -> Self {
+        PageBuf { bytes }
+    }
+
+    /// The page size this buffer was created with.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the buffer is zero-sized (never true for real pages).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Is every byte the poison byte? (Diagnostic helper for tests that
+    /// assert use-after-free detection.)
+    pub fn is_poisoned(&self) -> bool {
+        !self.bytes.is_empty() && self.bytes.iter().all(|&b| b == POISON_BYTE)
+    }
+}
+
+impl Deref for PageBuf {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl DerefMut for PageBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+}
+
+impl std::fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageBuf({} bytes)", self.bytes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero() {
+        let b = PageBuf::zeroed(128);
+        assert_eq!(b.len(), 128);
+        assert!(b.iter().all(|&x| x == 0));
+        assert!(!b.is_poisoned());
+    }
+
+    #[test]
+    fn poison_detection() {
+        let b = PageBuf::from_bytes(vec![POISON_BYTE; 64].into_boxed_slice());
+        assert!(b.is_poisoned());
+        let mut b2 = b.clone();
+        b2[0] = 0;
+        assert!(!b2.is_poisoned());
+    }
+
+    #[test]
+    fn deref_mut_writes_through() {
+        let mut b = PageBuf::zeroed(16);
+        b[3] = 7;
+        assert_eq!(b[3], 7);
+    }
+}

@@ -1,0 +1,137 @@
+//! I/O accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe I/O counters maintained by a [`crate::PageStore`].
+///
+/// Counters are monotone; [`IoStats::snapshot`] takes a coherent-enough
+/// copy for reporting (individual counters are exact, cross-counter skew
+/// is bounded by in-flight operations).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocs: AtomicU64,
+    deallocs: AtomicU64,
+    page_faults: AtomicU64,
+}
+
+impl IoStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_alloc(&self) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dealloc(&self) {
+        self.deallocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_page_fault(&self) {
+        self.page_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out the current counter values.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            deallocs: self.deallocs.load(Ordering::Relaxed),
+            page_faults: self.page_faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+        self.deallocs.store(0, Ordering::Relaxed);
+        self.page_faults.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStatsSnapshot {
+    /// Whole-page reads (`getbucket` calls that succeeded).
+    pub reads: u64,
+    /// Whole-page writes (`putbucket` calls that succeeded).
+    pub writes: u64,
+    /// Successful page allocations.
+    pub allocs: u64,
+    /// Successful page deallocations.
+    pub deallocs: u64,
+    /// Accesses rejected because the page was not allocated.
+    pub page_faults: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Total page I/O operations (reads + writes).
+    pub fn total_io(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Pages currently live according to the counters.
+    pub fn live_pages(&self) -> u64 {
+        self.allocs.saturating_sub(self.deallocs)
+    }
+
+    /// Difference between two snapshots (self - earlier), for measuring an
+    /// interval.
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            allocs: self.allocs - earlier.allocs,
+            deallocs: self.deallocs - earlier.deallocs,
+            page_faults: self.page_faults - earlier.page_faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        s.record_alloc();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.total_io(), 3);
+        assert_eq!(snap.live_pages(), 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = IoStats::new();
+        s.record_read();
+        let a = s.snapshot();
+        s.record_read();
+        s.record_write();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.writes, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! The bit algebra of extendible hashing.
+//!
+//! Everything in Figures 5–9 is phrased in terms of `mask(depth)` — the
+//! low-`depth`-bits mask — and single-bit partner tests. Centralizing them
+//! here keeps the three implementations (sequential, Solution 1,
+//! Solution 2) and the distributed bucket managers in exact agreement.
+
+/// A low-bits mask: `mask(d)` has the low `d` bits set.
+///
+/// `mask(0) == 0` (a directory of depth 0 has a single entry, index 0) and
+/// `mask(64)` is all ones. Depths above 64 are a programming error.
+#[inline]
+pub const fn mask(depth: u32) -> u64 {
+    debug_assert!(depth <= 64);
+    if depth == 0 {
+        0
+    } else if depth >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << depth) - 1
+    }
+}
+
+/// A typed wrapper for a `mask(depth)` value, carrying its depth.
+///
+/// Useful where code wants to pass "the mask currently in effect" around
+/// without losing track of which depth produced it (the `m` local of the
+/// paper's listings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mask {
+    depth: u32,
+    bits: u64,
+}
+
+impl Mask {
+    /// The mask for the given depth.
+    #[inline]
+    pub const fn of_depth(depth: u32) -> Self {
+        Mask { depth, bits: mask(depth) }
+    }
+
+    /// The depth this mask selects.
+    #[inline]
+    pub const fn depth(self) -> u32 {
+        self.depth
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Apply the mask to a value.
+    #[inline]
+    pub const fn select(self, v: u64) -> u64 {
+        v & self.bits
+    }
+}
+
+/// The bit that distinguishes two partner buckets of the given localdepth:
+/// bit number `localdepth` in the paper's 1-indexed numbering, i.e.
+/// `1 << (localdepth - 1)`.
+///
+/// "Two buckets are defined as partners with respect to bit position *d* if
+/// their commonbits match in bits *d−1* to 1 and differ at bit *d*" (§2.2).
+#[inline]
+pub const fn partner_bit(localdepth: u32) -> u64 {
+    debug_assert!(localdepth >= 1 && localdepth <= 64);
+    1u64 << (localdepth - 1)
+}
+
+/// The commonbits of the partner of a bucket with the given `commonbits`
+/// and `localdepth`: flip the partner bit.
+#[inline]
+pub const fn partner_commonbits(commonbits: u64, localdepth: u32) -> u64 {
+    commonbits ^ partner_bit(localdepth)
+}
+
+/// Are two buckets partners with respect to bit position `d`?
+///
+/// True iff their commonbits agree on bits `d-1..1` and differ at bit `d`.
+#[inline]
+pub const fn are_partners(commonbits_a: u64, commonbits_b: u64, d: u32) -> bool {
+    let low = mask(d - 1);
+    let bit = partner_bit(d);
+    (commonbits_a & low) == (commonbits_b & low) && (commonbits_a & bit) != (commonbits_b & bit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 0b1);
+        assert_eq!(mask(3), 0b111);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn mask_struct_roundtrip() {
+        let m = Mask::of_depth(5);
+        assert_eq!(m.depth(), 5);
+        assert_eq!(m.bits(), 0b11111);
+        assert_eq!(m.select(0b1010_1010), 0b0_1010);
+    }
+
+    #[test]
+    fn partner_bit_is_one_indexed() {
+        assert_eq!(partner_bit(1), 0b1);
+        assert_eq!(partner_bit(2), 0b10);
+        assert_eq!(partner_bit(4), 0b1000);
+    }
+
+    #[test]
+    fn partner_commonbits_flips_top_local_bit() {
+        // Bucket "01" at localdepth 2 partners with "11".
+        assert_eq!(partner_commonbits(0b01, 2), 0b11);
+        assert_eq!(partner_commonbits(0b11, 2), 0b01);
+        // Bucket "0" at localdepth 1 partners with "1".
+        assert_eq!(partner_commonbits(0b0, 1), 0b1);
+    }
+
+    #[test]
+    fn are_partners_per_paper_definition() {
+        // "10" and "00" differ at bit 2, agree at bit 1 → partners wrt 2.
+        assert!(are_partners(0b10, 0b00, 2));
+        // "10" and "01" differ at bit 1 too → not partners wrt 2.
+        assert!(!are_partners(0b10, 0b01, 2));
+        // A bucket is never its own partner.
+        assert!(!are_partners(0b10, 0b10, 2));
+    }
+
+    #[test]
+    fn partnering_is_symmetric_and_involutive() {
+        for d in 1..=16u32 {
+            for cb in [0u64, 1, 0b1010, 0xFFFF, 0xDEAD] {
+                let cb = cb & mask(d);
+                let p = partner_commonbits(cb, d);
+                assert!(are_partners(cb, p, d));
+                assert_eq!(partner_commonbits(p, d), cb);
+            }
+        }
+    }
+}

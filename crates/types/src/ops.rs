@@ -1,0 +1,35 @@
+//! Operation outcome types shared by every hash-file implementation.
+
+/// Result of an insert.
+///
+/// The paper's insert is add-if-absent: "z is already there" leaves the
+/// file unchanged (Figures 6 and 8 release their locks and stop). None of
+/// the implementations overwrite on duplicate insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The key was added.
+    Inserted,
+    /// The key was already present; the file is unchanged.
+    AlreadyPresent,
+}
+
+/// Result of a delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeleteOutcome {
+    /// The key was removed.
+    Deleted,
+    /// The key was not in the file.
+    NotFound,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_are_comparable() {
+        assert_eq!(InsertOutcome::Inserted, InsertOutcome::Inserted);
+        assert_ne!(InsertOutcome::Inserted, InsertOutcome::AlreadyPresent);
+        assert_ne!(DeleteOutcome::Deleted, DeleteOutcome::NotFound);
+    }
+}

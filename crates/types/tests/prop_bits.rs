@@ -1,0 +1,60 @@
+//! Property tests for the bit algebra every implementation relies on.
+
+use ceh_types::bits::{are_partners, mask, partner_bit, partner_commonbits};
+use ceh_types::{hash_key, Key, Pseudokey};
+use proptest::prelude::*;
+
+proptest! {
+    /// mask(d) has exactly d low bits set.
+    #[test]
+    fn mask_popcount(d in 0u32..=64) {
+        prop_assert_eq!(mask(d).count_ones(), d);
+        // And it is a suffix mask: adding one gives a power of two (or 0 at 64).
+        prop_assert_eq!(mask(d).wrapping_add(1).count_ones() <= 1, true);
+    }
+
+    /// Masks are monotone: deeper masks contain shallower ones.
+    #[test]
+    fn mask_monotone(d in 0u32..64) {
+        prop_assert_eq!(mask(d) & mask(d + 1), mask(d));
+    }
+
+    /// A pseudokey always matches exactly one of a bucket and its partner
+    /// when it matches their shared prefix.
+    #[test]
+    fn pseudokey_matches_exactly_one_partner(pk in any::<u64>(), d in 1u32..=32) {
+        let pk = Pseudokey(pk);
+        let cb = pk.0 & mask(d); // the bucket pk belongs to at localdepth d
+        let partner = partner_commonbits(cb, d);
+        prop_assert!(pk.matches(cb, d));
+        prop_assert!(!pk.matches(partner, d));
+    }
+
+    /// Partnering is an involution and satisfies the paper's definition.
+    #[test]
+    fn partnering_involution(cb in any::<u64>(), d in 1u32..=64) {
+        let cb = cb & mask(d);
+        let p = partner_commonbits(cb, d);
+        prop_assert_eq!(partner_commonbits(p, d), cb);
+        prop_assert!(are_partners(cb, p, d));
+        // They differ only at the partner bit.
+        prop_assert_eq!(cb ^ p, partner_bit(d));
+    }
+
+    /// in_first_of_pair agrees with commonbits arithmetic: the "0" partner
+    /// is the one whose partner bit is clear.
+    #[test]
+    fn first_of_pair_agrees_with_partner_bit(pk in any::<u64>(), d in 1u32..=64) {
+        let pk = Pseudokey(pk);
+        prop_assert_eq!(pk.in_first_of_pair(d), pk.0 & partner_bit(d) == 0);
+    }
+
+    /// The hash is a function (deterministic) and splits keys that differ.
+    /// (splitmix64's finalizer is bijective, so distinct keys give distinct
+    /// pseudokeys — stronger than hash-quality, but worth pinning since
+    /// bucket search uses keys, not pseudokeys, for equality.)
+    #[test]
+    fn hash_injective_on_samples(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(hash_key(Key(a)) == hash_key(Key(b)), a == b);
+    }
+}

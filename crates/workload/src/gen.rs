@@ -1,0 +1,132 @@
+//! The operation stream generator.
+
+use ceh_types::{Key, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::keys::{KeyDist, KeySampler};
+use crate::mix::OpMix;
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Look up the key.
+    Find(Key),
+    /// Insert the key/value.
+    Insert(Key, Value),
+    /// Delete the key.
+    Delete(Key),
+}
+
+impl Op {
+    /// The key the operation targets.
+    pub fn key(&self) -> Key {
+        match *self {
+            Op::Find(k) | Op::Delete(k) => k,
+            Op::Insert(k, _) => k,
+        }
+    }
+}
+
+/// A seeded stream of operations drawn from a key distribution and an
+/// operation mix. Deterministic per `(seed, dist, mix, space)`.
+///
+/// ```
+/// use ceh_workload::{KeyDist, Op, OpMix, WorkloadGen};
+///
+/// let mut gen = WorkloadGen::new(42, KeyDist::Zipf { theta: 0.99 }, 1 << 16, OpMix::READ_MOSTLY);
+/// let ops = gen.batch(1000);
+/// let finds = ops.iter().filter(|o| matches!(o, Op::Find(_))).count();
+/// assert!(finds > 800, "read-mostly mix is ~90% finds, got {finds}");
+/// ```
+#[derive(Debug)]
+pub struct WorkloadGen {
+    rng: StdRng,
+    sampler: KeySampler,
+    mix: OpMix,
+    counter: u64,
+}
+
+impl WorkloadGen {
+    /// Build a generator. `space` is the key-space size.
+    pub fn new(seed: u64, dist: KeyDist, space: u64, mix: OpMix) -> Self {
+        WorkloadGen {
+            rng: StdRng::seed_from_u64(seed),
+            sampler: KeySampler::new(dist, space),
+            mix,
+            counter: 0,
+        }
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> Op {
+        let key = self.sampler.sample(&mut self.rng);
+        let roll = self.rng.random_range(0..100u32);
+        self.counter += 1;
+        if roll < self.mix.find_pct {
+            Op::Find(key)
+        } else if roll < self.mix.find_pct + self.mix.insert_pct {
+            Op::Insert(key, Value(self.counter))
+        } else {
+            Op::Delete(key)
+        }
+    }
+
+    /// Generate a batch of operations.
+    pub fn batch(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+impl Iterator for WorkloadGen {
+    type Item = Op;
+    fn next(&mut self) -> Option<Op> {
+        Some(self.next_op())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_the_mix_statistically() {
+        let mut g = WorkloadGen::new(1, KeyDist::Uniform, 1 << 20, OpMix::BALANCED);
+        let (mut f, mut i, mut d) = (0, 0, 0);
+        for op in g.batch(10_000) {
+            match op {
+                Op::Find(_) => f += 1,
+                Op::Insert(..) => i += 1,
+                Op::Delete(_) => d += 1,
+            }
+        }
+        assert!((4500..5500).contains(&f), "finds {f}");
+        assert!((2000..3000).contains(&i), "inserts {i}");
+        assert!((2000..3000).contains(&d), "deletes {d}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = WorkloadGen::new(7, KeyDist::Zipf { theta: 0.9 }, 4096, OpMix::READ_MOSTLY);
+        let mut b = WorkloadGen::new(7, KeyDist::Zipf { theta: 0.9 }, 4096, OpMix::READ_MOSTLY);
+        assert_eq!(a.batch(200), b.batch(200));
+        let mut c = WorkloadGen::new(8, KeyDist::Zipf { theta: 0.9 }, 4096, OpMix::READ_MOSTLY);
+        assert_ne!(a.batch(200), c.batch(200));
+    }
+
+    #[test]
+    fn read_only_mix_never_mutates() {
+        let mut g = WorkloadGen::new(3, KeyDist::Uniform, 64, OpMix::READ_ONLY);
+        for op in g.batch(1000) {
+            assert!(matches!(op, Op::Find(_)));
+        }
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let g = WorkloadGen::new(1, KeyDist::Uniform, 64, OpMix::CHURN);
+        let ops: Vec<Op> = g.take(10).collect();
+        assert_eq!(ops.len(), 10);
+        assert!(ops.iter().all(|o| !matches!(o, Op::Find(_))));
+    }
+}

@@ -1,0 +1,188 @@
+//! Key distributions.
+
+use ceh_types::Key;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How keys are drawn from the key space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over `0..space`.
+    Uniform,
+    /// Zipf-like (approximated by the classic rejection-free power-law
+    /// transform): rank `i` drawn with probability ∝ `1/(i+1)^theta`.
+    /// `theta` around 0.99 is the YCSB default.
+    Zipf {
+        /// Skew parameter; larger = more skew.
+        theta: f64,
+    },
+    /// Sequentially increasing from 0 (each call returns the next key).
+    /// Exercises the hash function's avalanche on adjacent keys.
+    Sequential,
+    /// Clustered: uniform cluster base plus small offset, modelling
+    /// locality (e.g. order-id + line-number keys).
+    Clustered {
+        /// Number of keys per cluster.
+        cluster_size: u64,
+    },
+}
+
+/// Stateful sampler for a [`KeyDist`].
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    dist: KeyDist,
+    space: u64,
+    seq: u64,
+    /// Precomputed normalization for the zipf CDF-inversion
+    /// approximation (Gray et al.'s method).
+    zipf_zeta: f64,
+}
+
+impl KeySampler {
+    /// Create a sampler over `0..space`.
+    pub fn new(dist: KeyDist, space: u64) -> Self {
+        assert!(space > 0);
+        let zipf_zeta = match dist {
+            KeyDist::Zipf { theta } => zeta(space.min(100_000), theta),
+            _ => 0.0,
+        };
+        KeySampler { dist, space, seq: 0, zipf_zeta }
+    }
+
+    /// Draw the next key.
+    pub fn sample(&mut self, rng: &mut StdRng) -> Key {
+        let k = match self.dist {
+            KeyDist::Uniform => rng.random_range(0..self.space),
+            KeyDist::Sequential => {
+                let k = self.seq;
+                self.seq = (self.seq + 1) % self.space;
+                k
+            }
+            KeyDist::Clustered { cluster_size } => {
+                let clusters = (self.space / cluster_size).max(1);
+                let c = rng.random_range(0..clusters);
+                c * cluster_size + rng.random_range(0..cluster_size.min(self.space))
+            }
+            KeyDist::Zipf { theta } => {
+                // Inverse-CDF sampling over the truncated harmonic sum.
+                let n = self.space.min(100_000);
+                let u: f64 = rng.random::<f64>() * self.zipf_zeta;
+                let mut sum = 0.0;
+                let mut rank = 0u64;
+                // Bounded scan with exponentially growing probes keeps
+                // this cheap for skewed theta (most mass at low ranks).
+                for i in 0..n {
+                    sum += 1.0 / ((i + 1) as f64).powf(theta);
+                    if sum >= u {
+                        rank = i;
+                        break;
+                    }
+                }
+                // Scatter ranks over the space so "hot" keys are not
+                // numerically adjacent (adjacent keys hash apart anyway,
+                // but this avoids accidental cluster artifacts).
+                rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.space
+            }
+        };
+        Key(k)
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).sum()
+}
+
+/// The deterministic preload set: `count` distinct keys spread over
+/// `0..space` (multiplicative-hash spacing so buckets fill evenly).
+pub fn prefill_keys(count: usize, space: u64) -> Vec<Key> {
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    let mut i = 0u64;
+    while out.len() < count {
+        let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % space;
+        if seen.insert(k) {
+            out.push(Key(k));
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut s = KeySampler::new(KeyDist::Uniform, 16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let k = s.sample(&mut rng);
+            assert!(k.0 < 16);
+            seen.insert(k.0);
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut s = KeySampler::new(KeyDist::Sequential, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let got: Vec<u64> = (0..7).map(|_| s.sample(&mut rng).0).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut s = KeySampler::new(KeyDist::Zipf { theta: 0.99 }, 10_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(s.sample(&mut rng).0).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(
+            max > 20_000 / 100,
+            "zipf(0.99) should concentrate >1% of draws on the hottest key, max={max}"
+        );
+        assert!(counts.len() > 100, "but still touch many keys");
+    }
+
+    #[test]
+    fn clustered_stays_in_clusters() {
+        let mut s = KeySampler::new(KeyDist::Clustered { cluster_size: 10 }, 1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let k = s.sample(&mut rng);
+            assert!(k.0 < 1000);
+        }
+    }
+
+    #[test]
+    fn prefill_is_distinct_and_deterministic() {
+        let a = prefill_keys(1000, 1 << 30);
+        let b = prefill_keys(1000, 1 << 30);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn samplers_are_reproducible() {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipf { theta: 0.8 },
+            KeyDist::Clustered { cluster_size: 16 },
+        ] {
+            let mut s1 = KeySampler::new(dist, 4096);
+            let mut s2 = KeySampler::new(dist, 4096);
+            let mut r1 = StdRng::seed_from_u64(9);
+            let mut r2 = StdRng::seed_from_u64(9);
+            for _ in 0..100 {
+                assert_eq!(s1.sample(&mut r1), s2.sample(&mut r2));
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # ceh-workload — workload generation for the evaluation
+//!
+//! The paper defers its evaluation to "a future paper"; DESIGN.md §6
+//! defines the evaluation this workspace runs instead. This crate
+//! supplies its raw material:
+//!
+//! * [`KeyDist`] — key distributions (uniform, zipfian, sequential,
+//!   clustered) over a configurable key-space size;
+//! * [`OpMix`] — find/insert/delete proportions, with the named mixes
+//!   the experiment tables sweep;
+//! * [`WorkloadGen`] — a seeded per-thread stream of [`Op`]s;
+//! * [`prefill_keys`] — the deterministic preload set used before
+//!   measured phases;
+//! * [`LatencyHistogram`] — a fixed-memory log-bucketed histogram for
+//!   per-operation latency collection.
+//!
+//! Everything is deterministic given a seed, so experiment tables are
+//! reproducible run to run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod gen;
+mod histogram;
+mod keys;
+mod mix;
+
+pub use gen::{Op, WorkloadGen};
+pub use histogram::LatencyHistogram;
+pub use keys::{prefill_keys, KeyDist, KeySampler};
+pub use mix::OpMix;

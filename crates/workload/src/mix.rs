@@ -1,0 +1,85 @@
+//! Operation mixes.
+
+/// Proportions of find / insert / delete in a workload, in percent.
+///
+/// Insert and delete proportions are kept equal in the named steady-state
+/// mixes so the file size stays roughly constant during measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percent finds.
+    pub find_pct: u32,
+    /// Percent inserts.
+    pub insert_pct: u32,
+    /// Percent deletes.
+    pub delete_pct: u32,
+}
+
+impl OpMix {
+    /// Build a mix, checking the percentages sum to 100.
+    pub fn new(find_pct: u32, insert_pct: u32, delete_pct: u32) -> Self {
+        assert_eq!(find_pct + insert_pct + delete_pct, 100, "mix must sum to 100");
+        OpMix { find_pct, insert_pct, delete_pct }
+    }
+
+    /// 100% reads.
+    pub const READ_ONLY: OpMix = OpMix { find_pct: 100, insert_pct: 0, delete_pct: 0 };
+    /// 90/5/5 — read-mostly.
+    pub const READ_MOSTLY: OpMix = OpMix { find_pct: 90, insert_pct: 5, delete_pct: 5 };
+    /// 50/25/25 — balanced.
+    pub const BALANCED: OpMix = OpMix { find_pct: 50, insert_pct: 25, delete_pct: 25 };
+    /// 10/45/45 — update-heavy.
+    pub const UPDATE_HEAVY: OpMix = OpMix { find_pct: 10, insert_pct: 45, delete_pct: 45 };
+    /// 0/50/50 — pure churn.
+    pub const CHURN: OpMix = OpMix { find_pct: 0, insert_pct: 50, delete_pct: 50 };
+
+    /// The named mixes the experiment tables sweep, with labels.
+    pub const STANDARD_SWEEP: [(&'static str, OpMix); 5] = [
+        ("100/0/0", OpMix::READ_ONLY),
+        ("90/5/5", OpMix::READ_MOSTLY),
+        ("50/25/25", OpMix::BALANCED),
+        ("10/45/45", OpMix::UPDATE_HEAVY),
+        ("0/50/50", OpMix::CHURN),
+    ];
+
+    /// A mix with the given update share, split evenly between inserts
+    /// and deletes (the E2 update-fraction sweep).
+    pub fn with_update_pct(update_pct: u32) -> Self {
+        assert!(update_pct <= 100);
+        let ins = update_pct / 2;
+        let del = update_pct - ins;
+        OpMix::new(100 - update_pct, ins, del)
+    }
+
+    /// Fraction of operations that are updates.
+    pub fn update_fraction(&self) -> f64 {
+        (self.insert_pct + self.delete_pct) as f64 / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_mixes_sum_to_100() {
+        for (_, m) in OpMix::STANDARD_SWEEP {
+            assert_eq!(m.find_pct + m.insert_pct + m.delete_pct, 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_panics() {
+        OpMix::new(50, 50, 50);
+    }
+
+    #[test]
+    fn update_pct_builder() {
+        let m = OpMix::with_update_pct(30);
+        assert_eq!(m.find_pct, 70);
+        assert_eq!(m.insert_pct + m.delete_pct, 30);
+        assert!((m.update_fraction() - 0.3).abs() < 1e-9);
+        OpMix::with_update_pct(0);
+        OpMix::with_update_pct(100);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: a concurrent extendible hash file in a dozen lines.
+//!
+//! ```sh
+//! cargo run -p ceh-harness --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use ceh_core::{ConcurrentHashFile, Solution2};
+use ceh_types::{HashFileConfig, Key, Value};
+
+fn main() -> ceh_types::Result<()> {
+    // A hash file with realistic 4 KiB-page buckets (~250 records each).
+    let file = Arc::new(Solution2::new(HashFileConfig::realistic())?);
+
+    // Concurrent use from plain threads: the file is the paper's shared
+    // structure; every operation does its own ρ/α/ξ locking internally.
+    let writers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let file = Arc::clone(&file);
+            std::thread::spawn(move || {
+                for i in 0..25_000u64 {
+                    let k = t * 25_000 + i;
+                    file.insert(Key(k), Value(k * 2)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    println!("inserted {} records", file.len());
+
+    // Point lookups.
+    assert_eq!(file.find(Key(12_345))?, Some(Value(24_690)));
+    assert_eq!(file.find(Key(999_999_999))?, None);
+
+    // Deletes shrink the structure back down (merges + directory halving).
+    for k in 0..50_000u64 {
+        file.delete(Key(k))?;
+    }
+    println!("after deletes: {} records", file.len());
+
+    // The structure self-reports what happened.
+    let stats = file.core().stats().snapshot();
+    println!(
+        "splits: {}, merges: {}, directory doublings: {}, halvings: {}",
+        stats.splits, stats.merges, stats.doublings, stats.halvings
+    );
+    println!(
+        "directory depth: {}, buckets at full depth: {}",
+        file.core().dir().depth(),
+        file.core().dir().depthcount()
+    );
+
+    // And it can verify itself.
+    ceh_core::invariants::check_concurrent_file(file.core())?;
+    println!("all structural invariants hold");
+    Ok(())
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate every experiment table into results/.
+#
+#   ./scripts/run_experiments.sh            # full runs (tens of minutes)
+#   CEH_QUICK=1 ./scripts/run_experiments.sh  # fast smoke pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p ceh-bench --bins
+mkdir -p results
+
+EXPERIMENTS=(
+  exp_scaling            # E1
+  exp_update_sweep       # E2
+  exp_reader_latency     # E3
+  exp_recovery           # E4
+  exp_bucket_size        # E5
+  exp_vs_btree           # E6
+  exp_dist_messages      # E7
+  exp_dist_staleness     # E8
+  exp_dist_scaling       # E9
+  exp_ablation_nextlinks # A1
+  exp_ablation_commonbits# A2
+  exp_merge_threshold    # A3
+  exp_gc_strategy        # A4
+)
+
+for exp in "${EXPERIMENTS[@]}"; do
+  echo "=== $exp ==="
+  ./target/release/"$exp" | tee "results/$exp.md"
+done
+
+echo
+echo "All experiment tables written to results/. Criterion micro-benches:"
+echo "  cargo bench -p ceh-bench"

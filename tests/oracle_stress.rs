@@ -1,0 +1,193 @@
+//! Oracle stress: concurrent runs whose surviving state must equal a
+//! sequential replay.
+//!
+//! Threads own disjoint key slices, so the final key set is the union of
+//! deterministic per-thread histories. We replay each history against the
+//! sequential (Fagin 79) file — the oracle — and demand the concurrent
+//! file agree key for key.
+
+use std::sync::Arc;
+
+use ceh_core::{invariants, ConcurrentHashFile, GlobalLockFile, Solution1, Solution2};
+use ceh_sequential::SequentialHashFile;
+use ceh_types::{HashFileConfig, Key, Value};
+use ceh_workload::{KeyDist, Op, OpMix, WorkloadGen};
+
+const THREADS: u64 = 8;
+const OPS: usize = 3000;
+
+/// Generate thread `t`'s deterministic op stream, with keys striped so
+/// threads never collide.
+fn thread_ops(t: u64, mix: OpMix) -> Vec<Op> {
+    let mut gen = WorkloadGen::new(0x0AC1E + t, KeyDist::Uniform, 48, mix);
+    gen.batch(OPS)
+        .into_iter()
+        .map(|op| match op {
+            Op::Find(k) => Op::Find(stripe(k, t)),
+            Op::Insert(k, v) => Op::Insert(stripe(k, t), v),
+            Op::Delete(k) => Op::Delete(stripe(k, t)),
+        })
+        .collect()
+}
+
+fn stripe(k: Key, t: u64) -> Key {
+    Key(k.0 * THREADS + t)
+}
+
+fn run_concurrently<F: ConcurrentHashFile + 'static>(file: &Arc<F>, mix: OpMix) {
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let file = Arc::clone(file);
+            std::thread::spawn(move || {
+                for op in thread_ops(t, mix) {
+                    match op {
+                        Op::Find(k) => {
+                            file.find(k).unwrap();
+                        }
+                        Op::Insert(k, v) => {
+                            file.insert(k, v).unwrap();
+                        }
+                        Op::Delete(k) => {
+                            file.delete(k).unwrap();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// The oracle: replay every thread's stream sequentially (interleaving
+/// across threads is irrelevant because key slices are disjoint).
+fn oracle(mix: OpMix) -> SequentialHashFile {
+    let mut file = SequentialHashFile::new(HashFileConfig::tiny()).unwrap();
+    for t in 0..THREADS {
+        for op in thread_ops(t, mix) {
+            match op {
+                Op::Find(_) => {}
+                Op::Insert(k, v) => {
+                    file.insert(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    file.delete(k).unwrap();
+                }
+            }
+        }
+    }
+    file
+}
+
+fn compare<F: ConcurrentHashFile>(file: &F, oracle: &SequentialHashFile) {
+    assert_eq!(file.len(), oracle.len(), "{}: record count", file.name());
+    let snap = oracle.snapshot().unwrap();
+    for key in snap.all_keys() {
+        let expect = oracle.find(key).unwrap();
+        assert_eq!(file.find(key).unwrap(), expect, "{}: key {key:?}", file.name());
+    }
+    // And nothing extra: spot-check absent keys.
+    for k in 0..(48 * THREADS) {
+        let key = Key(k);
+        assert_eq!(
+            file.find(key).unwrap(),
+            oracle.find(key).unwrap(),
+            "{}: key {k}",
+            file.name()
+        );
+    }
+}
+
+#[test]
+fn solution1_matches_oracle_balanced() {
+    let mix = OpMix::BALANCED;
+    let f = Arc::new(Solution1::new(HashFileConfig::tiny()).unwrap());
+    run_concurrently(&f, mix);
+    let oracle = oracle(mix);
+    compare(&*f, &oracle);
+    invariants::check_concurrent_file(f.core()).unwrap();
+}
+
+#[test]
+fn solution2_matches_oracle_balanced() {
+    let mix = OpMix::BALANCED;
+    let f = Arc::new(Solution2::new(HashFileConfig::tiny()).unwrap());
+    run_concurrently(&f, mix);
+    let oracle = oracle(mix);
+    compare(&*f, &oracle);
+    invariants::check_concurrent_file(f.core()).unwrap();
+}
+
+#[test]
+fn solution2_matches_oracle_churn() {
+    let mix = OpMix::CHURN;
+    let f = Arc::new(Solution2::new(HashFileConfig::tiny()).unwrap());
+    run_concurrently(&f, mix);
+    let oracle = oracle(mix);
+    compare(&*f, &oracle);
+    invariants::check_concurrent_file(f.core()).unwrap();
+}
+
+#[test]
+fn global_lock_matches_oracle_balanced() {
+    let mix = OpMix::BALANCED;
+    let f = Arc::new(GlobalLockFile::new(HashFileConfig::tiny()).unwrap());
+    run_concurrently(&f, mix);
+    let oracle = oracle(mix);
+    compare(&*f, &oracle);
+    f.with_inner(|inner| inner.check_invariants()).unwrap();
+}
+
+#[test]
+fn all_three_agree_with_each_other() {
+    let mix = OpMix::UPDATE_HEAVY;
+    let s1 = Arc::new(Solution1::new(HashFileConfig::tiny()).unwrap());
+    let s2 = Arc::new(Solution2::new(HashFileConfig::tiny()).unwrap());
+    let gl = Arc::new(GlobalLockFile::new(HashFileConfig::tiny()).unwrap());
+    run_concurrently(&s1, mix);
+    run_concurrently(&s2, mix);
+    run_concurrently(&gl, mix);
+    assert_eq!(s1.len(), s2.len());
+    assert_eq!(s2.len(), gl.len());
+    for k in 0..(48 * THREADS) {
+        let key = Key(k);
+        let a = s1.find(key).unwrap();
+        assert_eq!(a, s2.find(key).unwrap(), "key {k}");
+        assert_eq!(a, gl.find(key).unwrap(), "key {k}");
+    }
+}
+
+#[test]
+fn values_are_never_torn() {
+    // Each key's value is a function of the key; any torn read or
+    // misfiled record would surface as a mismatched value.
+    let f = Arc::new(Solution2::new(HashFileConfig::tiny()).unwrap());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    let k = (i % 64) * THREADS + t;
+                    match i % 3 {
+                        0 => {
+                            f.insert(Key(k), Value(k.wrapping_mul(0x5DEECE66D))).unwrap();
+                        }
+                        1 => {
+                            if let Some(v) = f.find(Key(k)).unwrap() {
+                                assert_eq!(v.0, k.wrapping_mul(0x5DEECE66D), "torn value for {k}");
+                            }
+                        }
+                        _ => {
+                            f.delete(Key(k)).unwrap();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    invariants::check_concurrent_file(f.core()).unwrap();
+}
