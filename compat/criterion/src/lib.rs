@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate (see `compat/README.md`).
+//!
+//! Provides the harness surface the `benches/` targets use —
+//! [`Criterion`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`criterion_group!`]/[`criterion_main!`] — with a plain
+//! warmup-then-measure loop reporting the mean time per iteration. No
+//! statistics, plots, or outlier analysis; numbers are comparable
+//! across runs on the same machine, which is what the experiment docs
+//! use them for.
+//!
+//! `cargo test` runs `harness = false` bench binaries with `--test`; in
+//! that mode each benchmark executes one iteration as a smoke check, so
+//! test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted and ignored: every
+/// batch is one routine call here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// `--test` mode: run each benchmark once, skip timing.
+    smoke: bool,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            settings: Settings {
+                sample_size: 100,
+                measurement_time: Duration::from_secs(5),
+                warm_up_time: Duration::from_secs(3),
+                smoke,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (scales the measurement loop).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for the measurement loop.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warmup loop.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.settings, name, &mut f);
+        self
+    }
+
+    /// Open a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// See [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.group, name);
+        run_bench(self.criterion.settings, &full, &mut f);
+        self
+    }
+
+    /// Finish the group (required by the real API; nothing to flush
+    /// here).
+    pub fn finish(self) {}
+}
+
+fn run_bench(settings: Settings, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if settings.smoke {
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        println!("{name}: smoke ok");
+        return;
+    }
+    // Warmup: repeat until the warmup budget is spent.
+    let start = Instant::now();
+    while start.elapsed() < settings.warm_up_time {
+        let mut b = Bencher {
+            mode: Mode::Timed { per_call: 1 },
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+    }
+    // Measure: split the budget over sample_size calls, growing the
+    // per-call iteration count to fill each slice.
+    let slice = settings.measurement_time / settings.sample_size.max(1) as u32;
+    let mut per_call = 1u64;
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            mode: Mode::Timed { per_call },
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        total += b.total;
+        iters += b.iters;
+        if b.iters > 0 && b.total < slice {
+            let per_iter = b.total.as_nanos().max(1) as u64 / b.iters.max(1);
+            per_call = (slice.as_nanos() as u64 / per_iter.max(1)).clamp(1, 1 << 24);
+        }
+    }
+    let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    println!("{name}: mean {} / iter ({iters} iters)", fmt_ns(mean_ns));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+enum Mode {
+    Smoke,
+    Timed { per_call: u64 },
+}
+
+/// Passed to each benchmark closure; call [`Self::iter`] or
+/// [`Self::iter_batched`] exactly once per invocation.
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Timed { per_call } => per_call,
+        };
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += n;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let n = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Timed { per_call } => per_call,
+        };
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.iters += n;
+    }
+}
+
+/// Define a bench group function from config + target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

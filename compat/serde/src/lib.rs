@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate (see `compat/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its vocabulary
+//! types to declare them wire-ready, but nothing actually serializes
+//! them (there is no format crate in the dependency tree). The traits
+//! here are therefore empty markers and the derives expand to marker
+//! impls; swapping the real serde back in requires no source changes.
+
+/// Marker for types declaring a serializable shape.
+pub trait Serialize {}
+
+/// Marker for types declaring a deserializable shape.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,50 @@
+//! Derive macros for the offline serde stand-in: expand to the marker
+//! impls the stub traits need (see `compat/README.md`). No `syn`/`quote`
+//! — the input is scanned token-by-token for the type name.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the struct/enum/union a derive input defines, if the shape is
+/// simple enough (no generics — the workspace's serde types have none).
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None; // generic type: skip the marker impl
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Derive the `Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derive the `Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}

@@ -46,11 +46,16 @@ fn bench_codec(c: &mut Criterion) {
 }
 
 fn bench_page_io(c: &mut Criterion) {
-    let store = PageStore::new_shared(PageStoreConfig { page_size: 4096, ..Default::default() });
+    let store = PageStore::new_shared(PageStoreConfig {
+        page_size: 4096,
+        ..Default::default()
+    });
     let p = store.alloc().unwrap();
     let buf = store.new_buf();
     store.write(p, &buf).unwrap();
-    c.bench_function("page_write_4k", |b| b.iter(|| store.write(p, black_box(&buf)).unwrap()));
+    c.bench_function("page_write_4k", |b| {
+        b.iter(|| store.write(p, black_box(&buf)).unwrap())
+    });
     c.bench_function("page_read_4k", |b| {
         let mut out = store.new_buf();
         b.iter(|| store.read(p, black_box(&mut out)).unwrap())

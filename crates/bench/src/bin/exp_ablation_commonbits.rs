@@ -23,7 +23,8 @@ fn main() {
     let keys = if quick_mode() { 10_000 } else { 100_000 };
 
     // Build a realistic structure to check against.
-    let file = Arc::new(Solution2::new(HashFileConfig::default().with_bucket_capacity(16)).unwrap());
+    let file =
+        Arc::new(Solution2::new(HashFileConfig::default().with_bucket_capacity(16)).unwrap());
     preload(&*file, keys, 1 << 22);
     // Delete a slice to create some emptier buckets.
     for key in ceh_workload::prefill_keys(keys / 4, 1 << 22) {
@@ -42,8 +43,7 @@ fn main() {
             acc += b.owns(*p) as u64;
         }
     }
-    let commonbits_ns =
-        t0.elapsed().as_nanos() as f64 / (iters * buckets.len()) as f64;
+    let commonbits_ns = t0.elapsed().as_nanos() as f64 / (iters * buckets.len()) as f64;
 
     let t1 = Instant::now();
     let mut acc2 = 0u64;
@@ -63,19 +63,35 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["variant", "ns/check", "bytes/bucket", "false 'wrong bucket' on empties"],
             &[
-                vec!["commonbits".into(), format!("{commonbits_ns:.1}"), "8".into(), "never".into()],
+                "variant",
+                "ns/check",
+                "bytes/bucket",
+                "false 'wrong bucket' on empties"
+            ],
+            &[
+                vec![
+                    "commonbits".into(),
+                    format!("{commonbits_ns:.1}"),
+                    "8".into(),
+                    "never".into()
+                ],
                 vec![
                     "rehash resident".into(),
                     format!("{rehash_ns:.1}"),
                     "0".into(),
-                    format!("{empty} of {} buckets ({:.1}%)", buckets.len(),
-                        100.0 * empty as f64 / buckets.len() as f64),
+                    format!(
+                        "{empty} of {} buckets ({:.1}%)",
+                        buckets.len(),
+                        100.0 * empty as f64 / buckets.len() as f64
+                    ),
                 ],
             ]
         )
     );
-    println!("(checksums {acc} / {acc2}, structure of {} buckets at depth {})",
-        buckets.len(), snap.depth);
+    println!(
+        "(checksums {acc} / {acc2}, structure of {} buckets at depth {})",
+        buckets.len(),
+        snap.depth
+    );
 }

@@ -44,10 +44,17 @@ fn main() {
                     seed: 0xA1,
                 },
             );
-            (r.ops_per_sec(), file.core().locks().stats().contention_ratio())
+            (
+                r.ops_per_sec(),
+                file.core().locks().stats().contention_ratio(),
+            )
         };
-        let (with_links, c1) = run(Solution1Options { pessimistic_find: false });
-        let (pessimistic, c2) = run(Solution1Options { pessimistic_find: true });
+        let (with_links, c1) = run(Solution1Options {
+            pessimistic_find: false,
+        });
+        let (pessimistic, c2) = run(Solution1Options {
+            pessimistic_find: true,
+        });
         rows.push(vec![
             label.to_string(),
             format!("{with_links:.0}"),
@@ -60,7 +67,14 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["mix", "next-links ops/s", "pessimistic ops/s", "speedup", "links wait ratio", "pess. wait ratio"],
+            &[
+                "mix",
+                "next-links ops/s",
+                "pessimistic ops/s",
+                "speedup",
+                "links wait ratio",
+                "pess. wait ratio"
+            ],
             &rows
         )
     );

@@ -20,12 +20,18 @@ fn main() {
     let threads = 8;
     let keys = if quick_mode() { 20_000 } else { 200_000 };
     let total_ops = if quick_mode() { 1_600 } else { 16_000 };
-    let caps: &[usize] = if quick_mode() { &[4, 64] } else { &[4, 16, 64, 250] };
+    let caps: &[usize] = if quick_mode() {
+        &[4, 64]
+    } else {
+        &[4, 16, 64, 250]
+    };
 
     println!("### E5 — bucket capacity sweep (Solution 2, {keys} keys preloaded)\n");
     let mut rows = Vec::new();
     for &cap in caps {
-        let cfg = HashFileConfig::default().with_bucket_capacity(cap).with_max_depth(24);
+        let cfg = HashFileConfig::default()
+            .with_bucket_capacity(cap)
+            .with_max_depth(24);
         let file = Arc::new(Solution2::new(cfg).unwrap());
         preload(&*file, keys, 1 << 22);
         file.set_io_latency_ns(ceh_bench::SIM_IO_LATENCY_NS);
@@ -59,7 +65,15 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["bucket cap", "dir depth", "buckets", "load factor", "ops/s (50/25/25)", "splits", "merges"],
+            &[
+                "bucket cap",
+                "dir depth",
+                "buckets",
+                "load factor",
+                "ops/s (50/25/25)",
+                "splits",
+                "merges"
+            ],
             &rows
         )
     );

@@ -22,7 +22,9 @@ fn main() {
     let ops = if quick_mode() { 600 } else { 6_000 };
     let replicas: &[usize] = if quick_mode() { &[1, 3] } else { &[1, 2, 3, 5] };
 
-    println!("### E7 — messages per operation vs directory replication (2 bucket sites, mix 50/25/25)\n");
+    println!(
+        "### E7 — messages per operation vs directory replication (2 bucket sites, mix 50/25/25)\n"
+    );
     let mut rows = Vec::new();
     for &r in replicas {
         let c = Cluster::start(ClusterConfig {
@@ -32,6 +34,7 @@ fn main() {
             page_quota: None,
             latency: LatencyModel::none(),
             data_dir: None,
+            ..Default::default()
         })
         .unwrap();
         let client = c.client();
@@ -79,8 +82,18 @@ fn main() {
         "{}",
         md_table(
             &[
-                "replicas", "total/op", "request", "find", "insert", "delete", "bucketdone",
-                "update", "copyupdate", "copy-ack", "wrongbucket", "gc"
+                "replicas",
+                "total/op",
+                "request",
+                "find",
+                "insert",
+                "delete",
+                "bucketdone",
+                "update",
+                "copyupdate",
+                "copy-ack",
+                "wrongbucket",
+                "gc"
             ],
             &rows
         )

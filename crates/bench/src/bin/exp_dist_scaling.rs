@@ -44,6 +44,7 @@ fn run(dirs: usize, sites: usize, ops_per_client: usize) -> Shape {
             page_quota: Some(64), // spread buckets across sites as the file grows
             latency: LatencyModel::fixed(Duration::from_micros(150)),
             data_dir: None,
+            ..Default::default()
         })
         .unwrap(),
     );
@@ -137,7 +138,15 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["dir replicas", "bucket sites", "ops/s", "vs 1x1", "pages/site", "msgs/op", "cross-site msgs"],
+            &[
+                "dir replicas",
+                "bucket sites",
+                "ops/s",
+                "vs 1x1",
+                "pages/site",
+                "msgs/op",
+                "cross-site msgs"
+            ],
             &rows
         )
     );

@@ -20,7 +20,11 @@ use ceh_types::{HashFileConfig, Key, Value};
 
 fn main() {
     let keys = if quick_mode() { 300 } else { 2_000 };
-    let delays_us: &[u64] = if quick_mode() { &[0, 1000] } else { &[0, 100, 500, 1000, 3000] };
+    let delays_us: &[u64] = if quick_mode() {
+        &[0, 1000]
+    } else {
+        &[0, 100, 500, 1000, 3000]
+    };
 
     println!(
         "### E8 — stale-directory recovery vs copyupdate delay \
@@ -44,6 +48,7 @@ fn main() {
             page_quota: None,
             latency,
             data_dir: None,
+            ..Default::default()
         })
         .unwrap();
         let client = c.client();
@@ -53,7 +58,11 @@ fn main() {
         // hits a replica that hasn't heard of it.
         for k in 0..keys as u64 {
             client.insert(Key(k), Value(k)).unwrap();
-            assert_eq!(client.find(Key(k)).unwrap(), Some(Value(k)), "read-your-write {k}");
+            assert_eq!(
+                client.find(Key(k)).unwrap(),
+                Some(Value(k)),
+                "read-your-write {k}"
+            );
         }
         let work = t0.elapsed();
         let t1 = Instant::now();

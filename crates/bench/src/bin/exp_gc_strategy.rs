@@ -24,7 +24,9 @@ fn main() {
     let threads = 8u64;
     let total_ops = if quick_mode() { 1_600 } else { 16_000 };
     // Small buckets + aggressive merging so deletes actually merge.
-    let cfg = HashFileConfig::default().with_bucket_capacity(8).with_merge_threshold(2);
+    let cfg = HashFileConfig::default()
+        .with_bucket_capacity(8)
+        .with_merge_threshold(2);
 
     println!("### A4 — GC strategy (Solution 2, capacity 8, merge threshold 2, churn mix, {threads} threads)\n");
     let mut rows = Vec::new();
@@ -36,8 +38,14 @@ fn main() {
     ];
     for (label, gc) in strategies {
         let file = Arc::new(
-            Solution2::with_options(cfg.clone(), Solution2Options { max_retries: 10_000, gc })
-                .unwrap(),
+            Solution2::with_options(
+                cfg.clone(),
+                Solution2Options {
+                    max_retries: 10_000,
+                    gc,
+                },
+            )
+            .unwrap(),
         );
         preload(&*file, 30_000, 1 << 16);
         file.set_io_latency_ns(ceh_bench::SIM_IO_LATENCY_NS);
@@ -69,7 +77,14 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["strategy", "ops/s", "p50 µs", "p99 µs", "merges", "gc passes"],
+            &[
+                "strategy",
+                "ops/s",
+                "p50 µs",
+                "p99 µs",
+                "merges",
+                "gc passes"
+            ],
             &rows
         )
     );

@@ -47,8 +47,7 @@ fn main() {
         let end_pages = file.core().store().allocated_pages();
         let end_depth = file.core().dir().depth();
         let s = file.core().stats().snapshot();
-        let residual_load =
-            (n / 8) as f64 / (end_pages as f64 * cap as f64);
+        let residual_load = (n / 8) as f64 / (end_pages as f64 * cap as f64);
         ceh_core::invariants::check_concurrent_file(file.core()).unwrap();
         rows.push(vec![
             threshold.to_string(),

@@ -86,7 +86,11 @@ fn pct(v: &[u64], p: f64) -> f64 {
 fn main() {
     let cfg = HashFileConfig::default().with_bucket_capacity(64);
     let reads = if quick_mode() { 200 } else { 2_000 };
-    let updater_counts: &[u64] = if quick_mode() { &[0, 8] } else { &[0, 2, 4, 8, 12] };
+    let updater_counts: &[u64] = if quick_mode() {
+        &[0, 8]
+    } else {
+        &[0, 2, 4, 8, 12]
+    };
 
     println!("### E3 — reader find latency (µs) with {READERS} readers vs concurrent updaters\n");
     type Maker = Box<dyn Fn() -> Arc<dyn ConcurrentHashFile>>;
@@ -119,7 +123,10 @@ fn main() {
         println!("**{name}**\n");
         println!(
             "{}",
-            md_table(&["updaters", "p50 µs", "p99 µs", "p99.9 µs", "max µs"], &rows)
+            md_table(
+                &["updaters", "p50 µs", "p99 µs", "p99.9 µs", "max µs"],
+                &rows
+            )
         );
     }
     // Keep the sanity key in scope for the type checker's benefit.

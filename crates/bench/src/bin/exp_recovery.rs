@@ -50,7 +50,10 @@ fn main() {
                 cap.to_string(),
                 format!("{:.0}", r.ops_per_sec()),
                 s.wrong_bucket_recoveries.to_string(),
-                format!("{:.4}%", 100.0 * s.wrong_bucket_recoveries as f64 / s.total_ops() as f64),
+                format!(
+                    "{:.4}%",
+                    100.0 * s.wrong_bucket_recoveries as f64 / s.total_ops() as f64
+                ),
                 format!("{:.2}", s.mean_recovery_hops()),
                 s.splits.to_string(),
                 s.merges.to_string(),
@@ -60,7 +63,16 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["mix", "bucket cap", "ops/s", "recoveries", "recovery rate", "mean hops", "splits", "merges"],
+            &[
+                "mix",
+                "bucket cap",
+                "ops/s",
+                "recoveries",
+                "recovery rate",
+                "mean hops",
+                "splits",
+                "merges"
+            ],
             &rows
         )
     );

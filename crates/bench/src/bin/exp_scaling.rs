@@ -34,15 +34,34 @@ fn run_one(file: Arc<dyn ConcurrentHashFile>, threads: u64, mix: OpMix, ops: usi
 fn main() {
     let cfg = HashFileConfig::default().with_bucket_capacity(64);
     let total_ops = if quick_mode() { 1_600 } else { 12_000 };
-    let threads: &[u64] = if quick_mode() { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let threads: &[u64] = if quick_mode() {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
 
     for (label, mix) in OpMix::STANDARD_SWEEP {
         println!("\n### E1 — mix {label} (find/insert/delete), {total_ops} ops\n");
         let mut rows = Vec::new();
         for &t in threads {
-            let g = run_one(Arc::new(GlobalLockFile::new(cfg.clone()).unwrap()), t, mix, total_ops);
-            let s1 = run_one(Arc::new(Solution1::new(cfg.clone()).unwrap()), t, mix, total_ops);
-            let s2 = run_one(Arc::new(Solution2::new(cfg.clone()).unwrap()), t, mix, total_ops);
+            let g = run_one(
+                Arc::new(GlobalLockFile::new(cfg.clone()).unwrap()),
+                t,
+                mix,
+                total_ops,
+            );
+            let s1 = run_one(
+                Arc::new(Solution1::new(cfg.clone()).unwrap()),
+                t,
+                mix,
+                total_ops,
+            );
+            let s2 = run_one(
+                Arc::new(Solution2::new(cfg.clone()).unwrap()),
+                t,
+                mix,
+                total_ops,
+            );
             rows.push(vec![
                 t.to_string(),
                 format!("{g:.0}"),
@@ -55,7 +74,14 @@ fn main() {
         println!(
             "{}",
             md_table(
-                &["threads", "global-lock ops/s", "solution1 ops/s", "solution2 ops/s", "s1/global", "s2/global"],
+                &[
+                    "threads",
+                    "global-lock ops/s",
+                    "solution1 ops/s",
+                    "solution2 ops/s",
+                    "s1/global",
+                    "s2/global"
+                ],
                 &rows
             )
         );

@@ -20,8 +20,11 @@ fn main() {
     let cfg = HashFileConfig::default().with_bucket_capacity(64);
     let threads = 8u64;
     let total_ops = if quick_mode() { 1_600 } else { 16_000 };
-    let fractions: &[u32] =
-        if quick_mode() { &[0, 50, 100] } else { &[0, 10, 20, 40, 60, 80, 100] };
+    let fractions: &[u32] = if quick_mode() {
+        &[0, 50, 100]
+    } else {
+        &[0, 10, 20, 40, 60, 80, 100]
+    };
 
     println!("### E2 — throughput vs update fraction, {threads} threads\n");
     let mut rows = Vec::new();
@@ -62,7 +65,14 @@ fn main() {
     println!(
         "{}",
         md_table(
-            &["updates", "solution1 ops/s", "solution2 ops/s", "s2/s1", "s1 wait ratio", "s2 wait ratio"],
+            &[
+                "updates",
+                "solution1 ops/s",
+                "solution2 ops/s",
+                "s2/s1",
+                "s1 wait ratio",
+                "s2 wait ratio"
+            ],
             &rows
         )
     );

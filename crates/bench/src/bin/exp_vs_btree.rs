@@ -99,7 +99,10 @@ fn main() {
         }
         println!(
             "{}",
-            md_table(&["threads", "ext-hash ops/s", "b-link ops/s", "hash/btree"], &rows)
+            md_table(
+                &["threads", "ext-hash ops/s", "b-link ops/s", "hash/btree"],
+                &rows
+            )
         );
     }
 
@@ -108,7 +111,8 @@ fn main() {
     // only option is a full sweep + filter (adjacent keys are scattered
     // across buckets by the pseudokey hash).
     println!("\n### E6b — range scan of 1000 consecutive keys (50k-key structures)\n");
-    let hash = Arc::new(Solution2::new(HashFileConfig::default().with_bucket_capacity(64)).unwrap());
+    let hash =
+        Arc::new(Solution2::new(HashFileConfig::default().with_bucket_capacity(64)).unwrap());
     let tree = Arc::new(BLinkTree::new(BLinkTreeConfig { fanout: 64 }));
     for k in 0..50_000u64 {
         hash.insert(ceh_types::Key(k), Value(k)).unwrap();
@@ -119,7 +123,9 @@ fn main() {
     let mut got = 0usize;
     for i in 0..reps {
         let lo = (i as u64 * 37) % 49_000;
-        got += tree.range(ceh_types::Key(lo), ceh_types::Key(lo + 999)).len();
+        got += tree
+            .range(ceh_types::Key(lo), ceh_types::Key(lo + 999))
+            .len();
     }
     let tree_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
     let t1 = Instant::now();
@@ -142,7 +148,11 @@ fn main() {
         md_table(
             &["structure", "µs/scan", "notes"],
             &[
-                vec!["b-link range".into(), format!("{tree_us:.0}"), "leaf-chain walk".into()],
+                vec![
+                    "b-link range".into(),
+                    format!("{tree_us:.0}"),
+                    "leaf-chain walk".into()
+                ],
                 vec![
                     "ext-hash sweep".into(),
                     format!("{hash_us:.0}"),

@@ -125,8 +125,7 @@ pub fn throughput<F: ConcurrentHashFile + ?Sized + 'static>(
                 }
                 let mut hist = LatencyHistogram::new();
                 for (i, op) in ops.into_iter().enumerate() {
-                    let sample = cfg.latency_sample_every != 0
-                        && i % cfg.latency_sample_every == 0;
+                    let sample = cfg.latency_sample_every != 0 && i % cfg.latency_sample_every == 0;
                     let t0 = sample.then(Instant::now);
                     match op {
                         Op::Find(k) => {
@@ -154,7 +153,11 @@ pub fn throughput<F: ConcurrentHashFile + ?Sized + 'static>(
         latency.merge(&h.join().expect("worker"));
     }
     let elapsed = start.elapsed();
-    ThroughputResult { ops: cfg.threads * cfg.ops_per_thread as u64, elapsed, latency }
+    ThroughputResult {
+        ops: cfg.threads * cfg.ops_per_thread as u64,
+        elapsed,
+        latency,
+    }
 }
 
 /// Render a markdown table: a header row plus data rows.
@@ -190,7 +193,9 @@ pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Is this a quick run (`CEH_QUICK=1`)? Experiment binaries shrink their
 /// parameters so CI can smoke-test them.
 pub fn quick_mode() -> bool {
-    std::env::var("CEH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("CEH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -223,7 +228,10 @@ mod tests {
     fn md_table_renders() {
         let t = md_table(
             &["threads", "ops/s"],
-            &[vec!["1".into(), "100".into()], vec!["8".into(), "720".into()]],
+            &[
+                vec!["1".into(), "100".into()],
+                vec!["8".into(), "720".into()],
+            ],
         );
         assert!(t.contains("| threads |"));
         assert!(t.contains("|   720 |"), "{t}");

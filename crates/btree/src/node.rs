@@ -43,7 +43,15 @@ impl Node {
 
     pub fn new_internal(level: u32, children: Vec<NodeId>, keys: Vec<u64>) -> Self {
         debug_assert_eq!(children.len(), keys.len() + 1);
-        Node { leaf: false, level, keys, vals: Vec::new(), children, high_key: None, right: None }
+        Node {
+            leaf: false,
+            level,
+            keys,
+            vals: Vec::new(),
+            children,
+            high_key: None,
+            right: None,
+        }
     }
 
     /// Does `key` belong in this node (or must the searcher move right)?
@@ -75,7 +83,7 @@ impl Node {
         debug_assert!(!self.leaf);
         // keys[i] is the max key of children[i].
         let pos = match self.keys.binary_search(&key) {
-            Ok(i) => i,      // key == separator → left child holds it (≤)
+            Ok(i) => i, // key == separator → left child holds it (≤)
             Err(i) => i,
         };
         self.children[pos]
@@ -103,7 +111,11 @@ impl Node {
             leaf: self.leaf,
             level: self.level,
             keys: self.keys.split_off(mid),
-            vals: if self.leaf { self.vals.split_off(mid) } else { Vec::new() },
+            vals: if self.leaf {
+                self.vals.split_off(mid)
+            } else {
+                Vec::new()
+            },
             children: Vec::new(),
             high_key: self.high_key,
             right: self.right,

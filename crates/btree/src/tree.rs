@@ -428,8 +428,14 @@ mod tests {
     #[test]
     fn crud_roundtrip() {
         let t = tree(4);
-        assert_eq!(t.insert(Key(5), Value(50)).unwrap(), InsertOutcome::Inserted);
-        assert_eq!(t.insert(Key(5), Value(99)).unwrap(), InsertOutcome::AlreadyPresent);
+        assert_eq!(
+            t.insert(Key(5), Value(50)).unwrap(),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            t.insert(Key(5), Value(99)).unwrap(),
+            InsertOutcome::AlreadyPresent
+        );
         assert_eq!(t.find(Key(5)).unwrap(), Some(Value(50)));
         assert_eq!(t.delete(Key(5)).unwrap(), DeleteOutcome::Deleted);
         assert_eq!(t.delete(Key(5)).unwrap(), DeleteOutcome::NotFound);
@@ -447,7 +453,10 @@ mod tests {
             assert_eq!(t.find(Key(k)).unwrap(), Some(Value(k * 2)), "key {k}");
         }
         assert_eq!(t.find(Key(5000)).unwrap(), None);
-        assert!(t.node_count() > 250, "fanout 4 with 1000 keys needs many nodes");
+        assert!(
+            t.node_count() > 250,
+            "fanout 4 with 1000 keys needs many nodes"
+        );
     }
 
     #[test]
@@ -531,10 +540,20 @@ mod tests {
         };
         for _ in 0..50 {
             let got = t.range(Key(0), Key(999));
-            let evens: Vec<u64> =
-                got.iter().map(|(k, _)| k.0).filter(|k| k % 2 == 0).collect();
-            assert_eq!(evens, (0..1000u64).step_by(2).collect::<Vec<_>>(), "stable keys all seen");
-            assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "ordered despite racing splits");
+            let evens: Vec<u64> = got
+                .iter()
+                .map(|(k, _)| k.0)
+                .filter(|k| k % 2 == 0)
+                .collect();
+            assert_eq!(
+                evens,
+                (0..1000u64).step_by(2).collect::<Vec<_>>(),
+                "stable keys all seen"
+            );
+            assert!(
+                got.windows(2).all(|w| w[0].0 < w[1].0),
+                "ordered despite racing splits"
+            );
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         writer.join().unwrap();
@@ -580,15 +599,15 @@ mod tests {
                         match rng.random_range(0..3) {
                             0 => {
                                 let out = t.insert(Key(k), Value(i)).unwrap();
-                                assert_eq!(
-                                    out == InsertOutcome::Inserted,
-                                    !mine.contains_key(&k)
-                                );
+                                assert_eq!(out == InsertOutcome::Inserted, !mine.contains_key(&k));
                                 mine.entry(k).or_insert(i);
                             }
                             1 => {
                                 let out = t.delete(Key(k)).unwrap();
-                                assert_eq!(out == DeleteOutcome::Deleted, mine.remove(&k).is_some());
+                                assert_eq!(
+                                    out == DeleteOutcome::Deleted,
+                                    mine.remove(&k).is_some()
+                                );
                             }
                             _ => {
                                 assert_eq!(

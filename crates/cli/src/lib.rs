@@ -24,7 +24,9 @@ use ceh_core::{invariants, ConcurrentHashFile, FileCore, Solution2};
 use ceh_locks::LockManager;
 use ceh_storage::{PageStore, PageStoreConfig};
 use ceh_types::bucket::Bucket;
-use ceh_types::{hash_key, DeleteOutcome, Error, HashFileConfig, InsertOutcome, Key, Result, Value};
+use ceh_types::{
+    hash_key, DeleteOutcome, Error, HashFileConfig, InsertOutcome, Key, Result, Value,
+};
 
 /// A parsed CLI command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,7 +59,9 @@ pub fn parse_command(line: &str) -> std::result::Result<Command, String> {
     let mut parts = line.split_whitespace();
     let cmd = parts.next().ok_or("empty command")?;
     let mut arg = |name: &str| -> std::result::Result<u64, String> {
-        let raw = parts.next().ok_or_else(|| format!("{cmd}: missing <{name}>"))?;
+        let raw = parts
+            .next()
+            .ok_or_else(|| format!("{cmd}: missing <{name}>"))?;
         parse_u64(raw).ok_or_else(|| format!("{cmd}: <{name}> must be a number, got {raw:?}"))
     };
     let parsed = match cmd {
@@ -124,7 +128,9 @@ impl Index {
             let store = Arc::new(PageStore::create_file(path, store_cfg)?);
             FileCore::with_parts(cfg, store, locks, hash_key)?
         };
-        Ok(Index { file: Solution2::from_core(core) })
+        Ok(Index {
+            file: Solution2::from_core(core),
+        })
     }
 
     /// Execute one command, returning the text to print.
@@ -169,8 +175,8 @@ impl Index {
                     core.dir().depth(),
                     core.store().allocated_pages(),
                     core.len() as f64
-                        / (core.store().allocated_pages().max(1)
-                            * core.config().bucket_capacity) as f64,
+                        / (core.store().allocated_pages().max(1) * core.config().bucket_capacity)
+                            as f64,
                     s.finds_hit + s.finds_miss,
                     s.finds_hit,
                     s.inserts + s.inserts_duplicate,
@@ -237,8 +243,14 @@ mod tests {
 
     #[test]
     fn parses_every_command() {
-        assert_eq!(parse_command("put 1 2").unwrap(), Command::Put(Key(1), Value(2)));
-        assert_eq!(parse_command("set 0x10 0xff").unwrap(), Command::Put(Key(16), Value(255)));
+        assert_eq!(
+            parse_command("put 1 2").unwrap(),
+            Command::Put(Key(1), Value(2))
+        );
+        assert_eq!(
+            parse_command("set 0x10 0xff").unwrap(),
+            Command::Put(Key(16), Value(255))
+        );
         assert_eq!(parse_command("get 7").unwrap(), Command::Get(Key(7)));
         assert_eq!(parse_command("del 7").unwrap(), Command::Del(Key(7)));
         assert_eq!(parse_command("scan").unwrap(), Command::Scan);
@@ -270,12 +282,20 @@ mod tests {
     fn end_to_end_session() {
         let (index, path) = temp_index("session");
         assert_eq!(run_line(&index, "put 42 4200").unwrap(), "inserted");
-        assert_eq!(run_line(&index, "put 42 9").unwrap(), "already present (not overwritten)");
+        assert_eq!(
+            run_line(&index, "put 42 9").unwrap(),
+            "already present (not overwritten)"
+        );
         assert_eq!(run_line(&index, "get 42").unwrap(), "4200");
         assert_eq!(run_line(&index, "get 43").unwrap(), "(not found)");
-        assert!(run_line(&index, "fill 500").unwrap().starts_with("inserted"));
+        assert!(run_line(&index, "fill 500")
+            .unwrap()
+            .starts_with("inserted"));
         assert!(run_line(&index, "stats").unwrap().contains("records: 501"));
-        assert_eq!(run_line(&index, "verify").unwrap(), "all structural invariants hold");
+        assert_eq!(
+            run_line(&index, "verify").unwrap(),
+            "all structural invariants hold"
+        );
         let scan = run_line(&index, "scan").unwrap();
         assert!(scan.contains("42 = 4200"));
         assert!(scan.ends_with("(501 records)"));
@@ -292,7 +312,10 @@ mod tests {
         let reopened = Index::open(&path).unwrap();
         assert_eq!(reopened.len(), 500);
         assert_eq!(run_line(&reopened, "get 42").unwrap(), "(not found)");
-        assert_eq!(run_line(&reopened, "verify").unwrap(), "all structural invariants hold");
+        assert_eq!(
+            run_line(&reopened, "verify").unwrap(),
+            "all structural invariants hold"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -35,7 +35,9 @@ fn main() {
     if args.len() > 1 {
         // One-shot mode: the rest of argv is the command.
         let line = args[1..].join(" ");
-        match parse_command(&line).map_err(ceh_types::Error::Config).and_then(|c| index.execute(c))
+        match parse_command(&line)
+            .map_err(ceh_types::Error::Config)
+            .and_then(|c| index.execute(c))
         {
             Ok(out) => say(&out),
             Err(e) => {
@@ -47,7 +49,10 @@ fn main() {
     }
 
     // REPL mode.
-    say(&format!("ceh — extendible hash index at {path} ({} records). `help` for commands.", index.len()));
+    say(&format!(
+        "ceh — extendible hash index at {path} ({} records). `help` for commands.",
+        index.len()
+    ));
     let stdin = std::io::stdin();
     loop {
         print!("ceh> ");

@@ -313,7 +313,10 @@ mod tests {
 
     #[test]
     fn rejects_capacity_beyond_page() {
-        let store = PageStore::new_shared(PageStoreConfig { page_size: 128, ..Default::default() });
+        let store = PageStore::new_shared(PageStoreConfig {
+            page_size: 128,
+            ..Default::default()
+        });
         let locks = Arc::new(LockManager::default());
         let cfg = HashFileConfig::tiny().with_bucket_capacity(1000);
         assert!(FileCore::with_parts(cfg, store, locks, hash_key).is_err());

@@ -65,8 +65,9 @@ impl Directory {
                 Self::MAX_SUPPORTED_DEPTH
             )));
         }
-        let entries: Box<[Entry]> =
-            (0..1usize << max_depth).map(|_| Entry::new(PageId::NULL.0)).collect();
+        let entries: Box<[Entry]> = (0..1usize << max_depth)
+            .map(|_| Entry::new(PageId::NULL.0))
+            .collect();
         entries[0].store(root.0, Ordering::Relaxed);
         Ok(Directory {
             entries,
@@ -125,7 +126,8 @@ impl Directory {
         if delta >= 0 {
             self.depthcount.fetch_add(delta as u32, Ordering::Relaxed);
         } else {
-            self.depthcount.fetch_sub((-delta) as u32, Ordering::Relaxed);
+            self.depthcount
+                .fetch_sub((-delta) as u32, Ordering::Relaxed);
         }
     }
 
@@ -153,7 +155,9 @@ impl Directory {
     pub fn double(&self) -> Result<()> {
         let d = self.depth.load(Ordering::Relaxed); // only writers race us, and α excludes them
         if d >= self.max_depth {
-            return Err(Error::DirectoryFull { max_depth: self.max_depth });
+            return Err(Error::DirectoryFull {
+                max_depth: self.max_depth,
+            });
         }
         let half = 1usize << d;
         for i in 0..half {
@@ -237,7 +241,9 @@ impl Directory {
     /// figure rendering).
     pub fn entries_snapshot(&self) -> Vec<PageId> {
         let d = self.depth();
-        (0..1usize << d).map(|i| PageId(self.entries[i].load(Ordering::Relaxed))).collect()
+        (0..1usize << d)
+            .map(|i| PageId(self.entries[i].load(Ordering::Relaxed)))
+            .collect()
     }
 }
 
@@ -274,7 +280,10 @@ mod tests {
         let d = Directory::new(2, PageId(1)).unwrap();
         d.double().unwrap();
         d.double().unwrap();
-        assert_eq!(d.double().unwrap_err(), Error::DirectoryFull { max_depth: 2 });
+        assert_eq!(
+            d.double().unwrap_err(),
+            Error::DirectoryFull { max_depth: 2 }
+        );
     }
 
     #[test]
@@ -282,8 +291,8 @@ mod tests {
         let d = Directory::new(4, PageId(1)).unwrap();
         d.double().unwrap();
         d.double().unwrap(); // depth 2: entries 00,01,10,11 all -> p1
-        // Split the bucket holding …0 (localdepth 1): the new "1" partner
-        // (pattern 1 at depth 1) goes to p2.
+                             // Split the bucket holding …0 (localdepth 1): the new "1" partner
+                             // (pattern 1 at depth 1) goes to p2.
         d.update_one_side(PageId(2), 1, Pseudokey(0b0));
         assert_eq!(
             d.entries_snapshot(),
@@ -306,7 +315,7 @@ mod tests {
         d.update_one_side(PageId(2), 1, Pseudokey(0)); // [p1, p2]
         d.add_depthcount(2); // both at depth 1
         d.double().unwrap(); // depth 2: [p1, p2, p1, p2], depthcount 0
-        // Merge nothing — just halve (legal: halves are identical).
+                             // Merge nothing — just halve (legal: halves are identical).
         d.halve();
         assert_eq!(d.depth(), 1);
         assert_eq!(d.entries_snapshot(), vec![PageId(1), PageId(2)]);
@@ -336,7 +345,10 @@ mod tests {
                     let mut checks = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         let (depth, page) = d.lookup(Pseudokey(0xABCD_EF01));
-                        assert!(!page.is_null(), "reader saw unpublished entry at depth {depth}");
+                        assert!(
+                            !page.is_null(),
+                            "reader saw unpublished entry at depth {depth}"
+                        );
                         checks += 1;
                     }
                     checks

@@ -20,7 +20,9 @@ pub struct GlobalLockFile {
 impl GlobalLockFile {
     /// Create the file.
     pub fn new(cfg: HashFileConfig) -> Result<Self> {
-        Ok(GlobalLockFile { file: RwLock::new(SequentialHashFile::new(cfg)?) })
+        Ok(GlobalLockFile {
+            file: RwLock::new(SequentialHashFile::new(cfg)?),
+        })
     }
 
     /// Run a closure over the inner file (tests: snapshots, invariants).
@@ -63,7 +65,10 @@ mod tests {
     #[test]
     fn crud_through_the_trait() {
         let f = GlobalLockFile::new(HashFileConfig::tiny()).unwrap();
-        assert_eq!(f.insert(Key(5), Value(50)).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(
+            f.insert(Key(5), Value(50)).unwrap(),
+            InsertOutcome::Inserted
+        );
         assert_eq!(f.find(Key(5)).unwrap(), Some(Value(50)));
         assert_eq!(f.delete(Key(5)).unwrap(), DeleteOutcome::Deleted);
         assert!(f.is_empty());

@@ -64,7 +64,9 @@ pub fn check_concurrent_file(core: &FileCore) -> Result<()> {
     // No tombstones reachable at rest.
     for (&p, b) in &snap.buckets {
         if b.is_deleted() {
-            return Err(Error::Corrupt(format!("{p} is a reachable tombstone at quiescence")));
+            return Err(Error::Corrupt(format!(
+                "{p} is a reachable tombstone at quiescence"
+            )));
         }
     }
 
@@ -74,7 +76,9 @@ pub fn check_concurrent_file(core: &FileCore) -> Result<()> {
     let reachable: BTreeSet<PageId> = snap.buckets.keys().copied().collect();
     for p in core.store().allocated_page_ids() {
         if !reachable.contains(&p) {
-            return Err(Error::Corrupt(format!("{p} is allocated but unreachable (leak)")));
+            return Err(Error::Corrupt(format!(
+                "{p} is allocated but unreachable (leak)"
+            )));
         }
     }
 
@@ -99,7 +103,9 @@ fn check_chain(snap: &FileSnapshot) -> Result<()> {
     let mut prev_revkey: Option<u64> = None;
     loop {
         if !visited.insert(page) {
-            return Err(Error::Corrupt(format!("next chain revisits {page} (cycle)")));
+            return Err(Error::Corrupt(format!(
+                "next chain revisits {page} (cycle)"
+            )));
         }
         let b = snap
             .buckets
@@ -131,7 +137,10 @@ fn check_chain(snap: &FileSnapshot) -> Result<()> {
             break;
         }
         if !snap.buckets.contains_key(&b.next) {
-            return Err(Error::Corrupt(format!("{page}.next -> {} not in directory", b.next)));
+            return Err(Error::Corrupt(format!(
+                "{page}.next -> {} not in directory",
+                b.next
+            )));
         }
         page = b.next;
     }

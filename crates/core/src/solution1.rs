@@ -17,9 +17,7 @@
 
 use ceh_locks::LockId;
 use ceh_types::bits::{mask, partner_bit, partner_commonbits};
-use ceh_types::{
-    DeleteOutcome, HashFileConfig, InsertOutcome, Key, ManagerId, Result, Value,
-};
+use ceh_types::{DeleteOutcome, HashFileConfig, InsertOutcome, Key, ManagerId, Result, Value};
 
 use crate::common::{try_or_release, FileCore};
 use crate::traits::ConcurrentHashFile;
@@ -53,24 +51,35 @@ pub struct Solution1 {
 
 impl std::fmt::Debug for Solution1 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Solution1").field("core", &self.core).finish()
+        f.debug_struct("Solution1")
+            .field("core", &self.core)
+            .finish()
     }
 }
 
 impl Solution1 {
     /// Create a file with default options.
     pub fn new(cfg: HashFileConfig) -> Result<Self> {
-        Ok(Solution1 { core: FileCore::new(cfg)?, opts: Solution1Options::default() })
+        Ok(Solution1 {
+            core: FileCore::new(cfg)?,
+            opts: Solution1Options::default(),
+        })
     }
 
     /// Create a file with explicit options.
     pub fn with_options(cfg: HashFileConfig, opts: Solution1Options) -> Result<Self> {
-        Ok(Solution1 { core: FileCore::new(cfg)?, opts })
+        Ok(Solution1 {
+            core: FileCore::new(cfg)?,
+            opts,
+        })
     }
 
     /// Create a file over a prebuilt core (tests inject substrates).
     pub fn from_core(core: FileCore) -> Self {
-        Solution1 { core, opts: Solution1Options::default() }
+        Solution1 {
+            core,
+            opts: Solution1Options::default(),
+        }
     }
 
     /// The shared core (stats, store, directory — for tests and benches).
@@ -172,7 +181,10 @@ impl Solution1 {
         let oldpage = core.dir().index(selectedbits);
         core.xi_lock(owner, LockId::Page(oldpage));
         let mut current = try_or_release!(core, owner, core.getbucket(oldpage, &mut buf));
-        debug_assert!(current.owns(pk), "ξ on the directory: no wrong buckets possible");
+        debug_assert!(
+            current.owns(pk),
+            "ξ on the directory: no wrong buckets possible"
+        );
 
         // DEVIATION: check presence before considering a merge. Figure 7's
         // merge path never searches for z; at merge_threshold 0 the lone
@@ -343,8 +355,14 @@ mod tests {
     #[test]
     fn single_thread_crud() {
         let f = file();
-        assert_eq!(f.insert(Key(1), Value(10)).unwrap(), InsertOutcome::Inserted);
-        assert_eq!(f.insert(Key(1), Value(20)).unwrap(), InsertOutcome::AlreadyPresent);
+        assert_eq!(
+            f.insert(Key(1), Value(10)).unwrap(),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            f.insert(Key(1), Value(20)).unwrap(),
+            InsertOutcome::AlreadyPresent
+        );
         assert_eq!(f.find(Key(1)).unwrap(), Some(Value(10)));
         assert_eq!(f.delete(Key(1)).unwrap(), DeleteOutcome::Deleted);
         assert_eq!(f.delete(Key(1)).unwrap(), DeleteOutcome::NotFound);
@@ -391,7 +409,9 @@ mod tests {
 
     #[test]
     fn directory_full_releases_locks() {
-        let cfg = HashFileConfig::tiny().with_bucket_capacity(1).with_max_depth(2);
+        let cfg = HashFileConfig::tiny()
+            .with_bucket_capacity(1)
+            .with_max_depth(2);
         let f = Solution1::new(cfg).unwrap();
         let mut got_err = false;
         for k in 0..64u64 {
@@ -405,9 +425,15 @@ mod tests {
             }
         }
         assert!(got_err);
-        assert_eq!(f.core().locks().total_granted(), 0, "error path released all locks");
+        assert_eq!(
+            f.core().locks().total_granted(),
+            0,
+            "error path released all locks"
+        );
         // The file keeps working after the failure.
-        let present = (0..64u64).filter(|&k| f.find(Key(k)).unwrap().is_some()).count();
+        let present = (0..64u64)
+            .filter(|&k| f.find(Key(k)).unwrap().is_some())
+            .count();
         assert!(present > 0);
     }
 
@@ -415,7 +441,9 @@ mod tests {
     fn pessimistic_find_option_works() {
         let f = Solution1::with_options(
             HashFileConfig::tiny(),
-            Solution1Options { pessimistic_find: true },
+            Solution1Options {
+                pessimistic_find: true,
+            },
         )
         .unwrap();
         for k in 0..100u64 {

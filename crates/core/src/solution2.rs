@@ -65,7 +65,10 @@ pub struct Solution2Options {
 
 impl Default for Solution2Options {
     fn default() -> Self {
-        Solution2Options { max_retries: 10_000, gc: GcStrategy::Inline }
+        Solution2Options {
+            max_retries: 10_000,
+            gc: GcStrategy::Inline,
+        }
     }
 }
 
@@ -113,7 +116,9 @@ pub struct Solution2 {
 
 impl std::fmt::Debug for Solution2 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Solution2").field("core", &self.core).finish()
+        f.debug_struct("Solution2")
+            .field("core", &self.core)
+            .finish()
     }
 }
 
@@ -131,7 +136,10 @@ impl Drop for Solution2 {
 impl Solution2 {
     /// Create a file with default options.
     pub fn new(cfg: HashFileConfig) -> Result<Self> {
-        Ok(Self::assemble(FileCore::new(cfg)?, Solution2Options::default()))
+        Ok(Self::assemble(
+            FileCore::new(cfg)?,
+            Solution2Options::default(),
+        ))
     }
 
     /// Create a file with explicit options.
@@ -163,7 +171,12 @@ impl Solution2 {
                 (Some(tx), Some(handle))
             }
         };
-        Solution2 { core, opts, gc_tx, gc_thread }
+        Solution2 {
+            core,
+            opts,
+            gc_tx,
+            gc_thread,
+        }
     }
 
     /// The background collector: drain garbage page ids, reclaiming up to
@@ -191,9 +204,7 @@ impl Solution2 {
                     Err(_) => break,
                 }
             }
-            while queue.len() >= batch
-                || (!queue.is_empty() && (stopping || !flushes.is_empty()))
-            {
+            while queue.len() >= batch || (!queue.is_empty() && (stopping || !flushes.is_empty())) {
                 let take = queue.len().min(batch);
                 let pass: Vec<PageId> = queue.drain(..take).collect();
                 Self::gc_pass(core, &pass);
@@ -222,7 +233,9 @@ impl Solution2 {
                 core.dir().halve();
                 core.stats().halvings();
             }
-            core.store().dealloc(page).expect("background GC double-free");
+            core.store()
+                .dealloc(page)
+                .expect("background GC double-free");
             core.un_xi_lock(owner, LockId::Page(page));
         }
         if core.dir().depthcount() == 0 && core.dir().depth() > 1 {
@@ -358,7 +371,9 @@ impl Solution2 {
             }
             core.stats().insert_retries();
         }
-        Err(Error::RetriesExhausted { op: "solution2 insert" })
+        Err(Error::RetriesExhausted {
+            op: "solution2 insert",
+        })
     }
 
     /// Figure 9, the deletion algorithm.
@@ -504,8 +519,16 @@ impl Solution2 {
             tombstone.next = merged_page;
             tombstone.version = survivor.version;
 
-            try_or_release!(core, owner, core.putbucket(merged_page, &survivor, &mut buf));
-            try_or_release!(core, owner, core.putbucket(garbage_page, &tombstone, &mut buf));
+            try_or_release!(
+                core,
+                owner,
+                core.putbucket(merged_page, &survivor, &mut buf)
+            );
+            try_or_release!(
+                core,
+                owner,
+                core.putbucket(garbage_page, &tombstone, &mut buf)
+            );
             core.dir().update_one_side(merged_page, old_ld, pk);
             core.stats().merges();
             core.un_xi_lock(owner, LockId::Page(oldpage));
@@ -540,7 +563,9 @@ impl Solution2 {
             }
             return Ok(DeleteOutcome::Deleted);
         }
-        Err(Error::RetriesExhausted { op: "solution2 delete" })
+        Err(Error::RetriesExhausted {
+            op: "solution2 delete",
+        })
     }
 
     /// The "just remove it" tail shared by the unmergeable paths. Holds:
@@ -608,8 +633,14 @@ mod tests {
     #[test]
     fn single_thread_crud() {
         let f = file();
-        assert_eq!(f.insert(Key(1), Value(10)).unwrap(), InsertOutcome::Inserted);
-        assert_eq!(f.insert(Key(1), Value(20)).unwrap(), InsertOutcome::AlreadyPresent);
+        assert_eq!(
+            f.insert(Key(1), Value(10)).unwrap(),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            f.insert(Key(1), Value(20)).unwrap(),
+            InsertOutcome::AlreadyPresent
+        );
         assert_eq!(f.find(Key(1)).unwrap(), Some(Value(10)));
         assert_eq!(f.delete(Key(1)).unwrap(), DeleteOutcome::Deleted);
         assert_eq!(f.delete(Key(1)).unwrap(), DeleteOutcome::NotFound);
@@ -670,7 +701,10 @@ mod tests {
     fn background_gc_collects_everything() {
         let f = Solution2::with_options(
             HashFileConfig::tiny(),
-            Solution2Options { max_retries: 10_000, gc: GcStrategy::Background { batch: 8 } },
+            Solution2Options {
+                max_retries: 10_000,
+                gc: GcStrategy::Background { batch: 8 },
+            },
         )
         .unwrap();
         for k in 0..200u64 {
@@ -691,7 +725,10 @@ mod tests {
         let f = std::sync::Arc::new(
             Solution2::with_options(
                 HashFileConfig::tiny(),
-                Solution2Options { max_retries: 10_000, gc: GcStrategy::Background { batch: 4 } },
+                Solution2Options {
+                    max_retries: 10_000,
+                    gc: GcStrategy::Background { batch: 4 },
+                },
             )
             .unwrap(),
         );
@@ -728,7 +765,10 @@ mod tests {
             store = std::sync::Arc::clone(core.store());
             let f = Solution2::from_core_with_options(
                 core,
-                Solution2Options { max_retries: 10_000, gc: GcStrategy::Background { batch: 64 } },
+                Solution2Options {
+                    max_retries: 10_000,
+                    gc: GcStrategy::Background { batch: 64 },
+                },
             );
             for k in 0..100u64 {
                 f.insert(Key(k), Value(k)).unwrap();
@@ -743,13 +783,18 @@ mod tests {
         for p in store.allocated_page_ids() {
             store.read(p, &mut buf).unwrap();
             let b = ceh_types::bucket::Bucket::decode(&buf).unwrap();
-            assert!(!b.is_deleted(), "{p} is an uncollected tombstone after drop");
+            assert!(
+                !b.is_deleted(),
+                "{p} is an uncollected tombstone after drop"
+            );
         }
     }
 
     #[test]
     fn directory_full_releases_locks() {
-        let cfg = HashFileConfig::tiny().with_bucket_capacity(1).with_max_depth(2);
+        let cfg = HashFileConfig::tiny()
+            .with_bucket_capacity(1)
+            .with_max_depth(2);
         let f = Solution2::new(cfg).unwrap();
         let mut got_err = false;
         for k in 0..64u64 {

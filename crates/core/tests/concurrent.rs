@@ -90,7 +90,11 @@ fn torture<F: ConcurrentHashFile + 'static>(
     // Quiescent equivalence with the union of the per-thread models.
     assert_eq!(file.len(), surviving.len(), "len at quiescence");
     for (&k, &v) in &surviving {
-        assert_eq!(file.find(Key(k)).unwrap(), Some(Value(v)), "surviving key {k}");
+        assert_eq!(
+            file.find(Key(k)).unwrap(),
+            Some(Value(v)),
+            "surviving key {k}"
+        );
     }
 }
 
@@ -100,7 +104,10 @@ fn solution1_torture() {
     torture(Arc::clone(&f), 8, 1500, 0x51);
     check_concurrent_file(f.core()).unwrap();
     let s = f.core().stats().snapshot();
-    assert!(s.splits > 0 && s.merges > 0, "torture must exercise restructuring: {s:?}");
+    assert!(
+        s.splits > 0 && s.merges > 0,
+        "torture must exercise restructuring: {s:?}"
+    );
 }
 
 #[test]
@@ -109,7 +116,10 @@ fn solution2_torture() {
     torture(Arc::clone(&f), 8, 1500, 0x52);
     check_concurrent_file(f.core()).unwrap();
     let s = f.core().stats().snapshot();
-    assert!(s.splits > 0 && s.merges > 0, "torture must exercise restructuring: {s:?}");
+    assert!(
+        s.splits > 0 && s.merges > 0,
+        "torture must exercise restructuring: {s:?}"
+    );
     assert_eq!(s.gc_phases, s.merges);
 }
 
@@ -136,7 +146,9 @@ fn solution2_torture_with_merge_threshold() {
     // merge_threshold 2 makes merges far more frequent, stressing the
     // label-A paths and tombstone GC.
     let f = Arc::new(Solution2::from_core(watchdog_core(
-        HashFileConfig::tiny().with_bucket_capacity(6).with_merge_threshold(2),
+        HashFileConfig::tiny()
+            .with_bucket_capacity(6)
+            .with_merge_threshold(2),
     )));
     torture(Arc::clone(&f), 8, 1500, 0x252);
     check_concurrent_file(f.core()).unwrap();
@@ -152,8 +164,7 @@ fn same_key_updates_serialize() {
         |c| Box::new(Solution1::from_core(c)) as Box<dyn ConcurrentHashFile>,
         |c| Box::new(Solution2::from_core(c)) as Box<dyn ConcurrentHashFile>,
     ] {
-        let f: Arc<dyn ConcurrentHashFile> =
-            Arc::from(make(watchdog_core(HashFileConfig::tiny())));
+        let f: Arc<dyn ConcurrentHashFile> = Arc::from(make(watchdog_core(HashFileConfig::tiny())));
         for round in 0..20u64 {
             let key = Key(round * 1000 + 7);
             let inserted: usize = (0..8u64)
@@ -179,8 +190,7 @@ fn same_key_updates_serialize() {
                 .map(|_| {
                     let f = Arc::clone(&f);
                     std::thread::spawn(move || {
-                        matches!(f.delete(key).unwrap(), ceh_types::DeleteOutcome::Deleted)
-                            as usize
+                        matches!(f.delete(key).unwrap(), ceh_types::DeleteOutcome::Deleted) as usize
                     })
                 })
                 .collect::<Vec<_>>()

@@ -37,7 +37,11 @@ fn build_file() -> Solution2 {
     for k in [0b00u64, 0b10, 0b01, 0b11, 0b100, 0b101] {
         f.insert(Key(k), Value(k)).unwrap();
     }
-    assert_eq!(f.core().dir().depth(), 2, "setup must reach the four-bucket state");
+    assert_eq!(
+        f.core().dir().depth(),
+        2,
+        "setup must reach the four-bucket state"
+    );
     f
 }
 
@@ -60,7 +64,9 @@ fn second_of_pair_refilled_while_waiting() {
     let target_page = page_of(&f, 0b10);
 
     let saboteur_owner = f.core().locks().new_owner();
-    f.core().locks().lock(saboteur_owner, LockId::Page(zero_page), LockMode::Xi);
+    f.core()
+        .locks()
+        .lock(saboteur_owner, LockId::Page(zero_page), LockMode::Xi);
 
     let deleter = {
         let f = Arc::clone(&f);
@@ -75,11 +81,16 @@ fn second_of_pair_refilled_while_waiting() {
     // insert acquires it freely).
     {
         let mut buf = f.core().new_buf();
-        assert_eq!(f.core().getbucket(target_page, &mut buf).unwrap().count(), 1);
+        assert_eq!(
+            f.core().getbucket(target_page, &mut buf).unwrap().count(),
+            1
+        );
     }
     f.insert(Key(0b110), Value(99)).unwrap();
 
-    f.core().locks().unlock(saboteur_owner, LockId::Page(zero_page), LockMode::Xi);
+    f.core()
+        .locks()
+        .unlock(saboteur_owner, LockId::Page(zero_page), LockMode::Xi);
     assert_eq!(deleter.join().unwrap(), DeleteOutcome::Deleted);
 
     // No merge happened: the refilled record survived in place.
@@ -105,7 +116,9 @@ fn second_of_pair_key_moves_while_waiting() {
 
     let zero_page = page_of(&f, 0b00);
     let saboteur_owner = f.core().locks().new_owner();
-    f.core().locks().lock(saboteur_owner, LockId::Page(zero_page), LockMode::Xi);
+    f.core()
+        .locks()
+        .lock(saboteur_owner, LockId::Page(zero_page), LockMode::Xi);
 
     let deleter = {
         let f = Arc::clone(&f);
@@ -120,13 +133,22 @@ fn second_of_pair_key_moves_while_waiting() {
     f.insert(Key(0b1010), Value(10)).unwrap(); // forces the split
     assert!(f.core().stats().snapshot().splits >= 1);
 
-    f.core().locks().unlock(saboteur_owner, LockId::Page(zero_page), LockMode::Xi);
+    f.core()
+        .locks()
+        .unlock(saboteur_owner, LockId::Page(zero_page), LockMode::Xi);
     assert_eq!(deleter.join().unwrap(), DeleteOutcome::Deleted);
-    assert_eq!(f.find(Key(0b110)).unwrap(), None, "the moved key was still deleted");
+    assert_eq!(
+        f.find(Key(0b110)).unwrap(),
+        None,
+        "the moved key was still deleted"
+    );
     assert_eq!(f.find(Key(0b010)).unwrap(), Some(Value(2)));
     assert_eq!(f.find(Key(0b1010)).unwrap(), Some(Value(10)));
     let s = f.core().stats().snapshot();
-    assert!(s.delete_retries >= 1, "the owns revalidation must have retried: {s:?}");
+    assert!(
+        s.delete_retries >= 1,
+        "the owns revalidation must have retried: {s:?}"
+    );
     invariants::check_concurrent_file(f.core()).unwrap();
 }
 
@@ -150,7 +172,11 @@ fn racing_deleters_on_one_pair() {
         assert_eq!(d2.join().unwrap(), DeleteOutcome::Deleted);
         assert_eq!(f.find(Key(0b01)).unwrap(), None);
         assert_eq!(f.find(Key(0b11)).unwrap(), None);
-        assert_eq!(f.find(Key(0b101)).unwrap(), Some(Value(0b101)), "bystander survives");
+        assert_eq!(
+            f.find(Key(0b101)).unwrap(),
+            Some(Value(0b101)),
+            "bystander survives"
+        );
         invariants::check_concurrent_file(f.core()).unwrap();
     }
 }
@@ -205,7 +231,9 @@ fn reader_recovers_through_tombstone() {
     let target_page = page_of(&f, 0b11); // bucket 11: {11}
 
     let saboteur_owner = f.core().locks().new_owner();
-    f.core().locks().lock(saboteur_owner, LockId::Page(target_page), LockMode::Xi);
+    f.core()
+        .locks()
+        .lock(saboteur_owner, LockId::Page(target_page), LockMode::Xi);
 
     // Reader heads for 0b111, which routes to bucket 11; it blocks on
     // our ξ-lock.
@@ -218,7 +246,9 @@ fn reader_recovers_through_tombstone() {
     // Merge 11 into 01 by hand, exactly as a Figure-9 merge would (we
     // hold the deleter's ξ-locks).
     let partner_owner = f.core().locks().new_owner();
-    f.core().locks().lock(partner_owner, LockId::Page(one_page), LockMode::Xi);
+    f.core()
+        .locks()
+        .lock(partner_owner, LockId::Page(one_page), LockMode::Xi);
     let mut buf = f.core().new_buf();
     let mut survivor = f.core().getbucket(one_page, &mut buf).unwrap();
     let victim = f.core().getbucket(target_page, &mut buf).unwrap();
@@ -231,15 +261,28 @@ fn reader_recovers_through_tombstone() {
     tomb.mark_deleted();
     tomb.next = one_page;
     f.core().putbucket(target_page, &tomb, &mut buf).unwrap();
-    f.core().dir().update_one_side(one_page, 2, ceh_types::Pseudokey(0b11));
+    f.core()
+        .dir()
+        .update_one_side(one_page, 2, ceh_types::Pseudokey(0b11));
     f.core().dir().add_depthcount(-2);
-    f.core().locks().unlock(partner_owner, LockId::Page(one_page), LockMode::Xi);
+    f.core()
+        .locks()
+        .unlock(partner_owner, LockId::Page(one_page), LockMode::Xi);
 
     // Release the reader: it reads the tombstone, chases next to the
     // survivor, and concludes correctly.
-    f.core().locks().unlock(saboteur_owner, LockId::Page(target_page), LockMode::Xi);
+    f.core()
+        .locks()
+        .unlock(saboteur_owner, LockId::Page(target_page), LockMode::Xi);
     assert_eq!(reader.join().unwrap(), None, "0b111 was never inserted");
-    assert_eq!(f.find(Key(0b11)).unwrap(), Some(Value(0b11)), "merged key reachable");
+    assert_eq!(
+        f.find(Key(0b11)).unwrap(),
+        Some(Value(0b11)),
+        "merged key reachable"
+    );
     let s = f.core().stats().snapshot();
-    assert!(s.wrong_bucket_recoveries >= 1, "the reader must have recovered: {s:?}");
+    assert!(
+        s.wrong_bucket_recoveries >= 1,
+        "the reader must have recovered: {s:?}"
+    );
 }

@@ -17,7 +17,10 @@ struct ModelDir {
 
 impl ModelDir {
     fn new(root: u64) -> Self {
-        ModelDir { entries: vec![root], depth: 0 }
+        ModelDir {
+            entries: vec![root],
+            depth: 0,
+        }
     }
 
     fn double(&mut self) {
@@ -48,7 +51,11 @@ fn run_script(seed: u64, steps: usize) -> (Vec<PageId>, Vec<u64>, u32) {
     }
     let dir = Directory::new(10, PageId(0)).unwrap();
     let mut model = ModelDir::new(0);
-    let mut buckets = vec![B { pattern: 0, ld: 0, page: 0 }];
+    let mut buckets = vec![B {
+        pattern: 0,
+        ld: 0,
+        page: 0,
+    }];
     let mut next_page = 1u64;
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -72,8 +79,16 @@ fn run_script(seed: u64, steps: usize) -> (Vec<PageId>, Vec<u64>, u32) {
         let pk = old.pattern | (rng.random::<u64>() << d);
         dir.update_one_side(PageId(new_page), d, Pseudokey(pk));
         model.update_one_side(new_page, d, pk);
-        buckets[i] = B { pattern: old.pattern, ld: d, page: old.page };
-        buckets.push(B { pattern: old.pattern | partner_bit(d), ld: d, page: new_page });
+        buckets[i] = B {
+            pattern: old.pattern,
+            ld: d,
+            page: old.page,
+        };
+        buckets.push(B {
+            pattern: old.pattern | partner_bit(d),
+            ld: d,
+            page: new_page,
+        });
     }
     (dir.entries_snapshot(), model.entries, model.depth)
 }

@@ -34,7 +34,8 @@ fn run<F: ConcurrentHashFile>(file: &F, core: &ceh_core::FileCore, ops: &[Op]) {
         match *op {
             Op::Insert(k, v) => {
                 let out = file.insert(Key(k), Value(v)).unwrap();
-                let expected = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                let expected = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k)
+                {
                     e.insert(v);
                     InsertOutcome::Inserted
                 } else {

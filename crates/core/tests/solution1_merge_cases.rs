@@ -21,9 +21,13 @@ fn build_file() -> Solution1 {
         page_size: Bucket::page_size_for(2),
         ..Default::default()
     });
-    let core =
-        FileCore::with_parts(cfg, store, Arc::new(LockManager::default()), identity_pseudokey)
-            .unwrap();
+    let core = FileCore::with_parts(
+        cfg,
+        store,
+        Arc::new(LockManager::default()),
+        identity_pseudokey,
+    )
+    .unwrap();
     let f = Solution1::from_core(core);
     for k in [0b00u64, 0b10, 0b01, 0b11, 0b100, 0b101] {
         f.insert(Key(k), Value(k)).unwrap();
@@ -97,8 +101,15 @@ fn delete_from_second_of_pair_merges_up() {
     assert_eq!(survivor.commonbits, 0b0);
     let mut keys: Vec<u64> = survivor.records.iter().map(|r| r.key.0).collect();
     keys.sort_unstable();
-    assert_eq!(keys, vec![0b00, 0b100], "the survivor keeps its own records");
-    assert_eq!(survivor.next, chain_after, "chain spliced past the deleted bucket");
+    assert_eq!(
+        keys,
+        vec![0b00, 0b100],
+        "the survivor keeps its own records"
+    );
+    assert_eq!(
+        survivor.next, chain_after,
+        "chain spliced past the deleted bucket"
+    );
     assert_eq!(f.core().store().allocated_pages(), pages_before - 1);
     assert_eq!(page_of(&f, 0b00), zero_page);
     assert_eq!(page_of(&f, 0b10), zero_page);
@@ -144,7 +155,10 @@ fn merge_at_full_depth_halves_directory() {
     f.delete(Key(0b101)).unwrap(); // deep bucket 101:{101,1001}? remove one
     f.delete(Key(0b1001)).unwrap();
     f.delete(Key(0b01)).unwrap();
-    assert!(f.core().dir().depth() < 3, "directory halved after the full-depth merge");
+    assert!(
+        f.core().dir().depth() < 3,
+        "directory halved after the full-depth merge"
+    );
     invariants::check_concurrent_file(f.core()).unwrap();
     // Everything else still reachable.
     for k in [0b00u64, 0b10, 0b11, 0b100] {

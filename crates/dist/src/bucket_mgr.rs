@@ -16,10 +16,6 @@ use crate::msg::{Msg, OpEnvelope, OpKind, UserOutcome};
 use crate::replica::DirUpdate;
 use crate::site::Site;
 
-/// How long a slave waits for a protocol reply (MDReply, MUReply,
-/// Goahead, Splitreply, WrongbucketAck) before treating the peer as gone.
-const REPLY_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
-
 /// The front-end loop: receive, dispatch. `Splitbucket` is handled
 /// inline (Figure 14's front end does exactly that); everything else gets
 /// a slave process (`p = createprocess (bucketslave); forward (msg, p)`).
@@ -27,13 +23,28 @@ pub(crate) fn run_front_end(site: Arc<Site>, rx: PortRx<Msg>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Shutdown => break,
-            Msg::Splitbucket { reply_port, half2 } => {
+            Msg::Splitbucket {
+                reply_port,
+                half2,
+                fences,
+            } => {
                 // "newpage = allocbucket(); putbucket (newpage, msg.half2);
                 //  SendSplitReply (msg.replyport, newpage, myid);"
-                let page = site.store.alloc().expect("split placement site out of pages");
+                // The records now live here; so must their fence entries.
+                site.fence_merge(&fences);
+                let page = site
+                    .store
+                    .alloc()
+                    .expect("split placement site out of pages");
                 let mut buf = site.new_buf();
-                site.putbucket(page, &half2, &mut buf).expect("write split half");
-                site.net.send(reply_port, Msg::Splitreply { link: BucketLink::new(site.id, page) });
+                site.putbucket(page, &half2, &mut buf)
+                    .expect("write split half");
+                site.net.send(
+                    reply_port,
+                    Msg::Splitreply {
+                        link: BucketLink::new(site.id, page),
+                    },
+                );
             }
             other => {
                 let site = Arc::clone(&site);
@@ -48,15 +59,28 @@ fn run_slave(site: Arc<Site>, msg: Msg) {
     match msg {
         Msg::BucketOp(env) => slave_op(&site, env, None),
         Msg::Wrongbucket { env, buckmgr_port } => slave_op(&site, env, Some(buckmgr_port)),
-        Msg::Mergedown { partner, localdepth, reply_port } => {
-            slave_mergedown(&site, partner, localdepth, reply_port)
-        }
-        Msg::Mergeup { partner, target, target_mgr, reply_port } => {
-            slave_mergeup(&site, partner, target, target_mgr, reply_port)
-        }
-        Msg::GarbageCollect { pages } => slave_garbage_collect(&site, pages),
+        Msg::Mergedown {
+            partner,
+            localdepth,
+            reply_port,
+        } => slave_mergedown(&site, partner, localdepth, reply_port),
+        Msg::Mergeup {
+            partner,
+            target,
+            target_mgr,
+            reply_port,
+        } => slave_mergeup(&site, partner, target, target_mgr, reply_port),
+        Msg::GarbageCollect {
+            pages,
+            gc_id,
+            ack_port,
+        } => slave_garbage_collect(&site, pages, gc_id, ack_port),
         other => {
-            debug_assert!(false, "slave got unexpected {}", ceh_net::MsgClass::class(&other));
+            debug_assert!(
+                false,
+                "slave got unexpected {}",
+                ceh_net::MsgClass::class(&other)
+            );
         }
     }
 }
@@ -95,8 +119,14 @@ fn walk_to_owner(
     } else if env.op == OpKind::Find {
         // The find slave releases the directory manager's attention
         // immediately; the user gets found/notfound from us directly.
-        site.net
-            .send(env.dirmgr_port, Msg::Bucketdone { txn: env.txn, success: true, outcome: None });
+        site.net.send(
+            env.dirmgr_port,
+            Msg::Bucketdone {
+                txn: env.txn,
+                success: true,
+                outcome: None,
+            },
+        );
     }
     let mut current = match site.getbucket(oldpage, &mut buf) {
         Ok(b) => b,
@@ -107,7 +137,8 @@ fn walk_to_owner(
         }
     };
     while !current.owns(env.pseudokey) {
-        site.recoveries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        site.recoveries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let next = current.next;
         let next_mgr = current.next_mgr;
         if next.is_null() {
@@ -123,8 +154,14 @@ fn walk_to_owner(
             let (_reply_id, reply_rx) = site.net.create_port();
             let mut fwd_env = env.clone();
             fwd_env.page = next;
-            site.net.send(port, Msg::Wrongbucket { env: fwd_env, buckmgr_port: reply_rx.id() });
-            match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+            site.net.send(
+                port,
+                Msg::Wrongbucket {
+                    env: fwd_env,
+                    buckmgr_port: reply_rx.id(),
+                },
+            );
+            match reply_rx.recv_timeout(site.reply_timeout) {
                 Ok(Msg::WrongbucketAck) => {}
                 _ => { /* peer gone; our lock release below is all we can do */ }
             }
@@ -147,7 +184,14 @@ fn walk_to_owner(
 }
 
 fn bucketdone(site: &Site, env: &OpEnvelope, success: bool, outcome: Option<UserOutcome>) {
-    site.net.send(env.dirmgr_port, Msg::Bucketdone { txn: env.txn, success, outcome });
+    site.net.send(
+        env.dirmgr_port,
+        Msg::Bucketdone {
+            txn: env.txn,
+            success,
+            outcome,
+        },
+    );
 }
 
 fn slave_op(site: &Site, env: OpEnvelope, wrongbucket_ack_to: Option<PortId>) {
@@ -173,7 +217,13 @@ fn slave_find(site: &Site, env: OpEnvelope, fwd: Option<PortId>) {
             let found = bucket.search(env.key);
             site.unlock(owner, page, LockMode::Rho);
             // found(z) / notfound(z): answer the user directly.
-            site.net.send(env.user_port, Msg::UserReply { outcome: UserOutcome::Found(found) });
+            site.net.send(
+                env.user_port,
+                Msg::UserReply {
+                    outcome: UserOutcome::Found(found),
+                    req_id: env.req_id,
+                },
+            );
         }
     }
 }
@@ -189,22 +239,44 @@ fn slave_insert(site: &Site, env: OpEnvelope, fwd: Option<PortId>) {
         }
         Walk::Local(p, b) => (p, b),
     };
+    if !site.fence_allows(env.user_port, env.req_id) {
+        // Zombie: an abandoned re-drive of a request the client has moved
+        // past. Refuse it — applying it could resurrect deleted data. The
+        // `Failed` outcome retires the transaction without being cached.
+        site.unlock(owner, oldpage, LockMode::Alpha);
+        bucketdone(site, &env, true, Some(UserOutcome::Failed));
+        return;
+    }
+    site.fence_record(env.user_port, env.req_id);
     let mut buf = site.new_buf();
 
     if current.search(env.key).is_some() {
         site.unlock(owner, oldpage, LockMode::Alpha);
-        bucketdone(site, &env, true, Some(UserOutcome::Inserted(InsertOutcome::AlreadyPresent)));
+        bucketdone(
+            site,
+            &env,
+            true,
+            Some(UserOutcome::Inserted(InsertOutcome::AlreadyPresent)),
+        );
         return;
     }
     if current.count() < site.cfg.bucket_capacity {
-        current.add(Record { key: env.key, value: env.value });
+        current.add(Record {
+            key: env.key,
+            value: env.value,
+        });
         if site.putbucket(oldpage, &current, &mut buf).is_err() {
             site.unlock(owner, oldpage, LockMode::Alpha);
             bucketdone(site, &env, false, None);
             return;
         }
         site.unlock(owner, oldpage, LockMode::Alpha);
-        bucketdone(site, &env, true, Some(UserOutcome::Inserted(InsertOutcome::Inserted)));
+        bucketdone(
+            site,
+            &env,
+            true,
+            Some(UserOutcome::Inserted(InsertOutcome::Inserted)),
+        );
         return;
     }
 
@@ -241,9 +313,13 @@ fn slave_insert(site: &Site, env: OpEnvelope, fwd: Option<PortId>) {
                 let (_id, reply_rx) = site.net.create_port();
                 site.net.send(
                     port,
-                    Msg::Splitbucket { reply_port: reply_rx.id(), half2: Box::new(half2) },
+                    Msg::Splitbucket {
+                        reply_port: reply_rx.id(),
+                        half2: Box::new(half2),
+                        fences: site.fence_snapshot(),
+                    },
                 );
-                match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+                match reply_rx.recv_timeout(site.reply_timeout) {
                     Ok(Msg::Splitreply { link }) => Some(link),
                     _ => None,
                 }
@@ -295,14 +371,20 @@ fn slave_delete(site: &Site, env: OpEnvelope, fwd: Option<PortId>) {
         }
         Walk::Local(p, b) => (p, b),
     };
+    if !site.fence_allows(env.user_port, env.req_id) {
+        // Zombie re-drive (see `slave_insert`): refuse rather than apply.
+        site.unlock(owner, oldpage, LockMode::Xi);
+        bucketdone(site, &env, true, Some(UserOutcome::Failed));
+        return;
+    }
+    site.fence_record(env.user_port, env.req_id);
     let mut buf = site.new_buf();
     let threshold = site.cfg.merge_threshold;
     // The same bounded degradation as centralized Solution 2: after a few
     // re-drives, stop attempting merges.
     let allow_merge = env.attempt < 3;
 
-    let too_empty =
-        allow_merge && current.count() <= threshold + 1 && current.localdepth > 1;
+    let too_empty = allow_merge && current.count() <= threshold + 1 && current.localdepth > 1;
     if !too_empty {
         let outcome = if current.remove(env.key) {
             if site.putbucket(oldpage, &current, &mut buf).is_err() {
@@ -320,7 +402,12 @@ fn slave_delete(site: &Site, env: OpEnvelope, fwd: Option<PortId>) {
     }
     if current.search(env.key).is_none() {
         site.unlock(owner, oldpage, LockMode::Xi);
-        bucketdone(site, &env, true, Some(UserOutcome::Deleted(DeleteOutcome::NotFound)));
+        bucketdone(
+            site,
+            &env,
+            true,
+            Some(UserOutcome::Deleted(DeleteOutcome::NotFound)),
+        );
         return;
     }
 
@@ -352,7 +439,12 @@ fn delete_first_of_pair(
         let ok = site.putbucket(oldpage, &current, &mut buf).is_ok();
         site.unlock(owner, oldpage, LockMode::Xi);
         if ok {
-            bucketdone(site, env, true, Some(UserOutcome::Deleted(DeleteOutcome::Deleted)));
+            bucketdone(
+                site,
+                env,
+                true,
+                Some(UserOutcome::Deleted(DeleteOutcome::Deleted)),
+            );
         } else {
             bucketdone(site, env, false, None);
         }
@@ -432,11 +524,16 @@ fn delete_first_of_pair(
             reply_port: reply_rx.id(),
         },
     );
-    let reply = reply_rx.recv_timeout(REPLY_TIMEOUT);
+    let reply = reply_rx.recv_timeout(site.reply_timeout);
     match reply {
-        Ok(Msg::MDReply { buffer: Some(brother), success: true }) => {
+        Ok(Msg::MDReply {
+            buffer: Some(brother),
+            success: true,
+            fences,
+        }) => {
             // The remote side has already tombstoned the partner; finish
-            // the merge here.
+            // the merge here. Its records (and their fences) now live here.
+            site.fence_merge(&fences);
             let expected_v0 = current.version;
             let expected_v1 = brother.version;
             let new_version = expected_v0.max(expected_v1) + 1;
@@ -513,13 +610,22 @@ fn delete_second_of_pair(
     let (_id, reply_rx) = site.net.create_port();
     site.net.send(
         port,
-        Msg::Mergeup { partner, target: oldpage, target_mgr: site.id, reply_port: reply_rx.id() },
+        Msg::Mergeup {
+            partner,
+            target: oldpage,
+            target_mgr: site.id,
+            reply_port: reply_rx.id(),
+        },
     );
     let (brother_ld, brother_version, brother_count, goahead_port) =
-        match reply_rx.recv_timeout(REPLY_TIMEOUT) {
-            Ok(Msg::MUReply { localdepth, version, goahead_port, success: true, count }) => {
-                (localdepth, version, count, goahead_port)
-            }
+        match reply_rx.recv_timeout(site.reply_timeout) {
+            Ok(Msg::MUReply {
+                localdepth,
+                version,
+                goahead_port,
+                success: true,
+                count,
+            }) => (localdepth, version, count, goahead_port),
             _ => {
                 // "A": not mergeable partners — re-drive with fresh state.
                 bucketdone(site, env, false, None);
@@ -536,7 +642,13 @@ fn delete_second_of_pair(
             site.unlock(owner, oldpage, LockMode::Xi);
             site.net.send(
                 goahead_port,
-                Msg::Goahead { success: false, next: BucketLink::NULL, version: 0, moved: vec![] },
+                Msg::Goahead {
+                    success: false,
+                    next: BucketLink::NULL,
+                    version: 0,
+                    moved: vec![],
+                    fences: vec![],
+                },
             );
             bucketdone(site, env, false, None);
             return;
@@ -547,7 +659,13 @@ fn delete_second_of_pair(
         site.unlock(owner, oldpage, LockMode::Xi);
         site.net.send(
             goahead_port,
-            Msg::Goahead { success: false, next: BucketLink::NULL, version: 0, moved: vec![] },
+            Msg::Goahead {
+                success: false,
+                next: BucketLink::NULL,
+                version: 0,
+                moved: vec![],
+                fences: vec![],
+            },
         );
         bucketdone(site, env, false, None);
         return;
@@ -559,7 +677,13 @@ fn delete_second_of_pair(
     if !still_mergeable {
         site.net.send(
             goahead_port,
-            Msg::Goahead { success: false, next: BucketLink::NULL, version: 0, moved: vec![] },
+            Msg::Goahead {
+                success: false,
+                next: BucketLink::NULL,
+                version: 0,
+                moved: vec![],
+                fences: vec![],
+            },
         );
         let outcome = if current.remove(env.key) {
             let ok = site.putbucket(oldpage, &current, &mut buf).is_ok();
@@ -592,7 +716,13 @@ fn delete_second_of_pair(
     let ok = site.putbucket(oldpage, &tombstone, &mut buf).is_ok();
     site.net.send(
         goahead_port,
-        Msg::Goahead { success: ok, next: old_next, version: new_version, moved },
+        Msg::Goahead {
+            success: ok,
+            next: old_next,
+            version: new_version,
+            moved,
+            fences: site.fence_snapshot(),
+        },
     );
     site.unlock(owner, oldpage, LockMode::Xi);
     if !ok {
@@ -752,14 +882,28 @@ fn slave_mergedown(site: &Site, partner: PageId, localdepth: u32, reply_port: Po
         Ok(b) => b,
         Err(_) => {
             site.unlock(owner, partner, LockMode::Xi);
-            site.net.send(reply_port, Msg::MDReply { buffer: None, success: false });
+            site.net.send(
+                reply_port,
+                Msg::MDReply {
+                    buffer: None,
+                    success: false,
+                    fences: vec![],
+                },
+            );
             return;
         }
     };
     let success = !brother.is_deleted() && brother.localdepth == localdepth;
     if !success {
         site.unlock(owner, partner, LockMode::Xi);
-        site.net.send(reply_port, Msg::MDReply { buffer: None, success: false });
+        site.net.send(
+            reply_port,
+            Msg::MDReply {
+                buffer: None,
+                success: false,
+                fences: vec![],
+            },
+        );
         return;
     }
     // "brother -> commonbits = deleted; brother -> next = brother -> prev;"
@@ -772,7 +916,11 @@ fn slave_mergedown(site: &Site, partner: PageId, localdepth: u32, reply_port: Po
     site.unlock(owner, partner, LockMode::Xi);
     site.net.send(
         reply_port,
-        Msg::MDReply { buffer: ok.then(|| Box::new(brother)), success: ok },
+        Msg::MDReply {
+            buffer: ok.then(|| Box::new(brother)),
+            success: ok,
+            fences: site.fence_snapshot(),
+        },
     );
 }
 
@@ -805,9 +953,7 @@ fn slave_mergeup(
             return;
         }
     };
-    let success = !brother.is_deleted()
-        && brother.next == target
-        && brother.next_mgr == target_mgr;
+    let success = !brother.is_deleted() && brother.next == target && brother.next_mgr == target_mgr;
     if !success {
         site.unlock(owner, partner, LockMode::Xi);
         site.net.send(
@@ -833,8 +979,15 @@ fn slave_mergeup(
             count: brother.count(),
         },
     );
-    match goahead_rx.recv_timeout(REPLY_TIMEOUT) {
-        Ok(Msg::Goahead { success: true, next, version, moved }) => {
+    match goahead_rx.recv_timeout(site.reply_timeout) {
+        Ok(Msg::Goahead {
+            success: true,
+            next,
+            version,
+            moved,
+            fences,
+        }) => {
+            site.fence_merge(&fences);
             brother.localdepth -= 1;
             brother.commonbits &= mask(brother.localdepth);
             brother.records.extend(moved);
@@ -849,16 +1002,21 @@ fn slave_mergeup(
     site.unlock(owner, partner, LockMode::Xi);
 }
 
-/// Figure 14, `case garbagecollect`.
-fn slave_garbage_collect(site: &Site, pages: Vec<PageId>) {
-    let owner = site.locks.new_owner();
-    for page in pages {
-        site.lock(owner, page, LockMode::Xi);
-        site.store
-            .dealloc(page)
-            .expect("garbage collection of an already-freed page is a protocol violation");
-        site.unlock(owner, page, LockMode::Xi);
+/// Figure 14, `case garbagecollect` — made idempotent for the lossy
+/// network: the directory manager re-sends until acked, so a request
+/// whose *ack* was lost arrives again and must only re-ack.
+fn slave_garbage_collect(site: &Site, pages: Vec<PageId>, gc_id: u64, ack_port: PortId) {
+    if site.seen_gc.lock().expect("seen_gc").insert(gc_id) {
+        let owner = site.locks.new_owner();
+        for page in pages {
+            site.lock(owner, page, LockMode::Xi);
+            site.store
+                .dealloc(page)
+                .expect("garbage collection of an already-freed page is a protocol violation");
+            site.unlock(owner, page, LockMode::Xi);
+        }
     }
+    site.net.send(ack_port, Msg::GcAck { gc_id });
 }
 
 #[cfg(test)]
@@ -897,7 +1055,11 @@ mod tests {
         let (_id, reply_rx) = site.net.create_port();
         slave_mergedown(&site, page, 3, reply_rx.id());
         match reply_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-            Msg::MDReply { buffer: Some(b), success: true } => {
+            Msg::MDReply {
+                buffer: Some(b),
+                success: true,
+                ..
+            } => {
                 assert_eq!(b.records, partner.records, "contents handed back");
             }
             other => panic!("unexpected {other:?}"),
@@ -918,10 +1080,17 @@ mod tests {
         let (_id, reply_rx) = site.net.create_port();
         slave_mergedown(&site, page, 3, reply_rx.id());
         match reply_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-            Msg::MDReply { buffer: None, success: false } => {}
+            Msg::MDReply {
+                buffer: None,
+                success: false,
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
-        assert!(!get_bucket(&site, page).is_deleted(), "refusal leaves the bucket alone");
+        assert!(
+            !get_bucket(&site, page).is_deleted(),
+            "refusal leaves the bucket alone"
+        );
     }
 
     #[test]
@@ -943,9 +1112,13 @@ mod tests {
             std::thread::spawn(move || slave_mergeup(&site2, page, target, ManagerId(1), rid))
         };
         let goahead_port = match reply_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-            Msg::MUReply { localdepth: 3, version: 5, goahead_port, success: true, count: 1 } => {
-                goahead_port
-            }
+            Msg::MUReply {
+                localdepth: 3,
+                version: 5,
+                goahead_port,
+                success: true,
+                count: 1,
+            } => goahead_port,
             other => panic!("unexpected {other:?}"),
         };
         // While awaiting Goahead the handler must hold its ξ.
@@ -957,6 +1130,7 @@ mod tests {
                 next: BucketLink::new(ManagerId(0), PageId(9)),
                 version: 6,
                 moved: vec![Record::new(0b101, 2)],
+                fences: vec![],
             },
         );
         handle.join().unwrap();
@@ -985,15 +1159,29 @@ mod tests {
             std::thread::spawn(move || slave_mergeup(&site2, page, target, ManagerId(1), rid))
         };
         let goahead_port = match reply_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-            Msg::MUReply { goahead_port, success: true, .. } => goahead_port,
+            Msg::MUReply {
+                goahead_port,
+                success: true,
+                ..
+            } => goahead_port,
             other => panic!("unexpected {other:?}"),
         };
         site.net.send(
             goahead_port,
-            Msg::Goahead { success: false, next: BucketLink::NULL, version: 0, moved: vec![] },
+            Msg::Goahead {
+                success: false,
+                next: BucketLink::NULL,
+                version: 0,
+                moved: vec![],
+                fences: vec![],
+            },
         );
         handle.join().unwrap();
-        assert_eq!(get_bucket(&site, page), zero, "abort leaves the partner untouched");
+        assert_eq!(
+            get_bucket(&site, page),
+            zero,
+            "abort leaves the partner untouched"
+        );
         assert_eq!(site.locks.total_granted(), 0);
     }
 
@@ -1017,12 +1205,38 @@ mod tests {
     }
 
     #[test]
-    fn garbage_collect_deallocates_under_xi() {
+    fn garbage_collect_deallocates_under_xi_and_acks() {
         let site = test_site(0, 1, None);
         let a = put_bucket(&site, &Bucket::new(0, 0));
         let b = put_bucket(&site, &Bucket::new(0, 0));
-        slave_garbage_collect(&site, vec![a, b]);
+        let (_id, ack_rx) = site.net.create_port();
+        slave_garbage_collect(&site, vec![a, b], 7, ack_rx.id());
         assert_eq!(site.store.allocated_pages(), 0);
         assert_eq!(site.locks.total_granted(), 0);
+        match ack_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Msg::GcAck { gc_id: 7 } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_collect_duplicate_reacks_without_double_free() {
+        let site = test_site(0, 1, None);
+        let a = put_bucket(&site, &Bucket::new(0, 0));
+        let (_id, ack_rx) = site.net.create_port();
+        slave_garbage_collect(&site, vec![a], 3, ack_rx.id());
+        // The page gets reallocated to a live bucket...
+        let reused = site.store.alloc().unwrap();
+        assert_eq!(reused, a, "LIFO free list hands the page back");
+        // ...and a duplicate of the same collection request arrives (the
+        // original ack was lost). It must re-ack and leave the page alone.
+        slave_garbage_collect(&site, vec![a], 3, ack_rx.id());
+        assert_eq!(site.store.allocated_pages(), 1, "reallocated page survives");
+        for _ in 0..2 {
+            match ack_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Msg::GcAck { gc_id: 3 } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 }

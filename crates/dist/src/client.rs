@@ -1,9 +1,9 @@
 //! The user-facing handle to a distributed hash file.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ceh_net::{PortId, PortRx, SimNetwork};
-use ceh_types::{DeleteOutcome, Error, InsertOutcome, Key, Result, Value};
+use ceh_types::{DeleteOutcome, Error, InsertOutcome, Key, Result, RetryPolicy, Value};
 
 use crate::msg::{Msg, OpKind, UserOutcome};
 
@@ -14,43 +14,110 @@ use crate::msg::{Msg, OpKind, UserOutcome};
 /// eventually it will reach the desired data" (§3). One operation at a
 /// time per client; clone-by-construction via [`crate::Cluster::client`]
 /// for concurrency.
+///
+/// Under the fault model of DESIGN.md, delivery is unreliable: the
+/// client retries per its [`RetryPolicy`], backing off exponentially and
+/// *failing over* to the next directory manager on each attempt. Every
+/// attempt reuses the operation's `req_id`, so the managers deduplicate
+/// retries instead of applying them twice; replies to attempts the
+/// client has already abandoned are discarded by the same id.
 pub struct DistClient {
     net: SimNetwork<Msg>,
     rx: PortRx<Msg>,
     dir_ports: Vec<PortId>,
     next_dir: std::cell::Cell<usize>,
-    timeout: Duration,
+    next_req: std::cell::Cell<u64>,
+    policy: RetryPolicy,
 }
 
 impl DistClient {
-    pub(crate) fn new(net: SimNetwork<Msg>, rx: PortRx<Msg>, dir_ports: Vec<PortId>) -> Self {
-        DistClient { net, rx, dir_ports, next_dir: std::cell::Cell::new(0), timeout: Duration::from_secs(60) }
+    pub(crate) fn new(
+        net: SimNetwork<Msg>,
+        rx: PortRx<Msg>,
+        dir_ports: Vec<PortId>,
+        policy: RetryPolicy,
+    ) -> Self {
+        DistClient {
+            net,
+            rx,
+            dir_ports,
+            next_dir: std::cell::Cell::new(0),
+            next_req: std::cell::Cell::new(1),
+            policy,
+        }
     }
 
-    /// Override the per-operation timeout.
+    /// Override the per-attempt reply timeout (number of attempts and
+    /// backoff are unchanged; see [`DistClient::with_retry_policy`]).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
+        self.policy.timeout_ms = timeout.as_millis() as u64;
+        self
+    }
+
+    /// Replace the whole retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
     fn request(&self, op: OpKind, key: Key, value: Value) -> Result<UserOutcome> {
-        let i = self.next_dir.get();
-        self.next_dir.set((i + 1) % self.dir_ports.len());
-        let port = self.dir_ports[i];
-        if !self.net.send(port, Msg::Request { op, key, value, user_port: self.rx.id() }) {
-            return Err(Error::Unavailable("directory manager port closed".into()));
-        }
-        match self.rx.recv_timeout(self.timeout) {
-            Ok(Msg::UserReply { outcome: UserOutcome::Failed }) => {
-                Err(Error::Unavailable("request exhausted its re-drives".into()))
+        let req_id = self.next_req.get();
+        self.next_req.set(req_id + 1);
+        let start = self.next_dir.get();
+        self.next_dir.set((start + 1) % self.dir_ports.len());
+        let timeout = Duration::from_millis(self.policy.timeout_ms);
+        let mut last_err = Error::Unavailable(format!("{op:?}: no directory managers configured"));
+        for attempt in 0..self.policy.attempts {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(self.policy.backoff_ms(attempt - 1)));
             }
-            Ok(Msg::UserReply { outcome }) => Ok(outcome),
-            Ok(other) => Err(Error::Unavailable(format!(
-                "unexpected reply {}",
-                ceh_net::MsgClass::class(&other)
-            ))),
-            Err(_) => Err(Error::Unavailable("timed out waiting for reply".into())),
+            // Failover: each attempt targets the next manager in the
+            // ring, starting from this client's round-robin position.
+            let port = self.dir_ports[(start + attempt as usize) % self.dir_ports.len()];
+            if !self.net.send(
+                port,
+                Msg::Request {
+                    op,
+                    key,
+                    value,
+                    user_port: self.rx.id(),
+                    req_id,
+                },
+            ) {
+                last_err = Error::Unavailable(format!("{op:?} to {port:?}: port closed"));
+                continue;
+            }
+            // Wait out this attempt's window, discarding stale replies
+            // to earlier operations (their req_id is lower).
+            let deadline = Instant::now() + timeout;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match self.rx.recv_timeout(left) {
+                    Ok(Msg::UserReply { req_id: got, .. }) if got != req_id => continue,
+                    Ok(Msg::UserReply {
+                        outcome: UserOutcome::Failed,
+                        ..
+                    }) => {
+                        // The manager gave up after exhausting re-drives;
+                        // a fresh attempt may succeed once the directory
+                        // settles.
+                        last_err = Error::Unavailable(format!(
+                            "{op:?} to {port:?}: exhausted its re-drives"
+                        ));
+                        break;
+                    }
+                    Ok(Msg::UserReply { outcome, .. }) => return Ok(outcome),
+                    Ok(_) => continue,
+                    Err(_) => {
+                        last_err = Error::Unavailable(format!(
+                            "{op:?} to {port:?}: no reply within {timeout:?}"
+                        ));
+                        break;
+                    }
+                }
+            }
         }
+        Err(last_err)
     }
 
     /// Look up a key.

@@ -4,10 +4,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ceh_locks::LockManager;
-use ceh_net::{LatencyModel, MsgStatsSnapshot, PortId, SimNetwork};
+use ceh_net::{FaultPlan, LatencyModel, MsgStatsSnapshot, PortId, SimNetwork};
 use ceh_storage::{PageStore, PageStoreConfig};
 use ceh_types::bucket::Bucket;
-use ceh_types::{BucketLink, Error, HashFileConfig, ManagerId, PageId, Result};
+use ceh_types::{BucketLink, Error, HashFileConfig, ManagerId, PageId, Result, RetryPolicy};
 
 use crate::bucket_mgr::run_front_end;
 use crate::client::DistClient;
@@ -34,6 +34,19 @@ pub struct ClusterConfig {
     /// (file-backed, durable); [`Cluster::recover`] can rebuild the
     /// cluster from those files after a shutdown.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Seeded fault plan injected into the network (message drops,
+    /// duplication, partitions). `None` = reliable delivery.
+    pub faults: Option<FaultPlan>,
+    /// Client retry/failover policy handed to every [`Cluster::client`].
+    pub retry: RetryPolicy,
+    /// How long a directory manager waits before re-sending unacked
+    /// `Copyupdate`/`GarbageCollect` traffic and re-driving stalled
+    /// requests, in milliseconds.
+    pub resend_ms: u64,
+    /// How long a bucket slave waits for a protocol reply before
+    /// abandoning the handshake and releasing its locks, in
+    /// milliseconds. Lower this under fault injection.
+    pub reply_timeout_ms: u64,
 }
 
 impl Default for ClusterConfig {
@@ -45,6 +58,10 @@ impl Default for ClusterConfig {
             page_quota: None,
             latency: LatencyModel::none(),
             data_dir: None,
+            faults: None,
+            retry: RetryPolicy::default(),
+            resend_ms: 200,
+            reply_timeout_ms: 30_000,
         }
     }
 }
@@ -90,7 +107,10 @@ pub struct Cluster {
     dir_ports: Vec<PortId>,
     bucket_ports: Vec<PortId>,
     sites: Vec<Arc<Site>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    /// One slot per bucket manager; `None` while that site is crashed.
+    bucket_handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    dir_handles: Vec<std::thread::JoinHandle<()>>,
+    retry: RetryPolicy,
 }
 
 impl Cluster {
@@ -143,7 +163,11 @@ impl Cluster {
             sites[0].store.write(root_page, &buf)?;
             DirReplica::new(cfg.file.max_depth, BucketLink::new(sites[0].id, root_page))
         } else {
-            let depth = live.iter().map(|(_, _, b)| b.localdepth).max().expect("non-empty");
+            let depth = live
+                .iter()
+                .map(|(_, _, b)| b.localdepth)
+                .max()
+                .expect("non-empty");
             let size = 1usize << depth;
             let mut entries: Vec<Option<DirEntry>> = vec![None; size];
             let mut depthcount = 0u32;
@@ -160,7 +184,11 @@ impl Cluster {
                             w = depth as usize
                         )));
                     }
-                    entries[i] = Some(DirEntry { mgr: *mgr, page: *page, version: b.version });
+                    entries[i] = Some(DirEntry {
+                        mgr: *mgr,
+                        page: *page,
+                        version: b.version,
+                    });
                     i += step;
                 }
             }
@@ -189,13 +217,15 @@ impl Cluster {
         open_existing: bool,
     ) -> Result<(SimNetwork<Msg>, Vec<Arc<Site>>)> {
         if cfg.dir_managers == 0 || cfg.bucket_managers == 0 {
-            return Err(Error::Config("cluster needs at least one manager of each kind".into()));
+            return Err(Error::Config(
+                "cluster needs at least one manager of each kind".into(),
+            ));
         }
         cfg.file.validate()?;
         let net: SimNetwork<Msg> = SimNetwork::new(cfg.latency.clone());
+        net.set_fault_plan(cfg.faults.clone());
         let page_size = Bucket::page_size_for(cfg.file.bucket_capacity);
-        let all_managers: Vec<ManagerId> =
-            (0..cfg.bucket_managers as u32).map(ManagerId).collect();
+        let all_managers: Vec<ManagerId> = (0..cfg.bucket_managers as u32).map(ManagerId).collect();
         let mut sites = Vec::new();
         for &id in &all_managers {
             let store_cfg = PageStoreConfig {
@@ -226,6 +256,9 @@ impl Cluster {
                 all_managers: all_managers.clone(),
                 net: net.clone(),
                 recoveries: std::sync::atomic::AtomicU64::new(0),
+                reply_timeout: Duration::from_millis(cfg.reply_timeout_ms),
+                seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),
+                fences: std::sync::Mutex::new(std::collections::HashMap::new()),
             }));
         }
         Ok((net, sites))
@@ -239,41 +272,99 @@ impl Cluster {
         sites: Vec<Arc<Site>>,
         replica: DirReplica,
     ) -> Cluster {
-        let mut handles = Vec::new();
+        let mut bucket_handles = Vec::new();
         let mut bucket_ports = Vec::new();
         for site in &sites {
             let (port, rx) = net.create_port();
             net.register_name(bucket_mgr_name(site.id), port);
             bucket_ports.push(port);
             let site = Arc::clone(site);
-            handles.push(
+            bucket_handles.push(Some(
                 std::thread::Builder::new()
                     .name(format!("bucket-mgr-{}", site.id))
                     .spawn(move || run_front_end(site, rx))
                     .expect("spawn bucket manager"),
-            );
+            ));
         }
+        let mut dir_handles = Vec::new();
         let mut dir_ports = Vec::new();
         for i in 0..cfg.dir_managers {
             let (port, rx) = net.create_port();
             net.register_name(dir_mgr_name(i), port);
             dir_ports.push(port);
-            let mgr =
-                DirectoryManager::new(i, cfg.dir_managers, net.clone(), rx, replica.clone());
-            handles.push(
+            let mgr = DirectoryManager::new(
+                i,
+                cfg.dir_managers,
+                net.clone(),
+                rx,
+                replica.clone(),
+                Duration::from_millis(cfg.resend_ms),
+            );
+            dir_handles.push(
                 std::thread::Builder::new()
                     .name(format!("dir-mgr-{i}"))
                     .spawn(move || mgr.run())
                     .expect("spawn directory manager"),
             );
         }
-        Cluster { net, dir_ports, bucket_ports, sites, handles }
+        Cluster {
+            net,
+            dir_ports,
+            bucket_ports,
+            sites,
+            bucket_handles,
+            dir_handles,
+            retry: cfg.retry.clone(),
+        }
     }
 
     /// A new client (each owns its own reply port; make one per thread).
     pub fn client(&self) -> DistClient {
         let (_id, rx) = self.net.create_port();
-        DistClient::new(self.net.clone(), rx, self.dir_ports.clone())
+        DistClient::new(
+            self.net.clone(),
+            rx,
+            self.dir_ports.clone(),
+            self.retry.clone(),
+        )
+    }
+
+    /// Kill a bucket manager's front end mid-run: its port closes at a
+    /// message boundary (already-queued messages are processed, later
+    /// sends fail) and the thread exits. The site's durable state —
+    /// page store, lock tables — survives; this models the paper's
+    /// process failure with intact secondary memory. Requests routed to
+    /// the dead site stall and are re-driven by their directory manager
+    /// until [`Cluster::restart_site`] brings it back. Returns `false`
+    /// if the site is already down.
+    pub fn crash_site(&mut self, idx: usize) -> bool {
+        let Some(handle) = self.bucket_handles[idx].take() else {
+            return false;
+        };
+        self.net.close_port(self.bucket_ports[idx]);
+        let _ = handle.join();
+        true
+    }
+
+    /// Restart a crashed bucket manager: a fresh port is bound to the
+    /// site's name (overwriting the dead registration) and a new front
+    /// end resumes over the surviving site state. Returns `false` if
+    /// the site is not down.
+    pub fn restart_site(&mut self, idx: usize) -> bool {
+        if self.bucket_handles[idx].is_some() {
+            return false;
+        }
+        let site = Arc::clone(&self.sites[idx]);
+        let (port, rx) = self.net.create_port();
+        self.net.register_name(bucket_mgr_name(site.id), port);
+        self.bucket_ports[idx] = port;
+        self.bucket_handles[idx] = Some(
+            std::thread::Builder::new()
+                .name(format!("bucket-mgr-{}", site.id))
+                .spawn(move || run_front_end(site, rx))
+                .expect("respawn bucket manager"),
+        );
+        true
     }
 
     /// The network (message statistics for the experiments).
@@ -291,10 +382,29 @@ impl Cluster {
         let (_id, rx) = self.net.create_port();
         let mut out = Vec::new();
         for &p in &self.dir_ports {
-            self.net.send(p, Msg::Status { reply_port: rx.id() });
+            self.net.send(
+                p,
+                Msg::Status {
+                    reply_port: rx.id(),
+                },
+            );
             match rx.recv_timeout(Duration::from_secs(10)) {
-                Ok(Msg::StatusReply { rho, alpha, parked, depth, entries, pending_garbage }) => {
-                    out.push(DirStatus { rho, alpha, parked, depth, entries, pending_garbage });
+                Ok(Msg::StatusReply {
+                    rho,
+                    alpha,
+                    parked,
+                    depth,
+                    entries,
+                    pending_garbage,
+                }) => {
+                    out.push(DirStatus {
+                        rho,
+                        alpha,
+                        parked,
+                        depth,
+                        entries,
+                        pending_garbage,
+                    });
                 }
                 _ => out.push(DirStatus {
                     rho: usize::MAX,
@@ -312,23 +422,31 @@ impl Cluster {
     /// Wait until every directory manager is idle (no requests in
     /// flight, no unacked copyupdates, nothing parked, no pending
     /// garbage) and stays idle for two consecutive probes. Returns
-    /// whether quiescence was reached within `timeout`.
+    /// whether quiescence was reached within `timeout`. Polls with
+    /// bounded exponential backoff (1 ms doubling to 100 ms) so a long
+    /// drain doesn't spin the status channel.
     pub fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         let mut calm_streak = 0;
+        let mut backoff = Duration::from_millis(1);
         while Instant::now() < deadline {
-            let calm = self.dir_statuses().iter().all(|s| {
-                s.rho == 0 && s.alpha == 0 && s.parked == 0 && s.pending_garbage == 0
-            });
+            let calm = self
+                .dir_statuses()
+                .iter()
+                .all(|s| s.rho == 0 && s.alpha == 0 && s.parked == 0 && s.pending_garbage == 0);
             if calm {
                 calm_streak += 1;
                 if calm_streak >= 2 {
                     return true;
                 }
+                // A calm probe resets the backoff: confirmation should
+                // come quickly.
+                backoff = Duration::from_millis(1);
             } else {
                 calm_streak = 0;
+                backoff = (backoff * 2).min(Duration::from_millis(100));
             }
-            std::thread::sleep(Duration::from_millis(10));
+            std::thread::sleep(backoff);
         }
         false
     }
@@ -377,7 +495,10 @@ impl Cluster {
 
     /// Per-site allocated page counts (placement experiments).
     pub fn pages_per_site(&self) -> Vec<usize> {
-        self.sites.iter().map(|s| s.store.allocated_pages()).collect()
+        self.sites
+            .iter()
+            .map(|s| s.store.allocated_pages())
+            .collect()
     }
 
     /// Total wrong-bucket recovery hops across all sites (stale-route
@@ -409,10 +530,14 @@ impl Cluster {
         use std::collections::{BTreeMap, BTreeSet};
 
         let statuses = self.dir_statuses();
-        let first = statuses.first().ok_or_else(|| Error::Corrupt("no replicas".into()))?;
+        let first = statuses
+            .first()
+            .ok_or_else(|| Error::Corrupt("no replicas".into()))?;
         for (i, s) in statuses.iter().enumerate() {
             if s.depth != first.depth || s.entries != first.entries {
-                return Err(Error::Corrupt(format!("replica {i} diverges from replica 0")));
+                return Err(Error::Corrupt(format!(
+                    "replica {i} diverges from replica 0"
+                )));
             }
         }
 
@@ -469,11 +594,14 @@ impl Cluster {
         let mut prev_rev: Option<u64> = None;
         loop {
             if !visited.insert(cur) {
-                return Err(Error::Corrupt(format!("chain revisits {}/{}", cur.0, cur.1)));
+                return Err(Error::Corrupt(format!(
+                    "chain revisits {}/{}",
+                    cur.0, cur.1
+                )));
             }
-            let b = buckets
-                .get(&cur)
-                .ok_or_else(|| Error::Corrupt(format!("chain reaches missing {}/{}", cur.0, cur.1)))?;
+            let b = buckets.get(&cur).ok_or_else(|| {
+                Error::Corrupt(format!("chain reaches missing {}/{}", cur.0, cur.1))
+            })?;
             let rev = b.commonbits.reverse_bits();
             if let Some(p) = prev_rev {
                 if rev <= p {
@@ -504,8 +632,10 @@ impl Cluster {
         }
 
         // Global duplicate check.
-        let mut keys: Vec<u64> =
-            buckets.values().flat_map(|b| b.records.iter().map(|r| r.key.0)).collect();
+        let mut keys: Vec<u64> = buckets
+            .values()
+            .flat_map(|b| b.records.iter().map(|r| r.key.0))
+            .collect();
         keys.sort_unstable();
         if keys.windows(2).any(|w| w[0] == w[1]) {
             return Err(Error::Corrupt("duplicate key across sites".into()));
@@ -513,12 +643,16 @@ impl Cluster {
         Ok(())
     }
 
-    /// Orderly shutdown: stop every manager loop and join.
+    /// Orderly shutdown: stop every manager loop and join. A site still
+    /// crashed at shutdown is simply skipped.
     pub fn shutdown(mut self) {
         for &p in self.dir_ports.iter().chain(self.bucket_ports.iter()) {
             self.net.send(p, Msg::Shutdown);
         }
-        for h in self.handles.drain(..) {
+        for h in self.bucket_handles.iter_mut().filter_map(Option::take) {
+            let _ = h.join();
+        }
+        for h in self.dir_handles.drain(..) {
             let _ = h.join();
         }
     }

@@ -12,12 +12,17 @@
 //!   is empty at the paper's merge threshold (the lone record being
 //!   deleted) but not for the generalized thresholds this library
 //!   supports.
+//! * The fault-tolerance extension (DESIGN.md "Fault model"): `Request`,
+//!   `UserReply`, and `OpEnvelope` carry a client-assigned `req_id` so
+//!   retried requests deduplicate instead of double-applying;
+//!   `Copyupdate`/`CopyAck` carry an `update_id` and
+//!   `GarbageCollect`/`GcAck` a `gc_id` so replication traffic can be
+//!   re-sent until acknowledged. The paper assumes reliable delivery and
+//!   needs none of these.
 
 use ceh_net::{MsgClass, PortId};
 use ceh_types::bucket::Bucket;
-use ceh_types::{
-    BucketLink, DeleteOutcome, InsertOutcome, Key, PageId, Pseudokey, Record, Value,
-};
+use ceh_types::{BucketLink, DeleteOutcome, InsertOutcome, Key, PageId, Pseudokey, Record, Value};
 
 use crate::replica::DirUpdate;
 
@@ -72,6 +77,9 @@ pub struct OpEnvelope {
     /// this request; slaves stop attempting merges after a few (the same
     /// bounded degradation as the centralized Solution 2).
     pub attempt: u32,
+    /// The client's request id (flows through so the final `UserReply`
+    /// can echo it).
+    pub req_id: u64,
 }
 
 /// All messages exchanged in the distributed system.
@@ -87,11 +95,18 @@ pub enum Msg {
         value: Value,
         /// Where the user expects the reply.
         user_port: PortId,
+        /// Client-assigned id, unique per client port. A retry after a
+        /// lost reply reuses the id, so the directory manager can return
+        /// the recorded outcome instead of applying the operation twice.
+        req_id: u64,
     },
     /// Terminal reply to the user.
     UserReply {
         /// The outcome.
         outcome: UserOutcome,
+        /// Echo of the request's `req_id`; lets the client discard
+        /// stale replies to attempts it has already given up on.
+        req_id: u64,
     },
     /// Directory manager → bucket manager: run an operation at a bucket.
     BucketOp(OpEnvelope),
@@ -131,16 +146,23 @@ pub enum Msg {
         update: DirUpdate,
     },
     /// Directory manager → directory manager: apply this update to your
-    /// replica and ack to `ack_port`.
+    /// replica and ack to `ack_port`. Re-sent on a timer until acked;
+    /// the replica's version-matching makes redelivery harmless (a
+    /// duplicate is `Stale` and acked again).
     Copyupdate {
         /// The directory modification.
         update: DirUpdate,
+        /// Originator-assigned id for matching the ack to this send.
+        update_id: u64,
         /// Where to send the ack.
         ack_port: PortId,
     },
     /// Ack for `Copyupdate` (deferred at the replica until it has no
     /// requests in flight, for merge updates).
-    CopyAck,
+    CopyAck {
+        /// Echo of the `Copyupdate`'s id.
+        update_id: u64,
+    },
     /// Bucket slave → bucket manager front end: store this freshly split
     /// half on your site.
     Splitbucket {
@@ -148,6 +170,9 @@ pub enum Msg {
         reply_port: PortId,
         /// The new bucket's contents.
         half2: Box<Bucket>,
+        /// The sender's mutation-fence table; merged at the receiving
+        /// site so migrated records keep their zombie protection.
+        fences: Vec<(PortId, u64)>,
     },
     /// Reply to `Splitbucket`: where the half landed.
     Splitreply {
@@ -170,6 +195,9 @@ pub enum Msg {
         buffer: Option<Box<Bucket>>,
         /// Whether the partner was mergeable (localdepths matched).
         success: bool,
+        /// The partner site's mutation-fence table (records migrate to
+        /// the deleter's site with the merge).
+        fences: Vec<(PortId, u64)>,
     },
     /// Deleter → partner's manager: z is in the "1" partner (`target`,
     /// on the requesting manager); lock the "0" partner (at `partner`)
@@ -210,12 +238,25 @@ pub enum Msg {
         /// Records moved out of the deleted bucket (empty at the paper's
         /// merge threshold).
         moved: Vec<Record>,
+        /// The deleter site's mutation-fence table, accompanying `moved`.
+        fences: Vec<(PortId, u64)>,
     },
     /// Directory manager → bucket manager: these pages are garbage; ξ-lock
-    /// and deallocate each.
+    /// and deallocate each. Re-sent on a timer until acked; the bucket
+    /// manager deduplicates by `gc_id` so a duplicate cannot deallocate
+    /// a page that has since been reallocated.
     GarbageCollect {
         /// The pages to reclaim.
         pages: Vec<PageId>,
+        /// Originator-assigned id for dedupe and ack matching.
+        gc_id: u64,
+        /// Where to send the ack.
+        ack_port: PortId,
+    },
+    /// Ack for `GarbageCollect`.
+    GcAck {
+        /// Echo of the `GarbageCollect`'s id.
+        gc_id: u64,
     },
     /// Test/diagnostic: ask a directory manager for its state.
     Status {
@@ -256,7 +297,7 @@ impl MsgClass for Msg {
             Msg::Bucketdone { .. } => "bucketdone",
             Msg::Update { .. } => "update",
             Msg::Copyupdate { .. } => "copyupdate",
-            Msg::CopyAck => "copy-ack",
+            Msg::CopyAck { .. } => "copy-ack",
             Msg::Splitbucket { .. } => "splitbucket",
             Msg::Splitreply { .. } => "splitreply",
             Msg::Mergedown { .. } => "mergedown",
@@ -265,6 +306,7 @@ impl MsgClass for Msg {
             Msg::MUReply { .. } => "mu-reply",
             Msg::Goahead { .. } => "goahead",
             Msg::GarbageCollect { .. } => "garbagecollect",
+            Msg::GcAck { .. } => "gc-ack",
             Msg::Status { .. } => "status",
             Msg::StatusReply { .. } => "status-reply",
             Msg::Shutdown => "shutdown",
@@ -288,16 +330,22 @@ mod tests {
             dirmgr_port: PortId(2),
             pseudokey: Pseudokey(0),
             attempt: 0,
+            req_id: 0,
         };
         assert_eq!(Msg::BucketOp(env.clone()).class(), "find");
         let mut ins = env.clone();
         ins.op = OpKind::Insert;
         assert_eq!(Msg::BucketOp(ins).class(), "insert");
         assert_eq!(
-            Msg::Wrongbucket { env, buckmgr_port: PortId(3) }.class(),
+            Msg::Wrongbucket {
+                env,
+                buckmgr_port: PortId(3)
+            }
+            .class(),
             "wrongbucket"
         );
-        assert_eq!(Msg::CopyAck.class(), "copy-ack");
+        assert_eq!(Msg::CopyAck { update_id: 0 }.class(), "copy-ack");
+        assert_eq!(Msg::GcAck { gc_id: 0 }.class(), "gc-ack");
         assert_eq!(Msg::Shutdown.class(), "shutdown");
     }
 }

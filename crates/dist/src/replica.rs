@@ -129,7 +129,11 @@ impl DirReplica {
     /// A depth-0 replica pointing at the root bucket.
     pub fn new(max_depth: u32, root: BucketLink) -> Self {
         DirReplica {
-            entries: vec![DirEntry { mgr: root.manager, page: root.page, version: 0 }],
+            entries: vec![DirEntry {
+                mgr: root.manager,
+                page: root.page,
+                version: 0,
+            }],
             depth: 0,
             depthcount: 1,
             max_depth,
@@ -153,7 +157,12 @@ impl DirReplica {
         if depth > max_depth {
             return Err(Error::DirectoryFull { max_depth });
         }
-        Ok(DirReplica { entries, depth, depthcount, max_depth })
+        Ok(DirReplica {
+            entries,
+            depth,
+            depthcount,
+            max_depth,
+        })
     }
 
     /// Current depth.
@@ -193,7 +202,9 @@ impl DirReplica {
 
     fn double(&mut self) -> Result<()> {
         if self.depth >= self.max_depth {
-            return Err(Error::DirectoryFull { max_depth: self.max_depth });
+            return Err(Error::DirectoryFull {
+                max_depth: self.max_depth,
+            });
         }
         let old = self.entries.clone();
         self.entries.extend_from_slice(&old);
@@ -255,9 +266,16 @@ impl DirReplica {
                 }
                 let p0 = pseudokey.low_bits(d); // pattern with bit d+1 clear
                 let p1 = p0 | ceh_types::partner_bit(d + 1);
-                let zero_side = DirEntry { mgr: cur.mgr, page: cur.page, version: new_version };
-                let one_side =
-                    DirEntry { mgr: new_bucket.manager, page: new_bucket.page, version: new_version };
+                let zero_side = DirEntry {
+                    mgr: cur.mgr,
+                    page: cur.page,
+                    version: new_version,
+                };
+                let one_side = DirEntry {
+                    mgr: new_bucket.manager,
+                    page: new_bucket.page,
+                    version: new_version,
+                };
                 self.set_group(p0, d + 1, zero_side);
                 self.set_group(p1, d + 1, one_side);
                 if d + 1 == self.depth {
@@ -296,7 +314,11 @@ impl DirReplica {
                 if e0.version != expected_v0 || e1.version != expected_v1 {
                     return Ok(ApplyResult::Parked);
                 }
-                let entry = DirEntry { mgr: merged.manager, page: merged.page, version: new_version };
+                let entry = DirEntry {
+                    mgr: merged.manager,
+                    page: merged.page,
+                    version: new_version,
+                };
                 self.set_group(p0 & mask(d - 1), d - 1, entry);
                 if d == self.depth {
                     self.depthcount = self.depthcount.saturating_sub(2);
@@ -331,7 +353,10 @@ mod tests {
     #[test]
     fn split_from_depth_zero_doubles() {
         let mut r = DirReplica::new(8, link(0, 0));
-        assert_eq!(r.apply(&split(0, 0, 0, link(0, 1))).unwrap(), ApplyResult::Applied);
+        assert_eq!(
+            r.apply(&split(0, 0, 0, link(0, 1))).unwrap(),
+            ApplyResult::Applied
+        );
         assert_eq!(r.depth(), 1);
         assert_eq!(r.lookup(Pseudokey(0)).page, PageId(0));
         assert_eq!(r.lookup(Pseudokey(1)).page, PageId(1));
@@ -372,7 +397,7 @@ mod tests {
         // the opposite order."
         let mut r = DirReplica::new(8, link(0, 0));
         r.apply(&split(0, 0, 0, link(0, 1))).unwrap(); // depth 1: [p0, p1] v1
-        // Now: split p1 (ld 1, v1) into p1/p2; then merge them back.
+                                                       // Now: split p1 (ld 1, v1) into p1/p2; then merge them back.
         let s = split(0b1, 1, 1, link(0, 2));
         let m = DirUpdate::Merge {
             pseudokey: Pseudokey(0b01),

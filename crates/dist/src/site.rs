@@ -40,6 +40,26 @@ pub(crate) struct Site {
     /// staleness experiment's primary observable: cross-site recoveries
     /// show up as `wrongbucket` messages, but same-site ones only here.
     pub recoveries: std::sync::atomic::AtomicU64,
+    /// How long a slave waits for a protocol reply (MDReply, MUReply,
+    /// Goahead, Splitreply, WrongbucketAck) before treating the peer as
+    /// gone. Short under fault injection so abandoned handshakes release
+    /// their locks promptly.
+    pub reply_timeout: std::time::Duration,
+    /// `GarbageCollect` ids already executed on this site. A directory
+    /// manager re-sends collection requests until acked, so a duplicate
+    /// must be answered with a fresh ack *without* deallocating again —
+    /// the page may have been reallocated to a live bucket in between.
+    pub seen_gc: std::sync::Mutex<std::collections::HashSet<u64>>,
+    /// Mutation fence: per client port, the highest `req_id` whose
+    /// insert/delete was applied on this site. Clients are strictly
+    /// sequential, so an arriving mutation with a *lower* id is a zombie
+    /// — a re-drive of an attempt the client abandoned (it failed over
+    /// to another directory manager and has since moved on). Applying it
+    /// could resurrect deleted data; the fence refuses it instead. The
+    /// table travels with records along every data-migration path
+    /// (`Splitbucket`, `MDReply`, `Goahead`) so a migrated bucket keeps
+    /// its protection.
+    pub fences: std::sync::Mutex<std::collections::HashMap<PortId, u64>>,
 }
 
 impl Site {
@@ -100,6 +120,41 @@ impl Site {
     pub fn unlock(&self, owner: OwnerId, page: PageId, mode: LockMode) {
         self.locks.unlock(owner, LockId::Page(page), mode);
     }
+
+    /// May a mutation stamped (`user_port`, `req_id`) still apply here?
+    /// Equal ids are allowed — that is the same operation re-driven.
+    pub fn fence_allows(&self, user_port: PortId, req_id: u64) -> bool {
+        match self.fences.lock().expect("fences").get(&user_port) {
+            Some(&hi) => req_id >= hi,
+            None => true,
+        }
+    }
+
+    /// Record a mutation execution, raising that port's fence.
+    pub fn fence_record(&self, user_port: PortId, req_id: u64) {
+        let mut f = self.fences.lock().expect("fences");
+        let e = f.entry(user_port).or_insert(req_id);
+        *e = (*e).max(req_id);
+    }
+
+    /// Snapshot the fence table for shipping alongside migrating records.
+    pub fn fence_snapshot(&self) -> Vec<(PortId, u64)> {
+        self.fences
+            .lock()
+            .expect("fences")
+            .iter()
+            .map(|(&p, &r)| (p, r))
+            .collect()
+    }
+
+    /// Merge a shipped fence table (pointwise max).
+    pub fn fence_merge(&self, shipped: &[(PortId, u64)]) {
+        let mut f = self.fences.lock().expect("fences");
+        for &(p, r) in shipped {
+            let e = f.entry(p).or_insert(r);
+            *e = (*e).max(r);
+        }
+    }
 }
 
 /// The registered name of a bucket manager's front-end port.
@@ -133,6 +188,9 @@ pub(crate) mod tests {
             all_managers: (0..managers).map(ManagerId).collect(),
             net: SimNetwork::default(),
             recoveries: std::sync::atomic::AtomicU64::new(0),
+            reply_timeout: std::time::Duration::from_secs(30),
+            seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),
+            fences: std::sync::Mutex::new(std::collections::HashMap::new()),
         })
     }
 
@@ -158,7 +216,11 @@ pub(crate) mod tests {
         let last = test_site(2, 3, Some(1));
         assert_eq!(last.mgr_with_space(), ManagerId(0), "wraps around");
         let solo = test_site(0, 1, Some(1));
-        assert_eq!(solo.mgr_with_space(), ManagerId(0), "single site must self-host");
+        assert_eq!(
+            solo.mgr_with_space(),
+            ManagerId(0),
+            "single site must self-host"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ fn small_cluster(dirs: usize, buckets: usize) -> Cluster {
         page_quota: None,
         latency: LatencyModel::none(),
         data_dir: None,
+        ..Default::default()
     })
     .unwrap()
 }
@@ -23,8 +24,14 @@ fn small_cluster(dirs: usize, buckets: usize) -> Cluster {
 fn single_manager_crud() {
     let c = small_cluster(1, 1);
     let client = c.client();
-    assert_eq!(client.insert(Key(1), Value(10)).unwrap(), InsertOutcome::Inserted);
-    assert_eq!(client.insert(Key(1), Value(20)).unwrap(), InsertOutcome::AlreadyPresent);
+    assert_eq!(
+        client.insert(Key(1), Value(10)).unwrap(),
+        InsertOutcome::Inserted
+    );
+    assert_eq!(
+        client.insert(Key(1), Value(20)).unwrap(),
+        InsertOutcome::AlreadyPresent
+    );
     assert_eq!(client.find(Key(1)).unwrap(), Some(Value(10)));
     assert_eq!(client.find(Key(2)).unwrap(), None);
     assert_eq!(client.delete(Key(1)).unwrap(), DeleteOutcome::Deleted);
@@ -38,7 +45,11 @@ fn grows_and_shrinks_through_the_cluster() {
     let c = small_cluster(2, 2);
     let client = c.client();
     for k in 0..200u64 {
-        assert_eq!(client.insert(Key(k), Value(k * 3)).unwrap(), InsertOutcome::Inserted, "insert {k}");
+        assert_eq!(
+            client.insert(Key(k), Value(k * 3)).unwrap(),
+            InsertOutcome::Inserted,
+            "insert {k}"
+        );
     }
     for k in 0..200u64 {
         assert_eq!(client.find(Key(k)).unwrap(), Some(Value(k * 3)), "find {k}");
@@ -48,13 +59,21 @@ fn grows_and_shrinks_through_the_cluster() {
     assert_eq!(c.total_records().unwrap(), 200);
 
     for k in 0..200u64 {
-        assert_eq!(client.delete(Key(k)).unwrap(), DeleteOutcome::Deleted, "delete {k}");
+        assert_eq!(
+            client.delete(Key(k)).unwrap(),
+            DeleteOutcome::Deleted,
+            "delete {k}"
+        );
     }
     assert!(c.quiesce(Duration::from_secs(20)));
     assert!(c.replicas_converged());
     c.check_invariants().unwrap();
     assert_eq!(c.total_records().unwrap(), 0);
-    assert_eq!(c.tombstone_count().unwrap(), 0, "garbage collection must drain tombstones");
+    assert_eq!(
+        c.tombstone_count().unwrap(),
+        0,
+        "garbage collection must drain tombstones"
+    );
     c.shutdown();
 }
 
@@ -67,6 +86,7 @@ fn page_quota_forces_cross_site_splits() {
         page_quota: Some(8),
         latency: LatencyModel::none(),
         data_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let client = c.client();
@@ -79,7 +99,10 @@ fn page_quota_forces_cross_site_splits() {
         pages.iter().filter(|&&p| p > 0).count() >= 2,
         "quota must spread buckets across sites: {pages:?}"
     );
-    assert!(c.msg_stats().get("splitbucket") > 0, "remote splits must have happened");
+    assert!(
+        c.msg_stats().get("splitbucket") > 0,
+        "remote splits must have happened"
+    );
     for k in 0..300u64 {
         assert_eq!(client.find(Key(k)).unwrap(), Some(Value(k)), "find {k}");
     }
@@ -97,6 +120,7 @@ fn cross_site_merges_happen() {
         page_quota: Some(4),
         latency: LatencyModel::none(),
         data_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let client = c.client();
@@ -105,7 +129,11 @@ fn cross_site_merges_happen() {
     }
     assert!(c.quiesce(Duration::from_secs(20)));
     for k in 0..200u64 {
-        assert_eq!(client.delete(Key(k)).unwrap(), DeleteOutcome::Deleted, "delete {k}");
+        assert_eq!(
+            client.delete(Key(k)).unwrap(),
+            DeleteOutcome::Deleted,
+            "delete {k}"
+        );
     }
     assert!(c.quiesce(Duration::from_secs(30)));
     let stats = c.msg_stats();
@@ -177,6 +205,7 @@ fn jittered_network_reorders_but_stays_correct() {
         page_quota: None,
         latency: LatencyModel::jittered(Duration::from_micros(10), Duration::from_micros(500), 7),
         data_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let client = c.client();
@@ -205,7 +234,11 @@ fn requests_via_any_replica_reach_the_data() {
         client.insert(Key(k), Value(k + 7)).unwrap();
         // Immediately read back through the *next* replica, which may
         // not have heard about a split yet.
-        assert_eq!(client.find(Key(k)).unwrap(), Some(Value(k + 7)), "read-your-write {k}");
+        assert_eq!(
+            client.find(Key(k)).unwrap(),
+            Some(Value(k + 7)),
+            "read-your-write {k}"
+        );
     }
     c.shutdown();
 }

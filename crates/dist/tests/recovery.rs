@@ -7,8 +7,7 @@ use ceh_net::LatencyModel;
 use ceh_types::{DeleteOutcome, HashFileConfig, InsertOutcome, Key, Value};
 
 fn durable_cfg(tag: &str, dirs: usize, sites: usize) -> ClusterConfig {
-    let data_dir =
-        std::env::temp_dir().join(format!("ceh-cluster-{}-{tag}", std::process::id()));
+    let data_dir = std::env::temp_dir().join(format!("ceh-cluster-{}-{tag}", std::process::id()));
     ClusterConfig {
         dir_managers: dirs,
         bucket_managers: sites,
@@ -16,6 +15,7 @@ fn durable_cfg(tag: &str, dirs: usize, sites: usize) -> ClusterConfig {
         page_quota: Some(16),
         latency: LatencyModel::none(),
         data_dir: Some(data_dir),
+        ..Default::default()
     }
 }
 
@@ -28,7 +28,10 @@ fn cluster_survives_shutdown_and_recovery() {
         let c = Cluster::start(cfg.clone()).unwrap();
         let client = c.client();
         for k in 0..200u64 {
-            assert_eq!(client.insert(Key(k), Value(k * 9)).unwrap(), InsertOutcome::Inserted);
+            assert_eq!(
+                client.insert(Key(k), Value(k * 9)).unwrap(),
+                InsertOutcome::Inserted
+            );
         }
         for k in 0..50u64 {
             assert_eq!(client.delete(Key(k)).unwrap(), DeleteOutcome::Deleted);
@@ -45,17 +48,29 @@ fn cluster_survives_shutdown_and_recovery() {
     assert_eq!(c.total_records().unwrap(), 150);
     let client = c.client();
     for k in 0..50u64 {
-        assert_eq!(client.find(Key(k)).unwrap(), None, "deleted key {k} stayed deleted");
+        assert_eq!(
+            client.find(Key(k)).unwrap(),
+            None,
+            "deleted key {k} stayed deleted"
+        );
     }
     for k in 50..200u64 {
-        assert_eq!(client.find(Key(k)).unwrap(), Some(Value(k * 9)), "key {k} survived");
+        assert_eq!(
+            client.find(Key(k)).unwrap(),
+            Some(Value(k * 9)),
+            "key {k} survived"
+        );
     }
     // The recovered cluster keeps restructuring correctly.
     for k in 200..400u64 {
         client.insert(Key(k), Value(k)).unwrap();
     }
     for k in 50..400u64 {
-        assert_eq!(client.delete(Key(k)).unwrap(), DeleteOutcome::Deleted, "key {k}");
+        assert_eq!(
+            client.delete(Key(k)).unwrap(),
+            DeleteOutcome::Deleted,
+            "key {k}"
+        );
     }
     assert!(c.quiesce(Duration::from_secs(30)));
     c.check_invariants().unwrap();
@@ -100,7 +115,10 @@ fn recovered_replicas_start_identical_on_every_manager() {
         c.shutdown();
     }
     let c = Cluster::recover(cfg.clone()).unwrap();
-    assert!(c.replicas_converged(), "all three managers restored the same directory");
+    assert!(
+        c.replicas_converged(),
+        "all three managers restored the same directory"
+    );
     let statuses = c.dir_statuses();
     assert_eq!(statuses.len(), 3);
     assert!(statuses[0].depth >= 4, "120 keys / capacity 4 needs depth");

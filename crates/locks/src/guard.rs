@@ -23,7 +23,13 @@ impl<'a> LockGuard<'a> {
     /// Block until the lock is granted, returning a guard.
     pub fn acquire(mgr: &'a LockManager, owner: OwnerId, id: LockId, mode: LockMode) -> Self {
         mgr.lock(owner, id, mode);
-        LockGuard { mgr, owner, id, mode, armed: true }
+        LockGuard {
+            mgr,
+            owner,
+            id,
+            mode,
+            armed: true,
+        }
     }
 
     /// Try to acquire without blocking.
@@ -33,8 +39,13 @@ impl<'a> LockGuard<'a> {
         id: LockId,
         mode: LockMode,
     ) -> Option<Self> {
-        mgr.try_lock(owner, id, mode)
-            .then(|| LockGuard { mgr, owner, id, mode, armed: true })
+        mgr.try_lock(owner, id, mode).then(|| LockGuard {
+            mgr,
+            owner,
+            id,
+            mode,
+            armed: true,
+        })
     }
 
     /// The guarded resource.

@@ -31,7 +31,10 @@ pub struct LockManagerConfig {
 
 impl Default for LockManagerConfig {
     fn default() -> Self {
-        LockManagerConfig { shards: 16, watchdog: None }
+        LockManagerConfig {
+            shards: 16,
+            watchdog: None,
+        }
     }
 }
 
@@ -168,7 +171,10 @@ impl LockManager {
     pub fn new(cfg: LockManagerConfig) -> Self {
         let n = cfg.shards.max(1).next_power_of_two();
         let shards = (0..n)
-            .map(|_| Shard { state: Mutex::new(HashMap::new()), cv: Condvar::new() })
+            .map(|_| Shard {
+                state: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+            })
             .collect::<Vec<_>>()
             .into_boxed_slice();
         LockManager {
@@ -214,7 +220,11 @@ impl LockManager {
         let rs = state.entry(id).or_default();
 
         // Reentrant same-mode acquisition.
-        if let Some(g) = rs.granted.iter_mut().find(|g| g.owner == owner && g.mode == mode) {
+        if let Some(g) = rs
+            .granted
+            .iter_mut()
+            .find(|g| g.owner == owner && g.mode == mode)
+        {
             g.count += 1;
             self.stats.record_grant(mode, false);
             return;
@@ -224,7 +234,11 @@ impl LockManager {
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
 
         if rs.grantable(owner, mode, is_conversion, ticket) {
-            rs.granted.push(Grant { owner, mode, count: 1 });
+            rs.granted.push(Grant {
+                owner,
+                mode,
+                count: 1,
+            });
             self.stats.record_grant(mode, false);
             if is_conversion {
                 self.stats.record_conversion();
@@ -233,7 +247,11 @@ impl LockManager {
         }
 
         // Must wait.
-        let waiter = Waiter { owner, mode, ticket };
+        let waiter = Waiter {
+            owner,
+            mode,
+            ticket,
+        };
         if is_conversion {
             rs.conversions.push(waiter);
         } else {
@@ -280,14 +298,28 @@ impl LockManager {
         }
     }
 
-    fn promote(rs: &mut ResourceState, owner: OwnerId, mode: LockMode, is_conversion: bool, ticket: u64) {
-        let list = if is_conversion { &mut rs.conversions } else { &mut rs.queue };
+    fn promote(
+        rs: &mut ResourceState,
+        owner: OwnerId,
+        mode: LockMode,
+        is_conversion: bool,
+        ticket: u64,
+    ) {
+        let list = if is_conversion {
+            &mut rs.conversions
+        } else {
+            &mut rs.queue
+        };
         let pos = list
             .iter()
             .position(|w| w.ticket == ticket)
             .expect("waiter not in its queue");
         list.remove(pos);
-        rs.granted.push(Grant { owner, mode, count: 1 });
+        rs.granted.push(Grant {
+            owner,
+            mode,
+            count: 1,
+        });
     }
 
     /// Try to acquire without blocking. Returns whether the lock was
@@ -297,7 +329,11 @@ impl LockManager {
         let shard = self.shard(id);
         let mut state = shard.state.lock();
         let rs = state.entry(id).or_default();
-        if let Some(g) = rs.granted.iter_mut().find(|g| g.owner == owner && g.mode == mode) {
+        if let Some(g) = rs
+            .granted
+            .iter_mut()
+            .find(|g| g.owner == owner && g.mode == mode)
+        {
             g.count += 1;
             self.stats.record_grant(mode, false);
             return true;
@@ -305,7 +341,11 @@ impl LockManager {
         let is_conversion = rs.holds(owner);
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         if rs.grantable(owner, mode, is_conversion, ticket) {
-            rs.granted.push(Grant { owner, mode, count: 1 });
+            rs.granted.push(Grant {
+                owner,
+                mode,
+                count: 1,
+            });
             self.stats.record_grant(mode, false);
             true
         } else {
@@ -386,7 +426,13 @@ impl LockManager {
     pub fn total_granted(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.state.lock().values().map(|rs| rs.granted.len()).sum::<usize>())
+            .map(|s| {
+                s.state
+                    .lock()
+                    .values()
+                    .map(|rs| rs.granted.len())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -506,10 +552,18 @@ impl LockManager {
                     let _ = writeln!(out, "  granted {} to {:?} x{}", g.mode, g.owner, g.count);
                 }
                 for c in &rs.conversions {
-                    let _ = writeln!(out, "  converting {} for {:?} (t{})", c.mode, c.owner, c.ticket);
+                    let _ = writeln!(
+                        out,
+                        "  converting {} for {:?} (t{})",
+                        c.mode, c.owner, c.ticket
+                    );
                 }
                 for w in &rs.queue {
-                    let _ = writeln!(out, "  waiting {} for {:?} (t{})", w.mode, w.owner, w.ticket);
+                    let _ = writeln!(
+                        out,
+                        "  waiting {} for {:?} (t{})",
+                        w.mode, w.owner, w.ticket
+                    );
                 }
             }
         }
@@ -559,7 +613,10 @@ mod tests {
         let o = m.new_owner();
         m.lock(o, R, Xi);
         for mode in LockMode::ALL {
-            assert!(!m.try_lock(m.new_owner(), R, mode), "{mode} must be refused under ξ");
+            assert!(
+                !m.try_lock(m.new_owner(), R, mode),
+                "{mode} must be refused under ξ"
+            );
         }
         m.unlock(o, R, Xi);
         assert!(m.try_lock(m.new_owner(), R, Xi));
@@ -600,7 +657,10 @@ mod tests {
             m_x.unlock(x, R, Xi);
         });
         thread::sleep(Duration::from_millis(20)); // let x start waiting
-        assert!(!m.try_lock(m.new_owner(), R, Rho), "ρ must queue behind waiting ξ");
+        assert!(
+            !m.try_lock(m.new_owner(), R, Rho),
+            "ρ must queue behind waiting ξ"
+        );
 
         let m_c = Arc::clone(&m);
         let started = std::time::Instant::now();
@@ -720,7 +780,10 @@ mod tests {
             m2.unlock(b, R, Xi);
         });
         thread::sleep(Duration::from_millis(20));
-        assert!(m.detect_deadlock().is_none(), "simple waiting is not deadlock");
+        assert!(
+            m.detect_deadlock().is_none(),
+            "simple waiting is not deadlock"
+        );
         m.unlock(a, R, Xi);
         t.join().unwrap();
     }

@@ -64,7 +64,8 @@ impl LockStats {
     }
 
     pub(crate) fn record_wait_end(&self, mode: LockMode, elapsed: Duration) {
-        self.wait_ns_counter(mode).fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.wait_ns_counter(mode)
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         // The waited grant itself:
         self.record_grant(mode, true);
     }

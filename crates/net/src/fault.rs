@@ -1,0 +1,370 @@
+//! The fault plane: seeded, deterministic message-level fault injection.
+//!
+//! §3 assumes "reliable delivery" from the transport, but the paper's
+//! liveness story — "a request can be made to any of the copies and
+//! eventually it will reach the desired data" — is only interesting when
+//! something goes wrong. A [`FaultPlan`] makes the simulated network
+//! lossy on purpose:
+//!
+//! * **per-class drop probability** — each send of a matching class is
+//!   eaten with probability `p`;
+//! * **per-class duplication probability** — each send of a matching
+//!   class is delivered twice with probability `p` (the duplicate takes
+//!   an independently sampled latency, so it can also arrive *reordered*);
+//! * **port blackholes** — every message toward a port vanishes (a
+//!   crashed process whose mail falls on the floor);
+//! * **one-way cuts** — messages of one class toward one port vanish
+//!   while everything else flows (a one-way partition of that link).
+//!
+//! Senders in this network are anonymous by design (the paper's
+//! port-based communication), so links are identified by *(class,
+//! destination)* rather than *(source, destination)*: "the copyupdate
+//! traffic into replica 2 is down" is expressible, "manager 3 cannot
+//! reach replica 2" is not. The message taxonomy is fine-grained enough
+//! (Figure 11) that this is rarely a restriction in practice.
+//!
+//! # Determinism
+//!
+//! Every probabilistic decision is a pure function of `(seed, class,
+//! n)` where `n` is the per-class sequence number of the send. Two runs
+//! that send the same number of messages of a class therefore drop and
+//! duplicate exactly the same count of that class — regardless of how
+//! threads interleave, because the decision stream per class is fixed in
+//! advance. (Which *specific* message draws an unlucky sequence number
+//! can still differ between interleavings; counts cannot.)
+
+use std::collections::{HashMap, HashSet};
+
+use crate::network::PortId;
+
+/// A probabilistic fault rule: drop and/or duplicate matching messages.
+#[derive(Debug, Clone)]
+struct Rule {
+    /// Class label this rule applies to; `None` matches every class.
+    class: Option<String>,
+    /// Probability a matching send is dropped (0.0..=1.0).
+    drop: f64,
+    /// Probability a matching send is delivered twice (0.0..=1.0).
+    duplicate: f64,
+}
+
+/// A seeded, deterministic fault schedule for a [`crate::SimNetwork`].
+///
+/// Build one with the fluent methods, then install it via
+/// [`crate::SimNetwork::set_fault_plan`]. Structural faults (blackholes,
+/// one-way cuts) are toggled live on the network itself because they
+/// model runtime events (crashes, partitions), not a static schedule.
+///
+/// ```
+/// use ceh_net::FaultPlan;
+/// let plan = FaultPlan::new(0xC4A05)
+///     .drop_all(0.05)
+///     .duplicate_class("copyupdate", 0.01);
+/// assert!(plan.is_faulty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given RNG seed. Until rules are added it
+    /// injects nothing.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drop every class of message with probability `p`.
+    pub fn drop_all(mut self, p: f64) -> Self {
+        self.rules.push(Rule {
+            class: None,
+            drop: clamp01(p),
+            duplicate: 0.0,
+        });
+        self
+    }
+
+    /// Drop messages of `class` with probability `p`.
+    pub fn drop_class(mut self, class: impl Into<String>, p: f64) -> Self {
+        self.rules.push(Rule {
+            class: Some(class.into()),
+            drop: clamp01(p),
+            duplicate: 0.0,
+        });
+        self
+    }
+
+    /// Drop messages of every listed class with probability `p`.
+    pub fn drop_classes(mut self, classes: &[&str], p: f64) -> Self {
+        for c in classes {
+            self = self.drop_class(*c, p);
+        }
+        self
+    }
+
+    /// Deliver every class of message twice with probability `p`.
+    pub fn duplicate_all(mut self, p: f64) -> Self {
+        self.rules.push(Rule {
+            class: None,
+            drop: 0.0,
+            duplicate: clamp01(p),
+        });
+        self
+    }
+
+    /// Deliver messages of `class` twice with probability `p`.
+    pub fn duplicate_class(mut self, class: impl Into<String>, p: f64) -> Self {
+        self.rules.push(Rule {
+            class: Some(class.into()),
+            drop: 0.0,
+            duplicate: clamp01(p),
+        });
+        self
+    }
+
+    /// Deliver messages of every listed class twice with probability `p`.
+    pub fn duplicate_classes(mut self, classes: &[&str], p: f64) -> Self {
+        for c in classes {
+            self = self.duplicate_class(*c, p);
+        }
+        self
+    }
+
+    /// Does this plan inject any probabilistic faults at all?
+    pub fn is_faulty(&self) -> bool {
+        self.rules.iter().any(|r| r.drop > 0.0 || r.duplicate > 0.0)
+    }
+
+    /// Combined (drop, duplicate) probability for a class: rules stack by
+    /// independent draws, so probabilities combine as `1 - Π(1 - p)`.
+    fn probabilities(&self, class: &str) -> (f64, f64) {
+        let mut keep = 1.0;
+        let mut single = 1.0;
+        for r in &self.rules {
+            if r.class.as_deref().map_or(true, |c| c == class) {
+                keep *= 1.0 - r.drop;
+                single *= 1.0 - r.duplicate;
+            }
+        }
+        (1.0 - keep, 1.0 - single)
+    }
+}
+
+fn clamp01(p: f64) -> f64 {
+    p.clamp(0.0, 1.0)
+}
+
+/// SplitMix64: a tiny, high-quality mixing function. Used to derive the
+/// per-(seed, class, sequence, salt) uniform variate so every decision is
+/// a pure function of its inputs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the class label: a stable per-class salt.
+fn class_salt(class: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in class.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A uniform f64 in [0, 1) from the decision inputs.
+fn uniform(seed: u64, class: &str, seq: u64, salt: u64) -> f64 {
+    let bits = splitmix64(seed ^ class_salt(class) ^ splitmix64(seq) ^ salt);
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// What the fault plane decided for one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Deliver normally.
+    Deliver,
+    /// Deliver twice.
+    Duplicate,
+    /// Eat the message.
+    Drop,
+}
+
+/// Live fault state owned by the network: the installed plan plus the
+/// runtime structural faults and the per-class decision counters.
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    plan: Option<FaultPlan>,
+    /// Per-class sequence numbers driving the deterministic decisions.
+    class_seq: HashMap<&'static str, u64>,
+    /// Ports whose entire inbound traffic is eaten.
+    blackholes: HashSet<PortId>,
+    /// (class, port) pairs whose inbound traffic is eaten.
+    cuts: HashSet<(String, PortId)>,
+}
+
+impl FaultState {
+    pub(crate) fn set_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+        self.class_seq.clear();
+    }
+
+    pub(crate) fn blackhole(&mut self, port: PortId) {
+        self.blackholes.insert(port);
+    }
+
+    pub(crate) fn heal_blackhole(&mut self, port: PortId) {
+        self.blackholes.remove(&port);
+    }
+
+    pub(crate) fn cut(&mut self, class: &str, port: PortId) {
+        self.cuts.insert((class.to_string(), port));
+    }
+
+    pub(crate) fn heal_cut(&mut self, class: &str, port: PortId) {
+        self.cuts.remove(&(class.to_string(), port));
+    }
+
+    /// Nothing installed and nothing cut? (Fast-path check; callers skip
+    /// the verdict entirely.)
+    pub(crate) fn is_quiet(&self) -> bool {
+        self.plan.as_ref().map_or(true, |p| !p.is_faulty())
+            && self.blackholes.is_empty()
+            && self.cuts.is_empty()
+    }
+
+    /// Decide the fate of one send.
+    pub(crate) fn verdict(&mut self, class: &'static str, to: PortId) -> Verdict {
+        if self.blackholes.contains(&to) {
+            return Verdict::Drop;
+        }
+        if !self.cuts.is_empty() && self.cuts.contains(&(class.to_string(), to)) {
+            return Verdict::Drop;
+        }
+        let Some(plan) = &self.plan else {
+            return Verdict::Deliver;
+        };
+        let (p_drop, p_dup) = plan.probabilities(class);
+        if p_drop == 0.0 && p_dup == 0.0 {
+            return Verdict::Deliver;
+        }
+        let seq = self.class_seq.entry(class).or_insert(0);
+        let n = *seq;
+        *seq += 1;
+        if p_drop > 0.0 && uniform(plan.seed, class, n, 0xD809) < p_drop {
+            return Verdict::Drop;
+        }
+        if p_dup > 0.0 && uniform(plan.seed, class, n, 0xD0BB) < p_dup {
+            return Verdict::Duplicate;
+        }
+        Verdict::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_quiet() {
+        let mut st = FaultState::default();
+        st.set_plan(Some(FaultPlan::new(1)));
+        assert!(st.is_quiet());
+        assert_eq!(st.verdict("find", PortId(1)), Verdict::Deliver);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_class_sequence() {
+        let plan = FaultPlan::new(42).drop_all(0.3).duplicate_all(0.1);
+        let mut a = FaultState::default();
+        let mut b = FaultState::default();
+        a.set_plan(Some(plan.clone()));
+        b.set_plan(Some(plan));
+        for i in 0..1000 {
+            // Different destination ports must not perturb the stream.
+            let va = a.verdict("find", PortId(i % 7));
+            let vb = b.verdict("find", PortId(100 + i % 3));
+            assert_eq!(va, vb, "decision {i} diverged");
+        }
+    }
+
+    #[test]
+    fn interleaving_classes_does_not_change_per_class_decisions() {
+        let plan = FaultPlan::new(7).drop_all(0.5);
+        let mut pure = FaultState::default();
+        pure.set_plan(Some(plan.clone()));
+        let pure_stream: Vec<_> = (0..200).map(|_| pure.verdict("find", PortId(0))).collect();
+
+        let mut mixed = FaultState::default();
+        mixed.set_plan(Some(plan));
+        let mut mixed_stream = Vec::new();
+        for i in 0..200 {
+            // Interleave other-class traffic between every find.
+            for _ in 0..(i % 3) {
+                mixed.verdict("copyupdate", PortId(9));
+            }
+            mixed_stream.push(mixed.verdict("find", PortId(0)));
+        }
+        assert_eq!(pure_stream, mixed_stream);
+    }
+
+    #[test]
+    fn drop_rate_lands_near_probability() {
+        let mut st = FaultState::default();
+        st.set_plan(Some(FaultPlan::new(3).drop_class("find", 0.05)));
+        let drops = (0..20_000)
+            .filter(|_| st.verdict("find", PortId(0)) == Verdict::Drop)
+            .count();
+        assert!(
+            (800..1200).contains(&drops),
+            "5% of 20k ≈ 1000, got {drops}"
+        );
+        // Unmatched classes untouched.
+        assert_eq!(st.verdict("insert", PortId(0)), Verdict::Deliver);
+    }
+
+    #[test]
+    fn blackholes_and_cuts_are_structural_and_healable() {
+        let mut st = FaultState::default();
+        st.blackhole(PortId(5));
+        assert_eq!(st.verdict("find", PortId(5)), Verdict::Drop);
+        assert_eq!(st.verdict("find", PortId(6)), Verdict::Deliver);
+        st.heal_blackhole(PortId(5));
+        assert_eq!(st.verdict("find", PortId(5)), Verdict::Deliver);
+
+        st.cut("copyupdate", PortId(2));
+        assert_eq!(st.verdict("copyupdate", PortId(2)), Verdict::Drop);
+        assert_eq!(
+            st.verdict("copy-ack", PortId(2)),
+            Verdict::Deliver,
+            "one-way"
+        );
+        st.heal_cut("copyupdate", PortId(2));
+        assert_eq!(st.verdict("copyupdate", PortId(2)), Verdict::Deliver);
+    }
+
+    #[test]
+    fn stacked_rules_combine() {
+        let plan = FaultPlan::new(0).drop_all(0.5).drop_class("find", 0.5);
+        let (p_drop, _) = plan.probabilities("find");
+        assert!((p_drop - 0.75).abs() < 1e-9);
+        let (p_other, _) = plan.probabilities("insert");
+        assert!((p_other - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_clamped() {
+        let plan = FaultPlan::new(0).drop_all(7.0);
+        assert_eq!(plan.probabilities("x").0, 1.0);
+    }
+}

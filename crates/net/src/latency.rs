@@ -29,17 +29,32 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// No delay at all (the default network).
     pub fn none() -> Self {
-        LatencyModel { fixed: Duration::ZERO, jitter: Duration::ZERO, seed: 0, class_extra: Vec::new() }
+        LatencyModel {
+            fixed: Duration::ZERO,
+            jitter: Duration::ZERO,
+            seed: 0,
+            class_extra: Vec::new(),
+        }
     }
 
     /// Fixed delay, no jitter (keeps FIFO order).
     pub fn fixed(d: Duration) -> Self {
-        LatencyModel { fixed: d, jitter: Duration::ZERO, seed: 0, class_extra: Vec::new() }
+        LatencyModel {
+            fixed: d,
+            jitter: Duration::ZERO,
+            seed: 0,
+            class_extra: Vec::new(),
+        }
     }
 
     /// Fixed plus uniform jitter (may reorder).
     pub fn jittered(fixed: Duration, jitter: Duration, seed: u64) -> Self {
-        LatencyModel { fixed, jitter, seed, class_extra: Vec::new() }
+        LatencyModel {
+            fixed,
+            jitter,
+            seed,
+            class_extra: Vec::new(),
+        }
     }
 
     /// Add extra delay for one message class (builder style).
@@ -64,7 +79,10 @@ impl LatencyModel {
 
     /// Build the per-network sampler.
     pub(crate) fn sampler(&self) -> LatencySampler {
-        LatencySampler { model: self.clone(), rng: StdRng::seed_from_u64(self.seed) }
+        LatencySampler {
+            model: self.clone(),
+            rng: StdRng::seed_from_u64(self.seed),
+        }
     }
 }
 
@@ -78,7 +96,9 @@ impl LatencySampler {
         if self.model.jitter.is_zero() {
             return self.model.fixed;
         }
-        let extra_ns = self.rng.random_range(0..=self.model.jitter.as_nanos() as u64);
+        let extra_ns = self
+            .rng
+            .random_range(0..=self.model.jitter.as_nanos() as u64);
         self.model.fixed + Duration::from_nanos(extra_ns)
     }
 }

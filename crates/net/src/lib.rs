@@ -19,15 +19,23 @@
 //!   Jitter can reorder messages *across* sends — deliberately, because
 //!   the paper's version-number scheme exists precisely to tolerate
 //!   directory updates arriving out of order (§3's split-then-merge
-//!   example).
+//!   example);
+//! * a seeded [`FaultPlan`] that makes the network *lossy on purpose* —
+//!   per-class drop and duplication probabilities, plus live structural
+//!   faults ([`SimNetwork::blackhole_port`], [`SimNetwork::cut_one_way`],
+//!   [`SimNetwork::close_port`]) — with every drop and duplicate counted
+//!   in [`MsgStats`]. The distributed layer's retry/dedup machinery is
+//!   validated against this plane (`tests/chaos.rs`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod fault;
 mod latency;
 mod network;
 mod stats;
 
+pub use fault::FaultPlan;
 pub use latency::LatencyModel;
 pub use network::{MsgClass, PortId, PortRx, RecvError, SimNetwork};
 pub use stats::{MsgStats, MsgStatsSnapshot};

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::RwLock;
 
+use crate::fault::{FaultPlan, FaultState, Verdict};
 use crate::latency::LatencyModel;
 use crate::stats::{MsgStats, MsgStatsSnapshot};
 
@@ -52,6 +53,7 @@ struct Inner<M> {
     delay_tx: Option<Sender<Delayed<M>>>,
     latency: LatencyModel,
     sampler: parking_lot::Mutex<crate::latency::LatencySampler>,
+    faults: parking_lot::Mutex<FaultState>,
 }
 
 impl<M> Inner<M> {
@@ -72,7 +74,9 @@ pub struct SimNetwork<M: Send + 'static> {
 
 impl<M: Send + 'static> Clone for SimNetwork<M> {
     fn clone(&self) -> Self {
-        SimNetwork { inner: Arc::clone(&self.inner) }
+        SimNetwork {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -99,6 +103,7 @@ impl<M: Send + 'static> SimNetwork<M> {
             delay_tx: delay_tx.as_ref().map(|(tx, _)| tx.clone()),
             sampler: parking_lot::Mutex::new(latency.sampler()),
             latency,
+            faults: parking_lot::Mutex::new(FaultState::default()),
         });
 
         if let Some((_tx, rx)) = delay_tx {
@@ -118,7 +123,14 @@ impl<M: Send + 'static> SimNetwork<M> {
         let id = PortId(self.inner.next_port.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = channel::unbounded();
         self.inner.ports.write().insert(id, tx);
-        (id, PortRx { id, rx, inner: Arc::downgrade(&self.inner) })
+        (
+            id,
+            PortRx {
+                id,
+                rx,
+                inner: Arc::downgrade(&self.inner),
+            },
+        )
     }
 
     /// Register a name for a port (the paper's manager identifiers).
@@ -146,19 +158,102 @@ impl<M: Send + 'static> SimNetwork<M> {
     pub fn open_ports(&self) -> usize {
         self.inner.ports.read().len()
     }
+
+    /// Install (or with `None`, remove) a probabilistic fault plan. The
+    /// plan's per-class decision counters restart from zero, so the same
+    /// plan replayed over the same per-class traffic volumes reproduces
+    /// the same drop/duplicate counts.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.inner.faults.lock().set_plan(plan);
+    }
+
+    /// Eat every message addressed to `port` until [`Self::heal_port`].
+    /// Models a crashed or unreachable process whose mail falls on the
+    /// floor; the sender still sees `send` succeed.
+    pub fn blackhole_port(&self, port: PortId) {
+        self.inner.faults.lock().blackhole(port);
+    }
+
+    /// Undo [`Self::blackhole_port`].
+    pub fn heal_port(&self, port: PortId) {
+        self.inner.faults.lock().heal_blackhole(port);
+    }
+
+    /// Eat messages of `class` addressed to `port` (a one-way partition
+    /// of that link) until [`Self::heal_one_way`]. Senders are anonymous
+    /// here, so links are identified by *(class, destination)* — see the
+    /// module docs of [`crate::FaultPlan`].
+    pub fn cut_one_way(&self, class: &str, port: PortId) {
+        self.inner.faults.lock().cut(class, port);
+    }
+
+    /// Undo [`Self::cut_one_way`].
+    pub fn heal_one_way(&self, class: &str, port: PortId) {
+        self.inner.faults.lock().heal_cut(class, port);
+    }
+
+    /// Forcibly close a port from outside its owner: subsequent sends to
+    /// the id return `false` and the owner's receive loop sees
+    /// [`RecvError::Disconnected`] once the buffered backlog drains.
+    /// This crashes the owning process *at a message boundary*: mail
+    /// already queued is still handled, everything sent afterwards is
+    /// refused. Returns `false` if the port was not open.
+    pub fn close_port(&self, port: PortId) -> bool {
+        self.inner.ports.write().remove(&port).is_some()
+    }
 }
 
-impl<M: Send + MsgClass + 'static> SimNetwork<M> {
-    /// Send `msg` to `to`. Reliable while the port exists: the message is
-    /// buffered without bound until received. Returns `false` if the port
-    /// has been closed (shutdown teardown), which callers treat as "the
-    /// recipient is gone".
+impl<M: Send + MsgClass + Clone + 'static> SimNetwork<M> {
+    /// Send `msg` to `to`. Reliable while the port exists *and no fault
+    /// is injected*: the message is buffered without bound until
+    /// received. Returns `false` if the port has been closed (shutdown
+    /// teardown), which callers treat as "the recipient is gone".
+    ///
+    /// Under an installed [`FaultPlan`] (or a blackhole / one-way cut)
+    /// the message may be silently eaten — `send` still returns `true`
+    /// then, because a lossy network cannot tell the sender its packet
+    /// died. Drops are still counted as sent (the sender paid for the
+    /// send) plus once in the dropped family; an injected duplicate is
+    /// delivered twice but counted as sent once, plus once in the
+    /// duplicated family.
     pub fn send(&self, to: PortId, msg: M) -> bool {
         let class = msg.class();
         self.inner.stats.record(class);
+        let verdict = {
+            let mut faults = self.inner.faults.lock();
+            if faults.is_quiet() {
+                Verdict::Deliver
+            } else {
+                faults.verdict(class, to)
+            }
+        };
+        match verdict {
+            Verdict::Drop => {
+                self.inner.stats.record_dropped(class);
+                return true;
+            }
+            Verdict::Duplicate => self.inner.stats.record_duplicated(class),
+            Verdict::Deliver => {}
+        }
         match &self.inner.delay_tx {
-            None => self.inner.deliver(to, msg),
+            None => {
+                if verdict == Verdict::Duplicate {
+                    self.inner.deliver(to, msg.clone());
+                }
+                self.inner.deliver(to, msg)
+            }
             Some(tx) => {
+                // Each copy samples its own delay, so a duplicate can
+                // arrive reordered relative to the original.
+                if verdict == Verdict::Duplicate {
+                    let delay =
+                        self.inner.sampler.lock().sample() + self.inner.latency.extra_for(class);
+                    let _ = tx.send(Delayed {
+                        to,
+                        msg: msg.clone(),
+                        delay,
+                    });
+                }
                 let delay =
                     self.inner.sampler.lock().sample() + self.inner.latency.extra_for(class);
                 tx.send(Delayed { to, msg, delay }).is_ok()
@@ -283,7 +378,7 @@ impl<M: Send + 'static> Drop for PortRx<M> {
 mod tests {
     use super::*;
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     struct TestMsg(u32);
     impl MsgClass for TestMsg {
         fn class(&self) -> &'static str {
@@ -312,7 +407,11 @@ mod tests {
         }
         assert_eq!(rx.queued(), 100);
         for i in 0..100 {
-            assert_eq!(rx.recv().unwrap(), TestMsg(i), "zero-latency network is FIFO");
+            assert_eq!(
+                rx.recv().unwrap(),
+                TestMsg(i),
+                "zero-latency network is FIFO"
+            );
         }
     }
 
@@ -381,7 +480,11 @@ mod tests {
         }
         let mut sorted = got.clone();
         sorted.sort();
-        assert_eq!(sorted, (0..N).collect::<Vec<_>>(), "reliable: every message arrives");
+        assert_eq!(
+            sorted,
+            (0..N).collect::<Vec<_>>(),
+            "reliable: every message arrives"
+        );
     }
 
     #[test]
@@ -393,7 +496,7 @@ mod tests {
         let (id, rx) = net.create_port();
         net.send(id, TestMsg(1)); // odd: slow
         net.send(id, TestMsg(2)); // even: fast
-        // The even message overtakes the odd one.
+                                  // The even message overtakes the odd one.
         let first = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(first, TestMsg(2), "fast class arrives first");
         let second = rx.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -404,6 +507,125 @@ mod tests {
     fn recv_timeout_empty() {
         let net: SimNetwork<TestMsg> = SimNetwork::default();
         let (_id, rx) = net.create_port();
-        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvError::Empty));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvError::Empty)
+        );
+    }
+
+    #[test]
+    fn fault_plan_drops_and_counts() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        net.set_fault_plan(Some(FaultPlan::new(11).drop_class("even", 1.0)));
+        let (id, rx) = net.create_port();
+        assert!(
+            net.send(id, TestMsg(0)),
+            "drop is silent: send still succeeds"
+        );
+        assert!(net.send(id, TestMsg(1)));
+        assert_eq!(rx.recv().unwrap(), TestMsg(1), "odd traffic unaffected");
+        assert_eq!(rx.try_recv(), Err(RecvError::Empty));
+        let s = net.stats();
+        assert_eq!(
+            s.get("even"),
+            1,
+            "a dropped message is still counted as sent"
+        );
+        assert_eq!(s.dropped("even"), 1);
+        assert_eq!(s.dropped("odd"), 0);
+        net.set_fault_plan(None);
+        assert!(net.send(id, TestMsg(2)));
+        assert_eq!(
+            rx.recv().unwrap(),
+            TestMsg(2),
+            "plan removal heals the network"
+        );
+    }
+
+    #[test]
+    fn fault_plan_duplicates_deliver_twice() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        net.set_fault_plan(Some(FaultPlan::new(5).duplicate_all(1.0)));
+        let (id, rx) = net.create_port();
+        net.send(id, TestMsg(7));
+        assert_eq!(rx.recv().unwrap(), TestMsg(7));
+        assert_eq!(rx.recv().unwrap(), TestMsg(7));
+        let s = net.stats();
+        assert_eq!(s.get("odd"), 1, "the duplicate is not counted as sent");
+        assert_eq!(s.duplicated("odd"), 1);
+    }
+
+    #[test]
+    fn duplicates_flow_through_the_delay_path() {
+        let net: SimNetwork<TestMsg> =
+            SimNetwork::new(LatencyModel::fixed(Duration::from_millis(1)));
+        net.set_fault_plan(Some(FaultPlan::new(5).duplicate_all(1.0)));
+        let (id, rx) = net.create_port();
+        net.send(id, TestMsg(3));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), TestMsg(3));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), TestMsg(3));
+    }
+
+    #[test]
+    fn same_seed_same_fault_counts() {
+        let run = |seed: u64| {
+            let net: SimNetwork<TestMsg> = SimNetwork::default();
+            net.set_fault_plan(Some(FaultPlan::new(seed).drop_all(0.2).duplicate_all(0.1)));
+            let (id, _rx) = net.create_port();
+            for i in 0..500 {
+                net.send(id, TestMsg(i));
+            }
+            let s = net.stats();
+            (s.dropped_total(), s.duplicated_total())
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(
+            run(99),
+            run(100),
+            "different seed, different schedule (w.h.p.)"
+        );
+    }
+
+    #[test]
+    fn blackhole_eats_until_healed() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        let (id, rx) = net.create_port();
+        net.blackhole_port(id);
+        assert!(net.send(id, TestMsg(1)));
+        assert_eq!(rx.try_recv(), Err(RecvError::Empty));
+        assert_eq!(net.stats().dropped("odd"), 1);
+        net.heal_port(id);
+        net.send(id, TestMsg(3));
+        assert_eq!(rx.recv().unwrap(), TestMsg(3));
+    }
+
+    #[test]
+    fn one_way_cut_is_class_and_port_scoped() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        let (a, ra) = net.create_port();
+        let (b, rb) = net.create_port();
+        net.cut_one_way("odd", a);
+        net.send(a, TestMsg(1)); // eaten
+        net.send(a, TestMsg(2)); // even: flows
+        net.send(b, TestMsg(3)); // other port: flows
+        assert_eq!(ra.recv().unwrap(), TestMsg(2));
+        assert_eq!(ra.try_recv(), Err(RecvError::Empty));
+        assert_eq!(rb.recv().unwrap(), TestMsg(3));
+        net.heal_one_way("odd", a);
+        net.send(a, TestMsg(5));
+        assert_eq!(ra.recv().unwrap(), TestMsg(5));
+    }
+
+    #[test]
+    fn close_port_crashes_at_a_message_boundary() {
+        let net: SimNetwork<TestMsg> = SimNetwork::default();
+        let (id, rx) = net.create_port();
+        net.send(id, TestMsg(1));
+        assert!(net.close_port(id));
+        assert!(!net.close_port(id), "second close is a no-op");
+        assert!(!net.send(id, TestMsg(2)), "post-crash sends are refused");
+        assert_eq!(rx.recv().unwrap(), TestMsg(1), "pre-crash backlog drains");
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+        assert_eq!(net.open_ports(), 0);
     }
 }

@@ -6,6 +6,15 @@ use parking_lot::Mutex;
 
 /// Counts messages by class label (see [`crate::MsgClass`]).
 ///
+/// Three families of counters are kept, all per class:
+///
+/// * **sent** — every attempted send (the experiments' primary currency);
+/// * **dropped** — sends eaten by the fault plane (probabilistic drops,
+///   blackholed ports, one-way cuts). A dropped message is still counted
+///   as sent: the sender paid for it.
+/// * **duplicated** — extra deliveries injected by the fault plane. The
+///   duplicate is *not* counted as sent (the sender sent once).
+///
 /// Message sends are not on any nanosecond-critical path in this
 /// workspace (the distributed experiments measure message *counts*, not
 /// message-send throughput), so a mutex-guarded map keeps this simple and
@@ -13,6 +22,8 @@ use parking_lot::Mutex;
 #[derive(Debug, Default)]
 pub struct MsgStats {
     counts: Mutex<HashMap<&'static str, u64>>,
+    dropped: Mutex<HashMap<&'static str, u64>>,
+    duplicated: Mutex<HashMap<&'static str, u64>>,
 }
 
 impl MsgStats {
@@ -26,14 +37,30 @@ impl MsgStats {
         *self.counts.lock().entry(class).or_insert(0) += 1;
     }
 
+    /// Count one message of the given class eaten by the fault plane.
+    pub fn record_dropped(&self, class: &'static str) {
+        *self.dropped.lock().entry(class).or_insert(0) += 1;
+    }
+
+    /// Count one duplicate delivery injected by the fault plane.
+    pub fn record_duplicated(&self, class: &'static str) {
+        *self.duplicated.lock().entry(class).or_insert(0) += 1;
+    }
+
     /// Copy out the current counts.
     pub fn snapshot(&self) -> MsgStatsSnapshot {
-        MsgStatsSnapshot { counts: self.counts.lock().clone() }
+        MsgStatsSnapshot {
+            counts: self.counts.lock().clone(),
+            dropped: self.dropped.lock().clone(),
+            duplicated: self.duplicated.lock().clone(),
+        }
     }
 
     /// Zero the counters.
     pub fn reset(&self) {
         self.counts.lock().clear();
+        self.dropped.lock().clear();
+        self.duplicated.lock().clear();
     }
 }
 
@@ -41,6 +68,8 @@ impl MsgStats {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MsgStatsSnapshot {
     counts: HashMap<&'static str, u64>,
+    dropped: HashMap<&'static str, u64>,
+    duplicated: HashMap<&'static str, u64>,
 }
 
 impl MsgStatsSnapshot {
@@ -54,6 +83,26 @@ impl MsgStatsSnapshot {
         self.counts.values().sum()
     }
 
+    /// Fault-plane drops for one class (0 if never seen).
+    pub fn dropped(&self, class: &str) -> u64 {
+        self.dropped.get(class).copied().unwrap_or(0)
+    }
+
+    /// Total fault-plane drops across all classes.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Fault-plane duplicate deliveries for one class (0 if never seen).
+    pub fn duplicated(&self, class: &str) -> u64 {
+        self.duplicated.get(class).copied().unwrap_or(0)
+    }
+
+    /// Total fault-plane duplicate deliveries across all classes.
+    pub fn duplicated_total(&self) -> u64 {
+        self.duplicated.values().sum()
+    }
+
     /// All (class, count) pairs, sorted by class for stable reporting.
     pub fn sorted(&self) -> Vec<(&'static str, u64)> {
         let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
@@ -64,12 +113,22 @@ impl MsgStatsSnapshot {
     /// Difference (self - earlier), for interval measurement. Classes
     /// absent from `earlier` are kept whole.
     pub fn since(&self, earlier: &MsgStatsSnapshot) -> MsgStatsSnapshot {
-        let mut counts = self.counts.clone();
-        for (k, v) in counts.iter_mut() {
-            *v -= earlier.get(k);
+        fn diff(
+            mine: &HashMap<&'static str, u64>,
+            theirs: &HashMap<&'static str, u64>,
+        ) -> HashMap<&'static str, u64> {
+            let mut counts = mine.clone();
+            for (k, v) in counts.iter_mut() {
+                *v -= theirs.get(k).copied().unwrap_or(0);
+            }
+            counts.retain(|_, v| *v > 0);
+            counts
         }
-        counts.retain(|_, v| *v > 0);
-        MsgStatsSnapshot { counts }
+        MsgStatsSnapshot {
+            counts: diff(&self.counts, &earlier.counts),
+            dropped: diff(&self.dropped, &earlier.dropped),
+            duplicated: diff(&self.duplicated, &earlier.duplicated),
+        }
     }
 }
 
@@ -102,5 +161,34 @@ mod tests {
         assert_eq!(d.get("a"), 1);
         assert_eq!(d.get("b"), 1);
         assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn fault_counters_are_separate_families() {
+        let s = MsgStats::new();
+        s.record("find");
+        s.record_dropped("find");
+        s.record_duplicated("copyupdate");
+        let snap = s.snapshot();
+        assert_eq!(snap.get("find"), 1);
+        assert_eq!(snap.dropped("find"), 1);
+        assert_eq!(snap.dropped_total(), 1);
+        assert_eq!(snap.duplicated("copyupdate"), 1);
+        assert_eq!(snap.duplicated_total(), 1);
+        assert_eq!(snap.duplicated("find"), 0);
+        s.reset();
+        assert_eq!(s.snapshot().dropped_total(), 0);
+    }
+
+    #[test]
+    fn since_covers_fault_counters() {
+        let s = MsgStats::new();
+        s.record_dropped("a");
+        let before = s.snapshot();
+        s.record_dropped("a");
+        s.record_duplicated("b");
+        let d = s.snapshot().since(&before);
+        assert_eq!(d.dropped("a"), 1);
+        assert_eq!(d.duplicated("b"), 1);
     }
 }

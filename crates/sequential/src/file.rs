@@ -6,8 +6,8 @@ use ceh_storage::{PageBuf, PageStore};
 use ceh_types::bits::{mask, partner_commonbits};
 use ceh_types::bucket::Bucket;
 use ceh_types::{
-    hash_key, DeleteOutcome, Error, HashFileConfig, InsertOutcome, Key, PageId, Pseudokey,
-    Record, Result, Value,
+    hash_key, DeleteOutcome, Error, HashFileConfig, InsertOutcome, Key, PageId, Pseudokey, Record,
+    Result, Value,
 };
 
 use crate::snapshot::FileSnapshot;
@@ -145,9 +145,15 @@ impl SequentialHashFile {
             // Nothing recoverable: initialize fresh.
             return Self::with_store(cfg, store, hasher);
         }
-        let depth = live.iter().map(|(_, b)| b.localdepth).max().expect("non-empty");
+        let depth = live
+            .iter()
+            .map(|(_, b)| b.localdepth)
+            .max()
+            .expect("non-empty");
         if depth > cfg.max_depth {
-            return Err(Error::DirectoryFull { max_depth: cfg.max_depth });
+            return Err(Error::DirectoryFull {
+                max_depth: cfg.max_depth,
+            });
         }
         let size = 1usize << depth;
         let mut directory = vec![PageId::NULL; size];
@@ -176,7 +182,15 @@ impl SequentialHashFile {
             )));
         }
         let depthcount = live.iter().filter(|(_, b)| b.localdepth == depth).count() as u32;
-        let file = SequentialHashFile { store, cfg, hasher, directory, depth, depthcount, len };
+        let file = SequentialHashFile {
+            store,
+            cfg,
+            hasher,
+            directory,
+            depth,
+            depthcount,
+            len,
+        };
         file.check_invariants()?;
         Ok(file)
     }
@@ -244,7 +258,9 @@ impl SequentialHashFile {
     /// directory would set it to zero").
     fn double_directory(&mut self) -> Result<()> {
         if self.depth >= self.cfg.max_depth {
-            return Err(Error::DirectoryFull { max_depth: self.cfg.max_depth });
+            return Err(Error::DirectoryFull {
+                max_depth: self.cfg.max_depth,
+            });
         }
         let old = self.directory.clone();
         self.directory.extend_from_slice(&old);
@@ -292,7 +308,10 @@ impl SequentialHashFile {
         let page = self.index(pk);
         let mut buf = self.store.new_buf();
         let bucket = self.getbucket(page, &mut buf)?;
-        debug_assert!(bucket.owns(pk), "sequential file can never have the wrong bucket");
+        debug_assert!(
+            bucket.owns(pk),
+            "sequential file can never have the wrong bucket"
+        );
         Ok(bucket.search(key))
     }
 
@@ -363,8 +382,7 @@ impl SequentialHashFile {
         // "Current not too empty" — or too shallow to have a partner.
         // Figure 7's test is (count > 1 || localdepth == 1); generalized
         // to the configured merge threshold.
-        let too_empty =
-            current.count() <= self.cfg.merge_threshold + 1 && current.localdepth > 1;
+        let too_empty = current.count() <= self.cfg.merge_threshold + 1 && current.localdepth > 1;
         if !too_empty {
             current.remove(key);
             self.putbucket(oldpage, &current, &mut buf)?;
@@ -385,7 +403,10 @@ impl SequentialHashFile {
             self.len -= 1;
             return Ok(DeleteOutcome::Deleted);
         }
-        debug_assert_eq!(brother.commonbits, partner_commonbits(current.commonbits, d));
+        debug_assert_eq!(
+            brother.commonbits,
+            partner_commonbits(current.commonbits, d)
+        );
 
         // Check the merged bucket fits (always true at the paper's
         // merge_threshold = 0; can fail for larger thresholds).
@@ -401,10 +422,16 @@ impl SequentialHashFile {
         // page.
         let (merged_page, garbage_page, mut merged) =
             if current.commonbits & ceh_types::partner_bit(d) == 0 {
-                brother.records.iter().for_each(|r| current.records.push(*r));
+                brother
+                    .records
+                    .iter()
+                    .for_each(|r| current.records.push(*r));
                 (oldpage, partner_page, current)
             } else {
-                current.records.iter().for_each(|r| brother.records.push(*r));
+                current
+                    .records
+                    .iter()
+                    .for_each(|r| brother.records.push(*r));
                 (partner_page, oldpage, brother)
             };
 
@@ -473,9 +500,19 @@ mod tests {
     #[test]
     fn insert_then_find() {
         let mut f = tiny();
-        assert_eq!(f.insert(Key(1), Value(10)).unwrap(), InsertOutcome::Inserted);
-        assert_eq!(f.insert(Key(1), Value(99)).unwrap(), InsertOutcome::AlreadyPresent);
-        assert_eq!(f.find(Key(1)).unwrap(), Some(Value(10)), "insert does not overwrite");
+        assert_eq!(
+            f.insert(Key(1), Value(10)).unwrap(),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            f.insert(Key(1), Value(99)).unwrap(),
+            InsertOutcome::AlreadyPresent
+        );
+        assert_eq!(
+            f.find(Key(1)).unwrap(),
+            Some(Value(10)),
+            "insert does not overwrite"
+        );
         assert_eq!(f.len(), 1);
         f.check_invariants().unwrap();
     }
@@ -488,7 +525,10 @@ mod tests {
             f.check_invariants().unwrap();
         }
         assert_eq!(f.len(), 200);
-        assert!(f.depth() >= 5, "200 keys / capacity 2 needs a deep directory");
+        assert!(
+            f.depth() >= 5,
+            "200 keys / capacity 2 needs a deep directory"
+        );
         for k in 0..200u64 {
             assert_eq!(f.find(Key(k)).unwrap(), Some(Value(k * 2)), "key {k}");
         }
@@ -520,7 +560,9 @@ mod tests {
 
     #[test]
     fn directory_full_surfaces() {
-        let cfg = HashFileConfig::tiny().with_max_depth(2).with_bucket_capacity(1);
+        let cfg = HashFileConfig::tiny()
+            .with_max_depth(2)
+            .with_bucket_capacity(1);
         let mut f = SequentialHashFile::new(cfg).unwrap();
         // With identity-ish growth, capacity 1 and max_depth 2 the file
         // holds at most 4 buckets; a fifth colliding insert must error.
@@ -573,7 +615,11 @@ mod tests {
         for &k in &keys {
             let _ = f.delete(Key(k)).unwrap();
             let snap = f.snapshot().unwrap();
-            assert_eq!(f.depthcount(), snap.count_buckets_at_full_depth(), "after deleting {k}");
+            assert_eq!(
+                f.depthcount(),
+                snap.count_buckets_at_full_depth(),
+                "after deleting {k}"
+            );
         }
     }
 

@@ -54,7 +54,13 @@ impl FileSnapshot {
                 e.insert(Bucket::decode(&buf)?);
             }
         }
-        Ok(FileSnapshot { depth, depthcount, entries: entries.to_vec(), buckets, capacity })
+        Ok(FileSnapshot {
+            depth,
+            depthcount,
+            entries: entries.to_vec(),
+            buckets,
+            capacity,
+        })
     }
 
     /// Total records across all buckets.
@@ -69,13 +75,19 @@ impl FileSnapshot {
 
     /// Buckets whose `localdepth == depth` — what `depthcount` should be.
     pub fn count_buckets_at_full_depth(&self) -> u32 {
-        self.buckets.values().filter(|b| b.localdepth == self.depth).count() as u32
+        self.buckets
+            .values()
+            .filter(|b| b.localdepth == self.depth)
+            .count() as u32
     }
 
     /// All keys in the file, sorted (oracle comparisons).
     pub fn all_keys(&self) -> Vec<Key> {
-        let mut v: Vec<Key> =
-            self.buckets.values().flat_map(|b| b.records.iter().map(|r| r.key)).collect();
+        let mut v: Vec<Key> = self
+            .buckets
+            .values()
+            .flat_map(|b| b.records.iter().map(|r| r.key))
+            .collect();
         v.sort();
         v
     }
@@ -185,8 +197,11 @@ impl FileSnapshot {
                 let b = &self.buckets[&p];
                 let mut keys: Vec<u64> = b.records.iter().map(|r| r.key.0).collect();
                 keys.sort();
-                let keys =
-                    keys.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(", ");
+                let keys = keys
+                    .iter()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 let _ = writeln!(
                     out,
                     "[{idx}] -> {p} (localdepth {}, commonbits {:0ldw$b}) {{{keys}}}",
@@ -207,7 +222,11 @@ mod tests {
     use super::*;
     use ceh_types::{identity_pseudokey, Record};
 
-    fn snapshot_of(entries: Vec<PageId>, buckets: Vec<(PageId, Bucket)>, depth: u32) -> FileSnapshot {
+    fn snapshot_of(
+        entries: Vec<PageId>,
+        buckets: Vec<(PageId, Bucket)>,
+        depth: u32,
+    ) -> FileSnapshot {
         let depthcount = buckets
             .iter()
             .filter(|(_, b)| b.localdepth == depth)
@@ -226,12 +245,18 @@ mod tests {
         b0.records.push(Record::new(0b10, 1));
         let mut b1 = Bucket::new(1, 1);
         b1.records.push(Record::new(0b11, 2));
-        snapshot_of(vec![PageId(0), PageId(1)], vec![(PageId(0), b0), (PageId(1), b1)], 1)
+        snapshot_of(
+            vec![PageId(0), PageId(1)],
+            vec![(PageId(0), b0), (PageId(1), b1)],
+            1,
+        )
     }
 
     #[test]
     fn valid_snapshot_passes() {
-        two_bucket_depth1().check_invariants(identity_pseudokey).unwrap();
+        two_bucket_depth1()
+            .check_invariants(identity_pseudokey)
+            .unwrap();
     }
 
     #[test]
@@ -245,7 +270,11 @@ mod tests {
     fn misplaced_record_caught() {
         let mut s = two_bucket_depth1();
         // key 0b10 (even) placed in the odd bucket.
-        s.buckets.get_mut(&PageId(1)).unwrap().records.push(Record::new(0b100, 9));
+        s.buckets
+            .get_mut(&PageId(1))
+            .unwrap()
+            .records
+            .push(Record::new(0b100, 9));
         assert!(s.check_invariants(identity_pseudokey).is_err());
     }
 
@@ -259,7 +288,11 @@ mod tests {
     #[test]
     fn duplicate_key_caught() {
         let mut s = two_bucket_depth1();
-        s.buckets.get_mut(&PageId(0)).unwrap().records.push(Record::new(0b10, 7));
+        s.buckets
+            .get_mut(&PageId(0))
+            .unwrap()
+            .records
+            .push(Record::new(0b10, 7));
         // duplicate within a bucket:
         assert!(s.check_invariants(identity_pseudokey).is_err());
     }
@@ -268,7 +301,11 @@ mod tests {
     fn overfull_bucket_caught() {
         let mut s = two_bucket_depth1();
         s.capacity = 1;
-        s.buckets.get_mut(&PageId(0)).unwrap().records.push(Record::new(0b100, 9));
+        s.buckets
+            .get_mut(&PageId(0))
+            .unwrap()
+            .records
+            .push(Record::new(0b100, 9));
         assert!(s.check_invariants(identity_pseudokey).is_err());
     }
 

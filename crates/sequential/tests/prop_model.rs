@@ -32,7 +32,8 @@ fn run_against_model(cfg: HashFileConfig, ops: Vec<Op>, check_every_op: bool) {
         match op {
             Op::Insert(k, v) => {
                 let out = file.insert(Key(k), Value(v)).unwrap();
-                let expected = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                let expected = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k)
+                {
                     e.insert(v);
                     InsertOutcome::Inserted
                 } else {

@@ -25,7 +25,9 @@ pub struct PageBuf {
 impl PageBuf {
     /// A zeroed buffer of the given page size.
     pub fn zeroed(page_size: usize) -> Self {
-        PageBuf { bytes: vec![0u8; page_size].into_boxed_slice() }
+        PageBuf {
+            bytes: vec![0u8; page_size].into_boxed_slice(),
+        }
     }
 
     /// Build a buffer from existing bytes (must already be page-sized;

@@ -43,7 +43,10 @@ impl Default for PageStoreConfig {
 impl PageStoreConfig {
     /// Small pages for tests that want to force splits cheaply.
     pub fn small(page_size: usize) -> Self {
-        PageStoreConfig { page_size, ..Default::default() }
+        PageStoreConfig {
+            page_size,
+            ..Default::default()
+        }
     }
 }
 
@@ -104,8 +107,9 @@ impl std::fmt::Debug for PageStore {
 impl PageStore {
     /// Create an in-memory store with the given configuration.
     pub fn new(cfg: PageStoreConfig) -> Self {
-        let slots =
-            (0..cfg.initial_pages).map(|_| Arc::new(Self::empty_slot(&cfg, true))).collect();
+        let slots = (0..cfg.initial_pages)
+            .map(|_| Arc::new(Self::empty_slot(&cfg, true)))
+            .collect();
         // Seed the free list with the initial pool, reversed so pages are
         // handed out in ascending order (stable figure goldens).
         let free = (0..cfg.initial_pages as u64).rev().map(PageId).collect();
@@ -155,6 +159,12 @@ impl PageStore {
     /// `ceh_sequential::SequentialHashFile::recover`) decide which pages
     /// hold live buckets (deallocated pages were poisoned and fail to
     /// decode) and return the rest via [`PageStore::dealloc`].
+    ///
+    /// A trailing **partial** page — the footprint of a crash that
+    /// interrupted the file mid-growth — is truncated away: page writes
+    /// always land at page-aligned offsets, so a short tail can only be
+    /// an allocation that never completed a `putbucket`, and nothing in
+    /// the directory can reference it.
     pub fn open_file(path: impl AsRef<std::path::Path>, cfg: PageStoreConfig) -> Result<Self> {
         let file = std::fs::OpenOptions::new()
             .read(true)
@@ -165,13 +175,11 @@ impl PageStore {
             .metadata()
             .map_err(|e| Error::Config(format!("cannot stat backing file: {e}")))?
             .len() as usize;
-        if len % cfg.page_size != 0 {
-            return Err(Error::Corrupt(format!(
-                "backing file length {len} is not a multiple of page size {}",
-                cfg.page_size
-            )));
-        }
         let npages = len / cfg.page_size;
+        if len % cfg.page_size != 0 {
+            file.set_len((npages * cfg.page_size) as u64)
+                .map_err(|e| Error::Io(format!("truncating torn tail page: {e}")))?;
+        }
         let slots = (0..npages)
             .map(|_| {
                 let s = Self::empty_slot(&cfg, false);
@@ -201,7 +209,10 @@ impl PageStore {
         } else {
             Box::default()
         };
-        PageSlot { bytes: Mutex::new(bytes), allocated: AtomicBool::new(false) }
+        PageSlot {
+            bytes: Mutex::new(bytes),
+            allocated: AtomicBool::new(false),
+        }
     }
 
     /// The configured page size.
@@ -232,7 +243,11 @@ impl PageStore {
 
     /// Number of currently allocated pages.
     pub fn allocated_pages(&self) -> usize {
-        self.slots.read().iter().filter(|s| s.allocated.load(Ordering::Relaxed)).count()
+        self.slots
+            .read()
+            .iter()
+            .filter(|s| s.allocated.load(Ordering::Relaxed))
+            .count()
     }
 
     fn slot(&self, page: PageId) -> Result<Arc<PageSlot>> {
@@ -295,8 +310,10 @@ impl PageStore {
                 return Err(Error::OutOfPages);
             }
         }
-        let slot =
-            Arc::new(Self::empty_slot(&self.cfg, matches!(self.backing, Backing::Memory)));
+        let slot = Arc::new(Self::empty_slot(
+            &self.cfg,
+            matches!(self.backing, Backing::Memory),
+        ));
         slot.allocated.store(true, Ordering::Release);
         slots.push(slot);
         if let Backing::File(f) = &self.backing {
@@ -406,7 +423,11 @@ mod tests {
     use super::*;
 
     fn store() -> PageStore {
-        PageStore::new(PageStoreConfig { page_size: 64, initial_pages: 2, ..Default::default() })
+        PageStore::new(PageStoreConfig {
+            page_size: 64,
+            initial_pages: 2,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -456,8 +477,14 @@ mod tests {
         s.write(p, &buf).unwrap();
         s.dealloc(p).unwrap();
         let mut out = s.new_buf();
-        assert_eq!(s.read(p, &mut out).unwrap_err(), Error::PageFault { page: p.0 });
-        assert_eq!(s.write(p, &buf).unwrap_err(), Error::PageFault { page: p.0 });
+        assert_eq!(
+            s.read(p, &mut out).unwrap_err(),
+            Error::PageFault { page: p.0 }
+        );
+        assert_eq!(
+            s.write(p, &buf).unwrap_err(),
+            Error::PageFault { page: p.0 }
+        );
         // Double free faults too.
         assert_eq!(s.dealloc(p).unwrap_err(), Error::PageFault { page: p.0 });
     }
@@ -506,7 +533,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ceh-store-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("pages.ceh");
-        let cfg = PageStoreConfig { page_size: 128, initial_pages: 0, ..Default::default() };
+        let cfg = PageStoreConfig {
+            page_size: 128,
+            initial_pages: 0,
+            ..Default::default()
+        };
 
         let (a, b);
         {
@@ -547,7 +578,11 @@ mod tests {
         let s = Arc::new(
             PageStore::create_file(
                 dir.join("torn.ceh"),
-                PageStoreConfig { page_size: 256, initial_pages: 0, ..Default::default() },
+                PageStoreConfig {
+                    page_size: 256,
+                    initial_pages: 0,
+                    ..Default::default()
+                },
             )
             .unwrap(),
         );
@@ -586,13 +621,27 @@ mod tests {
     }
 
     #[test]
-    fn file_backed_rejects_misaligned_file() {
+    fn file_backed_truncates_torn_tail_page() {
+        // A crash during file growth leaves a partial trailing page; a
+        // reopen must discard exactly that tail and keep the whole pages.
         let dir = std::env::temp_dir().join(format!("ceh-store-mis-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bad.ceh");
-        std::fs::write(&path, vec![0u8; 100]).unwrap();
-        let cfg = PageStoreConfig { page_size: 64, ..Default::default() };
-        assert!(matches!(PageStore::open_file(&path, cfg), Err(Error::Corrupt(_))));
+        let path = dir.join("torn-tail.ceh");
+        std::fs::write(&path, vec![0x55u8; 64 + 30]).unwrap();
+        let cfg = PageStoreConfig {
+            page_size: 64,
+            ..Default::default()
+        };
+        let s = PageStore::open_file(&path, cfg).unwrap();
+        assert_eq!(s.capacity(), 1, "the one whole page survives");
+        let mut buf = s.new_buf();
+        s.read(PageId(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0x55));
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            64,
+            "tail debris gone"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -36,7 +36,10 @@ impl Mask {
     /// The mask for the given depth.
     #[inline]
     pub const fn of_depth(depth: u32) -> Self {
-        Mask { depth, bits: mask(depth) }
+        Mask {
+            depth,
+            bits: mask(depth),
+        }
     }
 
     /// The depth this mask selects.

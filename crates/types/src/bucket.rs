@@ -60,7 +60,11 @@ pub struct Bucket {
 impl Bucket {
     /// An empty bucket with the given identity.
     pub fn new(localdepth: u32, commonbits: u64) -> Self {
-        debug_assert_eq!(commonbits & !mask(localdepth), 0, "commonbits wider than localdepth");
+        debug_assert_eq!(
+            commonbits & !mask(localdepth),
+            0,
+            "commonbits wider than localdepth"
+        );
         Bucket {
             localdepth,
             commonbits,
@@ -210,7 +214,11 @@ impl Bucket {
         half2.version = self.version + 1;
 
         let pk = hasher(key);
-        let target = if pk.0 & bit == 0 { &mut half1 } else { &mut half2 };
+        let target = if pk.0 & bit == 0 {
+            &mut half1
+        } else {
+            &mut half2
+        };
         let done = if target.records.len() < capacity {
             target.add(Record { key, value });
             true
@@ -251,7 +259,10 @@ impl Bucket {
     /// Decode from a page buffer, validating the header.
     pub fn decode(page: &[u8]) -> Result<Bucket> {
         if page.len() < BUCKET_HEADER_BYTES {
-            return Err(Error::Corrupt(format!("page of {} bytes is too small", page.len())));
+            return Err(Error::Corrupt(format!(
+                "page of {} bytes is too small",
+                page.len()
+            )));
         }
         let magic = u32::from_le_bytes(page[0..4].try_into().expect("slice len"));
         if magic != MAGIC {
@@ -261,25 +272,49 @@ impl Bucket {
         let commonbits = u64::from_le_bytes(page[8..16].try_into().expect("slice len"));
         let count = u32::from_le_bytes(page[16..20].try_into().expect("slice len")) as usize;
         if localdepth > 64 {
-            return Err(Error::Corrupt(format!("localdepth {localdepth} out of range")));
+            return Err(Error::Corrupt(format!(
+                "localdepth {localdepth} out of range"
+            )));
         }
         if count > Self::capacity_for(page.len()) {
-            return Err(Error::Corrupt(format!("count {count} exceeds page capacity")));
+            return Err(Error::Corrupt(format!(
+                "count {count} exceeds page capacity"
+            )));
         }
-        let next_mgr = ManagerId(u32::from_le_bytes(page[20..24].try_into().expect("slice len")));
-        let next = PageId(u64::from_le_bytes(page[24..32].try_into().expect("slice len")));
-        let prev_mgr = ManagerId(u32::from_le_bytes(page[32..36].try_into().expect("slice len")));
-        let prev = PageId(u64::from_le_bytes(page[40..48].try_into().expect("slice len")));
+        let next_mgr = ManagerId(u32::from_le_bytes(
+            page[20..24].try_into().expect("slice len"),
+        ));
+        let next = PageId(u64::from_le_bytes(
+            page[24..32].try_into().expect("slice len"),
+        ));
+        let prev_mgr = ManagerId(u32::from_le_bytes(
+            page[32..36].try_into().expect("slice len"),
+        ));
+        let prev = PageId(u64::from_le_bytes(
+            page[40..48].try_into().expect("slice len"),
+        ));
         let version = u64::from_le_bytes(page[48..56].try_into().expect("slice len"));
         let mut records = Vec::with_capacity(count);
         let mut off = BUCKET_HEADER_BYTES;
         for _ in 0..count {
             let key = u64::from_le_bytes(page[off..off + 8].try_into().expect("slice len"));
             let value = u64::from_le_bytes(page[off + 8..off + 16].try_into().expect("slice len"));
-            records.push(Record { key: Key(key), value: Value(value) });
+            records.push(Record {
+                key: Key(key),
+                value: Value(value),
+            });
             off += RECORD_BYTES;
         }
-        Ok(Bucket { localdepth, commonbits, next, next_mgr, prev, prev_mgr, version, records })
+        Ok(Bucket {
+            localdepth,
+            commonbits,
+            next,
+            next_mgr,
+            prev,
+            prev_mgr,
+            version,
+            records,
+        })
     }
 }
 
@@ -370,11 +405,23 @@ mod tests {
         let pk = hash_key(key);
         let ld = 5;
         let mut b = Bucket::new(ld, pk.low_bits(ld));
-        b.add(Record { key, value: Value(0) });
+        b.add(Record {
+            key,
+            value: Value(0),
+        });
         // For any probe pseudokey, the two tests agree while the bucket
         // holds a resident witness.
-        for probe in [pk, Pseudokey(pk.0 ^ 1), Pseudokey(0), Pseudokey(u64::MAX - 1)] {
-            assert_eq!(b.owns(probe), b.owns_by_rehash(probe, hash_key), "probe {probe:?}");
+        for probe in [
+            pk,
+            Pseudokey(pk.0 ^ 1),
+            Pseudokey(0),
+            Pseudokey(u64::MAX - 1),
+        ] {
+            assert_eq!(
+                b.owns(probe),
+                b.owns_by_rehash(probe, hash_key),
+                "probe {probe:?}"
+            );
         }
         // Empty bucket: rehash test is conservatively negative.
         let empty = Bucket::new(ld, pk.low_bits(ld));

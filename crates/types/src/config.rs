@@ -52,7 +52,12 @@ impl HashFileConfig {
         // hundred hashed keys are likely to contain three sharing 10+ low
         // pseudokey bits (birthday bound), which legitimately needs a deep
         // directory.
-        HashFileConfig { bucket_capacity: 2, max_depth: 16, merge_threshold: 0, io_latency_ns: 0 }
+        HashFileConfig {
+            bucket_capacity: 2,
+            max_depth: 16,
+            merge_threshold: 0,
+            io_latency_ns: 0,
+        }
     }
 
     /// A configuration sized like a real index page (4 KiB pages).
@@ -93,7 +98,9 @@ impl HashFileConfig {
     /// nonsensical combinations.
     pub fn validate(&self) -> crate::Result<()> {
         if self.bucket_capacity == 0 {
-            return Err(crate::Error::Config("bucket_capacity must be at least 1".into()));
+            return Err(crate::Error::Config(
+                "bucket_capacity must be at least 1".into(),
+            ));
         }
         if self.max_depth == 0 || self.max_depth > 32 {
             return Err(crate::Error::Config(format!(
@@ -111,9 +118,113 @@ impl HashFileConfig {
     }
 }
 
+/// Client-side retry tuning for the distributed hash file.
+///
+/// A request that gets no reply within `timeout` is retried — against
+/// the *next* directory manager (round-robin failover) — with
+/// exponential backoff between attempts: the k-th retry waits
+/// `min(base_backoff << k, max_backoff)`. Retries reuse the original
+/// request id, so a directory manager that already executed the lost
+/// reply's operation returns the recorded outcome instead of applying
+/// it twice.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub attempts: u32,
+    /// Per-attempt reply timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Backoff before the first retry, in milliseconds (doubles each
+    /// retry).
+    pub base_backoff_ms: u64,
+    /// Upper bound on a single backoff, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            timeout_ms: 60_000,
+            base_backoff_ms: 1,
+            max_backoff_ms: 100,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy suited to lossy-network runs: several attempts, short
+    /// per-attempt timeouts, millisecond backoff.
+    pub fn aggressive() -> Self {
+        RetryPolicy {
+            attempts: 10,
+            timeout_ms: 500,
+            base_backoff_ms: 1,
+            max_backoff_ms: 50,
+        }
+    }
+
+    /// Set the attempt budget (builder style).
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.attempts = attempts;
+        self
+    }
+
+    /// Set the per-attempt timeout (builder style).
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = ms;
+        self
+    }
+
+    /// Backoff before the k-th retry (k counted from 0), capped.
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        self.base_backoff_ms
+            .saturating_mul(1u64.checked_shl(retry).unwrap_or(u64::MAX))
+            .min(self.max_backoff_ms)
+    }
+
+    /// Validate the policy.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.attempts == 0 {
+            return Err(crate::Error::Config(
+                "retry attempts must be at least 1".into(),
+            ));
+        }
+        if self.timeout_ms == 0 {
+            return Err(crate::Error::Config(
+                "retry timeout_ms must be nonzero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_policy_validates_and_backs_off() {
+        RetryPolicy::default().validate().unwrap();
+        RetryPolicy::aggressive().validate().unwrap();
+        assert!(RetryPolicy::default().with_attempts(0).validate().is_err());
+        assert!(RetryPolicy {
+            timeout_ms: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+
+        let p = RetryPolicy {
+            base_backoff_ms: 2,
+            max_backoff_ms: 9,
+            ..Default::default()
+        };
+        assert_eq!(p.backoff_ms(0), 2);
+        assert_eq!(p.backoff_ms(1), 4);
+        assert_eq!(p.backoff_ms(2), 8);
+        assert_eq!(p.backoff_ms(3), 9, "capped");
+        assert_eq!(p.backoff_ms(80), 9, "shift overflow saturates to the cap");
+    }
 
     #[test]
     fn default_validates() {
@@ -124,20 +235,34 @@ mod tests {
 
     #[test]
     fn rejects_zero_capacity() {
-        let err = HashFileConfig::default().with_bucket_capacity(0).validate().unwrap_err();
+        let err = HashFileConfig::default()
+            .with_bucket_capacity(0)
+            .validate()
+            .unwrap_err();
         assert!(err.to_string().contains("bucket_capacity"));
     }
 
     #[test]
     fn rejects_silly_depths() {
-        assert!(HashFileConfig::default().with_max_depth(0).validate().is_err());
-        assert!(HashFileConfig::default().with_max_depth(33).validate().is_err());
-        assert!(HashFileConfig::default().with_max_depth(32).validate().is_ok());
+        assert!(HashFileConfig::default()
+            .with_max_depth(0)
+            .validate()
+            .is_err());
+        assert!(HashFileConfig::default()
+            .with_max_depth(33)
+            .validate()
+            .is_err());
+        assert!(HashFileConfig::default()
+            .with_max_depth(32)
+            .validate()
+            .is_ok());
     }
 
     #[test]
     fn rejects_merge_threshold_at_capacity() {
-        let cfg = HashFileConfig::default().with_bucket_capacity(4).with_merge_threshold(4);
+        let cfg = HashFileConfig::default()
+            .with_bucket_capacity(4)
+            .with_merge_threshold(4);
         assert!(cfg.validate().is_err());
     }
 

@@ -75,9 +75,13 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(Error::DirectoryFull { max_depth: 8 }.to_string().contains("max_depth 8"));
+        assert!(Error::DirectoryFull { max_depth: 8 }
+            .to_string()
+            .contains("max_depth 8"));
         assert!(Error::PageFault { page: 7 }.to_string().contains("p7"));
-        assert!(Error::RetriesExhausted { op: "insert" }.to_string().contains("insert"));
+        assert!(Error::RetriesExhausted { op: "insert" }
+            .to_string()
+            .contains("insert"));
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub struct BucketLink {
 
 impl BucketLink {
     /// The nil link.
-    pub const NULL: BucketLink = BucketLink { manager: ManagerId::NONE, page: PageId::NULL };
+    pub const NULL: BucketLink = BucketLink {
+        manager: ManagerId::NONE,
+        page: PageId::NULL,
+    };
 
     /// Is this the nil link?
     #[inline]

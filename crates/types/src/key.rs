@@ -38,7 +38,10 @@ impl Record {
     /// Create a record from raw key and value integers.
     #[inline]
     pub const fn new(key: u64, value: u64) -> Self {
-        Record { key: Key(key), value: Value(value) }
+        Record {
+            key: Key(key),
+            value: Value(value),
+        }
     }
 }
 

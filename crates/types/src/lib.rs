@@ -32,7 +32,7 @@ pub mod ops;
 
 pub use bits::{mask, partner_bit, Mask};
 pub use bucket::{Bucket, BUCKET_HEADER_BYTES, DELETED, RECORD_BYTES};
-pub use config::HashFileConfig;
+pub use config::{HashFileConfig, RetryPolicy};
 pub use error::{Error, Result};
 pub use ids::{BucketLink, ManagerId, PageId};
 pub use key::{hash_key, identity_pseudokey, Key, Pseudokey, Record, Value};

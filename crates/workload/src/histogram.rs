@@ -114,7 +114,8 @@ impl LatencyHistogram {
         if self.is_empty() {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * (self.total - 1) as f64).round() as u64).min(self.total - 1);
+        let rank =
+            ((q.clamp(0.0, 1.0) * (self.total - 1) as f64).round() as u64).min(self.total - 1);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -228,7 +229,10 @@ mod tests {
             if idx != last_bucket {
                 assert!(idx > last_bucket, "bucket index regressed at value {v}");
                 let floor = LatencyHistogram::bucket_floor(idx);
-                assert!(floor >= last_floor, "value {v}: floor {floor} < previous {last_floor}");
+                assert!(
+                    floor >= last_floor,
+                    "value {v}: floor {floor} < previous {last_floor}"
+                );
                 last_bucket = idx;
                 last_floor = floor;
             }

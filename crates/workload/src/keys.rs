@@ -46,7 +46,12 @@ impl KeySampler {
             KeyDist::Zipf { theta } => zeta(space.min(100_000), theta),
             _ => 0.0,
         };
-        KeySampler { dist, space, seq: 0, zipf_zeta }
+        KeySampler {
+            dist,
+            space,
+            seq: 0,
+            zipf_zeta,
+        }
     }
 
     /// Draw the next key.

@@ -17,20 +17,48 @@ pub struct OpMix {
 impl OpMix {
     /// Build a mix, checking the percentages sum to 100.
     pub fn new(find_pct: u32, insert_pct: u32, delete_pct: u32) -> Self {
-        assert_eq!(find_pct + insert_pct + delete_pct, 100, "mix must sum to 100");
-        OpMix { find_pct, insert_pct, delete_pct }
+        assert_eq!(
+            find_pct + insert_pct + delete_pct,
+            100,
+            "mix must sum to 100"
+        );
+        OpMix {
+            find_pct,
+            insert_pct,
+            delete_pct,
+        }
     }
 
     /// 100% reads.
-    pub const READ_ONLY: OpMix = OpMix { find_pct: 100, insert_pct: 0, delete_pct: 0 };
+    pub const READ_ONLY: OpMix = OpMix {
+        find_pct: 100,
+        insert_pct: 0,
+        delete_pct: 0,
+    };
     /// 90/5/5 — read-mostly.
-    pub const READ_MOSTLY: OpMix = OpMix { find_pct: 90, insert_pct: 5, delete_pct: 5 };
+    pub const READ_MOSTLY: OpMix = OpMix {
+        find_pct: 90,
+        insert_pct: 5,
+        delete_pct: 5,
+    };
     /// 50/25/25 — balanced.
-    pub const BALANCED: OpMix = OpMix { find_pct: 50, insert_pct: 25, delete_pct: 25 };
+    pub const BALANCED: OpMix = OpMix {
+        find_pct: 50,
+        insert_pct: 25,
+        delete_pct: 25,
+    };
     /// 10/45/45 — update-heavy.
-    pub const UPDATE_HEAVY: OpMix = OpMix { find_pct: 10, insert_pct: 45, delete_pct: 45 };
+    pub const UPDATE_HEAVY: OpMix = OpMix {
+        find_pct: 10,
+        insert_pct: 45,
+        delete_pct: 45,
+    };
     /// 0/50/50 — pure churn.
-    pub const CHURN: OpMix = OpMix { find_pct: 0, insert_pct: 50, delete_pct: 50 };
+    pub const CHURN: OpMix = OpMix {
+        find_pct: 0,
+        insert_pct: 50,
+        delete_pct: 50,
+    };
 
     /// The named mixes the experiment tables sweep, with labels.
     pub const STANDARD_SWEEP: [(&'static str, OpMix); 5] = [

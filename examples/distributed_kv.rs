@@ -19,12 +19,9 @@ fn main() -> ceh_types::Result<()> {
         bucket_managers: 3,
         file: HashFileConfig::tiny().with_bucket_capacity(8),
         page_quota: Some(24), // force some splits to land on other sites
-        latency: LatencyModel::jittered(
-            Duration::from_micros(20),
-            Duration::from_micros(200),
-            42,
-        ),
+        latency: LatencyModel::jittered(Duration::from_micros(20), Duration::from_micros(200), 42),
         data_dir: None,
+        ..Default::default()
     })?);
 
     println!("cluster: 3 directory replicas, 3 bucket sites, jittered network\n");
@@ -56,14 +53,20 @@ fn main() -> ceh_types::Result<()> {
     }
 
     println!("4 clients x (500 inserts + 500 finds + 250 deletes) complete");
-    assert!(cluster.quiesce(Duration::from_secs(30)), "cluster must go idle");
+    assert!(
+        cluster.quiesce(Duration::from_secs(30)),
+        "cluster must go idle"
+    );
     println!("cluster quiescent: no in-flight requests, no unacked copyupdates");
 
     assert!(cluster.replicas_converged());
     println!("all 3 directory replicas converged to identical contents");
 
     println!("\nlive records: {}", cluster.total_records()?);
-    println!("tombstones remaining after GC: {}", cluster.tombstone_count()?);
+    println!(
+        "tombstones remaining after GC: {}",
+        cluster.tombstone_count()?
+    );
     println!("pages per site: {:?}", cluster.pages_per_site());
 
     println!("\nmessage traffic by class (Figure 11 taxonomy):");

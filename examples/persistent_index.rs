@@ -30,8 +30,12 @@ fn main() -> ceh_types::Result<()> {
     // ---- Session 1: create, load, shut down. ----
     {
         let store = Arc::new(PageStore::create_file(&path, store_cfg.clone())?);
-        let core =
-            FileCore::with_parts(cfg.clone(), store, Arc::new(LockManager::default()), hash_key)?;
+        let core = FileCore::with_parts(
+            cfg.clone(),
+            store,
+            Arc::new(LockManager::default()),
+            hash_key,
+        )?;
         let file = Arc::new(Solution2::from_core(core));
         let writers: Vec<_> = (0..4u64)
             .map(|t| {
@@ -66,7 +70,10 @@ fn main() -> ceh_types::Result<()> {
         t0.elapsed().as_secs_f64() * 1000.0
     );
     assert_eq!(file.len(), 20_000);
-    assert_eq!(file.find(Key(12_345))?, Some(Value((12_345u64 % 5_000) * 3)));
+    assert_eq!(
+        file.find(Key(12_345))?,
+        Some(Value((12_345u64 % 5_000) * 3))
+    );
     invariants::check_concurrent_file(file.core())?;
     println!("all structural invariants hold after recovery");
 

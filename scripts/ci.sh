@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally:
+#
+#   ./scripts/ci.sh
+#
+# Formatting, lints, the complete test suite, and a quick chaos smoke
+# (the seeded fault-injection test from tests/chaos.rs at its CI-sized
+# workload). Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== fmt ==="
+cargo fmt --all -- --check
+
+echo "=== clippy ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== test ==="
+cargo test -q --workspace
+
+echo "=== chaos smoke ==="
+CEH_QUICK=1 cargo test -q -p ceh-harness --test chaos
+
+echo "CI gate passed."

@@ -23,6 +23,7 @@ EXPERIMENTS=(
   exp_ablation_commonbits# A2
   exp_merge_threshold    # A3
   exp_gc_strategy        # A4
+  exp_fault_tolerance    # E10
 )
 
 for exp in "${EXPERIMENTS[@]}"; do

@@ -92,6 +92,7 @@ fn all_impls() -> Vec<Impl> {
         page_quota: Some(10),
         latency: LatencyModel::none(),
         data_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let client = cluster.client();
@@ -114,14 +115,23 @@ fn one_tape_six_implementations() {
             Op::Find(k) => {
                 let expected = impls[0].find(k);
                 for i in impls.iter().skip(1) {
-                    assert_eq!(i.find(k), expected, "step {step}: find {k:?} on {}", i.name());
+                    assert_eq!(
+                        i.find(k),
+                        expected,
+                        "step {step}: find {k:?} on {}",
+                        i.name()
+                    );
                 }
             }
             Op::Insert(k, v) => {
                 let expected = impls[0].insert(k, v);
                 for i in impls.iter_mut().skip(1) {
                     let name = i.name();
-                    assert_eq!(i.insert(k, v), expected, "step {step}: insert {k:?} on {name}");
+                    assert_eq!(
+                        i.insert(k, v),
+                        expected,
+                        "step {step}: insert {k:?} on {name}"
+                    );
                 }
             }
             Op::Delete(k) => {

@@ -22,6 +22,7 @@ fn figure10_distributed_structure() {
         page_quota: Some(6),
         latency: LatencyModel::none(),
         data_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let client = c.client();
@@ -29,7 +30,10 @@ fn figure10_distributed_structure() {
         client.insert(Key(k), Value(k)).unwrap();
     }
     assert!(c.quiesce(Duration::from_secs(20)));
-    assert!(c.replicas_converged(), "both directory copies identical at rest");
+    assert!(
+        c.replicas_converged(),
+        "both directory copies identical at rest"
+    );
 
     let statuses = c.dir_statuses();
     assert_eq!(statuses.len(), 2);
@@ -49,7 +53,10 @@ fn figure10_distributed_structure() {
     // Buckets spread over both sites (the quota forces remote splits),
     // and next/prev links cross sites — Figure 10's inter-manager arrows.
     let pages = c.pages_per_site();
-    assert!(pages.iter().all(|&p| p > 0), "both sites hold buckets: {pages:?}");
+    assert!(
+        pages.iter().all(|&p| p > 0),
+        "both sites hold buckets: {pages:?}"
+    );
     c.shutdown();
 }
 
@@ -63,6 +70,7 @@ fn entry_versions_match_bucket_versions() {
         page_quota: None,
         latency: LatencyModel::none(),
         data_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let client = c.client();
@@ -108,6 +116,7 @@ fn garbage_collection_is_safe_under_jitter_and_churn() {
                 99,
             ),
             data_dir: None,
+            ..Default::default()
         })
         .unwrap(),
     );
@@ -155,6 +164,7 @@ fn stale_replicas_recover_via_next_links() {
         page_quota: Some(4),
         latency: LatencyModel::jittered(Duration::ZERO, Duration::from_millis(2), 5),
         data_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let client = c.client();
@@ -162,7 +172,11 @@ fn stale_replicas_recover_via_next_links() {
     // 2ms jitter on copyupdates, many reads hit a stale replica.
     for k in 0..150u64 {
         client.insert(Key(k), Value(k + 1)).unwrap();
-        assert_eq!(client.find(Key(k)).unwrap(), Some(Value(k + 1)), "read-your-write {k}");
+        assert_eq!(
+            client.find(Key(k)).unwrap(),
+            Some(Value(k + 1)),
+            "read-your-write {k}"
+        );
     }
     assert!(c.quiesce(Duration::from_secs(30)));
     c.shutdown();

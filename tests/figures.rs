@@ -28,8 +28,13 @@ fn concurrent_core(capacity: usize) -> FileCore {
         page_size: Bucket::page_size_for(capacity),
         ..Default::default()
     });
-    FileCore::with_parts(cfg, store, Arc::new(LockManager::default()), identity_pseudokey)
-        .unwrap()
+    FileCore::with_parts(
+        cfg,
+        store,
+        Arc::new(LockManager::default()),
+        identity_pseudokey,
+    )
+    .unwrap()
 }
 
 /// Figure 1: a depth-2 sequential file. "The i-th entry points to the
@@ -82,7 +87,10 @@ fn figure2_update_sequence() {
     let before = f.depth();
     f.insert(Key(0b100), Value(4)).unwrap();
     f.insert(Key(0b1000), Value(8)).unwrap();
-    assert!(f.depth() >= before, "splitting at full depth may not shrink the directory");
+    assert!(
+        f.depth() >= before,
+        "splitting at full depth may not shrink the directory"
+    );
     f.check_invariants().unwrap();
 
     // Delete back down: every deletion that empties a bucket merges it
@@ -151,9 +159,15 @@ fn figure4_split_relinks_chain() {
     let b = &after.buckets[&target_page];
     assert_eq!(b.localdepth, old_ld + 1, "split deepened the bucket");
     let new_page = b.next;
-    assert_ne!(new_page, old_next, "next reassigned to the newly created bucket");
+    assert_ne!(
+        new_page, old_next,
+        "next reassigned to the newly created bucket"
+    );
     let new_bucket = &after.buckets[&new_page];
-    assert_eq!(new_bucket.next, old_next, "new bucket inherited the old next pointer");
+    assert_eq!(
+        new_bucket.next, old_next,
+        "new bucket inherited the old next pointer"
+    );
     assert_eq!(
         new_bucket.commonbits,
         b.commonbits | ceh_types::partner_bit(b.localdepth),

@@ -46,9 +46,18 @@ fn storm<F: ConcurrentHashFile + 'static>(
 fn storm_matrix_solution1() {
     for (cap, thr) in [(2usize, 0usize), (4, 1), (8, 2)] {
         for dist in [KeyDist::Uniform, KeyDist::Zipf { theta: 0.9 }] {
-            let cfg = HashFileConfig::tiny().with_bucket_capacity(cap).with_merge_threshold(thr);
+            let cfg = HashFileConfig::tiny()
+                .with_bucket_capacity(cap)
+                .with_merge_threshold(thr);
             let f = Arc::new(Solution1::new(cfg).unwrap());
-            storm(Arc::clone(&f), 6, 1200, dist, OpMix::BALANCED, 0x100 + cap as u64);
+            storm(
+                Arc::clone(&f),
+                6,
+                1200,
+                dist,
+                OpMix::BALANCED,
+                0x100 + cap as u64,
+            );
             invariants::check_concurrent_file(f.core())
                 .unwrap_or_else(|e| panic!("cap {cap} thr {thr} {dist:?}: {e}"));
         }
@@ -59,9 +68,18 @@ fn storm_matrix_solution1() {
 fn storm_matrix_solution2() {
     for (cap, thr) in [(2usize, 0usize), (4, 1), (8, 2)] {
         for dist in [KeyDist::Uniform, KeyDist::Zipf { theta: 0.9 }] {
-            let cfg = HashFileConfig::tiny().with_bucket_capacity(cap).with_merge_threshold(thr);
+            let cfg = HashFileConfig::tiny()
+                .with_bucket_capacity(cap)
+                .with_merge_threshold(thr);
             let f = Arc::new(Solution2::new(cfg).unwrap());
-            storm(Arc::clone(&f), 6, 1200, dist, OpMix::BALANCED, 0x200 + cap as u64);
+            storm(
+                Arc::clone(&f),
+                6,
+                1200,
+                dist,
+                OpMix::BALANCED,
+                0x200 + cap as u64,
+            );
             invariants::check_concurrent_file(f.core())
                 .unwrap_or_else(|e| panic!("cap {cap} thr {thr} {dist:?}: {e}"));
         }
@@ -85,11 +103,20 @@ fn storm_pessimistic_find_variant() {
     let f = Arc::new(
         Solution1::with_options(
             HashFileConfig::tiny(),
-            Solution1Options { pessimistic_find: true },
+            Solution1Options {
+                pessimistic_find: true,
+            },
         )
         .unwrap(),
     );
-    storm(Arc::clone(&f), 6, 1000, KeyDist::Uniform, OpMix::BALANCED, 0x400);
+    storm(
+        Arc::clone(&f),
+        6,
+        1000,
+        KeyDist::Uniform,
+        OpMix::BALANCED,
+        0x400,
+    );
     invariants::check_concurrent_file(f.core()).unwrap();
     let s = f.core().stats().snapshot();
     assert_eq!(
@@ -101,7 +128,14 @@ fn storm_pessimistic_find_variant() {
 #[test]
 fn storm_sequential_keys_exercise_hash_avalanche() {
     let f = Arc::new(Solution2::new(HashFileConfig::tiny()).unwrap());
-    storm(Arc::clone(&f), 4, 2000, KeyDist::Sequential, OpMix::READ_MOSTLY, 0x500);
+    storm(
+        Arc::clone(&f),
+        4,
+        2000,
+        KeyDist::Sequential,
+        OpMix::READ_MOSTLY,
+        0x500,
+    );
     invariants::check_concurrent_file(f.core()).unwrap();
     // Sequential keys must still spread across many buckets.
     let snap = invariants::snapshot_core(f.core()).unwrap();
@@ -137,5 +171,8 @@ fn repeated_grow_shrink_cycles_reach_a_steady_state() {
         "page footprint must reach a steady state, not grow every cycle: {pages_after_round:?}"
     );
     let s = f.core().stats().snapshot();
-    assert!(s.merges > 0 && s.halvings > 0, "shrinking must actually merge and halve: {s:?}");
+    assert!(
+        s.merges > 0 && s.halvings > 0,
+        "shrinking must actually merge and halve: {s:?}"
+    );
 }

@@ -85,7 +85,12 @@ fn compare<F: ConcurrentHashFile>(file: &F, oracle: &SequentialHashFile) {
     let snap = oracle.snapshot().unwrap();
     for key in snap.all_keys() {
         let expect = oracle.find(key).unwrap();
-        assert_eq!(file.find(key).unwrap(), expect, "{}: key {key:?}", file.name());
+        assert_eq!(
+            file.find(key).unwrap(),
+            expect,
+            "{}: key {key:?}",
+            file.name()
+        );
     }
     // And nothing extra: spot-check absent keys.
     for k in 0..(48 * THREADS) {
@@ -171,7 +176,8 @@ fn values_are_never_torn() {
                     let k = (i % 64) * THREADS + t;
                     match i % 3 {
                         0 => {
-                            f.insert(Key(k), Value(k.wrapping_mul(0x5DEECE66D))).unwrap();
+                            f.insert(Key(k), Value(k.wrapping_mul(0x5DEECE66D)))
+                                .unwrap();
                         }
                         1 => {
                             if let Some(v) = f.find(Key(k)).unwrap() {
