@@ -1,0 +1,88 @@
+//! CI smoke test for the unified metrics plane.
+//!
+//! Runs a 10k-operation mixed workload against Solution 2, collects the
+//! one [`ceh_obs::RunReport`] the run produced, and checks that
+//!
+//! 1. the emitted JSON validates against
+//!    `schemas/run_report.schema.json` (parsed and enforced by
+//!    `ceh_obs::json` — no external JSON dependency);
+//! 2. the report actually carries cross-layer signal: lock grants,
+//!    page I/O, and the core operation counters are all non-zero, and
+//!    the core counters conserve (ops issued == ops counted).
+//!
+//! Exits non-zero (with a diagnostic on stderr) on any failure, so
+//! `scripts/ci.sh` can gate on it. Pass `--json` to print the report
+//! JSON on stdout (the default prints the human table).
+
+use std::sync::Arc;
+
+use ceh_bench::{preload, run_report, throughput, RunConfig};
+use ceh_core::Solution2;
+use ceh_obs::json;
+use ceh_types::HashFileConfig;
+use ceh_workload::OpMix;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("metrics_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let emit_json = std::env::args().any(|a| a == "--json");
+
+    let file =
+        Arc::new(Solution2::new(HashFileConfig::tiny().with_bucket_capacity(8)).expect("file"));
+    preload(&*file, 500, 1 << 14);
+    let cfg = RunConfig {
+        threads: 4,
+        ops_per_thread: 2_500, // 10k ops total
+        key_space: 1 << 14,
+        mix: OpMix::BALANCED,
+        latency_sample_every: 0,
+        ..Default::default()
+    };
+    let result = throughput(&file, &cfg);
+    let report = run_report("metrics_smoke", &*file, &cfg, &result);
+
+    // 1. Schema validation.
+    let schema_path = std::env::var("CEH_SCHEMA")
+        .unwrap_or_else(|_| "schemas/run_report.schema.json".to_string());
+    let schema_src = std::fs::read_to_string(&schema_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read schema {schema_path}: {e}")));
+    let schema =
+        json::parse(&schema_src).unwrap_or_else(|e| fail(&format!("schema does not parse: {e}")));
+    let doc = json::parse(&report.to_json())
+        .unwrap_or_else(|e| fail(&format!("report JSON does not parse: {e}")));
+    let violations = json::validate(&doc, &schema);
+    if !violations.is_empty() {
+        fail(&format!(
+            "report violates {schema_path}:\n  {}",
+            violations.join("\n  ")
+        ));
+    }
+
+    // 2. Cross-layer signal + conservation.
+    let m = report.metrics.clone();
+    let issued = 10_500u64; // 500 preload inserts + 10k measured ops
+    let counted = m.counter("core.finds_hit")
+        + m.counter("core.finds_miss")
+        + m.counter("core.inserts")
+        + m.counter("core.inserts_duplicate")
+        + m.counter("core.deletes")
+        + m.counter("core.deletes_miss");
+    if counted != issued {
+        fail(&format!("ops issued {issued} != ops counted {counted}"));
+    }
+    for required in ["locks.grants.rho", "storage.reads", "storage.writes"] {
+        if m.counter(required) == 0 {
+            fail(&format!("expected nonzero {required}"));
+        }
+    }
+
+    if emit_json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.to_table());
+    }
+    eprintln!("metrics_smoke: OK ({} ops, schema valid)", result.ops);
+}

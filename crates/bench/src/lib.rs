@@ -123,7 +123,7 @@ pub fn throughput<F: ConcurrentHashFile + ?Sized + 'static>(
                 while !flag.load(Ordering::Acquire) {
                     std::hint::spin_loop();
                 }
-                let mut hist = LatencyHistogram::new();
+                let hist = LatencyHistogram::new();
                 for (i, op) in ops.into_iter().enumerate() {
                     let sample = cfg.latency_sample_every != 0 && i % cfg.latency_sample_every == 0;
                     let t0 = sample.then(Instant::now);
@@ -148,7 +148,7 @@ pub fn throughput<F: ConcurrentHashFile + ?Sized + 'static>(
         .collect();
     let start = Instant::now();
     start_flag.store(true, Ordering::Release);
-    let mut latency = LatencyHistogram::new();
+    let latency = LatencyHistogram::new();
     for h in handles {
         latency.merge(&h.join().expect("worker"));
     }
@@ -158,6 +158,23 @@ pub fn throughput<F: ConcurrentHashFile + ?Sized + 'static>(
         elapsed,
         latency,
     }
+}
+
+/// Gather everything `file` recorded during a [`throughput`] run into
+/// one [`ceh_obs::RunReport`], tagged with the run's parameters and
+/// outcome. Every experiment binary can call this after its measured
+/// phase to emit the unified cross-layer report.
+pub fn run_report(
+    name: &str,
+    file: &dyn ConcurrentHashFile,
+    cfg: &RunConfig,
+    result: &ThroughputResult,
+) -> ceh_obs::RunReport {
+    ceh_obs::RunReport::collect(name, &file.metrics())
+        .with_meta("impl", file.name())
+        .with_meta("threads", cfg.threads)
+        .with_meta("ops", result.ops)
+        .with_meta("ops_per_sec", format!("{:.0}", result.ops_per_sec()))
 }
 
 /// Render a markdown table: a header row plus data rows.

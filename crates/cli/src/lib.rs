@@ -21,7 +21,8 @@
 use std::sync::Arc;
 
 use ceh_core::{invariants, ConcurrentHashFile, FileCore, Solution2};
-use ceh_locks::LockManager;
+use ceh_locks::{LockManager, LockManagerConfig};
+use ceh_obs::{MetricsHandle, RunReport};
 use ceh_storage::{PageStore, PageStoreConfig};
 use ceh_types::bucket::Bucket;
 use ceh_types::{
@@ -39,8 +40,11 @@ pub enum Command {
     Del(Key),
     /// List every key/value (quiescent snapshot), in key order.
     Scan,
-    /// Print structural and operation statistics.
+    /// Print structural and operation statistics, plus the unified
+    /// metrics run report.
     Stats,
+    /// Emit the metrics run report as JSON (`stats json`).
+    StatsJson,
     /// Render the directory-and-buckets diagram (the paper's Figure 1/3
     /// notation).
     Dump,
@@ -69,7 +73,16 @@ pub fn parse_command(line: &str) -> std::result::Result<Command, String> {
         "get" | "find" => Command::Get(Key(arg("key")?)),
         "del" | "delete" | "rm" => Command::Del(Key(arg("key")?)),
         "scan" | "list" => Command::Scan,
-        "stats" | "info" => Command::Stats,
+        // `stats` takes an optional output format: `stats json`.
+        "stats" | "info" => match parts.next() {
+            None => Command::Stats,
+            Some("json") => Command::StatsJson,
+            Some(other) => {
+                return Err(format!(
+                    "{cmd}: unknown format {other:?} (only `{cmd} json`)"
+                ))
+            }
+        },
         "dump" | "render" => Command::Dump,
         "verify" | "check" => Command::Verify,
         "fill" => Command::Fill(arg("n")?),
@@ -98,7 +111,8 @@ commands:
   get <key>           look up
   del <key>           delete
   scan                list all records in key order
-  stats               structure + operation statistics
+  stats [json]        structure + operation statistics and the metrics
+                      run report (as a table, or as JSON with `json`)
   dump                render the directory/bucket diagram
   verify              run the full structural invariant check
   fill <n>            bulk-insert n deterministic filler records
@@ -120,17 +134,34 @@ impl Index {
             initial_pages: 0,
             ..Default::default()
         };
-        let locks = Arc::new(LockManager::default());
+        // One registry for the whole index: store, locks, and operation
+        // counters all report into it (surfaced by `stats` / `stats json`).
+        let metrics = MetricsHandle::new();
+        let locks = Arc::new(LockManager::with_metrics(
+            LockManagerConfig::default(),
+            &metrics,
+        ));
         let core = if path.exists() {
-            let store = Arc::new(PageStore::open_file(path, store_cfg)?);
-            FileCore::recover(cfg, store, locks, hash_key)?
+            let store = Arc::new(PageStore::open_file_with_metrics(
+                path, store_cfg, &metrics,
+            )?);
+            FileCore::recover_with_metrics(cfg, store, locks, hash_key, &metrics)?
         } else {
-            let store = Arc::new(PageStore::create_file(path, store_cfg)?);
-            FileCore::with_parts(cfg, store, locks, hash_key)?
+            let store = Arc::new(PageStore::create_file_with_metrics(
+                path, store_cfg, &metrics,
+            )?);
+            FileCore::with_parts_metrics(cfg, store, locks, hash_key, &metrics)?
         };
         Ok(Index {
             file: Solution2::from_core(core),
         })
+    }
+
+    /// The unified run report over this index's metrics registry.
+    fn report(&self) -> RunReport {
+        RunReport::collect("ceh-cli", &self.file.metrics())
+            .with_meta("impl", self.file.name())
+            .with_meta("records", ConcurrentHashFile::len(&self.file))
     }
 
     /// Execute one command, returning the text to print.
@@ -187,8 +218,9 @@ impl Index {
                     s.halvings,
                     s.wrong_bucket_recoveries,
                     s.mean_recovery_hops(),
-                )
+                ) + &format!("\n\n{}", self.report().to_table())
             }
+            Command::StatsJson => self.report().to_json(),
             Command::Dump => {
                 let snap = invariants::snapshot_core(self.file.core())?;
                 if snap.entries.len() > 64 {
@@ -255,6 +287,9 @@ mod tests {
         assert_eq!(parse_command("del 7").unwrap(), Command::Del(Key(7)));
         assert_eq!(parse_command("scan").unwrap(), Command::Scan);
         assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("stats json").unwrap(), Command::StatsJson);
+        assert_eq!(parse_command("info json").unwrap(), Command::StatsJson);
+        assert!(parse_command("stats xml").is_err(), "unknown format");
         assert_eq!(parse_command("dump").unwrap(), Command::Dump);
         assert_eq!(parse_command("verify").unwrap(), Command::Verify);
         assert_eq!(parse_command("fill 100").unwrap(), Command::Fill(100));
@@ -291,7 +326,22 @@ mod tests {
         assert!(run_line(&index, "fill 500")
             .unwrap()
             .starts_with("inserted"));
-        assert!(run_line(&index, "stats").unwrap().contains("records: 501"));
+        let stats = run_line(&index, "stats").unwrap();
+        assert!(stats.contains("records: 501"));
+        assert!(
+            stats.contains("run report") && stats.contains("core.inserts"),
+            "stats carries the metrics table: {stats}"
+        );
+        let json = run_line(&index, "stats json").unwrap();
+        let doc = ceh_obs::json::parse(&json).expect("stats json parses");
+        assert!(
+            doc.get("counters")
+                .and_then(|c| c.get("storage.writes"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+                > 0,
+            "page writes flow into the report: {json}"
+        );
         assert_eq!(
             run_line(&index, "verify").unwrap(),
             "all structural invariants hold"

@@ -3,7 +3,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use ceh_locks::{LockId, LockManager, LockMode, OwnerId};
+use ceh_locks::{LockId, LockManager, LockManagerConfig, LockMode, OwnerId};
+use ceh_obs::MetricsHandle;
 use ceh_storage::{PageBuf, PageStore, PageStoreConfig};
 use ceh_types::bucket::Bucket;
 use ceh_types::{hash_key, Error, HashFileConfig, Key, PageId, Pseudokey, Result, Value};
@@ -40,6 +41,7 @@ pub struct FileCore {
     cfg: HashFileConfig,
     hasher: fn(Key) -> Pseudokey,
     stats: OpStats,
+    metrics: MetricsHandle,
     len: AtomicUsize,
 }
 
@@ -57,23 +59,52 @@ impl FileCore {
     /// configured `io_latency_ns` is applied to every page read/write —
     /// the paper's buckets live on disk, and the protocols' value shows
     /// when I/O, not lock-manager software overhead, is the unit of cost.
+    ///
+    /// One [`MetricsHandle`] is threaded through every layer it builds,
+    /// so the file's lock, storage, and operation metrics land in one
+    /// registry, retrievable as a coherent [`ceh_obs::RunReport`] via
+    /// [`FileCore::metrics`].
     pub fn new(cfg: HashFileConfig) -> Result<Self> {
-        let store = PageStore::new_shared(PageStoreConfig {
-            page_size: Bucket::page_size_for(cfg.bucket_capacity),
-            io_latency_ns: cfg.io_latency_ns,
-            ..Default::default()
-        });
-        let locks = Arc::new(LockManager::default());
-        Self::with_parts(cfg, store, locks, hash_key)
+        let metrics = MetricsHandle::new();
+        let store = PageStore::new_shared_with_metrics(
+            PageStoreConfig {
+                page_size: Bucket::page_size_for(cfg.bucket_capacity),
+                io_latency_ns: cfg.io_latency_ns,
+                ..Default::default()
+            },
+            &metrics,
+        );
+        let locks = Arc::new(LockManager::with_metrics(
+            LockManagerConfig::default(),
+            &metrics,
+        ));
+        Self::with_parts_metrics(cfg, store, locks, hash_key, &metrics)
     }
 
     /// Build a core over caller-supplied substrates (tests inject the
     /// identity pseudokey function and watchdog-armed lock managers).
+    /// The core's own counters get a fresh private registry; construct
+    /// the substrates with [`MetricsHandle`]-aware constructors and use
+    /// [`FileCore::with_parts_metrics`] for one correlated registry.
     pub fn with_parts(
         cfg: HashFileConfig,
         store: Arc<PageStore>,
         locks: Arc<LockManager>,
         hasher: fn(Key) -> Pseudokey,
+    ) -> Result<Self> {
+        Self::with_parts_metrics(cfg, store, locks, hasher, &MetricsHandle::default())
+    }
+
+    /// [`FileCore::with_parts`] with the core's operation counters (and
+    /// tracer) registered in `metrics`' registry. Pass the same handle
+    /// the store and lock manager were built with to get one coherent
+    /// run report.
+    pub fn with_parts_metrics(
+        cfg: HashFileConfig,
+        store: Arc<PageStore>,
+        locks: Arc<LockManager>,
+        hasher: fn(Key) -> Pseudokey,
+        metrics: &MetricsHandle,
     ) -> Result<Self> {
         cfg.validate()?;
         if Bucket::capacity_for(store.page_size()) < cfg.bucket_capacity {
@@ -96,7 +127,8 @@ impl FileCore {
             dir,
             cfg,
             hasher,
-            stats: OpStats::new(),
+            stats: OpStats::with_handle(metrics),
+            metrics: metrics.clone(),
             len: AtomicUsize::new(0),
         })
     }
@@ -112,6 +144,18 @@ impl FileCore {
         locks: Arc<LockManager>,
         hasher: fn(Key) -> Pseudokey,
     ) -> Result<Self> {
+        Self::recover_with_metrics(cfg, store, locks, hasher, &MetricsHandle::default())
+    }
+
+    /// [`FileCore::recover`] with the core's counters registered in
+    /// `metrics`' registry.
+    pub fn recover_with_metrics(
+        cfg: HashFileConfig,
+        store: Arc<PageStore>,
+        locks: Arc<LockManager>,
+        hasher: fn(Key) -> Pseudokey,
+        metrics: &MetricsHandle,
+    ) -> Result<Self> {
         let recovered =
             ceh_sequential::SequentialHashFile::recover(cfg.clone(), Arc::clone(&store), hasher)?;
         let snap = recovered.snapshot()?;
@@ -124,7 +168,8 @@ impl FileCore {
             dir,
             cfg,
             hasher,
-            stats: OpStats::new(),
+            stats: OpStats::with_handle(metrics),
+            metrics: metrics.clone(),
             len: AtomicUsize::new(len),
         })
     }
@@ -152,6 +197,21 @@ impl FileCore {
     /// Operation counters.
     pub fn stats(&self) -> &OpStats {
         &self.stats
+    }
+
+    /// The metrics handle this core (and, when built via
+    /// [`FileCore::new`] or the `_metrics` constructors with a shared
+    /// handle, its store and lock manager) reports through.
+    pub fn metrics(&self) -> MetricsHandle {
+        self.metrics.clone()
+    }
+
+    /// Emit a structure-modification trace event (no-op unless the
+    /// handle's tracer is enabled).
+    #[inline]
+    pub(crate) fn trace(&self, event: &'static str, a: u64, b: u64) {
+        self.metrics
+            .trace(ceh_obs::SpanId::NONE, "core", event, a, b);
     }
 
     /// The pseudokey function in use.
@@ -246,8 +306,14 @@ impl FileCore {
         }
         let mut current = self.getbucket(oldpage, &mut buf)?;
         let mut recovered = false;
+        let mut span = ceh_obs::SpanId::NONE;
         while !current.owns(pk) {
             /* WRONG BUCKET */
+            if !recovered && self.metrics.tracer().is_enabled() {
+                span = self.metrics.new_span();
+                self.metrics
+                    .trace(span, "core", "find.wrong_bucket", oldpage.0, 0);
+            }
             recovered = true;
             self.stats.chain_hops();
             let newpage = current.next;
@@ -270,6 +336,8 @@ impl FileCore {
         }
         if recovered {
             self.stats.wrong_bucket_recoveries();
+            self.metrics
+                .trace(span, "core", "find.recovered", oldpage.0, 0);
         }
         if hold_directory {
             self.un_rho_lock(owner, LockId::Directory);

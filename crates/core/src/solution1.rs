@@ -156,6 +156,7 @@ impl Solution1 {
                 core.dir().add_depthcount(2);
             }
             core.stats().splits();
+            core.trace("split", oldpage.0, newpage.0);
             core.un_alpha_lock(owner, LockId::Directory);
             if done {
                 core.len_inc();
@@ -282,6 +283,7 @@ impl Solution1 {
         }
         try_or_release!(core, owner, core.store().dealloc(garbage_page));
         core.stats().merges();
+        core.trace("merge", merged_page.0, garbage_page.0);
         core.un_xi_lock(owner, LockId::Page(newpage));
         core.un_xi_lock(owner, LockId::Page(oldpage));
         core.un_xi_lock(owner, LockId::Directory);
@@ -339,6 +341,10 @@ impl ConcurrentHashFile for Solution1 {
 
     fn set_io_latency_ns(&self, ns: u64) {
         self.core.store().set_io_latency_ns(ns);
+    }
+
+    fn metrics(&self) -> ceh_obs::MetricsHandle {
+        self.core.metrics()
     }
 }
 

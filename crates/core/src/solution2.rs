@@ -361,6 +361,7 @@ impl Solution2 {
                 core.dir().add_depthcount(2);
             }
             core.stats().splits();
+            core.trace("split", oldpage.0, newpage.0);
             core.un_alpha_lock(owner, LockId::Page(oldpage));
             core.un_alpha_lock(owner, LockId::Directory);
             core.un_rho_lock(owner, LockId::Directory);
@@ -531,6 +532,7 @@ impl Solution2 {
             );
             core.dir().update_one_side(merged_page, old_ld, pk);
             core.stats().merges();
+            core.trace("merge", merged_page.0, garbage_page.0);
             core.un_xi_lock(owner, LockId::Page(oldpage));
             core.un_xi_lock(owner, LockId::Page(newpage));
             core.un_alpha_lock(owner, LockId::Directory);
@@ -618,6 +620,10 @@ impl ConcurrentHashFile for Solution2 {
 
     fn set_io_latency_ns(&self, ns: u64) {
         self.core.store().set_io_latency_ns(ns);
+    }
+
+    fn metrics(&self) -> ceh_obs::MetricsHandle {
+        self.core.metrics()
     }
 }
 

@@ -1,18 +1,26 @@
-//! Per-operation counters for the concurrent files.
+//! Per-operation counters for the concurrent files, recorded through
+//! the unified [`ceh_obs`] metrics plane.
 //!
 //! These are the observables the evaluation harness reports: how often
 //! searches landed on the wrong bucket (E4), how long the recovery chains
 //! were, how many structure modifications of each kind happened, and how
 //! often optimistic updaters had to retry.
+//!
+//! Each counter is registered as `core.<name>` (`core.splits`,
+//! `core.wrong_bucket_recoveries`, …) so a [`ceh_obs::RunReport`] over a
+//! shared handle carries them alongside the `locks.`/`storage.` metrics
+//! of the same run.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ceh_obs::{Counter, MetricsHandle};
 
 macro_rules! op_stats {
     ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
         /// Thread-safe operation counters.
-        #[derive(Debug, Default)]
+        #[derive(Debug)]
         pub struct OpStats {
-            $($(#[$doc])* $name: AtomicU64,)+
+            $($(#[$doc])* $name: Arc<Counter>,)+
         }
 
         /// A point-in-time copy of [`OpStats`].
@@ -21,26 +29,40 @@ macro_rules! op_stats {
             $($(#[$doc])* pub $name: u64,)+
         }
 
+        impl Default for OpStats {
+            fn default() -> Self { Self::new() }
+        }
+
         impl OpStats {
-            /// New zeroed counters.
-            pub fn new() -> Self { Self::default() }
+            /// Counters in a fresh private registry.
+            pub fn new() -> Self {
+                Self::with_handle(&MetricsHandle::default())
+            }
+
+            /// Counters registered as `core.<name>` in `handle`'s
+            /// registry.
+            pub fn with_handle(handle: &MetricsHandle) -> Self {
+                OpStats {
+                    $($name: handle.counter(concat!("core.", stringify!($name))),)+
+                }
+            }
 
             $(
                 pub(crate) fn $name(&self) {
-                    self.$name.fetch_add(1, Ordering::Relaxed);
+                    self.$name.inc();
                 }
             )+
 
             /// Copy out the current values.
             pub fn snapshot(&self) -> OpStatsSnapshot {
                 OpStatsSnapshot {
-                    $($name: self.$name.load(Ordering::Relaxed),)+
+                    $($name: self.$name.get(),)+
                 }
             }
 
             /// Zero all counters.
             pub fn reset(&self) {
-                $(self.$name.store(0, Ordering::Relaxed);)+
+                $(self.$name.reset();)+
             }
         }
 
@@ -144,5 +166,17 @@ mod tests {
         let d = s.snapshot().since(&a);
         assert_eq!(d.inserts, 1);
         assert_eq!(d.splits, 1);
+    }
+
+    #[test]
+    fn shared_handle_sees_core_metrics() {
+        let handle = MetricsHandle::new();
+        let s = OpStats::with_handle(&handle);
+        s.splits();
+        s.finds_hit();
+        let m = handle.snapshot();
+        assert_eq!(m.counter("core.splits"), 1);
+        assert_eq!(m.counter("core.finds_hit"), 1);
+        assert_eq!(m.counter("core.merges"), 0);
     }
 }

@@ -35,6 +35,14 @@ pub trait ConcurrentHashFile: Send + Sync {
     /// runtime (preload cheap, then measure with I/O charged). No-op for
     /// implementations without a simulated store.
     fn set_io_latency_ns(&self, _ns: u64) {}
+
+    /// The metrics handle this file reports through, for collecting a
+    /// [`ceh_obs::RunReport`] of the run. The default returns a fresh
+    /// empty registry (a no-op sink): implementations that wire their
+    /// layers to one handle override this with the real one.
+    fn metrics(&self) -> ceh_obs::MetricsHandle {
+        ceh_obs::MetricsHandle::default()
+    }
 }
 
 #[cfg(test)]

@@ -137,8 +137,7 @@ fn walk_to_owner(
         }
     };
     while !current.owns(env.pseudokey) {
-        site.recoveries
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        site.recoveries.inc();
         let next = current.next;
         let next_mgr = current.next_mgr;
         if next.is_null() {

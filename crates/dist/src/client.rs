@@ -1,8 +1,10 @@
 //! The user-facing handle to a distributed hash file.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ceh_net::{PortId, PortRx, SimNetwork};
+use ceh_obs::{Counter, MetricsHandle};
 use ceh_types::{DeleteOutcome, Error, InsertOutcome, Key, Result, RetryPolicy, Value};
 
 use crate::msg::{Msg, OpKind, UserOutcome};
@@ -28,6 +30,11 @@ pub struct DistClient {
     next_dir: std::cell::Cell<usize>,
     next_req: std::cell::Cell<u64>,
     policy: RetryPolicy,
+    /// `dist.client.retries`: attempts beyond the first, per operation.
+    retries: Arc<Counter>,
+    /// `dist.client.failovers`: retries that targeted a *different*
+    /// directory manager than the previous attempt.
+    failovers: Arc<Counter>,
 }
 
 impl DistClient {
@@ -36,6 +43,7 @@ impl DistClient {
         rx: PortRx<Msg>,
         dir_ports: Vec<PortId>,
         policy: RetryPolicy,
+        metrics: &MetricsHandle,
     ) -> Self {
         DistClient {
             net,
@@ -44,6 +52,8 @@ impl DistClient {
             next_dir: std::cell::Cell::new(0),
             next_req: std::cell::Cell::new(1),
             policy,
+            retries: metrics.counter("dist.client.retries"),
+            failovers: metrics.counter("dist.client.failovers"),
         }
     }
 
@@ -69,6 +79,10 @@ impl DistClient {
         let mut last_err = Error::Unavailable(format!("{op:?}: no directory managers configured"));
         for attempt in 0..self.policy.attempts {
             if attempt > 0 {
+                self.retries.inc();
+                if self.dir_ports.len() > 1 {
+                    self.failovers.inc();
+                }
                 std::thread::sleep(Duration::from_millis(self.policy.backoff_ms(attempt - 1)));
             }
             // Failover: each attempt targets the next manager in the

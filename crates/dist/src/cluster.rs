@@ -3,8 +3,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ceh_locks::LockManager;
+use ceh_locks::{LockManager, LockManagerConfig};
 use ceh_net::{FaultPlan, LatencyModel, MsgStatsSnapshot, PortId, SimNetwork};
+use ceh_obs::{MetricsHandle, RunReport};
 use ceh_storage::{PageStore, PageStoreConfig};
 use ceh_types::bucket::Bucket;
 use ceh_types::{BucketLink, Error, HashFileConfig, ManagerId, PageId, Result, RetryPolicy};
@@ -111,12 +112,17 @@ pub struct Cluster {
     bucket_handles: Vec<Option<std::thread::JoinHandle<()>>>,
     dir_handles: Vec<std::thread::JoinHandle<()>>,
     retry: RetryPolicy,
+    /// The one metrics registry every layer of this cluster reports
+    /// into: per-site stores and lock managers, the network, the
+    /// directory managers, and every client.
+    metrics: MetricsHandle,
 }
 
 impl Cluster {
     /// Spawn the managers and return the running cluster.
     pub fn start(cfg: ClusterConfig) -> Result<Cluster> {
-        let (net, sites) = Self::build_sites(&cfg, false)?;
+        let metrics = MetricsHandle::new();
+        let (net, sites) = Self::build_sites(&cfg, false, &metrics)?;
         // The root bucket lives on site 0.
         let root_page = sites[0].store.alloc()?;
         {
@@ -127,7 +133,7 @@ impl Cluster {
         }
         let root = BucketLink::new(sites[0].id, root_page);
         let replica = DirReplica::new(cfg.file.max_depth, root);
-        Ok(Self::spawn(&cfg, net, sites, replica))
+        Ok(Self::spawn(&cfg, net, sites, replica, metrics))
     }
 
     /// Rebuild a cluster from the durable site files a previous
@@ -141,7 +147,8 @@ impl Cluster {
         if cfg.data_dir.is_none() {
             return Err(Error::Config("recover requires data_dir".into()));
         }
-        let (net, sites) = Self::build_sites(&cfg, true)?;
+        let metrics = MetricsHandle::new();
+        let (net, sites) = Self::build_sites(&cfg, true, &metrics)?;
 
         // Scan all sites.
         let mut live: Vec<(ManagerId, PageId, Bucket)> = Vec::new();
@@ -206,7 +213,7 @@ impl Cluster {
                 .collect::<Result<_>>()?;
             DirReplica::restore(cfg.file.max_depth, entries, depthcount)?
         };
-        let cluster = Self::spawn(&cfg, net, sites, replica);
+        let cluster = Self::spawn(&cfg, net, sites, replica, metrics);
         cluster.check_invariants()?;
         Ok(cluster)
     }
@@ -215,6 +222,7 @@ impl Cluster {
     fn build_sites(
         cfg: &ClusterConfig,
         open_existing: bool,
+        metrics: &MetricsHandle,
     ) -> Result<(SimNetwork<Msg>, Vec<Arc<Site>>)> {
         if cfg.dir_managers == 0 || cfg.bucket_managers == 0 {
             return Err(Error::Config(
@@ -222,7 +230,7 @@ impl Cluster {
             ));
         }
         cfg.file.validate()?;
-        let net: SimNetwork<Msg> = SimNetwork::new(cfg.latency.clone());
+        let net: SimNetwork<Msg> = SimNetwork::with_metrics(cfg.latency.clone(), metrics);
         net.set_fault_plan(cfg.faults.clone());
         let page_size = Bucket::page_size_for(cfg.file.bucket_capacity);
         let all_managers: Vec<ManagerId> = (0..cfg.bucket_managers as u32).map(ManagerId).collect();
@@ -235,27 +243,30 @@ impl Cluster {
                 ..Default::default()
             };
             let store = match &cfg.data_dir {
-                None => PageStore::new_shared(store_cfg),
+                None => PageStore::new_shared_with_metrics(store_cfg, metrics),
                 Some(dir) => {
                     std::fs::create_dir_all(dir)
                         .map_err(|e| Error::Io(format!("creating data_dir: {e}")))?;
                     let path = dir.join(format!("site-{}.ceh", id.0));
                     Arc::new(if open_existing {
-                        PageStore::open_file(&path, store_cfg)?
+                        PageStore::open_file_with_metrics(&path, store_cfg, metrics)?
                     } else {
-                        PageStore::create_file(&path, store_cfg)?
+                        PageStore::create_file_with_metrics(&path, store_cfg, metrics)?
                     })
                 }
             };
             sites.push(Arc::new(Site {
                 id,
                 store,
-                locks: Arc::new(LockManager::default()),
+                locks: Arc::new(LockManager::with_metrics(
+                    LockManagerConfig::default(),
+                    metrics,
+                )),
                 cfg: cfg.file.clone(),
                 page_quota: cfg.page_quota,
                 all_managers: all_managers.clone(),
                 net: net.clone(),
-                recoveries: std::sync::atomic::AtomicU64::new(0),
+                recoveries: metrics.counter("dist.recovery_hops"),
                 reply_timeout: Duration::from_millis(cfg.reply_timeout_ms),
                 seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),
                 fences: std::sync::Mutex::new(std::collections::HashMap::new()),
@@ -271,6 +282,7 @@ impl Cluster {
         net: SimNetwork<Msg>,
         sites: Vec<Arc<Site>>,
         replica: DirReplica,
+        metrics: MetricsHandle,
     ) -> Cluster {
         let mut bucket_handles = Vec::new();
         let mut bucket_ports = Vec::new();
@@ -292,13 +304,14 @@ impl Cluster {
             let (port, rx) = net.create_port();
             net.register_name(dir_mgr_name(i), port);
             dir_ports.push(port);
-            let mgr = DirectoryManager::new(
+            let mgr = DirectoryManager::with_metrics(
                 i,
                 cfg.dir_managers,
                 net.clone(),
                 rx,
                 replica.clone(),
                 Duration::from_millis(cfg.resend_ms),
+                &metrics,
             );
             dir_handles.push(
                 std::thread::Builder::new()
@@ -315,6 +328,7 @@ impl Cluster {
             bucket_handles,
             dir_handles,
             retry: cfg.retry.clone(),
+            metrics,
         }
     }
 
@@ -326,6 +340,7 @@ impl Cluster {
             rx,
             self.dir_ports.clone(),
             self.retry.clone(),
+            &self.metrics,
         )
     }
 
@@ -375,6 +390,21 @@ impl Cluster {
     /// Message counters so far.
     pub fn msg_stats(&self) -> MsgStatsSnapshot {
         self.net.stats()
+    }
+
+    /// The cluster-wide metrics handle: every site's store and lock
+    /// manager, the network, the directory managers, and every client
+    /// spawned by [`Cluster::client`] report into this one registry.
+    pub fn metrics(&self) -> MetricsHandle {
+        self.metrics.clone()
+    }
+
+    /// Collect everything the cluster has recorded so far into one
+    /// [`RunReport`], tagged with the topology.
+    pub fn run_report(&self, name: &str) -> RunReport {
+        RunReport::collect(name, &self.metrics)
+            .with_meta("dir_managers", self.dir_ports.len())
+            .with_meta("bucket_managers", self.sites.len())
     }
 
     /// Probe every directory manager's status.
@@ -504,10 +534,9 @@ impl Cluster {
     /// Total wrong-bucket recovery hops across all sites (stale-route
     /// accounting; includes same-site chases that send no message).
     pub fn total_recovery_hops(&self) -> u64 {
-        self.sites
-            .iter()
-            .map(|s| s.recoveries.load(std::sync::atomic::Ordering::Relaxed))
-            .sum()
+        // Every site shares the registry's one `dist.recovery_hops`
+        // counter, so reading it once is already the cluster total.
+        self.metrics.counter("dist.recovery_hops").get()
     }
 
     /// Full structural invariant check across the cluster (quiescent use

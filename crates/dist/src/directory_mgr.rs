@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use ceh_net::{PortId, PortRx, RecvError, SimNetwork};
+use ceh_obs::{Counter, MetricsHandle};
 use ceh_types::{hash_key, Key, ManagerId, PageId, Value};
 
 use crate::msg::{Msg, OpEnvelope, OpKind, UserOutcome};
@@ -116,9 +117,23 @@ pub(crate) struct DirectoryManager {
     /// Re-send interval for unacked replication traffic and stalled
     /// contexts.
     resend_after: Duration,
+    /// `dist.redrives`: requests re-driven after a bucket-level refusal,
+    /// a lost message, or a crashed site.
+    redrives: std::sync::Arc<Counter>,
+    /// `dist.copyupdate_rounds`: directory updates broadcast to the
+    /// peer replicas (one count per update, however many peers).
+    copyupdate_rounds: std::sync::Arc<Counter>,
+    /// `dist.resends.copyupdate`: unacked copyupdates re-sent by the
+    /// timer.
+    resends_copyupdate: std::sync::Arc<Counter>,
+    /// `dist.resends.gc`: unacked garbage collections re-sent by the
+    /// timer.
+    resends_gc: std::sync::Arc<Counter>,
 }
 
 impl DirectoryManager {
+    /// Counters in a private throwaway registry (protocol unit tests).
+    #[cfg(test)]
     pub fn new(
         idx: usize,
         total_dir_mgrs: usize,
@@ -126,6 +141,29 @@ impl DirectoryManager {
         rx: PortRx<Msg>,
         replica: DirReplica,
         resend_after: Duration,
+    ) -> Self {
+        Self::with_metrics(
+            idx,
+            total_dir_mgrs,
+            net,
+            rx,
+            replica,
+            resend_after,
+            &MetricsHandle::default(),
+        )
+    }
+
+    /// Like [`DirectoryManager::new`], reporting into `metrics` (the
+    /// cluster-wide registry) under `dist.*` names.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_metrics(
+        idx: usize,
+        total_dir_mgrs: usize,
+        net: SimNetwork<Msg>,
+        rx: PortRx<Msg>,
+        replica: DirReplica,
+        resend_after: Duration,
+        metrics: &MetricsHandle,
     ) -> Self {
         let my_port = rx.id();
         let peer_names = (0..total_dir_mgrs)
@@ -156,6 +194,10 @@ impl DirectoryManager {
             peer_names,
             max_attempts: 20,
             resend_after,
+            redrives: metrics.counter("dist.redrives"),
+            copyupdate_rounds: metrics.counter("dist.copyupdate_rounds"),
+            resends_copyupdate: metrics.counter("dist.resends.copyupdate"),
+            resends_gc: metrics.counter("dist.resends.gc"),
         }
     }
 
@@ -343,6 +385,7 @@ impl DirectoryManager {
         if exhausted {
             self.finish(txn, UserOutcome::Failed);
         } else {
+            self.redrives.inc();
             self.contact_bucket(txn);
         }
     }
@@ -378,6 +421,7 @@ impl DirectoryManager {
         }
         // Broadcast to the other replicas; each send stays outstanding
         // (and is periodically re-sent) until its ack arrives.
+        self.copyupdate_rounds.inc();
         for name in self.peer_names.clone() {
             self.send_copyupdate(name, update.clone());
         }
@@ -455,6 +499,7 @@ impl DirectoryManager {
             .map(|(&id, _)| id)
             .collect();
         for id in update_ids {
+            self.resends_copyupdate.inc();
             let o = self.outstanding_updates.get_mut(&id).expect("just listed");
             o.sent_at = now;
             let (peer, update) = (o.peer.clone(), o.update.clone());
@@ -476,6 +521,7 @@ impl DirectoryManager {
             .map(|(&id, _)| id)
             .collect();
         for id in gc_ids {
+            self.resends_gc.inc();
             let o = self.outstanding_gc.get_mut(&id).expect("just listed");
             o.sent_at = now;
             let (mgr, pages) = (o.mgr, o.pages.clone());

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use ceh_locks::{LockId, LockManager, LockMode, OwnerId};
 use ceh_net::{PortId, SimNetwork};
+use ceh_obs::Counter;
 use ceh_storage::{PageBuf, PageStore};
 use ceh_types::bucket::Bucket;
 use ceh_types::{HashFileConfig, ManagerId, PageId, Result};
@@ -39,7 +40,9 @@ pub(crate) struct Site {
     /// same-site `next` chases and hops that were forwarded in). The
     /// staleness experiment's primary observable: cross-site recoveries
     /// show up as `wrongbucket` messages, but same-site ones only here.
-    pub recoveries: std::sync::atomic::AtomicU64,
+    /// Registered as `dist.recovery_hops`; every site of a cluster
+    /// shares one registry, so the instrument is cluster-wide.
+    pub recoveries: Arc<Counter>,
     /// How long a slave waits for a protocol reply (MDReply, MUReply,
     /// Goahead, Splitreply, WrongbucketAck) before treating the peer as
     /// gone. Short under fault injection so abandoned handshakes release
@@ -187,7 +190,7 @@ pub(crate) mod tests {
             page_quota: quota,
             all_managers: (0..managers).map(ManagerId).collect(),
             net: SimNetwork::default(),
-            recoveries: std::sync::atomic::AtomicU64::new(0),
+            recoveries: ceh_obs::MetricsHandle::default().counter("dist.recovery_hops"),
             reply_timeout: std::time::Duration::from_secs(30),
             seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),
             fences: std::sync::Mutex::new(std::collections::HashMap::new()),

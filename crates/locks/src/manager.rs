@@ -167,8 +167,15 @@ impl Default for LockManager {
 }
 
 impl LockManager {
-    /// Create a manager.
+    /// Create a manager with a private metrics registry.
     pub fn new(cfg: LockManagerConfig) -> Self {
+        Self::with_metrics(cfg, &ceh_obs::MetricsHandle::default())
+    }
+
+    /// Create a manager whose statistics land in `metrics`' registry
+    /// (under the `locks.` prefix), correlated with every other layer
+    /// wired to the same handle.
+    pub fn with_metrics(cfg: LockManagerConfig, metrics: &ceh_obs::MetricsHandle) -> Self {
         let n = cfg.shards.max(1).next_power_of_two();
         let shards = (0..n)
             .map(|_| Shard {
@@ -183,7 +190,7 @@ impl LockManager {
             next_owner: AtomicU64::new(1),
             next_ticket: AtomicU64::new(1),
             watchdog: cfg.watchdog,
-            stats: LockStats::new(),
+            stats: LockStats::with_handle(metrics),
         }
     }
 

@@ -1,113 +1,134 @@
-//! Lock-manager statistics.
+//! Lock-manager statistics, recorded through the unified [`ceh_obs`]
+//! metrics plane.
+//!
+//! Metric names (all under the `locks.` prefix):
+//! `locks.grants.{rho,alpha,xi}`, `locks.waits.{rho,alpha,xi}`,
+//! `locks.wait_ns.{rho,alpha,xi}` (histograms of per-wait latency),
+//! `locks.releases`, `locks.conversions`.
+//!
+//! The [`LockStatsSnapshot`] shape predates the unified plane and is
+//! kept as-is for every existing consumer; its `wait_ns_*` fields are
+//! the wait-histogram sums.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+use ceh_obs::{Counter, Histogram, MetricsHandle};
 
 use crate::mode::LockMode;
 
-/// Thread-safe counters maintained by the [`crate::LockManager`].
-#[derive(Debug, Default)]
+fn mode_idx(mode: LockMode) -> usize {
+    match mode {
+        LockMode::Rho => 0,
+        LockMode::Alpha => 1,
+        LockMode::Xi => 2,
+    }
+}
+
+/// Lock-event instruments maintained by the [`crate::LockManager`].
+///
+/// Resolved once from a [`MetricsHandle`] at construction; recording is
+/// one sharded counter increment (plus a histogram record at wait end).
+#[derive(Debug)]
 pub struct LockStats {
-    grants_rho: AtomicU64,
-    grants_alpha: AtomicU64,
-    grants_xi: AtomicU64,
-    releases: AtomicU64,
-    waits_rho: AtomicU64,
-    waits_alpha: AtomicU64,
-    waits_xi: AtomicU64,
-    wait_ns_rho: AtomicU64,
-    wait_ns_alpha: AtomicU64,
-    wait_ns_xi: AtomicU64,
-    conversions: AtomicU64,
+    grants: [Arc<Counter>; 3],
+    waits: [Arc<Counter>; 3],
+    wait_hists: [Arc<Histogram>; 3],
+    releases: Arc<Counter>,
+    conversions: Arc<Counter>,
+}
+
+impl Default for LockStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LockStats {
-    /// New zeroed counters.
+    /// Instruments in a fresh private registry (uncorrelated with any
+    /// other layer — for standalone `LockManager`s).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_handle(&MetricsHandle::default())
     }
 
-    fn grant_counter(&self, mode: LockMode) -> &AtomicU64 {
-        match mode {
-            LockMode::Rho => &self.grants_rho,
-            LockMode::Alpha => &self.grants_alpha,
-            LockMode::Xi => &self.grants_xi,
-        }
-    }
-
-    fn wait_counter(&self, mode: LockMode) -> &AtomicU64 {
-        match mode {
-            LockMode::Rho => &self.waits_rho,
-            LockMode::Alpha => &self.waits_alpha,
-            LockMode::Xi => &self.waits_xi,
-        }
-    }
-
-    fn wait_ns_counter(&self, mode: LockMode) -> &AtomicU64 {
-        match mode {
-            LockMode::Rho => &self.wait_ns_rho,
-            LockMode::Alpha => &self.wait_ns_alpha,
-            LockMode::Xi => &self.wait_ns_xi,
+    /// Instruments registered under `locks.` in `handle`'s registry.
+    pub fn with_handle(handle: &MetricsHandle) -> Self {
+        LockStats {
+            grants: [
+                handle.counter("locks.grants.rho"),
+                handle.counter("locks.grants.alpha"),
+                handle.counter("locks.grants.xi"),
+            ],
+            waits: [
+                handle.counter("locks.waits.rho"),
+                handle.counter("locks.waits.alpha"),
+                handle.counter("locks.waits.xi"),
+            ],
+            wait_hists: [
+                handle.histogram("locks.wait_ns.rho"),
+                handle.histogram("locks.wait_ns.alpha"),
+                handle.histogram("locks.wait_ns.xi"),
+            ],
+            releases: handle.counter("locks.releases"),
+            conversions: handle.counter("locks.conversions"),
         }
     }
 
     pub(crate) fn record_grant(&self, mode: LockMode, _waited: bool) {
-        self.grant_counter(mode).fetch_add(1, Ordering::Relaxed);
+        self.grants[mode_idx(mode)].inc();
     }
 
     pub(crate) fn record_release(&self, _mode: LockMode) {
-        self.releases.fetch_add(1, Ordering::Relaxed);
+        self.releases.inc();
     }
 
     pub(crate) fn record_wait_start(&self, mode: LockMode) {
-        self.wait_counter(mode).fetch_add(1, Ordering::Relaxed);
+        self.waits[mode_idx(mode)].inc();
     }
 
     pub(crate) fn record_wait_end(&self, mode: LockMode, elapsed: Duration) {
-        self.wait_ns_counter(mode)
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.wait_hists[mode_idx(mode)].record(elapsed.as_nanos() as u64);
         // The waited grant itself:
         self.record_grant(mode, true);
     }
 
     pub(crate) fn record_conversion(&self) {
-        self.conversions.fetch_add(1, Ordering::Relaxed);
+        self.conversions.inc();
+    }
+
+    /// The per-mode wait-latency histogram (p50/p99/max of individual
+    /// waits, not just the total the snapshot carries).
+    pub fn wait_hist(&self, mode: LockMode) -> &Histogram {
+        &self.wait_hists[mode_idx(mode)]
     }
 
     /// Copy out the current values.
     pub fn snapshot(&self) -> LockStatsSnapshot {
         LockStatsSnapshot {
-            grants_rho: self.grants_rho.load(Ordering::Relaxed),
-            grants_alpha: self.grants_alpha.load(Ordering::Relaxed),
-            grants_xi: self.grants_xi.load(Ordering::Relaxed),
-            releases: self.releases.load(Ordering::Relaxed),
-            waits_rho: self.waits_rho.load(Ordering::Relaxed),
-            waits_alpha: self.waits_alpha.load(Ordering::Relaxed),
-            waits_xi: self.waits_xi.load(Ordering::Relaxed),
-            wait_ns_rho: self.wait_ns_rho.load(Ordering::Relaxed),
-            wait_ns_alpha: self.wait_ns_alpha.load(Ordering::Relaxed),
-            wait_ns_xi: self.wait_ns_xi.load(Ordering::Relaxed),
-            conversions: self.conversions.load(Ordering::Relaxed),
+            grants_rho: self.grants[0].get(),
+            grants_alpha: self.grants[1].get(),
+            grants_xi: self.grants[2].get(),
+            releases: self.releases.get(),
+            waits_rho: self.waits[0].get(),
+            waits_alpha: self.waits[1].get(),
+            waits_xi: self.waits[2].get(),
+            wait_ns_rho: self.wait_hists[0].sum(),
+            wait_ns_alpha: self.wait_hists[1].sum(),
+            wait_ns_xi: self.wait_hists[2].sum(),
+            conversions: self.conversions.get(),
         }
     }
 
-    /// Zero all counters.
+    /// Zero all counters and wait histograms.
     pub fn reset(&self) {
-        for c in [
-            &self.grants_rho,
-            &self.grants_alpha,
-            &self.grants_xi,
-            &self.releases,
-            &self.waits_rho,
-            &self.waits_alpha,
-            &self.waits_xi,
-            &self.wait_ns_rho,
-            &self.wait_ns_alpha,
-            &self.wait_ns_xi,
-            &self.conversions,
-        ] {
-            c.store(0, Ordering::Relaxed);
+        for c in self.grants.iter().chain(self.waits.iter()) {
+            c.reset();
         }
+        for h in &self.wait_hists {
+            h.reset();
+        }
+        self.releases.reset();
+        self.conversions.reset();
     }
 }
 
@@ -201,5 +222,23 @@ mod tests {
         assert!((snap.contention_ratio() - 1.0 / 3.0).abs() < 1e-9);
         s.reset();
         assert_eq!(s.snapshot(), LockStatsSnapshot::default());
+    }
+
+    #[test]
+    fn shared_handle_sees_lock_metrics() {
+        let handle = MetricsHandle::new();
+        let s = LockStats::with_handle(&handle);
+        s.record_grant(LockMode::Rho, false);
+        s.record_wait_start(LockMode::Alpha);
+        s.record_wait_end(LockMode::Alpha, Duration::from_nanos(250));
+        s.record_release(LockMode::Rho);
+        let m = handle.snapshot();
+        assert_eq!(m.counter("locks.grants.rho"), 1);
+        assert_eq!(m.counter("locks.grants.alpha"), 1);
+        assert_eq!(m.counter("locks.waits.alpha"), 1);
+        assert_eq!(m.counter("locks.releases"), 1);
+        let wait = m.hist("locks.wait_ns.alpha").unwrap();
+        assert_eq!(wait.count, 1);
+        assert_eq!(wait.sum, 250);
     }
 }

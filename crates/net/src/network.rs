@@ -41,6 +41,8 @@ struct Delayed<M> {
     msg: M,
     /// Sampled at send time (the sender knows the message class).
     delay: Duration,
+    /// Send timestamp, for the `net.delivery_ns` latency histogram.
+    sent_at: Instant,
 }
 
 struct Inner<M> {
@@ -87,8 +89,16 @@ impl<M: Send + 'static> Default for SimNetwork<M> {
 }
 
 impl<M: Send + 'static> SimNetwork<M> {
-    /// Create a network with the given latency model.
+    /// Create a network with the given latency model and a private
+    /// metrics registry.
     pub fn new(latency: LatencyModel) -> Self {
+        Self::with_metrics(latency, &ceh_obs::MetricsHandle::default())
+    }
+
+    /// Create a network whose per-class message counters and delivery
+    /// latency land in `metrics`' registry (under the `net.` prefix),
+    /// correlated with every other layer wired to the same handle.
+    pub fn with_metrics(latency: LatencyModel, metrics: &ceh_obs::MetricsHandle) -> Self {
         let delay_tx = if latency.is_zero() {
             None
         } else {
@@ -98,7 +108,7 @@ impl<M: Send + 'static> SimNetwork<M> {
         let inner = Arc::new(Inner {
             ports: RwLock::new(HashMap::new()),
             names: RwLock::new(HashMap::new()),
-            stats: MsgStats::new(),
+            stats: MsgStats::with_handle(metrics),
             next_port: AtomicU64::new(1),
             delay_tx: delay_tx.as_ref().map(|(tx, _)| tx.clone()),
             sampler: parking_lot::Mutex::new(latency.sampler()),
@@ -245,6 +255,7 @@ impl<M: Send + MsgClass + Clone + 'static> SimNetwork<M> {
             Some(tx) => {
                 // Each copy samples its own delay, so a duplicate can
                 // arrive reordered relative to the original.
+                let sent_at = Instant::now();
                 if verdict == Verdict::Duplicate {
                     let delay =
                         self.inner.sampler.lock().sample() + self.inner.latency.extra_for(class);
@@ -252,11 +263,18 @@ impl<M: Send + MsgClass + Clone + 'static> SimNetwork<M> {
                         to,
                         msg: msg.clone(),
                         delay,
+                        sent_at,
                     });
                 }
                 let delay =
                     self.inner.sampler.lock().sample() + self.inner.latency.extra_for(class);
-                tx.send(Delayed { to, msg, delay }).is_ok()
+                tx.send(Delayed {
+                    to,
+                    msg,
+                    delay,
+                    sent_at,
+                })
+                .is_ok()
             }
         }
     }
@@ -293,6 +311,9 @@ fn delay_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, net: Weak<Inner<M>>) 
         while heap.peek().is_some_and(|Reverse(d)| d.at <= now) {
             let Reverse(d) = heap.pop().expect("peeked");
             let Some(inner) = net.upgrade() else { return };
+            inner
+                .stats
+                .record_delivery_ns(d.item.sent_at.elapsed().as_nanos() as u64);
             inner.deliver(d.item.to, d.item.msg);
         }
         // Wait for the next arrival or the next due time.
@@ -306,6 +327,9 @@ fn delay_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, net: Weak<Inner<M>>) 
                         // Drain: deliver the backlog immediately, then exit.
                         while let Some(Reverse(d)) = heap.pop() {
                             let Some(inner) = net.upgrade() else { return };
+                            inner
+                                .stats
+                                .record_delivery_ns(d.item.sent_at.elapsed().as_nanos() as u64);
                             inner.deliver(d.item.to, d.item.msg);
                         }
                         return;

@@ -1,8 +1,36 @@
-//! Per-class message counters.
+//! Per-class message counters, recorded through the unified
+//! [`ceh_obs`] metrics plane.
+//!
+//! Metric names (all under the `net.` prefix): `net.sent.<class>`,
+//! `net.dropped.<class>`, `net.duplicated.<class>` — one counter per
+//! message class, created on first use — and `net.delivery_ns`, a
+//! histogram of send-to-delivery latency populated by the delayed
+//! delivery path (a zero-latency network delivers synchronously and
+//! records no latency samples).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ceh_obs::{Counter, Histogram, MetricsHandle};
+use parking_lot::RwLock;
+
+/// Which of the three per-class counter families an event belongs to.
+#[derive(Clone, Copy)]
+enum Family {
+    Sent,
+    Dropped,
+    Duplicated,
+}
+
+impl Family {
+    fn prefix(self) -> &'static str {
+        match self {
+            Family::Sent => "net.sent.",
+            Family::Dropped => "net.dropped.",
+            Family::Duplicated => "net.duplicated.",
+        }
+    }
+}
 
 /// Counts messages by class label (see [`crate::MsgClass`]).
 ///
@@ -15,52 +43,113 @@ use parking_lot::Mutex;
 /// * **duplicated** — extra deliveries injected by the fault plane. The
 ///   duplicate is *not* counted as sent (the sender sent once).
 ///
-/// Message sends are not on any nanosecond-critical path in this
-/// workspace (the distributed experiments measure message *counts*, not
-/// message-send throughput), so a mutex-guarded map keeps this simple and
-/// exact.
-#[derive(Debug, Default)]
+/// Class labels are `&'static str`, so each (family, class) resolves to
+/// its registry [`Counter`] once and is cached; steady-state recording
+/// is a read-locked map probe plus a sharded counter increment.
+#[derive(Debug)]
 pub struct MsgStats {
-    counts: Mutex<HashMap<&'static str, u64>>,
-    dropped: Mutex<HashMap<&'static str, u64>>,
-    duplicated: Mutex<HashMap<&'static str, u64>>,
+    handle: MetricsHandle,
+    sent: RwLock<HashMap<&'static str, Arc<Counter>>>,
+    dropped: RwLock<HashMap<&'static str, Arc<Counter>>>,
+    duplicated: RwLock<HashMap<&'static str, Arc<Counter>>>,
+    delivery_ns: Arc<Histogram>,
+}
+
+impl Default for MsgStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MsgStats {
-    /// New zeroed counters.
+    /// Counters in a fresh private registry (uncorrelated with any
+    /// other layer — for standalone networks).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_handle(&MetricsHandle::default())
+    }
+
+    /// Counters registered under `net.` in `handle`'s registry.
+    pub fn with_handle(handle: &MetricsHandle) -> Self {
+        MsgStats {
+            delivery_ns: handle.histogram("net.delivery_ns"),
+            handle: handle.clone(),
+            sent: RwLock::default(),
+            dropped: RwLock::default(),
+            duplicated: RwLock::default(),
+        }
+    }
+
+    fn family(&self, f: Family) -> &RwLock<HashMap<&'static str, Arc<Counter>>> {
+        match f {
+            Family::Sent => &self.sent,
+            Family::Dropped => &self.dropped,
+            Family::Duplicated => &self.duplicated,
+        }
+    }
+
+    fn bump(&self, f: Family, class: &'static str) {
+        let map = self.family(f);
+        if let Some(c) = map.read().get(class) {
+            c.inc();
+            return;
+        }
+        let counter = self.handle.counter(&format!("{}{}", f.prefix(), class));
+        counter.inc();
+        map.write().entry(class).or_insert(counter);
     }
 
     /// Count one message of the given class.
     pub fn record(&self, class: &'static str) {
-        *self.counts.lock().entry(class).or_insert(0) += 1;
+        self.bump(Family::Sent, class);
     }
 
     /// Count one message of the given class eaten by the fault plane.
     pub fn record_dropped(&self, class: &'static str) {
-        *self.dropped.lock().entry(class).or_insert(0) += 1;
+        self.bump(Family::Dropped, class);
     }
 
     /// Count one duplicate delivery injected by the fault plane.
     pub fn record_duplicated(&self, class: &'static str) {
-        *self.duplicated.lock().entry(class).or_insert(0) += 1;
+        self.bump(Family::Duplicated, class);
     }
 
-    /// Copy out the current counts.
+    /// Record one send-to-delivery latency sample.
+    pub fn record_delivery_ns(&self, ns: u64) {
+        self.delivery_ns.record(ns);
+    }
+
+    /// The send-to-delivery latency histogram.
+    pub fn delivery_hist(&self) -> &Histogram {
+        &self.delivery_ns
+    }
+
+    fn collect(&self, f: Family) -> HashMap<&'static str, u64> {
+        self.family(f)
+            .read()
+            .iter()
+            .map(|(&k, c)| (k, c.get()))
+            .filter(|&(_, v)| v > 0)
+            .collect()
+    }
+
+    /// Copy out the current counts. Classes whose counters are zero
+    /// (e.g. after [`MsgStats::reset`]) are omitted.
     pub fn snapshot(&self) -> MsgStatsSnapshot {
         MsgStatsSnapshot {
-            counts: self.counts.lock().clone(),
-            dropped: self.dropped.lock().clone(),
-            duplicated: self.duplicated.lock().clone(),
+            counts: self.collect(Family::Sent),
+            dropped: self.collect(Family::Dropped),
+            duplicated: self.collect(Family::Duplicated),
         }
     }
 
     /// Zero the counters.
     pub fn reset(&self) {
-        self.counts.lock().clear();
-        self.dropped.lock().clear();
-        self.duplicated.lock().clear();
+        for f in [Family::Sent, Family::Dropped, Family::Duplicated] {
+            for c in self.family(f).read().values() {
+                c.reset();
+            }
+        }
+        self.delivery_ns.reset();
     }
 }
 
@@ -190,5 +279,30 @@ mod tests {
         let d = s.snapshot().since(&before);
         assert_eq!(d.dropped("a"), 1);
         assert_eq!(d.duplicated("b"), 1);
+    }
+
+    #[test]
+    fn reset_yields_empty_snapshot() {
+        let s = MsgStats::new();
+        s.record("find");
+        s.reset();
+        assert_eq!(s.snapshot(), MsgStatsSnapshot::default());
+        s.record("find");
+        assert_eq!(s.snapshot().get("find"), 1);
+    }
+
+    #[test]
+    fn shared_handle_sees_per_class_metrics() {
+        let handle = MetricsHandle::new();
+        let s = MsgStats::with_handle(&handle);
+        s.record("find");
+        s.record("find");
+        s.record_dropped("update");
+        s.record_delivery_ns(5_000);
+        let m = handle.snapshot();
+        assert_eq!(m.counter("net.sent.find"), 2);
+        assert_eq!(m.counter("net.dropped.update"), 1);
+        assert_eq!(m.prefix_sum("net.sent."), 2);
+        assert_eq!(m.hist("net.delivery_ns").unwrap().count, 1);
     }
 }

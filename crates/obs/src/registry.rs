@@ -1,0 +1,277 @@
+//! The metrics registry and its shared handle.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::counter::{Counter, Gauge};
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::trace::{SpanId, Tracer};
+
+#[derive(Default)]
+struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    tracer: Tracer,
+}
+
+/// A cheaply clonable handle to one shared metrics registry.
+///
+/// Thread one handle through every constructor of a file or cluster
+/// and all layers' instruments land in one registry; a single
+/// [`MetricsHandle::snapshot`] (or [`crate::RunReport::collect`]) then
+/// yields lock, storage, network, core, and distributed metrics *from
+/// the same run*.
+///
+/// Layers resolve their named instruments once at construction
+/// ([`MetricsHandle::counter`] get-or-creates) and hold the returned
+/// `Arc`s, so steady-state recording never takes the registry lock.
+///
+/// `MetricsHandle::default()` is a fresh private registry — the no-op
+/// wiring: a component constructed without an explicit handle still
+/// records (the cost is identical), its numbers just aren't correlated
+/// with anyone else's.
+///
+/// ```
+/// use ceh_obs::MetricsHandle;
+///
+/// let h = MetricsHandle::new();
+/// let c = h.counter("core.finds_hit");
+/// c.inc();
+/// assert_eq!(h.snapshot().counter("core.finds_hit"), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricsHandle {
+    reg: Arc<Registry>,
+}
+
+impl std::fmt::Debug for MetricsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHandle")
+            .field(
+                "counters",
+                &self.reg.counters.read().expect("registry").len(),
+            )
+            .field("gauges", &self.reg.gauges.read().expect("registry").len())
+            .field("hists", &self.reg.hists.read().expect("registry").len())
+            .finish()
+    }
+}
+
+impl MetricsHandle {
+    /// A handle to a fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Do two handles share one registry?
+    pub fn same_registry(&self, other: &MetricsHandle) -> bool {
+        Arc::ptr_eq(&self.reg, &other.reg)
+    }
+
+    fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+        if let Some(v) = map.read().expect("registry").get(name) {
+            return Arc::clone(v);
+        }
+        let mut w = map.write().expect("registry");
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the named counter. Resolve once, hold the `Arc`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Self::get_or_create(&self.reg.counters, name)
+    }
+
+    /// Get or create the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Self::get_or_create(&self.reg.gauges, name)
+    }
+
+    /// Get or create the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Self::get_or_create(&self.reg.hists, name)
+    }
+
+    /// The registry's event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.reg.tracer
+    }
+
+    /// A fresh span id (shorthand for `tracer().new_span()`).
+    pub fn new_span(&self) -> SpanId {
+        self.reg.tracer.new_span()
+    }
+
+    /// Record a trace event (no-op unless the tracer is enabled).
+    #[inline]
+    pub fn trace(&self, span: SpanId, layer: &'static str, event: &'static str, a: u64, b: u64) {
+        self.reg.tracer.record(span, layer, event, a, b);
+    }
+
+    /// A point-in-time copy of every registered metric. Counters are
+    /// monotone: a later snapshot's value for any name is ≥ an earlier
+    /// snapshot's (absent an explicit [`MetricsHandle::reset`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .reg
+                .counters
+                .read()
+                .expect("registry")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .reg
+                .gauges
+                .read()
+                .expect("registry")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            hists: self
+                .reg
+                .hists
+                .read()
+                .expect("registry")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zero every registered metric (between benchmark phases).
+    /// Instruments stay registered; held `Arc`s keep working.
+    pub fn reset(&self) {
+        for c in self.reg.counters.read().expect("registry").values() {
+            c.reset();
+        }
+        for g in self.reg.gauges.read().expect("registry").values() {
+            g.reset();
+        }
+        for h in self.reg.hists.read().expect("registry").values() {
+            h.reset();
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub hists: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value (0 if never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's level (0 if never registered).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's summary (`None` if never registered).
+    pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists.get(name)
+    }
+
+    /// Sum of every counter whose name starts with `prefix`
+    /// (`prefix_sum("net.sent.")` = total messages sent).
+    pub fn prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Counter-wise difference (`self - earlier`), for measuring an
+    /// interval. Names absent from `earlier` are kept whole; gauges and
+    /// histograms are copied from `self` (levels and distributions are
+    /// not meaningfully subtractable).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            hists: self.hists.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_instrument() {
+        let h = MetricsHandle::new();
+        let a = h.counter("x.events");
+        let b = h.counter("x.events");
+        a.inc();
+        b.inc();
+        assert_eq!(h.snapshot().counter("x.events"), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let h = MetricsHandle::new();
+        let h2 = h.clone();
+        assert!(h.same_registry(&h2));
+        h.counter("a").inc();
+        assert_eq!(h2.snapshot().counter("a"), 1);
+        let other = MetricsHandle::new();
+        assert!(!h.same_registry(&other));
+        assert_eq!(other.snapshot().counter("a"), 0);
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let h = MetricsHandle::new();
+        h.counter("c").add(3);
+        h.gauge("g").set(-2);
+        h.histogram("h").record(10);
+        let s = h.snapshot();
+        assert_eq!(s.counter("c"), 3);
+        assert_eq!(s.gauge("g"), -2);
+        assert_eq!(s.hist("h").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), 0);
+        assert!(s.hist("missing").is_none());
+    }
+
+    #[test]
+    fn prefix_sum_and_since() {
+        let h = MetricsHandle::new();
+        h.counter("net.sent.find").add(5);
+        h.counter("net.sent.update").add(2);
+        h.counter("net.dropped.find").add(1);
+        let before = h.snapshot();
+        assert_eq!(before.prefix_sum("net.sent."), 7);
+        h.counter("net.sent.find").add(3);
+        let d = h.snapshot().since(&before);
+        assert_eq!(d.counter("net.sent.find"), 3);
+        assert_eq!(d.counter("net.sent.update"), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registration() {
+        let h = MetricsHandle::new();
+        let c = h.counter("c");
+        c.add(9);
+        h.reset();
+        assert_eq!(h.snapshot().counter("c"), 0);
+        c.inc();
+        assert_eq!(h.snapshot().counter("c"), 1, "held Arc keeps working");
+    }
+}

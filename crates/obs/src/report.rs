@@ -1,0 +1,233 @@
+//! The `RunReport`: one run's metrics, renderable as JSON or a table.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Json};
+use crate::registry::{MetricsHandle, MetricsSnapshot};
+
+/// Everything one run produced, gathered from a single
+/// [`MetricsHandle`]: counters, gauges, and histogram summaries across
+/// every layer wired to that handle, plus free-form metadata
+/// (workload parameters, thread counts, …).
+///
+/// Render with [`RunReport::to_json`] for machines or
+/// [`RunReport::to_table`] for humans.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Report name (typically the workload or experiment).
+    pub name: String,
+    /// Free-form run metadata (parameters, configuration).
+    pub meta: BTreeMap<String, String>,
+    /// The metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Snapshot `handle` into a named report.
+    pub fn collect(name: &str, handle: &MetricsHandle) -> Self {
+        RunReport {
+            name: name.to_string(),
+            meta: BTreeMap::new(),
+            metrics: handle.snapshot(),
+        }
+    }
+
+    /// Attach one metadata entry (builder-style).
+    pub fn with_meta(mut self, key: &str, value: impl ToString) -> Self {
+        self.meta.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    fn to_json_value(&self) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert("name".to_string(), Json::Str(self.name.clone()));
+        root.insert(
+            "meta".to_string(),
+            Json::Obj(
+                self.meta
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "counters".to_string(),
+            Json::Obj(
+                self.metrics
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "gauges".to_string(),
+            Json::Obj(
+                self.metrics
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "hists".to_string(),
+            Json::Obj(
+                self.metrics
+                    .hists
+                    .iter()
+                    .map(|(k, h)| {
+                        let mut m = BTreeMap::new();
+                        m.insert("count".into(), Json::Num(h.count as f64));
+                        m.insert("min".into(), Json::Num(h.min as f64));
+                        m.insert("max".into(), Json::Num(h.max as f64));
+                        m.insert("sum".into(), Json::Num(h.sum as f64));
+                        m.insert("mean".into(), Json::Num(h.mean));
+                        m.insert("p50".into(), Json::Num(h.p50 as f64));
+                        m.insert("p90".into(), Json::Num(h.p90 as f64));
+                        m.insert("p99".into(), Json::Num(h.p99 as f64));
+                        (k.clone(), Json::Obj(m))
+                    })
+                    .collect(),
+            ),
+        );
+        Json::Obj(root)
+    }
+
+    /// Compact JSON, matching `schemas/run_report.schema.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        json::write(&mut out, &self.to_json_value());
+        out
+    }
+
+    /// A human-readable table, metrics grouped by name prefix
+    /// (`locks.`, `storage.`, `net.`, `core.`, `dist.`, …).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== run report: {} ===\n", self.name));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  {} = {}\n", k, v));
+        }
+
+        let mut groups: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+        let group_of = |name: &str| {
+            let g = name.split('.').next().unwrap_or(name);
+            // Borrow trick: group key must outlive the map, so match
+            // against the known layer prefixes.
+            match g {
+                "locks" => "locks",
+                "storage" => "storage",
+                "net" => "net",
+                "core" => "core",
+                "dist" => "dist",
+                _ => "other",
+            }
+        };
+        for (name, v) in &self.metrics.counters {
+            if *v == 0 {
+                continue;
+            }
+            groups
+                .entry(group_of(name))
+                .or_default()
+                .push(format!("  {:<40} {:>14}", name, v));
+        }
+        for (name, v) in &self.metrics.gauges {
+            if *v == 0 {
+                continue;
+            }
+            groups
+                .entry(group_of(name))
+                .or_default()
+                .push(format!("  {:<40} {:>14}", name, v));
+        }
+        for (name, h) in &self.metrics.hists {
+            if h.count == 0 {
+                continue;
+            }
+            groups.entry(group_of(name)).or_default().push(format!(
+                "  {:<40} count {:>10}  mean {:>10.1}  p50 {:>8}  p99 {:>8}  max {:>8}",
+                name, h.count, h.mean, h.p50, h.p99, h.max
+            ));
+        }
+
+        for layer in ["core", "locks", "storage", "net", "dist", "other"] {
+            if let Some(lines) = groups.get(layer) {
+                out.push_str(&format!("[{}]\n", layer));
+                for line in lines {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        if self.metrics.counters.is_empty()
+            && self.metrics.gauges.is_empty()
+            && self.metrics.hists.is_empty()
+        {
+            out.push_str("  (no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_handle() -> MetricsHandle {
+        let h = MetricsHandle::new();
+        h.counter("core.inserts").add(10);
+        h.counter("locks.grants.rho").add(25);
+        h.counter("net.sent.find").add(5);
+        h.gauge("storage.live_pages").set(4);
+        h.histogram("locks.wait_ns.rho").record(1000);
+        h
+    }
+
+    #[test]
+    fn collect_and_json_round_trip() {
+        let report = RunReport::collect("smoke", &sample_handle()).with_meta("threads", 4);
+        let doc = parse(&report.to_json()).unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("smoke"));
+        assert_eq!(
+            doc.get("meta").unwrap().get("threads").unwrap().as_str(),
+            Some("4")
+        );
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("core.inserts")
+                .unwrap()
+                .as_u64(),
+            Some(10)
+        );
+        let hist = doc.get("hists").unwrap().get("locks.wait_ns.rho").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("sum").unwrap().as_u64(), Some(1000));
+    }
+
+    #[test]
+    fn table_groups_by_layer_and_skips_zeroes() {
+        let h = sample_handle();
+        h.counter("core.never_happened"); // stays zero
+        let table = RunReport::collect("t", &h).to_table();
+        assert!(table.contains("[core]"));
+        assert!(table.contains("[locks]"));
+        assert!(table.contains("[net]"));
+        assert!(table.contains("core.inserts"));
+        assert!(!table.contains("never_happened"));
+        let core_at = table.find("[core]").unwrap();
+        let locks_at = table.find("[locks]").unwrap();
+        assert!(core_at < locks_at, "layer order is fixed");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = RunReport::collect("empty", &MetricsHandle::new());
+        assert!(report.to_table().contains("no metrics recorded"));
+        let doc = parse(&report.to_json()).unwrap();
+        assert_eq!(doc.get("counters").unwrap(), &Json::Obj(BTreeMap::new()));
+    }
+}

@@ -1,0 +1,219 @@
+//! The bounded ring-buffer event tracer.
+//!
+//! Counters say *how much*; the tracer says *in what order*. Each
+//! logical operation takes a [`SpanId`] and stamps [`TraceEvent`]s
+//! against it (op start, wrong-bucket recovery, split, merge, message
+//! send, …), so a post-mortem can reconstruct one operation's path
+//! through locks, storage, and the network.
+//!
+//! Disabled by default: a disabled probe is one relaxed atomic load.
+//! When enabled, events land in a bounded ring — the newest
+//! `capacity` events win, older ones are overwritten — so tracing
+//! never grows memory without bound under load.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Identifies one logical operation across layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The "no span" sentinel, for events outside any operation.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The operation this event belongs to ([`SpanId::NONE`] if none).
+    pub span: SpanId,
+    /// Nanoseconds since the tracer was created.
+    pub at_ns: u64,
+    /// Owning layer ("core", "locks", "net", …).
+    pub layer: &'static str,
+    /// What happened ("find.start", "split", "redrive", …).
+    pub event: &'static str,
+    /// Event-specific detail (a page id, a hop count, …).
+    pub a: u64,
+    /// Second event-specific detail.
+    pub b: u64,
+}
+
+/// The ring-buffer tracer. One per registry; see the crate docs.
+pub struct Tracer {
+    enabled: AtomicBool,
+    next_span: AtomicU64,
+    epoch: Instant,
+    ring: Mutex<Ring>,
+}
+
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer (the default state).
+    pub fn new() -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            next_span: AtomicU64::new(1),
+            epoch: Instant::now(),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                capacity: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Start recording, keeping the newest `capacity` events.
+    pub fn enable(&self, capacity: usize) {
+        {
+            let mut r = self.ring.lock().expect("tracer ring");
+            r.capacity = capacity.max(1);
+            r.buf.clear();
+            r.dropped = 0;
+        }
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording (buffered events stay until [`Tracer::drain`]).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Is the tracer recording?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// A fresh span id for one logical operation. Ids are allocated
+    /// even while disabled (they are just a counter) so an operation
+    /// spanning an `enable` keeps a consistent id.
+    #[inline]
+    pub fn new_span(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Record one event (no-op while disabled).
+    #[inline]
+    pub fn record(&self, span: SpanId, layer: &'static str, event: &'static str, a: u64, b: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record_slow(span, layer, event, a, b);
+    }
+
+    #[cold]
+    fn record_slow(&self, span: SpanId, layer: &'static str, event: &'static str, a: u64, b: u64) {
+        let at_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut r = self.ring.lock().expect("tracer ring");
+        if r.buf.len() == r.capacity {
+            r.buf.pop_front();
+            r.dropped += 1;
+        }
+        r.buf.push_back(TraceEvent {
+            span,
+            at_ns,
+            layer,
+            event,
+            a,
+            b,
+        });
+    }
+
+    /// Take every buffered event (oldest first), leaving the ring empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut r = self.ring.lock().expect("tracer ring");
+        r.buf.drain(..).collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer ring").buf.len()
+    }
+
+    /// Nothing buffered?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("tracer ring").dropped
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("buffered", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.record(SpanId::NONE, "core", "find.start", 0, 0);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn events_carry_span_and_order() {
+        let t = Tracer::new();
+        t.enable(16);
+        let s = t.new_span();
+        t.record(s, "core", "find.start", 7, 0);
+        t.record(s, "core", "find.done", 7, 1);
+        let ev = t.drain();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].event, "find.start");
+        assert_eq!(ev[1].event, "find.done");
+        assert_eq!(ev[0].span, s);
+        assert!(ev[0].at_ns <= ev[1].at_ns);
+        assert!(t.is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let t = Tracer::new();
+        t.enable(4);
+        for i in 0..10u64 {
+            t.record(SpanId(i), "x", "e", i, 0);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let ev = t.drain();
+        assert_eq!(ev[0].a, 6, "oldest surviving event");
+        assert_eq!(ev[3].a, 9, "newest event");
+    }
+
+    #[test]
+    fn span_ids_are_unique() {
+        let t = Tracer::new();
+        let a = t.new_span();
+        let b = t.new_span();
+        assert_ne!(a, b);
+        assert_ne!(a, SpanId::NONE);
+    }
+}

@@ -1,65 +1,106 @@
-//! I/O accounting.
+//! I/O accounting, recorded through the unified [`ceh_obs`] metrics
+//! plane.
+//!
+//! Metric names (all under the `storage.` prefix): `storage.reads`,
+//! `storage.writes`, `storage.allocs`, `storage.deallocs`,
+//! `storage.page_faults`, and `storage.io_ns` — a histogram of
+//! simulated per-I/O latency, populated only when the store's
+//! `io_latency_ns` is non-zero (with latency disabled, page I/O is a
+//! ~75ns memcpy and per-op timing would cost more than the operation).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Thread-safe I/O counters maintained by a [`crate::PageStore`].
+use ceh_obs::{Counter, Histogram, MetricsHandle};
+
+/// I/O instruments maintained by a [`crate::PageStore`].
 ///
 /// Counters are monotone; [`IoStats::snapshot`] takes a coherent-enough
 /// copy for reporting (individual counters are exact, cross-counter skew
 /// is bounded by in-flight operations).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IoStats {
-    reads: AtomicU64,
-    writes: AtomicU64,
-    allocs: AtomicU64,
-    deallocs: AtomicU64,
-    page_faults: AtomicU64,
+    reads: Arc<Counter>,
+    writes: Arc<Counter>,
+    allocs: Arc<Counter>,
+    deallocs: Arc<Counter>,
+    page_faults: Arc<Counter>,
+    io_ns: Arc<Histogram>,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl IoStats {
-    /// New zeroed counters.
+    /// Instruments in a fresh private registry (uncorrelated with any
+    /// other layer — for standalone stores).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_handle(&MetricsHandle::default())
+    }
+
+    /// Instruments registered under `storage.` in `handle`'s registry.
+    pub fn with_handle(handle: &MetricsHandle) -> Self {
+        IoStats {
+            reads: handle.counter("storage.reads"),
+            writes: handle.counter("storage.writes"),
+            allocs: handle.counter("storage.allocs"),
+            deallocs: handle.counter("storage.deallocs"),
+            page_faults: handle.counter("storage.page_faults"),
+            io_ns: handle.histogram("storage.io_ns"),
+        }
     }
 
     pub(crate) fn record_read(&self) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.inc();
     }
 
     pub(crate) fn record_write(&self) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.inc();
     }
 
     pub(crate) fn record_alloc(&self) {
-        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.allocs.inc();
     }
 
     pub(crate) fn record_dealloc(&self) {
-        self.deallocs.fetch_add(1, Ordering::Relaxed);
+        self.deallocs.inc();
     }
 
     pub(crate) fn record_page_fault(&self) {
-        self.page_faults.fetch_add(1, Ordering::Relaxed);
+        self.page_faults.inc();
+    }
+
+    pub(crate) fn record_io_ns(&self, ns: u64) {
+        self.io_ns.record(ns);
+    }
+
+    /// The simulated-I/O latency histogram (empty unless the store runs
+    /// with `io_latency_ns > 0`).
+    pub fn io_hist(&self) -> &Histogram {
+        &self.io_ns
     }
 
     /// Copy out the current counter values.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            allocs: self.allocs.load(Ordering::Relaxed),
-            deallocs: self.deallocs.load(Ordering::Relaxed),
-            page_faults: self.page_faults.load(Ordering::Relaxed),
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            allocs: self.allocs.get(),
+            deallocs: self.deallocs.get(),
+            page_faults: self.page_faults.get(),
         }
     }
 
     /// Reset all counters to zero (between benchmark phases).
     pub fn reset(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.allocs.store(0, Ordering::Relaxed);
-        self.deallocs.store(0, Ordering::Relaxed);
-        self.page_faults.store(0, Ordering::Relaxed);
+        self.reads.reset();
+        self.writes.reset();
+        self.allocs.reset();
+        self.deallocs.reset();
+        self.page_faults.reset();
+        self.io_ns.reset();
     }
 }
 
@@ -133,5 +174,18 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.reads, 1);
         assert_eq!(d.writes, 1);
+    }
+
+    #[test]
+    fn shared_handle_sees_storage_metrics() {
+        let handle = MetricsHandle::new();
+        let s = IoStats::with_handle(&handle);
+        s.record_read();
+        s.record_write();
+        s.record_io_ns(1000);
+        let m = handle.snapshot();
+        assert_eq!(m.counter("storage.reads"), 1);
+        assert_eq!(m.counter("storage.writes"), 1);
+        assert_eq!(m.hist("storage.io_ns").unwrap().sum, 1000);
     }
 }

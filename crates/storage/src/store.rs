@@ -105,8 +105,16 @@ impl std::fmt::Debug for PageStore {
 }
 
 impl PageStore {
-    /// Create an in-memory store with the given configuration.
+    /// Create an in-memory store with the given configuration and a
+    /// private metrics registry.
     pub fn new(cfg: PageStoreConfig) -> Self {
+        Self::with_metrics(cfg, &ceh_obs::MetricsHandle::default())
+    }
+
+    /// Create an in-memory store whose I/O statistics land in `metrics`'
+    /// registry (under the `storage.` prefix), correlated with every
+    /// other layer wired to the same handle.
+    pub fn with_metrics(cfg: PageStoreConfig, metrics: &ceh_obs::MetricsHandle) -> Self {
         let slots = (0..cfg.initial_pages)
             .map(|_| Arc::new(Self::empty_slot(&cfg, true)))
             .collect();
@@ -119,7 +127,7 @@ impl PageStore {
             slots: RwLock::new(slots),
             free: Mutex::new(free),
             cfg,
-            stats: IoStats::new(),
+            stats: IoStats::with_handle(metrics),
             io_latency_ns,
         }
     }
@@ -129,6 +137,14 @@ impl PageStore {
         Arc::new(Self::new(cfg))
     }
 
+    /// `Arc`-wrapped [`PageStore::with_metrics`].
+    pub fn new_shared_with_metrics(
+        cfg: PageStoreConfig,
+        metrics: &ceh_obs::MetricsHandle,
+    ) -> Arc<Self> {
+        Arc::new(Self::with_metrics(cfg, metrics))
+    }
+
     /// Create (or truncate) a **file-backed** store at `path`. Pages live
     /// in the file, one `page_size` region each, read and written under
     /// the same per-page latch — the identical atomicity contract as the
@@ -136,6 +152,15 @@ impl PageStore {
     /// (the file grows on demand); simulated latency still applies on
     /// top of the real I/O if configured.
     pub fn create_file(path: impl AsRef<std::path::Path>, cfg: PageStoreConfig) -> Result<Self> {
+        Self::create_file_with_metrics(path, cfg, &ceh_obs::MetricsHandle::default())
+    }
+
+    /// [`PageStore::create_file`] reporting into `metrics`' registry.
+    pub fn create_file_with_metrics(
+        path: impl AsRef<std::path::Path>,
+        cfg: PageStoreConfig,
+        metrics: &ceh_obs::MetricsHandle,
+    ) -> Result<Self> {
         let file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
@@ -149,7 +174,7 @@ impl PageStore {
             slots: RwLock::new(Vec::new()),
             free: Mutex::new(Vec::new()),
             cfg,
-            stats: IoStats::new(),
+            stats: IoStats::with_handle(metrics),
             io_latency_ns,
         })
     }
@@ -166,6 +191,15 @@ impl PageStore {
     /// an allocation that never completed a `putbucket`, and nothing in
     /// the directory can reference it.
     pub fn open_file(path: impl AsRef<std::path::Path>, cfg: PageStoreConfig) -> Result<Self> {
+        Self::open_file_with_metrics(path, cfg, &ceh_obs::MetricsHandle::default())
+    }
+
+    /// [`PageStore::open_file`] reporting into `metrics`' registry.
+    pub fn open_file_with_metrics(
+        path: impl AsRef<std::path::Path>,
+        cfg: PageStoreConfig,
+        metrics: &ceh_obs::MetricsHandle,
+    ) -> Result<Self> {
         let file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
@@ -193,7 +227,7 @@ impl PageStore {
             slots: RwLock::new(slots),
             free: Mutex::new(Vec::new()),
             cfg,
-            stats: IoStats::new(),
+            stats: IoStats::with_handle(metrics),
             io_latency_ns,
         })
     }
@@ -275,6 +309,10 @@ impl PageStore {
         if ns == 0 {
             return;
         }
+        // The simulated cost *is* the I/O time; recording the configured
+        // value (rather than measuring the spin/sleep) keeps the zero-
+        // latency fast path free of clock reads.
+        self.stats.record_io_ns(ns);
         if ns >= 10_000 {
             // Long latencies sleep: the thread yields its core, so
             // concurrent I/Os overlap like real disk requests do — which

@@ -11,8 +11,11 @@
 //! * [`WorkloadGen`] — a seeded per-thread stream of [`Op`]s;
 //! * [`prefill_keys`] — the deterministic preload set used before
 //!   measured phases;
-//! * [`LatencyHistogram`] — a fixed-memory log-bucketed histogram for
-//!   per-operation latency collection.
+//! * [`LatencyHistogram`] — per-operation latency collection; since the
+//!   unified observability core this is a re-export of
+//!   [`ceh_obs::Histogram`], so workload latencies share one bucket
+//!   layout and percentile definition with every other histogram in
+//!   the workspace.
 //!
 //! Everything is deterministic given a seed, so experiment tables are
 //! reproducible run to run.
@@ -21,11 +24,10 @@
 #![warn(rust_2018_idioms)]
 
 mod gen;
-mod histogram;
 mod keys;
 mod mix;
 
+pub use ceh_obs::Histogram as LatencyHistogram;
 pub use gen::{Op, WorkloadGen};
-pub use histogram::LatencyHistogram;
 pub use keys::{prefill_keys, KeyDist, KeySampler};
 pub use mix::OpMix;

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Capture the repository's performance baseline into a JSON file:
+#
+#   ./scripts/bench_baseline.sh               # writes BENCH_baseline.json
+#   ./scripts/bench_baseline.sh out.json      # writes out.json
+#
+# Two suites feed it:
+#   * the A2 micro benchmarks (`cargo bench -p ceh-bench --bench micro`):
+#     per-primitive mean ns/iter — hashing, the page codec, page I/O,
+#     and each lock mode;
+#   * E7 (`exp_dist_messages`): messages per operation at each
+#     directory-replication level.
+#
+# The checked-in BENCH_baseline.json is the pre-observability seed
+# measurement; re-run this script on the same class of machine and
+# compare (the metrics plane is budgeted at <= 5% on the micro suite).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_baseline.json}"
+
+micro_txt=$(mktemp)
+dist_txt=$(mktemp)
+trap 'rm -f "$micro_txt" "$dist_txt"' EXIT
+
+echo "=== micro benchmarks ===" >&2
+cargo bench -p ceh-bench --bench micro 2>/dev/null | tee "$micro_txt" >&2
+
+echo "=== E7 dist message counts ===" >&2
+CEH_QUICK="${CEH_QUICK:-1}" cargo run -q --release -p ceh-bench --bin exp_dist_messages \
+    | tee "$dist_txt" >&2
+
+{
+    printf '{\n'
+    printf '  "generated_by": "scripts/bench_baseline.sh",\n'
+
+    # "name: mean 75.1 ns / iter (26421915 iters)" -> "name": 75.1
+    printf '  "micro_ns": {\n'
+    awk '/ns \/ iter/ {
+        name = $1; sub(/:$/, "", name)
+        vals[++n] = sprintf("    \"%s\": %s", name, $3)
+    } END {
+        for (i = 1; i <= n; i++) printf "%s%s\n", vals[i], (i < n ? "," : "")
+    }' "$micro_txt"
+    printf '  },\n'
+
+    # "|   2 |  4.04 | ..." -> "replicas_2": 4.04 (total messages/op)
+    printf '  "dist_msgs_per_op": {\n'
+    awk -F'|' '/^\|[[:space:]]*[0-9]+[[:space:]]*\|/ {
+        r = $2; gsub(/[[:space:]]/, "", r)
+        t = $3; gsub(/[[:space:]]/, "", t)
+        vals[++n] = sprintf("    \"replicas_%s\": %s", r, t)
+    } END {
+        for (i = 1; i <= n; i++) printf "%s%s\n", vals[i], (i < n ? "," : "")
+    }' "$dist_txt"
+    printf '  }\n'
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out" >&2

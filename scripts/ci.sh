@@ -15,10 +15,21 @@ cargo fmt --all -- --check
 echo "=== clippy ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== clippy (ceh-obs, pedantic surface) ==="
+# The observability core is new shared infrastructure: hold it to
+# warnings-as-errors on its own, too, so workspace-wide allow()s can
+# never mask a regression in it.
+cargo clippy -p ceh-obs --all-targets -- -D warnings
+
 echo "=== test ==="
 cargo test -q --workspace
 
 echo "=== chaos smoke ==="
 CEH_QUICK=1 cargo test -q -p ceh-harness --test chaos
+
+echo "=== metrics smoke ==="
+# 10k-op mixed workload; the emitted RunReport JSON must validate
+# against schemas/run_report.schema.json and conserve operation counts.
+cargo run -q --release -p ceh-bench --bin metrics_smoke -- --json > /dev/null
 
 echo "CI gate passed."
