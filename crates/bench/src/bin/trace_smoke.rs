@@ -1,0 +1,120 @@
+//! CI smoke test for end-to-end causal tracing.
+//!
+//! Runs a seeded mixed workload against a two-site cluster with the
+//! tracer enabled, reassembles the [`ceh_obs::TraceReport`], and checks
+//! that
+//!
+//! 1. the Chrome trace-format JSON validates against
+//!    `schemas/trace.schema.json` (parsed and enforced by
+//!    `ceh_obs::json` — no external JSON dependency);
+//! 2. at least one trace carries a request's full causal chain — the
+//!    client-side `request` root span, the directory manager's
+//!    `dispatch` child, and the bucket slave's execution span — all
+//!    under a single trace id;
+//! 3. every reassembled trace has exactly one root span (no orphaned
+//!    request fragments), and the ring dropped nothing.
+//!
+//! Exits non-zero (with a diagnostic on stderr) on any failure, so
+//! `scripts/ci.sh` can gate on it. Pass `--json` to print the Chrome
+//! JSON on stdout (the default prints the human timeline).
+
+use ceh_dist::{Cluster, ClusterConfig};
+use ceh_obs::json;
+use ceh_types::{HashFileConfig, Key, Value};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let emit_json = std::env::args().any(|a| a == "--json");
+
+    let cluster = Cluster::start(ClusterConfig {
+        dir_managers: 2,
+        bucket_managers: 2,
+        file: HashFileConfig::tiny(),
+        ..Default::default()
+    })
+    .unwrap_or_else(|e| fail(&format!("cluster start: {e}")));
+    cluster.metrics().tracer().enable(1 << 17);
+
+    // Seeded mixed workload; the multiplicative spread forces splits
+    // and cross-site routing so dispatch and bucket spans land on
+    // different managers.
+    let client = cluster.client();
+    let spread = |i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+    for i in 0..96u64 {
+        let key = Key(spread(i));
+        let out = match i % 3 {
+            0 => client.insert(key, Value(i)).map(|_| ()),
+            1 => client.find(Key(spread(i - 1))).map(|_| ()),
+            _ => client.delete(Key(spread(i - 2))).map(|_| ()),
+        };
+        out.unwrap_or_else(|e| fail(&format!("op {i}: {e}")));
+    }
+    cluster.quiesce(std::time::Duration::from_secs(30));
+    let report = cluster.trace_report();
+    cluster.shutdown();
+
+    // 1. Schema validation of the Chrome export.
+    let schema_path = std::env::var("CEH_TRACE_SCHEMA")
+        .unwrap_or_else(|_| "schemas/trace.schema.json".to_string());
+    let schema_src = std::fs::read_to_string(&schema_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read schema {schema_path}: {e}")));
+    let schema =
+        json::parse(&schema_src).unwrap_or_else(|e| fail(&format!("schema does not parse: {e}")));
+    let chrome = report.to_chrome_json();
+    let doc =
+        json::parse(&chrome).unwrap_or_else(|e| fail(&format!("trace JSON does not parse: {e}")));
+    let violations = json::validate(&doc, &schema);
+    if !violations.is_empty() {
+        fail(&format!(
+            "trace violates {schema_path}:\n  {}",
+            violations.join("\n  ")
+        ));
+    }
+
+    // 2. Full causal chain under one trace id.
+    if report.dropped > 0 {
+        fail(&format!("tracer dropped {} events", report.dropped));
+    }
+    let full_chain = report
+        .traces()
+        .iter()
+        .filter(|t| {
+            t.has_event("dist", "request")
+                && t.has_event("dist", "dispatch")
+                && (t.has_event("dist", "bucket.find")
+                    || t.has_event("dist", "bucket.insert")
+                    || t.has_event("dist", "bucket.delete"))
+        })
+        .count();
+    if full_chain == 0 {
+        fail("no trace carries the full request → dispatch → bucket chain");
+    }
+
+    // 3. Exactly one root span per trace: a reassembled request must
+    //    not fragment into several parentless spans.
+    for tree in report.traces() {
+        let roots = tree.root_spans().len();
+        if roots != 1 {
+            fail(&format!(
+                "trace {:#x} has {roots} root spans (want 1)",
+                tree.trace_id
+            ));
+        }
+    }
+
+    if emit_json {
+        println!("{chrome}");
+    } else {
+        println!("{}", report.to_timeline());
+        println!("{}", report.contention_table());
+    }
+    eprintln!(
+        "trace_smoke: OK ({} traces, {} full chains, schema valid)",
+        report.traces().len(),
+        full_chain
+    );
+}

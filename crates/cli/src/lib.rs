@@ -269,6 +269,81 @@ pub fn run_line(index: &Index, line: &str) -> Result<String> {
     index.execute(cmd)
 }
 
+/// Help text for `ceh trace`.
+pub const TRACE_HELP: &str = "\
+usage: ceh trace <workload> [--json]
+workloads:
+  lookup   seed 64 records, then 64 finds
+  mixed    interleaved inserts, finds, and deletes (splits included)
+  churn    grow then shrink (splits, merges, garbage collection)
+--json emits Chrome trace-format JSON (load via chrome://tracing or
+https://ui.perfetto.dev); the default is an indented per-trace timeline
+followed by the lock-contention profile";
+
+/// Run a small seeded cluster with tracing on and render the causal
+/// traces — `ceh trace <workload>`. The cluster is deterministic (no
+/// fault plan, zero-latency network), so the trace shape is stable
+/// across runs apart from timings.
+pub fn run_trace(workload: &str, json: bool) -> Result<String> {
+    let ops: Vec<(char, u64)> = match workload {
+        "lookup" => (0..64u64)
+            .map(|i| ('p', i))
+            .chain((0..64u64).map(|i| ('g', i)))
+            .collect(),
+        "mixed" => (0..96u64)
+            .map(|i| match i % 3 {
+                0 => ('p', i),
+                1 => ('g', i.saturating_sub(1)),
+                _ => ('d', i.saturating_sub(2)),
+            })
+            .collect(),
+        "churn" => (0..64u64)
+            .map(|i| ('p', i))
+            .chain((0..64u64).map(|i| ('d', i)))
+            .collect(),
+        other => {
+            return Err(Error::Config(format!(
+                "unknown trace workload {other:?}\n{TRACE_HELP}"
+            )))
+        }
+    };
+    let cluster = ceh_dist::Cluster::start(ceh_dist::ClusterConfig {
+        dir_managers: 2,
+        bucket_managers: 2,
+        file: HashFileConfig::tiny(),
+        ..Default::default()
+    })?;
+    // Large enough for these workloads: an overflowing ring truncates
+    // trace trees (the report would warn).
+    cluster.metrics().tracer().enable(1 << 16);
+    let client = cluster.client();
+    // Spread keys so the tiny buckets split and routing crosses sites.
+    let spread = |i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+    for (op, i) in ops {
+        let key = Key(spread(i));
+        match op {
+            'p' => {
+                client.insert(key, Value(i))?;
+            }
+            'g' => {
+                client.find(key)?;
+            }
+            _ => {
+                client.delete(key)?;
+            }
+        }
+    }
+    cluster.quiesce(std::time::Duration::from_secs(30));
+    let report = cluster.trace_report();
+    let out = if json {
+        report.to_chrome_json()
+    } else {
+        format!("{}\n{}", report.to_timeline(), report.contention_table())
+    };
+    cluster.shutdown();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,9 +21,30 @@ fn say(text: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first() else {
-        eprintln!("usage: ceh <index-file> [command...]\n\n{HELP}");
+        eprintln!(
+            "usage: ceh <index-file> [command...]\n       ceh trace <workload> [--json]\n\n{HELP}"
+        );
         std::process::exit(2);
     };
+
+    // `ceh trace <workload> [--json]`: run a seeded cluster with causal
+    // tracing on and print the trace (no index file involved).
+    if path == "trace" {
+        let json = args.iter().any(|a| a == "--json");
+        let workload: Vec<&String> = args[1..].iter().filter(|a| *a != "--json").collect();
+        let [workload] = workload[..] else {
+            eprintln!("{}", ceh_cli::TRACE_HELP);
+            std::process::exit(2);
+        };
+        match ceh_cli::run_trace(workload, json) {
+            Ok(out) => say(&out),
+            Err(e) => {
+                eprintln!("ceh: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let index = match Index::open(std::path::Path::new(path)) {
         Ok(i) => i,
         Err(e) => {

@@ -206,12 +206,47 @@ impl FileCore {
         self.metrics.clone()
     }
 
-    /// Emit a structure-modification trace event (no-op unless the
-    /// handle's tracer is enabled).
+    /// Open a `core.<event>` span under the calling thread's ambient
+    /// [`ceh_obs::TraceCtx`] (a fresh trace root when standalone; the
+    /// distributed envelope's context when a slave installed one).
+    /// No-op returning the sentinel while the tracer is disabled.
     #[inline]
-    pub(crate) fn trace(&self, event: &'static str, a: u64, b: u64) {
+    pub(crate) fn trace_begin(&self, event: &'static str, a: u64, b: u64) -> ceh_obs::TraceCtx {
         self.metrics
-            .trace(ceh_obs::SpanId::NONE, "core", event, a, b);
+            .trace_begin(ceh_obs::TraceCtx::current(), "core", event, a, b)
+    }
+
+    /// Close a span opened by [`FileCore::trace_begin`].
+    #[inline]
+    pub(crate) fn trace_end(&self, ctx: ceh_obs::TraceCtx, event: &'static str, a: u64, b: u64) {
+        self.metrics.trace_end(ctx, "core", event, a, b);
+    }
+
+    /// Open an operation span (`core.find` / `core.insert` /
+    /// `core.delete`) and install it as the thread's ambient context,
+    /// so lock waits and structural child spans nest beneath it. The
+    /// span closes when the guard drops — on every return path,
+    /// including errors. While the tracer is disabled the only cost is
+    /// one relaxed atomic load.
+    #[inline]
+    pub(crate) fn op_span(&self, event: &'static str, a: u64) -> OpSpan<'_> {
+        if !self.metrics.tracer().is_enabled() {
+            return OpSpan {
+                core: self,
+                ctx: ceh_obs::TraceCtx::NONE,
+                event,
+                _scope: None,
+            };
+        }
+        let ctx = self
+            .metrics
+            .trace_begin(ceh_obs::TraceCtx::current(), "core", event, a, 0);
+        OpSpan {
+            core: self,
+            ctx,
+            event,
+            _scope: Some(ctx.scope()),
+        }
     }
 
     /// The pseudokey function in use.
@@ -294,6 +329,7 @@ impl FileCore {
     /// on the directory until it holds the right bucket — which is the A1
     /// ablation baseline.
     pub(crate) fn find_impl(&self, key: Key, hold_directory: bool) -> Result<Option<Value>> {
+        let _op = self.op_span("find", key.0);
         let owner = self.locks.new_owner();
         let pk = (self.hasher)(key);
         let mut buf = self.new_buf();
@@ -306,15 +342,15 @@ impl FileCore {
         }
         let mut current = self.getbucket(oldpage, &mut buf)?;
         let mut recovered = false;
-        let mut span = ceh_obs::SpanId::NONE;
+        let mut recovery = ceh_obs::TraceCtx::NONE;
+        let mut hops = 0u64;
         while !current.owns(pk) {
             /* WRONG BUCKET */
-            if !recovered && self.metrics.tracer().is_enabled() {
-                span = self.metrics.new_span();
-                self.metrics
-                    .trace(span, "core", "find.wrong_bucket", oldpage.0, 0);
+            if !recovered {
+                recovery = self.trace_begin("find.recover", oldpage.0, 0);
             }
             recovered = true;
+            hops += 1;
             self.stats.chain_hops();
             let newpage = current.next;
             if newpage.is_null() {
@@ -336,8 +372,7 @@ impl FileCore {
         }
         if recovered {
             self.stats.wrong_bucket_recoveries();
-            self.metrics
-                .trace(span, "core", "find.recovered", oldpage.0, 0);
+            self.trace_end(recovery, "find.recover", oldpage.0, hops);
         }
         if hold_directory {
             self.un_rho_lock(owner, LockId::Directory);
@@ -349,6 +384,24 @@ impl FileCore {
             None => self.stats.finds_miss(),
         }
         Ok(found)
+    }
+}
+
+/// Guard for one operation's `core.*` span: closes the span and
+/// restores the previous ambient context when dropped (see
+/// [`FileCore::op_span`]).
+pub(crate) struct OpSpan<'a> {
+    core: &'a FileCore,
+    ctx: ceh_obs::TraceCtx,
+    event: &'static str,
+    _scope: Option<ceh_obs::CtxScope>,
+}
+
+impl Drop for OpSpan<'_> {
+    fn drop(&mut self) {
+        self.core
+            .metrics
+            .trace_end(self.ctx, "core", self.event, 0, 0);
     }
 }
 

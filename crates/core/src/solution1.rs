@@ -90,6 +90,7 @@ impl Solution1 {
     /// Figure 6, the insertion algorithm.
     fn insert_impl(&self, key: Key, value: Value) -> Result<InsertOutcome> {
         let core = &self.core;
+        let _op = core.op_span("insert", key.0);
         let cap = core.config().bucket_capacity;
         let pk = (core.hasher())(key);
         let mut buf = core.new_buf();
@@ -127,6 +128,7 @@ impl Solution1 {
             }
 
             /* current is full */
+            let split_span = core.trace_begin("split", oldpage.0, 0);
             if current.localdepth == core.dir().depth() {
                 try_or_release!(core, owner, core.dir().double());
                 core.stats().doublings();
@@ -156,7 +158,7 @@ impl Solution1 {
                 core.dir().add_depthcount(2);
             }
             core.stats().splits();
-            core.trace("split", oldpage.0, newpage.0);
+            core.trace_end(split_span, "split", oldpage.0, newpage.0);
             core.un_alpha_lock(owner, LockId::Directory);
             if done {
                 core.len_inc();
@@ -170,6 +172,7 @@ impl Solution1 {
     /// Figure 7, the deletion algorithm.
     fn delete_impl(&self, key: Key) -> Result<DeleteOutcome> {
         let core = &self.core;
+        let _op = core.op_span("delete", key.0);
         let threshold = core.config().merge_threshold;
         let cap = core.config().bucket_capacity;
         let pk = (core.hasher())(key);
@@ -255,6 +258,7 @@ impl Solution1 {
         );
 
         /* mergeable */
+        let merge_span = core.trace_begin("merge", oldpage.0, 0);
         let old_ld = brother.localdepth;
         if old_ld == depth {
             // "Merging two buckets of localdepth = depth would subtract
@@ -283,7 +287,7 @@ impl Solution1 {
         }
         try_or_release!(core, owner, core.store().dealloc(garbage_page));
         core.stats().merges();
-        core.trace("merge", merged_page.0, garbage_page.0);
+        core.trace_end(merge_span, "merge", merged_page.0, garbage_page.0);
         core.un_xi_lock(owner, LockId::Page(newpage));
         core.un_xi_lock(owner, LockId::Page(oldpage));
         core.un_xi_lock(owner, LockId::Directory);

@@ -306,6 +306,7 @@ impl Solution2 {
     /// Figure 8, the insertion algorithm.
     fn insert_impl(&self, key: Key, value: Value) -> Result<InsertOutcome> {
         let core = &self.core;
+        let _op = core.op_span("insert", key.0);
         let cap = core.config().bucket_capacity;
         let pk = (core.hasher())(key);
         let mut buf = core.new_buf();
@@ -336,6 +337,7 @@ impl Solution2 {
             }
 
             /* CURRENT IS FULL - DIRECTORY WILL BE AFFECTED */
+            let split_span = core.trace_begin("split", oldpage.0, 0);
             // ρ → α conversion: checked against granted locks only (the
             // §2.5 deadlock-freedom argument; see ceh-locks docs).
             core.alpha_lock(owner, LockId::Directory);
@@ -361,7 +363,7 @@ impl Solution2 {
                 core.dir().add_depthcount(2);
             }
             core.stats().splits();
-            core.trace("split", oldpage.0, newpage.0);
+            core.trace_end(split_span, "split", oldpage.0, newpage.0);
             core.un_alpha_lock(owner, LockId::Page(oldpage));
             core.un_alpha_lock(owner, LockId::Directory);
             core.un_rho_lock(owner, LockId::Directory);
@@ -380,6 +382,7 @@ impl Solution2 {
     /// Figure 9, the deletion algorithm.
     fn delete_impl(&self, key: Key) -> Result<DeleteOutcome> {
         let core = &self.core;
+        let _op = core.op_span("delete", key.0);
         let threshold = core.config().merge_threshold;
         let cap = core.config().bucket_capacity;
         let pk = (core.hasher())(key);
@@ -493,6 +496,7 @@ impl Solution2 {
             }
 
             /* MERGE */
+            let merge_span = core.trace_begin("merge", oldpage.0, 0);
             core.alpha_lock(owner, LockId::Directory); // ρ → α conversion
             let old_ld = brother.localdepth;
             if old_ld == core.dir().depth() {
@@ -532,7 +536,7 @@ impl Solution2 {
             );
             core.dir().update_one_side(merged_page, old_ld, pk);
             core.stats().merges();
-            core.trace("merge", merged_page.0, garbage_page.0);
+            core.trace_end(merge_span, "merge", merged_page.0, garbage_page.0);
             core.un_xi_lock(owner, LockId::Page(oldpage));
             core.un_xi_lock(owner, LockId::Page(newpage));
             core.un_alpha_lock(owner, LockId::Directory);

@@ -74,7 +74,8 @@ fn run_slave(site: Arc<Site>, msg: Msg) {
             pages,
             gc_id,
             ack_port,
-        } => slave_garbage_collect(&site, pages, gc_id, ack_port),
+            ctx,
+        } => slave_garbage_collect(&site, pages, gc_id, ack_port, ctx),
         other => {
             debug_assert!(
                 false,
@@ -151,6 +152,8 @@ fn walk_to_owner(
                 return Walk::Stale;
             };
             let (_reply_id, reply_rx) = site.net.create_port();
+            site.metrics
+                .trace_instant(env.ctx, "dist", "wrongbucket.forward", next.0, env.txn);
             let mut fwd_env = env.clone();
             fwd_env.page = next;
             site.net.send(
@@ -193,12 +196,32 @@ fn bucketdone(site: &Site, env: &OpEnvelope, success: bool, outcome: Option<User
     );
 }
 
-fn slave_op(site: &Site, env: OpEnvelope, wrongbucket_ack_to: Option<PortId>) {
+fn slave_op(site: &Site, mut env: OpEnvelope, wrongbucket_ack_to: Option<PortId>) {
+    let event = match env.op {
+        OpKind::Find => "bucket.find",
+        OpKind::Insert => "bucket.insert",
+        OpKind::Delete => "bucket.delete",
+    };
+    // The slave's execution span, a child of the dispatch (or of the
+    // forwarding slave for a Wrongbucket hop). Installing it as the
+    // ambient context makes this site's lock waits — and any core-layer
+    // spans — nest under the originating request.
+    let span = site
+        .metrics
+        .trace_begin(env.ctx, "dist", event, env.key.0, env.txn);
+    let _ambient = span.scope();
+    if wrongbucket_ack_to.is_some() {
+        site.metrics
+            .trace_instant(span, "dist", "wrongbucket.recv", env.page.0, env.txn);
+    }
+    // Downstream hops (forwarded envelopes) nest under this slave.
+    env.ctx = span;
     match env.op {
         OpKind::Find => slave_find(site, env, wrongbucket_ack_to),
         OpKind::Insert => slave_insert(site, env, wrongbucket_ack_to),
         OpKind::Delete => slave_delete(site, env, wrongbucket_ack_to),
     }
+    site.metrics.trace_end(span, "dist", event, 0, 0);
 }
 
 /// Figure 14, `case find`.
@@ -354,6 +377,7 @@ fn slave_insert(site: &Site, env: OpEnvelope, fwd: Option<PortId>) {
                 new_version: expected_version + 1,
                 new_bucket: link,
             },
+            ctx: env.ctx,
         },
     );
 }
@@ -867,6 +891,7 @@ fn send_merge_update(
                 merged,
                 garbage,
             },
+            ctx: env.ctx,
         },
     );
 }
@@ -1004,8 +1029,19 @@ fn slave_mergeup(
 /// Figure 14, `case garbagecollect` — made idempotent for the lossy
 /// network: the directory manager re-sends until acked, so a request
 /// whose *ack* was lost arrives again and must only re-ack.
-fn slave_garbage_collect(site: &Site, pages: Vec<PageId>, gc_id: u64, ack_port: PortId) {
+fn slave_garbage_collect(
+    site: &Site,
+    pages: Vec<PageId>,
+    gc_id: u64,
+    ack_port: PortId,
+    ctx: ceh_obs::TraceCtx,
+) {
+    // Ambient context so the ξ-lock events below attribute to the merge
+    // that produced this garbage.
+    let _ambient = ctx.scope();
     if site.seen_gc.lock().expect("seen_gc").insert(gc_id) {
+        site.metrics
+            .trace_instant(ctx, "dist", "gc.collect", pages.len() as u64, gc_id);
         let owner = site.locks.new_owner();
         for page in pages {
             site.lock(owner, page, LockMode::Xi);
@@ -1209,7 +1245,7 @@ mod tests {
         let a = put_bucket(&site, &Bucket::new(0, 0));
         let b = put_bucket(&site, &Bucket::new(0, 0));
         let (_id, ack_rx) = site.net.create_port();
-        slave_garbage_collect(&site, vec![a, b], 7, ack_rx.id());
+        slave_garbage_collect(&site, vec![a, b], 7, ack_rx.id(), ceh_obs::TraceCtx::NONE);
         assert_eq!(site.store.allocated_pages(), 0);
         assert_eq!(site.locks.total_granted(), 0);
         match ack_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
@@ -1223,13 +1259,13 @@ mod tests {
         let site = test_site(0, 1, None);
         let a = put_bucket(&site, &Bucket::new(0, 0));
         let (_id, ack_rx) = site.net.create_port();
-        slave_garbage_collect(&site, vec![a], 3, ack_rx.id());
+        slave_garbage_collect(&site, vec![a], 3, ack_rx.id(), ceh_obs::TraceCtx::NONE);
         // The page gets reallocated to a live bucket...
         let reused = site.store.alloc().unwrap();
         assert_eq!(reused, a, "LIFO free list hands the page back");
         // ...and a duplicate of the same collection request arrives (the
         // original ack was lost). It must re-ack and leave the page alone.
-        slave_garbage_collect(&site, vec![a], 3, ack_rx.id());
+        slave_garbage_collect(&site, vec![a], 3, ack_rx.id(), ceh_obs::TraceCtx::NONE);
         assert_eq!(site.store.allocated_pages(), 1, "reallocated page survives");
         for _ in 0..2 {
             match ack_rx.recv_timeout(Duration::from_secs(5)).unwrap() {

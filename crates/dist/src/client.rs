@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ceh_net::{PortId, PortRx, SimNetwork};
-use ceh_obs::{Counter, MetricsHandle};
+use ceh_obs::{Counter, MetricsHandle, TraceCtx};
 use ceh_types::{DeleteOutcome, Error, InsertOutcome, Key, Result, RetryPolicy, Value};
 
 use crate::msg::{Msg, OpKind, UserOutcome};
@@ -35,6 +35,9 @@ pub struct DistClient {
     /// `dist.client.failovers`: retries that targeted a *different*
     /// directory manager than the previous attempt.
     failovers: Arc<Counter>,
+    /// For the per-request root span (`dist`/`request`); one relaxed
+    /// atomic load per operation when tracing is off.
+    metrics: MetricsHandle,
 }
 
 impl DistClient {
@@ -54,6 +57,7 @@ impl DistClient {
             policy,
             retries: metrics.counter("dist.client.retries"),
             failovers: metrics.counter("dist.client.failovers"),
+            metrics: metrics.clone(),
         }
     }
 
@@ -73,6 +77,26 @@ impl DistClient {
     fn request(&self, op: OpKind, key: Key, value: Value) -> Result<UserOutcome> {
         let req_id = self.next_req.get();
         self.next_req.set(req_id + 1);
+        // One root span per user operation: everything the request causes
+        // (dispatch, bucket work, Wrongbucket hops, replication) nests
+        // under this trace id across every site it touches.
+        let ctx = self
+            .metrics
+            .trace_begin(TraceCtx::NONE, "dist", "request", key.0, req_id);
+        let out = self.attempts(op, key, value, req_id, ctx);
+        self.metrics
+            .trace_end(ctx, "dist", "request", key.0, out.is_ok() as u64);
+        out
+    }
+
+    fn attempts(
+        &self,
+        op: OpKind,
+        key: Key,
+        value: Value,
+        req_id: u64,
+        ctx: TraceCtx,
+    ) -> Result<UserOutcome> {
         let start = self.next_dir.get();
         self.next_dir.set((start + 1) % self.dir_ports.len());
         let timeout = Duration::from_millis(self.policy.timeout_ms);
@@ -80,8 +104,12 @@ impl DistClient {
         for attempt in 0..self.policy.attempts {
             if attempt > 0 {
                 self.retries.inc();
+                self.metrics
+                    .trace_instant(ctx, "dist", "retry", attempt as u64, req_id);
                 if self.dir_ports.len() > 1 {
                     self.failovers.inc();
+                    self.metrics
+                        .trace_instant(ctx, "dist", "failover", attempt as u64, req_id);
                 }
                 std::thread::sleep(Duration::from_millis(self.policy.backoff_ms(attempt - 1)));
             }
@@ -96,6 +124,7 @@ impl DistClient {
                     value,
                     user_port: self.rx.id(),
                     req_id,
+                    ctx,
                 },
             ) {
                 last_err = Error::Unavailable(format!("{op:?} to {port:?}: port closed"));

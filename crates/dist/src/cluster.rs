@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use ceh_locks::{LockManager, LockManagerConfig};
 use ceh_net::{FaultPlan, LatencyModel, MsgStatsSnapshot, PortId, SimNetwork};
-use ceh_obs::{MetricsHandle, RunReport};
+use ceh_obs::{MetricsHandle, RunReport, TraceReport};
 use ceh_storage::{PageStore, PageStoreConfig};
 use ceh_types::bucket::Bucket;
 use ceh_types::{BucketLink, Error, HashFileConfig, ManagerId, PageId, Result, RetryPolicy};
@@ -270,6 +270,7 @@ impl Cluster {
                 reply_timeout: Duration::from_millis(cfg.reply_timeout_ms),
                 seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),
                 fences: std::sync::Mutex::new(std::collections::HashMap::new()),
+                metrics: metrics.clone(),
             }));
         }
         Ok((net, sites))
@@ -405,6 +406,17 @@ impl Cluster {
         RunReport::collect(name, &self.metrics)
             .with_meta("dir_managers", self.dir_ports.len())
             .with_meta("bucket_managers", self.sites.len())
+    }
+
+    /// Drain the cluster's shared tracer (every layer of every site
+    /// records into the one ring) and reassemble the events into
+    /// per-trace causal trees. Tracing must have been enabled first
+    /// (`cluster.metrics().tracer().enable(capacity)`); draining resets
+    /// the ring, so consecutive calls cover disjoint windows.
+    pub fn trace_report(&self) -> TraceReport {
+        let tracer = self.metrics.tracer();
+        let dropped = tracer.dropped();
+        TraceReport::from_events(tracer.drain(), dropped)
     }
 
     /// Probe every directory manager's status.

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use ceh_net::{PortId, PortRx, RecvError, SimNetwork};
-use ceh_obs::{Counter, MetricsHandle};
+use ceh_obs::{Counter, MetricsHandle, TraceCtx};
 use ceh_types::{hash_key, Key, ManagerId, PageId, Value};
 
 use crate::msg::{Msg, OpEnvelope, OpKind, UserOutcome};
@@ -53,6 +53,10 @@ struct Context {
     /// When the current `BucketOp` was sent; a context stalled past
     /// `resend_after` is re-driven (lost message or crashed site).
     sent_at: Instant,
+    /// The dispatch span this transaction runs under (child of the
+    /// client's request span); every `BucketOp` — including re-drives —
+    /// carries it, so all hops attribute to the originating request.
+    ctx: TraceCtx,
 }
 
 struct Parked {
@@ -67,6 +71,9 @@ struct OutstandingUpdate {
     peer: String,
     update: DirUpdate,
     sent_at: Instant,
+    /// Context of the request whose split/merge this replicates; resends
+    /// keep stamping it.
+    ctx: TraceCtx,
 }
 
 /// An unacked `GarbageCollect`, re-sent until acked.
@@ -74,6 +81,8 @@ struct OutstandingGc {
     mgr: ManagerId,
     pages: Vec<PageId>,
     sent_at: Instant,
+    /// Context of the (last) merge that contributed these pages.
+    ctx: TraceCtx,
 }
 
 pub(crate) struct DirectoryManager {
@@ -91,8 +100,10 @@ pub(crate) struct DirectoryManager {
     /// equivalent of ξ-locking occurs".
     deferred_acks: Vec<(PortId, u64)>,
     /// Garbage from merges *we* coordinated, per owning bucket manager
-    /// (`RememberDeleted`), not yet sent for collection.
-    garbage: HashMap<ManagerId, Vec<PageId>>,
+    /// (`RememberDeleted`), not yet sent for collection. The context is
+    /// the last contributing merge's — a deliberate simplification (one
+    /// `GarbageCollect` can batch pages from several merges).
+    garbage: HashMap<ManagerId, (Vec<PageId>, TraceCtx)>,
     /// Copyupdates broadcast but not yet acked; its size is Figure 13's
     /// `alpha`. Entries persist across failed peer lookups and lost
     /// messages — the resend timer retries until the ack arrives.
@@ -129,6 +140,8 @@ pub(crate) struct DirectoryManager {
     /// `dist.resends.gc`: unacked garbage collections re-sent by the
     /// timer.
     resends_gc: std::sync::Arc<Counter>,
+    /// For dispatch spans and dedupe/redrive instants.
+    metrics: MetricsHandle,
 }
 
 impl DirectoryManager {
@@ -198,6 +211,7 @@ impl DirectoryManager {
             copyupdate_rounds: metrics.counter("dist.copyupdate_rounds"),
             resends_copyupdate: metrics.counter("dist.resends.copyupdate"),
             resends_gc: metrics.counter("dist.resends.gc"),
+            metrics: metrics.clone(),
         }
     }
 
@@ -218,7 +232,8 @@ impl DirectoryManager {
                     value,
                     user_port,
                     req_id,
-                }) => self.on_request(op, key, value, user_port, req_id),
+                    ctx,
+                }) => self.on_request(op, key, value, user_port, req_id, ctx),
                 Ok(Msg::Bucketdone {
                     txn,
                     success,
@@ -229,11 +244,13 @@ impl DirectoryManager {
                     success,
                     outcome,
                     update,
-                }) => self.on_update(txn, success, outcome, update),
+                    ctx,
+                }) => self.on_update(txn, success, outcome, update, ctx),
                 Ok(Msg::Copyupdate {
                     update,
                     update_id,
                     ack_port,
+                    ..
                 }) => self.ingest(update, Some((ack_port, update_id))),
                 Ok(Msg::CopyAck { update_id }) => {
                     // Unknown ids are fine: acks for re-sent duplicates.
@@ -261,7 +278,15 @@ impl DirectoryManager {
         }
     }
 
-    fn on_request(&mut self, op: OpKind, key: Key, value: Value, user_port: PortId, req_id: u64) {
+    fn on_request(
+        &mut self,
+        op: OpKind,
+        key: Key,
+        value: Value,
+        user_port: PortId,
+        req_id: u64,
+        req_ctx: TraceCtx,
+    ) {
         // The client is sequential per port: a new id means every lower
         // in-flight id from this port was abandoned (the client timed out
         // and failed over). Stop re-driving those zombies — the bucket
@@ -283,6 +308,8 @@ impl DirectoryManager {
         if let Some(done) = self.completed.get_mut(&user_port) {
             done.retain(|&id, _| id >= req_id);
             if let Some(&outcome) = done.get(&req_id) {
+                self.metrics
+                    .trace_instant(req_ctx, "dist", "dedupe_hit", key.0, req_id);
                 self.net.send(user_port, Msg::UserReply { outcome, req_id });
                 return;
             }
@@ -295,6 +322,11 @@ impl DirectoryManager {
         // Globally unique transaction ids: manager index in the top bits.
         let txn = ((self.idx as u64) << 48) | self.next_txn;
         self.next_txn += 1;
+        // Dispatch span: child of the client's request span, open until
+        // the transaction finishes (or its context is cleared).
+        let ctx = self
+            .metrics
+            .trace_begin(req_ctx, "dist", "dispatch", key.0, txn);
         self.contexts.insert(
             txn,
             Context {
@@ -305,6 +337,7 @@ impl DirectoryManager {
                 req_id,
                 attempt: 0,
                 sent_at: Instant::now(),
+                ctx,
             },
         );
         self.inflight.insert((user_port, req_id), txn);
@@ -335,6 +368,7 @@ impl DirectoryManager {
             pseudokey: pk,
             attempt: ctx.attempt,
             req_id: ctx.req_id,
+            ctx: ctx.ctx,
         };
         let port = self
             .net
@@ -361,6 +395,8 @@ impl DirectoryManager {
                     req_id: ctx.req_id,
                 },
             );
+            self.metrics
+                .trace_end(ctx.ctx, "dist", "dispatch", ctx.key.0, txn);
             self.rho -= 1;
         }
     }
@@ -370,22 +406,26 @@ impl DirectoryManager {
     fn clear_context(&mut self, txn: u64) {
         if let Some(ctx) = self.contexts.remove(&txn) {
             self.inflight.remove(&(ctx.user_port, ctx.req_id));
+            self.metrics
+                .trace_end(ctx.ctx, "dist", "dispatch", ctx.key.0, txn);
             self.rho -= 1;
         }
     }
 
     fn redrive(&mut self, txn: u64) {
-        let exhausted = {
+        let (exhausted, tctx, attempt) = {
             let Some(ctx) = self.contexts.get_mut(&txn) else {
                 return;
             };
             ctx.attempt += 1;
-            ctx.attempt >= self.max_attempts
+            (ctx.attempt >= self.max_attempts, ctx.ctx, ctx.attempt)
         };
         if exhausted {
             self.finish(txn, UserOutcome::Failed);
         } else {
             self.redrives.inc();
+            self.metrics
+                .trace_instant(tctx, "dist", "redrive", attempt as u64, txn);
             self.contact_bucket(txn);
         }
     }
@@ -413,17 +453,23 @@ impl DirectoryManager {
         success: bool,
         outcome: Option<UserOutcome>,
         update: DirUpdate,
+        ctx: TraceCtx,
     ) {
         // Remember merge garbage: we coordinate its collection once every
         // replica has acked.
         if let Some(g) = update.garbage() {
-            self.garbage.entry(g.manager).or_default().push(g.page);
+            let entry = self
+                .garbage
+                .entry(g.manager)
+                .or_insert_with(|| (Vec::new(), TraceCtx::NONE));
+            entry.0.push(g.page);
+            entry.1 = ctx;
         }
         // Broadcast to the other replicas; each send stays outstanding
         // (and is periodically re-sent) until its ack arrives.
         self.copyupdate_rounds.inc();
         for name in self.peer_names.clone() {
-            self.send_copyupdate(name, update.clone());
+            self.send_copyupdate(name, update.clone(), ctx);
         }
         // Apply (or park) locally. No ack owed to ourselves.
         self.ingest(update, None);
@@ -439,7 +485,7 @@ impl DirectoryManager {
         }
     }
 
-    fn send_copyupdate(&mut self, peer: String, update: DirUpdate) {
+    fn send_copyupdate(&mut self, peer: String, update: DirUpdate, ctx: TraceCtx) {
         let id = self.next_update_id;
         self.next_update_id += 1;
         if let Some(port) = self.net.lookup(&peer) {
@@ -449,6 +495,7 @@ impl DirectoryManager {
                     update: update.clone(),
                     update_id: id,
                     ack_port: self.my_port,
+                    ctx,
                 },
             );
         }
@@ -461,11 +508,12 @@ impl DirectoryManager {
                 peer,
                 update,
                 sent_at: Instant::now(),
+                ctx,
             },
         );
     }
 
-    fn send_garbage_collect(&mut self, mgr: ManagerId, pages: Vec<PageId>) {
+    fn send_garbage_collect(&mut self, mgr: ManagerId, pages: Vec<PageId>, ctx: TraceCtx) {
         let id = self.next_gc_id;
         self.next_gc_id += 1;
         if let Some(port) = self.net.lookup(&bucket_mgr_name(mgr)) {
@@ -475,6 +523,7 @@ impl DirectoryManager {
                     pages: pages.clone(),
                     gc_id: id,
                     ack_port: self.my_port,
+                    ctx,
                 },
             );
         }
@@ -484,6 +533,7 @@ impl DirectoryManager {
                 mgr,
                 pages,
                 sent_at: Instant::now(),
+                ctx,
             },
         );
     }
@@ -502,7 +552,7 @@ impl DirectoryManager {
             self.resends_copyupdate.inc();
             let o = self.outstanding_updates.get_mut(&id).expect("just listed");
             o.sent_at = now;
-            let (peer, update) = (o.peer.clone(), o.update.clone());
+            let (peer, update, ctx) = (o.peer.clone(), o.update.clone(), o.ctx);
             if let Some(port) = self.net.lookup(&peer) {
                 self.net.send(
                     port,
@@ -510,6 +560,7 @@ impl DirectoryManager {
                         update,
                         update_id: id,
                         ack_port: self.my_port,
+                        ctx,
                     },
                 );
             }
@@ -524,7 +575,7 @@ impl DirectoryManager {
             self.resends_gc.inc();
             let o = self.outstanding_gc.get_mut(&id).expect("just listed");
             o.sent_at = now;
-            let (mgr, pages) = (o.mgr, o.pages.clone());
+            let (mgr, pages, ctx) = (o.mgr, o.pages.clone(), o.ctx);
             if let Some(port) = self.net.lookup(&bucket_mgr_name(mgr)) {
                 self.net.send(
                     port,
@@ -532,6 +583,7 @@ impl DirectoryManager {
                         pages,
                         gc_id: id,
                         ack_port: self.my_port,
+                        ctx,
                     },
                 );
             }
@@ -612,8 +664,8 @@ impl DirectoryManager {
             }
         }
         if self.rho == 0 && self.alpha() == 0 && !self.garbage.is_empty() {
-            for (mgr, pages) in std::mem::take(&mut self.garbage) {
-                self.send_garbage_collect(mgr, pages);
+            for (mgr, (pages, ctx)) in std::mem::take(&mut self.garbage) {
+                self.send_garbage_collect(mgr, pages, ctx);
             }
         }
     }
@@ -624,7 +676,7 @@ impl DirectoryManager {
     }
 
     fn on_status(&mut self, reply_port: PortId) {
-        let pending_garbage = self.garbage.values().map(|v| v.len()).sum::<usize>()
+        let pending_garbage = self.garbage.values().map(|(v, _)| v.len()).sum::<usize>()
             + self
                 .outstanding_gc
                 .values()
@@ -721,6 +773,7 @@ mod tests {
                     value,
                     user_port: self.user_rx.id(),
                     req_id,
+                    ctx: TraceCtx::NONE,
                 },
             );
         }
@@ -838,6 +891,7 @@ mod tests {
                     new_version: 1,
                     new_bucket: BucketLink::new(ceh_types::ManagerId(0), new_page),
                 },
+                ctx: TraceCtx::NONE,
             },
         );
         let Msg::BucketOp(env2) = recv(&r.bucket_rx) else {
@@ -896,6 +950,7 @@ mod tests {
                 },
                 update_id: 71,
                 ack_port,
+                ctx: TraceCtx::NONE,
             },
         );
         // Split acks are immediate, echoing the update id.
@@ -918,6 +973,7 @@ mod tests {
                 },
                 update_id: 72,
                 ack_port,
+                ctx: TraceCtx::NONE,
             },
         );
         assert!(
@@ -1045,6 +1101,7 @@ mod tests {
                     new_version: 1,
                     new_bucket: BucketLink::new(ceh_types::ManagerId(0), PageId(5)),
                 },
+                ctx: TraceCtx::NONE,
             },
         );
         let Msg::Copyupdate {
@@ -1093,6 +1150,7 @@ mod tests {
                 },
                 update_id: 1,
                 ack_port: peer_port,
+                ctx: TraceCtx::NONE,
             },
         );
         recv(&peer_rx); // our ack for the split (peer_port doubles as ack sink)
@@ -1111,6 +1169,7 @@ mod tests {
                     merged: BucketLink::new(ceh_types::ManagerId(0), PageId(0)),
                     garbage: BucketLink::new(ceh_types::ManagerId(0), PageId(5)),
                 },
+                ctx: TraceCtx::NONE,
             },
         );
         // The broadcast of the merge goes to the peer; ack it so alpha
@@ -1129,6 +1188,7 @@ mod tests {
             pages,
             gc_id,
             ack_port,
+            ..
         } = recv(&r.bucket_rx)
         else {
             panic!()

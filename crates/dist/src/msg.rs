@@ -19,8 +19,15 @@
 //!   `GarbageCollect`/`GcAck` a `gc_id` so replication traffic can be
 //!   re-sent until acknowledged. The paper assumes reliable delivery and
 //!   needs none of these.
+//! * The causal-tracing extension (DESIGN.md "Causal tracing"): the
+//!   envelope plus `Request`/`Update`/`Copyupdate`/`GarbageCollect`
+//!   carry a [`TraceCtx`], so every hop of a request — including
+//!   re-drives, failovers, and the replication/GC traffic a request
+//!   triggers — attributes to the originating client span. The context
+//!   is zero-sized in effect when tracing is off (`TraceCtx::NONE`).
 
 use ceh_net::{MsgClass, PortId};
+use ceh_obs::TraceCtx;
 use ceh_types::bucket::Bucket;
 use ceh_types::{BucketLink, DeleteOutcome, InsertOutcome, Key, PageId, Pseudokey, Record, Value};
 
@@ -80,6 +87,9 @@ pub struct OpEnvelope {
     /// The client's request id (flows through so the final `UserReply`
     /// can echo it).
     pub req_id: u64,
+    /// Trace context of the dispatch span this request runs under;
+    /// bucket slaves install it so core/lock spans nest beneath it.
+    pub ctx: TraceCtx,
 }
 
 /// All messages exchanged in the distributed system.
@@ -99,6 +109,9 @@ pub enum Msg {
         /// lost reply reuses the id, so the directory manager can return
         /// the recorded outcome instead of applying the operation twice.
         req_id: u64,
+        /// The client's per-request root span; everything the request
+        /// causes downstream nests under this trace.
+        ctx: TraceCtx,
     },
     /// Terminal reply to the user.
     UserReply {
@@ -144,6 +157,9 @@ pub enum Msg {
         outcome: Option<UserOutcome>,
         /// The directory modification itself.
         update: DirUpdate,
+        /// Context of the dispatch that caused the structural change;
+        /// replication traffic it triggers inherits this.
+        ctx: TraceCtx,
     },
     /// Directory manager → directory manager: apply this update to your
     /// replica and ack to `ack_port`. Re-sent on a timer until acked;
@@ -156,6 +172,8 @@ pub enum Msg {
         update_id: u64,
         /// Where to send the ack.
         ack_port: PortId,
+        /// Context of the request whose split/merge is being replicated.
+        ctx: TraceCtx,
     },
     /// Ack for `Copyupdate` (deferred at the replica until it has no
     /// requests in flight, for merge updates).
@@ -252,6 +270,8 @@ pub enum Msg {
         gc_id: u64,
         /// Where to send the ack.
         ack_port: PortId,
+        /// Context of the (last) merge that contributed the garbage.
+        ctx: TraceCtx,
     },
     /// Ack for `GarbageCollect`.
     GcAck {
@@ -312,6 +332,17 @@ impl MsgClass for Msg {
             Msg::Shutdown => "shutdown",
         }
     }
+
+    fn trace_ctx(&self) -> TraceCtx {
+        match self {
+            Msg::Request { ctx, .. }
+            | Msg::Update { ctx, .. }
+            | Msg::Copyupdate { ctx, .. }
+            | Msg::GarbageCollect { ctx, .. } => *ctx,
+            Msg::BucketOp(env) | Msg::Wrongbucket { env, .. } => env.ctx,
+            _ => TraceCtx::NONE,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +362,7 @@ mod tests {
             pseudokey: Pseudokey(0),
             attempt: 0,
             req_id: 0,
+            ctx: TraceCtx::NONE,
         };
         assert_eq!(Msg::BucketOp(env.clone()).class(), "find");
         let mut ins = env.clone();

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use ceh_locks::{LockId, LockManager, LockMode, OwnerId};
 use ceh_net::{PortId, SimNetwork};
-use ceh_obs::Counter;
+use ceh_obs::{Counter, MetricsHandle};
 use ceh_storage::{PageBuf, PageStore};
 use ceh_types::bucket::Bucket;
 use ceh_types::{HashFileConfig, ManagerId, PageId, Result};
@@ -63,6 +63,10 @@ pub(crate) struct Site {
     /// (`Splitbucket`, `MDReply`, `Goahead`) so a migrated bucket keeps
     /// its protection.
     pub fences: std::sync::Mutex<std::collections::HashMap<PortId, u64>>,
+    /// The cluster registry, for bucket-slave trace spans; slaves
+    /// install the envelope's [`ceh_obs::TraceCtx`] as the ambient
+    /// context so lock waits on this site nest under the request.
+    pub metrics: MetricsHandle,
 }
 
 impl Site {
@@ -182,6 +186,7 @@ pub(crate) mod tests {
             page_size: Bucket::page_size_for(cfg.bucket_capacity),
             ..Default::default()
         }));
+        let metrics = MetricsHandle::default();
         Arc::new(Site {
             id: ManagerId(id),
             store,
@@ -190,10 +195,11 @@ pub(crate) mod tests {
             page_quota: quota,
             all_managers: (0..managers).map(ManagerId).collect(),
             net: SimNetwork::default(),
-            recoveries: ceh_obs::MetricsHandle::default().counter("dist.recovery_hops"),
+            recoveries: metrics.counter("dist.recovery_hops"),
             reply_timeout: std::time::Duration::from_secs(30),
             seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),
             fences: std::sync::Mutex::new(std::collections::HashMap::new()),
+            metrics,
         })
     }
 

@@ -47,4 +47,4 @@ mod stats;
 pub use guard::LockGuard;
 pub use manager::{LockManager, LockManagerConfig, OwnerId};
 pub use mode::{compatible, LockId, LockMode};
-pub use stats::{LockStats, LockStatsSnapshot};
+pub use stats::{lock_trace_target, LockStats, LockStatsSnapshot};

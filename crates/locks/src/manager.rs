@@ -222,6 +222,7 @@ impl LockManager {
     /// holds nests. An owner holding *any* lock on the resource makes this
     /// a conversion-style request (queue bypass; see crate docs).
     pub fn lock(&self, owner: OwnerId, id: LockId, mode: LockMode) {
+        let target = crate::stats::lock_trace_target(id);
         let shard = self.shard(id);
         let mut state = shard.state.lock();
         let rs = state.entry(id).or_default();
@@ -233,7 +234,7 @@ impl LockManager {
             .find(|g| g.owner == owner && g.mode == mode)
         {
             g.count += 1;
-            self.stats.record_grant(mode, false);
+            self.stats.record_grant(mode, false, target);
             return;
         }
 
@@ -246,9 +247,9 @@ impl LockManager {
                 mode,
                 count: 1,
             });
-            self.stats.record_grant(mode, false);
+            self.stats.record_grant(mode, false, target);
             if is_conversion {
-                self.stats.record_conversion();
+                self.stats.record_conversion(target);
             }
             return;
         }
@@ -264,7 +265,7 @@ impl LockManager {
         } else {
             rs.queue.push(waiter);
         }
-        self.stats.record_wait_start(mode);
+        let wait_span = self.stats.record_wait_start(mode, target);
         let wait_started = Instant::now();
         loop {
             match self.watchdog {
@@ -276,7 +277,12 @@ impl LockManager {
                         let rs = state.get_mut(&id).expect("resource with waiter vanished");
                         if rs.grantable(owner, mode, is_conversion, ticket) {
                             Self::promote(rs, owner, mode, is_conversion, ticket);
-                            self.stats.record_wait_end(mode, wait_started.elapsed());
+                            self.stats.record_wait_end(
+                                wait_span,
+                                mode,
+                                target,
+                                wait_started.elapsed(),
+                            );
                             return;
                         }
                         drop(state);
@@ -296,9 +302,10 @@ impl LockManager {
             let rs = state.get_mut(&id).expect("resource with waiter vanished");
             if rs.grantable(owner, mode, is_conversion, ticket) {
                 Self::promote(rs, owner, mode, is_conversion, ticket);
-                self.stats.record_wait_end(mode, wait_started.elapsed());
+                self.stats
+                    .record_wait_end(wait_span, mode, target, wait_started.elapsed());
                 if is_conversion {
-                    self.stats.record_conversion();
+                    self.stats.record_conversion(target);
                 }
                 return;
             }
@@ -333,6 +340,7 @@ impl LockManager {
     /// granted. Respects the same fairness rules as [`LockManager::lock`]
     /// (it will not jump ahead of earlier waiters).
     pub fn try_lock(&self, owner: OwnerId, id: LockId, mode: LockMode) -> bool {
+        let target = crate::stats::lock_trace_target(id);
         let shard = self.shard(id);
         let mut state = shard.state.lock();
         let rs = state.entry(id).or_default();
@@ -342,7 +350,7 @@ impl LockManager {
             .find(|g| g.owner == owner && g.mode == mode)
         {
             g.count += 1;
-            self.stats.record_grant(mode, false);
+            self.stats.record_grant(mode, false, target);
             return true;
         }
         let is_conversion = rs.holds(owner);
@@ -353,7 +361,7 @@ impl LockManager {
                 mode,
                 count: 1,
             });
-            self.stats.record_grant(mode, false);
+            self.stats.record_grant(mode, false, target);
             true
         } else {
             if rs.is_empty() {
@@ -588,6 +596,48 @@ mod tests {
     use LockMode::*;
 
     const R: LockId = LockId::Page(PageId(1));
+
+    #[test]
+    fn contended_lock_emits_wait_span_with_mode_and_wait_ns() {
+        let metrics = ceh_obs::MetricsHandle::new();
+        metrics.tracer().enable(256);
+        let m = Arc::new(LockManager::with_metrics(
+            LockManagerConfig::default(),
+            &metrics,
+        ));
+        let a = m.new_owner();
+        m.lock(a, R, Xi);
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            let b = m2.new_owner();
+            m2.lock(b, R, Rho); // blocks until a releases ξ
+            m2.unlock(b, R, Rho);
+        });
+        thread::sleep(Duration::from_millis(20));
+        m.unlock(a, R, Xi);
+        waiter.join().unwrap();
+        let ev = metrics.tracer().drain();
+        let begin = ev
+            .iter()
+            .find(|e| {
+                e.layer == "locks" && e.event == "wait.rho" && e.kind == ceh_obs::EventKind::Begin
+            })
+            .expect("wait begin recorded");
+        let end = ev
+            .iter()
+            .find(|e| {
+                e.layer == "locks" && e.event == "wait.rho" && e.kind == ceh_obs::EventKind::End
+            })
+            .expect("wait end recorded");
+        assert_eq!(begin.span, end.span, "begin/end pair up");
+        assert_eq!(end.a, 1, "target is the encoded page id");
+        assert!(end.b > 0, "end carries the wait in nanoseconds");
+        assert!(
+            ev.iter()
+                .any(|e| e.layer == "locks" && e.event == "acquire.xi"),
+            "uncontended grants stamp acquire instants when traced"
+        );
+    }
 
     #[test]
     fn reentrant_same_mode() {

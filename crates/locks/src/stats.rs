@@ -13,15 +13,41 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ceh_obs::{Counter, Histogram, MetricsHandle};
+use ceh_obs::{Counter, Histogram, MetricsHandle, TraceCtx};
 
-use crate::mode::LockMode;
+use crate::mode::{LockId, LockMode};
 
 fn mode_idx(mode: LockMode) -> usize {
     match mode {
         LockMode::Rho => 0,
         LockMode::Alpha => 1,
         LockMode::Xi => 2,
+    }
+}
+
+fn acquire_event(mode: LockMode) -> &'static str {
+    match mode {
+        LockMode::Rho => "acquire.rho",
+        LockMode::Alpha => "acquire.alpha",
+        LockMode::Xi => "acquire.xi",
+    }
+}
+
+fn wait_event(mode: LockMode) -> &'static str {
+    match mode {
+        LockMode::Rho => "wait.rho",
+        LockMode::Alpha => "wait.alpha",
+        LockMode::Xi => "wait.xi",
+    }
+}
+
+/// Encode a lock target for trace-event payloads (`u64::MAX` is the
+/// directory, anything else a page id) — the inverse of
+/// `ceh_obs::lock_target_label`.
+pub fn lock_trace_target(id: LockId) -> u64 {
+    match id {
+        LockId::Directory => u64::MAX,
+        LockId::Page(p) => p.0,
     }
 }
 
@@ -36,6 +62,9 @@ pub struct LockStats {
     wait_hists: [Arc<Histogram>; 3],
     releases: Arc<Counter>,
     conversions: Arc<Counter>,
+    /// Kept for span probes (acquire/wait/convert trace events); a
+    /// disabled tracer makes each probe one relaxed atomic load.
+    handle: MetricsHandle,
 }
 
 impl Default for LockStats {
@@ -71,29 +100,72 @@ impl LockStats {
             ],
             releases: handle.counter("locks.releases"),
             conversions: handle.counter("locks.conversions"),
+            handle: handle.clone(),
         }
     }
 
-    pub(crate) fn record_grant(&self, mode: LockMode, _waited: bool) {
+    /// Stamp an instant against the ambient [`TraceCtx`] when one is
+    /// set, or as a free-standing (trace-0) event otherwise, so lock
+    /// activity stays visible in standalone runs too.
+    fn stamp(&self, event: &'static str, target: u64) {
+        let t = self.handle.tracer();
+        if !t.is_enabled() {
+            return;
+        }
+        let ctx = TraceCtx::current();
+        if ctx.is_none() {
+            t.record(ceh_obs::SpanId::NONE, "locks", event, target, 0);
+        } else {
+            t.instant(ctx, "locks", event, target, 0);
+        }
+    }
+
+    /// Record a grant, stamping a `locks.acquire.<mode>` instant.
+    pub(crate) fn record_grant(&self, mode: LockMode, _waited: bool, target: u64) {
         self.grants[mode_idx(mode)].inc();
+        self.stamp(acquire_event(mode), target);
     }
 
     pub(crate) fn record_release(&self, _mode: LockMode) {
         self.releases.inc();
     }
 
-    pub(crate) fn record_wait_start(&self, mode: LockMode) {
+    /// Open a `locks.wait.<mode>` span: the returned context must be
+    /// passed to [`LockStats::record_wait_end`]. Wait spans root their
+    /// own trace when no ambient context is set, so the contention
+    /// profile covers standalone (non-distributed) runs too.
+    pub(crate) fn record_wait_start(&self, mode: LockMode, target: u64) -> TraceCtx {
         self.waits[mode_idx(mode)].inc();
+        let t = self.handle.tracer();
+        if t.is_enabled() {
+            t.begin(TraceCtx::current(), "locks", wait_event(mode), target, 0)
+        } else {
+            TraceCtx::NONE
+        }
     }
 
-    pub(crate) fn record_wait_end(&self, mode: LockMode, elapsed: Duration) {
-        self.wait_hists[mode_idx(mode)].record(elapsed.as_nanos() as u64);
+    /// Close the wait span with the observed wait in `b` (nanoseconds);
+    /// `a` repeats the encoded target so the contention profile can be
+    /// built from `End` events alone.
+    pub(crate) fn record_wait_end(
+        &self,
+        wait: TraceCtx,
+        mode: LockMode,
+        target: u64,
+        elapsed: Duration,
+    ) {
+        let wait_ns = elapsed.as_nanos() as u64;
+        self.wait_hists[mode_idx(mode)].record(wait_ns);
         // The waited grant itself:
-        self.record_grant(mode, true);
+        self.record_grant(mode, true, target);
+        self.handle
+            .tracer()
+            .end(wait, "locks", wait_event(mode), target, wait_ns);
     }
 
-    pub(crate) fn record_conversion(&self) {
+    pub(crate) fn record_conversion(&self, target: u64) {
         self.conversions.inc();
+        self.stamp("convert", target);
     }
 
     /// The per-mode wait-latency histogram (p50/p99/max of individual
@@ -211,10 +283,10 @@ mod tests {
     #[test]
     fn snapshot_math() {
         let s = LockStats::new();
-        s.record_grant(LockMode::Rho, false);
-        s.record_grant(LockMode::Alpha, false);
-        s.record_wait_start(LockMode::Xi);
-        s.record_wait_end(LockMode::Xi, Duration::from_nanos(500));
+        s.record_grant(LockMode::Rho, false, 0);
+        s.record_grant(LockMode::Alpha, false, 0);
+        let w = s.record_wait_start(LockMode::Xi, 0);
+        s.record_wait_end(w, LockMode::Xi, 0, Duration::from_nanos(500));
         let snap = s.snapshot();
         assert_eq!(snap.total_grants(), 3);
         assert_eq!(snap.total_waits(), 1);
@@ -228,9 +300,9 @@ mod tests {
     fn shared_handle_sees_lock_metrics() {
         let handle = MetricsHandle::new();
         let s = LockStats::with_handle(&handle);
-        s.record_grant(LockMode::Rho, false);
-        s.record_wait_start(LockMode::Alpha);
-        s.record_wait_end(LockMode::Alpha, Duration::from_nanos(250));
+        s.record_grant(LockMode::Rho, false, 0);
+        let w = s.record_wait_start(LockMode::Alpha, 0);
+        s.record_wait_end(w, LockMode::Alpha, 0, Duration::from_nanos(250));
         s.record_release(LockMode::Rho);
         let m = handle.snapshot();
         assert_eq!(m.counter("locks.grants.rho"), 1);

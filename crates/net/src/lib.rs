@@ -37,5 +37,8 @@ mod stats;
 
 pub use fault::FaultPlan;
 pub use latency::LatencyModel;
-pub use network::{MsgClass, PortId, PortRx, RecvError, SimNetwork};
+pub use network::{
+    MsgClass, PortId, PortRx, RecvError, SimNetwork, TRACE_DELIVERED, TRACE_DROPPED,
+    TRACE_DUPLICATED, TRACE_SENT,
+};
 pub use stats::{MsgStats, MsgStatsSnapshot};

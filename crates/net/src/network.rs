@@ -19,7 +19,29 @@ use crate::stats::{MsgStats, MsgStatsSnapshot};
 pub trait MsgClass {
     /// The message's class label.
     fn class(&self) -> &'static str;
+
+    /// The causal context this message carries, if any. Messages that
+    /// embed a [`ceh_obs::TraceCtx`] (the distributed operation
+    /// envelope, replication and GC traffic) return it here so the
+    /// network can stamp send/deliver/drop/duplicate events against the
+    /// originating request's trace. The default — no context — keeps
+    /// plain message types working unchanged.
+    fn trace_ctx(&self) -> ceh_obs::TraceCtx {
+        ceh_obs::TraceCtx::NONE
+    }
 }
+
+/// `b` payload of a `net` trace event: the message was handed to the
+/// destination port (zero-latency path: send and delivery coincide).
+pub const TRACE_SENT: u64 = 0;
+/// `b` payload of a `net` trace event: the fault plane ate the message.
+pub const TRACE_DROPPED: u64 = 1;
+/// `b` payload of a `net` trace event: an injected duplicate will also
+/// be delivered.
+pub const TRACE_DUPLICATED: u64 = 2;
+/// `b` payload of a `net` trace event: a delayed message reached its
+/// destination (latency-model path only).
+pub const TRACE_DELIVERED: u64 = 3;
 
 /// A port identifier: the paper's "long-lived identifier for a manager
 /// port". Senders are anonymous — delivery carries no sender identity
@@ -43,6 +65,11 @@ struct Delayed<M> {
     delay: Duration,
     /// Send timestamp, for the `net.delivery_ns` latency histogram.
     sent_at: Instant,
+    /// Class and causal context captured at send time, so delivery can
+    /// be stamped against the originating trace without re-inspecting
+    /// the message.
+    class: &'static str,
+    ctx: ceh_obs::TraceCtx,
 }
 
 struct Inner<M> {
@@ -56,6 +83,8 @@ struct Inner<M> {
     latency: LatencyModel,
     sampler: parking_lot::Mutex<crate::latency::LatencySampler>,
     faults: parking_lot::Mutex<FaultState>,
+    /// For trace stamping; shares the registry every layer reports to.
+    metrics: ceh_obs::MetricsHandle,
 }
 
 impl<M> Inner<M> {
@@ -114,6 +143,7 @@ impl<M: Send + 'static> SimNetwork<M> {
             sampler: parking_lot::Mutex::new(latency.sampler()),
             latency,
             faults: parking_lot::Mutex::new(FaultState::default()),
+            metrics: metrics.clone(),
         });
 
         if let Some((_tx, rx)) = delay_tx {
@@ -237,13 +267,23 @@ impl<M: Send + MsgClass + Clone + 'static> SimNetwork<M> {
                 faults.verdict(class, to)
             }
         };
+        let tracer = self.inner.metrics.tracer();
+        let ctx = if tracer.is_enabled() {
+            msg.trace_ctx()
+        } else {
+            ceh_obs::TraceCtx::NONE
+        };
         match verdict {
             Verdict::Drop => {
                 self.inner.stats.record_dropped(class);
+                tracer.instant(ctx, "net", class, to.0, TRACE_DROPPED);
                 return true;
             }
-            Verdict::Duplicate => self.inner.stats.record_duplicated(class),
-            Verdict::Deliver => {}
+            Verdict::Duplicate => {
+                self.inner.stats.record_duplicated(class);
+                tracer.instant(ctx, "net", class, to.0, TRACE_DUPLICATED);
+            }
+            Verdict::Deliver => tracer.instant(ctx, "net", class, to.0, TRACE_SENT),
         }
         match &self.inner.delay_tx {
             None => {
@@ -264,6 +304,8 @@ impl<M: Send + MsgClass + Clone + 'static> SimNetwork<M> {
                         msg: msg.clone(),
                         delay,
                         sent_at,
+                        class,
+                        ctx,
                     });
                 }
                 let delay =
@@ -273,6 +315,8 @@ impl<M: Send + MsgClass + Clone + 'static> SimNetwork<M> {
                     msg,
                     delay,
                     sent_at,
+                    class,
+                    ctx,
                 })
                 .is_ok()
             }
@@ -314,6 +358,13 @@ fn delay_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, net: Weak<Inner<M>>) 
             inner
                 .stats
                 .record_delivery_ns(d.item.sent_at.elapsed().as_nanos() as u64);
+            inner.metrics.tracer().instant(
+                d.item.ctx,
+                "net",
+                d.item.class,
+                d.item.to.0,
+                TRACE_DELIVERED,
+            );
             inner.deliver(d.item.to, d.item.msg);
         }
         // Wait for the next arrival or the next due time.
@@ -330,6 +381,13 @@ fn delay_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, net: Weak<Inner<M>>) 
                             inner
                                 .stats
                                 .record_delivery_ns(d.item.sent_at.elapsed().as_nanos() as u64);
+                            inner.metrics.tracer().instant(
+                                d.item.ctx,
+                                "net",
+                                d.item.class,
+                                d.item.to.0,
+                                TRACE_DELIVERED,
+                            );
                             inner.deliver(d.item.to, d.item.msg);
                         }
                         return;
@@ -638,6 +696,52 @@ mod tests {
         net.heal_one_way("odd", a);
         net.send(a, TestMsg(5));
         assert_eq!(ra.recv().unwrap(), TestMsg(5));
+    }
+
+    #[test]
+    fn traced_messages_are_stamped_on_send_drop_and_delivery() {
+        #[derive(Debug, Clone)]
+        struct Traced(u32, ceh_obs::TraceCtx);
+        impl MsgClass for Traced {
+            fn class(&self) -> &'static str {
+                "op"
+            }
+            fn trace_ctx(&self) -> ceh_obs::TraceCtx {
+                self.1
+            }
+        }
+        let metrics = ceh_obs::MetricsHandle::new();
+        metrics.tracer().enable(64);
+        let net: SimNetwork<Traced> = SimNetwork::with_metrics(LatencyModel::none(), &metrics);
+        let ctx = metrics.trace_begin(ceh_obs::TraceCtx::NONE, "dist", "request", 0, 0);
+        let (id, rx) = net.create_port();
+        net.send(id, Traced(1, ctx));
+        assert_eq!(rx.recv().unwrap().0, 1);
+        net.set_fault_plan(Some(FaultPlan::new(3).drop_all(1.0)));
+        net.send(id, Traced(2, ctx));
+        net.set_fault_plan(None);
+        // Untraced messages produce no events.
+        net.send(id, Traced(3, ceh_obs::TraceCtx::NONE));
+        let ev = metrics.tracer().drain();
+        let net_ev: Vec<_> = ev.iter().filter(|e| e.layer == "net").collect();
+        assert_eq!(net_ev.len(), 2);
+        assert!(net_ev.iter().all(|e| e.trace == ctx.trace_id));
+        assert_eq!(net_ev[0].event, "op");
+        assert_eq!(net_ev[0].b, TRACE_SENT);
+        assert_eq!(net_ev[1].b, TRACE_DROPPED);
+
+        // Latency path: delivery is stamped too.
+        metrics.tracer().enable(64);
+        let net: SimNetwork<Traced> =
+            SimNetwork::with_metrics(LatencyModel::fixed(Duration::from_millis(1)), &metrics);
+        let ctx = metrics.trace_begin(ceh_obs::TraceCtx::NONE, "dist", "request", 0, 0);
+        let (id, rx) = net.create_port();
+        net.send(id, Traced(9, ctx));
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let ev = metrics.tracer().drain();
+        assert!(ev
+            .iter()
+            .any(|e| e.layer == "net" && e.b == TRACE_DELIVERED && e.trace == ctx.trace_id));
     }
 
     #[test]

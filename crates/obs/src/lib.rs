@@ -15,8 +15,12 @@
 //!   lock-free recording, mergeable, with one percentile definition
 //!   (nearest rank, reported as the bucket's lower bound clamped to the
 //!   observed min/max) shared by every consumer;
-//! * [`Tracer`] — a bounded ring buffer of [`TraceEvent`]s with per-op
-//!   span ids, disabled by default (one relaxed atomic load per probe);
+//! * [`Tracer`] — a bounded ring buffer of [`TraceEvent`]s with
+//!   begin/end spans and a propagable [`TraceCtx`], disabled by default
+//!   (one relaxed atomic load per probe);
+//! * [`TraceReport`] — reassembles drained events into per-trace span
+//!   trees and renders them as an indented timeline, Chrome
+//!   trace-format JSON, or a lock-contention profile;
 //! * [`MetricsHandle`] — a cheaply clonable handle to a shared
 //!   [registry](MetricsHandle::snapshot) of named metrics. Layers
 //!   resolve their named instruments once at construction and hold the
@@ -52,9 +56,11 @@ pub mod json;
 mod registry;
 mod report;
 mod trace;
+mod trace_report;
 
 pub use counter::{Counter, Gauge};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{MetricsHandle, MetricsSnapshot};
 pub use report::RunReport;
-pub use trace::{SpanId, TraceEvent, Tracer};
+pub use trace::{CtxScope, EventKind, SpanId, TraceCtx, TraceEvent, Tracer};
+pub use trace_report::{lock_target_label, ContentionEntry, Span, TraceReport, TraceTree};

@@ -5,7 +5,7 @@ use std::sync::{Arc, RwLock};
 
 use crate::counter::{Counter, Gauge};
 use crate::hist::{Histogram, HistogramSnapshot};
-use crate::trace::{SpanId, Tracer};
+use crate::trace::{SpanId, TraceCtx, Tracer};
 
 #[derive(Default)]
 struct Registry {
@@ -106,6 +106,45 @@ impl MetricsHandle {
     #[inline]
     pub fn trace(&self, span: SpanId, layer: &'static str, event: &'static str, a: u64, b: u64) {
         self.reg.tracer.record(span, layer, event, a, b);
+    }
+
+    /// Open a span under `ctx` (shorthand for `tracer().begin(..)`).
+    #[inline]
+    pub fn trace_begin(
+        &self,
+        ctx: TraceCtx,
+        layer: &'static str,
+        event: &'static str,
+        a: u64,
+        b: u64,
+    ) -> TraceCtx {
+        self.reg.tracer.begin(ctx, layer, event, a, b)
+    }
+
+    /// Close the span `ctx` was returned for by [`MetricsHandle::trace_begin`].
+    #[inline]
+    pub fn trace_end(
+        &self,
+        ctx: TraceCtx,
+        layer: &'static str,
+        event: &'static str,
+        a: u64,
+        b: u64,
+    ) {
+        self.reg.tracer.end(ctx, layer, event, a, b);
+    }
+
+    /// Record a point-in-time event inside `ctx`'s span.
+    #[inline]
+    pub fn trace_instant(
+        &self,
+        ctx: TraceCtx,
+        layer: &'static str,
+        event: &'static str,
+        a: u64,
+        b: u64,
+    ) {
+        self.reg.tracer.instant(ctx, layer, event, a, b);
     }
 
     /// A point-in-time copy of every registered metric. Counters are

@@ -20,6 +20,11 @@ pub struct RunReport {
     pub meta: BTreeMap<String, String>,
     /// The metrics snapshot.
     pub metrics: MetricsSnapshot,
+    /// Trace events buffered in the tracer ring at collection time.
+    pub trace_buffered: u64,
+    /// Trace events overwritten by ring overflow — nonzero means any
+    /// trace assembled from this run is missing its oldest events.
+    pub trace_dropped: u64,
 }
 
 impl RunReport {
@@ -29,6 +34,8 @@ impl RunReport {
             name: name.to_string(),
             meta: BTreeMap::new(),
             metrics: handle.snapshot(),
+            trace_buffered: handle.tracer().len() as u64,
+            trace_dropped: handle.tracer().dropped(),
         }
     }
 
@@ -91,6 +98,13 @@ impl RunReport {
                     .collect(),
             ),
         );
+        let mut trace = BTreeMap::new();
+        trace.insert(
+            "buffered".to_string(),
+            Json::Num(self.trace_buffered as f64),
+        );
+        trace.insert("dropped".to_string(), Json::Num(self.trace_dropped as f64));
+        root.insert("trace".to_string(), Json::Obj(trace));
         Json::Obj(root)
     }
 
@@ -108,6 +122,18 @@ impl RunReport {
         out.push_str(&format!("=== run report: {} ===\n", self.name));
         for (k, v) in &self.meta {
             out.push_str(&format!("  {} = {}\n", k, v));
+        }
+        if self.trace_buffered > 0 || self.trace_dropped > 0 {
+            out.push_str(&format!(
+                "  tracer: {} events buffered, {} overwritten{}\n",
+                self.trace_buffered,
+                self.trace_dropped,
+                if self.trace_dropped > 0 {
+                    " (traces truncated!)"
+                } else {
+                    ""
+                }
+            ));
         }
 
         let mut groups: BTreeMap<&str, Vec<String>> = BTreeMap::new();
@@ -221,6 +247,25 @@ mod tests {
         let core_at = table.find("[core]").unwrap();
         let locks_at = table.find("[locks]").unwrap();
         assert!(core_at < locks_at, "layer order is fixed");
+    }
+
+    #[test]
+    fn trace_buffered_and_dropped_surface_in_json_and_table() {
+        let h = MetricsHandle::new();
+        h.tracer().enable(2);
+        for i in 0..5u64 {
+            h.trace(crate::SpanId(i), "x", "e", i, 0);
+        }
+        let report = RunReport::collect("t", &h);
+        assert_eq!(report.trace_buffered, 2);
+        assert_eq!(report.trace_dropped, 3);
+        let doc = parse(&report.to_json()).unwrap();
+        let trace = doc.get("trace").unwrap();
+        assert_eq!(trace.get("buffered").unwrap().as_u64(), Some(2));
+        assert_eq!(trace.get("dropped").unwrap().as_u64(), Some(3));
+        let table = report.to_table();
+        assert!(table.contains("2 events buffered"));
+        assert!(table.contains("traces truncated!"));
     }
 
     #[test]

@@ -1,22 +1,29 @@
-//! The bounded ring-buffer event tracer.
+//! The bounded ring-buffer event tracer and causal-trace context.
 //!
 //! Counters say *how much*; the tracer says *in what order*. Each
-//! logical operation takes a [`SpanId`] and stamps [`TraceEvent`]s
-//! against it (op start, wrong-bucket recovery, split, merge, message
-//! send, …), so a post-mortem can reconstruct one operation's path
-//! through locks, storage, and the network.
+//! logical operation opens a span ([`Tracer::begin`]) and closes it
+//! ([`Tracer::end`]); nested work opens child spans under the parent's
+//! [`TraceCtx`], and one-off facts land as [`Tracer::instant`] events.
+//! Because a `TraceCtx` is two plain integers it can ride inside
+//! network messages, so a request's causal chain — client send,
+//! directory-manager dispatch, bucket-slave execution, wrong-bucket
+//! hops, reply — reassembles under a single `trace_id` even when the
+//! hops ran on different sites (see [`crate::TraceReport`]).
 //!
 //! Disabled by default: a disabled probe is one relaxed atomic load.
 //! When enabled, events land in a bounded ring — the newest
 //! `capacity` events win, older ones are overwritten — so tracing
-//! never grows memory without bound under load.
+//! never grows memory without bound under load. Overwrites are counted
+//! ([`Tracer::dropped`]) and surfaced in [`crate::RunReport`], so a
+//! truncated trace is never silently trusted.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Identifies one logical operation across layers.
+/// Identifies one span (one timed region of one logical operation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SpanId(pub u64);
 
@@ -25,16 +32,108 @@ impl SpanId {
     pub const NONE: SpanId = SpanId(0);
 }
 
+/// The causal context one unit of work runs under: which trace it
+/// belongs to and which span new child spans should attach to.
+///
+/// A `TraceCtx` is deliberately two plain `u64`s so it can be embedded
+/// in message structs and copied across thread and (simulated) site
+/// boundaries for free. `trace_id` is the span id of the trace's root
+/// span; `trace_id == 0` means "not traced" ([`TraceCtx::NONE`]) and
+/// costs nothing to carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// The originating request's trace (0 = untraced).
+    pub trace_id: u64,
+    /// The span new children of this context attach under.
+    pub parent_span: SpanId,
+}
+
+thread_local! {
+    static CURRENT_CTX: Cell<TraceCtx> = const { Cell::new(TraceCtx::NONE) };
+}
+
+impl TraceCtx {
+    /// The "not traced" context. Probes given this context are no-ops.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        parent_span: SpanId::NONE,
+    };
+
+    /// Is this the untraced sentinel?
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// The calling thread's ambient context (set by [`TraceCtx::scope`]).
+    ///
+    /// Layers that cannot thread a context through their API (the lock
+    /// manager, the in-process hash file) read this instead, so their
+    /// spans still nest under the distributed operation that invoked
+    /// them.
+    #[inline]
+    pub fn current() -> TraceCtx {
+        CURRENT_CTX.with(|c| c.get())
+    }
+
+    /// Install `self` as the calling thread's ambient context until the
+    /// returned guard drops (the previous context is then restored).
+    pub fn scope(self) -> CtxScope {
+        let prev = CURRENT_CTX.with(|c| c.replace(self));
+        CtxScope { prev }
+    }
+
+    /// The context child work should run under once `span` is open.
+    #[inline]
+    pub fn child(&self, span: SpanId) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            parent_span: span,
+        }
+    }
+}
+
+/// Guard restoring the previous ambient [`TraceCtx`] on drop.
+#[must_use = "dropping the scope immediately restores the previous context"]
+pub struct CtxScope {
+    prev: TraceCtx,
+}
+
+impl Drop for CtxScope {
+    fn drop(&mut self) {
+        CURRENT_CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// What a [`TraceEvent`] marks: a span opening, a span closing, or a
+/// point-in-time fact inside a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`span` is new; `parent` is the enclosing span).
+    Begin,
+    /// A span closed (`span` names the span opened by the matching
+    /// [`EventKind::Begin`]).
+    End,
+    /// A point-in-time event attributed to `span`.
+    Instant,
+}
+
 /// One traced event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// The operation this event belongs to ([`SpanId::NONE`] if none).
+    /// The originating request's trace id (0 = untraced/standalone).
+    pub trace: u64,
+    /// The span this event belongs to ([`SpanId::NONE`] if none).
     pub span: SpanId,
+    /// For [`EventKind::Begin`]: the enclosing span (NONE for roots).
+    pub parent: SpanId,
+    /// Begin / End / Instant.
+    pub kind: EventKind,
     /// Nanoseconds since the tracer was created.
     pub at_ns: u64,
     /// Owning layer ("core", "locks", "net", …).
     pub layer: &'static str,
-    /// What happened ("find.start", "split", "redrive", …).
+    /// What happened ("find", "split", "redrive", …).
     pub event: &'static str,
     /// Event-specific detail (a page id, a hop count, …).
     pub a: u64,
@@ -78,12 +177,23 @@ impl Tracer {
     }
 
     /// Start recording, keeping the newest `capacity` events.
+    ///
+    /// Contract: `enable` is idempotent. Re-enabling with the same
+    /// capacity (enabled or not) keeps the buffered events and the
+    /// `dropped` count — a second subsystem calling `enable` cannot
+    /// silently discard another's trace. Only an actual capacity
+    /// *change* resizes the ring, which clears the buffer and resets
+    /// `dropped` (the old contents no longer describe the ring's
+    /// bound). Use [`Tracer::drain`] to explicitly empty the ring.
     pub fn enable(&self, capacity: usize) {
+        let capacity = capacity.max(1);
         {
             let mut r = self.ring.lock().expect("tracer ring");
-            r.capacity = capacity.max(1);
-            r.buf.clear();
-            r.dropped = 0;
+            if r.capacity != capacity {
+                r.capacity = capacity;
+                r.buf.clear();
+                r.dropped = 0;
+            }
         }
         self.enabled.store(true, Ordering::Release);
     }
@@ -107,31 +217,112 @@ impl Tracer {
         SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Record one event (no-op while disabled).
+    /// Record one free-standing instant event (no-op while disabled).
+    /// Legacy probe shape: untraced, attributed only to `span`.
     #[inline]
     pub fn record(&self, span: SpanId, layer: &'static str, event: &'static str, a: u64, b: u64) {
         if !self.is_enabled() {
             return;
         }
-        self.record_slow(span, layer, event, a, b);
-    }
-
-    #[cold]
-    fn record_slow(&self, span: SpanId, layer: &'static str, event: &'static str, a: u64, b: u64) {
-        let at_ns = self.epoch.elapsed().as_nanos() as u64;
-        let mut r = self.ring.lock().expect("tracer ring");
-        if r.buf.len() == r.capacity {
-            r.buf.pop_front();
-            r.dropped += 1;
-        }
-        r.buf.push_back(TraceEvent {
+        self.record_slow(TraceEvent {
+            trace: 0,
             span,
-            at_ns,
+            parent: SpanId::NONE,
+            kind: EventKind::Instant,
+            at_ns: 0,
             layer,
             event,
             a,
             b,
         });
+    }
+
+    /// Open a span under `ctx` and return the context its children
+    /// (and its matching [`Tracer::end`]) should use.
+    ///
+    /// With `ctx == TraceCtx::NONE` the new span becomes a trace
+    /// *root*: its `trace_id` is its own span id. While disabled this
+    /// returns `TraceCtx::NONE`, so downstream probes stay free.
+    #[inline]
+    pub fn begin(
+        &self,
+        ctx: TraceCtx,
+        layer: &'static str,
+        event: &'static str,
+        a: u64,
+        b: u64,
+    ) -> TraceCtx {
+        if !self.is_enabled() {
+            return TraceCtx::NONE;
+        }
+        let span = self.new_span();
+        let trace = if ctx.is_none() { span.0 } else { ctx.trace_id };
+        self.record_slow(TraceEvent {
+            trace,
+            span,
+            parent: ctx.parent_span,
+            kind: EventKind::Begin,
+            at_ns: 0,
+            layer,
+            event,
+            a,
+            b,
+        });
+        TraceCtx {
+            trace_id: trace,
+            parent_span: span,
+        }
+    }
+
+    /// Close the span `ctx` was returned for by [`Tracer::begin`].
+    /// No-op while disabled or when `ctx` is the untraced sentinel.
+    #[inline]
+    pub fn end(&self, ctx: TraceCtx, layer: &'static str, event: &'static str, a: u64, b: u64) {
+        if !self.is_enabled() || ctx.parent_span == SpanId::NONE {
+            return;
+        }
+        self.record_slow(TraceEvent {
+            trace: ctx.trace_id,
+            span: ctx.parent_span,
+            parent: SpanId::NONE,
+            kind: EventKind::End,
+            at_ns: 0,
+            layer,
+            event,
+            a,
+            b,
+        });
+    }
+
+    /// Record a point-in-time event inside `ctx`'s current span.
+    /// No-op while disabled or when `ctx` is the untraced sentinel.
+    #[inline]
+    pub fn instant(&self, ctx: TraceCtx, layer: &'static str, event: &'static str, a: u64, b: u64) {
+        if !self.is_enabled() || ctx.is_none() {
+            return;
+        }
+        self.record_slow(TraceEvent {
+            trace: ctx.trace_id,
+            span: ctx.parent_span,
+            parent: SpanId::NONE,
+            kind: EventKind::Instant,
+            at_ns: 0,
+            layer,
+            event,
+            a,
+            b,
+        });
+    }
+
+    #[cold]
+    fn record_slow(&self, mut ev: TraceEvent) {
+        ev.at_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut r = self.ring.lock().expect("tracer ring");
+        if r.buf.len() == r.capacity {
+            r.buf.pop_front();
+            r.dropped += 1;
+        }
+        r.buf.push_back(ev);
     }
 
     /// Take every buffered event (oldest first), leaving the ring empty.
@@ -174,6 +365,10 @@ mod tests {
     fn disabled_tracer_records_nothing() {
         let t = Tracer::new();
         t.record(SpanId::NONE, "core", "find.start", 0, 0);
+        let ctx = t.begin(TraceCtx::NONE, "core", "find", 0, 0);
+        assert!(ctx.is_none(), "disabled begin returns the sentinel");
+        t.end(ctx, "core", "find", 0, 0);
+        t.instant(ctx, "core", "hop", 0, 0);
         assert!(t.is_empty());
         assert!(!t.is_enabled());
     }
@@ -215,5 +410,104 @@ mod tests {
         let b = t.new_span();
         assert_ne!(a, b);
         assert_ne!(a, SpanId::NONE);
+    }
+
+    #[test]
+    fn reenable_same_capacity_keeps_buffer_and_dropped() {
+        let t = Tracer::new();
+        t.enable(2);
+        t.record(SpanId(1), "x", "a", 0, 0);
+        t.record(SpanId(2), "x", "b", 0, 0);
+        t.record(SpanId(3), "x", "c", 0, 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        t.enable(2); // idempotent: nothing lost
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        t.disable();
+        t.enable(2); // re-enable after disable also keeps the buffer
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        t.enable(8); // a capacity *change* resizes and clears
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn begin_roots_and_nests() {
+        let t = Tracer::new();
+        t.enable(64);
+        let root = t.begin(TraceCtx::NONE, "dist", "request", 1, 0);
+        assert_eq!(root.trace_id, root.parent_span.0, "root trace = own span");
+        let child = t.begin(root, "core", "find", 2, 0);
+        assert_eq!(child.trace_id, root.trace_id);
+        t.instant(child, "core", "hop", 3, 0);
+        t.end(child, "core", "find", 2, 0);
+        t.end(root, "dist", "request", 1, 0);
+        let ev = t.drain();
+        assert_eq!(ev.len(), 5);
+        assert_eq!(ev[0].kind, EventKind::Begin);
+        assert_eq!(ev[0].parent, SpanId::NONE);
+        assert_eq!(ev[1].parent, root.parent_span, "child nests under root");
+        assert!(ev.iter().all(|e| e.trace == root.trace_id));
+        assert_eq!(ev[2].kind, EventKind::Instant);
+        assert_eq!(ev[2].span, child.parent_span);
+        assert_eq!(ev[4].kind, EventKind::End);
+        assert_eq!(ev[4].span, root.parent_span);
+    }
+
+    #[test]
+    fn ambient_ctx_scopes_nest_and_restore() {
+        assert!(TraceCtx::current().is_none());
+        let a = TraceCtx {
+            trace_id: 7,
+            parent_span: SpanId(7),
+        };
+        {
+            let _g = a.scope();
+            assert_eq!(TraceCtx::current(), a);
+            let b = a.child(SpanId(9));
+            {
+                let _g2 = b.scope();
+                assert_eq!(TraceCtx::current(), b);
+            }
+            assert_eq!(TraceCtx::current(), a);
+        }
+        assert!(TraceCtx::current().is_none());
+    }
+
+    #[test]
+    fn threads_preserve_per_span_order_and_monotone_time() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const EVENTS: u64 = 200;
+        let t = Arc::new(Tracer::new());
+        t.enable((THREADS * EVENTS) as usize);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let s = t.new_span();
+                    for i in 0..EVENTS {
+                        t.record(s, "test", "tick", i, 0);
+                    }
+                    s
+                })
+            })
+            .collect();
+        let spans: Vec<SpanId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(t.dropped(), 0, "ring sized to hold every event");
+        let ev = t.drain();
+        assert_eq!(ev.len(), (THREADS * EVENTS) as usize);
+        for s in spans {
+            let mine: Vec<&TraceEvent> = ev.iter().filter(|e| e.span == s).collect();
+            assert_eq!(mine.len(), EVENTS as usize);
+            for (i, e) in mine.iter().enumerate() {
+                assert_eq!(e.a, i as u64, "per-span order preserved in drain");
+            }
+            for w in mine.windows(2) {
+                assert!(w[0].at_ns <= w[1].at_ns, "at_ns monotone within a span");
+            }
+        }
     }
 }

@@ -1,0 +1,596 @@
+//! Trace reassembly and export: per-trace span trees, an indented
+//! text timeline, Chrome trace-format JSON, and a lock-contention
+//! profile.
+//!
+//! Input is the flat event stream a [`crate::Tracer`] buffered
+//! (typically drained through `Cluster::trace_report()` in `ceh-dist`,
+//! which merges every site's probes because all sites share one
+//! registry). [`TraceReport::from_events`] groups events by `trace`,
+//! matches `Begin`/`End` pairs back into spans, and hangs instants off
+//! the span they were recorded under. The result can be rendered three
+//! ways:
+//!
+//! * [`TraceReport::to_timeline`] — an indented, human-readable
+//!   timeline per trace (what `ceh trace` prints);
+//! * [`TraceReport::to_chrome_json`] — Chrome trace-format JSON,
+//!   loadable in `chrome://tracing` or Perfetto (`pid` = trace id,
+//!   `tid` = span id), validated by `schemas/trace.schema.json`;
+//! * [`TraceReport::contention_table`] — lock targets ranked by total
+//!   wait, attributed to the operation kind the lock mode implies
+//!   (ρ → find, α → insert, ξ → delete/merge).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::json::{self, Json};
+use crate::trace::{EventKind, SpanId, TraceEvent};
+
+/// One reconstructed span: a `Begin`/`End` pair plus its instants.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// The span's id.
+    pub id: SpanId,
+    /// The enclosing span ([`SpanId::NONE`] for trace roots).
+    pub parent: SpanId,
+    /// Owning layer, from the `Begin` event.
+    pub layer: &'static str,
+    /// Span name, from the `Begin` event.
+    pub event: &'static str,
+    /// `Begin` detail payload.
+    pub a: u64,
+    /// Second `Begin` detail payload.
+    pub b: u64,
+    /// When the span opened (tracer-epoch nanoseconds).
+    pub start_ns: u64,
+    /// When the span closed; `None` if the `End` never arrived (the
+    /// operation was cut off, or the `End` was overwritten in the ring).
+    pub end_ns: Option<u64>,
+    /// `End` detail payload (0 until the span closes).
+    pub end_a: u64,
+    /// Second `End` detail payload.
+    pub end_b: u64,
+    /// Point-in-time events recorded under this span, in ring order.
+    pub instants: Vec<TraceEvent>,
+}
+
+impl Span {
+    /// Span duration, if it closed.
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.end_ns.map(|e| e.saturating_sub(self.start_ns))
+    }
+}
+
+/// Every span and loose event sharing one `trace_id`.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace id (the root span's id; 0 groups untraced events).
+    pub trace_id: u64,
+    /// All spans of the trace, ordered by start time.
+    pub spans: Vec<Span>,
+    /// Instants whose span had no `Begin` in the buffer (e.g. the ring
+    /// overwrote it, or a legacy `record` probe outside any span).
+    pub loose: Vec<TraceEvent>,
+}
+
+impl TraceTree {
+    /// Spans with no parent in this trace (normally exactly one: the
+    /// originating client request).
+    pub fn root_spans(&self) -> Vec<&Span> {
+        let known: HashMap<SpanId, ()> = self.spans.iter().map(|s| (s.id, ())).collect();
+        self.spans
+            .iter()
+            .filter(|s| s.parent == SpanId::NONE || !known.contains_key(&s.parent))
+            .collect()
+    }
+
+    /// Look up a span by id.
+    pub fn span(&self, id: SpanId) -> Option<&Span> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Does any span or instant in this trace match `layer`/`event`?
+    pub fn has_event(&self, layer: &str, event: &str) -> bool {
+        self.spans
+            .iter()
+            .any(|s| s.layer == layer && s.event == event)
+            || self
+                .spans
+                .iter()
+                .flat_map(|s| s.instants.iter())
+                .chain(self.loose.iter())
+                .any(|e| e.layer == layer && e.event == event)
+    }
+}
+
+/// One row of the lock-contention profile: a lock target × mode,
+/// ranked by total wait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentionEntry {
+    /// Encoded lock target (`u64::MAX` = the directory, else a page).
+    pub target: u64,
+    /// Lock mode waited in ("rho", "alpha", "xi").
+    pub mode: &'static str,
+    /// The operation kind the mode implies ("find", "insert",
+    /// "delete/merge") — the paper's ρ/α/ξ discipline ties each mode
+    /// to one mutation class.
+    pub op_kind: &'static str,
+    /// Number of waits observed.
+    pub waits: u64,
+    /// Total nanoseconds spent waiting.
+    pub total_ns: u64,
+    /// Longest single wait in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Human label for an encoded lock target.
+pub fn lock_target_label(target: u64) -> String {
+    if target == u64::MAX {
+        "directory".to_string()
+    } else {
+        format!("page:{target}")
+    }
+}
+
+/// Reassembled traces, ready for rendering or assertions.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    traces: Vec<TraceTree>,
+    /// Events overwritten in the ring before the drain; nonzero means
+    /// the trees below may be missing their oldest events.
+    pub dropped: u64,
+    /// Total events the report was built from.
+    pub total_events: usize,
+}
+
+impl TraceReport {
+    /// Reassemble trees from a drained event stream. `dropped` is the
+    /// tracer's overwrite count at drain time; it is carried into the
+    /// report (and its renderings) so truncation stays visible.
+    pub fn from_events(events: Vec<TraceEvent>, dropped: u64) -> TraceReport {
+        let total_events = events.len();
+        // trace id -> (span id -> span), insertion-ordered loose events.
+        let mut spans: BTreeMap<u64, Vec<Span>> = BTreeMap::new();
+        let mut loose: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+        let mut index: HashMap<(u64, SpanId), usize> = HashMap::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::Begin => {
+                    let list = spans.entry(ev.trace).or_default();
+                    index.insert((ev.trace, ev.span), list.len());
+                    list.push(Span {
+                        id: ev.span,
+                        parent: ev.parent,
+                        layer: ev.layer,
+                        event: ev.event,
+                        a: ev.a,
+                        b: ev.b,
+                        start_ns: ev.at_ns,
+                        end_ns: None,
+                        end_a: 0,
+                        end_b: 0,
+                        instants: Vec::new(),
+                    });
+                }
+                EventKind::End => {
+                    if let Some(&i) = index.get(&(ev.trace, ev.span)) {
+                        let s = &mut spans.get_mut(&ev.trace).expect("indexed trace")[i];
+                        s.end_ns = Some(ev.at_ns);
+                        s.end_a = ev.a;
+                        s.end_b = ev.b;
+                    } else {
+                        loose.entry(ev.trace).or_default().push(ev);
+                    }
+                }
+                EventKind::Instant => {
+                    if let Some(&i) = index.get(&(ev.trace, ev.span)) {
+                        spans.get_mut(&ev.trace).expect("indexed trace")[i]
+                            .instants
+                            .push(ev);
+                    } else {
+                        loose.entry(ev.trace).or_default().push(ev);
+                    }
+                }
+            }
+        }
+        let ids: Vec<u64> = spans.keys().chain(loose.keys()).copied().collect();
+        let mut traces = Vec::new();
+        for id in ids {
+            if traces.iter().any(|t: &TraceTree| t.trace_id == id) {
+                continue;
+            }
+            let mut tree = TraceTree {
+                trace_id: id,
+                spans: spans.remove(&id).unwrap_or_default(),
+                loose: loose.remove(&id).unwrap_or_default(),
+            };
+            tree.spans.sort_by_key(|s| (s.start_ns, s.id));
+            traces.push(tree);
+        }
+        TraceReport {
+            traces,
+            dropped,
+            total_events,
+        }
+    }
+
+    /// The reassembled traces, ordered by trace id (trace 0, when
+    /// present, groups untraced/legacy events).
+    pub fn traces(&self) -> &[TraceTree] {
+        &self.traces
+    }
+
+    /// Look up one trace by id.
+    pub fn trace(&self, id: u64) -> Option<&TraceTree> {
+        self.traces.iter().find(|t| t.trace_id == id)
+    }
+
+    /// An indented per-trace timeline (what `ceh trace` prints).
+    /// Times are microseconds since the tracer epoch.
+    pub fn to_timeline(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# trace report: {} events, {} traces, {} overwritten in ring\n",
+            self.total_events,
+            self.traces.iter().filter(|t| t.trace_id != 0).count(),
+            self.dropped,
+        ));
+        if self.dropped > 0 {
+            out.push_str("# WARNING: ring overflow — oldest events were overwritten; trees may be incomplete\n");
+        }
+        for tree in &self.traces {
+            if tree.trace_id == 0 {
+                out.push_str(&format!(
+                    "\nuntraced events: {} spans, {} loose\n",
+                    tree.spans.len(),
+                    tree.loose.len()
+                ));
+                continue;
+            }
+            out.push_str(&format!(
+                "\ntrace {} — {} spans\n",
+                tree.trace_id,
+                tree.spans.len()
+            ));
+            let mut children: HashMap<SpanId, Vec<usize>> = HashMap::new();
+            let known: HashMap<SpanId, ()> = tree.spans.iter().map(|s| (s.id, ())).collect();
+            let mut roots = Vec::new();
+            for (i, s) in tree.spans.iter().enumerate() {
+                if s.parent != SpanId::NONE && known.contains_key(&s.parent) {
+                    children.entry(s.parent).or_default().push(i);
+                } else {
+                    roots.push(i);
+                }
+            }
+            for r in roots {
+                Self::render_span(&mut out, tree, &children, r, 1);
+            }
+            for ev in &tree.loose {
+                out.push_str(&format!(
+                    "  ~ [{:>10.1}us] {}.{} (a={}, b={})\n",
+                    ev.at_ns as f64 / 1e3,
+                    ev.layer,
+                    ev.event,
+                    ev.a,
+                    ev.b
+                ));
+            }
+        }
+        out
+    }
+
+    fn render_span(
+        out: &mut String,
+        tree: &TraceTree,
+        children: &HashMap<SpanId, Vec<usize>>,
+        i: usize,
+        depth: usize,
+    ) {
+        let s = &tree.spans[i];
+        let pad = "  ".repeat(depth);
+        match s.duration_ns() {
+            Some(d) => out.push_str(&format!(
+                "{pad}[{:>10.1}us +{:>8.1}us] {}.{} (a={}, b={})\n",
+                s.start_ns as f64 / 1e3,
+                d as f64 / 1e3,
+                s.layer,
+                s.event,
+                s.a,
+                s.b
+            )),
+            None => out.push_str(&format!(
+                "{pad}[{:>10.1}us   unclosed ] {}.{} (a={}, b={})\n",
+                s.start_ns as f64 / 1e3,
+                s.layer,
+                s.event,
+                s.a,
+                s.b
+            )),
+        }
+        for ev in &s.instants {
+            out.push_str(&format!(
+                "{pad}  · [{:>10.1}us] {}.{} (a={}, b={})\n",
+                ev.at_ns as f64 / 1e3,
+                ev.layer,
+                ev.event,
+                ev.a,
+                ev.b
+            ));
+        }
+        if let Some(kids) = children.get(&s.id) {
+            for &k in kids {
+                Self::render_span(out, tree, children, k, depth + 1);
+            }
+        }
+    }
+
+    /// Chrome trace-format JSON (`chrome://tracing` / Perfetto).
+    ///
+    /// Complete spans become `ph:"X"` events with `dur`; unclosed spans
+    /// become `ph:"B"`; instants become `ph:"i"`. `pid` is the trace
+    /// id, `tid` the span id, `ts`/`dur` are microseconds. A
+    /// `trace_report` metadata event carries the drop count.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<Json> = Vec::new();
+        let mut meta = BTreeMap::new();
+        meta.insert("name".to_string(), Json::Str("trace_report".to_string()));
+        meta.insert("cat".to_string(), Json::Str("meta".to_string()));
+        meta.insert("ph".to_string(), Json::Str("i".to_string()));
+        meta.insert("ts".to_string(), Json::Num(0.0));
+        meta.insert("pid".to_string(), Json::Num(0.0));
+        meta.insert("tid".to_string(), Json::Num(0.0));
+        let mut args = BTreeMap::new();
+        args.insert("dropped".to_string(), Json::Num(self.dropped as f64));
+        args.insert(
+            "total_events".to_string(),
+            Json::Num(self.total_events as f64),
+        );
+        meta.insert("args".to_string(), Json::Obj(args));
+        events.push(Json::Obj(meta));
+        for tree in &self.traces {
+            for s in &tree.spans {
+                let mut o = BTreeMap::new();
+                o.insert(
+                    "name".to_string(),
+                    Json::Str(format!("{}.{}", s.layer, s.event)),
+                );
+                o.insert("cat".to_string(), Json::Str(s.layer.to_string()));
+                o.insert("ts".to_string(), Json::Num(s.start_ns as f64 / 1e3));
+                o.insert("pid".to_string(), Json::Num(tree.trace_id as f64));
+                o.insert("tid".to_string(), Json::Num(s.id.0 as f64));
+                let mut args = BTreeMap::new();
+                args.insert("a".to_string(), Json::Num(s.a as f64));
+                args.insert("b".to_string(), Json::Num(s.b as f64));
+                args.insert("parent".to_string(), Json::Num(s.parent.0 as f64));
+                match s.duration_ns() {
+                    Some(d) => {
+                        o.insert("ph".to_string(), Json::Str("X".to_string()));
+                        o.insert("dur".to_string(), Json::Num(d as f64 / 1e3));
+                        args.insert("end_a".to_string(), Json::Num(s.end_a as f64));
+                        args.insert("end_b".to_string(), Json::Num(s.end_b as f64));
+                    }
+                    None => {
+                        o.insert("ph".to_string(), Json::Str("B".to_string()));
+                    }
+                }
+                o.insert("args".to_string(), Json::Obj(args));
+                events.push(Json::Obj(o));
+                for ev in &s.instants {
+                    events.push(Self::instant_json(tree.trace_id, ev));
+                }
+            }
+            for ev in &tree.loose {
+                events.push(Self::instant_json(tree.trace_id, ev));
+            }
+        }
+        let mut top = BTreeMap::new();
+        top.insert("traceEvents".to_string(), Json::Arr(events));
+        top.insert("displayTimeUnit".to_string(), Json::Str("ns".to_string()));
+        let mut out = String::new();
+        json::write(&mut out, &Json::Obj(top));
+        out
+    }
+
+    fn instant_json(trace: u64, ev: &TraceEvent) -> Json {
+        let mut o = BTreeMap::new();
+        o.insert(
+            "name".to_string(),
+            Json::Str(format!("{}.{}", ev.layer, ev.event)),
+        );
+        o.insert("cat".to_string(), Json::Str(ev.layer.to_string()));
+        o.insert("ph".to_string(), Json::Str("i".to_string()));
+        o.insert("ts".to_string(), Json::Num(ev.at_ns as f64 / 1e3));
+        o.insert("pid".to_string(), Json::Num(trace as f64));
+        o.insert("tid".to_string(), Json::Num(ev.span.0 as f64));
+        let mut args = BTreeMap::new();
+        args.insert("a".to_string(), Json::Num(ev.a as f64));
+        args.insert("b".to_string(), Json::Num(ev.b as f64));
+        o.insert("args".to_string(), Json::Obj(args));
+        Json::Obj(o)
+    }
+
+    /// Lock targets ranked by total wait (descending), split per mode.
+    ///
+    /// Built from the `locks.wait.*` span `End` events (`a` = encoded
+    /// target, `b` = wait nanoseconds); the mode maps to the operation
+    /// kind its discipline serves (ρ → find, α → insert, ξ →
+    /// delete/merge).
+    pub fn contention_profile(&self) -> Vec<ContentionEntry> {
+        let mut by_key: BTreeMap<(u64, &'static str), ContentionEntry> = BTreeMap::new();
+        let all_spans = self.traces.iter().flat_map(|t| t.spans.iter());
+        for s in all_spans {
+            if s.layer != "locks" || s.end_ns.is_none() {
+                continue;
+            }
+            let (mode, op_kind) = match s.event {
+                "wait.rho" => ("rho", "find"),
+                "wait.alpha" => ("alpha", "insert"),
+                "wait.xi" => ("xi", "delete/merge"),
+                _ => continue,
+            };
+            let wait_ns = s.end_b;
+            let e = by_key
+                .entry((s.a, mode))
+                .or_insert_with(|| ContentionEntry {
+                    target: s.a,
+                    mode,
+                    op_kind,
+                    waits: 0,
+                    total_ns: 0,
+                    max_ns: 0,
+                });
+            e.waits += 1;
+            e.total_ns += wait_ns;
+            e.max_ns = e.max_ns.max(wait_ns);
+        }
+        let mut v: Vec<ContentionEntry> = by_key.into_values().collect();
+        v.sort_by(|x, y| y.total_ns.cmp(&x.total_ns).then(x.target.cmp(&y.target)));
+        v
+    }
+
+    /// The contention profile as an aligned text table.
+    pub fn contention_table(&self) -> String {
+        let profile = self.contention_profile();
+        let mut out = String::new();
+        out.push_str("# lock contention (by total wait)\n");
+        if profile.is_empty() {
+            out.push_str("  (no lock waits recorded)\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "  {:<14} {:<6} {:<12} {:>6} {:>12} {:>12}\n",
+            "target", "mode", "op-kind", "waits", "total-us", "max-us"
+        ));
+        for e in profile {
+            out.push_str(&format!(
+                "  {:<14} {:<6} {:<12} {:>6} {:>12.1} {:>12.1}\n",
+                lock_target_label(e.target),
+                e.mode,
+                e.op_kind,
+                e.waits,
+                e.total_ns as f64 / 1e3,
+                e.max_ns as f64 / 1e3
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceCtx, Tracer};
+
+    fn sample_tracer() -> Tracer {
+        let t = Tracer::new();
+        t.enable(256);
+        t
+    }
+
+    #[test]
+    fn reassembles_nested_spans_into_one_trace() {
+        let t = sample_tracer();
+        let root = t.begin(TraceCtx::NONE, "dist", "request", 11, 0);
+        let child = t.begin(root, "core", "find", 3, 0);
+        t.instant(child, "net", "find", 9, 0);
+        t.end(child, "core", "find", 3, 1);
+        t.end(root, "dist", "request", 11, 1);
+        let r = TraceReport::from_events(t.drain(), t.dropped());
+        assert_eq!(r.traces().len(), 1);
+        let tree = &r.traces()[0];
+        assert_eq!(tree.trace_id, root.trace_id);
+        assert_eq!(tree.spans.len(), 2);
+        assert_eq!(tree.root_spans().len(), 1);
+        assert_eq!(tree.root_spans()[0].event, "request");
+        let c = tree.span(child.parent_span).unwrap();
+        assert_eq!(c.parent, root.parent_span);
+        assert!(c.duration_ns().is_some());
+        assert_eq!(c.instants.len(), 1);
+        assert!(tree.has_event("net", "find"));
+        let text = r.to_timeline();
+        assert!(text.contains("dist.request"));
+        assert!(text.contains("core.find"));
+    }
+
+    #[test]
+    fn unclosed_spans_render_and_export() {
+        let t = sample_tracer();
+        let root = t.begin(TraceCtx::NONE, "dist", "request", 1, 0);
+        let _child = t.begin(root, "core", "insert", 2, 0);
+        // neither span ends: simulate a cut-off operation
+        let r = TraceReport::from_events(t.drain(), t.dropped());
+        assert!(r.to_timeline().contains("unclosed"));
+        let chrome = r.to_chrome_json();
+        let doc = json::parse(&chrome).expect("valid json");
+        let events = doc.get("traceEvents").unwrap();
+        if let Json::Arr(evs) = events {
+            assert!(evs
+                .iter()
+                .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B")));
+        } else {
+            panic!("traceEvents must be an array");
+        }
+    }
+
+    #[test]
+    fn chrome_json_parses_and_carries_drop_count() {
+        let t = sample_tracer();
+        let root = t.begin(TraceCtx::NONE, "dist", "request", 1, 0);
+        t.end(root, "dist", "request", 1, 0);
+        let r = TraceReport::from_events(t.drain(), 7);
+        let doc = json::parse(&r.to_chrome_json()).expect("valid json");
+        let evs = match doc.get("traceEvents") {
+            Some(Json::Arr(evs)) => evs,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        let meta = &evs[0];
+        assert_eq!(
+            meta.get("name").and_then(|n| n.as_str()),
+            Some("trace_report")
+        );
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("dropped"))
+                .and_then(|d| d.as_u64()),
+            Some(7)
+        );
+        assert!(evs
+            .iter()
+            .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")));
+    }
+
+    #[test]
+    fn contention_profile_ranks_by_total_wait() {
+        let t = sample_tracer();
+        // Two waits on page 5 in alpha, one wait on the directory in rho.
+        for wait_ns in [2_000u64, 3_000] {
+            let w = t.begin(TraceCtx::NONE, "locks", "wait.alpha", 5, 1);
+            t.end(w, "locks", "wait.alpha", 5, wait_ns);
+        }
+        let w = t.begin(TraceCtx::NONE, "locks", "wait.rho", u64::MAX, 0);
+        t.end(w, "locks", "wait.rho", u64::MAX, 1_000);
+        let r = TraceReport::from_events(t.drain(), 0);
+        let profile = r.contention_profile();
+        assert_eq!(profile.len(), 2);
+        assert_eq!(profile[0].target, 5);
+        assert_eq!(profile[0].mode, "alpha");
+        assert_eq!(profile[0].op_kind, "insert");
+        assert_eq!(profile[0].waits, 2);
+        assert_eq!(profile[0].total_ns, 5_000);
+        assert_eq!(profile[0].max_ns, 3_000);
+        assert_eq!(profile[1].op_kind, "find");
+        let table = r.contention_table();
+        assert!(table.contains("page:5"));
+        assert!(table.contains("directory"));
+    }
+
+    #[test]
+    fn dropped_events_flag_the_report() {
+        let t = Tracer::new();
+        t.enable(2);
+        for i in 0..5u64 {
+            t.record(SpanId(i), "x", "e", i, 0);
+        }
+        let r = TraceReport::from_events(t.drain(), t.dropped());
+        assert_eq!(r.dropped, 3);
+        assert!(r.to_timeline().contains("WARNING"));
+    }
+}

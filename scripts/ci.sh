@@ -32,4 +32,10 @@ echo "=== metrics smoke ==="
 # against schemas/run_report.schema.json and conserve operation counts.
 cargo run -q --release -p ceh-bench --bin metrics_smoke -- --json > /dev/null
 
+echo "=== trace smoke ==="
+# Seeded cluster workload with causal tracing on; the Chrome-format
+# export must validate against schemas/trace.schema.json and at least
+# one trace must carry a full request → dispatch → bucket chain.
+cargo run -q --release -p ceh-bench --bin trace_smoke -- --json > /dev/null
+
 echo "CI gate passed."
