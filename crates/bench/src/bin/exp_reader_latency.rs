@@ -37,6 +37,7 @@ fn measure(file: Arc<dyn ConcurrentHashFile>, updaters: u64, reads_per_reader: u
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(t);
                 let mut sampler = KeySampler::new(KeyDist::Uniform, KEY_SPACE);
+                // ceh-lint: allow(relaxed-ordering) — shutdown flag; any staleness only delays exit
                 while !stop.load(Ordering::Relaxed) {
                     let k = sampler.sample(&mut rng);
                     if rng.random_bool(0.5) {
@@ -71,6 +72,7 @@ fn measure(file: Arc<dyn ConcurrentHashFile>, updaters: u64, reads_per_reader: u
     for r in readers {
         all.extend(r.join().unwrap());
     }
+    // ceh-lint: allow(relaxed-ordering) — shutdown flag; joins below synchronize
     stop.store(true, Ordering::Relaxed);
     for c in churners {
         c.join().unwrap();

@@ -77,6 +77,7 @@ impl BLinkTree {
 
     /// Number of records (exact at quiescence).
     pub fn len(&self) -> usize {
+        // ceh-lint: allow(relaxed-ordering) — statistics counter, exact only at quiescence
         self.len.load(Ordering::Relaxed)
     }
 

@@ -1,0 +1,53 @@
+//! `ceh-lint` — the workspace lock-discipline lint (see
+//! [`ceh_check::lint`] for the rules and escape hatches).
+//!
+//! ```text
+//! ceh-lint [PATH ...]        lint these files/directories (default: crates)
+//! ceh-lint --list-rules      print the rule identifiers and exit
+//! ```
+//!
+//! Exits 1 if any finding survives the allowlists, 0 otherwise, 2 on
+//! I/O or usage errors — so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: ceh-lint [--list-rules] [PATH ...]   (default path: crates)");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        for r in ceh_check::lint::RULES {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(bad) = args.iter().find(|a| a.starts_with('-')) {
+        eprintln!("ceh-lint: unknown flag {bad}");
+        return ExitCode::from(2);
+    }
+    let paths: Vec<PathBuf> = if args.is_empty() {
+        vec![PathBuf::from("crates")]
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    match ceh_check::lint_paths(&paths) {
+        Ok(findings) if findings.is_empty() => {
+            println!("ceh-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("ceh-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ceh-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

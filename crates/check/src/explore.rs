@@ -1,0 +1,337 @@
+//! Bounded-exhaustive schedule exploration.
+//!
+//! [`explore`] runs a [`Workload`] under *every* interleaving reachable
+//! with at most `preemption_bound` preemptions: a DFS over schedule
+//! prefixes, where each execution records which alternative choices were
+//! legal at each scheduling decision and the explorer forks a new prefix
+//! per alternative. Each execution is independently verified:
+//!
+//! 1. **execution health** — no operation error, worker panic, or
+//!    virtual-thread deadlock;
+//! 2. **structural invariants** — [`ceh_core::invariants`] over the
+//!    quiescent file (directory/bucket agreement, no reachable
+//!    tombstones, record placement, length accounting);
+//! 3. **linearizability** — the recorded operation history checks out
+//!    against the sequential model ([`crate::linearize`], exact mode).
+//!
+//! The first violating schedule is [minimized](minimize) by re-running
+//! candidate sub-schedules and shipped as a replayable
+//! [`ScheduleFixture`].
+
+use std::sync::Arc;
+
+use crate::linearize::{check_linearizable, Strictness};
+use crate::schedule::ScheduleFixture;
+use crate::vthread::{Body, ControllerConfig, ExplorerHook, RunOutcome, Scheduler};
+use crate::workload::Workload;
+
+/// Exploration knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum preemptions per execution (forced switches are free).
+    pub preemption_bound: usize,
+    /// Prune preemptions whose reordering provably commutes (acquires
+    /// on distinct locks). Heuristic: big state-space cut on 3+-thread
+    /// workloads, so it is on by default; the two-thread acceptance
+    /// workloads are cheap enough that the smoke test also runs them
+    /// unpruned.
+    pub dpor: bool,
+    /// Hard cap on executions (the report says if it was hit).
+    pub max_schedules: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            preemption_bound: 3,
+            dpor: true,
+            max_schedules: 500_000,
+        }
+    }
+}
+
+/// What one violating schedule did.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workload that produced it.
+    pub workload: String,
+    /// Bound it was found under.
+    pub preemption_bound: usize,
+    /// Minimized replayable schedule.
+    pub schedule: Vec<usize>,
+    /// What went wrong (first failed check).
+    pub detail: String,
+}
+
+impl Violation {
+    /// Package as a fixture for `tests/fixtures/schedules/`.
+    pub fn to_fixture(&self) -> ScheduleFixture {
+        ScheduleFixture {
+            workload: self.workload.clone(),
+            preemption_bound: self.preemption_bound,
+            schedule: self.schedule.clone(),
+            violation: Some(self.detail.lines().next().unwrap_or("").to_string()),
+        }
+    }
+}
+
+/// The outcome of exploring one workload.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Workload explored.
+    pub workload: String,
+    /// Executions run.
+    pub schedules: usize,
+    /// True if `max_schedules` cut the search short — coverage is then
+    /// *not* exhaustive and the caller should say so.
+    pub truncated: bool,
+    /// First violation found, already minimized. `None` = every
+    /// explored schedule passed all checks.
+    pub violation: Option<Violation>,
+}
+
+/// Explore every schedule of `w` up to the bound. `Err` is an
+/// infrastructure failure (the workload would not even build), not a
+/// verification result.
+pub fn explore(w: &Workload, cfg: &ExploreConfig) -> Result<ExploreReport, String> {
+    let ccfg = ControllerConfig {
+        preemption_bound: cfg.preemption_bound,
+        dpor: cfg.dpor,
+    };
+    // DFS over schedule prefixes. Decisions at positions < prefix.len()
+    // were enumerated by the run that pushed this prefix; only new
+    // positions fork further prefixes.
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut schedules = 0usize;
+    let mut truncated = false;
+    while let Some(prefix) = stack.pop() {
+        if schedules >= cfg.max_schedules {
+            truncated = true;
+            break;
+        }
+        schedules += 1;
+        let (out, violation) = run_one(w, &prefix, &ccfg)?;
+        if out.diverged {
+            return Err(format!(
+                "workload {} is nondeterministic: schedule replay diverged",
+                w.name
+            ));
+        }
+        if let Some(detail) = violation {
+            let (schedule, detail) = minimize(w, &out.choices(), detail, &ccfg)?;
+            return Ok(ExploreReport {
+                workload: w.name.to_string(),
+                schedules,
+                truncated,
+                violation: Some(Violation {
+                    workload: w.name.to_string(),
+                    preemption_bound: cfg.preemption_bound,
+                    schedule,
+                    detail,
+                }),
+            });
+        }
+        for i in prefix.len()..out.decisions.len() {
+            for &alt in &out.decisions[i].alternatives {
+                let mut p: Vec<usize> = out.decisions[..i].iter().map(|d| d.chosen).collect();
+                p.push(alt);
+                stack.push(p);
+            }
+        }
+    }
+    Ok(ExploreReport {
+        workload: w.name.to_string(),
+        schedules,
+        truncated,
+        violation: None,
+    })
+}
+
+/// Replay a fixture. Returns the violation it reproduces, or `None` if
+/// the schedule now runs clean (a fixed bug — the regression test wants
+/// clean runs for checked-in fixtures of *fixed* bugs, and violations
+/// for fixtures guarding known-injected ones).
+pub fn replay(fix: &ScheduleFixture) -> Result<Option<String>, String> {
+    let w = Workload::by_name(&fix.workload)
+        .ok_or_else(|| format!("fixture names unknown workload {:?}", fix.workload))?;
+    let ccfg = ControllerConfig {
+        preemption_bound: fix.preemption_bound,
+        dpor: false,
+    };
+    let (out, violation) = run_one(&w, &fix.schedule, &ccfg)?;
+    if out.diverged {
+        return Err(format!(
+            "fixture schedule for {} diverged: the workload or protocol changed shape; \
+             re-minimize the fixture",
+            fix.workload
+        ));
+    }
+    Ok(violation)
+}
+
+/// Run one serialized execution and verify it. Returns the outcome plus
+/// the first violated check, if any.
+fn run_one(
+    w: &Workload,
+    prefix: &[usize],
+    ccfg: &ControllerConfig,
+) -> Result<(RunOutcome, Option<String>), String> {
+    let (file, locks, metrics) = w.build()?;
+    let init = w.initial_map();
+    metrics.history().enable();
+    let sched = Scheduler::new(w.threads.len());
+    locks.set_wait_hook(Some(Arc::new(ExplorerHook::new(Arc::clone(&sched)))));
+    let file_ref = file.as_dyn();
+    let bodies: Vec<Body<'_>> = w
+        .threads
+        .iter()
+        .map(|ops| {
+            let ops = ops.clone();
+            Box::new(move || {
+                for op in ops {
+                    op.apply(file_ref)?;
+                }
+                Ok(())
+            }) as Body<'_>
+        })
+        .collect();
+    let out = sched.run(bodies, prefix, ccfg);
+    locks.set_wait_hook(None);
+    metrics.history().disable();
+    let records = metrics.history().drain();
+
+    let mut detail = out.failure.clone();
+    if detail.is_none() {
+        if let Err(e) = ceh_core::invariants::check_concurrent_file(file.core()) {
+            detail = Some(format!("structural invariant violated at quiescence: {e}"));
+        }
+    }
+    if detail.is_none() {
+        if let Err(v) = check_linearizable(&init, &records, Strictness::Exact) {
+            detail = Some(v.to_string());
+        }
+    }
+    Ok((out, detail))
+}
+
+/// Shrink a violating schedule: first the shortest violating prefix
+/// (default policy fills in the rest), then greedy single-choice drops.
+/// Every candidate is validated by an actual re-run; diverged candidates
+/// are discarded.
+fn minimize(
+    w: &Workload,
+    choices: &[usize],
+    original_detail: String,
+    ccfg: &ControllerConfig,
+) -> Result<(Vec<usize>, String), String> {
+    let violates = |s: &[usize]| -> Result<Option<String>, String> {
+        let (out, v) = run_one(w, s, ccfg)?;
+        Ok(if out.diverged { None } else { v })
+    };
+
+    let mut best = choices.to_vec();
+    let mut detail = original_detail;
+
+    // Shortest violating prefix, by bisection on length. Monotone for
+    // lengths past the point where the tail already follows the default
+    // policy (which is how `choices` was produced), so this is exact
+    // there and a safe heuristic below it.
+    let mut lo = 0usize;
+    let mut hi = best.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match violates(&best[..mid])? {
+            Some(d) => {
+                hi = mid;
+                detail = d;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    best.truncate(hi);
+
+    // Greedy elementwise drops.
+    let mut i = 0;
+    while i < best.len() {
+        let mut cand = best.clone();
+        cand.remove(i);
+        match violates(&cand)? {
+            Some(d) => {
+                best = cand;
+                detail = d;
+            }
+            None => i += 1,
+        }
+    }
+
+    // The minimized schedule must still reproduce (guards against the
+    // bisection landing on a fluke).
+    if violates(&best)?.is_none() {
+        best = choices.to_vec();
+    }
+    Ok((best, detail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(dpor: bool) -> ExploreConfig {
+        ExploreConfig {
+            preemption_bound: 2,
+            dpor,
+            max_schedules: 50_000,
+        }
+    }
+
+    #[test]
+    fn s1_split_race_is_clean_bound_2() {
+        let w = Workload::by_name("s1-insert-insert-split").unwrap();
+        let r = explore(&w, &cfg(false)).unwrap();
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(!r.truncated);
+        assert!(r.schedules > 1, "explored only {} schedules", r.schedules);
+    }
+
+    #[test]
+    fn dpor_pruning_preserves_the_verdict() {
+        let w = Workload::by_name("s1-insert-insert-split").unwrap();
+        let full = explore(&w, &cfg(false)).unwrap();
+        let pruned = explore(&w, &cfg(true)).unwrap();
+        assert!(full.violation.is_none() && pruned.violation.is_none());
+        assert!(
+            pruned.schedules <= full.schedules,
+            "pruning explored more ({}) than exhaustive ({})",
+            pruned.schedules,
+            full.schedules
+        );
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "check-inject",
+        ignore = "injected bug makes this workload violate"
+    )]
+    fn s2_merge_race_is_clean_bound_2() {
+        let w = Workload::by_name("s2-delete-delete-merge").unwrap();
+        let r = explore(&w, &cfg(false)).unwrap();
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn max_schedules_truncates() {
+        let w = Workload::by_name("s1-insert-insert-split").unwrap();
+        let r = explore(
+            &w,
+            &ExploreConfig {
+                preemption_bound: 2,
+                dpor: false,
+                max_schedules: 2,
+            },
+        )
+        .unwrap();
+        assert!(r.truncated);
+        assert_eq!(r.schedules, 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Verification subsystem for the concurrent extendible hash file.
+//!
+//! Three pillars, all offline (no solver, no external service):
+//!
+//! 1. **Deterministic schedule explorer** ([`explore`]): a virtual-thread
+//!    scheduler plugs into [`ceh_locks::WaitHook`] and serializes a small
+//!    concurrent workload so that exactly one thread runs between lock-
+//!    manager wait points. A DFS over the scheduling decisions then runs
+//!    the workload under *every* interleaving up to a preemption bound,
+//!    checking structural invariants and linearizability after each one.
+//! 2. **Linearizability checker** ([`linearize`]): a Wing–Gong search
+//!    with per-key partitioning over operation histories recorded through
+//!    [`ceh_obs::HistoryLog`], validated against the paper's sequential
+//!    semantics ([`ceh_sequential::SequentialHashFile`]).
+//! 3. **Lock-discipline lint** ([`lint`], shipped as the `ceh-lint`
+//!    binary): a source-level scan for violations of the paper's locking
+//!    rules — top-down lock order, ξ-locks held across network sends,
+//!    unpaired acquire/release, and unjustified `Ordering::Relaxed`.
+//!
+//! Failing schedules minimize to a replayable fixture
+//! ([`schedule::ScheduleFixture`]) checked into
+//! `tests/fixtures/schedules/`.
+
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod linearize;
+pub mod lint;
+pub mod schedule;
+pub mod vthread;
+pub mod workload;
+
+pub use explore::{explore, replay, ExploreConfig, ExploreReport, Violation};
+pub use linearize::{check_linearizable, LinReport, LinViolation, Strictness};
+pub use lint::{lint_paths, lint_source, Finding};
+pub use schedule::ScheduleFixture;
+pub use workload::{Op, Solution, Workload};

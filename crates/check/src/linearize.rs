@@ -1,0 +1,418 @@
+//! Wing–Gong linearizability checking over recorded operation histories.
+//!
+//! A history (a drained [`ceh_obs::HistoryLog`]) is linearizable if every
+//! completed operation can be assigned a single atomic point between its
+//! invoke and return edges such that the resulting sequential execution is
+//! legal for a map. Because every operation here touches exactly one key,
+//! the classical locality theorem applies: the map is linearizable iff
+//! each per-key sub-history is, so the search partitions by key and runs
+//! one small Wing–Gong DFS per key — states are just `Option<value>`,
+//! memoized on (set of linearized ops, state).
+//!
+//! Operations that never returned, or returned an error
+//! ([`ceh_obs::HistResult::Unknown`]), *may or may not* have taken
+//! effect; the search branches on both. [`Strictness::AtLeastOnce`]
+//! additionally coarsens write outcomes (an insert that reports
+//! `AlreadyPresent` may be its own retried effect — the distributed
+//! client resends lost requests, so exactly-once outcome reporting is
+//! not promised); reads stay exact in both modes.
+//!
+//! Successful searches are re-validated: the per-key witness order is
+//! replayed against [`ceh_sequential::SequentialHashFile`] so the
+//! checker's transition model can never silently diverge from the
+//! paper's sequential semantics.
+
+use std::collections::{HashMap, HashSet};
+
+use ceh_obs::{HistKind, HistRecord, HistResult};
+use ceh_sequential::SequentialHashFile;
+use ceh_types::{DeleteOutcome, HashFileConfig, InsertOutcome, Key, Value};
+
+/// How literally to take reported write outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strictness {
+    /// Outcomes are exact: `Inserted` means the key was absent,
+    /// `AlreadyPresent` means it was present, and so on. Correct for
+    /// in-process files (the explorer, chaos runs against one file).
+    Exact,
+    /// Write outcomes only prove the effect happened *at least once*
+    /// (retried distributed requests may double-report). Reads are
+    /// still checked exactly.
+    AtLeastOnce,
+}
+
+/// Statistics from a successful linearizability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinReport {
+    /// Distinct keys in the history.
+    pub keys: usize,
+    /// Total operations checked.
+    pub ops: usize,
+    /// Operations that never returned (or returned `Unknown`) and were
+    /// treated as optional.
+    pub pending: usize,
+}
+
+/// A non-linearizable per-key sub-history.
+#[derive(Debug, Clone)]
+pub struct LinViolation {
+    /// The offending key.
+    pub key: u64,
+    /// Human-readable explanation with the full per-key history.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LinViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "history for key {} is not linearizable:\n{}",
+            self.key, self.detail
+        )
+    }
+}
+
+impl std::error::Error for LinViolation {}
+
+/// Check `records` (plus `init`, the map state when recording started)
+/// for linearizability. Returns per-history statistics on success.
+pub fn check_linearizable(
+    init: &HashMap<u64, u64>,
+    records: &[HistRecord],
+    strict: Strictness,
+) -> Result<LinReport, LinViolation> {
+    let mut by_key: HashMap<u64, Vec<HistRecord>> = HashMap::new();
+    for r in records {
+        by_key.entry(r.key).or_default().push(*r);
+    }
+    let mut keys: Vec<u64> = by_key.keys().copied().collect();
+    keys.sort_unstable();
+
+    let mut pending = 0;
+    for &key in &keys {
+        let mut ops = by_key.remove(&key).expect("key vanished");
+        ops.sort_by_key(|o| o.invoke);
+        pending += ops.iter().filter(|o| !o.completed()).count();
+        check_key(key, init.get(&key).copied(), &ops, strict)?;
+    }
+    Ok(LinReport {
+        keys: keys.len(),
+        ops: records.len(),
+        pending,
+    })
+}
+
+fn check_key(
+    key: u64,
+    init: Option<u64>,
+    ops: &[HistRecord],
+    strict: Strictness,
+) -> Result<(), LinViolation> {
+    let completed = ops.iter().filter(|o| o.completed()).count();
+    let mut search = Search {
+        ops,
+        strict,
+        memo: HashSet::new(),
+    };
+    let words = ops.len().div_ceil(64);
+    let mut done = vec![0u64; words];
+    let mut witness = Vec::new();
+    if !search.dfs(&mut done, completed, init, &mut witness) {
+        return Err(LinViolation {
+            key,
+            detail: render_history(init, ops),
+        });
+    }
+    if strict == Strictness::Exact {
+        replay_witness(key, init, ops, &witness)?;
+    }
+    Ok(())
+}
+
+struct Search<'a> {
+    ops: &'a [HistRecord],
+    strict: Strictness,
+    memo: HashSet<(Vec<u64>, Option<u64>)>,
+}
+
+impl Search<'_> {
+    /// Depth-first Wing–Gong: `done` is the linearized-op bitset,
+    /// `left` the count of completed ops still to place, `state` the
+    /// current register value. Pending/unknown ops are optional.
+    fn dfs(
+        &mut self,
+        done: &mut Vec<u64>,
+        left: usize,
+        state: Option<u64>,
+        witness: &mut Vec<usize>,
+    ) -> bool {
+        if left == 0 {
+            return true;
+        }
+        if !self.memo.insert((done.clone(), state)) {
+            return false;
+        }
+        // The minimal-return rule: an op may be linearized next only if
+        // no *other* unlinearized op returned before it was invoked.
+        let min_ret = self
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| done[i / 64] & (1 << (i % 64)) == 0)
+            .map(|(_, o)| o.ret)
+            .min()
+            .unwrap_or(u64::MAX);
+        for (i, op) in self.ops.iter().enumerate() {
+            if done[i / 64] & (1 << (i % 64)) != 0 || op.invoke >= min_ret {
+                continue;
+            }
+            let next_left = left - usize::from(op.completed());
+            for next in transitions(op, state, self.strict) {
+                done[i / 64] |= 1 << (i % 64);
+                witness.push(i);
+                if self.dfs(done, next_left, next, witness) {
+                    return true;
+                }
+                witness.pop();
+                done[i / 64] &= !(1 << (i % 64));
+            }
+        }
+        false
+    }
+}
+
+/// The register states reachable by linearizing `op` at state `state`.
+/// Empty means "inconsistent here" (for uncertain ops, *not* linearizing
+/// them is always also on the table — the caller simply skips them).
+fn transitions(op: &HistRecord, state: Option<u64>, strict: Strictness) -> Vec<Option<u64>> {
+    let present = state.is_some();
+    let ensure_present = Some(state.unwrap_or(op.value));
+    match (op.kind, op.result, op.completed()) {
+        (HistKind::Find, HistResult::Found(v), true) => {
+            if v == state {
+                vec![state]
+            } else {
+                vec![]
+            }
+        }
+        // A find that errored or never returned has no effect; skipping
+        // it covers every behavior.
+        (HistKind::Find, _, _) => vec![],
+        (HistKind::Insert, HistResult::Inserted(new), true) => match strict {
+            Strictness::Exact => {
+                if new != present {
+                    vec![if new { Some(op.value) } else { state }]
+                } else {
+                    vec![]
+                }
+            }
+            Strictness::AtLeastOnce => vec![ensure_present],
+        },
+        // Uncertain insert: if it took effect, the key became present.
+        (HistKind::Insert, _, _) => vec![ensure_present],
+        (HistKind::Delete, HistResult::Deleted(hit), true) => match strict {
+            Strictness::Exact => {
+                if hit == present {
+                    vec![None]
+                } else {
+                    vec![]
+                }
+            }
+            Strictness::AtLeastOnce => vec![None],
+        },
+        // Uncertain delete: if it took effect, the key is gone.
+        (HistKind::Delete, _, _) => vec![None],
+    }
+}
+
+/// Replay the witness order against the real sequential model and insist
+/// every completed op's recorded outcome matches. Guards the transition
+/// table above against drift from `ceh-sequential`.
+fn replay_witness(
+    key: u64,
+    init: Option<u64>,
+    ops: &[HistRecord],
+    witness: &[usize],
+) -> Result<(), LinViolation> {
+    let fail = |detail: String| LinViolation { key, detail };
+    let mut file = SequentialHashFile::new(HashFileConfig::tiny()).map_err(|e| {
+        fail(format!(
+            "witness replay could not build a sequential file: {e}"
+        ))
+    })?;
+    if let Some(v) = init {
+        file.insert(Key(key), Value(v)).map_err(|e| {
+            fail(format!(
+                "witness replay could not seed the initial value: {e}"
+            ))
+        })?;
+    }
+    for (idx, &i) in witness.iter().enumerate() {
+        let op = &ops[i];
+        let observed = match op.kind {
+            HistKind::Find => HistResult::Found(
+                file.find(Key(op.key))
+                    .map_err(|e| fail(format!("witness replay find failed: {e}")))?
+                    .map(|v| v.0),
+            ),
+            HistKind::Insert => {
+                let o = file
+                    .insert(Key(op.key), Value(op.value))
+                    .map_err(|e| fail(format!("witness replay insert failed: {e}")))?;
+                HistResult::Inserted(o == InsertOutcome::Inserted)
+            }
+            HistKind::Delete => {
+                let o = file
+                    .delete(Key(op.key))
+                    .map_err(|e| fail(format!("witness replay delete failed: {e}")))?;
+                HistResult::Deleted(o == DeleteOutcome::Deleted)
+            }
+        };
+        if op.completed() && observed != op.result {
+            return Err(LinViolation {
+                key,
+                detail: format!(
+                    "witness disagrees with the sequential model at step {idx}: \
+                     {op:?} observed {observed:?} on replay\n{}",
+                    render_history(init, ops)
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn render_history(init: Option<u64>, ops: &[HistRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("  initial value: {init:?}\n");
+    for op in ops {
+        let ret = if op.ret == HistRecord::PENDING {
+            "pending".to_string()
+        } else {
+            op.ret.to_string()
+        };
+        let _ = writeln!(
+            s,
+            "  [{:>4}, {:>7}] {} key={} value={} -> {:?}",
+            op.invoke, ret, op.kind, op.key, op.value, op.result
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        kind: HistKind,
+        key: u64,
+        value: u64,
+        invoke: u64,
+        ret: u64,
+        result: HistResult,
+    ) -> HistRecord {
+        HistRecord {
+            kind,
+            key,
+            value,
+            invoke,
+            ret,
+            result,
+        }
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = vec![
+            rec(HistKind::Insert, 1, 10, 0, 1, HistResult::Inserted(true)),
+            rec(HistKind::Find, 1, 0, 2, 3, HistResult::Found(Some(10))),
+            rec(HistKind::Delete, 1, 0, 4, 5, HistResult::Deleted(true)),
+            rec(HistKind::Find, 1, 0, 6, 7, HistResult::Found(None)),
+        ];
+        let r = check_linearizable(&HashMap::new(), &h, Strictness::Exact).unwrap();
+        assert_eq!((r.keys, r.ops, r.pending), (1, 4, 0));
+    }
+
+    #[test]
+    fn overlapping_ops_may_commute() {
+        // find overlaps the insert: both Found(None) and Found(Some)
+        // would be linearizable; this one observed None.
+        let h = vec![
+            rec(HistKind::Insert, 1, 10, 0, 3, HistResult::Inserted(true)),
+            rec(HistKind::Find, 1, 0, 1, 2, HistResult::Found(None)),
+        ];
+        check_linearizable(&HashMap::new(), &h, Strictness::Exact).unwrap();
+    }
+
+    #[test]
+    fn stale_read_is_rejected() {
+        // The insert returned before the find was invoked, so Found(None)
+        // is a real-time violation.
+        let h = vec![
+            rec(HistKind::Insert, 1, 10, 0, 1, HistResult::Inserted(true)),
+            rec(HistKind::Find, 1, 0, 2, 3, HistResult::Found(None)),
+        ];
+        let err = check_linearizable(&HashMap::new(), &h, Strictness::Exact).unwrap_err();
+        assert_eq!(err.key, 1);
+    }
+
+    #[test]
+    fn lost_delete_is_rejected() {
+        // Sequential deletes of the same present key cannot both miss.
+        let h = vec![
+            rec(HistKind::Delete, 5, 0, 0, 1, HistResult::Deleted(false)),
+            rec(HistKind::Find, 5, 0, 2, 3, HistResult::Found(Some(50))),
+        ];
+        let init = HashMap::from([(5, 50)]);
+        assert!(check_linearizable(&init, &h, Strictness::Exact).is_err());
+        // ...but without the initial value the NotFound is fine.
+        check_linearizable(&HashMap::new(), &h[..1], Strictness::Exact).unwrap();
+    }
+
+    #[test]
+    fn pending_ops_are_optional_both_ways() {
+        // A pending insert may or may not have landed; either read is OK.
+        let pending = rec(
+            HistKind::Insert,
+            2,
+            20,
+            0,
+            HistRecord::PENDING,
+            HistResult::Unknown,
+        );
+        for found in [HistResult::Found(None), HistResult::Found(Some(20))] {
+            let h = vec![pending, rec(HistKind::Find, 2, 0, 1, 2, found)];
+            check_linearizable(&HashMap::new(), &h, Strictness::Exact).unwrap();
+        }
+        // But a read of some *other* value is still wrong.
+        let h = vec![
+            pending,
+            rec(HistKind::Find, 2, 0, 1, 2, HistResult::Found(Some(99))),
+        ];
+        assert!(check_linearizable(&HashMap::new(), &h, Strictness::Exact).is_err());
+    }
+
+    #[test]
+    fn at_least_once_tolerates_double_reported_inserts() {
+        // Two concurrent "Inserted(true)" for the same key: impossible
+        // exactly-once, legal under retries.
+        let h = vec![
+            rec(HistKind::Insert, 3, 30, 0, 2, HistResult::Inserted(true)),
+            rec(HistKind::Insert, 3, 30, 1, 3, HistResult::Inserted(true)),
+        ];
+        assert!(check_linearizable(&HashMap::new(), &h, Strictness::Exact).is_err());
+        check_linearizable(&HashMap::new(), &h, Strictness::AtLeastOnce).unwrap();
+    }
+
+    #[test]
+    fn keys_are_checked_independently() {
+        let h = vec![
+            rec(HistKind::Insert, 1, 10, 0, 1, HistResult::Inserted(true)),
+            rec(HistKind::Insert, 2, 20, 2, 3, HistResult::Inserted(true)),
+            rec(HistKind::Find, 2, 0, 4, 5, HistResult::Found(Some(20))),
+        ];
+        let r = check_linearizable(&HashMap::new(), &h, Strictness::Exact).unwrap();
+        assert_eq!(r.keys, 2);
+    }
+}

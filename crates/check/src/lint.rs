@@ -1,0 +1,432 @@
+//! `ceh-lint`: a source-level lock-discipline lint.
+//!
+//! A deliberately simple, zero-dependency line scanner (no rustc
+//! plugin, no syn) that enforces the paper's locking rules as *textual*
+//! discipline across the workspace:
+//!
+//! * **`lock-order`** — the protocols acquire top-down: directory before
+//!   bucket before next-chain (§2.3). Acquiring the directory lock while
+//!   a page lock is held inverts that order and risks deadlock; the only
+//!   sanctioned exception is a ρ→α *conversion* on a directory lock the
+//!   owner already holds (§2.4/§2.5), which must carry an allow comment
+//!   saying so.
+//! * **`xi-across-send`** — holding a ξ-lock across a network send
+//!   couples the exclusive section to message latency (and to the fault
+//!   plane's delays); Figure 14's forwarding is designed to avoid it.
+//! * **`unpaired-lock`** — a function that acquires manager locks but
+//!   contains no release at all (releases in a callee, as in
+//!   `walk_to_owner`'s caller contract, must be annotated).
+//! * **`relaxed-ordering`** — `Ordering::Relaxed` is fine for counters
+//!   (`fetch_add`/`fetch_sub` are exempt) but anything load/store with
+//!   `Relaxed` needs a comment justifying why the lock protocol already
+//!   orders it.
+//!
+//! Escapes: append `// ceh-lint: allow(<rule>) — reason` on the
+//! offending line or the line above, or `// ceh-lint: allow-file(<rule>)
+//! — reason` anywhere in the file for a per-file waiver. Blanket scope
+//! cuts (documented, not silent): `crates/check` itself (its sources
+//! embed rule patterns and deliberately pathological schedules),
+//! `crates/locks` for the lock rules (it *implements* the discipline the
+//! rules describe), `crates/obs` for `relaxed-ordering` (a monotonic
+//! metrics plane), and test code (`tests/`, `benches/`, everything after
+//! a `#[cfg(test)]` line), which intentionally holds and leaks locks.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, as used in allow comments.
+pub const RULES: [&str; 4] = [
+    "lock-order",
+    "xi-across-send",
+    "unpaired-lock",
+    "relaxed-ordering",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Which rules apply to a file, from its path.
+fn rules_for(path: &str) -> &'static [&'static str] {
+    let p = path.replace('\\', "/");
+    if p.contains("/target/")
+        || p.contains("crates/check/")
+        || p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+    {
+        return &[];
+    }
+    if p.contains("crates/locks/") {
+        return &["relaxed-ordering"];
+    }
+    if p.contains("crates/obs/") {
+        return &["lock-order", "xi-across-send", "unpaired-lock"];
+    }
+    &RULES
+}
+
+/// Lint one file's source text. `path` is used for scope gating and in
+/// findings; the file is not read from disk.
+pub fn lint_source(path: &Path, text: &str) -> Vec<Finding> {
+    let enabled = rules_for(&path.to_string_lossy());
+    if enabled.is_empty() {
+        return Vec::new();
+    }
+    let lines: Vec<&str> = text.lines().collect();
+
+    let file_allows = |rule: &str| {
+        lines
+            .iter()
+            .any(|l| l.contains("ceh-lint: allow-file(") && l.contains(rule))
+    };
+    let line_allows = |rule: &str, i: usize| {
+        let hit = |l: &str| l.contains("ceh-lint: allow(") && l.contains(rule);
+        hit(lines[i]) || (i > 0 && hit(lines[i - 1]))
+    };
+    let on = |rule: &str| enabled.contains(&rule) && !file_allows(rule);
+
+    let mut findings = Vec::new();
+    let mut report = |rule: &'static str, i: usize, message: String| {
+        if on(rule) && !line_allows(rule, i) {
+            findings.push(Finding {
+                path: path.to_path_buf(),
+                line: i + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    // Per-function scan state (reset at each `fn` line).
+    let mut pages_held = 0usize; // page-lock acquires minus releases seen so far
+    let mut xi_held = 0usize; // ξ acquires minus ξ releases seen so far
+    let mut fn_acquires = 0usize;
+    let mut fn_releases = 0usize;
+    let mut fn_start: Option<usize> = None;
+    let mut fn_name = String::new();
+
+    let close_fn = |start: Option<usize>,
+                    name: &str,
+                    acquires: usize,
+                    releases: usize,
+                    report: &mut dyn FnMut(&'static str, usize, String)| {
+        if let Some(s) = start {
+            if acquires > 0 && releases == 0 {
+                report(
+                    "unpaired-lock",
+                    s,
+                    format!(
+                        "`{name}` acquires {acquires} manager lock(s) but never releases; \
+                             if a callee or caller releases them, annotate why"
+                    ),
+                );
+            }
+        }
+    };
+
+    for (i, raw) in lines.iter().enumerate() {
+        let line = strip_comment(raw);
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            // Repo convention: the test module is the tail of the file.
+            break;
+        }
+        if let Some(name) = fn_decl(line) {
+            close_fn(fn_start, &fn_name, fn_acquires, fn_releases, &mut report);
+            fn_start = Some(i);
+            fn_name = name.to_string();
+            pages_held = 0;
+            xi_held = 0;
+            fn_acquires = 0;
+            fn_releases = 0;
+        }
+
+        let acq = acquire_on(line);
+        if let Some(target) = acq {
+            fn_acquires += 1;
+            match target {
+                Target::Directory => {
+                    if pages_held > 0 {
+                        report(
+                            "lock-order",
+                            i,
+                            format!(
+                                "`{fn_name}` acquires the directory lock while holding {pages_held} \
+                                 page lock(s): the protocols lock top-down (directory before bucket); \
+                                 if this is a ρ→α conversion on an already-held directory lock, say so"
+                            ),
+                        );
+                    }
+                }
+                Target::Page => pages_held += 1,
+            }
+            if line.contains("xi_lock(") || line.contains("LockMode::Xi") {
+                xi_held += 1;
+            }
+        }
+        if release_on(line) {
+            fn_releases += 1;
+            pages_held = pages_held.saturating_sub(1);
+            if line.contains("un_xi_lock(") || line.contains("LockMode::Xi") {
+                xi_held = xi_held.saturating_sub(1);
+            }
+        }
+        if line.contains("release_all(") {
+            fn_releases += 1;
+            pages_held = 0;
+            xi_held = 0;
+        }
+        if line.contains("LockGuard") {
+            // Guards release on drop; pairing is structural.
+            fn_releases += 1;
+        }
+
+        if (line.contains("net.send(") || line.contains("net().send(")) && xi_held > 0 {
+            report(
+                "xi-across-send",
+                i,
+                format!(
+                    "`{fn_name}` sends on the network while a ξ-lock appears to be held: \
+                     exclusive sections must not span message latency"
+                ),
+            );
+        }
+
+        if line.contains("Ordering::Relaxed")
+            && !line.contains("fetch_add")
+            && !line.contains("fetch_sub")
+        {
+            report(
+                "relaxed-ordering",
+                i,
+                "relaxed load/store needs a justification (why does the lock protocol \
+                 already order this access?)"
+                    .to_string(),
+            );
+        }
+    }
+    close_fn(fn_start, &fn_name, fn_acquires, fn_releases, &mut report);
+    findings
+}
+
+/// Lint every `.rs` file under `paths` (files or directories). `Err` is
+/// an I/O failure, not a finding.
+pub fn lint_paths(paths: &[PathBuf]) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        collect_rs(p, &mut files)?;
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for f in files {
+        let text = std::fs::read_to_string(&f).map_err(|e| format!("read {}: {e}", f.display()))?;
+        findings.extend(lint_source(&f, &text));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(p: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let meta = std::fs::metadata(p).map_err(|e| format!("stat {}: {e}", p.display()))?;
+    if meta.is_file() {
+        if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p.to_path_buf());
+        }
+        return Ok(());
+    }
+    if p.file_name().is_some_and(|n| n == "target") {
+        return Ok(());
+    }
+    let rd = std::fs::read_dir(p).map_err(|e| format!("read dir {}: {e}", p.display()))?;
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", p.display()))?;
+        collect_rs(&entry.path(), out)?;
+    }
+    Ok(())
+}
+
+/// Everything before a `//` comment (naive about strings; good enough
+/// for discipline scanning, and allow comments are matched on the raw
+/// line anyway).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// If the line declares a function, its name.
+fn fn_decl(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    let rest = [
+        "pub ",
+        "pub(crate) ",
+        "pub(super) ",
+        "async ",
+        "unsafe ",
+        "const ",
+    ]
+    .iter()
+    .fold(t, |acc, p| acc.strip_prefix(p).unwrap_or(acc));
+    let rest = rest.strip_prefix("fn ")?;
+    let end = rest.find(['(', '<'])?;
+    Some(rest[..end].trim())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Directory,
+    Page,
+}
+
+/// Does this line acquire a manager lock, and on what? Manager calls
+/// always pass an owner (`.lock(owner, …)`, `xi_lock(owner, …)`), which
+/// keeps mutex `.lock()`s out of scope.
+fn acquire_on(line: &str) -> Option<Target> {
+    let shorthand = ["xi_lock(", "alpha_lock(", "rho_lock("]
+        .iter()
+        .any(|p| match line.find(p) {
+            Some(i) => !line[..i].ends_with("un_"),
+            None => false,
+        });
+    let generic = line.contains(".lock(owner") || line.contains(".try_lock(owner");
+    if !shorthand && !generic {
+        return None;
+    }
+    if line.contains("Directory") {
+        Some(Target::Directory)
+    } else {
+        Some(Target::Page)
+    }
+}
+
+fn release_on(line: &str) -> bool {
+    ["un_xi_lock(", "un_alpha_lock(", "un_rho_lock("]
+        .iter()
+        .any(|p| line.contains(p))
+        || line.contains(".unlock(")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        lint_source(Path::new(path), src)
+    }
+
+    #[test]
+    fn flags_directory_after_page() {
+        let src = "fn bad(core: &FileCore, owner: OwnerId) {\n\
+                   core.xi_lock(owner, LockId::Page(p));\n\
+                   core.alpha_lock(owner, LockId::Directory);\n\
+                   core.un_xi_lock(owner, LockId::Page(p));\n\
+                   }\n";
+        let f = lint("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lock-order");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn allow_comment_silences_one_line() {
+        let src = "fn ok(core: &FileCore, owner: OwnerId) {\n\
+                   core.xi_lock(owner, LockId::Page(p));\n\
+                   // ceh-lint: allow(lock-order) — ρ→α conversion, directory already ρ-held\n\
+                   core.alpha_lock(owner, LockId::Directory);\n\
+                   core.un_xi_lock(owner, LockId::Page(p));\n\
+                   }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_send_under_xi() {
+        let src = "fn fwd(site: &Site, owner: OwnerId) {\n\
+                   site.locks.lock(owner, LockId::Page(p), LockMode::Xi);\n\
+                   site.net.send(port, msg);\n\
+                   site.locks.unlock(owner, LockId::Page(p), LockMode::Xi);\n\
+                   }\n";
+        let f = lint("crates/dist/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "xi-across-send");
+        // After the release the same send is fine.
+        let src_ok = "fn fwd(site: &Site, owner: OwnerId) {\n\
+                   site.locks.lock(owner, LockId::Page(p), LockMode::Xi);\n\
+                   site.locks.unlock(owner, LockId::Page(p), LockMode::Xi);\n\
+                   site.net.send(port, msg);\n\
+                   }\n";
+        assert!(lint("crates/dist/src/x.rs", src_ok).is_empty());
+    }
+
+    #[test]
+    fn flags_unpaired_acquire() {
+        let src = "fn leaky(core: &FileCore, owner: OwnerId) {\n\
+                   core.rho_lock(owner, LockId::Directory);\n\
+                   }\n";
+        let f = lint("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unpaired-lock");
+    }
+
+    #[test]
+    fn flags_bare_relaxed_but_not_counters() {
+        let src = "fn f(a: &AtomicU64) {\n\
+                   a.fetch_add(1, Ordering::Relaxed);\n\
+                   let _ = a.load(Ordering::Relaxed);\n\
+                   }\n";
+        let f = lint("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "relaxed-ordering");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn file_level_waiver_and_scope_cuts() {
+        let src =
+            "// ceh-lint: allow-file(relaxed-ordering) — entries ordered by the α/ξ protocol\n\
+                   fn f(a: &AtomicU64) { let _ = a.load(Ordering::Relaxed); }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+        let bare = "fn f(a: &AtomicU64) { let _ = a.load(Ordering::Relaxed); }\n";
+        assert!(
+            lint("crates/obs/src/x.rs", bare).is_empty(),
+            "obs is exempt"
+        );
+        assert!(
+            !lint("crates/locks/src/x.rs", bare).is_empty(),
+            "locks is not"
+        );
+        assert!(
+            lint("crates/core/tests/x.rs", bare).is_empty(),
+            "tests are exempt"
+        );
+    }
+
+    #[test]
+    fn test_module_tail_is_skipped() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n\
+                   fn leaky(core: &FileCore, owner: OwnerId) { core.rho_lock(owner, LockId::Directory); }\n\
+                   }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimized failing-schedule fixtures.
+//!
+//! When the explorer finds a violating interleaving it minimizes the
+//! schedule and serializes it in a tiny line-oriented text format meant
+//! to be checked into `tests/fixtures/schedules/` as a regression corpus;
+//! the harness replays every fixture on every test run. The format:
+//!
+//! ```text
+//! # ceh-check schedule fixture v1
+//! # free-form comment lines are ignored
+//! workload: s2-delete-delete-merge
+//! preemption-bound: 3
+//! schedule: 0 0 1 1 0 1 0
+//! violation: history for key 7 is not linearizable
+//! ```
+//!
+//! `schedule` is the thread index chosen at each scheduling decision;
+//! replaying it through [`crate::replay`] deterministically reproduces
+//! the execution. `violation` is advisory (what the schedule originally
+//! produced) — replay asserts only that *some* violation recurs, so
+//! fixtures stay stable across improved diagnostics.
+
+use std::fmt::Write as _;
+
+/// A parsed schedule fixture (see module docs for the on-disk format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleFixture {
+    /// Name of the [`crate::Workload`] the schedule drives.
+    pub workload: String,
+    /// Preemption bound the schedule was found under.
+    pub preemption_bound: usize,
+    /// The thread chosen at each scheduling decision.
+    pub schedule: Vec<usize>,
+    /// One-line description of the original violation (advisory).
+    pub violation: Option<String>,
+}
+
+const HEADER: &str = "# ceh-check schedule fixture v1";
+
+impl ScheduleFixture {
+    /// Serialize to the on-disk text format.
+    pub fn serialize(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{HEADER}");
+        let _ = writeln!(s, "workload: {}", self.workload);
+        let _ = writeln!(s, "preemption-bound: {}", self.preemption_bound);
+        let sched: Vec<String> = self.schedule.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(s, "schedule: {}", sched.join(" "));
+        if let Some(v) = &self.violation {
+            let _ = writeln!(s, "violation: {}", v.lines().next().unwrap_or(""));
+        }
+        s
+    }
+
+    /// Parse the on-disk text format.
+    pub fn parse(text: &str) -> Result<ScheduleFixture, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            other => return Err(format!("bad fixture header: {other:?} (want {HEADER:?})")),
+        }
+        let mut workload = None;
+        let mut preemption_bound = None;
+        let mut schedule = None;
+        let mut violation = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (field, value) = line
+                .split_once(':')
+                .ok_or_else(|| format!("fixture line without ':': {line:?}"))?;
+            let value = value.trim();
+            match field.trim() {
+                "workload" => workload = Some(value.to_string()),
+                "preemption-bound" => {
+                    preemption_bound = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad preemption-bound {value:?}: {e}"))?,
+                    )
+                }
+                "schedule" => {
+                    let choices: Result<Vec<usize>, _> =
+                        value.split_whitespace().map(str::parse).collect();
+                    schedule = Some(choices.map_err(|e| format!("bad schedule {value:?}: {e}"))?);
+                }
+                "violation" => violation = Some(value.to_string()),
+                other => return Err(format!("unknown fixture field {other:?}")),
+            }
+        }
+        Ok(ScheduleFixture {
+            workload: workload.ok_or("fixture missing 'workload'")?,
+            preemption_bound: preemption_bound.ok_or("fixture missing 'preemption-bound'")?,
+            schedule: schedule.ok_or("fixture missing 'schedule'")?,
+            violation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = ScheduleFixture {
+            workload: "s2-delete-delete-merge".into(),
+            preemption_bound: 3,
+            schedule: vec![0, 0, 1, 1, 0, 1],
+            violation: Some("history for key 7 is not linearizable".into()),
+        };
+        let parsed = ScheduleFixture::parse(&f.serialize()).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn roundtrip_without_violation() {
+        let f = ScheduleFixture {
+            workload: "s1-insert-insert-split".into(),
+            preemption_bound: 0,
+            schedule: vec![],
+            violation: None,
+        };
+        assert_eq!(ScheduleFixture::parse(&f.serialize()).unwrap(), f);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# ceh-check schedule fixture v1\n\n# why\nworkload: w\npreemption-bound: 1\nschedule: 1 0\n";
+        let f = ScheduleFixture::parse(text).unwrap();
+        assert_eq!(f.schedule, vec![1, 0]);
+        assert_eq!(f.violation, None);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(ScheduleFixture::parse("nope").is_err());
+        assert!(ScheduleFixture::parse("# ceh-check schedule fixture v1\nworkload: w\n").is_err());
+        assert!(ScheduleFixture::parse(
+            "# ceh-check schedule fixture v1\nworkload: w\npreemption-bound: x\nschedule: 0\n"
+        )
+        .is_err());
+        assert!(ScheduleFixture::parse("# ceh-check schedule fixture v1\nmystery: 3\n").is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! `ceh check` — the offline verification entry point.
+//!
+//! Thin argv-level wrapper over [`ceh_check`]: schedule exploration
+//! ([`ceh_check::explore`]), fixture replay ([`ceh_check::replay`]), and
+//! the lock-discipline lint ([`ceh_check::lint_paths`]). See
+//! [`CHECK_HELP`] for the surface.
+
+use std::fmt::Write as _;
+
+use ceh_check::{explore, lint_paths, replay, ExploreConfig, ScheduleFixture, Workload};
+use ceh_types::{Error, Result};
+
+/// Help text for `ceh check`.
+pub const CHECK_HELP: &str = "\
+usage: ceh check [--explore [WORKLOAD ...]] [--lint [PATH ...]]
+                 [--replay FIXTURE ...] [--bound N] [--no-dpor]
+modes (default: --explore over every workload, then --lint crates):
+  --explore [WORKLOAD ...]  run the named workloads (default: all) under
+                            every schedule up to the preemption bound,
+                            checking invariants + linearizability per run
+  --lint [PATH ...]         run the lock-discipline lint (default: crates)
+  --replay FIXTURE ...      replay schedule fixture files; a reproduced
+                            violation is reported (and fails the check)
+  --list-workloads          print workload names and exit
+options:
+  --bound N                 preemption bound for --explore (default 3)
+  --no-dpor                 disable commutativity pruning (slower, but
+                            the coverage claim needs no heuristic)
+exit status: 0 clean, 1 violations or lint findings, 2 usage error";
+
+/// Parsed `ceh check` invocation.
+struct Args {
+    explore_workloads: Option<Vec<String>>,
+    lint_paths: Option<Vec<String>>,
+    replay_fixtures: Vec<String>,
+    bound: usize,
+    dpor: bool,
+    list: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args> {
+    let mut a = Args {
+        explore_workloads: None,
+        lint_paths: None,
+        replay_fixtures: Vec::new(),
+        bound: 3,
+        dpor: true,
+        list: false,
+    };
+    let mut mode: Option<&'static str> = None;
+    let mut it = argv.iter().peekable();
+    let mut explicit = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--explore" => {
+                a.explore_workloads.get_or_insert_with(Vec::new);
+                mode = Some("explore");
+                explicit = true;
+            }
+            "--lint" => {
+                a.lint_paths.get_or_insert_with(Vec::new);
+                mode = Some("lint");
+                explicit = true;
+            }
+            "--replay" => {
+                mode = Some("replay");
+                explicit = true;
+            }
+            "--list-workloads" => a.list = true,
+            "--no-dpor" => a.dpor = false,
+            "--bound" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Error::Config("--bound needs a number".into()))?;
+                a.bound = n
+                    .parse()
+                    .map_err(|_| Error::Config(format!("--bound: bad number {n:?}")))?;
+            }
+            "--help" | "-h" => {
+                return Err(Error::Config(CHECK_HELP.into()));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(Error::Config(format!("unknown flag {flag}\n{CHECK_HELP}")));
+            }
+            operand => match mode {
+                Some("explore") => a
+                    .explore_workloads
+                    .get_or_insert_with(Vec::new)
+                    .push(operand.to_string()),
+                Some("lint") => a
+                    .lint_paths
+                    .get_or_insert_with(Vec::new)
+                    .push(operand.to_string()),
+                Some("replay") => a.replay_fixtures.push(operand.to_string()),
+                _ => {
+                    return Err(Error::Config(format!(
+                        "unexpected operand {operand:?}\n{CHECK_HELP}"
+                    )))
+                }
+            },
+        }
+    }
+    if !explicit && !a.list {
+        // Default: full sweep.
+        a.explore_workloads = Some(Vec::new());
+        a.lint_paths = Some(Vec::new());
+    }
+    Ok(a)
+}
+
+/// Run `ceh check` with the argv tail after the subcommand. Returns the
+/// report and whether everything came back clean (`false` ⇒ exit 1).
+pub fn run_check(argv: &[String]) -> Result<(String, bool)> {
+    let args = parse_args(argv)?;
+    let mut out = String::new();
+    let mut clean = true;
+
+    if args.list {
+        for w in Workload::all() {
+            let _ = writeln!(out, "{:<26} {}", w.name, w.description);
+        }
+        return Ok((out, true));
+    }
+
+    if let Some(names) = &args.explore_workloads {
+        let workloads: Vec<Workload> = if names.is_empty() {
+            Workload::all()
+        } else {
+            names
+                .iter()
+                .map(|n| {
+                    Workload::by_name(n).ok_or_else(|| {
+                        Error::Config(format!("unknown workload {n:?} (try --list-workloads)"))
+                    })
+                })
+                .collect::<Result<_>>()?
+        };
+        let cfg = ExploreConfig {
+            preemption_bound: args.bound,
+            dpor: args.dpor,
+            ..Default::default()
+        };
+        for w in &workloads {
+            let report = explore(w, &cfg).map_err(Error::Config)?;
+            match &report.violation {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "explore {:<26} clean: {} schedules at bound {}{}{}",
+                        w.name,
+                        report.schedules,
+                        args.bound,
+                        if args.dpor {
+                            " (dpor)"
+                        } else {
+                            " (exhaustive)"
+                        },
+                        if report.truncated { " [TRUNCATED]" } else { "" },
+                    );
+                }
+                Some(v) => {
+                    clean = false;
+                    let _ = writeln!(
+                        out,
+                        "explore {:<26} VIOLATION after {} schedules: {}",
+                        w.name, report.schedules, v.detail
+                    );
+                    let _ = writeln!(
+                        out,
+                        "--- minimized fixture (save under tests/fixtures/schedules/) ---"
+                    );
+                    out.push_str(&v.to_fixture().serialize());
+                    let _ = writeln!(out, "---");
+                }
+            }
+        }
+    }
+
+    for path in &args.replay_fixtures {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::Config(format!("cannot read fixture {path}: {e}")))?;
+        let fix = ScheduleFixture::parse(&text).map_err(Error::Config)?;
+        match replay(&fix).map_err(Error::Config)? {
+            Some(detail) => {
+                clean = false;
+                let _ = writeln!(out, "replay  {path}: VIOLATION reproduced: {detail}");
+            }
+            None => {
+                let _ = writeln!(out, "replay  {path}: clean");
+            }
+        }
+    }
+
+    if let Some(paths) = &args.lint_paths {
+        let paths: Vec<std::path::PathBuf> = if paths.is_empty() {
+            vec![std::path::PathBuf::from("crates")]
+        } else {
+            paths.iter().map(std::path::PathBuf::from).collect()
+        };
+        let findings = lint_paths(&paths).map_err(Error::Config)?;
+        if findings.is_empty() {
+            let _ = writeln!(out, "lint    clean");
+        } else {
+            clean = false;
+            for f in &findings {
+                let _ = writeln!(out, "{f}");
+            }
+            let _ = writeln!(out, "lint    {} finding(s)", findings.len());
+        }
+    }
+
+    Ok((out, clean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn list_workloads_prints_all() {
+        let (out, clean) = run_check(&s(&["--list-workloads"])).unwrap();
+        assert!(clean);
+        for w in Workload::all() {
+            assert!(out.contains(w.name), "missing {} in {out}", w.name);
+        }
+    }
+
+    #[test]
+    fn explore_one_workload_is_clean() {
+        let (out, clean) =
+            run_check(&s(&["--explore", "s1-insert-insert-split", "--bound", "2"])).unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn unknown_workload_is_a_usage_error() {
+        assert!(run_check(&s(&["--explore", "no-such-workload"])).is_err());
+    }
+
+    #[test]
+    fn bad_flag_is_a_usage_error() {
+        assert!(run_check(&s(&["--frobnicate"])).is_err());
+    }
+}

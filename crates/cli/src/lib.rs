@@ -18,6 +18,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod check;
+pub use check::{run_check, CHECK_HELP};
+
 use std::sync::Arc;
 
 use ceh_core::{invariants, ConcurrentHashFile, FileCore, Solution2};

@@ -7,7 +7,7 @@
 
 use std::io::{BufRead, Write};
 
-use ceh_cli::{parse_command, Command, Index, HELP};
+use ceh_cli::{parse_command, Command, Index, CHECK_HELP, HELP};
 
 /// Print a line to stdout, exiting quietly if the pipe is gone (`ceh …
 /// | head` must not panic).
@@ -22,10 +22,25 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first() else {
         eprintln!(
-            "usage: ceh <index-file> [command...]\n       ceh trace <workload> [--json]\n\n{HELP}"
+            "usage: ceh <index-file> [command...]\n       ceh trace <workload> [--json]\n       ceh check [...]\n\n{HELP}\n\n{CHECK_HELP}"
         );
         std::process::exit(2);
     };
+
+    // `ceh check [...]`: offline verification — schedule exploration,
+    // fixture replay, and the lock-discipline lint (no index file).
+    if path == "check" {
+        match ceh_cli::run_check(&args[1..]) {
+            Ok((out, clean)) => {
+                say(out.trim_end());
+                std::process::exit(i32::from(!clean));
+            }
+            Err(e) => {
+                eprintln!("ceh: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     // `ceh trace <workload> [--json]`: run a seeded cluster with causal
     // tracing on and print the trace (no index file involved).

@@ -249,6 +249,25 @@ impl FileCore {
         }
     }
 
+    /// Record an operation's invoke edge in the shared history log
+    /// (no-op — one relaxed load — unless the log is enabled; see
+    /// [`ceh_obs::HistoryLog`]).
+    #[inline]
+    pub(crate) fn hist_invoke(
+        &self,
+        kind: ceh_obs::HistKind,
+        key: Key,
+        value: u64,
+    ) -> ceh_obs::HistToken {
+        self.metrics.history().invoke(kind, key.0, value)
+    }
+
+    /// Record an operation's return edge (pair of [`FileCore::hist_invoke`]).
+    #[inline]
+    pub(crate) fn hist_ret(&self, token: ceh_obs::HistToken, result: ceh_obs::HistResult) {
+        self.metrics.history().ret(token, result);
+    }
+
     /// The pseudokey function in use.
     pub fn hasher(&self) -> fn(Key) -> Pseudokey {
         self.hasher
@@ -256,6 +275,7 @@ impl FileCore {
 
     /// Record count (exact at quiescence).
     pub fn len(&self) -> usize {
+        // ceh-lint: allow(relaxed-ordering) — statistics counter, exact only at quiescence
         self.len.load(Ordering::Relaxed)
     }
 
@@ -293,6 +313,7 @@ impl FileCore {
     /// `rho_lock(owner, LockId::Directory)` reads like the figure's
     /// `RhoLock (directory)`.
     #[inline]
+    // ceh-lint: allow(unpaired-lock) — delegating shorthand; pairing is the caller's obligation
     pub(crate) fn rho_lock(&self, o: OwnerId, id: LockId) {
         self.locks.lock(o, id, LockMode::Rho);
     }
@@ -303,6 +324,7 @@ impl FileCore {
     }
 
     #[inline]
+    // ceh-lint: allow(unpaired-lock) — delegating shorthand; pairing is the caller's obligation
     pub(crate) fn alpha_lock(&self, o: OwnerId, id: LockId) {
         self.locks.lock(o, id, LockMode::Alpha);
     }
@@ -313,6 +335,7 @@ impl FileCore {
     }
 
     #[inline]
+    // ceh-lint: allow(unpaired-lock) — delegating shorthand; pairing is the caller's obligation
     pub(crate) fn xi_lock(&self, o: OwnerId, id: LockId) {
         self.locks.lock(o, id, LockMode::Xi);
     }

@@ -1,5 +1,10 @@
 //! The shared directory, readable under ρ while writers hold α.
 //!
+//! ceh-lint: allow-file(relaxed-ordering) — entry words are independent
+//! page-id cells published/consumed via the Acquire/Release `depth`
+//! handshake described below, or mutated only under the α/ξ directory
+//! lock (§2.3); per-cell ordering adds nothing.
+//!
 //! ρ and α are *compatible*, so the directory must tolerate being read
 //! while an inserter doubles it or redirects entries. The paper's argument
 //! (§2.3) is that doubling appears atomic "because of the choice to use

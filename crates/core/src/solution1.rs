@@ -320,15 +320,26 @@ impl Solution1 {
 
 impl ConcurrentHashFile for Solution1 {
     fn find(&self, key: Key) -> Result<Option<Value>> {
-        self.core.find_impl(key, self.opts.pessimistic_find)
+        let t = self.core.hist_invoke(ceh_obs::HistKind::Find, key, 0);
+        let r = self.core.find_impl(key, self.opts.pessimistic_find);
+        self.core.hist_ret(t, crate::traits::hist_find_result(&r));
+        r
     }
 
     fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
-        self.insert_impl(key, value)
+        let t = self
+            .core
+            .hist_invoke(ceh_obs::HistKind::Insert, key, value.0);
+        let r = self.insert_impl(key, value);
+        self.core.hist_ret(t, crate::traits::hist_insert_result(&r));
+        r
     }
 
     fn delete(&self, key: Key) -> Result<DeleteOutcome> {
-        self.delete_impl(key)
+        let t = self.core.hist_invoke(ceh_obs::HistKind::Delete, key, 0);
+        let r = self.delete_impl(key);
+        self.core.hist_ret(t, crate::traits::hist_delete_result(&r));
+        r
     }
 
     fn len(&self) -> usize {

@@ -433,6 +433,12 @@ impl Solution2 {
                 return Ok(DeleteOutcome::NotFound);
             }
 
+            // Deliberate fault injection for `ceh-check`'s self-test: the
+            // `check-inject` feature disables Figure 9's label-A
+            // re-validation below, recreating exactly the stale-partner
+            // race the paper's checklist exists to close. Never enabled in
+            // normal builds; the schedule explorer must catch it.
+            let skip_label_a = cfg!(feature = "check-inject");
             let m = partner_bit(current.localdepth);
             let (brother, newpage, merged_page, garbage_page);
             if pk.0 & m != m {
@@ -453,7 +459,7 @@ impl Solution2 {
                 core.un_xi_lock(owner, LockId::Page(oldpage));
                 core.xi_lock(owner, LockId::Page(np));
                 brother = try_or_release!(core, owner, core.getbucket(np, &mut buf));
-                if brother.next != oldpage || brother.is_deleted() {
+                if !skip_label_a && (brother.next != oldpage || brother.is_deleted()) {
                     /* A: OLDPAGE AND NEWPAGE ARE NOT MERGABLE PARTNERS */
                     // The stale directory entry led somewhere that is no
                     // longer (or never was) the live "0" partner.
@@ -466,7 +472,7 @@ impl Solution2 {
                 }
                 core.xi_lock(owner, LockId::Page(oldpage));
                 current = try_or_release!(core, owner, core.getbucket(oldpage, &mut buf));
-                if !current.owns(pk) {
+                if !skip_label_a && !current.owns(pk) {
                     /* Z no longer belongs in oldpage - while waiting to
                     re-lock oldpage it may have filled up and split,
                     moving z */
@@ -603,15 +609,26 @@ impl Solution2 {
 impl ConcurrentHashFile for Solution2 {
     fn find(&self, key: Key) -> Result<Option<Value>> {
         // "The procedure for the find operation is the same as before."
-        self.core.find_impl(key, false)
+        let t = self.core.hist_invoke(ceh_obs::HistKind::Find, key, 0);
+        let r = self.core.find_impl(key, false);
+        self.core.hist_ret(t, crate::traits::hist_find_result(&r));
+        r
     }
 
     fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
-        self.insert_impl(key, value)
+        let t = self
+            .core
+            .hist_invoke(ceh_obs::HistKind::Insert, key, value.0);
+        let r = self.insert_impl(key, value);
+        self.core.hist_ret(t, crate::traits::hist_insert_result(&r));
+        r
     }
 
     fn delete(&self, key: Key) -> Result<DeleteOutcome> {
-        self.delete_impl(key)
+        let t = self.core.hist_invoke(ceh_obs::HistKind::Delete, key, 0);
+        let r = self.delete_impl(key);
+        self.core.hist_ret(t, crate::traits::hist_delete_result(&r));
+        r
     }
 
     fn len(&self) -> usize {

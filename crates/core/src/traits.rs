@@ -45,6 +45,32 @@ pub trait ConcurrentHashFile: Send + Sync {
     }
 }
 
+/// Map a `find` outcome onto its history-log result (errors record
+/// [`ceh_obs::HistResult::Unknown`]: the checker treats them as
+/// effect-unknown).
+pub(crate) fn hist_find_result(r: &Result<Option<Value>>) -> ceh_obs::HistResult {
+    match r {
+        Ok(v) => ceh_obs::HistResult::Found(v.map(|v| v.0)),
+        Err(_) => ceh_obs::HistResult::Unknown,
+    }
+}
+
+/// Map an `insert` outcome onto its history-log result.
+pub(crate) fn hist_insert_result(r: &Result<InsertOutcome>) -> ceh_obs::HistResult {
+    match r {
+        Ok(o) => ceh_obs::HistResult::Inserted(*o == InsertOutcome::Inserted),
+        Err(_) => ceh_obs::HistResult::Unknown,
+    }
+}
+
+/// Map a `delete` outcome onto its history-log result.
+pub(crate) fn hist_delete_result(r: &Result<DeleteOutcome>) -> ceh_obs::HistResult {
+    match r {
+        Ok(o) => ceh_obs::HistResult::Deleted(*o == DeleteOutcome::Deleted),
+        Err(_) => ceh_obs::HistResult::Unknown,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ceh_net::{PortId, PortRx, SimNetwork};
-use ceh_obs::{Counter, MetricsHandle, TraceCtx};
+use ceh_obs::{Counter, HistKind, HistResult, MetricsHandle, TraceCtx};
 use ceh_types::{DeleteOutcome, Error, InsertOutcome, Key, Result, RetryPolicy, Value};
 
 use crate::msg::{Msg, OpKind, UserOutcome};
@@ -164,26 +164,67 @@ impl DistClient {
     }
 
     /// Look up a key.
+    ///
+    /// Recorded in the [history log](ceh_obs::HistoryLog) (when enabled)
+    /// at the *client* boundary — invoke before the first send, return
+    /// after the last reply — so a linearizability checker sees exactly
+    /// the window the user observed, retries and failovers included. An
+    /// `Err` records [`HistResult::Unknown`]: some attempt may have taken
+    /// effect even though no reply made it back.
     pub fn find(&self, key: Key) -> Result<Option<Value>> {
-        match self.request(OpKind::Find, key, Value(0))? {
-            UserOutcome::Found(v) => Ok(v),
-            other => Err(Error::Unavailable(format!("mismatched reply {other:?}"))),
-        }
+        let hist = self.metrics.history();
+        let tok = hist.invoke(HistKind::Find, key.0, 0);
+        let out = match self.request(OpKind::Find, key, Value(0)) {
+            Ok(UserOutcome::Found(v)) => Ok(v),
+            Ok(other) => Err(Error::Unavailable(format!("mismatched reply {other:?}"))),
+            Err(e) => Err(e),
+        };
+        hist.ret(
+            tok,
+            match &out {
+                Ok(v) => HistResult::Found(v.map(|v| v.0)),
+                Err(_) => HistResult::Unknown,
+            },
+        );
+        out
     }
 
-    /// Insert a key (add-if-absent).
+    /// Insert a key (add-if-absent). History capture as for
+    /// [`DistClient::find`].
     pub fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
-        match self.request(OpKind::Insert, key, value)? {
-            UserOutcome::Inserted(o) => Ok(o),
-            other => Err(Error::Unavailable(format!("mismatched reply {other:?}"))),
-        }
+        let hist = self.metrics.history();
+        let tok = hist.invoke(HistKind::Insert, key.0, value.0);
+        let out = match self.request(OpKind::Insert, key, value) {
+            Ok(UserOutcome::Inserted(o)) => Ok(o),
+            Ok(other) => Err(Error::Unavailable(format!("mismatched reply {other:?}"))),
+            Err(e) => Err(e),
+        };
+        hist.ret(
+            tok,
+            match &out {
+                Ok(o) => HistResult::Inserted(*o == InsertOutcome::Inserted),
+                Err(_) => HistResult::Unknown,
+            },
+        );
+        out
     }
 
-    /// Delete a key.
+    /// Delete a key. History capture as for [`DistClient::find`].
     pub fn delete(&self, key: Key) -> Result<DeleteOutcome> {
-        match self.request(OpKind::Delete, key, Value(0))? {
-            UserOutcome::Deleted(o) => Ok(o),
-            other => Err(Error::Unavailable(format!("mismatched reply {other:?}"))),
-        }
+        let hist = self.metrics.history();
+        let tok = hist.invoke(HistKind::Delete, key.0, 0);
+        let out = match self.request(OpKind::Delete, key, Value(0)) {
+            Ok(UserOutcome::Deleted(o)) => Ok(o),
+            Ok(other) => Err(Error::Unavailable(format!("mismatched reply {other:?}"))),
+            Err(e) => Err(e),
+        };
+        hist.ret(
+            tok,
+            match &out {
+                Ok(o) => HistResult::Deleted(*o == DeleteOutcome::Deleted),
+                Err(_) => HistResult::Unknown,
+            },
+        );
+        out
     }
 }

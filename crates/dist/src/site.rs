@@ -119,6 +119,7 @@ impl Site {
     }
 
     /// Lock helpers mirroring the figures' vocabulary.
+    // ceh-lint: allow(unpaired-lock) — delegating shorthand; pairing is the caller's obligation
     pub fn lock(&self, owner: OwnerId, page: PageId, mode: LockMode) {
         self.locks.lock(owner, LockId::Page(page), mode);
     }

@@ -8,6 +8,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use ceh_btree;
+pub use ceh_check;
 pub use ceh_core;
 pub use ceh_dist;
 pub use ceh_locks;

@@ -31,6 +31,9 @@
 //!   multiple times; counts nest;
 //! * **statistics** ([`LockStats`]) — grants, waits, wait time by mode —
 //!   consumed by the benchmark harness;
+//! * **wait-point hooks** ([`WaitHook`]): the acquire/block/release seam
+//!   `ceh-check`'s deterministic schedule explorer plugs a cooperative
+//!   scheduler into (one relaxed atomic load when unused);
 //! * a **waits-for deadlock detector** ([`LockManager::detect_deadlock`]),
 //!   armed by the stress tests to check the §2.3/§2.5 deadlock-freedom
 //!   arguments empirically, with an optional watchdog that panics with the
@@ -40,11 +43,13 @@
 #![warn(rust_2018_idioms)]
 
 mod guard;
+mod hook;
 mod manager;
 mod mode;
 mod stats;
 
 pub use guard::LockGuard;
+pub use hook::WaitHook;
 pub use manager::{LockManager, LockManagerConfig, OwnerId};
 pub use mode::{compatible, LockId, LockMode};
 pub use stats::{lock_trace_target, LockStats, LockStatsSnapshot};

@@ -1,11 +1,13 @@
 //! The lock manager.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::hook::WaitHook;
 use crate::mode::{compatible, LockId, LockMode};
 use crate::stats::{LockStats, LockStatsSnapshot};
 
@@ -149,6 +151,9 @@ pub struct LockManager {
     next_ticket: AtomicU64,
     watchdog: Option<Duration>,
     stats: LockStats,
+    /// Fast-path flag for `wait_hook` (one relaxed load when unset).
+    hooked: AtomicBool,
+    wait_hook: Mutex<Option<Arc<dyn WaitHook>>>,
 }
 
 impl std::fmt::Debug for LockManager {
@@ -191,7 +196,32 @@ impl LockManager {
             next_ticket: AtomicU64::new(1),
             watchdog: cfg.watchdog,
             stats: LockStats::with_handle(metrics),
+            hooked: AtomicBool::new(false),
+            wait_hook: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) a [`WaitHook`]. Used by `ceh-check`'s schedule
+    /// explorer to take control of blocking; see [`crate::WaitHook`].
+    ///
+    /// Must be set while the manager is quiescent (no waiters): threads
+    /// already parked on the internal condvar are not migrated to the hook.
+    pub fn set_wait_hook(&self, hook: Option<Arc<dyn WaitHook>>) {
+        let mut slot = self.wait_hook.lock();
+        self.hooked.store(hook.is_some(), Ordering::Release);
+        *slot = hook;
+    }
+
+    /// The installed hook, if any (fast path: one relaxed load).
+    #[inline]
+    fn hook(&self) -> Option<Arc<dyn WaitHook>> {
+        // A stale `false` just skips the hook for an in-flight operation;
+        // install (`set_wait_hook`) happens before any hooked run starts.
+        // ceh-lint: allow(relaxed-ordering) — monotonic fast-path flag, ordered by the install handshake above
+        if !self.hooked.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.wait_hook.lock().clone()
     }
 
     /// Allocate a fresh owner token for one logical operation.
@@ -222,6 +252,10 @@ impl LockManager {
     /// holds nests. An owner holding *any* lock on the resource makes this
     /// a conversion-style request (queue bypass; see crate docs).
     pub fn lock(&self, owner: OwnerId, id: LockId, mode: LockMode) {
+        let hook = self.hook();
+        if let Some(h) = &hook {
+            h.at_acquire(owner, id, mode);
+        }
         let target = crate::stats::lock_trace_target(id);
         let shard = self.shard(id);
         let mut state = shard.state.lock();
@@ -267,6 +301,25 @@ impl LockManager {
         }
         let wait_span = self.stats.record_wait_start(mode, target);
         let wait_started = Instant::now();
+        // Hook-driven waiting: the scheduler decides when to re-check, the
+        // condvar is never used (the releaser's notify is harmless).
+        if let Some(h) = hook {
+            loop {
+                drop(state);
+                h.at_block(owner, id, mode);
+                state = shard.state.lock();
+                let rs = state.get_mut(&id).expect("resource with waiter vanished");
+                if rs.grantable(owner, mode, is_conversion, ticket) {
+                    Self::promote(rs, owner, mode, is_conversion, ticket);
+                    self.stats
+                        .record_wait_end(wait_span, mode, target, wait_started.elapsed());
+                    if is_conversion {
+                        self.stats.record_conversion(target);
+                    }
+                    return;
+                }
+            }
+        }
         loop {
             match self.watchdog {
                 Some(d) => {
@@ -340,6 +393,9 @@ impl LockManager {
     /// granted. Respects the same fairness rules as [`LockManager::lock`]
     /// (it will not jump ahead of earlier waiters).
     pub fn try_lock(&self, owner: OwnerId, id: LockId, mode: LockMode) -> bool {
+        if let Some(h) = self.hook() {
+            h.at_acquire(owner, id, mode);
+        }
         let target = crate::stats::lock_trace_target(id);
         let shard = self.shard(id);
         let mut state = shard.state.lock();
@@ -398,6 +454,9 @@ impl LockManager {
         drop(state);
         if has_waiters {
             shard.cv.notify_all();
+        }
+        if let Some(h) = self.hook() {
+            h.at_release(owner, id, mode);
         }
     }
 

@@ -1,0 +1,216 @@
+//! Operation-history recording for linearizability checking.
+//!
+//! A [`HistoryLog`] is the observability plane's *semantic* sibling of the
+//! [`Tracer`](crate::Tracer): where the tracer records *how* an operation
+//! executed (spans, lock waits), the history log records *what* it claimed
+//! to do — `invoke(find k)` … `return Found(Some(v))` — stamped with a
+//! global sequence number on both edges so the real-time precedence order
+//! is recoverable. `ceh-check`'s Wing–Gong linearizability checker consumes
+//! the drained records and verifies them against the sequential model.
+//!
+//! Recording is disabled by default: every probe is a single relaxed
+//! atomic load until [`HistoryLog::enable`] is called, so production
+//! paths pay nothing. Like the tracer, the log hangs off the shared
+//! [`MetricsHandle`](crate::MetricsHandle) registry, so a cluster, a
+//! concurrent file, and the checker all see the same log when wired to
+//! the same handle.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Which map operation a history record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistKind {
+    /// `find(key)`.
+    Find,
+    /// `insert(key, value)`.
+    Insert,
+    /// `delete(key)`.
+    Delete,
+}
+
+impl std::fmt::Display for HistKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistKind::Find => write!(f, "find"),
+            HistKind::Insert => write!(f, "insert"),
+            HistKind::Delete => write!(f, "delete"),
+        }
+    }
+}
+
+/// The observed outcome of a completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistResult {
+    /// `find` returned this value (or absence).
+    Found(Option<u64>),
+    /// `insert` returned: `true` = newly inserted, `false` = already present.
+    Inserted(bool),
+    /// `delete` returned: `true` = deleted, `false` = not found.
+    Deleted(bool),
+    /// The operation returned an error or its outcome was lost (e.g. a
+    /// distributed request that exhausted its retries). The checker must
+    /// treat it like a pending operation: it may or may not have taken
+    /// effect.
+    Unknown,
+}
+
+/// One recorded operation: an invoke edge, and (if it completed) a return
+/// edge with its observed result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistRecord {
+    /// Operation kind.
+    pub kind: HistKind,
+    /// The key operated on.
+    pub key: u64,
+    /// The value argument (0 for find/delete).
+    pub value: u64,
+    /// Global sequence number of the invoke edge.
+    pub invoke: u64,
+    /// Global sequence number of the return edge, or [`HistRecord::PENDING`]
+    /// if the operation never returned before the log was drained.
+    pub ret: u64,
+    /// Observed outcome ([`HistResult::Unknown`] until the return edge).
+    pub result: HistResult,
+}
+
+impl HistRecord {
+    /// Sentinel `ret` value for operations that never returned.
+    pub const PENDING: u64 = u64::MAX;
+
+    /// Did the operation return with a known outcome?
+    pub fn completed(&self) -> bool {
+        self.ret != Self::PENDING && self.result != HistResult::Unknown
+    }
+}
+
+/// Token returned by [`HistoryLog::invoke`], passed to [`HistoryLog::ret`].
+///
+/// The zero token (from a disabled log) makes the return edge a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistToken(u64);
+
+impl HistToken {
+    /// The no-op token handed out while recording is disabled.
+    pub const NONE: HistToken = HistToken(0);
+}
+
+/// An append-only operation-history log (see module docs).
+#[derive(Default)]
+pub struct HistoryLog {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    ops: Mutex<Vec<HistRecord>>,
+}
+
+impl HistoryLog {
+    /// Turn recording on. Idempotent.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Turn recording off (probes return to a single atomic load).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Is recording currently enabled?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record the invoke edge of an operation. Returns the token to pass
+    /// to [`HistoryLog::ret`]; [`HistToken::NONE`] while disabled.
+    pub fn invoke(&self, kind: HistKind, key: u64, value: u64) -> HistToken {
+        if !self.is_enabled() {
+            return HistToken::NONE;
+        }
+        let mut ops = self.ops.lock().expect("history log poisoned");
+        // Sequence numbers are assigned under the mutex, so `invoke < ret`
+        // of the same op and both edges embed into one total order.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        ops.push(HistRecord {
+            kind,
+            key,
+            value,
+            invoke: seq,
+            ret: HistRecord::PENDING,
+            result: HistResult::Unknown,
+        });
+        HistToken(ops.len() as u64)
+    }
+
+    /// Record the return edge of the operation `token` was issued for.
+    /// No-op for [`HistToken::NONE`].
+    pub fn ret(&self, token: HistToken, result: HistResult) {
+        if token == HistToken::NONE {
+            return;
+        }
+        let mut ops = self.ops.lock().expect("history log poisoned");
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        // A drain between invoke and return orphans the token; drop the
+        // edge rather than stamping some unrelated record.
+        if let Some(rec) = ops.get_mut((token.0 - 1) as usize) {
+            rec.ret = seq;
+            rec.result = result;
+        }
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.ops.lock().expect("history log poisoned").len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return every record. Pending operations keep
+    /// `ret == PENDING`; sequence numbering continues across drains.
+    pub fn drain(&self) -> Vec<HistRecord> {
+        std::mem::take(&mut *self.ops.lock().expect("history log poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = HistoryLog::default();
+        let t = log.invoke(HistKind::Find, 1, 0);
+        assert_eq!(t, HistToken::NONE);
+        log.ret(t, HistResult::Found(None));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn invoke_and_return_edges_are_ordered() {
+        let log = HistoryLog::default();
+        log.enable();
+        let a = log.invoke(HistKind::Insert, 7, 70);
+        let b = log.invoke(HistKind::Find, 7, 0);
+        log.ret(b, HistResult::Found(None));
+        log.ret(a, HistResult::Inserted(true));
+        let recs = log.drain();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].invoke < recs[1].invoke);
+        assert!(recs[1].ret < recs[0].ret, "b returned before a");
+        assert!(recs[0].completed() && recs[1].completed());
+        assert_eq!(recs[0].result, HistResult::Inserted(true));
+        assert!(log.is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn pending_ops_stay_pending() {
+        let log = HistoryLog::default();
+        log.enable();
+        let _t = log.invoke(HistKind::Delete, 3, 0);
+        let recs = log.drain();
+        assert_eq!(recs[0].ret, HistRecord::PENDING);
+        assert!(!recs[0].completed());
+    }
+}

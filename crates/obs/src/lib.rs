@@ -18,6 +18,9 @@
 //! * [`Tracer`] — a bounded ring buffer of [`TraceEvent`]s with
 //!   begin/end spans and a propagable [`TraceCtx`], disabled by default
 //!   (one relaxed atomic load per probe);
+//! * [`HistoryLog`] — an operation-history log (invoke/return edges with
+//!   observed outcomes, globally sequenced), disabled by default; the
+//!   feed for `ceh-check`'s linearizability oracle;
 //! * [`TraceReport`] — reassembles drained events into per-trace span
 //!   trees and renders them as an indented timeline, Chrome
 //!   trace-format JSON, or a lock-contention profile;
@@ -52,6 +55,7 @@
 
 mod counter;
 mod hist;
+mod history;
 pub mod json;
 mod registry;
 mod report;
@@ -60,6 +64,7 @@ mod trace_report;
 
 pub use counter::{Counter, Gauge};
 pub use hist::{Histogram, HistogramSnapshot};
+pub use history::{HistKind, HistRecord, HistResult, HistToken, HistoryLog};
 pub use registry::{MetricsHandle, MetricsSnapshot};
 pub use report::RunReport;
 pub use trace::{CtxScope, EventKind, SpanId, TraceCtx, TraceEvent, Tracer};

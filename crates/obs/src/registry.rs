@@ -5,6 +5,7 @@ use std::sync::{Arc, RwLock};
 
 use crate::counter::{Counter, Gauge};
 use crate::hist::{Histogram, HistogramSnapshot};
+use crate::history::HistoryLog;
 use crate::trace::{SpanId, TraceCtx, Tracer};
 
 #[derive(Default)]
@@ -13,6 +14,7 @@ struct Registry {
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
     tracer: Tracer,
+    history: HistoryLog,
 }
 
 /// A cheaply clonable handle to one shared metrics registry.
@@ -95,6 +97,12 @@ impl MetricsHandle {
     /// The registry's event tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.reg.tracer
+    }
+
+    /// The registry's operation-history log (disabled by default; see
+    /// [`HistoryLog`]).
+    pub fn history(&self) -> &HistoryLog {
+        &self.reg.history
     }
 
     /// A fresh span id (shorthand for `tracer().new_span()`).

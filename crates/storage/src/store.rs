@@ -217,6 +217,7 @@ impl PageStore {
         let slots = (0..npages)
             .map(|_| {
                 let s = Self::empty_slot(&cfg, false);
+                // ceh-lint: allow(relaxed-ordering) — recovery runs single-threaded before sharing
                 s.allocated.store(true, Ordering::Relaxed);
                 Arc::new(s)
             })
@@ -280,6 +281,7 @@ impl PageStore {
         self.slots
             .read()
             .iter()
+            // ceh-lint: allow(relaxed-ordering) — advisory census; alloc/free is guarded upstream
             .filter(|s| s.allocated.load(Ordering::Relaxed))
             .count()
     }
@@ -296,15 +298,18 @@ impl PageStore {
     /// harness preloads with latency disabled, then enables it for the
     /// measured phase.
     pub fn set_io_latency_ns(&self, ns: u64) {
+        // ceh-lint: allow(relaxed-ordering) — simulation knob; no data depends on it
         self.io_latency_ns.store(ns, Ordering::Relaxed);
     }
 
     /// The current simulated per-I/O latency.
     pub fn io_latency_ns(&self) -> u64 {
+        // ceh-lint: allow(relaxed-ordering) — simulation knob; no data depends on it
         self.io_latency_ns.load(Ordering::Relaxed)
     }
 
     fn simulate_latency(&self) {
+        // ceh-lint: allow(relaxed-ordering) — simulation knob; no data depends on it
         let ns = self.io_latency_ns.load(Ordering::Relaxed);
         if ns == 0 {
             return;
@@ -450,6 +455,7 @@ impl PageStore {
             .read()
             .iter()
             .enumerate()
+            // ceh-lint: allow(relaxed-ordering) — advisory census; alloc/free is guarded upstream
             .filter(|(_, s)| s.allocated.load(Ordering::Relaxed))
             .map(|(i, _)| PageId(i as u64))
             .collect()

@@ -38,4 +38,26 @@ echo "=== trace smoke ==="
 # one trace must carry a full request → dispatch → bucket chain.
 cargo run -q --release -p ceh-bench --bin trace_smoke -- --json > /dev/null
 
+echo "=== lock-discipline lint ==="
+# ceh-lint must be clean over crates/ (violations are fixed or carry an
+# inline `ceh-lint: allow(...)` justification).
+cargo run -q --release -p ceh-check --bin ceh-lint
+
+echo "=== check smoke ==="
+# Bounded-exhaustive schedule exploration (bound 3, no pruning, 2-thread
+# workloads; bound 2 pruned for 3 threads), a real-thread
+# linearizability run, and the lint — all must come back clean.
+cargo run -q --release -p ceh-bench --bin check_smoke
+
+echo "=== detector self-test (check-inject) ==="
+# The feature-gated label-A mutation must be *caught* by the explorer
+# with a replayable minimized schedule — proof the detector has teeth.
+# Separate invocation: the feature flips the code under test.
+cargo test -q -p ceh-check --release --features check-inject --test inject
+
+echo "=== schedule-fixture corpus ==="
+# Every committed minimized schedule must replay clean on the current
+# protocol (a reproduced violation means a pinned bug is back).
+cargo test -q -p ceh-harness --release --test schedule_fixtures
+
 echo "CI gate passed."

@@ -194,6 +194,10 @@ fn reply_drop_run(seed: u64, ops: u64) -> (u64, u64, u64) {
         stats.dropped("user-reply"),
         stats.duplicated("user-reply"),
     );
+    // Post-quiesce quiescent sweep: no torn directory, no uncollected
+    // tombstones, no leaked pages — even with replies being dropped.
+    assert!(cluster.quiesce(Duration::from_secs(10)));
+    cluster.check_invariants().unwrap();
     cluster.shutdown();
     out
 }

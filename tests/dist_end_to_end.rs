@@ -57,6 +57,7 @@ fn figure10_distributed_structure() {
         pages.iter().all(|&p| p > 0),
         "both sites hold buckets: {pages:?}"
     );
+    c.check_invariants().unwrap();
     c.shutdown();
 }
 
@@ -179,6 +180,7 @@ fn stale_replicas_recover_via_next_links() {
         );
     }
     assert!(c.quiesce(Duration::from_secs(30)));
+    c.check_invariants().unwrap();
     c.shutdown();
 }
 
@@ -203,5 +205,6 @@ fn pseudokey_routing_is_consistent() {
     // (Accessed through the public page/bucket codec only.)
     assert!(c.total_records().unwrap() == 64);
     let _ = Bucket::capacity_for(128); // codec link sanity
+    c.check_invariants().unwrap();
     c.shutdown();
 }

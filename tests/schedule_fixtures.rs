@@ -1,0 +1,73 @@
+//! Replay the committed schedule-fixture corpus.
+//!
+//! Every `*.fixture` under `tests/fixtures/schedules/` is a minimized
+//! interleaving the explorer once flagged (see the README there). Each
+//! must replay **clean** against the current protocol: a reproduced
+//! violation means the documented bug regressed; a diverged schedule
+//! means the protocol changed shape and the fixture needs re-minimizing.
+
+use ceh_check::{replay, ScheduleFixture};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/schedules")
+}
+
+fn corpus() -> Vec<(std::path::PathBuf, ScheduleFixture)> {
+    let dir = corpus_dir();
+    let mut fixtures = Vec::new();
+    let Ok(rd) = std::fs::read_dir(&dir) else {
+        return fixtures; // an empty corpus is legal
+    };
+    for entry in rd {
+        let path = entry.expect("read corpus dir").path();
+        if path.extension().is_some_and(|e| e == "fixture") {
+            let text = std::fs::read_to_string(&path).expect("read fixture");
+            let fix =
+                ScheduleFixture::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            fixtures.push((path, fix));
+        }
+    }
+    fixtures.sort_by(|a, b| a.0.cmp(&b.0));
+    fixtures
+}
+
+#[test]
+fn every_committed_fixture_replays_clean() {
+    for (path, fix) in corpus() {
+        match replay(&fix) {
+            Ok(None) => {}
+            Ok(Some(detail)) => panic!(
+                "{}: the violation this fixture pins is BACK:\n{detail}",
+                path.display()
+            ),
+            Err(e) => panic!(
+                "{}: replay infrastructure error (likely a diverged schedule — \
+                 re-minimize the fixture): {e}",
+                path.display()
+            ),
+        }
+    }
+}
+
+#[test]
+fn corpus_files_roundtrip_through_the_format() {
+    for (path, fix) in corpus() {
+        let reparsed = ScheduleFixture::parse(&fix.serialize())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(reparsed, fix, "{}", path.display());
+    }
+}
+
+#[test]
+fn label_a_regression_fixture_is_present() {
+    // The corpus ships with at least the label-A merge-race entry the
+    // check-inject self-test minimizes; losing it silently would gut
+    // the regression gate.
+    assert!(
+        corpus()
+            .iter()
+            .any(|(_, f)| f.workload == "s2-delete-delete-merge"),
+        "label-A merge-race fixture missing from {}",
+        corpus_dir().display()
+    );
+}
