@@ -71,6 +71,7 @@ fn main() {
             },
             resend_ms: 100,
             reply_timeout_ms: 2_000,
+            durable: false,
         })
         .unwrap();
 

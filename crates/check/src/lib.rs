@@ -20,9 +20,17 @@
 //! Failing schedules minimize to a replayable fixture
 //! ([`schedule::ScheduleFixture`]) checked into
 //! `tests/fixtures/schedules/`.
+//!
+//! A fourth pillar rides on the durability layer: the **recovery
+//! fuzzer** ([`crash`]) runs a seeded workload against a durable file,
+//! cuts power at *every* reachable durability point in turn, recovers,
+//! and holds the result to a durability oracle (acked ops survive;
+//! in-flight multi-page ops are atomic). Its failures minimize to
+//! [`crash::CrashFixture`]s in `tests/fixtures/crashes/`.
 
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod explore;
 pub mod linearize;
 pub mod lint;
@@ -30,6 +38,10 @@ pub mod schedule;
 pub mod vthread;
 pub mod workload;
 
+pub use crash::{
+    dist_crash_round, replay_crash, run_sweep, CrashConfig, CrashFixture, CrashSweepReport,
+    PointOutcome,
+};
 pub use explore::{explore, replay, ExploreConfig, ExploreReport, Violation};
 pub use linearize::{check_linearizable, LinReport, LinViolation, Strictness};
 pub use lint::{lint_paths, lint_source, Finding};

@@ -1,19 +1,23 @@
 //! `ceh check` — the offline verification entry point.
 //!
 //! Thin argv-level wrapper over [`ceh_check`]: schedule exploration
-//! ([`ceh_check::explore`]), fixture replay ([`ceh_check::replay`]), and
-//! the lock-discipline lint ([`ceh_check::lint_paths`]). See
-//! [`CHECK_HELP`] for the surface.
+//! ([`ceh_check::explore`]), fixture replay ([`ceh_check::replay`]), the
+//! crash-point sweep ([`ceh_check::run_sweep`]), and the lock-discipline
+//! lint ([`ceh_check::lint_paths`]). See [`CHECK_HELP`] for the surface.
 
 use std::fmt::Write as _;
 
-use ceh_check::{explore, lint_paths, replay, ExploreConfig, ScheduleFixture, Workload};
+use ceh_check::{
+    dist_crash_round, explore, lint_paths, replay, CrashConfig, ExploreConfig, ScheduleFixture,
+    Workload,
+};
 use ceh_types::{Error, Result};
 
 /// Help text for `ceh check`.
 pub const CHECK_HELP: &str = "\
 usage: ceh check [--explore [WORKLOAD ...]] [--lint [PATH ...]]
                  [--replay FIXTURE ...] [--bound N] [--no-dpor]
+       ceh check crash [--seed N] [--ops N] [--json] [--no-dist]
 modes (default: --explore over every workload, then --lint crates):
   --explore [WORKLOAD ...]  run the named workloads (default: all) under
                             every schedule up to the preemption bound,
@@ -22,10 +26,19 @@ modes (default: --explore over every workload, then --lint crates):
   --replay FIXTURE ...      replay schedule fixture files; a reproduced
                             violation is reported (and fails the check)
   --list-workloads          print workload names and exit
+  crash                     run the recovery fuzzer: a seeded workload,
+                            power cut at *every* reachable durability
+                            point in turn, recovery checked against the
+                            durability oracle; then one distributed
+                            crash_site/restart_site round
 options:
   --bound N                 preemption bound for --explore (default 3)
   --no-dpor                 disable commutativity pruning (slower, but
                             the coverage claim needs no heuristic)
+  --seed N                  crash sweep workload + tear seed
+  --ops N                   crash sweep workload length (default 96)
+  --json                    emit the crash sweep as JSON
+  --no-dist                 skip the distributed crash round
 exit status: 0 clean, 1 violations or lint findings, 2 usage error";
 
 /// Parsed `ceh check` invocation.
@@ -36,6 +49,11 @@ struct Args {
     bound: usize,
     dpor: bool,
     list: bool,
+    crash: bool,
+    crash_seed: Option<u64>,
+    crash_ops: Option<usize>,
+    json: bool,
+    dist: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args> {
@@ -46,6 +64,11 @@ fn parse_args(argv: &[String]) -> Result<Args> {
         bound: 3,
         dpor: true,
         list: false,
+        crash: false,
+        crash_seed: None,
+        crash_ops: None,
+        json: false,
+        dist: true,
     };
     let mut mode: Option<&'static str> = None;
     let mut it = argv.iter().peekable();
@@ -68,6 +91,8 @@ fn parse_args(argv: &[String]) -> Result<Args> {
             }
             "--list-workloads" => a.list = true,
             "--no-dpor" => a.dpor = false,
+            "--json" => a.json = true,
+            "--no-dist" => a.dist = false,
             "--bound" => {
                 let n = it
                     .next()
@@ -76,11 +101,34 @@ fn parse_args(argv: &[String]) -> Result<Args> {
                     .parse()
                     .map_err(|_| Error::Config(format!("--bound: bad number {n:?}")))?;
             }
+            "--seed" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Error::Config("--seed needs a number".into()))?;
+                a.crash_seed = Some(
+                    n.parse()
+                        .map_err(|_| Error::Config(format!("--seed: bad number {n:?}")))?,
+                );
+            }
+            "--ops" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Error::Config("--ops needs a number".into()))?;
+                a.crash_ops = Some(
+                    n.parse()
+                        .map_err(|_| Error::Config(format!("--ops: bad number {n:?}")))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(Error::Config(CHECK_HELP.into()));
             }
             flag if flag.starts_with('-') => {
                 return Err(Error::Config(format!("unknown flag {flag}\n{CHECK_HELP}")));
+            }
+            "crash" if mode.is_none() => {
+                a.crash = true;
+                mode = Some("crash");
+                explicit = true;
             }
             operand => match mode {
                 Some("explore") => a
@@ -120,6 +168,112 @@ pub fn run_check(argv: &[String]) -> Result<(String, bool)> {
             let _ = writeln!(out, "{:<26} {}", w.name, w.description);
         }
         return Ok((out, true));
+    }
+
+    if args.crash {
+        let mut cfg = CrashConfig::default();
+        if let Some(seed) = args.crash_seed {
+            cfg.seed = seed;
+        }
+        if let Some(ops) = args.crash_ops {
+            cfg.ops = ops;
+        }
+        let report = ceh_check::run_sweep(&cfg).map_err(Error::Config)?;
+        let dist = if args.dist {
+            Some(dist_crash_round(cfg.seed, 24))
+        } else {
+            None
+        };
+        let sweep_clean = report.ok();
+        let dist_clean = !matches!(&dist, Some(Err(_)));
+        clean = clean && sweep_clean && dist_clean;
+        if args.json {
+            let _ = write!(
+                out,
+                "{{\"seed\":{},\"ops\":{},\"points\":{},\"outcomes\":[",
+                cfg.seed, cfg.ops, report.points
+            );
+            for (i, o) in report.outcomes.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{{\"point\":{},\"acked\":{},\"redo_applied\":{},\"torn_frames\":{},\
+                     \"txns_discarded\":{},\"ok\":{}}}",
+                    if i > 0 { "," } else { "" },
+                    o.point,
+                    o.acked,
+                    o.redo_applied,
+                    o.torn_frames,
+                    o.txns_discarded,
+                    o.verdict.is_ok()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "],\"dist_round\":{},\"ok\":{}}}",
+                match &dist {
+                    None => "null".to_string(),
+                    Some(Ok(())) => "true".to_string(),
+                    Some(Err(_)) => "false".to_string(),
+                },
+                sweep_clean && dist_clean
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "crash sweep: seed {}, {} ops, {} durability points",
+                cfg.seed, cfg.ops, report.points
+            );
+            let _ = writeln!(
+                out,
+                "point  acked  redo  torn  discarded  inflight / verdict"
+            );
+            for o in &report.outcomes {
+                let _ = writeln!(
+                    out,
+                    "{:>5}  {:>5}  {:>4}  {:>4}  {:>9}  {}",
+                    o.point,
+                    o.acked,
+                    o.redo_applied,
+                    o.torn_frames,
+                    o.txns_discarded,
+                    match &o.verdict {
+                        Ok(()) => match &o.inflight {
+                            Some(op) => format!("ok ({op:?} in flight, atomic)"),
+                            None => "ok".to_string(),
+                        },
+                        Err(v) => format!("VIOLATION: {v}"),
+                    }
+                );
+            }
+            for f in &report.failures {
+                let _ = writeln!(
+                    out,
+                    "--- minimized fixture (save under tests/fixtures/crashes/) ---"
+                );
+                out.push_str(&f.serialize());
+                let _ = writeln!(out, "---");
+            }
+            match &dist {
+                None => {}
+                Some(Ok(())) => {
+                    let _ = writeln!(out, "dist    crash_site/restart_site round: clean");
+                }
+                Some(Err(e)) => {
+                    let _ = writeln!(out, "dist    crash_site/restart_site round: FAILED: {e}");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "crash   {}: {}/{} points recovered clean",
+                if sweep_clean && dist_clean {
+                    "clean"
+                } else {
+                    "FAILED"
+                },
+                report.outcomes.iter().filter(|o| o.verdict.is_ok()).count(),
+                report.points
+            );
+        }
     }
 
     if let Some(names) = &args.explore_workloads {
@@ -245,5 +399,41 @@ mod tests {
     #[test]
     fn bad_flag_is_a_usage_error() {
         assert!(run_check(&s(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn crash_sweep_prints_a_point_table() {
+        // Small sweep, no dist round — keep the unit test fast.
+        let (out, clean) =
+            run_check(&s(&["crash", "--seed", "7", "--ops", "16", "--no-dist"])).unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("durability points"), "{out}");
+        assert!(out.contains("point  acked"), "{out}");
+        assert!(out.contains("crash   clean"), "{out}");
+    }
+
+    #[test]
+    fn crash_sweep_json_is_well_formed_enough() {
+        let (out, clean) = run_check(&s(&[
+            "crash",
+            "--seed",
+            "7",
+            "--ops",
+            "12",
+            "--no-dist",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(clean, "{out}");
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"outcomes\":["), "{out}");
+        assert!(out.contains("\"dist_round\":null"), "{out}");
+        assert!(out.trim_end().ends_with('}'), "{out}");
+    }
+
+    #[test]
+    fn crash_flags_validate() {
+        assert!(run_check(&s(&["crash", "--seed"])).is_err());
+        assert!(run_check(&s(&["crash", "--ops", "many"])).is_err());
     }
 }

@@ -5,7 +5,10 @@ use std::sync::Arc;
 
 use ceh_locks::{LockId, LockManager, LockManagerConfig, LockMode, OwnerId};
 use ceh_obs::MetricsHandle;
-use ceh_storage::{PageBuf, PageStore, PageStoreConfig};
+use ceh_storage::{
+    DiskHandle, DurableConfig, DurableStore, DurableTxn, PageBuf, PageStore, PageStoreConfig,
+    RecoveryReport,
+};
 use ceh_types::bucket::Bucket;
 use ceh_types::{hash_key, Error, HashFileConfig, Key, PageId, Pseudokey, Result, Value};
 
@@ -36,6 +39,13 @@ pub(crate) use try_or_release;
 /// structure without duplicating plumbing.
 pub struct FileCore {
     store: Arc<PageStore>,
+    /// The durability layer, when this file is crash-consistent: every
+    /// mutation funnels through it ([`FileCore::alloc_page`],
+    /// [`FileCore::dealloc_page`], [`FileCore::putbucket`]), and the
+    /// restructuring sections bracket themselves with
+    /// [`FileCore::begin_txn`]. `None` = the volatile simulation
+    /// (`store` is then the only storage).
+    wal: Option<Arc<DurableStore>>,
     locks: Arc<LockManager>,
     dir: Directory,
     cfg: HashFileConfig,
@@ -123,6 +133,7 @@ impl FileCore {
         let dir = Directory::new(cfg.max_depth, root)?;
         Ok(FileCore {
             store,
+            wal: None,
             locks,
             dir,
             cfg,
@@ -131,6 +142,89 @@ impl FileCore {
             metrics: metrics.clone(),
             len: AtomicUsize::new(0),
         })
+    }
+
+    /// Build a **crash-consistent** core over a durable store: the root
+    /// bucket's creation is logged, and every later mutation funnels
+    /// through the WAL. The volatile read path (`store()`) is the
+    /// durable store's cache, so readers cost the same as ever.
+    pub fn with_durable_metrics(
+        cfg: HashFileConfig,
+        wal: Arc<DurableStore>,
+        locks: Arc<LockManager>,
+        hasher: fn(Key) -> Pseudokey,
+        metrics: &MetricsHandle,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        if Bucket::capacity_for(wal.page_size()) < cfg.bucket_capacity {
+            return Err(Error::Config(format!(
+                "page size {} holds only {} records, config wants {}",
+                wal.page_size(),
+                Bucket::capacity_for(wal.page_size()),
+                cfg.bucket_capacity
+            )));
+        }
+        let txn = wal.begin_txn()?;
+        let root = wal.alloc()?;
+        let bucket = Bucket::new(0, 0);
+        let mut buf = PageBuf::zeroed(wal.page_size());
+        bucket.encode(&mut buf)?;
+        wal.write(root, &buf)?;
+        txn.commit()?;
+        let dir = Directory::new(cfg.max_depth, root)?;
+        Ok(FileCore {
+            store: Arc::clone(wal.cache()),
+            wal: Some(wal),
+            locks,
+            dir,
+            cfg,
+            hasher,
+            stats: OpStats::with_handle(metrics),
+            metrics: metrics.clone(),
+            len: AtomicUsize::new(0),
+        })
+    }
+
+    /// Crash-recover a core from a durable medium: replay the WAL
+    /// ([`DurableStore::recover`]), sweep bucket-level garbage
+    /// (tombstones and debris that decode as junk) with **logged**
+    /// deallocations, then rebuild the directory from the surviving
+    /// buckets' `commonbits`/local depths (the same scan as
+    /// [`FileCore::recover`]).
+    pub fn recover_durable_metrics(
+        cfg: HashFileConfig,
+        disk: &DiskHandle,
+        dcfg: DurableConfig,
+        locks: Arc<LockManager>,
+        hasher: fn(Key) -> Pseudokey,
+        metrics: &MetricsHandle,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (wal, report) = DurableStore::recover(disk, dcfg, metrics)?;
+        // Bucket-level garbage pass, durably: a page that decodes as a
+        // live bucket stays; everything else (tombstones, poison,
+        // uncommitted-alloc zero pages) is deallocated *through the
+        // log* so the medium converges with the recovered structure.
+        let mut buf = PageBuf::zeroed(wal.page_size());
+        for p in wal.allocated_page_ids() {
+            wal.read(p, &mut buf)?;
+            let garbage = match Bucket::decode(&buf) {
+                Ok(b) => b.is_deleted(),
+                Err(_) => true,
+            };
+            if garbage {
+                wal.dealloc(p)?;
+            }
+        }
+        if wal.allocated_page_ids().is_empty() {
+            // Nothing recoverable (a crash before the first commit):
+            // initialize fresh, through the log.
+            let core = Self::with_durable_metrics(cfg, wal, locks, hasher, metrics)?;
+            return Ok((core, report));
+        }
+        let mut core =
+            Self::recover_with_metrics(cfg, Arc::clone(wal.cache()), locks, hasher, metrics)?;
+        core.wal = Some(wal);
+        Ok((core, report))
     }
 
     /// Rebuild a core from an existing (typically file-backed) store by
@@ -164,6 +258,7 @@ impl FileCore {
         drop(recovered);
         Ok(FileCore {
             store,
+            wal: None,
             locks,
             dir,
             cfg,
@@ -179,9 +274,40 @@ impl FileCore {
         &self.dir
     }
 
-    /// The page store.
+    /// The page store (the volatile cache when durable).
     pub fn store(&self) -> &Arc<PageStore> {
         &self.store
+    }
+
+    /// The durability layer, when this file is crash-consistent.
+    pub fn wal(&self) -> Option<&Arc<DurableStore>> {
+        self.wal.as_ref()
+    }
+
+    /// Allocate a page — logged when durable (`allocbucket`).
+    pub fn alloc_page(&self) -> Result<PageId> {
+        match &self.wal {
+            Some(w) => w.alloc(),
+            None => self.store.alloc(),
+        }
+    }
+
+    /// Deallocate a page — logged when durable (`deallocbucket`).
+    pub fn dealloc_page(&self, page: PageId) -> Result<()> {
+        match &self.wal {
+            Some(w) => w.dealloc(page),
+            None => self.store.dealloc(page),
+        }
+    }
+
+    /// Open a logged transaction bracketing a multi-page restructuring
+    /// (split, merge, GC). A no-op guard in volatile mode, so callers
+    /// bracket unconditionally; see [`DurableTxn`].
+    pub fn begin_txn(&self) -> Result<DurableTxn> {
+        match &self.wal {
+            Some(w) => w.begin_txn(),
+            None => Ok(DurableTxn::noop()),
+        }
     }
 
     /// The lock manager.
@@ -303,10 +429,14 @@ impl FileCore {
         Bucket::decode(buf)
     }
 
-    /// `putbucket(page, buffer)`: encode and write.
+    /// `putbucket(page, buffer)`: encode and write — through the WAL
+    /// when durable (redo record first, then the cache).
     pub fn putbucket(&self, page: PageId, bucket: &Bucket, buf: &mut PageBuf) -> Result<()> {
         bucket.encode(buf)?;
-        self.store.write(page, buf)
+        match &self.wal {
+            Some(w) => w.write(page, buf),
+            None => self.store.write(page, buf),
+        }
     }
 
     /// Lock-manager shorthands keeping the transliterations readable:

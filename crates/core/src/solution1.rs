@@ -133,7 +133,11 @@ impl Solution1 {
                 try_or_release!(core, owner, core.dir().double());
                 core.stats().doublings();
             }
-            let newpage = try_or_release!(core, owner, core.store().alloc());
+            // The split's page effects are one logged transaction: if
+            // power dies before the commit record is durable, recovery
+            // sees either the whole split or none of it.
+            let txn = try_or_release!(core, owner, core.begin_txn());
+            let newpage = try_or_release!(core, owner, core.alloc_page());
             let (half1, half2, done) = current.split(
                 key,
                 value,
@@ -150,6 +154,7 @@ impl Solution1 {
             // atomic to concurrent readers (§2.3).
             try_or_release!(core, owner, core.putbucket(newpage, &half2, &mut buf));
             try_or_release!(core, owner, core.putbucket(oldpage, &half1, &mut buf));
+            try_or_release!(core, owner, txn.commit());
             core.un_alpha_lock(owner, LockId::Page(oldpage));
             core.dir().update_one_side(newpage, half1.localdepth, pk);
             if half1.localdepth == core.dir().depth() {
@@ -278,6 +283,9 @@ impl Solution1 {
         current.remove(key);
         merged.records.extend(current.records.iter().copied());
         merged.version = merged.version.max(current.version) + 1;
+        // Merge = one logged transaction: the survivor's rewrite and the
+        // garbage page's deallocation land atomically or not at all.
+        let txn = try_or_release!(core, owner, core.begin_txn());
         try_or_release!(core, owner, core.putbucket(merged_page, &merged, &mut buf));
         if core.dir().depthcount() == 0 {
             core.dir().halve();
@@ -285,7 +293,8 @@ impl Solution1 {
         } else {
             core.dir().update_one_side(merged_page, old_ld, pk);
         }
-        try_or_release!(core, owner, core.store().dealloc(garbage_page));
+        try_or_release!(core, owner, core.dealloc_page(garbage_page));
+        try_or_release!(core, owner, txn.commit());
         core.stats().merges();
         core.trace_end(merge_span, "merge", merged_page.0, garbage_page.0);
         core.un_xi_lock(owner, LockId::Page(newpage));

@@ -233,9 +233,7 @@ impl Solution2 {
                 core.dir().halve();
                 core.stats().halvings();
             }
-            core.store()
-                .dealloc(page)
-                .expect("background GC double-free");
+            core.dealloc_page(page).expect("background GC double-free");
             core.un_xi_lock(owner, LockId::Page(page));
         }
         if core.dir().depthcount() == 0 && core.dir().depth() > 1 {
@@ -345,7 +343,9 @@ impl Solution2 {
                 try_or_release!(core, owner, core.dir().double());
                 core.stats().doublings();
             }
-            let newpage = try_or_release!(core, owner, core.store().alloc());
+            // One logged transaction per split (see Solution 1).
+            let txn = try_or_release!(core, owner, core.begin_txn());
+            let newpage = try_or_release!(core, owner, core.alloc_page());
             let (half1, half2, done) = current.split(
                 key,
                 value,
@@ -358,6 +358,7 @@ impl Solution2 {
             );
             try_or_release!(core, owner, core.putbucket(newpage, &half2, &mut buf));
             try_or_release!(core, owner, core.putbucket(oldpage, &half1, &mut buf));
+            try_or_release!(core, owner, txn.commit());
             core.dir().update_one_side(newpage, half1.localdepth, pk);
             if half1.localdepth == core.dir().depth() {
                 core.dir().add_depthcount(2);
@@ -530,6 +531,10 @@ impl Solution2 {
             tombstone.next = merged_page;
             tombstone.version = survivor.version;
 
+            // Survivor + tombstone are one logged transaction: recovery
+            // never sees a merged survivor without its tombstone (or
+            // vice versa).
+            let txn = try_or_release!(core, owner, core.begin_txn());
             try_or_release!(
                 core,
                 owner,
@@ -540,6 +545,7 @@ impl Solution2 {
                 owner,
                 core.putbucket(garbage_page, &tombstone, &mut buf)
             );
+            try_or_release!(core, owner, txn.commit());
             core.dir().update_one_side(merged_page, old_ld, pk);
             core.stats().merges();
             core.trace_end(merge_span, "merge", merged_page.0, garbage_page.0);
@@ -567,7 +573,7 @@ impl Solution2 {
                         core.dir().halve();
                         core.stats().halvings();
                     }
-                    try_or_release!(core, owner, core.store().dealloc(garbage_page));
+                    try_or_release!(core, owner, core.dealloc_page(garbage_page));
                     core.un_xi_lock(owner, LockId::Page(garbage_page));
                     core.un_xi_lock(owner, LockId::Directory);
                     core.stats().gc_phases();

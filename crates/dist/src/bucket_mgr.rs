@@ -31,20 +31,28 @@ pub(crate) fn run_front_end(site: Arc<Site>, rx: PortRx<Msg>) {
                 // "newpage = allocbucket(); putbucket (newpage, msg.half2);
                 //  SendSplitReply (msg.replyport, newpage, myid);"
                 // The records now live here; so must their fence entries.
+                // One logged transaction: a crash between the alloc and
+                // the write must not leave a durable empty page.
                 site.fence_merge(&fences);
-                let page = site
-                    .store
-                    .alloc()
-                    .expect("split placement site out of pages");
-                let mut buf = site.new_buf();
-                site.putbucket(page, &half2, &mut buf)
-                    .expect("write split half");
-                site.net.send(
-                    reply_port,
-                    Msg::Splitreply {
-                        link: BucketLink::new(site.id, page),
-                    },
-                );
+                let placed = (|| -> ceh_types::Result<PageId> {
+                    let txn = site.begin_txn()?;
+                    let page = site.alloc_page()?;
+                    let mut buf = site.new_buf();
+                    site.putbucket(page, &half2, &mut buf)?;
+                    txn.commit()?;
+                    Ok(page)
+                })();
+                if let Ok(page) = placed {
+                    site.net.send(
+                        reply_port,
+                        Msg::Splitreply {
+                            link: BucketLink::new(site.id, page),
+                        },
+                    );
+                }
+                // On failure (out of pages or powered off) no reply is
+                // sent — the splitting site times out and fails the
+                // placement.
             }
             other => {
                 let site = Arc::clone(&site);
@@ -316,9 +324,17 @@ fn slave_insert(site: &Site, env: OpEnvelope, fwd: Option<PortId>) {
         site.id,
     );
     // Place the second half: locally if we have space, else on another
-    // manager via the Splitbucket protocol.
+    // manager via the Splitbucket protocol. One logged transaction per
+    // split: a local placement and the rewritten first half land in the
+    // durable image together or not at all (a remote half commits on
+    // its own site; our transaction then covers just the first half).
+    let Ok(txn) = site.begin_txn() else {
+        site.unlock(owner, oldpage, LockMode::Alpha);
+        bucketdone(site, &env, false, None);
+        return;
+    };
     let placed: Option<BucketLink> = if site.available_pages() || site.all_managers.len() == 1 {
-        match site.store.alloc() {
+        match site.alloc_page() {
             Ok(p) => {
                 if site.putbucket(p, &half2, &mut buf).is_ok() {
                     Some(BucketLink::new(site.id, p))
@@ -358,7 +374,7 @@ fn slave_insert(site: &Site, env: OpEnvelope, fwd: Option<PortId>) {
     };
     half1.next = link.page;
     half1.next_mgr = link.manager;
-    if site.putbucket(oldpage, &half1, &mut buf).is_err() {
+    if site.putbucket(oldpage, &half1, &mut buf).is_err() || txn.commit().is_err() {
         site.unlock(owner, oldpage, LockMode::Alpha);
         bucketdone(site, &env, false, None);
         return;
@@ -511,11 +527,16 @@ fn delete_first_of_pair(
         tombstone.next = oldpage;
         tombstone.next_mgr = site.id;
         tombstone.version = new_version;
-        let w1 = site.putbucket(oldpage, &survivor, &mut buf);
-        let w2 = site.putbucket(partner, &tombstone, &mut buf);
+        // Logged together: recovery must never see a merged survivor
+        // without its partner's tombstone.
+        let committed = site.begin_txn().is_ok_and(|txn| {
+            site.putbucket(oldpage, &survivor, &mut buf).is_ok()
+                && site.putbucket(partner, &tombstone, &mut buf).is_ok()
+                && txn.commit().is_ok()
+        });
         site.unlock(owner, partner, LockMode::Xi);
         site.unlock(owner, oldpage, LockMode::Xi);
-        if w1.is_err() || w2.is_err() {
+        if !committed {
             bucketdone(site, env, false, None);
             return;
         }
@@ -843,11 +864,16 @@ fn delete_second_local(
     tombstone.next = partner;
     tombstone.next_mgr = site.id;
     tombstone.version = new_version;
-    let w1 = site.putbucket(partner, &survivor, &mut buf);
-    let w2 = site.putbucket(oldpage, &tombstone, &mut buf);
+    // Logged together (see `delete_first_of_pair`): survivor and
+    // tombstone are atomic across a crash.
+    let committed = site.begin_txn().is_ok_and(|txn| {
+        site.putbucket(partner, &survivor, &mut buf).is_ok()
+            && site.putbucket(oldpage, &tombstone, &mut buf).is_ok()
+            && txn.commit().is_ok()
+    });
     site.unlock(owner, oldpage, LockMode::Xi);
     site.unlock(owner, partner, LockMode::Xi);
-    if w1.is_err() || w2.is_err() {
+    if !committed {
         bucketdone(site, env, false, None);
         return;
     }
@@ -1045,9 +1071,22 @@ fn slave_garbage_collect(
         let owner = site.locks.new_owner();
         for page in pages {
             site.lock(owner, page, LockMode::Xi);
-            site.store
-                .dealloc(page)
-                .expect("garbage collection of an already-freed page is a protocol violation");
+            match site.dealloc_page(page) {
+                Ok(()) => {}
+                Err(ceh_types::Error::PowerLoss) => {
+                    // The site lost power mid-collection: stop without
+                    // acking so the directory manager re-sends after the
+                    // restart (`seen_gc` is volatile, so the re-send is
+                    // executed afresh against the recovered image).
+                    site.unlock(owner, page, LockMode::Xi);
+                    return;
+                }
+                Err(e) => {
+                    panic!(
+                        "garbage collection of an already-freed page is a protocol violation: {e}"
+                    )
+                }
+            }
             site.unlock(owner, page, LockMode::Xi);
         }
     }

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use ceh_locks::{LockManager, LockManagerConfig};
 use ceh_net::{FaultPlan, LatencyModel, MsgStatsSnapshot, PortId, SimNetwork};
 use ceh_obs::{MetricsHandle, RunReport, TraceReport};
-use ceh_storage::{PageStore, PageStoreConfig};
+use ceh_storage::{DurableConfig, DurableStore, PageBuf, PageStore, PageStoreConfig};
 use ceh_types::bucket::Bucket;
 use ceh_types::{BucketLink, Error, HashFileConfig, ManagerId, PageId, Result, RetryPolicy};
 
@@ -48,6 +48,12 @@ pub struct ClusterConfig {
     /// abandoning the handshake and releasing its locks, in
     /// milliseconds. Lower this under fault injection.
     pub reply_timeout_ms: u64,
+    /// Crash-consistent sites: every site's pages are backed by a redo
+    /// WAL over an in-memory disk image, [`Cluster::crash_site`] becomes
+    /// a real power loss (all volatile state dropped), and
+    /// [`Cluster::restart_site`] recovers the site from its durable
+    /// image alone. Mutually exclusive with `data_dir`.
+    pub durable: bool,
 }
 
 impl Default for ClusterConfig {
@@ -63,6 +69,7 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             resend_ms: 200,
             reply_timeout_ms: 30_000,
+            durable: false,
         }
     }
 }
@@ -123,14 +130,17 @@ impl Cluster {
     pub fn start(cfg: ClusterConfig) -> Result<Cluster> {
         let metrics = MetricsHandle::new();
         let (net, sites) = Self::build_sites(&cfg, false, &metrics)?;
-        // The root bucket lives on site 0.
-        let root_page = sites[0].store.alloc()?;
-        {
-            let root = Bucket::new(0, 0);
-            let mut buf = sites[0].new_buf();
-            root.encode(&mut buf)?;
-            sites[0].store.write(root_page, &buf)?;
-        }
+        // The root bucket lives on site 0 (logged when the site is
+        // durable, so a power cut never yields an empty allocated page).
+        let root_page = {
+            let s0 = &sites[0];
+            let txn = s0.begin_txn()?;
+            let page = s0.alloc_page()?;
+            let mut buf = s0.new_buf();
+            s0.putbucket(page, &Bucket::new(0, 0), &mut buf)?;
+            txn.commit()?;
+            page
+        };
         let root = BucketLink::new(sites[0].id, root_page);
         let replica = DirReplica::new(cfg.file.max_depth, root);
         Ok(Self::spawn(&cfg, net, sites, replica, metrics))
@@ -229,6 +239,11 @@ impl Cluster {
                 "cluster needs at least one manager of each kind".into(),
             ));
         }
+        if cfg.durable && cfg.data_dir.is_some() {
+            return Err(Error::Config(
+                "durable mode carries its own in-memory disk image; it cannot combine with data_dir".into(),
+            ));
+        }
         cfg.file.validate()?;
         let net: SimNetwork<Msg> = SimNetwork::with_metrics(cfg.latency.clone(), metrics);
         net.set_fault_plan(cfg.faults.clone());
@@ -242,22 +257,34 @@ impl Cluster {
                 initial_pages: if cfg.data_dir.is_some() { 0 } else { 64 },
                 ..Default::default()
             };
-            let store = match &cfg.data_dir {
-                None => PageStore::new_shared_with_metrics(store_cfg, metrics),
+            let (store, wal) = match &cfg.data_dir {
+                None if cfg.durable => {
+                    let wal = DurableStore::new(
+                        DurableConfig {
+                            page: store_cfg,
+                            ..Default::default()
+                        },
+                        metrics,
+                    );
+                    (Arc::clone(wal.cache()), Some(wal))
+                }
+                None => (PageStore::new_shared_with_metrics(store_cfg, metrics), None),
                 Some(dir) => {
                     std::fs::create_dir_all(dir)
                         .map_err(|e| Error::Io(format!("creating data_dir: {e}")))?;
                     let path = dir.join(format!("site-{}.ceh", id.0));
-                    Arc::new(if open_existing {
+                    let store = Arc::new(if open_existing {
                         PageStore::open_file_with_metrics(&path, store_cfg, metrics)?
                     } else {
                         PageStore::create_file_with_metrics(&path, store_cfg, metrics)?
-                    })
+                    });
+                    (store, None)
                 }
             };
             sites.push(Arc::new(Site {
                 id,
                 store,
+                wal,
                 locks: Arc::new(LockManager::with_metrics(
                     LockManagerConfig::default(),
                     metrics,
@@ -347,30 +374,84 @@ impl Cluster {
 
     /// Kill a bucket manager's front end mid-run: its port closes at a
     /// message boundary (already-queued messages are processed, later
-    /// sends fail) and the thread exits. The site's durable state —
-    /// page store, lock tables — survives; this models the paper's
-    /// process failure with intact secondary memory. Requests routed to
-    /// the dead site stall and are re-driven by their directory manager
-    /// until [`Cluster::restart_site`] brings it back. Returns `false`
-    /// if the site is already down.
+    /// sends fail) and the thread exits. On a volatile site this models
+    /// the paper's process failure with intact secondary memory — the
+    /// page store survives. On a durable site it is a real power loss:
+    /// the site's `DurableStore` is cut, so every later access from a
+    /// straggler slave fails and only the durable image (complete up to
+    /// the last acked operation) survives for [`Cluster::restart_site`].
+    /// Requests routed to the dead site stall and are re-driven by their
+    /// directory manager until the restart. Returns `false` if the site
+    /// is already down.
     pub fn crash_site(&mut self, idx: usize) -> bool {
         let Some(handle) = self.bucket_handles[idx].take() else {
             return false;
         };
         self.net.close_port(self.bucket_ports[idx]);
         let _ = handle.join();
+        if let Some(wal) = &self.sites[idx].wal {
+            wal.power_off();
+        }
         true
     }
 
     /// Restart a crashed bucket manager: a fresh port is bound to the
     /// site's name (overwriting the dead registration) and a new front
-    /// end resumes over the surviving site state. Returns `false` if
-    /// the site is not down.
-    pub fn restart_site(&mut self, idx: usize) -> bool {
+    /// end is spawned. A volatile site resumes over the surviving
+    /// in-memory state; a durable site is rebuilt **only** from its
+    /// durable image — WAL replay, checksum verification, a decode sweep
+    /// over every recovered page — with fresh locks, fences, and gc
+    /// dedupe state, exactly as a machine coming back from power loss.
+    /// Returns `Ok(false)` if the site is not down, and an error if the
+    /// durable image fails recovery.
+    pub fn restart_site(&mut self, idx: usize) -> Result<bool> {
         if self.bucket_handles[idx].is_some() {
-            return false;
+            return Ok(false);
         }
-        let site = Arc::clone(&self.sites[idx]);
+        let old = Arc::clone(&self.sites[idx]);
+        let site = match &old.wal {
+            None => old,
+            Some(dead) => {
+                let disk = dead.disk();
+                let dcfg = DurableConfig {
+                    page: PageStoreConfig {
+                        page_size: Bucket::page_size_for(old.cfg.bucket_capacity),
+                        io_latency_ns: old.cfg.io_latency_ns,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let (wal, _report) = DurableStore::recover(&disk, dcfg, &self.metrics)?;
+                // Site-local invariant sweep before rejoining: every
+                // recovered page must decode as a bucket (tombstones are
+                // legitimate — their collection is re-driven).
+                let store = Arc::clone(wal.cache());
+                let mut buf = PageBuf::zeroed(store.page_size());
+                for page in store.allocated_page_ids() {
+                    store.read(page, &mut buf)?;
+                    Bucket::decode(&buf)?;
+                }
+                Arc::new(Site {
+                    id: old.id,
+                    store,
+                    wal: Some(wal),
+                    locks: Arc::new(LockManager::with_metrics(
+                        LockManagerConfig::default(),
+                        &self.metrics,
+                    )),
+                    cfg: old.cfg.clone(),
+                    page_quota: old.page_quota,
+                    all_managers: old.all_managers.clone(),
+                    net: self.net.clone(),
+                    recoveries: self.metrics.counter("dist.recovery_hops"),
+                    reply_timeout: old.reply_timeout,
+                    seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),
+                    fences: std::sync::Mutex::new(std::collections::HashMap::new()),
+                    metrics: self.metrics.clone(),
+                })
+            }
+        };
+        self.sites[idx] = Arc::clone(&site);
         let (port, rx) = self.net.create_port();
         self.net.register_name(bucket_mgr_name(site.id), port);
         self.bucket_ports[idx] = port;
@@ -380,7 +461,14 @@ impl Cluster {
                 .spawn(move || run_front_end(site, rx))
                 .expect("respawn bucket manager"),
         );
-        true
+        Ok(true)
+    }
+
+    /// The backing page store of site `idx`. Chaos tests use the `Arc`
+    /// identity to assert that a durable restart abandons the crashed
+    /// site's in-memory state instead of resuming over it.
+    pub fn site_store(&self, idx: usize) -> Arc<PageStore> {
+        Arc::clone(&self.sites[idx].store)
     }
 
     /// The network (message statistics for the experiments).

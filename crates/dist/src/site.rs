@@ -12,7 +12,7 @@ use std::sync::Arc;
 use ceh_locks::{LockId, LockManager, LockMode, OwnerId};
 use ceh_net::{PortId, SimNetwork};
 use ceh_obs::{Counter, MetricsHandle};
-use ceh_storage::{PageBuf, PageStore};
+use ceh_storage::{DurableStore, DurableTxn, PageBuf, PageStore};
 use ceh_types::bucket::Bucket;
 use ceh_types::{HashFileConfig, ManagerId, PageId, Result};
 
@@ -22,8 +22,15 @@ use crate::msg::Msg;
 pub(crate) struct Site {
     /// This manager's identity.
     pub id: ManagerId,
-    /// The site's secondary memory.
+    /// The site's secondary memory. In durable mode this is the WAL's
+    /// volatile page cache — reads come from here, but every mutation
+    /// must go through [`Site::putbucket`] / [`Site::alloc_page`] /
+    /// [`Site::dealloc_page`] so it is logged before it is acked.
     pub store: Arc<PageStore>,
+    /// Crash-consistent backing (`ClusterConfig::durable`): a redo WAL
+    /// over an in-memory disk image. `None` = volatile site (the store
+    /// alone is the truth, as in the original simulation).
+    pub wal: Option<Arc<DurableStore>>,
     /// The site's lock manager (locks are site-local; cross-site mutual
     /// exclusion is by message protocol).
     pub locks: Arc<LockManager>,
@@ -76,10 +83,43 @@ impl Site {
         Bucket::decode(buf)
     }
 
-    /// `putbucket`.
+    /// `putbucket`. Durable sites log the write (joining the ambient
+    /// transaction if one is open, else as its own committed singleton)
+    /// before the cache is updated; volatile sites write the store
+    /// directly.
     pub fn putbucket(&self, page: PageId, bucket: &Bucket, buf: &mut PageBuf) -> Result<()> {
         bucket.encode(buf)?;
-        self.store.write(page, buf)
+        match &self.wal {
+            Some(wal) => wal.write(page, buf),
+            None => self.store.write(page, buf),
+        }
+    }
+
+    /// Allocate a page through the durability funnel.
+    pub fn alloc_page(&self) -> Result<PageId> {
+        match &self.wal {
+            Some(wal) => wal.alloc(),
+            None => self.store.alloc(),
+        }
+    }
+
+    /// Deallocate a page through the durability funnel.
+    pub fn dealloc_page(&self, page: PageId) -> Result<()> {
+        match &self.wal {
+            Some(wal) => wal.dealloc(page),
+            None => self.store.dealloc(page),
+        }
+    }
+
+    /// Open a logged transaction spanning the multi-page steps of a
+    /// split or merge (no-op on a volatile site). Dropping the guard
+    /// without committing aborts: none of its operations reach the
+    /// durable image.
+    pub fn begin_txn(&self) -> Result<DurableTxn> {
+        match &self.wal {
+            Some(wal) => wal.begin_txn(),
+            None => Ok(DurableTxn::noop()),
+        }
     }
 
     /// Fresh page-sized buffer.
@@ -191,6 +231,7 @@ pub(crate) mod tests {
         Arc::new(Site {
             id: ManagerId(id),
             store,
+            wal: None,
             locks: Arc::new(LockManager::default()),
             cfg,
             page_quota: quota,

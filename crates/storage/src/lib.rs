@@ -24,14 +24,29 @@
 //!   instead of silently reading stale data;
 //! * [`IoStats`] counters and optional injected latency, used by the
 //!   benchmark harness.
+//!
+//! On top of the volatile substrate sits the **durability layer** (see
+//! [`durable`]): [`DurableStore`] wraps a `PageStore` with a redo
+//! write-ahead log over a simulated nonvolatile [`DiskImage`]
+//! (CRC-guarded frames + log), group commit, checkpointing, seeded
+//! power-cut injection via [`CrashPlan`], and crash recovery
+//! ([`DurableStore::recover`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod crash;
+pub mod durable;
 mod page;
 mod stats;
 mod store;
+pub mod wal;
 
+pub use crash::{CrashPlan, Tear};
+pub use durable::{
+    DiskHandle, DiskImage, DurableConfig, DurableStore, DurableTxn, RecoveryReport, FRAME_HEADER,
+};
 pub use page::{PageBuf, POISON_BYTE};
 pub use stats::{IoStats, IoStatsSnapshot};
 pub use store::{PageStore, PageStoreConfig};
+pub use wal::{crc32, parse_wal, WalRecord};

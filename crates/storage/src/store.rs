@@ -233,6 +233,54 @@ impl PageStore {
         })
     }
 
+    /// Rebuild an in-memory store from recovered page images:
+    /// `pages[i]` is `Some(bytes)` for an allocated page `i` with
+    /// exactly those contents, `None` for a free slot. The allocation
+    /// map is reproduced exactly, so page ids embedded in recovered
+    /// buckets (directory entries, next/prev links) stay valid. Used by
+    /// the durable layer's crash recovery.
+    pub fn restore(
+        cfg: PageStoreConfig,
+        pages: Vec<Option<PageBuf>>,
+        metrics: &ceh_obs::MetricsHandle,
+    ) -> Self {
+        let mut free = Vec::new();
+        let slots: Vec<Arc<PageSlot>> = pages
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let slot = Self::empty_slot(&cfg, true);
+                match p {
+                    Some(buf) => {
+                        assert_eq!(buf.len(), cfg.page_size, "restored page size mismatch");
+                        slot.bytes.lock().copy_from_slice(&buf);
+                        // ceh-lint: allow(relaxed-ordering) — recovery runs single-threaded before sharing
+                        slot.allocated.store(true, Ordering::Relaxed);
+                    }
+                    None => {
+                        if cfg.poison_freed {
+                            slot.bytes.lock().fill(POISON_BYTE);
+                        }
+                        free.push(PageId(i as u64));
+                    }
+                }
+                Arc::new(slot)
+            })
+            .collect();
+        // LIFO free list, reversed so the lowest free id pops first
+        // (matching the fresh-store allocation order).
+        free.reverse();
+        let io_latency_ns = AtomicU64::new(cfg.io_latency_ns);
+        PageStore {
+            backing: Backing::Memory,
+            slots: RwLock::new(slots),
+            free: Mutex::new(free),
+            cfg,
+            stats: IoStats::with_handle(metrics),
+            io_latency_ns,
+        }
+    }
+
     /// Is this store file-backed?
     pub fn is_file_backed(&self) -> bool {
         matches!(self.backing, Backing::File(_))

@@ -42,6 +42,11 @@ pub enum Error {
         /// Which operation gave up.
         op: &'static str,
     },
+    /// The durable store lost power (a `CrashPlan` fired, or
+    /// `power_off` was called). Every subsequent operation on the dead
+    /// store fails with this until the disk image is recovered into a
+    /// fresh store.
+    PowerLoss,
 }
 
 impl fmt::Display for Error {
@@ -60,6 +65,7 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "backing file I/O failed: {msg}"),
             Error::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
             Error::RetriesExhausted { op } => write!(f, "{op}: retry budget exhausted"),
+            Error::PowerLoss => write!(f, "durable store lost power"),
         }
     }
 }

@@ -60,4 +60,17 @@ echo "=== schedule-fixture corpus ==="
 # protocol (a reproduced violation means a pinned bug is back).
 cargo test -q -p ceh-harness --release --test schedule_fixtures
 
+echo "=== crash smoke ==="
+# The recovery fuzzer's seeded crash-point sweep (power cut at every
+# reachable durability point, recovery held to the durability oracle),
+# one distributed crash_site/restart_site round, and a RunReport carrying
+# the storage.wal.* / storage.recovery.* counters validated against
+# schemas/run_report.schema.json.
+cargo run -q --release -p ceh-bench --bin crash_smoke -- --json > /dev/null
+
+echo "=== crash-fixture corpus ==="
+# Every committed crash fixture must replay clean: the durability bug it
+# pins (e.g. the mid-truncate replay regression) must stay fixed.
+cargo test -q -p ceh-harness --release --test crash_fixtures
+
 echo "CI gate passed."

@@ -13,7 +13,7 @@ EXPERIMENTS=(
   exp_scaling            # E1
   exp_update_sweep       # E2
   exp_reader_latency     # E3
-  exp_recovery           # E4
+  exp_recovery           # E4 + E11 (also writes results/exp_durability.json)
   exp_bucket_size        # E5
   exp_vs_btree           # E6
   exp_dist_messages      # E7

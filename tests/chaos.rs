@@ -74,6 +74,7 @@ fn seeded_faults_with_crash_and_restart_converge_exactly() {
         },
         resend_ms: 100,
         reply_timeout_ms: 2_000,
+        durable: false,
     })
     .unwrap();
 
@@ -124,8 +125,14 @@ fn seeded_faults_with_crash_and_restart_converge_exactly() {
     assert!(cluster.crash_site(1), "site 1 must have been up");
     assert!(!cluster.crash_site(1), "double-crash is a no-op");
     std::thread::sleep(Duration::from_millis(300));
-    assert!(cluster.restart_site(1), "site 1 must have been down");
-    assert!(!cluster.restart_site(1), "double-restart is a no-op");
+    assert!(
+        cluster.restart_site(1).unwrap(),
+        "site 1 must have been down"
+    );
+    assert!(
+        !cluster.restart_site(1).unwrap(),
+        "double-restart is a no-op"
+    );
 
     let expected: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
 
@@ -182,6 +189,7 @@ fn reply_drop_run(seed: u64, ops: u64) -> (u64, u64, u64) {
         },
         resend_ms: 60_000, // timers quiet: the only retries are the client's
         reply_timeout_ms: 30_000,
+        durable: false,
     })
     .unwrap();
     let client = cluster.client();
@@ -243,6 +251,7 @@ fn crash_without_faults_recovers_in_place() {
         },
         resend_ms: 100,
         reply_timeout_ms: 1_000,
+        durable: false,
     })
     .unwrap();
     let client = cluster.client();
@@ -261,7 +270,7 @@ fn crash_without_faults_recovers_in_place() {
         }
     });
     std::thread::sleep(Duration::from_millis(250));
-    assert!(cluster.restart_site(1));
+    assert!(cluster.restart_site(1).unwrap());
     crash_probe.join().unwrap();
     for k in 0..ops {
         assert_eq!(
@@ -273,6 +282,101 @@ fn crash_without_faults_recovers_in_place() {
     assert!(cluster.quiesce(Duration::from_secs(30)));
     assert!(cluster.replicas_converged());
     assert_eq!(cluster.total_records().unwrap(), ops as usize);
+    cluster.check_invariants().unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn durable_crash_is_a_power_loss_and_restart_recovers_from_the_image() {
+    // Durable sites: `crash_site` is a power cut, `restart_site` must
+    // rebuild the site from its durable image alone. The test plants
+    // junk directly in the crashed site's in-memory page cache
+    // (bypassing the WAL, as a buffer that never reached disk would) and
+    // asserts the restart both abandons that store object and scrubs the
+    // junk — while every acked operation survives.
+    let ops: u64 = if quick() { 120 } else { 400 };
+    let mut cluster = Cluster::start(ClusterConfig {
+        dir_managers: 2,
+        bucket_managers: 2,
+        file: HashFileConfig::tiny().with_bucket_capacity(4),
+        page_quota: Some(8), // spread buckets onto the crash target
+        latency: LatencyModel::none(),
+        data_dir: None,
+        faults: None,
+        retry: RetryPolicy {
+            attempts: 80,
+            timeout_ms: 150,
+            base_backoff_ms: 1,
+            max_backoff_ms: 10,
+        },
+        resend_ms: 100,
+        reply_timeout_ms: 1_000,
+        durable: true,
+    })
+    .unwrap();
+    let client = cluster.client();
+    for k in 0..ops / 2 {
+        client.insert(Key(k), Value(k)).unwrap();
+    }
+    // Quiesce so no slave is mid-read when the cache is poisoned below.
+    assert!(cluster.quiesce(Duration::from_secs(30)));
+
+    let old_store = cluster.site_store(1);
+    assert!(
+        old_store.allocated_pages() > 0,
+        "the quota must have spread buckets onto site 1"
+    );
+    // Volatile-only state: scribble over every cached page without
+    // logging it. A durable restart must never see these bytes.
+    {
+        let junk = ceh_storage::PageBuf::from_bytes(
+            vec![0xDEu8; old_store.page_size()].into_boxed_slice(),
+        );
+        for page in old_store.allocated_page_ids() {
+            old_store.write(page, &junk).unwrap();
+        }
+    }
+    assert!(cluster.crash_site(1), "site 1 must have been up");
+
+    // Keep operating against the surviving site while 1 is dark.
+    let crash_probe = std::thread::spawn({
+        let client = cluster.client();
+        move || {
+            for k in ops / 2..ops {
+                client.insert(Key(k), Value(k)).unwrap();
+            }
+        }
+    });
+    std::thread::sleep(Duration::from_millis(250));
+    assert!(cluster.restart_site(1).unwrap(), "recovery must succeed");
+    crash_probe.join().unwrap();
+
+    let new_store = cluster.site_store(1);
+    assert!(
+        !std::sync::Arc::ptr_eq(&old_store, &new_store),
+        "a durable restart must abandon the crashed site's in-memory store"
+    );
+
+    // Every acked operation survives the power cut; the junk does not.
+    for k in 0..ops {
+        assert_eq!(
+            client.find(Key(k)).unwrap(),
+            Some(Value(k)),
+            "find {k} after power loss + recovery"
+        );
+    }
+    // Post-restart deletes drive merges through the recovered WAL.
+    for k in 0..ops / 4 {
+        client.delete(Key(k)).unwrap();
+    }
+    assert!(cluster.quiesce(Duration::from_secs(30)));
+    assert!(cluster.replicas_converged());
+    assert_eq!(
+        cluster.total_records().unwrap(),
+        (ops - ops / 4) as usize,
+        "acked ops exactly once across the crash"
+    );
+    assert_eq!(cluster.tombstone_count().unwrap(), 0);
     cluster.check_invariants().unwrap();
     cluster.shutdown();
 }

@@ -1,0 +1,74 @@
+//! Replay the committed crash-fixture corpus.
+//!
+//! Every `*.fixture` under `tests/fixtures/crashes/` is a crash point
+//! the recovery fuzzer once flagged (see the README there). Each must
+//! replay **clean** against the current durability layer: the workload
+//! reruns, power cuts at exactly the pinned durability point, recovery
+//! runs, and the durability oracle holds — a reproduced violation means
+//! the documented recovery bug regressed.
+
+use ceh_check::{replay_crash, CrashFixture};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/crashes")
+}
+
+fn corpus() -> Vec<(std::path::PathBuf, CrashFixture)> {
+    let dir = corpus_dir();
+    let mut fixtures = Vec::new();
+    let Ok(rd) = std::fs::read_dir(&dir) else {
+        return fixtures; // an empty corpus is legal
+    };
+    for entry in rd {
+        let path = entry.expect("read corpus dir").path();
+        if path.extension().is_some_and(|e| e == "fixture") {
+            let text = std::fs::read_to_string(&path).expect("read fixture");
+            let fix =
+                CrashFixture::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            fixtures.push((path, fix));
+        }
+    }
+    fixtures.sort_by(|a, b| a.0.cmp(&b.0));
+    fixtures
+}
+
+#[test]
+fn every_committed_crash_fixture_replays_clean() {
+    for (path, fix) in corpus() {
+        assert!(
+            fix.violation.is_none(),
+            "{}: committed fixtures must pin a *clean* recovery (drop the violation line)",
+            path.display()
+        );
+        let outcome = replay_crash(&fix).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            outcome.fired,
+            "{}: crash point {} was never reached — the workload diverged, re-minimize",
+            path.display(),
+            fix.crash_at
+        );
+    }
+}
+
+#[test]
+fn crash_corpus_roundtrips_through_the_format() {
+    for (path, fix) in corpus() {
+        let reparsed = CrashFixture::parse(&fix.serialize())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(reparsed, fix, "{}", path.display());
+    }
+}
+
+#[test]
+fn truncate_prefix_regression_fixture_is_present() {
+    // The corpus ships with at least the mid-truncate replay-regression
+    // entry the first fuzzer sweep minimized; losing it silently would
+    // gut the regression gate.
+    assert!(
+        corpus().iter().any(|(p, _)| p
+            .file_stem()
+            .is_some_and(|s| s == "truncate_prefix_regression")),
+        "truncate-prefix regression fixture missing from {}",
+        corpus_dir().display()
+    );
+}
