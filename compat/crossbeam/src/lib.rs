@@ -1,12 +1,12 @@
 //! Offline stand-in for the `crossbeam` crate (see `compat/README.md`).
-//! Only `crossbeam::channel`'s unbounded MPMC channel is provided — the
-//! one piece this workspace uses — with crossbeam's disconnection
-//! semantics: a receiver outliving every sender drains the backlog and
-//! then reports `Disconnected`; a sender outliving every receiver gets
-//! its message back in `SendError`.
+//! Only `crossbeam::channel`'s MPMC channels are provided — unbounded
+//! and bounded, the pieces this workspace uses — with crossbeam's
+//! disconnection semantics: a receiver outliving every sender drains
+//! the backlog and then reports `Disconnected`; a sender outliving
+//! every receiver gets its message back in `SendError`.
 
 pub mod channel {
-    //! An unbounded MPMC channel on a `Mutex<VecDeque>` + `Condvar`.
+    //! MPMC channels on a `Mutex<VecDeque>` + `Condvar`.
 
     use std::collections::VecDeque;
     use std::fmt;
@@ -22,10 +22,12 @@ pub mod channel {
     struct Chan<T> {
         state: Mutex<State<T>>,
         cv: Condvar,
+        /// `Some(n)` bounds the queue at `n` items (`try_send` reports
+        /// Full; `send` blocks for space).
+        cap: Option<usize>,
     }
 
-    /// Create an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -33,6 +35,7 @@ pub mod channel {
                 receivers: 1,
             }),
             cv: Condvar::new(),
+            cap,
         });
         (
             Sender {
@@ -42,6 +45,16 @@ pub mod channel {
         )
     }
 
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    /// Create a bounded channel holding at most `cap` queued messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap))
+    }
+
     /// Error returned by [`Sender::send`] when every receiver is gone;
     /// carries the undelivered message.
     pub struct SendError<T>(pub T);
@@ -49,6 +62,23 @@ pub mod channel {
     impl<T> fmt::Debug for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("SendError(..)")
+        }
+    }
+
+    /// Errors for [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "Full(..)",
+                TrySendError::Disconnected(_) => "Disconnected(..)",
+            })
         }
     }
 
@@ -81,11 +111,38 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Queue `t`. Fails only when every receiver has been dropped.
+        /// Queue `t`, blocking for space on a full bounded channel.
+        /// Fails only when every receiver has been dropped.
         pub fn send(&self, t: T) -> Result<(), SendError<T>> {
             let mut st = self.chan.state.lock().expect("channel lock");
+            if let Some(cap) = self.chan.cap {
+                while st.queue.len() >= cap {
+                    if st.receivers == 0 {
+                        return Err(SendError(t));
+                    }
+                    st = self.chan.cv.wait(st).expect("channel lock");
+                }
+            }
             if st.receivers == 0 {
                 return Err(SendError(t));
+            }
+            st.queue.push_back(t);
+            drop(st);
+            self.chan.cv.notify_one();
+            Ok(())
+        }
+
+        /// Queue `t` without blocking: a full bounded channel reports
+        /// [`TrySendError::Full`] instead of waiting for space.
+        pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(t));
+            }
+            if let Some(cap) = self.chan.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(t));
+                }
             }
             st.queue.push_back(t);
             drop(st);
@@ -121,11 +178,20 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// On a bounded channel a pop frees a slot: wake blocked senders.
+        fn notify_space(&self) {
+            if self.chan.cap.is_some() {
+                self.chan.cv.notify_all();
+            }
+        }
+
         /// Block until a message arrives (or every sender is gone).
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut st = self.chan.state.lock().expect("channel lock");
             loop {
                 if let Some(t) = st.queue.pop_front() {
+                    drop(st);
+                    self.notify_space();
                     return Ok(t);
                 }
                 if st.senders == 0 {
@@ -141,6 +207,8 @@ pub mod channel {
             let mut st = self.chan.state.lock().expect("channel lock");
             loop {
                 if let Some(t) = st.queue.pop_front() {
+                    drop(st);
+                    self.notify_space();
                     return Ok(t);
                 }
                 if st.senders == 0 {
@@ -169,7 +237,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.chan.state.lock().expect("channel lock");
             match st.queue.pop_front() {
-                Some(t) => Ok(t),
+                Some(t) => {
+                    drop(st);
+                    self.notify_space();
+                    Ok(t)
+                }
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -252,6 +324,35 @@ pub mod channel {
                 Err(RecvTimeoutError::Disconnected),
                 "sender dropped by its thread exiting"
             );
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_until_drained() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            drop(rx);
+            assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until the pop below
+                tx.send(3).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
             h.join().unwrap();
         }
 

@@ -19,7 +19,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod check;
+pub mod serve;
 pub use check::{run_check, CHECK_HELP};
+pub use serve::{run_client, run_serve, CLIENT_HELP, SERVE_HELP};
 
 use std::sync::Arc;
 

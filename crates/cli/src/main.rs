@@ -22,7 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first() else {
         eprintln!(
-            "usage: ceh <index-file> [command...]\n       ceh trace <workload> [--json]\n       ceh check [...]\n\n{HELP}\n\n{CHECK_HELP}"
+            "usage: ceh <index-file> [command...]\n       ceh trace <workload> [--json]\n       ceh check [...]\n       ceh serve --cluster <spec> --node <i> [...]\n       ceh client --cluster <spec> [...] <command>\n\n{HELP}\n\n{CHECK_HELP}"
         );
         std::process::exit(2);
     };
@@ -40,6 +40,24 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    // `ceh serve` / `ceh client`: run the distributed hash file as
+    // real processes over TCP (no index file involved).
+    if path == "serve" || path == "client" {
+        let run = if path == "serve" {
+            ceh_cli::run_serve
+        } else {
+            ceh_cli::run_client
+        };
+        match run(&args[1..]) {
+            Ok(out) => say(&out),
+            Err(e) => {
+                eprintln!("ceh: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     // `ceh trace <workload> [--json]`: run a seeded cluster with causal

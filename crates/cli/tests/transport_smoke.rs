@@ -1,0 +1,232 @@
+//! transport_smoke: the distributed hash file as *real processes*.
+//!
+//! Everything else in the test suite runs the TCP plane in-process;
+//! this test spawns actual `ceh serve` children, drives them with
+//! `ceh client` (a separate process per command), and checks the
+//! workload's exact oracle end to end — first over clean sockets, then
+//! under a seeded fault plan with a SIGKILLed-and-restarted bucket
+//! manager. This is the CI gate for "the paper's distributed design
+//! actually runs as a deployment", wired into `scripts/ci.sh`.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn ceh() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ceh"))
+}
+
+/// Reserve `n` distinct loopback ports (bind-then-drop; the tiny race
+/// with other processes is acceptable in tests).
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind :0"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect()
+}
+
+fn spec_for(addrs: &[SocketAddr]) -> String {
+    let mut parts = Vec::new();
+    for (i, a) in addrs.iter().enumerate() {
+        let role = if i < 2 { "dir" } else { "bucket" };
+        parts.push(format!("{role}@{a}"));
+    }
+    parts.join(",")
+}
+
+/// A serve child that is SIGKILLed if the test panics before shutdown.
+struct Node {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn `ceh serve` for spec entry `idx`, retrying while the previous
+/// tenant's port lingers in TIME_WAIT, and wait until it accepts.
+fn spawn_serve(spec: &str, idx: usize, addr: SocketAddr, extra: &[&str]) -> Node {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut child = ceh()
+            .args(["serve", "--cluster", spec, "--node", &idx.to_string()])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn ceh serve");
+        // Up when the listener accepts; dead if the child exited first.
+        loop {
+            if TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_ok() {
+                return Node { child, addr };
+            }
+            match child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    let mut err = String::new();
+                    if let Some(mut e) = child.stderr.take() {
+                        let _ = e.read_to_string(&mut err);
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "serve node {idx} kept failing: {status} {err}"
+                    );
+                    std::thread::sleep(Duration::from_millis(100));
+                    break; // bind raced TIME_WAIT — spawn again
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+/// Run one `ceh client` command to completion, panicking on failure.
+fn client(spec: &str, node: u16, args: &[&str]) -> String {
+    let out = ceh()
+        .args(["client", "--cluster", spec, "--node", &node.to_string()])
+        .args(args)
+        .output()
+        .expect("run ceh client");
+    assert!(
+        out.status.success(),
+        "ceh client {args:?} failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Ask the cluster to shut down and verify every child exits cleanly.
+fn shutdown(spec: &str, node: u16, nodes: Vec<Node>) {
+    let out = client(spec, node, &["shutdown"]);
+    assert!(out.contains("shutdown requested"), "unexpected: {out}");
+    for mut n in nodes {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match n.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "node at {} exited {status}", n.addr);
+                    break;
+                }
+                None => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "node at {} ignored the shutdown",
+                        n.addr
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+/// Clean sockets: four manager processes, a filled-and-checked seeded
+/// workload, a point lookup from a *different* client process (state
+/// visibly lives in the cluster), and a clean shutdown.
+#[test]
+fn processes_over_clean_sockets_pass_the_oracle() {
+    let addrs = free_addrs(4);
+    let spec = spec_for(&addrs);
+    let nodes: Vec<Node> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| spawn_serve(&spec, i, a, &[]))
+        .collect();
+
+    let out = client(&spec, 1001, &["put", "7", "700"]);
+    assert_eq!(out.trim(), "inserted");
+    let out = client(&spec, 1002, &["get", "7"]);
+    assert_eq!(
+        out.trim(),
+        "700",
+        "a second process sees the first's insert"
+    );
+
+    let out = client(
+        &spec,
+        1003,
+        &["workload", "--ops", "150", "--clients", "2", "--seed", "5"],
+    );
+    assert!(
+        out.contains("oracle ok"),
+        "workload failed the oracle: {out}"
+    );
+
+    let out = client(&spec, 1004, &["stats"]);
+    assert!(out.contains("Healthy"), "peers should be healthy: {out}");
+
+    shutdown(&spec, 1005, nodes);
+}
+
+/// The acceptance gate: seeded drops + duplication + severs on every
+/// plane, a bucket manager SIGKILLed mid-workload and restarted from
+/// its data directory — and the workload still passes its exact oracle.
+#[test]
+fn chaos_with_process_crash_and_restart_passes_the_oracle() {
+    let addrs = free_addrs(4);
+    let spec = spec_for(&addrs);
+    let data = std::env::temp_dir().join(format!("ceh-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data);
+    let data_s = data.to_string_lossy().into_owned();
+
+    let fault_flags: Vec<String> = [
+        "--seed",
+        "11",
+        "--drop",
+        "0.02",
+        "--dup",
+        "0.01",
+        "--sever",
+        "0.002",
+        "--data-dir",
+        &data_s,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let flags: Vec<&str> = fault_flags.iter().map(String::as_str).collect();
+
+    let mut nodes: Vec<Node> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| spawn_serve(&spec, i, a, &flags))
+        .collect();
+
+    // The workload runs concurrently with the crash below. Generous
+    // retries: at-least-once is the contract the oracle tolerates.
+    let workload = ceh()
+        .args(["client", "--cluster", &spec, "--node", "1100"])
+        .args(["--attempts", "120", "--timeout-ms", "250", "--seed", "9"])
+        .args(["workload", "--ops", "250", "--clients", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn workload");
+
+    // Let it get going, then SIGKILL bucket manager 1 (spec entry 3)
+    // and bring it back from its pages.
+    std::thread::sleep(Duration::from_millis(1_500));
+    let crashed = nodes.pop().expect("bucket node");
+    drop(crashed); // Drop kills the child hard
+    std::thread::sleep(Duration::from_millis(500));
+    nodes.push(spawn_serve(&spec, 3, addrs[3], &flags));
+
+    let out = workload.wait_with_output().expect("workload outcome");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success() && stdout.contains("oracle ok"),
+        "chaos workload failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    shutdown(&spec, 1101, nodes);
+    let _ = std::fs::remove_dir_all(&data);
+}

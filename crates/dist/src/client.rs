@@ -3,11 +3,12 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ceh_net::{PortId, PortRx, SimNetwork};
+use ceh_net::{PortId, PortRx};
 use ceh_obs::{Counter, HistKind, HistResult, MetricsHandle, TraceCtx};
 use ceh_types::{DeleteOutcome, Error, InsertOutcome, Key, Result, RetryPolicy, Value};
 
 use crate::msg::{Msg, OpKind, UserOutcome};
+use crate::DistNet;
 
 /// A client of the distributed extendible hash file.
 ///
@@ -24,7 +25,7 @@ use crate::msg::{Msg, OpKind, UserOutcome};
 /// retries instead of applying them twice; replies to attempts the
 /// client has already abandoned are discarded by the same id.
 pub struct DistClient {
-    net: SimNetwork<Msg>,
+    net: DistNet,
     rx: PortRx<Msg>,
     dir_ports: Vec<PortId>,
     next_dir: std::cell::Cell<usize>,
@@ -42,7 +43,7 @@ pub struct DistClient {
 
 impl DistClient {
     pub(crate) fn new(
-        net: SimNetwork<Msg>,
+        net: DistNet,
         rx: PortRx<Msg>,
         dir_ports: Vec<PortId>,
         policy: RetryPolicy,

@@ -16,6 +16,7 @@ use crate::directory_mgr::DirectoryManager;
 use crate::msg::Msg;
 use crate::replica::{DirEntry, DirReplica};
 use crate::site::{bucket_mgr_name, dir_mgr_name, Site};
+use crate::DistNet;
 
 /// Cluster topology and tuning.
 #[derive(Debug, Clone)]
@@ -123,6 +124,9 @@ pub struct Cluster {
     /// into: per-site stores and lock managers, the network, the
     /// directory managers, and every client.
     metrics: MetricsHandle,
+    /// Rendering of the fault plan in force (`FaultPlan::describe`), so
+    /// every [`Cluster::run_report`] records exactly what was injected.
+    fault_plan: Option<String>,
 }
 
 impl Cluster {
@@ -247,6 +251,7 @@ impl Cluster {
         cfg.file.validate()?;
         let net: SimNetwork<Msg> = SimNetwork::with_metrics(cfg.latency.clone(), metrics);
         net.set_fault_plan(cfg.faults.clone());
+        let dnet: DistNet = Arc::new(net.clone());
         let page_size = Bucket::page_size_for(cfg.file.bucket_capacity);
         let all_managers: Vec<ManagerId> = (0..cfg.bucket_managers as u32).map(ManagerId).collect();
         let mut sites = Vec::new();
@@ -292,7 +297,7 @@ impl Cluster {
                 cfg: cfg.file.clone(),
                 page_quota: cfg.page_quota,
                 all_managers: all_managers.clone(),
-                net: net.clone(),
+                net: dnet.clone(),
                 recoveries: metrics.counter("dist.recovery_hops"),
                 reply_timeout: Duration::from_millis(cfg.reply_timeout_ms),
                 seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),
@@ -335,7 +340,7 @@ impl Cluster {
             let mgr = DirectoryManager::with_metrics(
                 i,
                 cfg.dir_managers,
-                net.clone(),
+                Arc::new(net.clone()),
                 rx,
                 replica.clone(),
                 Duration::from_millis(cfg.resend_ms),
@@ -357,6 +362,7 @@ impl Cluster {
             dir_handles,
             retry: cfg.retry.clone(),
             metrics,
+            fault_plan: cfg.faults.as_ref().map(FaultPlan::describe),
         }
     }
 
@@ -364,7 +370,7 @@ impl Cluster {
     pub fn client(&self) -> DistClient {
         let (_id, rx) = self.net.create_port();
         DistClient::new(
-            self.net.clone(),
+            Arc::new(self.net.clone()),
             rx,
             self.dir_ports.clone(),
             self.retry.clone(),
@@ -442,7 +448,7 @@ impl Cluster {
                     cfg: old.cfg.clone(),
                     page_quota: old.page_quota,
                     all_managers: old.all_managers.clone(),
-                    net: self.net.clone(),
+                    net: Arc::new(self.net.clone()),
                     recoveries: self.metrics.counter("dist.recovery_hops"),
                     reply_timeout: old.reply_timeout,
                     seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),
@@ -494,6 +500,10 @@ impl Cluster {
         RunReport::collect(name, &self.metrics)
             .with_meta("dir_managers", self.dir_ports.len())
             .with_meta("bucket_managers", self.sites.len())
+            .with_meta(
+                "fault_plan",
+                self.fault_plan.as_deref().unwrap_or("none (reliable)"),
+            )
     }
 
     /// Drain the cluster's shared tracer (every layer of every site

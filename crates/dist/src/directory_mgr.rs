@@ -30,13 +30,14 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use ceh_net::{PortId, PortRx, RecvError, SimNetwork};
+use ceh_net::{PortId, PortRx, RecvError};
 use ceh_obs::{Counter, MetricsHandle, TraceCtx};
 use ceh_types::{hash_key, Key, ManagerId, PageId, Value};
 
 use crate::msg::{Msg, OpEnvelope, OpKind, UserOutcome};
 use crate::replica::{ApplyResult, DirReplica, DirUpdate};
 use crate::site::{bucket_mgr_name, dir_mgr_name};
+use crate::DistNet;
 
 /// A multiplexed user request's saved state (`SaveState`/`RestoreState`).
 struct Context {
@@ -87,7 +88,7 @@ struct OutstandingGc {
 
 pub(crate) struct DirectoryManager {
     idx: usize,
-    net: SimNetwork<Msg>,
+    net: DistNet,
     rx: PortRx<Msg>,
     my_port: PortId,
     replica: DirReplica,
@@ -150,7 +151,7 @@ impl DirectoryManager {
     pub fn new(
         idx: usize,
         total_dir_mgrs: usize,
-        net: SimNetwork<Msg>,
+        net: DistNet,
         rx: PortRx<Msg>,
         replica: DirReplica,
         resend_after: Duration,
@@ -172,7 +173,7 @@ impl DirectoryManager {
     pub fn with_metrics(
         idx: usize,
         total_dir_mgrs: usize,
-        net: SimNetwork<Msg>,
+        net: DistNet,
         rx: PortRx<Msg>,
         replica: DirReplica,
         resend_after: Duration,
@@ -739,8 +740,14 @@ mod tests {
         let (_user_port, user_rx) = net.create_port();
         let (dir_port, dir_rx) = net.create_port();
         let replica = DirReplica::new(8, BucketLink::new(ceh_types::ManagerId(0), PageId(0)));
-        let mut mgr =
-            DirectoryManager::new(0, total_dir_mgrs, net.clone(), dir_rx, replica, resend);
+        let mut mgr = DirectoryManager::new(
+            0,
+            total_dir_mgrs,
+            std::sync::Arc::new(net.clone()),
+            dir_rx,
+            replica,
+            resend,
+        );
         if let Some(n) = max_attempts {
             mgr.set_max_attempts(n);
         }

@@ -29,11 +29,15 @@
 //!   directory entries are usable in the meantime: they lead to a bucket
 //!   from which the right bucket is reachable via `next` links.
 //!
-//! Everything runs on [`ceh_net::SimNetwork`] — reliable, buffered,
-//! port-based asynchronous messages, with optional latency/jitter (jitter
-//! reorders deliveries, which is precisely what the version scheme must
-//! tolerate). [`Cluster`] wires it all together; [`DistClient`] is the
-//! user-facing handle.
+//! Everything above the network programs against [`ceh_net::Transport`]
+//! (the [`DistNet`] alias) — reliable-while-healthy, buffered, port-based
+//! asynchronous messages, with optional latency/jitter (jitter reorders
+//! deliveries, which is precisely what the version scheme must tolerate).
+//! [`Cluster`] wires the whole file up in one process over
+//! [`ceh_net::SimNetwork`]; [`node`] runs each manager as its own OS
+//! process over [`ceh_net::TcpPlane`] (`ceh serve` / `ceh client`), with
+//! the [`wire`] module giving every [`Msg`] a frame encoding.
+//! [`DistClient`] is the user-facing handle in both worlds.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -43,10 +47,19 @@ mod client;
 mod cluster;
 mod directory_mgr;
 pub mod msg;
+pub mod node;
 pub mod replica;
 mod site;
+pub mod wire;
+
+/// The message plane the distributed layer runs on: any [`ceh_net::Transport`]
+/// carrying [`Msg`]s — the simulated [`ceh_net::SimNetwork`] inside
+/// [`Cluster`], or a [`ceh_net::TcpPlane`] when the managers are real
+/// processes ([`node`]).
+pub type DistNet = std::sync::Arc<dyn ceh_net::Transport<Msg>>;
 
 pub use client::DistClient;
 pub use cluster::{Cluster, ClusterConfig};
 pub use msg::Msg;
+pub use node::{ClusterSpec, NodeOptions, NodeRole, ServeNode, TcpClusterClient};
 pub use replica::{ApplyResult, DirEntry, DirReplica, DirUpdate};

@@ -10,13 +10,13 @@
 use std::sync::Arc;
 
 use ceh_locks::{LockId, LockManager, LockMode, OwnerId};
-use ceh_net::{PortId, SimNetwork};
+use ceh_net::PortId;
 use ceh_obs::{Counter, MetricsHandle};
 use ceh_storage::{DurableStore, DurableTxn, PageBuf, PageStore};
 use ceh_types::bucket::Bucket;
 use ceh_types::{HashFileConfig, ManagerId, PageId, Result};
 
-use crate::msg::Msg;
+use crate::DistNet;
 
 /// Shared state of one bucket-manager site.
 pub(crate) struct Site {
@@ -41,8 +41,9 @@ pub(crate) struct Site {
     pub page_quota: Option<usize>,
     /// Every bucket manager in the cluster, for `MgrWithSpace()`.
     pub all_managers: Vec<ManagerId>,
-    /// The network.
-    pub net: SimNetwork<Msg>,
+    /// The message plane (simulated in [`crate::Cluster`], real sockets
+    /// under `ceh serve`).
+    pub net: DistNet,
     /// Wrong-bucket recovery hops taken by slaves on this site (both
     /// same-site `next` chases and hops that were forwarded in). The
     /// staleness experiment's primary observable: cross-site recoveries
@@ -236,7 +237,7 @@ pub(crate) mod tests {
             cfg,
             page_quota: quota,
             all_managers: (0..managers).map(ManagerId).collect(),
-            net: SimNetwork::default(),
+            net: Arc::new(ceh_net::SimNetwork::default()),
             recoveries: metrics.counter("dist.recovery_hops"),
             reply_timeout: std::time::Duration::from_secs(30),
             seen_gc: std::sync::Mutex::new(std::collections::HashSet::new()),

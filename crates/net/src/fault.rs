@@ -16,6 +16,23 @@
 //! * **one-way cuts** — messages of one class toward one port vanish
 //!   while everything else flows (a one-way partition of that link).
 //!
+//! The real transport ([`crate::TcpPlane`]) consumes the same plan at the
+//! *socket* boundary, where three more fault shapes become meaningful:
+//!
+//! * **garble** — the frame's payload bytes are flipped in flight; the
+//!   receiver's CRC check must catch it (a protocol error, counted and
+//!   degraded, never a wedge);
+//! * **sever** — the TCP connection carrying the frame is torn down
+//!   mid-send; the supervisor must reconnect with backoff;
+//! * **delay** — the frame is held for a fixed number of milliseconds
+//!   before hitting the socket (head-of-line delay, unlike the sim
+//!   plane's per-message latency).
+//!
+//! The simulated plane ignores the socket-only shapes (there is no frame
+//! to garble and no connection to sever), so a plan built for a chaos
+//! scenario can be installed on either plane: drop/duplicate decisions
+//! come from the *same* per-class decision streams on both.
+//!
 //! Senders in this network are anonymous by design (the paper's
 //! port-based communication), so links are identified by *(class,
 //! destination)* rather than *(source, destination)*: "the copyupdate
@@ -31,13 +48,25 @@
 //! duplicate exactly the same count of that class — regardless of how
 //! threads interleave, because the decision stream per class is fixed in
 //! advance. (Which *specific* message draws an unlucky sequence number
-//! can still differ between interleavings; counts cannot.)
+//! can still differ between interleavings; counts cannot.) Each fault
+//! shape draws from its own salt, so adding a garble rule does not
+//! perturb the drop stream.
+//!
+//! # Validation
+//!
+//! Probabilities must be in `[0, 1]`. The builders *panic* on anything
+//! else — a rate of `7.0` is a bug in the experiment, not a request for
+//! certainty, and silently clamping it would make the configured plan
+//! and the executed plan differ without a trace. [`FaultPlan::describe`]
+//! renders the effective plan for the RunReport so every run records
+//! exactly what was injected.
 
 use std::collections::{HashMap, HashSet};
 
 use crate::network::PortId;
 
-/// A probabilistic fault rule: drop and/or duplicate matching messages.
+/// A probabilistic fault rule: drop/duplicate/garble/sever/delay
+/// matching messages.
 #[derive(Debug, Clone)]
 struct Rule {
     /// Class label this rule applies to; `None` matches every class.
@@ -46,20 +75,75 @@ struct Rule {
     drop: f64,
     /// Probability a matching send is delivered twice (0.0..=1.0).
     duplicate: f64,
+    /// Probability a matching frame's bytes are corrupted (TCP only).
+    garble: f64,
+    /// Probability the connection is severed mid-send (TCP only).
+    sever: f64,
+    /// Probability a matching frame is held before sending (TCP only).
+    delay: f64,
+    /// How long a delayed frame is held, in milliseconds.
+    delay_ms: u64,
 }
 
-/// A seeded, deterministic fault schedule for a [`crate::SimNetwork`].
+impl Rule {
+    fn quiet(class: Option<String>) -> Rule {
+        Rule {
+            class,
+            drop: 0.0,
+            duplicate: 0.0,
+            garble: 0.0,
+            sever: 0.0,
+            delay: 0.0,
+            delay_ms: 0,
+        }
+    }
+}
+
+/// Combined per-class fault probabilities after stacking every matching
+/// rule (independent draws: `1 - Π(1 - p)`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultProbs {
+    /// Probability the send is dropped.
+    pub drop: f64,
+    /// Probability the send is delivered twice.
+    pub duplicate: f64,
+    /// Probability the frame is garbled on the wire (TCP only).
+    pub garble: f64,
+    /// Probability the connection is severed mid-send (TCP only).
+    pub sever: f64,
+    /// Probability the frame is delayed before sending (TCP only).
+    pub delay: f64,
+    /// Hold time for delayed frames (max over matching rules).
+    pub delay_ms: u64,
+}
+
+impl FaultProbs {
+    fn any_message(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0
+    }
+
+    fn any_frame(&self) -> bool {
+        self.any_message() || self.garble > 0.0 || self.sever > 0.0 || self.delay > 0.0
+    }
+}
+
+/// A seeded, deterministic fault schedule for a [`crate::SimNetwork`] or
+/// a [`crate::TcpPlane`].
 ///
 /// Build one with the fluent methods, then install it via
-/// [`crate::SimNetwork::set_fault_plan`]. Structural faults (blackholes,
+/// `set_fault_plan` on either plane. Structural faults (blackholes,
 /// one-way cuts) are toggled live on the network itself because they
 /// model runtime events (crashes, partitions), not a static schedule.
+///
+/// Probabilities outside `[0, 1]` **panic** in the builder — see the
+/// module docs on validation.
 ///
 /// ```
 /// use ceh_net::FaultPlan;
 /// let plan = FaultPlan::new(0xC4A05)
 ///     .drop_all(0.05)
-///     .duplicate_class("copyupdate", 0.01);
+///     .duplicate_class("copyupdate", 0.01)
+///     .sever_all(0.001);
 /// assert!(plan.is_faulty());
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -84,26 +168,31 @@ impl FaultPlan {
     }
 
     /// Drop every class of message with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
     pub fn drop_all(mut self, p: f64) -> Self {
-        self.rules.push(Rule {
-            class: None,
-            drop: clamp01(p),
-            duplicate: 0.0,
-        });
+        let mut r = Rule::quiet(None);
+        r.drop = check_p(p, "drop");
+        self.rules.push(r);
         self
     }
 
     /// Drop messages of `class` with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
     pub fn drop_class(mut self, class: impl Into<String>, p: f64) -> Self {
-        self.rules.push(Rule {
-            class: Some(class.into()),
-            drop: clamp01(p),
-            duplicate: 0.0,
-        });
+        let mut r = Rule::quiet(Some(class.into()));
+        r.drop = check_p(p, "drop");
+        self.rules.push(r);
         self
     }
 
     /// Drop messages of every listed class with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
     pub fn drop_classes(mut self, classes: &[&str], p: f64) -> Self {
         for c in classes {
             self = self.drop_class(*c, p);
@@ -112,26 +201,31 @@ impl FaultPlan {
     }
 
     /// Deliver every class of message twice with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
     pub fn duplicate_all(mut self, p: f64) -> Self {
-        self.rules.push(Rule {
-            class: None,
-            drop: 0.0,
-            duplicate: clamp01(p),
-        });
+        let mut r = Rule::quiet(None);
+        r.duplicate = check_p(p, "duplicate");
+        self.rules.push(r);
         self
     }
 
     /// Deliver messages of `class` twice with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
     pub fn duplicate_class(mut self, class: impl Into<String>, p: f64) -> Self {
-        self.rules.push(Rule {
-            class: Some(class.into()),
-            drop: 0.0,
-            duplicate: clamp01(p),
-        });
+        let mut r = Rule::quiet(Some(class.into()));
+        r.duplicate = check_p(p, "duplicate");
+        self.rules.push(r);
         self
     }
 
     /// Deliver messages of every listed class twice with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
     pub fn duplicate_classes(mut self, classes: &[&str], p: f64) -> Self {
         for c in classes {
             self = self.duplicate_class(*c, p);
@@ -139,34 +233,165 @@ impl FaultPlan {
         self
     }
 
-    /// Does this plan inject any probabilistic faults at all?
-    pub fn is_faulty(&self) -> bool {
-        self.rules.iter().any(|r| r.drop > 0.0 || r.duplicate > 0.0)
+    /// Garble (corrupt on the wire) every class of frame with
+    /// probability `p`. Socket-only: the simulated plane ignores it.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
+    pub fn garble_all(mut self, p: f64) -> Self {
+        let mut r = Rule::quiet(None);
+        r.garble = check_p(p, "garble");
+        self.rules.push(r);
+        self
     }
 
-    /// Combined (drop, duplicate) probability for a class: rules stack by
-    /// independent draws, so probabilities combine as `1 - Π(1 - p)`.
-    fn probabilities(&self, class: &str) -> (f64, f64) {
-        let mut keep = 1.0;
-        let mut single = 1.0;
+    /// Garble frames of `class` with probability `p`. Socket-only.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
+    pub fn garble_class(mut self, class: impl Into<String>, p: f64) -> Self {
+        let mut r = Rule::quiet(Some(class.into()));
+        r.garble = check_p(p, "garble");
+        self.rules.push(r);
+        self
+    }
+
+    /// Garble each class in `classes` with probability `p`.
+    /// Socket-only.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
+    pub fn garble_classes(mut self, classes: &[&str], p: f64) -> Self {
+        for c in classes {
+            self = self.garble_class(*c, p);
+        }
+        self
+    }
+
+    /// Sever the carrying connection on every class of frame with
+    /// probability `p`. Socket-only: the simulated plane ignores it.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
+    pub fn sever_all(mut self, p: f64) -> Self {
+        let mut r = Rule::quiet(None);
+        r.sever = check_p(p, "sever");
+        self.rules.push(r);
+        self
+    }
+
+    /// Sever the carrying connection on frames of `class` with
+    /// probability `p`. Socket-only.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
+    pub fn sever_class(mut self, class: impl Into<String>, p: f64) -> Self {
+        let mut r = Rule::quiet(Some(class.into()));
+        r.sever = check_p(p, "sever");
+        self.rules.push(r);
+        self
+    }
+
+    /// Hold every class of frame for `ms` milliseconds with probability
+    /// `p` before it hits the socket. Socket-only.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
+    pub fn delay_all(mut self, p: f64, ms: u64) -> Self {
+        let mut r = Rule::quiet(None);
+        r.delay = check_p(p, "delay");
+        r.delay_ms = ms;
+        self.rules.push(r);
+        self
+    }
+
+    /// Hold frames of `class` for `ms` milliseconds with probability
+    /// `p`. Socket-only.
+    ///
+    /// # Panics
+    /// If `p` is not a probability in `[0, 1]`.
+    pub fn delay_class(mut self, class: impl Into<String>, p: f64, ms: u64) -> Self {
+        let mut r = Rule::quiet(Some(class.into()));
+        r.delay = check_p(p, "delay");
+        r.delay_ms = ms;
+        self.rules.push(r);
+        self
+    }
+
+    /// Does this plan inject any probabilistic faults at all?
+    pub fn is_faulty(&self) -> bool {
+        self.rules.iter().any(|r| {
+            r.drop > 0.0 || r.duplicate > 0.0 || r.garble > 0.0 || r.sever > 0.0 || r.delay > 0.0
+        })
+    }
+
+    /// Render the effective plan for the RunReport: seed plus every
+    /// rule, so a run's record states exactly what was injected.
+    pub fn describe(&self) -> String {
+        let mut out = format!("seed={:#x}", self.seed);
         for r in &self.rules {
-            if r.class.as_deref().map_or(true, |c| c == class) {
-                keep *= 1.0 - r.drop;
-                single *= 1.0 - r.duplicate;
+            let target = r.class.as_deref().unwrap_or("*");
+            for (label, p) in [
+                ("drop", r.drop),
+                ("dup", r.duplicate),
+                ("garble", r.garble),
+                ("sever", r.sever),
+            ] {
+                if p > 0.0 {
+                    out.push_str(&format!(" {label}({target})={p}"));
+                }
+            }
+            if r.delay > 0.0 {
+                out.push_str(&format!(" delay({target})={}@{}ms", r.delay, r.delay_ms));
             }
         }
-        (1.0 - keep, 1.0 - single)
+        out
+    }
+
+    /// Combined per-class fault probabilities: rules stack by
+    /// independent draws, so probabilities combine as `1 - Π(1 - p)`
+    /// (and delay hold times combine as the max over matching rules).
+    pub fn probabilities(&self, class: &str) -> FaultProbs {
+        let mut keep = [1.0f64; 5];
+        let mut delay_ms = 0u64;
+        for r in &self.rules {
+            if r.class.as_deref().map_or(true, |c| c == class) {
+                keep[0] *= 1.0 - r.drop;
+                keep[1] *= 1.0 - r.duplicate;
+                keep[2] *= 1.0 - r.garble;
+                keep[3] *= 1.0 - r.sever;
+                keep[4] *= 1.0 - r.delay;
+                if r.delay > 0.0 {
+                    delay_ms = delay_ms.max(r.delay_ms);
+                }
+            }
+        }
+        FaultProbs {
+            drop: 1.0 - keep[0],
+            duplicate: 1.0 - keep[1],
+            garble: 1.0 - keep[2],
+            sever: 1.0 - keep[3],
+            delay: 1.0 - keep[4],
+            delay_ms,
+        }
     }
 }
 
-fn clamp01(p: f64) -> f64 {
-    p.clamp(0.0, 1.0)
+/// Builder-time probability validation: anything outside `[0, 1]`
+/// (including NaN) is a configuration bug and panics with the offending
+/// value — never silently clamped.
+fn check_p(p: f64, what: &str) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "FaultPlan: {what} probability {p} is not in [0, 1]"
+    );
+    p
 }
 
 /// SplitMix64: a tiny, high-quality mixing function. Used to derive the
 /// per-(seed, class, sequence, salt) uniform variate so every decision is
-/// a pure function of its inputs.
-fn splitmix64(mut x: u64) -> u64 {
+/// a pure function of its inputs (and by the supervisor's backoff jitter).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -189,7 +414,16 @@ fn uniform(seed: u64, class: &str, seq: u64, salt: u64) -> f64 {
     (bits >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// What the fault plane decided for one send.
+/// Per-shape decision salts. Distinct salts give each fault shape an
+/// independent decision stream from the same per-class sequence, so a
+/// plan gaining a garble rule does not perturb which sends get dropped.
+const SALT_DROP: u64 = 0xD809;
+const SALT_DUP: u64 = 0xD0BB;
+const SALT_GARBLE: u64 = 0x6A4B;
+const SALT_SEVER: u64 = 0x5EAE;
+const SALT_DELAY: u64 = 0xDE1A;
+
+/// What the fault plane decided for one send (simulated plane).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Verdict {
     /// Deliver normally.
@@ -198,6 +432,32 @@ pub(crate) enum Verdict {
     Duplicate,
     /// Eat the message.
     Drop,
+}
+
+/// What the fault plane decided for one *frame* (TCP plane). A frame
+/// can draw several shapes at once; they compose left to right: a
+/// dropped frame never garbles, but a duplicated frame can also be
+/// garbled, the sever fires after any delivery, and so on. The plane
+/// applies them in the struct's field order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameVerdict {
+    /// Eat the frame (never reaches the socket).
+    pub drop: bool,
+    /// Send the frame twice.
+    pub duplicate: bool,
+    /// Corrupt the payload bytes on the wire.
+    pub garble: bool,
+    /// Tear down the connection after this frame's fate is applied.
+    pub sever: bool,
+    /// Hold the frame this long before sending (0 = no delay).
+    pub delay_ms: u64,
+}
+
+impl FrameVerdict {
+    /// No fault at all — the frame goes out untouched.
+    pub fn is_clean(&self) -> bool {
+        *self == FrameVerdict::default()
+    }
 }
 
 /// Live fault state owned by the network: the installed plan plus the
@@ -243,31 +503,71 @@ impl FaultState {
             && self.cuts.is_empty()
     }
 
-    /// Decide the fate of one send.
+    fn structural_drop(&self, class: &'static str, to: PortId) -> bool {
+        self.blackholes.contains(&to)
+            || (!self.cuts.is_empty() && self.cuts.contains(&(class.to_string(), to)))
+    }
+
+    /// Decide the fate of one send on the simulated plane. Only the
+    /// message-level shapes apply: there is no frame to garble and no
+    /// connection to sever.
     pub(crate) fn verdict(&mut self, class: &'static str, to: PortId) -> Verdict {
-        if self.blackholes.contains(&to) {
-            return Verdict::Drop;
-        }
-        if !self.cuts.is_empty() && self.cuts.contains(&(class.to_string(), to)) {
+        if self.structural_drop(class, to) {
             return Verdict::Drop;
         }
         let Some(plan) = &self.plan else {
             return Verdict::Deliver;
         };
-        let (p_drop, p_dup) = plan.probabilities(class);
-        if p_drop == 0.0 && p_dup == 0.0 {
+        let probs = plan.probabilities(class);
+        if !probs.any_message() {
             return Verdict::Deliver;
         }
         let seq = self.class_seq.entry(class).or_insert(0);
         let n = *seq;
         *seq += 1;
-        if p_drop > 0.0 && uniform(plan.seed, class, n, 0xD809) < p_drop {
+        if probs.drop > 0.0 && uniform(plan.seed, class, n, SALT_DROP) < probs.drop {
             return Verdict::Drop;
         }
-        if p_dup > 0.0 && uniform(plan.seed, class, n, 0xD0BB) < p_dup {
+        if probs.duplicate > 0.0 && uniform(plan.seed, class, n, SALT_DUP) < probs.duplicate {
             return Verdict::Duplicate;
         }
         Verdict::Deliver
+    }
+
+    /// Decide the fate of one frame on the TCP plane. Shares the
+    /// per-class sequence with [`FaultState::verdict`], and the drop/dup
+    /// draws use the same salts — so a plan that only drops and
+    /// duplicates makes *identical* per-class decisions on both planes.
+    pub(crate) fn frame_verdict(&mut self, class: &'static str, to: PortId) -> FrameVerdict {
+        if self.structural_drop(class, to) {
+            return FrameVerdict {
+                drop: true,
+                ..FrameVerdict::default()
+            };
+        }
+        let Some(plan) = &self.plan else {
+            return FrameVerdict::default();
+        };
+        let probs = plan.probabilities(class);
+        if !probs.any_frame() {
+            return FrameVerdict::default();
+        }
+        let seq = self.class_seq.entry(class).or_insert(0);
+        let n = *seq;
+        *seq += 1;
+        let seed = plan.seed;
+        let draw = |p: f64, salt: u64| p > 0.0 && uniform(seed, class, n, salt) < p;
+        FrameVerdict {
+            drop: draw(probs.drop, SALT_DROP),
+            duplicate: draw(probs.duplicate, SALT_DUP),
+            garble: draw(probs.garble, SALT_GARBLE),
+            sever: draw(probs.sever, SALT_SEVER),
+            delay_ms: if draw(probs.delay, SALT_DELAY) {
+                probs.delay_ms
+            } else {
+                0
+            },
+        }
     }
 }
 
@@ -281,6 +581,7 @@ mod tests {
         st.set_plan(Some(FaultPlan::new(1)));
         assert!(st.is_quiet());
         assert_eq!(st.verdict("find", PortId(1)), Verdict::Deliver);
+        assert!(st.frame_verdict("find", PortId(1)).is_clean());
     }
 
     #[test]
@@ -356,15 +657,98 @@ mod tests {
     #[test]
     fn stacked_rules_combine() {
         let plan = FaultPlan::new(0).drop_all(0.5).drop_class("find", 0.5);
-        let (p_drop, _) = plan.probabilities("find");
-        assert!((p_drop - 0.75).abs() < 1e-9);
-        let (p_other, _) = plan.probabilities("insert");
-        assert!((p_other - 0.5).abs() < 1e-9);
+        let p = plan.probabilities("find");
+        assert!((p.drop - 0.75).abs() < 1e-9);
+        let p_other = plan.probabilities("insert");
+        assert!((p_other.drop - 0.5).abs() < 1e-9);
     }
 
     #[test]
-    fn probabilities_clamped() {
-        let plan = FaultPlan::new(0).drop_all(7.0);
-        assert_eq!(plan.probabilities("x").0, 1.0);
+    #[should_panic(expected = "drop probability 7 is not in [0, 1]")]
+    fn out_of_range_probability_panics_instead_of_clamping() {
+        let _ = FaultPlan::new(0).drop_all(7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn nan_probability_panics() {
+        let _ = FaultPlan::new(0).sever_all(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate probability -0.1 is not in [0, 1]")]
+    fn negative_probability_panics() {
+        let _ = FaultPlan::new(0).duplicate_class("find", -0.1);
+    }
+
+    #[test]
+    fn describe_renders_the_effective_plan() {
+        let plan = FaultPlan::new(0xC4A05)
+            .drop_all(0.05)
+            .duplicate_class("copyupdate", 0.01)
+            .garble_class("find", 0.02)
+            .sever_all(0.001)
+            .delay_class("insert", 0.1, 25);
+        let d = plan.describe();
+        assert!(d.contains("seed=0xc4a05"), "{d}");
+        assert!(d.contains("drop(*)=0.05"), "{d}");
+        assert!(d.contains("dup(copyupdate)=0.01"), "{d}");
+        assert!(d.contains("garble(find)=0.02"), "{d}");
+        assert!(d.contains("sever(*)=0.001"), "{d}");
+        assert!(d.contains("delay(insert)=0.1@25ms"), "{d}");
+    }
+
+    #[test]
+    fn frame_and_message_drop_streams_align() {
+        // A drop/dup-only plan must make the same per-class decisions
+        // whether consumed as message verdicts (sim) or frame verdicts
+        // (TCP): the chaos suite's seeded scenarios carry over.
+        let plan = FaultPlan::new(99).drop_all(0.3).duplicate_all(0.2);
+        let mut sim = FaultState::default();
+        let mut tcp = FaultState::default();
+        sim.set_plan(Some(plan.clone()));
+        tcp.set_plan(Some(plan));
+        for i in 0..2000 {
+            let m = sim.verdict("request", PortId(1));
+            let f = tcp.frame_verdict("request", PortId(1));
+            assert_eq!(m == Verdict::Drop, f.drop, "send {i}");
+            assert_eq!(m == Verdict::Duplicate, f.duplicate && !f.drop, "send {i}");
+        }
+    }
+
+    #[test]
+    fn socket_shapes_draw_independent_streams() {
+        let base = FaultPlan::new(5).drop_all(0.25);
+        let extended = FaultPlan::new(5).drop_all(0.25).garble_all(0.5);
+        let mut a = FaultState::default();
+        let mut b = FaultState::default();
+        a.set_plan(Some(base));
+        b.set_plan(Some(extended));
+        let mut garbles = 0;
+        for i in 0..2000 {
+            let fa = a.frame_verdict("find", PortId(0));
+            let fb = b.frame_verdict("find", PortId(0));
+            assert_eq!(fa.drop, fb.drop, "garble rule perturbed drops at {i}");
+            assert!(!fa.garble);
+            garbles += fb.garble as usize;
+        }
+        assert!((800..1200).contains(&garbles), "50% of 2000, got {garbles}");
+    }
+
+    #[test]
+    fn delay_and_sever_fire_at_about_their_rates() {
+        let mut st = FaultState::default();
+        st.set_plan(Some(FaultPlan::new(11).delay_all(0.5, 40).sever_all(0.1)));
+        let (mut delays, mut severs) = (0, 0);
+        for _ in 0..2000 {
+            let f = st.frame_verdict("update", PortId(3));
+            if f.delay_ms > 0 {
+                assert_eq!(f.delay_ms, 40);
+                delays += 1;
+            }
+            severs += f.sever as usize;
+        }
+        assert!((800..1200).contains(&delays), "got {delays}");
+        assert!((120..280).contains(&severs), "got {severs}");
     }
 }

@@ -49,6 +49,25 @@ pub const TRACE_DELIVERED: u64 = 3;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortId(pub u64);
 
+impl PortId {
+    /// Compose a port id for the TCP plane: the owning node in the top
+    /// 16 bits, a node-local port number below. Simulated-plane ports
+    /// allocate small integers, i.e. live on node 0.
+    pub fn for_node(node: u16, local: u64) -> PortId {
+        PortId((u64::from(node) << 48) | (local & 0xFFFF_FFFF_FFFF))
+    }
+
+    /// The node this port lives on (0 for simulated-plane ports).
+    pub fn node(self) -> u16 {
+        (self.0 >> 48) as u16
+    }
+
+    /// The node-local port number.
+    pub fn local(self) -> u64 {
+        self.0 & 0xFFFF_FFFF_FFFF
+    }
+}
+
 /// Receiving failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvError {
@@ -163,14 +182,13 @@ impl<M: Send + 'static> SimNetwork<M> {
         let id = PortId(self.inner.next_port.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = channel::unbounded();
         self.inner.ports.write().insert(id, tx);
-        (
-            id,
-            PortRx {
-                id,
-                rx,
-                inner: Arc::downgrade(&self.inner),
-            },
-        )
+        let weak = Arc::downgrade(&self.inner);
+        let closer = move || {
+            if let Some(inner) = weak.upgrade() {
+                inner.ports.write().remove(&id);
+            }
+        };
+        (id, PortRx::with_closer(id, rx, closer))
     }
 
     /// Register a name for a port (the paper's manager identifiers).
@@ -409,13 +427,32 @@ fn delay_loop<M: Send + 'static>(rx: Receiver<Delayed<M>>, net: Weak<Inner<M>>) 
 
 /// The receiving half of a port. Dropping it closes the port (subsequent
 /// sends to the id return `false`).
+///
+/// Minted by whichever transport owns the port — the simulated network
+/// and the TCP plane both hand these out, so receive loops are
+/// transport-agnostic. The embedded closer tells the owning transport to
+/// unregister the port on drop.
 pub struct PortRx<M: Send + 'static> {
     id: PortId,
     rx: Receiver<M>,
-    inner: Weak<Inner<M>>,
+    closer: Option<Box<dyn Fn() + Send>>,
 }
 
 impl<M: Send + 'static> PortRx<M> {
+    /// Wrap a receiver as a port handle; `closer` runs exactly once when
+    /// the handle drops (the transport unregisters the port there).
+    pub(crate) fn with_closer(
+        id: PortId,
+        rx: Receiver<M>,
+        closer: impl Fn() + Send + 'static,
+    ) -> Self {
+        PortRx {
+            id,
+            rx,
+            closer: Some(Box::new(closer)),
+        }
+    }
+
     /// This port's id.
     pub fn id(&self) -> PortId {
         self.id
@@ -450,8 +487,8 @@ impl<M: Send + 'static> PortRx<M> {
 
 impl<M: Send + 'static> Drop for PortRx<M> {
     fn drop(&mut self) {
-        if let Some(inner) = self.inner.upgrade() {
-            inner.ports.write().remove(&self.id);
+        if let Some(closer) = self.closer.take() {
+            closer();
         }
     }
 }

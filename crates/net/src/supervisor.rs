@@ -1,0 +1,386 @@
+//! Connection supervision: the per-peer health state machine and the
+//! reconnect backoff schedule.
+//!
+//! The TCP plane keeps one supervised link per remote peer. This module
+//! is the *decision* half of that supervisor — a pure state machine fed
+//! logical milliseconds, with no sockets, threads, or wall clock — so
+//! the schedule is deterministically unit-testable (see the tests here
+//! and `crates/net/tests/supervisor.rs`). The I/O half
+//! ([`crate::TcpPlane`]) feeds it events and obeys its verdicts.
+//!
+//! ```text
+//!             dial ok
+//! Connecting ────────────► Healthy ──── idle ≥ degraded_after ───► Degraded
+//!     ▲  ▲                  ▲   │                                     │
+//!     │  │    frame arrives │   └── io/protocol error ──┐             │
+//!     │  └──────────────────┴───────────────────────────┘  idle ≥ down_after
+//!     │            (reconnect with backoff)             │             │
+//!     └───────────────────────────────────────────◄─────┴──── Down ◄──┘
+//! ```
+//!
+//! * **Connecting** — dialing (or waiting out a backoff delay before the
+//!   next dial). Entered at birth and after any disconnect.
+//! * **Healthy** — the connection is up and frames have arrived
+//!   recently. When the link has been idle for `heartbeat_ms` the
+//!   supervisor probes with a ping; any inbound frame counts as life.
+//! * **Degraded** — no inbound traffic for `degraded_after_ms`: the
+//!   connection may be half-dead (TCP can take minutes to notice a
+//!   silent partition on its own). Sends still go out, but callers can
+//!   shed load. An inbound frame promotes straight back to Healthy.
+//! * **Down** — silent for `down_after_ms`, or the socket errored: the
+//!   supervisor severs the connection and re-enters Connecting after a
+//!   bounded, jittered, exponentially growing delay. Success resets the
+//!   backoff to its base.
+
+use crate::fault::splitmix64;
+
+/// Supervisor timing knobs, all in milliseconds of the caller's clock.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Probe an idle Healthy link with a ping after this long.
+    pub heartbeat_ms: u64,
+    /// Demote Healthy → Degraded after this long without inbound
+    /// traffic (must exceed `heartbeat_ms`, or every idle link degrades
+    /// before its probe can answer).
+    pub degraded_after_ms: u64,
+    /// Demote → Down (sever and reconnect) after this long without
+    /// inbound traffic.
+    pub down_after_ms: u64,
+    /// First reconnect delay.
+    pub base_backoff_ms: u64,
+    /// Reconnect delay ceiling (the "bounded" in bounded exponential).
+    pub max_backoff_ms: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            heartbeat_ms: 200,
+            degraded_after_ms: 600,
+            down_after_ms: 2_000,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+        }
+    }
+}
+
+/// A peer link's health, coarsest to finest. Exported as the
+/// `net.tcp.peer.<node>.state` gauge via [`PeerState::as_gauge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// Dialing, or waiting out a backoff delay before the next dial.
+    Connecting,
+    /// Connected with recent inbound traffic.
+    Healthy,
+    /// Connected but silent past the degraded threshold.
+    Degraded,
+    /// Considered dead; the link is being torn down for a redial.
+    Down,
+}
+
+impl PeerState {
+    /// Stable numeric encoding for the per-peer state gauge:
+    /// 0 = connecting, 1 = healthy, 2 = degraded, 3 = down.
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            PeerState::Connecting => 0,
+            PeerState::Healthy => 1,
+            PeerState::Degraded => 2,
+            PeerState::Down => 3,
+        }
+    }
+}
+
+/// What a [`PeerFsm::tick`] decided the I/O half must do now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickAction {
+    /// Nothing — the link is fine (or not connected, so nothing to do).
+    None,
+    /// The link is idle: send a heartbeat ping.
+    SendPing,
+    /// The link just crossed the degraded threshold (counted once per
+    /// demotion; the state gauge tracks the level itself).
+    Degrade,
+    /// The link is dead: sever the connection and redial after
+    /// [`PeerFsm::on_disconnect`]'s delay.
+    Sever,
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Delay for attempt `n` is uniformly jittered in
+/// `[d/2, d]` where `d = min(base · 2ⁿ, max)` — exponential growth so a
+/// dead peer is not hammered, a ceiling so recovery after a long outage
+/// is still prompt, and jitter so a fleet of reconnecting peers does not
+/// thundering-herd the survivor. The jitter is a pure function of
+/// `(seed, attempt)`, so a seeded run reproduces its exact schedule.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    max_ms: u64,
+    seed: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A fresh schedule (next delay is the jittered base).
+    pub fn new(base_ms: u64, max_ms: u64, seed: u64) -> Self {
+        Backoff {
+            base_ms: base_ms.max(1),
+            max_ms: max_ms.max(1),
+            seed,
+            attempt: 0,
+        }
+    }
+
+    /// The delay before the next reconnect attempt, advancing the
+    /// schedule.
+    pub fn next_delay_ms(&mut self) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << self.attempt.min(32))
+            .min(self.max_ms);
+        self.attempt = self.attempt.saturating_add(1);
+        // Jitter uniformly in [exp/2, exp], deterministically.
+        let span = exp / 2;
+        let j = if span == 0 {
+            0
+        } else {
+            splitmix64(self.seed ^ u64::from(self.attempt)) % (span + 1)
+        };
+        exp - j
+    }
+
+    /// Connection succeeded: the next failure starts over from the base.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Consecutive failures since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+/// The per-peer supervision state machine. Pure: time is a logical
+/// millisecond counter supplied by the caller, and every decision is a
+/// function of (config, seed, event history).
+#[derive(Debug)]
+pub struct PeerFsm {
+    cfg: SupervisorConfig,
+    state: PeerState,
+    backoff: Backoff,
+    /// Last inbound frame (or connect), caller-clock ms.
+    last_activity_ms: u64,
+    /// Last ping probe, so an idle link is probed once per heartbeat
+    /// interval rather than every tick.
+    last_ping_ms: u64,
+}
+
+impl PeerFsm {
+    /// A new link, born Connecting at caller-clock `now_ms`.
+    pub fn new(cfg: SupervisorConfig, seed: u64, now_ms: u64) -> Self {
+        PeerFsm {
+            state: PeerState::Connecting,
+            backoff: Backoff::new(cfg.base_backoff_ms, cfg.max_backoff_ms, seed),
+            cfg,
+            last_activity_ms: now_ms,
+            last_ping_ms: now_ms,
+        }
+    }
+
+    /// Current health.
+    pub fn state(&self) -> PeerState {
+        self.state
+    }
+
+    /// Consecutive failed dials since the last success.
+    pub fn dial_attempts(&self) -> u32 {
+        self.backoff.attempts()
+    }
+
+    /// The dial completed: Healthy, backoff schedule reset.
+    pub fn on_connected(&mut self, now_ms: u64) {
+        self.state = PeerState::Healthy;
+        self.backoff.reset();
+        self.last_activity_ms = now_ms;
+        self.last_ping_ms = now_ms;
+    }
+
+    /// An inbound frame arrived (any kind — data, pong, even a
+    /// handshake): the peer is alive, so a Degraded link heals.
+    pub fn on_activity(&mut self, now_ms: u64) {
+        self.last_activity_ms = now_ms;
+        if matches!(self.state, PeerState::Healthy | PeerState::Degraded) {
+            self.state = PeerState::Healthy;
+        }
+    }
+
+    /// The connection failed (dial error, io error, protocol error, or
+    /// a [`TickAction::Sever`] was obeyed). Returns how long to wait
+    /// before redialing; the link re-enters Connecting.
+    pub fn on_disconnect(&mut self, now_ms: u64) -> u64 {
+        self.state = PeerState::Connecting;
+        self.last_activity_ms = now_ms;
+        self.last_ping_ms = now_ms;
+        self.backoff.next_delay_ms()
+    }
+
+    /// Advance the liveness clock. Call periodically; returns the action
+    /// the I/O half must take.
+    pub fn tick(&mut self, now_ms: u64) -> TickAction {
+        if !matches!(self.state, PeerState::Healthy | PeerState::Degraded) {
+            return TickAction::None;
+        }
+        let idle = now_ms.saturating_sub(self.last_activity_ms);
+        if idle >= self.cfg.down_after_ms {
+            self.state = PeerState::Down;
+            return TickAction::Sever;
+        }
+        if idle >= self.cfg.degraded_after_ms {
+            if self.state == PeerState::Healthy {
+                self.state = PeerState::Degraded;
+                return TickAction::Degrade;
+            }
+        } else if idle >= self.cfg.heartbeat_ms
+            && now_ms.saturating_sub(self.last_ping_ms) >= self.cfg.heartbeat_ms
+        {
+            self.last_ping_ms = now_ms;
+            return TickAction::SendPing;
+        }
+        TickAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            heartbeat_ms: 100,
+            degraded_after_ms: 300,
+            down_after_ms: 1_000,
+            base_backoff_ms: 10,
+            max_backoff_ms: 500,
+        }
+    }
+
+    #[test]
+    fn backoff_grows_is_bounded_and_resets() {
+        let mut b = Backoff::new(10, 500, 42);
+        let mut prev_ceiling = 0u64;
+        for n in 0..12 {
+            let d = b.next_delay_ms();
+            let ceiling = (10u64 << n).min(500);
+            assert!(d <= ceiling, "attempt {n}: {d} > {ceiling}");
+            assert!(d >= ceiling / 2, "attempt {n}: {d} < {}", ceiling / 2);
+            assert!(ceiling >= prev_ceiling, "envelope must be monotone");
+            prev_ceiling = ceiling;
+        }
+        // Far past the doubling range the delay is still capped.
+        for _ in 0..100 {
+            assert!(b.next_delay_ms() <= 500);
+        }
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay_ms() <= 10, "reset restarts from the base");
+    }
+
+    #[test]
+    fn backoff_schedule_is_seed_deterministic_and_jittered() {
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::new(10, 500, seed);
+            (0..10).map(|_| b.next_delay_ms()).collect()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same schedule");
+        assert_ne!(schedule(7), schedule(8), "different seed, different jitter");
+        // Jitter actually varies within one schedule (not a constant).
+        let s = schedule(7);
+        let ratios: Vec<f64> = s
+            .iter()
+            .take(6)
+            .enumerate()
+            .map(|(n, &d)| d as f64 / (10u64 << n) as f64)
+            .collect();
+        assert!(
+            ratios.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9),
+            "jitter should vary across attempts: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn lifecycle_connecting_healthy_degraded_down() {
+        let mut fsm = PeerFsm::new(cfg(), 1, 0);
+        assert_eq!(fsm.state(), PeerState::Connecting);
+        assert_eq!(fsm.tick(50), TickAction::None, "nothing to watch yet");
+
+        fsm.on_connected(100);
+        assert_eq!(fsm.state(), PeerState::Healthy);
+
+        // Idle past the heartbeat: probe, once per interval.
+        assert_eq!(fsm.tick(210), TickAction::SendPing);
+        assert_eq!(fsm.tick(220), TickAction::None, "already probed");
+        assert_eq!(fsm.tick(320), TickAction::SendPing, "next interval");
+
+        // Still silent: degraded at 300ms idle, exactly once.
+        assert_eq!(fsm.tick(400), TickAction::Degrade);
+        assert_eq!(fsm.state(), PeerState::Degraded);
+        assert_eq!(fsm.tick(450), TickAction::None, "demotion counted once");
+
+        // Silent past down_after: sever.
+        assert_eq!(fsm.tick(1_100), TickAction::Sever);
+        assert_eq!(fsm.state(), PeerState::Down);
+
+        let delay = fsm.on_disconnect(1_100);
+        assert_eq!(fsm.state(), PeerState::Connecting);
+        assert!(
+            (5..=10).contains(&delay),
+            "first backoff from base: {delay}"
+        );
+    }
+
+    #[test]
+    fn activity_heals_a_degraded_link_without_reconnect() {
+        let mut fsm = PeerFsm::new(cfg(), 1, 0);
+        fsm.on_connected(0);
+        assert_eq!(fsm.tick(350), TickAction::Degrade);
+        fsm.on_activity(360);
+        assert_eq!(fsm.state(), PeerState::Healthy, "inbound frame = alive");
+        assert_eq!(fsm.tick(400), TickAction::None);
+    }
+
+    #[test]
+    fn reconnect_success_resets_the_backoff() {
+        let mut fsm = PeerFsm::new(cfg(), 3, 0);
+        // Three failed dials: delays climb.
+        let d1 = fsm.on_disconnect(0);
+        let d2 = fsm.on_disconnect(d1);
+        let d3 = fsm.on_disconnect(d1 + d2);
+        assert!(d3 > d1, "backoff grew: {d1} → {d2} → {d3}");
+        assert_eq!(fsm.dial_attempts(), 3);
+        // Success wipes the slate.
+        fsm.on_connected(1_000);
+        assert_eq!(fsm.dial_attempts(), 0);
+        let d4 = fsm.on_disconnect(1_001);
+        assert!(d4 <= 10, "post-success failure starts from base: {d4}");
+    }
+
+    #[test]
+    fn heartbeat_keeps_a_chatty_link_healthy_forever() {
+        let mut fsm = PeerFsm::new(cfg(), 1, 0);
+        fsm.on_connected(0);
+        // Pongs arrive every 150ms: never degraded, probes on cadence.
+        let mut now = 0;
+        for _ in 0..50 {
+            now += 150;
+            let act = fsm.tick(now);
+            assert!(
+                matches!(act, TickAction::None | TickAction::SendPing),
+                "{act:?} at {now}"
+            );
+            fsm.on_activity(now);
+            assert_eq!(fsm.state(), PeerState::Healthy);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The transport abstraction: what the distributed hash file actually
+//! requires from its message plane.
+//!
+//! The paper's managers communicate through *ports* — long-lived,
+//! location-transparent addresses resolved by name (`namelookup`,
+//! Figures 13–14). Everything above the network (sites, directory
+//! managers, bucket managers, clients) programs against exactly that
+//! surface, so it is extracted here as an object-safe trait with two
+//! implementations:
+//!
+//! * [`crate::SimNetwork`] — the in-process simulated plane (zero-copy
+//!   channels, latency model, schedule control);
+//! * [`crate::TcpPlane`] — real sockets: wire frames, connection
+//!   supervision, the same seeded [`crate::FaultPlan`].
+//!
+//! The trait is deliberately *dyn-friendly* (`Arc<dyn Transport<M>>`):
+//! the distributed layer stores one of these, and whether messages cross
+//! a channel or a TCP connection is decided at construction time, not in
+//! the type system of every manager.
+//!
+//! Structural fault hooks (blackholes, one-way cuts) and schedule
+//! control stay on the concrete [`crate::SimNetwork`] — they reach into
+//! simulator internals that have no socket analog, and the tests that
+//! use them hold the concrete type anyway.
+
+use crate::fault::FaultPlan;
+use crate::network::{MsgClass, PortId, PortRx, SimNetwork};
+use crate::stats::MsgStatsSnapshot;
+
+/// A message plane: ports, names, delivery, per-class accounting, and
+/// seeded fault injection. See the module docs for the two
+/// implementations and what deliberately stays off this trait.
+pub trait Transport<M: Send + 'static>: Send + Sync {
+    /// Create a port. Returns the id (give it out; it is the address)
+    /// and the receiving half (keep it; only the owner can receive).
+    fn create_port(&self) -> (PortId, PortRx<M>);
+
+    /// Register a name for a port (the paper's manager identifiers).
+    /// Re-registering a name rebinds it.
+    fn register_name(&self, name: &str, port: PortId);
+
+    /// Resolve a name (`namelookup` in Figures 13–14).
+    fn lookup(&self, name: &str) -> Option<PortId>;
+
+    /// Send `msg` to `to`. Reliable while the port exists *and no fault
+    /// is injected*; returns `false` when the destination is known to be
+    /// gone (a closed local port). A lossy plane cannot tell the sender
+    /// its packet died, so under faults (or across a real network) a
+    /// `true` return is *not* an acknowledgement — the retry machinery
+    /// above owns end-to-end delivery.
+    fn send(&self, to: PortId, msg: M) -> bool;
+
+    /// Per-class message counters.
+    fn stats(&self) -> MsgStatsSnapshot;
+
+    /// Zero the message counters.
+    fn reset_stats(&self);
+
+    /// Number of locally open ports (diagnostic).
+    fn open_ports(&self) -> usize;
+
+    /// Install (or with `None`, remove) a probabilistic fault plan. The
+    /// plan's per-class decision counters restart from zero, so the same
+    /// plan replayed over the same per-class traffic volumes reproduces
+    /// the same fault counts.
+    fn set_fault_plan(&self, plan: Option<FaultPlan>);
+
+    /// Forcibly close a port from outside its owner: subsequent sends to
+    /// the id return `false` and the owner's receive loop sees
+    /// [`crate::RecvError::Disconnected`] once the buffered backlog
+    /// drains. Returns `false` if the port was not open locally.
+    fn close_port(&self, port: PortId) -> bool;
+}
+
+impl<M: Send + MsgClass + Clone + 'static> Transport<M> for SimNetwork<M> {
+    fn create_port(&self) -> (PortId, PortRx<M>) {
+        SimNetwork::create_port(self)
+    }
+
+    fn register_name(&self, name: &str, port: PortId) {
+        SimNetwork::register_name(self, name, port)
+    }
+
+    fn lookup(&self, name: &str) -> Option<PortId> {
+        SimNetwork::lookup(self, name)
+    }
+
+    fn send(&self, to: PortId, msg: M) -> bool {
+        SimNetwork::send(self, to, msg)
+    }
+
+    fn stats(&self) -> MsgStatsSnapshot {
+        SimNetwork::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        SimNetwork::reset_stats(self)
+    }
+
+    fn open_ports(&self) -> usize {
+        SimNetwork::open_ports(self)
+    }
+
+    fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        SimNetwork::set_fault_plan(self, plan)
+    }
+
+    fn close_port(&self, port: PortId) -> bool {
+        SimNetwork::close_port(self, port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TestMsg(u32);
+    impl MsgClass for TestMsg {
+        fn class(&self) -> &'static str {
+            "test"
+        }
+    }
+
+    #[test]
+    fn sim_network_works_through_the_trait_object() {
+        let net: Arc<dyn Transport<TestMsg>> = Arc::new(SimNetwork::default());
+        let (id, rx) = net.create_port();
+        net.register_name("mgr0", id);
+        assert_eq!(net.lookup("mgr0"), Some(id));
+        assert!(net.send(id, TestMsg(7)));
+        assert_eq!(rx.recv().unwrap(), TestMsg(7));
+        assert_eq!(net.stats().get("test"), 1);
+        assert_eq!(net.open_ports(), 1);
+        assert!(net.close_port(id));
+        assert!(!net.send(id, TestMsg(8)));
+    }
+}

@@ -339,6 +339,7 @@ impl std::fmt::Debug for DurableStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurableStore")
             .field("uid", &self.uid)
+            // ceh-lint: allow(relaxed-ordering) — Debug snapshot; no data depends on it
             .field("dead", &self.dead.load(Ordering::Relaxed))
             .field("cache", &self.cache)
             .finish()

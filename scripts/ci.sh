@@ -27,6 +27,14 @@ cargo test -q --workspace
 echo "=== chaos smoke ==="
 CEH_QUICK=1 cargo test -q -p ceh-harness --test chaos
 
+echo "=== transport smoke ==="
+# The distributed hash file as real processes: `ceh serve` children on
+# loopback sockets driven by `ceh client`, once over clean sockets and
+# once under a seeded drop/dup/sever plan with a bucket manager
+# SIGKILLed mid-workload and restarted from its data directory — the
+# workload's exact oracle must hold both times.
+CEH_QUICK=1 cargo test -q -p ceh-cli --release --test transport_smoke
+
 echo "=== metrics smoke ==="
 # 10k-op mixed workload; the emitted RunReport JSON must validate
 # against schemas/run_report.schema.json and conserve operation counts.

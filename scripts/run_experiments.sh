@@ -24,6 +24,7 @@ EXPERIMENTS=(
   exp_merge_threshold    # A3
   exp_gc_strategy        # A4
   exp_fault_tolerance    # E10
+  exp_transport          # E12 (also writes results/exp_transport.json)
 )
 
 for exp in "${EXPERIMENTS[@]}"; do
