@@ -10,6 +10,9 @@
 //!    structural invariants, every acked op survives, the in-flight op
 //!    is atomic. Zero violations required; any failure prints its
 //!    minimized fixture.
+//!    The sweep then runs a second time over the real file backend
+//!    (frames + WAL files in a temp dir) — same durability points, now
+//!    with genuine `fsync` ordering under test.
 //! 2. **Distributed crash round** — a small durable cluster takes acked
 //!    inserts, one site loses power, restarts from its durable image
 //!    alone, and every acked key must still be served with cluster
@@ -164,6 +167,39 @@ fn main() {
     println!(
         "crash_smoke: sweep clean: {clean}/{} durability points recovered (seed {}, {} ops)",
         report.points, cfg.seed, cfg.ops
+    );
+
+    // Gate 1b: the same sweep over real files. The durability-point
+    // sequence is backend-independent, so the identical points are cut
+    // — but every tear, write, and recovery now goes through
+    // frames.ceh/wal.ceh in a temp dir, and the fsync-ordering oracle
+    // (nothing acked before its sync may be lost) must hold there too.
+    let file_cfg = CrashConfig {
+        ops: if quick { 24 } else { 48 },
+        backend: ceh_storage::BackendKind::File,
+        ..Default::default()
+    };
+    let file_report = run_sweep(&file_cfg).unwrap_or_else(|e| fail(&e));
+    if !file_report.ok() {
+        for o in file_report.outcomes.iter().filter(|o| o.verdict.is_err()) {
+            eprintln!(
+                "crash_smoke: file backend point {}/{}: {}",
+                o.point,
+                file_report.points,
+                o.verdict.as_ref().unwrap_err()
+            );
+        }
+        fail("file-backend crash sweep violated the durability oracle");
+    }
+    println!(
+        "crash_smoke: file-backend sweep clean: {}/{} durability points recovered ({} ops)",
+        file_report
+            .outcomes
+            .iter()
+            .filter(|o| o.verdict.is_ok())
+            .count(),
+        file_report.points,
+        file_cfg.ops
     );
 
     // Gate 2: the distributed round.

@@ -72,6 +72,7 @@ fn main() {
             resend_ms: 100,
             reply_timeout_ms: 2_000,
             durable: false,
+            backend: Default::default(),
         })
         .unwrap();
 

@@ -36,7 +36,9 @@ use ceh_core::{
 };
 use ceh_locks::LockManager;
 use ceh_obs::MetricsHandle;
-use ceh_storage::{CrashPlan, DiskHandle, DurableConfig, DurableStore, PageStoreConfig};
+use ceh_storage::{
+    BackendKind, CrashPlan, DiskHandle, DurableConfig, DurableStore, PageStoreConfig,
+};
 use ceh_types::bucket::Bucket;
 use ceh_types::{hash_key, Error, HashFileConfig, Key, Value};
 
@@ -56,6 +58,12 @@ pub struct CrashConfig {
     pub checkpoint_every: usize,
     /// Keys are drawn from `0..keyspace`.
     pub keyspace: u64,
+    /// Which storage backend the sweep runs on. The durability-point
+    /// sequence is identical on both (fsyncs are not points), but the
+    /// file backend makes every tear a real partial `pwrite` and every
+    /// recovery a read back from actual files — the fsync-ordering
+    /// oracle: nothing acked before its sync may be lost.
+    pub backend: BackendKind,
 }
 
 impl Default for CrashConfig {
@@ -66,6 +74,7 @@ impl Default for CrashConfig {
             bucket_capacity: 3,
             checkpoint_every: 8,
             keyspace: 24,
+            backend: BackendKind::Memory,
         }
     }
 }
@@ -149,13 +158,47 @@ fn durable_cfg(cfg: &CrashConfig, plan: Option<CrashPlan>) -> DurableConfig {
     }
 }
 
+/// RAII guard for a file-backend sweep's scratch directory: each armed
+/// point builds its medium in a unique temp dir, removed when the
+/// point's outcome is decided (open descriptors keep working on unix).
+struct TempDir(Option<std::path::PathBuf>);
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if let Some(p) = self.0.take() {
+            let _ = std::fs::remove_dir_all(p);
+        }
+    }
+}
+
+fn crash_temp_dir() -> std::path::PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ceh-crash-{}-{n}", std::process::id()))
+}
+
 fn build_file(
     cfg: &CrashConfig,
     plan: Option<CrashPlan>,
-) -> (DiskHandle, Arc<DurableStore>, Result<Solution2, Error>) {
+) -> (
+    DiskHandle,
+    Arc<DurableStore>,
+    Result<Solution2, Error>,
+    TempDir,
+) {
     let metrics = MetricsHandle::new();
-    let wal = DurableStore::new(durable_cfg(cfg, plan), &metrics);
-    let disk = wal.disk();
+    let dcfg = durable_cfg(cfg, plan);
+    let (disk, tmp) = match cfg.backend {
+        BackendKind::Memory => (DiskHandle::new(dcfg.page.page_size), TempDir(None)),
+        BackendKind::File => {
+            let dir = crash_temp_dir();
+            let disk = DiskHandle::create_file(&dir, dcfg.page.page_size)
+                .expect("create crash-sweep scratch medium");
+            (disk, TempDir(Some(dir)))
+        }
+    };
+    let wal =
+        DurableStore::with_disk(disk.clone(), dcfg, &metrics).expect("fresh medium matches config");
     let file = FileCore::with_durable_metrics(
         HashFileConfig::tiny().with_bucket_capacity(cfg.bucket_capacity),
         Arc::clone(&wal),
@@ -175,7 +218,7 @@ fn build_file(
             },
         )
     });
-    (disk, wal, file)
+    (disk, wal, file, tmp)
 }
 
 fn recover_file(cfg: &CrashConfig, disk: &DiskHandle) -> Result<(Solution2, u64, u64, u64), Error> {
@@ -258,7 +301,7 @@ pub fn run_point(cfg: &CrashConfig, ops: &[Op], crash_at: u64) -> PointOutcome {
     } else {
         CrashPlan::armed(cfg.seed, crash_at)
     };
-    let (disk, wal, built) = build_file(cfg, Some(plan.clone()));
+    let (disk, wal, built, _tmp) = build_file(cfg, Some(plan.clone()));
     let mut model = BTreeMap::new();
     let mut acked = 0usize;
     let mut inflight = None;
@@ -332,7 +375,7 @@ pub fn run_point(cfg: &CrashConfig, ops: &[Op], crash_at: u64) -> PointOutcome {
 /// reported as an error.
 pub fn count_points(cfg: &CrashConfig, ops: &[Op]) -> Result<u64, String> {
     let plan = CrashPlan::count_only(cfg.seed);
-    let (_disk, wal, built) = build_file(cfg, Some(plan.clone()));
+    let (_disk, wal, built, _tmp) = build_file(cfg, Some(plan.clone()));
     let file = built.map_err(|e| format!("count run: build failed: {e}"))?;
     for &op in ops {
         op.apply(&file).map_err(|e| format!("count run: {e}"))?;
@@ -579,6 +622,10 @@ pub fn replay_crash(fixture: &CrashFixture) -> Result<PointOutcome, String> {
         bucket_capacity: fixture.bucket_capacity,
         checkpoint_every: fixture.checkpoint_every,
         keyspace: fixture.keyspace,
+        // Fixtures pin the deterministic backend; the point sequence is
+        // the same on both, so a fixture's crash point is meaningful
+        // everywhere.
+        backend: BackendKind::Memory,
     };
     let outcome = run_point(&cfg, &fixture.ops, fixture.crash_at);
     match (&fixture.violation, &outcome.verdict) {
@@ -642,6 +689,42 @@ mod tests {
                 .iter()
                 .any(|o| o.redo_applied > 0 || o.torn_frames > 0 || o.txns_discarded > 0),
             "no crash point tore anything — the sweep is toothless"
+        );
+    }
+
+    #[test]
+    fn a_small_sweep_is_clean_on_the_file_backend() {
+        let cfg = CrashConfig {
+            ops: 12,
+            backend: BackendKind::File,
+            ..Default::default()
+        };
+        let report = run_sweep(&cfg).unwrap();
+        assert!(report.points > 0);
+        for o in &report.outcomes {
+            assert!(o.fired, "point {} never fired", o.point);
+            assert!(o.verdict.is_ok(), "point {}: {:?}", o.point, o.verdict);
+        }
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn the_point_sequence_is_backend_independent() {
+        // fsyncs are not durability points, so the same workload counts
+        // the same width on files as in memory — fixtures and armed
+        // points mean the same thing on either backend.
+        let mem = CrashConfig {
+            ops: 16,
+            ..Default::default()
+        };
+        let file = CrashConfig {
+            backend: BackendKind::File,
+            ..mem.clone()
+        };
+        let ops = generate_ops(mem.seed, mem.ops, mem.keyspace);
+        assert_eq!(
+            count_points(&mem, &ops).unwrap(),
+            count_points(&file, &ops).unwrap()
         );
     }
 

@@ -17,7 +17,7 @@ use ceh_types::{Error, Result};
 pub const CHECK_HELP: &str = "\
 usage: ceh check [--explore [WORKLOAD ...]] [--lint [PATH ...]]
                  [--replay FIXTURE ...] [--bound N] [--no-dpor]
-       ceh check crash [--seed N] [--ops N] [--json] [--no-dist]
+       ceh check crash [--seed N] [--ops N] [--backend B] [--json] [--no-dist]
 modes (default: --explore over every workload, then --lint crates):
   --explore [WORKLOAD ...]  run the named workloads (default: all) under
                             every schedule up to the preemption bound,
@@ -37,6 +37,9 @@ options:
                             the coverage claim needs no heuristic)
   --seed N                  crash sweep workload + tear seed
   --ops N                   crash sweep workload length (default 96)
+  --backend B               crash sweep medium: memory (default) or file;
+                            file runs the same point sweep over real
+                            frames/WAL files in a temp dir
   --json                    emit the crash sweep as JSON
   --no-dist                 skip the distributed crash round
 exit status: 0 clean, 1 violations or lint findings, 2 usage error";
@@ -52,6 +55,7 @@ struct Args {
     crash: bool,
     crash_seed: Option<u64>,
     crash_ops: Option<usize>,
+    crash_backend: Option<ceh_storage::BackendKind>,
     json: bool,
     dist: bool,
 }
@@ -67,6 +71,7 @@ fn parse_args(argv: &[String]) -> Result<Args> {
         crash: false,
         crash_seed: None,
         crash_ops: None,
+        crash_backend: None,
         json: false,
         dist: true,
     };
@@ -118,6 +123,12 @@ fn parse_args(argv: &[String]) -> Result<Args> {
                     n.parse()
                         .map_err(|_| Error::Config(format!("--ops: bad number {n:?}")))?,
                 );
+            }
+            "--backend" => {
+                let b = it
+                    .next()
+                    .ok_or_else(|| Error::Config("--backend needs memory or file".into()))?;
+                a.crash_backend = Some(ceh_storage::BackendKind::parse(b)?);
             }
             "--help" | "-h" => {
                 return Err(Error::Config(CHECK_HELP.into()));
@@ -178,6 +189,9 @@ pub fn run_check(argv: &[String]) -> Result<(String, bool)> {
         if let Some(ops) = args.crash_ops {
             cfg.ops = ops;
         }
+        if let Some(backend) = args.crash_backend {
+            cfg.backend = backend;
+        }
         let report = ceh_check::run_sweep(&cfg).map_err(Error::Config)?;
         let dist = if args.dist {
             Some(dist_crash_round(cfg.seed, 24))
@@ -190,8 +204,8 @@ pub fn run_check(argv: &[String]) -> Result<(String, bool)> {
         if args.json {
             let _ = write!(
                 out,
-                "{{\"seed\":{},\"ops\":{},\"points\":{},\"outcomes\":[",
-                cfg.seed, cfg.ops, report.points
+                "{{\"seed\":{},\"ops\":{},\"backend\":\"{}\",\"points\":{},\"outcomes\":[",
+                cfg.seed, cfg.ops, cfg.backend, report.points
             );
             for (i, o) in report.outcomes.iter().enumerate() {
                 let _ = write!(
@@ -220,8 +234,8 @@ pub fn run_check(argv: &[String]) -> Result<(String, bool)> {
         } else {
             let _ = writeln!(
                 out,
-                "crash sweep: seed {}, {} ops, {} durability points",
-                cfg.seed, cfg.ops, report.points
+                "crash sweep: seed {}, {} ops, {} backend, {} durability points",
+                cfg.seed, cfg.ops, cfg.backend, report.points
             );
             let _ = writeln!(
                 out,
@@ -432,8 +446,27 @@ mod tests {
     }
 
     #[test]
+    fn crash_sweep_runs_on_the_file_backend() {
+        let (out, clean) = run_check(&s(&[
+            "crash",
+            "--seed",
+            "7",
+            "--ops",
+            "12",
+            "--backend",
+            "file",
+            "--no-dist",
+        ]))
+        .unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("file backend"), "{out}");
+        assert!(out.contains("crash   clean"), "{out}");
+    }
+
+    #[test]
     fn crash_flags_validate() {
         assert!(run_check(&s(&["crash", "--seed"])).is_err());
         assert!(run_check(&s(&["crash", "--ops", "many"])).is_err());
+        assert!(run_check(&s(&["crash", "--backend", "tape"])).is_err());
     }
 }

@@ -25,6 +25,10 @@ ceh serve --cluster <spec> --node <i> [options]
   process, e.g. dir@127.0.0.1:7101,dir@127.0.0.1:7102,bucket@127.0.0.1:7103
 
   --data-dir <dir>      persist pages in <dir>/site-<mgr>.ceh (bucket nodes)
+  --backend <which>     'file': crash-consistent storage — frames + WAL
+                        under <data-dir>/site-<mgr>/, fsync'd, recovered
+                        on restart (requires --data-dir); 'memory':
+                        write-ahead logged against an in-memory image
   --capacity <n>        records per bucket (must match cluster-wide)
   --seed <n>            seed for reconnect jitter and fault streams
   --drop <p>            drop each retried-class frame with probability p
@@ -185,6 +189,10 @@ fn node_options(flags: &HashMap<String, String>) -> Result<NodeOptions> {
         opts.file = opts.file.with_bucket_capacity(cap);
     }
     opts.data_dir = flags.get("data-dir").map(std::path::PathBuf::from);
+    opts.backend = flags
+        .get("backend")
+        .map(|v| ceh_storage::BackendKind::parse(v))
+        .transpose()?;
     opts.seed = flag_u64(flags, "seed", 0)?;
     opts.resend_ms = flag_u64(flags, "resend-ms", opts.resend_ms)?;
     opts.reply_timeout_ms = flag_u64(flags, "reply-timeout-ms", opts.reply_timeout_ms)?;

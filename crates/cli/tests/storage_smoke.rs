@@ -1,0 +1,196 @@
+//! storage_smoke: durable files surviving a real SIGKILL.
+//!
+//! transport_smoke proves the cluster runs as processes; this gate
+//! proves the *file backend* makes those processes genuinely durable.
+//! It spawns `ceh serve --backend file --data-dir <tmp>` children,
+//! fills the table with known keys plus a seeded workload, SIGKILLs
+//! every bucket manager with no warning, restarts them over the same
+//! directories, and then reads every key back — zero acked-data loss,
+//! straight off `frames.ceh`/`wal.ceh`. Wired into `scripts/ci.sh` as
+//! the `storage smoke` step.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn ceh() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ceh"))
+}
+
+/// Reserve `n` distinct loopback ports (bind-then-drop, as in
+/// transport_smoke).
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind :0"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect()
+}
+
+fn spec_for(addrs: &[SocketAddr]) -> String {
+    let mut parts = Vec::new();
+    for (i, a) in addrs.iter().enumerate() {
+        let role = if i < 2 { "dir" } else { "bucket" };
+        parts.push(format!("{role}@{a}"));
+    }
+    parts.join(",")
+}
+
+/// A serve child that is SIGKILLed if the test panics before shutdown.
+struct Node {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn `ceh serve` for spec entry `idx` and wait until it accepts.
+fn spawn_serve(spec: &str, idx: usize, addr: SocketAddr, extra: &[&str]) -> Node {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut child = ceh()
+            .args(["serve", "--cluster", spec, "--node", &idx.to_string()])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn ceh serve");
+        loop {
+            if TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_ok() {
+                return Node { child, addr };
+            }
+            match child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    let mut err = String::new();
+                    if let Some(mut e) = child.stderr.take() {
+                        let _ = e.read_to_string(&mut err);
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "serve node {idx} kept failing: {status} {err}"
+                    );
+                    std::thread::sleep(Duration::from_millis(100));
+                    break; // bind raced TIME_WAIT — spawn again
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+/// Run one `ceh client` command to completion, panicking on failure.
+fn client(spec: &str, node: u16, args: &[&str]) -> String {
+    let out = ceh()
+        .args(["client", "--cluster", spec, "--node", &node.to_string()])
+        .args(["--attempts", "60", "--timeout-ms", "250"])
+        .args(args)
+        .output()
+        .expect("run ceh client");
+    assert!(
+        out.status.success(),
+        "ceh client {args:?} failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn shutdown(spec: &str, node: u16, nodes: Vec<Node>) {
+    let out = client(spec, node, &["shutdown"]);
+    assert!(out.contains("shutdown requested"), "unexpected: {out}");
+    for mut n in nodes {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match n.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "node at {} exited {status}", n.addr);
+                    break;
+                }
+                None => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "node at {} ignored the shutdown",
+                        n.addr
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+/// The gate: fill over the file backend, SIGKILL every bucket manager,
+/// restart them over the same directories, read everything back.
+#[test]
+fn sigkilled_managers_recover_every_acked_key_from_files() {
+    let addrs = free_addrs(4);
+    let spec = spec_for(&addrs);
+    let data = std::env::temp_dir().join(format!("ceh-storage-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data);
+    let data_s = data.to_string_lossy().into_owned();
+    let flags: Vec<&str> = vec!["--backend", "file", "--data-dir", &data_s];
+
+    let mut nodes: Vec<Node> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| spawn_serve(&spec, i, a, &flags))
+        .collect();
+
+    // Fill: known keys spread across both bucket managers, plus a
+    // seeded workload for volume (splits, frees, checkpoints).
+    let keys: Vec<u64> = (0..24).map(|i| i * 97 + 13).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        let out = client(
+            &spec,
+            2000 + i as u16,
+            &["put", &k.to_string(), &(k * 3).to_string()],
+        );
+        assert_eq!(out.trim(), "inserted", "put {k}");
+    }
+    let out = client(
+        &spec,
+        2100,
+        &["workload", "--ops", "120", "--clients", "2", "--seed", "4"],
+    );
+    assert!(out.contains("oracle ok"), "fill workload failed: {out}");
+
+    // Every `inserted` above was acked after its group-commit fsync.
+    // SIGKILL both bucket managers — no flush, no shutdown hook.
+    let bucket1 = nodes.pop().expect("bucket 1");
+    let bucket0 = nodes.pop().expect("bucket 0");
+    drop(bucket0); // Drop kills hard
+    drop(bucket1);
+
+    // Restart over the same directories: recovery must come from
+    // frames.ceh + wal.ceh, there is nothing else left.
+    nodes.push(spawn_serve(&spec, 2, addrs[2], &flags));
+    nodes.push(spawn_serve(&spec, 3, addrs[3], &flags));
+
+    for (i, &k) in keys.iter().enumerate() {
+        let out = client(&spec, 2200 + i as u16, &["get", &k.to_string()]);
+        assert_eq!(
+            out.trim(),
+            (k * 3).to_string(),
+            "key {k} lost across SIGKILL + file recovery"
+        );
+    }
+    let out = client(&spec, 2300, &["stats"]);
+    assert!(out.contains("Healthy"), "peers should be healthy: {out}");
+
+    // The recovered cluster keeps working — fresh writes land fine.
+    let out = client(&spec, 2301, &["put", "999983", "7"]);
+    assert_eq!(out.trim(), "inserted");
+    let out = client(&spec, 2302, &["get", "999983"]);
+    assert_eq!(out.trim(), "7");
+
+    shutdown(&spec, 2400, nodes);
+    let _ = std::fs::remove_dir_all(&data);
+}

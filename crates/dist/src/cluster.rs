@@ -6,7 +6,9 @@ use std::time::{Duration, Instant};
 use ceh_locks::{LockManager, LockManagerConfig};
 use ceh_net::{FaultPlan, LatencyModel, MsgStatsSnapshot, PortId, SimNetwork};
 use ceh_obs::{MetricsHandle, RunReport, TraceReport};
-use ceh_storage::{DurableConfig, DurableStore, PageBuf, PageStore, PageStoreConfig};
+use ceh_storage::{
+    BackendKind, DiskHandle, DurableConfig, DurableStore, PageBuf, PageStore, PageStoreConfig,
+};
 use ceh_types::bucket::Bucket;
 use ceh_types::{BucketLink, Error, HashFileConfig, ManagerId, PageId, Result, RetryPolicy};
 
@@ -53,8 +55,14 @@ pub struct ClusterConfig {
     /// WAL over an in-memory disk image, [`Cluster::crash_site`] becomes
     /// a real power loss (all volatile state dropped), and
     /// [`Cluster::restart_site`] recovers the site from its durable
-    /// image alone. Mutually exclusive with `data_dir`.
+    /// image alone. With [`BackendKind::Memory`] the image is in-memory
+    /// and `data_dir` must be unset; with [`BackendKind::File`] each
+    /// site's frames + WAL live under `<data_dir>/site-<i>/`.
     pub durable: bool,
+    /// Where a durable site's medium lives (see
+    /// [`ceh_storage::PageBackend`]): the deterministic in-memory image
+    /// (default), or real files with fsync under `data_dir`.
+    pub backend: BackendKind,
 }
 
 impl Default for ClusterConfig {
@@ -71,6 +79,7 @@ impl Default for ClusterConfig {
             resend_ms: 200,
             reply_timeout_ms: 30_000,
             durable: false,
+            backend: BackendKind::Memory,
         }
     }
 }
@@ -161,6 +170,13 @@ impl Cluster {
         if cfg.data_dir.is_none() {
             return Err(Error::Config("recover requires data_dir".into()));
         }
+        if cfg.durable {
+            return Err(Error::Config(
+                "Cluster::recover scans the legacy non-durable site files; a durable site \
+                 comes back via restart_site (or ServeNode over the same data_dir)"
+                    .into(),
+            ));
+        }
         let metrics = MetricsHandle::new();
         let (net, sites) = Self::build_sites(&cfg, true, &metrics)?;
 
@@ -243,10 +259,19 @@ impl Cluster {
                 "cluster needs at least one manager of each kind".into(),
             ));
         }
-        if cfg.durable && cfg.data_dir.is_some() {
-            return Err(Error::Config(
-                "durable mode carries its own in-memory disk image; it cannot combine with data_dir".into(),
-            ));
+        match (cfg.backend, cfg.durable, &cfg.data_dir) {
+            (BackendKind::File, true, Some(_)) => {}
+            (BackendKind::File, _, _) => {
+                return Err(Error::Config(
+                    "the file backend needs durable mode and a data_dir to put its files in".into(),
+                ));
+            }
+            (BackendKind::Memory, true, Some(_)) => {
+                return Err(Error::Config(
+                    "durable mode carries its own in-memory disk image; it cannot combine with data_dir (use backend: File for durable files)".into(),
+                ));
+            }
+            _ => {}
         }
         cfg.file.validate()?;
         let net: SimNetwork<Msg> = SimNetwork::with_metrics(cfg.latency.clone(), metrics);
@@ -262,8 +287,8 @@ impl Cluster {
                 initial_pages: if cfg.data_dir.is_some() { 0 } else { 64 },
                 ..Default::default()
             };
-            let (store, wal) = match &cfg.data_dir {
-                None if cfg.durable => {
+            let (store, wal) = match (&cfg.data_dir, cfg.durable) {
+                (None, true) => {
                     let wal = DurableStore::new(
                         DurableConfig {
                             page: store_cfg,
@@ -273,8 +298,27 @@ impl Cluster {
                     );
                     (Arc::clone(wal.cache()), Some(wal))
                 }
-                None => (PageStore::new_shared_with_metrics(store_cfg, metrics), None),
-                Some(dir) => {
+                (Some(dir), true) => {
+                    // Durable site on the file backend: frames + WAL
+                    // under `<data_dir>/site-<i>/`. A cluster start is
+                    // always a fresh deployment (create truncates);
+                    // restarting *one* site from its surviving files is
+                    // `restart_site`, which recovers through the same
+                    // DiskHandle regardless of backend.
+                    let site_dir = dir.join(format!("site-{}", id.0));
+                    let disk = DiskHandle::create_file(&site_dir, page_size)?;
+                    let wal = DurableStore::with_disk(
+                        disk,
+                        DurableConfig {
+                            page: store_cfg,
+                            ..Default::default()
+                        },
+                        metrics,
+                    )?;
+                    (Arc::clone(wal.cache()), Some(wal))
+                }
+                (None, false) => (PageStore::new_shared_with_metrics(store_cfg, metrics), None),
+                (Some(dir), false) => {
                     std::fs::create_dir_all(dir)
                         .map_err(|e| Error::Io(format!("creating data_dir: {e}")))?;
                     let path = dir.join(format!("site-{}.ceh", id.0));

@@ -1,0 +1,227 @@
+//! The dirty-page buffer cache between [`crate::DurableStore`] and its
+//! [`crate::PageBackend`].
+//!
+//! The durable layer is no-steal: only *committed* page states ever
+//! reach the medium's frames. Those committed-but-not-yet-checkpointed
+//! states used to accumulate in an unbounded map; the [`BufferCache`]
+//! bounds them to a fixed capacity with CLOCK (second-chance) eviction.
+//! When a commit pushes the cache over capacity, the store writes the
+//! victim back to its frame (log first — the covering records are
+//! already synced, so a crash between writeback and the next checkpoint
+//! recovers through the LSN-gated replay) and evicts it.
+//!
+//! A checkpoint drains the whole cache in page order, keeping the
+//! durability-point sequence deterministic across backends and runs.
+
+use std::collections::HashMap;
+
+/// A committed page's pending on-medium state (the checkpoint's
+/// work list).
+#[derive(Debug, Clone)]
+pub(crate) enum FrameState {
+    /// The page's full committed image.
+    Live(Vec<u8>),
+    /// The page was deallocated; its frame gets a freed marker.
+    Freed,
+}
+
+#[derive(Debug)]
+struct Entry {
+    page: u64,
+    state: FrameState,
+    /// CLOCK reference bit: set on every touch, cleared as the hand
+    /// sweeps past; a victim is an entry found clear.
+    referenced: bool,
+}
+
+/// Fixed-capacity dirty-page cache with CLOCK eviction.
+#[derive(Debug)]
+pub(crate) struct BufferCache {
+    cap: usize,
+    entries: Vec<Entry>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+}
+
+impl BufferCache {
+    pub(crate) fn new(cap: usize) -> Self {
+        BufferCache {
+            cap: cap.max(1),
+            entries: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+        }
+    }
+
+    /// Does the cache hold more pages than its capacity? (Eviction
+    /// runs *after* insertion, so the newest entry is never the one
+    /// considered — it was just referenced.)
+    pub(crate) fn over_capacity(&self) -> bool {
+        self.entries.len() > self.cap
+    }
+
+    /// Record `state` as the page's latest committed image. Returns
+    /// `true` if the page was already cached (a hit: the dirty slot is
+    /// reused), `false` if a new slot was taken (a miss).
+    pub(crate) fn insert(&mut self, page: u64, state: FrameState) -> bool {
+        match self.map.get(&page) {
+            Some(&i) => {
+                self.entries[i].state = state;
+                self.entries[i].referenced = true;
+                true
+            }
+            None => {
+                self.push_new(page, state);
+                false
+            }
+        }
+    }
+
+    /// Like [`BufferCache::insert`], but an already-cached page keeps
+    /// its existing state (the `Alloc` fold: a fresh page is all zeroes
+    /// *unless* something newer is already pending).
+    pub(crate) fn insert_if_absent(
+        &mut self,
+        page: u64,
+        state: impl FnOnce() -> FrameState,
+    ) -> bool {
+        match self.map.get(&page) {
+            Some(&i) => {
+                self.entries[i].referenced = true;
+                true
+            }
+            None => {
+                self.push_new(page, state());
+                false
+            }
+        }
+    }
+
+    /// Insert without hit/miss accounting — recovery seeding the
+    /// persist-step work list.
+    pub(crate) fn seed(&mut self, page: u64, state: FrameState) {
+        self.insert(page, state);
+    }
+
+    fn push_new(&mut self, page: u64, state: FrameState) {
+        self.map.insert(page, self.entries.len());
+        self.entries.push(Entry {
+            page,
+            state,
+            referenced: true,
+        });
+    }
+
+    /// Pick and remove a victim by the CLOCK sweep: referenced entries
+    /// get their second chance (bit cleared, hand advances), the first
+    /// clear entry is evicted. Returns `None` only when empty.
+    pub(crate) fn evict(&mut self) -> Option<(u64, FrameState)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        loop {
+            if self.hand >= self.entries.len() {
+                self.hand = 0;
+            }
+            if self.entries[self.hand].referenced {
+                self.entries[self.hand].referenced = false;
+                self.hand += 1;
+                continue;
+            }
+            let victim = self.entries.swap_remove(self.hand);
+            self.map.remove(&victim.page);
+            // The swapped-in tail entry now lives at `hand`.
+            if let Some(moved) = self.entries.get(self.hand) {
+                self.map.insert(moved.page, self.hand);
+            }
+            return Some((victim.page, victim.state));
+        }
+    }
+
+    /// Drain everything, sorted by page id — the checkpoint's
+    /// deterministic flush order (matches the old `BTreeMap` walk).
+    pub(crate) fn drain_sorted(&mut self) -> Vec<(u64, FrameState)> {
+        self.map.clear();
+        self.hand = 0;
+        let mut out: Vec<(u64, FrameState)> =
+            self.entries.drain(..).map(|e| (e.page, e.state)).collect();
+        out.sort_by_key(|(page, _)| *page);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live(b: u8) -> FrameState {
+        FrameState::Live(vec![b; 4])
+    }
+
+    fn byte(fs: &FrameState) -> u8 {
+        match fs {
+            FrameState::Live(v) => v[0],
+            FrameState::Freed => 0xFF,
+        }
+    }
+
+    #[test]
+    fn insert_reports_hits_and_misses() {
+        let mut c = BufferCache::new(4);
+        assert!(!c.insert(1, live(0x11)), "first touch is a miss");
+        assert!(c.insert(1, live(0x12)), "second touch is a hit");
+        assert!(c.insert_if_absent(1, || live(0x13)));
+        // The hit preserved the newer state, not the alloc image.
+        let drained = c.drain_sorted();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(byte(&drained[0].1), 0x12);
+    }
+
+    #[test]
+    fn clock_gives_second_chances_and_evicts_cold_pages() {
+        let mut c = BufferCache::new(2);
+        c.insert(1, live(1));
+        c.insert(2, live(2));
+        c.insert(3, live(3));
+        assert!(c.over_capacity());
+        // All three are referenced; the sweep clears 1 and 2, then
+        // circles back — 1 loses its second chance first.
+        let (victim, _) = c.evict().unwrap();
+        assert_eq!(victim, 1);
+        assert!(!c.over_capacity());
+        // Touch 2 again: 3 (cleared during the first sweep) goes next.
+        c.insert(2, live(0x22));
+        c.insert(4, live(4));
+        let (victim, _) = c.evict().unwrap();
+        assert_eq!(victim, 3);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_resets() {
+        let mut c = BufferCache::new(8);
+        for page in [5u64, 1, 9, 3] {
+            c.insert(page, live(page as u8));
+        }
+        let drained = c.drain_sorted();
+        let pages: Vec<u64> = drained.iter().map(|(p, _)| *p).collect();
+        assert_eq!(pages, vec![1, 3, 5, 9]);
+        assert!(c.evict().is_none());
+    }
+
+    #[test]
+    fn eviction_keeps_the_map_consistent_after_swap_remove() {
+        let mut c = BufferCache::new(1);
+        c.insert(10, live(1));
+        c.insert(20, live(2));
+        c.insert(30, live(3));
+        while c.over_capacity() {
+            c.evict().unwrap();
+        }
+        // Surviving entries are still addressable: updating one must
+        // hit, not duplicate.
+        let survivors: Vec<u64> = c.drain_sorted().iter().map(|(p, _)| *p).collect();
+        assert_eq!(survivors.len(), 1);
+        c.insert(survivors[0], live(9));
+        assert!(c.insert(survivors[0], live(8)), "map stayed consistent");
+    }
+}

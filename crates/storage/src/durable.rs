@@ -1,14 +1,15 @@
 //! Crash-consistent durable storage: a redo write-ahead log over a
-//! simulated nonvolatile medium, wrapped around the volatile
-//! [`PageStore`].
+//! nonvolatile medium, wrapped around the volatile [`PageStore`].
 //!
 //! # The medium
 //!
-//! [`DiskImage`] is the nonvolatile state — a flat frame array (one
+//! The nonvolatile state is a flat frame array (one
 //! [`FRAME_HEADER`]-prefixed region per page, carrying an LSN and a
-//! CRC32 over the contents) plus the log bytes. It lives behind a
-//! [`DiskHandle`] that **outlives the store**: cutting power is
-//! dropping the `DurableStore` (or calling
+//! CRC32 over the contents) plus the log bytes, held by a
+//! [`PageBackend`](crate::PageBackend) — the deterministic in-memory
+//! [`DiskImage`] or real files with fsync (see [`crate::backend`]).
+//! Either lives behind a [`DiskHandle`] that **outlives the store**:
+//! cutting power is dropping the `DurableStore` (or calling
 //! [`DurableStore::power_off`]) and keeping only the handle; recovery
 //! is [`DurableStore::recover`] on that handle.
 //!
@@ -25,11 +26,16 @@
 //!   transaction's records reach the medium together, sealed by a
 //!   `Commit` record, at the group-commit **sync**. Only then is the
 //!   operation acked;
+//! * committed-but-not-yet-checkpointed page states sit in a
+//!   fixed-capacity **buffer cache** ([`crate::cache`]); a commit that
+//!   pushes it over capacity writes a CLOCK-chosen victim back to its
+//!   frame (log first — its covering records are already synced) and
+//!   evicts it;
 //! * a **checkpoint** (every `checkpoint_every` commits) flushes the
 //!   pages dirtied by *committed* transactions to their frames — never
-//!   an uncommitted page image, that's the no-steal half — and then
-//!   truncates the log. Open transactions lose nothing: their records
-//!   are (re-)written in full when they commit;
+//!   an uncommitted page image, that's the no-steal half — syncs the
+//!   frames, and then truncates the log. Open transactions lose
+//!   nothing: their records are (re-)written in full when they commit;
 //! * **recovery** classifies every frame by magic + CRC (live / freed /
 //!   never-written / torn), parses the log's valid prefix (per-record
 //!   CRC — a torn tail ends the prefix), replays the records of
@@ -57,13 +63,18 @@
 //! # Durability points
 //!
 //! The medium transitions at exactly three kinds of instant — a log
-//! sync, a frame flush, a log truncate — and each consults the
-//! [`CrashPlan`]: the armed point applies a seeded prefix [`Tear`] to
-//! the in-flight bytes and the store dies ([`Error::PowerLoss`]),
-//! freezing the image mid-write for recovery to face.
+//! sync, a frame write (checkpoint flush or cache writeback), a log
+//! truncate — and each consults the [`CrashPlan`]: the armed point
+//! applies a seeded prefix [`Tear`] to the in-flight bytes and the
+//! store dies ([`Error::PowerLoss`]), freezing the image mid-write for
+//! recovery to face. The `fsync` calls the file backend adds are *not*
+//! durability points — they only promote already-written bytes — so
+//! the point sequence is identical on both backends.
+//!
+//! [`Tear`]: crate::Tear
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -71,6 +82,8 @@ use ceh_obs::MetricsHandle;
 use ceh_types::{Error, PageId, Result};
 use parking_lot::Mutex;
 
+use crate::backend::{DiskHandle, PageBackend};
+use crate::cache::{BufferCache, FrameState};
 use crate::crash::CrashPlan;
 use crate::page::PageBuf;
 use crate::store::{PageStore, PageStoreConfig};
@@ -83,61 +96,6 @@ pub const FRAME_HEADER: usize = 20;
 const FRAME_MAGIC: u32 = 0xCE11_F4A3;
 const FLAG_LIVE: u32 = 1;
 
-/// The simulated nonvolatile medium: what survives a power cut.
-#[derive(Debug, Clone)]
-pub struct DiskImage {
-    /// Page payload size (frame size is `FRAME_HEADER` larger).
-    pub page_size: usize,
-    /// The frame array, one header-prefixed region per page id.
-    pub frames: Vec<u8>,
-    /// The write-ahead log bytes (see [`crate::wal`]).
-    pub wal: Vec<u8>,
-}
-
-impl DiskImage {
-    fn frame_size(&self) -> usize {
-        FRAME_HEADER + self.page_size
-    }
-}
-
-/// Shared handle to a [`DiskImage`]. Clone it before dropping the
-/// store — the clone *is* the surviving disk.
-#[derive(Debug, Clone)]
-pub struct DiskHandle {
-    inner: Arc<Mutex<DiskImage>>,
-}
-
-impl DiskHandle {
-    /// A blank medium for pages of `page_size` bytes.
-    pub fn new(page_size: usize) -> Self {
-        DiskHandle {
-            inner: Arc::new(Mutex::new(DiskImage {
-                page_size,
-                frames: Vec::new(),
-                wal: Vec::new(),
-            })),
-        }
-    }
-
-    /// A point-in-time copy of the medium (tests and the fuzzer's
-    /// oracle use this to diff disk states).
-    pub fn snapshot(&self) -> DiskImage {
-        self.inner.lock().clone()
-    }
-
-    /// The medium's page payload size.
-    pub fn page_size(&self) -> usize {
-        self.inner.lock().page_size
-    }
-
-    /// Mutate the raw medium in place — the fault-injection surface for
-    /// corruption tests (bit rot, torn frames, truncated logs). Takes
-    /// the image lock for the duration; never used by the store itself.
-    pub fn corrupt(&self, f: impl FnOnce(&mut DiskImage)) {
-        f(&mut self.inner.lock());
-    }
-}
-
 /// Configuration for a [`DurableStore`].
 #[derive(Debug, Clone)]
 pub struct DurableConfig {
@@ -149,6 +107,11 @@ pub struct DurableConfig {
     pub group_commit: usize,
     /// Checkpoint after this many synced commits.
     pub checkpoint_every: usize,
+    /// Dirty-page buffer cache capacity, in pages: committed states
+    /// beyond this are written back (CLOCK victim) before the next
+    /// checkpoint. The default is large enough that the deterministic
+    /// crash fixtures never evict.
+    pub cache_pages: usize,
     /// Power-cut schedule; `None` = power stays on.
     pub plan: Option<CrashPlan>,
 }
@@ -159,6 +122,7 @@ impl Default for DurableConfig {
             page: PageStoreConfig::default(),
             group_commit: 1,
             checkpoint_every: 32,
+            cache_pages: 1024,
             plan: None,
         }
     }
@@ -182,30 +146,37 @@ enum TxnOp {
     Dealloc(PageId),
 }
 
-/// A committed page's pending on-medium state (the checkpoint's
-/// work list).
-#[derive(Debug, Clone)]
-enum FrameState {
-    Live(Vec<u8>),
-    Freed,
-}
-
 /// Volatile log-side bookkeeping, all under one lock (commit order =
 /// log order).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct WalState {
     /// Encoded records not yet synced to the medium.
     buf: Vec<u8>,
     /// Open transactions' buffered ops, in program order.
     open: HashMap<u64, Vec<TxnOp>>,
-    /// Latest committed state per page since the last checkpoint.
-    dirty: BTreeMap<u64, FrameState>,
+    /// Latest committed state per page since the last checkpoint,
+    /// bounded by `DurableConfig::cache_pages`.
+    cache: BufferCache,
     /// Commits sitting in `buf` awaiting the group sync.
     pending_commits: usize,
     /// Synced commits since the last checkpoint.
     commits_since_ckpt: usize,
     next_txn: u64,
     next_lsn: u64,
+}
+
+impl WalState {
+    fn new(cache_pages: usize, next_txn: u64, next_lsn: u64) -> Self {
+        WalState {
+            buf: Vec::new(),
+            open: HashMap::new(),
+            cache: BufferCache::new(cache_pages),
+            pending_commits: 0,
+            commits_since_ckpt: 0,
+            next_txn,
+            next_lsn,
+        }
+    }
 }
 
 /// WAL/replay/checkpoint instruments (all under `storage.wal.` /
@@ -233,6 +204,50 @@ impl WalMetrics {
             checkpoints: h.counter("storage.wal.checkpoints"),
             frames_flushed: h.counter("storage.wal.frames_flushed"),
             power_cuts: h.counter("storage.wal.power_cuts"),
+        }
+    }
+}
+
+/// Backend-level instruments (`storage.backend.*`): how often the
+/// medium is synced and written, and what each sync costs — on the
+/// file backend, real fsync latency.
+#[derive(Debug)]
+struct BackendMetrics {
+    syncs: Arc<ceh_obs::Counter>,
+    sync_ns: Arc<ceh_obs::Histogram>,
+    frame_writes: Arc<ceh_obs::Counter>,
+    wal_appends: Arc<ceh_obs::Counter>,
+}
+
+impl BackendMetrics {
+    fn new(h: &MetricsHandle) -> Self {
+        BackendMetrics {
+            syncs: h.counter("storage.backend.syncs"),
+            sync_ns: h.histogram("storage.backend.sync_ns"),
+            frame_writes: h.counter("storage.backend.frame_writes"),
+            wal_appends: h.counter("storage.backend.wal_appends"),
+        }
+    }
+}
+
+/// Buffer-cache instruments (`storage.cache.*`): a hit is a committed
+/// state landing on an already-dirty page, a miss takes a new slot,
+/// and evictions count the CLOCK writebacks forced by capacity.
+#[derive(Debug)]
+struct CacheMetrics {
+    hits: Arc<ceh_obs::Counter>,
+    misses: Arc<ceh_obs::Counter>,
+    evictions: Arc<ceh_obs::Counter>,
+    writebacks: Arc<ceh_obs::Counter>,
+}
+
+impl CacheMetrics {
+    fn new(h: &MetricsHandle) -> Self {
+        CacheMetrics {
+            hits: h.counter("storage.cache.hits"),
+            misses: h.counter("storage.cache.misses"),
+            evictions: h.counter("storage.cache.evictions"),
+            writebacks: h.counter("storage.cache.writebacks"),
         }
     }
 }
@@ -333,6 +348,8 @@ pub struct DurableStore {
     state: Mutex<WalState>,
     dead: AtomicBool,
     wal_metrics: WalMetrics,
+    backend_metrics: BackendMetrics,
+    cache_metrics: CacheMetrics,
 }
 
 impl std::fmt::Debug for DurableStore {
@@ -347,23 +364,41 @@ impl std::fmt::Debug for DurableStore {
 }
 
 impl DurableStore {
-    /// A fresh store over a blank medium.
+    /// A fresh store over a blank in-memory medium.
     pub fn new(cfg: DurableConfig, metrics: &MetricsHandle) -> Arc<Self> {
         let disk = DiskHandle::new(cfg.page.page_size);
+        Self::with_disk(disk, cfg, metrics).expect("fresh in-memory medium matches config")
+    }
+
+    /// A fresh store over a provided (blank) medium — the seam that
+    /// picks the backend: hand it a [`DiskHandle::new`] for the
+    /// simulated image or a [`DiskHandle::create_file`] /
+    /// [`DiskHandle::open_file`] for real files. To bring back existing
+    /// contents, use [`DurableStore::recover`] instead.
+    pub fn with_disk(
+        disk: DiskHandle,
+        cfg: DurableConfig,
+        metrics: &MetricsHandle,
+    ) -> Result<Arc<Self>> {
+        if disk.page_size() != cfg.page.page_size {
+            return Err(Error::Config(format!(
+                "medium has {}-byte pages, config wants {}",
+                disk.page_size(),
+                cfg.page.page_size
+            )));
+        }
         let cache = Arc::new(PageStore::with_metrics(cfg.page.clone(), metrics));
-        Arc::new(DurableStore {
+        Ok(Arc::new(DurableStore {
             uid: NEXT_STORE_UID.fetch_add(1, Ordering::Relaxed),
             disk,
             cache,
-            state: Mutex::new(WalState {
-                next_txn: 1,
-                next_lsn: 1,
-                ..Default::default()
-            }),
+            state: Mutex::new(WalState::new(cfg.cache_pages, 1, 1)),
             dead: AtomicBool::new(false),
             wal_metrics: WalMetrics::new(metrics),
+            backend_metrics: BackendMetrics::new(metrics),
+            cache_metrics: CacheMetrics::new(metrics),
             cfg,
-        })
+        }))
     }
 
     /// The volatile cache (for wiring into layers that take a
@@ -496,19 +531,19 @@ impl DurableStore {
         self.wal_metrics.records.inc();
         self.wal_metrics.commits.inc();
         for op in ops {
-            match op {
-                TxnOp::Write(page, bytes) => {
-                    st.dirty.insert(page.0, FrameState::Live(bytes));
-                }
+            let hit = match op {
+                TxnOp::Write(page, bytes) => st.cache.insert(page.0, FrameState::Live(bytes)),
                 TxnOp::Alloc(page) => {
                     // A fresh page is all zeroes until its first write.
-                    st.dirty
-                        .entry(page.0)
-                        .or_insert_with(|| FrameState::Live(vec![0; self.page_size()]));
+                    st.cache
+                        .insert_if_absent(page.0, || FrameState::Live(vec![0; self.page_size()]))
                 }
-                TxnOp::Dealloc(page) => {
-                    st.dirty.insert(page.0, FrameState::Freed);
-                }
+                TxnOp::Dealloc(page) => st.cache.insert(page.0, FrameState::Freed),
+            };
+            if hit {
+                self.cache_metrics.hits.inc();
+            } else {
+                self.cache_metrics.misses.inc();
             }
         }
         st.pending_commits += 1;
@@ -517,6 +552,23 @@ impl DurableStore {
         }
         if st.commits_since_ckpt >= self.cfg.checkpoint_every {
             self.checkpoint_locked(st)?;
+        }
+        // Capacity pressure: write CLOCK victims back to their frames.
+        // Log first — sync_locked makes the covering records durable
+        // before any page image lands — so a crash after the writeback
+        // replays (or LSN-skips) them consistently. Each writeback is a
+        // frame-write durability point like any checkpoint flush.
+        while st.cache.over_capacity() {
+            self.sync_locked(st)?;
+            let Some((page, fs)) = st.cache.evict() else {
+                break;
+            };
+            {
+                let mut be = self.disk.backend();
+                self.flush_frame(st, &mut *be, page, &fs)?;
+            }
+            self.cache_metrics.evictions.inc();
+            self.cache_metrics.writebacks.inc();
         }
         Ok(())
     }
@@ -541,8 +593,25 @@ impl DurableStore {
 
     // ----- durability points ----------------------------------------
 
-    /// Flush the log buffer to the medium (the fsync). Durability
-    /// point: the appended bytes can tear.
+    /// Sync the medium's WAL (or frames), timing the call — on the
+    /// file backend this is a real fsync; in memory it's free. Not a
+    /// durability point: it only promotes already-written bytes.
+    fn timed_sync(&self, be: &mut dyn PageBackend, frames: bool) -> Result<()> {
+        let t = std::time::Instant::now();
+        if frames {
+            be.sync_frames()?;
+        } else {
+            be.sync_wal()?;
+        }
+        self.backend_metrics.syncs.inc();
+        self.backend_metrics
+            .sync_ns
+            .record(t.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Flush the log buffer to the medium and sync it (the fsync).
+    /// Durability point: the appended bytes can tear.
     fn sync_locked(&self, st: &mut WalState) -> Result<()> {
         if st.buf.is_empty() {
             return Ok(());
@@ -550,62 +619,80 @@ impl DurableStore {
         let bytes = std::mem::take(&mut st.buf);
         st.commits_since_ckpt += st.pending_commits;
         st.pending_commits = 0;
+        let mut be = self.disk.backend();
         if let Some(plan) = &self.cfg.plan {
             if let Some(tear) = plan.at_point(bytes.len()) {
-                self.disk
-                    .inner
-                    .lock()
-                    .wal
-                    .extend_from_slice(&bytes[..tear.keep]);
+                be.append_wal(&bytes[..tear.keep])?;
+                drop(be);
                 return Err(self.die());
             }
         }
-        self.disk.inner.lock().wal.extend_from_slice(&bytes);
+        be.append_wal(&bytes)?;
+        self.backend_metrics.wal_appends.inc();
+        self.timed_sync(&mut *be, false)?;
+        drop(be);
         self.wal_metrics.syncs.inc();
         self.wal_metrics.sync_bytes.add(bytes.len() as u64);
         Ok(())
     }
 
-    /// Flush committed dirty pages to their frames, then truncate the
-    /// log. Durability points: each frame write, then the truncate.
+    /// Write one committed page state to its frame, stamped with a
+    /// fresh LSN. Durability point: the frame bytes can tear (growth
+    /// happens first, like a file extended before the write).
+    fn flush_frame(
+        &self,
+        st: &mut WalState,
+        be: &mut dyn PageBackend,
+        page: u64,
+        fs: &FrameState,
+    ) -> Result<()> {
+        let lsn = st.next_lsn; // stamp frames with a fresh LSN
+        st.next_lsn += 1;
+        let frame = encode_frame(fs, lsn, self.page_size());
+        let frame_size = FRAME_HEADER + self.page_size();
+        let at = page as usize * frame_size;
+        be.grow_frames(at + frame_size)?;
+        if let Some(plan) = &self.cfg.plan {
+            if let Some(tear) = plan.at_point(frame.len()) {
+                be.write_frame(at, &frame[..tear.keep])?;
+                return Err(self.die());
+            }
+        }
+        be.write_frame(at, &frame)?;
+        self.wal_metrics.frames_flushed.inc();
+        self.backend_metrics.frame_writes.inc();
+        Ok(())
+    }
+
+    /// Flush committed dirty pages to their frames, sync the frames,
+    /// then truncate the log. Durability points: each frame write,
+    /// then the truncate. The frame sync *before* the truncate is the
+    /// file backend's ordering rule: a frame image (checkpoint flush or
+    /// earlier cache writeback) must be durable before the log records
+    /// covering it disappear.
     fn checkpoint_locked(&self, st: &mut WalState) -> Result<()> {
         self.sync_locked(st)?;
-        let dirty = std::mem::take(&mut st.dirty);
-        let mut disk = self.disk.inner.lock();
-        let frame_size = disk.frame_size();
+        let dirty = st.cache.drain_sorted();
+        let mut be = self.disk.backend();
         for (page, fs) in dirty {
-            let lsn = st.next_lsn; // stamp frames with a fresh LSN
-            st.next_lsn += 1;
-            let frame = encode_frame(&fs, lsn, self.page_size());
-            let end = (page as usize + 1) * frame_size;
-            if disk.frames.len() < end {
-                disk.frames.resize(end, 0);
-            }
-            let at = page as usize * frame_size;
-            if let Some(plan) = &self.cfg.plan {
-                if let Some(tear) = plan.at_point(frame.len()) {
-                    disk.frames[at..at + tear.keep].copy_from_slice(&frame[..tear.keep]);
-                    drop(disk);
-                    return Err(self.die());
-                }
-            }
-            disk.frames[at..end].copy_from_slice(&frame);
-            self.wal_metrics.frames_flushed.inc();
+            self.flush_frame(st, &mut *be, page, &fs)?;
         }
+        self.timed_sync(&mut *be, true)?;
         // Truncate the log. A tear here models an in-place truncate
         // caught midway: a valid prefix of already-applied records
         // survives, all older than the frame stamps written above, so
         // the LSN-gated replay skips every one of them.
         if let Some(plan) = &self.cfg.plan {
-            let len = disk.wal.len();
+            let len = be.wal_len();
             if let Some(tear) = plan.at_point(len) {
-                disk.wal.truncate(tear.keep);
-                drop(disk);
+                be.truncate_wal(tear.keep)?;
+                drop(be);
                 return Err(self.die());
             }
         }
-        disk.wal.clear();
-        drop(disk);
+        be.truncate_wal(0)?;
+        self.timed_sync(&mut *be, false)?;
+        drop(be);
         st.commits_since_ckpt = 0;
         self.wal_metrics.checkpoints.inc();
         Ok(())
@@ -694,7 +781,7 @@ impl DurableStore {
         cfg: DurableConfig,
         metrics: &MetricsHandle,
     ) -> Result<(Arc<Self>, RecoveryReport)> {
-        let image = disk.snapshot();
+        let image = disk.try_snapshot()?;
         if image.page_size != cfg.page.page_size {
             return Err(Error::Config(format!(
                 "medium has {}-byte pages, config wants {}",
@@ -811,20 +898,21 @@ impl DurableStore {
             uid: NEXT_STORE_UID.fetch_add(1, Ordering::Relaxed),
             disk: disk.clone(),
             cache,
-            state: Mutex::new(WalState {
-                next_txn: max_txn + 1,
-                next_lsn: max_lsn + 1,
-                ..Default::default()
-            }),
+            state: Mutex::new(WalState::new(cfg.cache_pages, max_txn + 1, max_lsn + 1)),
             dead: AtomicBool::new(false),
             wal_metrics: WalMetrics::new(metrics),
+            backend_metrics: BackendMetrics::new(metrics),
+            cache_metrics: CacheMetrics::new(metrics),
             cfg,
         });
 
         // 6. Persist the recovered state: every slot becomes a clean
         //    frame and the log empties. This walks the same durability
         //    points as a normal checkpoint, so an armed plan can cut
-        //    power *during recovery* — the double-crash case.
+        //    power *during recovery* — the double-crash case. Slots are
+        //    seeded without hit/miss accounting (recovery isn't
+        //    workload traffic) and regardless of cache capacity: the
+        //    checkpoint drains them all immediately.
         {
             let mut st = store.state.lock();
             for (i, s) in slots.into_iter().enumerate() {
@@ -833,7 +921,7 @@ impl DurableStore {
                     Slot::Free { .. } => FrameState::Freed,
                     Slot::Torn => unreachable!(),
                 };
-                st.dirty.insert(i as u64, fs);
+                st.cache.seed(i as u64, fs);
             }
             store.checkpoint_locked(&mut st)?;
         }

@@ -27,14 +27,22 @@
 //!
 //! On top of the volatile substrate sits the **durability layer** (see
 //! [`durable`]): [`DurableStore`] wraps a `PageStore` with a redo
-//! write-ahead log over a simulated nonvolatile [`DiskImage`]
-//! (CRC-guarded frames + log), group commit, checkpointing, seeded
-//! power-cut injection via [`CrashPlan`], and crash recovery
-//! ([`DurableStore::recover`]).
+//! write-ahead log over a nonvolatile medium (CRC-guarded frames +
+//! log), group commit, a fixed-capacity dirty-page buffer cache with
+//! CLOCK writeback, checkpointing, seeded power-cut injection via
+//! [`CrashPlan`], and crash recovery ([`DurableStore::recover`]).
+//!
+//! Where the medium's bytes live is the [`backend`] layer's choice
+//! ([`PageBackend`]): the deterministic in-memory [`DiskImage`] the
+//! chaos and crash fuzzers sweep, or a real file-backed medium
+//! ([`FileBackend`]) with `pwrite`/`fsync` — byte-identical layouts,
+//! so either recovers the other's disk.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
+mod cache;
 mod crash;
 pub mod durable;
 mod page;
@@ -42,10 +50,9 @@ mod stats;
 mod store;
 pub mod wal;
 
+pub use backend::{BackendKind, DiskHandle, DiskImage, FileBackend, MemBackend, PageBackend};
 pub use crash::{CrashPlan, Tear};
-pub use durable::{
-    DiskHandle, DiskImage, DurableConfig, DurableStore, DurableTxn, RecoveryReport, FRAME_HEADER,
-};
+pub use durable::{DurableConfig, DurableStore, DurableTxn, RecoveryReport, FRAME_HEADER};
 pub use page::{PageBuf, POISON_BYTE};
 pub use stats::{IoStats, IoStatsSnapshot};
 pub use store::{PageStore, PageStoreConfig};

@@ -1,0 +1,140 @@
+//! Cross-backend interchange: the bytes a [`FileBackend`] puts on disk
+//! and the bytes a [`MemBackend`] holds in its [`DiskImage`] are the
+//! *same format*. A medium written by one backend must recover on the
+//! other with an identical [`RecoveryReport`] and identical page
+//! contents — that is what makes `DiskImage` the interchange format and
+//! keeps every crash fixture meaningful on both media.
+
+use std::path::PathBuf;
+
+use ceh_obs::MetricsHandle;
+use ceh_storage::{DiskHandle, DiskImage, DurableConfig, DurableStore, PageBuf, RecoveryReport};
+use ceh_types::PageId;
+
+const PAGE: usize = 64;
+
+fn cfg() -> DurableConfig {
+    DurableConfig {
+        checkpoint_every: usize::MAX, // manual checkpoints only
+        ..DurableConfig::small(PAGE)
+    }
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        TempDir(std::env::temp_dir().join(format!("ceh-rt-{tag}-{}", std::process::id())))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn filled(byte: u8) -> PageBuf {
+    let mut b = PageBuf::zeroed(PAGE);
+    b.fill(byte);
+    b
+}
+
+/// A workload that leaves interesting state on *both* halves of the
+/// medium: checkpointed frames (live and freed) plus an uncheckpointed
+/// WAL suffix with a redo overwrite, a fresh page, and a dealloc.
+fn build_workload(disk: &DiskHandle) -> Vec<PageId> {
+    let metrics = MetricsHandle::new();
+    let store = DurableStore::with_disk(disk.clone(), cfg(), &metrics).unwrap();
+    let a = store.alloc().unwrap();
+    store.write(a, &filled(0x11)).unwrap();
+    let b = store.alloc().unwrap();
+    store.write(b, &filled(0x22)).unwrap();
+    store.checkpoint().unwrap(); // frames for a, b; log truncated
+    store.write(a, &filled(0x33)).unwrap(); // redo over a checkpointed frame
+    let c = store.alloc().unwrap();
+    store.write(c, &filled(0x44)).unwrap(); // page with no frame yet
+    store.dealloc(b).unwrap(); // freed marker pending in the log
+    store.power_off();
+    vec![a, b, c]
+}
+
+/// Recover a medium and pull out everything observable: the report and
+/// each surviving page's bytes (dealloc'd pages read as errors).
+fn observe(disk: &DiskHandle) -> (RecoveryReport, Vec<Option<Vec<u8>>>, DiskImage) {
+    let metrics = MetricsHandle::new();
+    let (store, report) = DurableStore::recover(disk, cfg(), &metrics).unwrap();
+    let mut pages = Vec::new();
+    for raw in 0..3u64 {
+        let mut buf = PageBuf::zeroed(PAGE);
+        match store.read(PageId(raw), &mut buf) {
+            Ok(()) => pages.push(Some(buf.to_vec())),
+            Err(_) => pages.push(None),
+        }
+    }
+    store.power_off();
+    (report, pages, disk.snapshot())
+}
+
+fn assert_expected_contents(pages: &[Option<Vec<u8>>]) {
+    assert!(pages[0].as_ref().unwrap().iter().all(|&b| b == 0x33));
+    assert!(pages[1].is_none(), "dealloc'd page stays gone");
+    assert!(pages[2].as_ref().unwrap().iter().all(|&b| b == 0x44));
+}
+
+#[test]
+fn a_file_backed_medium_recovers_identically_in_memory() {
+    let tmp = TempDir::new("file-to-mem");
+    let disk = DiskHandle::create_file(&tmp.0, PAGE).expect("create file backend");
+    build_workload(&disk);
+    let img = disk.snapshot();
+    assert!(
+        !img.frames.is_empty() && !img.wal.is_empty(),
+        "both halves populated"
+    );
+    drop(disk);
+
+    // Same bytes, two media: the files reopened cold, and an in-memory
+    // image holding the snapshot.
+    let file_disk = DiskHandle::open_file(&tmp.0, PAGE).expect("reopen");
+    let mem_disk = DiskHandle::from_image(img);
+
+    let (file_report, file_pages, file_after) = observe(&file_disk);
+    let (mem_report, mem_pages, mem_after) = observe(&mem_disk);
+
+    assert_eq!(file_report, mem_report, "identical recovery on both media");
+    assert_eq!(file_pages, mem_pages, "identical surviving contents");
+    assert_expected_contents(&file_pages);
+    // Recovery re-persists; the post-recovery media are byte-identical
+    // too, so a second hop in either direction changes nothing.
+    assert_eq!(file_after, mem_after);
+}
+
+#[test]
+fn an_in_memory_medium_recovers_identically_from_files() {
+    let mem_src = DiskHandle::new(PAGE);
+    build_workload(&mem_src);
+    let img = mem_src.snapshot();
+    assert!(
+        !img.frames.is_empty() && !img.wal.is_empty(),
+        "both halves populated"
+    );
+
+    // Transplant the image onto a real directory: restore_image rewrites
+    // frames.ceh + wal.ceh, which is exactly what corrupt() does under
+    // the hood with an identity mutation.
+    let tmp = TempDir::new("mem-to-file");
+    let file_disk = DiskHandle::create_file(&tmp.0, PAGE).expect("create file backend");
+    let transplant = img.clone();
+    file_disk.corrupt(move |slot| *slot = transplant);
+    assert_eq!(file_disk.snapshot(), img, "transplanted bytes round-trip");
+
+    let mem_disk = DiskHandle::from_image(img);
+    let (file_report, file_pages, file_after) = observe(&file_disk);
+    let (mem_report, mem_pages, mem_after) = observe(&mem_disk);
+
+    assert_eq!(file_report, mem_report, "identical recovery on both media");
+    assert_eq!(file_pages, mem_pages, "identical surviving contents");
+    assert_expected_contents(&file_pages);
+    assert_eq!(file_after, mem_after);
+}

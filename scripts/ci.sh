@@ -35,6 +35,13 @@ echo "=== transport smoke ==="
 # workload's exact oracle must hold both times.
 CEH_QUICK=1 cargo test -q -p ceh-cli --release --test transport_smoke
 
+echo "=== storage smoke ==="
+# Real durable files: `ceh serve --backend file --data-dir` children are
+# filled, every bucket manager is SIGKILLed with no warning, the
+# processes restart over the same directories, and every acked key must
+# read back from frames.ceh/wal.ceh — zero acked-data loss.
+CEH_QUICK=1 cargo test -q -p ceh-cli --release --test storage_smoke
+
 echo "=== metrics smoke ==="
 # 10k-op mixed workload; the emitted RunReport JSON must validate
 # against schemas/run_report.schema.json and conserve operation counts.

@@ -75,6 +75,7 @@ fn seeded_faults_with_crash_and_restart_converge_exactly() {
         resend_ms: 100,
         reply_timeout_ms: 2_000,
         durable: false,
+        backend: Default::default(),
     })
     .unwrap();
 
@@ -190,6 +191,7 @@ fn reply_drop_run(seed: u64, ops: u64) -> (u64, u64, u64) {
         resend_ms: 60_000, // timers quiet: the only retries are the client's
         reply_timeout_ms: 30_000,
         durable: false,
+        backend: Default::default(),
     })
     .unwrap();
     let client = cluster.client();
@@ -252,6 +254,7 @@ fn crash_without_faults_recovers_in_place() {
         resend_ms: 100,
         reply_timeout_ms: 1_000,
         durable: false,
+        backend: Default::default(),
     })
     .unwrap();
     let client = cluster.client();
@@ -312,6 +315,7 @@ fn durable_crash_is_a_power_loss_and_restart_recovers_from_the_image() {
         resend_ms: 100,
         reply_timeout_ms: 1_000,
         durable: true,
+        backend: Default::default(),
     })
     .unwrap();
     let client = cluster.client();

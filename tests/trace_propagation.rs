@@ -76,6 +76,7 @@ fn recovery_work_attributes_to_the_originating_request() {
         resend_ms: 100,
         reply_timeout_ms: 2_000,
         durable: false,
+        backend: Default::default(),
     })
     .unwrap();
     // Sized so a full chaos run fits: a truncated ring would silently
