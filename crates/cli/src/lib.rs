@@ -20,8 +20,10 @@
 
 pub mod check;
 pub mod serve;
+pub mod top;
 pub use check::{run_check, CHECK_HELP};
 pub use serve::{run_client, run_serve, CLIENT_HELP, SERVE_HELP};
+pub use top::{run_live_stats, run_live_trace, run_top, STATS_HELP, TOP_HELP};
 
 use std::sync::Arc;
 

@@ -22,7 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first() else {
         eprintln!(
-            "usage: ceh <index-file> [command...]\n       ceh trace <workload> [--json]\n       ceh check [...]\n       ceh serve --cluster <spec> --node <i> [...]\n       ceh client --cluster <spec> [...] <command>\n\n{HELP}\n\n{CHECK_HELP}"
+            "usage: ceh <index-file> [command...]\n       ceh trace <workload> [--json]\n       ceh trace --cluster <spec> --addr <host:port>\n       ceh check [...]\n       ceh serve --cluster <spec> --node <i> [...]\n       ceh client --cluster <spec> [...] <command>\n       ceh top --cluster <spec> [--once] [--json] [--slow]\n       ceh stats --cluster <spec> --addr <host:port>\n\n{HELP}\n\n{CHECK_HELP}"
         );
         std::process::exit(2);
     };
@@ -60,9 +60,38 @@ fn main() {
         return;
     }
 
+    // `ceh top` / `ceh stats --addr`: poll live admin endpoints.
+    if path == "top" || path == "stats" {
+        let run = if path == "top" {
+            ceh_cli::run_top
+        } else {
+            ceh_cli::run_live_stats
+        };
+        match run(&args[1..]) {
+            Ok(out) => say(&out),
+            Err(e) => {
+                eprintln!("ceh: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     // `ceh trace <workload> [--json]`: run a seeded cluster with causal
     // tracing on and print the trace (no index file involved).
+    // `ceh trace --addr <host:port> --cluster <spec>` instead dumps a
+    // live node's slow-op log (trace ids link the two views).
     if path == "trace" {
+        if args.iter().any(|a| a == "--addr") {
+            match ceh_cli::run_live_trace(&args[1..]) {
+                Ok(out) => say(&out),
+                Err(e) => {
+                    eprintln!("ceh: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
         let json = args.iter().any(|a| a == "--json");
         let workload: Vec<&String> = args[1..].iter().filter(|a| *a != "--json").collect();
         let [workload] = workload[..] else {

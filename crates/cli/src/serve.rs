@@ -40,6 +40,8 @@ ceh serve --cluster <spec> --node <i> [options]
   --delay <p>:<ms>      delay frames with probability p by ms milliseconds
   --resend-ms <n>       directory-manager resend interval (default 200)
   --bootstrap-ms <n>    how long to wait for peers at startup (default 30000)
+  --slow-ms <n>         slow-op log threshold in milliseconds (default 250;
+                        0 disables capture) — see `ceh top --slow`
   --report              print the node's metrics report on exit";
 
 /// Usage text for `ceh client`.
@@ -66,15 +68,17 @@ ceh client --cluster <spec> [options] <command>
   --drop/--dup/--garble/--sever/--delay   client-side fault injection,
                         same meaning as for `ceh serve`";
 
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["report", "once", "json", "slow"];
+
 /// Split `--flag value` pairs from positional arguments.
-fn split_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)> {
+pub(crate) fn split_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)> {
     let mut flags = HashMap::new();
     let mut pos = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--report" {
-            // The only boolean flag.
-            flags.insert("report".to_string(), "1".to_string());
+        if let Some(name) = a.strip_prefix("--").filter(|n| BOOL_FLAGS.contains(n)) {
+            flags.insert(name.to_string(), "1".to_string());
         } else if let Some(name) = a.strip_prefix("--") {
             let v = it
                 .next()
@@ -87,7 +91,7 @@ fn split_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
     Ok((flags, pos))
 }
 
-fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64> {
+pub(crate) fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v
@@ -179,8 +183,8 @@ fn fault_plan(flags: &HashMap<String, String>, seed: u64) -> Result<Option<Fault
     Ok(any.then_some(plan))
 }
 
-/// Assemble the [`NodeOptions`] both subcommands share.
-fn node_options(flags: &HashMap<String, String>) -> Result<NodeOptions> {
+/// Assemble the [`NodeOptions`] the subcommands share.
+pub(crate) fn node_options(flags: &HashMap<String, String>) -> Result<NodeOptions> {
     let mut opts = NodeOptions::default();
     if let Some(cap) = flags.get("capacity") {
         let cap: usize = cap
@@ -197,11 +201,12 @@ fn node_options(flags: &HashMap<String, String>) -> Result<NodeOptions> {
     opts.resend_ms = flag_u64(flags, "resend-ms", opts.resend_ms)?;
     opts.reply_timeout_ms = flag_u64(flags, "reply-timeout-ms", opts.reply_timeout_ms)?;
     opts.bootstrap_timeout_ms = flag_u64(flags, "bootstrap-ms", opts.bootstrap_timeout_ms)?;
+    opts.slow_op_threshold_ms = flag_u64(flags, "slow-ms", opts.slow_op_threshold_ms)?;
     opts.faults = fault_plan(flags, opts.seed)?;
     Ok(opts)
 }
 
-fn spec_from(flags: &HashMap<String, String>) -> Result<ClusterSpec> {
+pub(crate) fn spec_from(flags: &HashMap<String, String>) -> Result<ClusterSpec> {
     let spec = flags
         .get("cluster")
         .ok_or_else(|| Error::Config("--cluster <spec> is required".into()))?;
@@ -210,7 +215,7 @@ fn spec_from(flags: &HashMap<String, String>) -> Result<ClusterSpec> {
 
 /// Print a progress line immediately (stdout may be a pipe the parent
 /// process is waiting on, so flush explicitly).
-fn status(line: &str) {
+pub(crate) fn status(line: &str) {
     let mut out = std::io::stdout();
     let _ = writeln!(out, "{line}");
     let _ = out.flush();

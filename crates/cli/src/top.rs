@@ -1,0 +1,395 @@
+//! `ceh top` — a live cluster dashboard over the admin endpoints —
+//! plus the `--addr` live modes of `ceh stats` and `ceh trace`.
+//!
+//! All three commands speak the same protocol: dial the cluster,
+//! send each node a `StatsRequest`, and render the JSON snapshots
+//! that come back (see `ceh_dist::admin` and
+//! `schemas/live_snapshot.schema.json`). A node that does not answer
+//! within the poll deadline is a **stale row**, never an error or a
+//! hang: the dashboard must stay useful against exactly the
+//! half-dead clusters it exists to diagnose.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use ceh_dist::{AdminClient, ClusterSpec, NodeStats};
+use ceh_obs::json::Json;
+use ceh_types::{Error, Result};
+
+use crate::serve::{flag_u64, node_options, spec_from, split_flags, status};
+
+/// Usage text for `ceh top`.
+pub const TOP_HELP: &str = "\
+ceh top --cluster <spec> [options]
+  poll every node's admin endpoint and render a per-node table:
+  ops/s and p50/p99 over the snapshot window, in-flight requests,
+  peer-supervisor states, slow-op counts, uptime. Nodes that do not
+  answer within the poll deadline show as 'stale' rows.
+
+  --once                poll once and exit (for scripting)
+  --json                machine-readable output (with --once: one
+                        document; otherwise one document per refresh)
+  --slow                also dump each node's slow-op log entries
+                        (latency, kind, key, trace id for
+                        cross-referencing into `ceh trace` timelines)
+  --interval-ms <n>     refresh interval (default 1000)
+  --timeout-ms <n>      per-poll deadline before marking rows stale
+                        (default 2000)
+  --node <id>           this poller's plane node id (default 1500;
+                        must exceed the spec length and be unique
+                        among concurrently connected clients)
+  --bootstrap-ms, --seed   as for `ceh client`";
+
+/// Usage text for `ceh stats` (live mode).
+pub const STATS_HELP: &str = "\
+ceh stats --cluster <spec> --addr <host:port> [--json]
+  fetch one live node's full snapshot (counters, gauges, windowed
+  rates and percentiles, peer states, slow ops) from its admin
+  endpoint. <host:port> must be the node's spec address. --json
+  prints the raw snapshot document. --timeout-ms bounds the wait
+  (default 2000).";
+
+/// Walk a dotted path through nested JSON objects.
+fn at<'j>(doc: &'j Json, path: &[&str]) -> Option<&'j Json> {
+    let mut cur = doc;
+    for p in path {
+        cur = cur.get(p)?;
+    }
+    Some(cur)
+}
+
+fn num(doc: &Json, path: &[&str]) -> f64 {
+    at(doc, path).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// The node's windowed operation rate: directory requests plus bucket
+/// ops over the window span (a node serves one role, so at most one of
+/// the two counters is nonzero).
+fn ops_per_sec(doc: &Json) -> f64 {
+    let span = num(doc, &["window", "seconds"]);
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let ops = num(doc, &["window", "counters", "dist.requests"])
+        + num(doc, &["window", "counters", "dist.bucket_ops"]);
+    ops / span
+}
+
+/// The latency histogram the node's role actually records into.
+fn latency_hist(doc: &Json) -> Option<&Json> {
+    at(doc, &["window", "hists", "dist.request_ns"])
+        .filter(|h| h.get("count").and_then(Json::as_u64).unwrap_or(0) > 0)
+        .or_else(|| at(doc, &["window", "hists", "dist.bucket_op_ns"]))
+}
+
+fn ms(ns: f64) -> String {
+    format!("{:.2}", ns / 1e6)
+}
+
+/// One rendered table row.
+fn row(stats: &NodeStats) -> String {
+    // NodeRole/SocketAddr write straight through `Display`, skipping
+    // the formatter's padding — stringify first so columns line up.
+    let role = stats.role.to_string();
+    let addr = stats.addr.to_string();
+    let id = format!("{:>4}  {role:<6} {addr:<21}", stats.node);
+    let Some(doc) = &stats.snapshot else {
+        return format!("{id} STALE");
+    };
+    let (p50, p99) = latency_hist(doc).map_or((0.0, 0.0), |h| (num(h, &["p50"]), num(h, &["p99"])));
+    let slow = num(doc, &["slow_ops", "buffered"]);
+    let dropped = num(doc, &["slow_ops", "dropped"]);
+    let slow = if dropped > 0.0 {
+        format!("{slow}+{dropped}d")
+    } else {
+        format!("{slow}")
+    };
+    let peers = match at(doc, &["peers"]) {
+        Some(Json::Obj(m)) => {
+            let down = m
+                .values()
+                .filter(|v| !matches!(v.as_str(), Some("healthy")))
+                .count();
+            if down == 0 {
+                "all-healthy".to_string()
+            } else {
+                format!("{down}/{} unhealthy", m.len())
+            }
+        }
+        _ => "?".to_string(),
+    };
+    format!(
+        "{id} live  {:>8.1} {:>9} {:>9} {:>8} {:>6} {:>6.0} {peers}",
+        ops_per_sec(doc),
+        ms(p50),
+        ms(p99),
+        num(doc, &["gauges", "dist.inflight"]),
+        slow,
+        num(doc, &["uptime_seconds"]),
+    )
+}
+
+/// The whole dashboard for one poll.
+fn render_table(rows: &[NodeStats], slow: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4}  {:<6} {:<21} {:<5} {:>8} {:>9} {:>9} {:>8} {:>6} {:>6} peers\n",
+        "NODE", "ROLE", "ADDR", "STATE", "OPS/S", "P50(ms)", "P99(ms)", "INFLIGHT", "SLOW", "UP(s)"
+    ));
+    for r in rows {
+        out.push_str(&row(r));
+        out.push('\n');
+    }
+    let live = rows.iter().filter(|r| !r.is_stale()).count();
+    let total_ops: f64 = rows
+        .iter()
+        .filter_map(|r| r.snapshot.as_ref())
+        .map(ops_per_sec)
+        .sum();
+    out.push_str(&format!(
+        "cluster: {live}/{} nodes answering, {total_ops:.1} ops/s\n",
+        rows.len()
+    ));
+    if slow {
+        out.push_str(&render_slow(rows));
+    }
+    out.trim_end().to_string()
+}
+
+/// The slow-op dump (`--slow`): every captured entry, newest last,
+/// with the trace id that links it into a `ceh trace` timeline.
+fn render_slow(rows: &[NodeStats]) -> String {
+    let mut out = String::from("slow ops (latency over each node's --slow-ms threshold):\n");
+    let mut any = false;
+    for r in rows {
+        let Some(doc) = &r.snapshot else { continue };
+        if let Some(Json::Arr(entries)) = at(doc, &["slow_ops", "entries"]) {
+            for e in entries {
+                any = true;
+                out.push_str(&format!(
+                    "  node {:>3} {:<14} {:>9}ms  key={} trace={:#x} age={:.1}s\n",
+                    r.node,
+                    at(e, &["kind"]).and_then(Json::as_str).unwrap_or("?"),
+                    ms(num(e, &["latency_ns"])),
+                    num(e, &["key"]),
+                    num(e, &["trace_id"]) as u64,
+                    num(e, &["age_ms"]) / 1e3,
+                ));
+            }
+        }
+    }
+    if !any {
+        out.push_str("  (none recorded)\n");
+    }
+    out
+}
+
+/// The `--json` document: cluster identity plus one entry per node,
+/// with `snapshot` absent on stale rows (see
+/// `schemas/live_snapshot.schema.json`).
+fn render_json(spec: &ClusterSpec, rows: Vec<NodeStats>) -> String {
+    let nodes = rows
+        .into_iter()
+        .map(|r| {
+            let mut m = BTreeMap::new();
+            m.insert("node".to_string(), Json::Num(f64::from(r.node)));
+            m.insert("addr".to_string(), Json::Str(r.addr.to_string()));
+            m.insert("role".to_string(), Json::Str(r.role.to_string()));
+            m.insert("stale".to_string(), Json::Bool(r.snapshot.is_none()));
+            if let Some(doc) = r.snapshot {
+                m.insert("snapshot".to_string(), doc);
+            }
+            Json::Obj(m)
+        })
+        .collect();
+    let mut root = BTreeMap::new();
+    root.insert("cluster".to_string(), Json::Str(spec.to_string()));
+    root.insert("nodes".to_string(), Json::Arr(nodes));
+    let mut out = String::new();
+    ceh_obs::json::write(&mut out, &Json::Obj(root));
+    out
+}
+
+struct TopArgs {
+    spec: ClusterSpec,
+    admin: AdminClient,
+    timeout: Duration,
+    interval: Duration,
+    flags: HashMap<String, String>,
+}
+
+fn connect(args: &[String], default_node: u16) -> Result<TopArgs> {
+    let (flags, pos) = split_flags(args)?;
+    if !pos.is_empty() {
+        return Err(Error::Config(format!(
+            "unexpected argument '{}'\n\n{TOP_HELP}",
+            pos[0]
+        )));
+    }
+    let spec = spec_from(&flags)?;
+    let opts = node_options(&flags)?;
+    let client_node = flag_u64(&flags, "node", u64::from(default_node))?;
+    let client_node = u16::try_from(client_node)
+        .map_err(|_| Error::Config(format!("--node {client_node}: not a plane node id")))?;
+    let timeout = Duration::from_millis(flag_u64(&flags, "timeout-ms", 2_000)?);
+    let interval = Duration::from_millis(flag_u64(&flags, "interval-ms", 1_000)?);
+    let admin = AdminClient::connect(&spec, client_node, &opts)?;
+    Ok(TopArgs {
+        spec,
+        admin,
+        timeout,
+        interval,
+        flags,
+    })
+}
+
+/// `ceh top --cluster <spec> [...]`: the live cluster dashboard.
+pub fn run_top(args: &[String]) -> Result<String> {
+    if args.iter().any(|a| a == "--help" || a == "help") {
+        return Ok(TOP_HELP.to_string());
+    }
+    let t = connect(args, 1500)?;
+    let json = t.flags.contains_key("json");
+    let slow = t.flags.contains_key("slow");
+    if t.flags.contains_key("once") {
+        let rows = t.admin.poll(t.timeout);
+        let out = if json {
+            render_json(&t.spec, rows)
+        } else {
+            render_table(&rows, slow)
+        };
+        t.admin.close();
+        return Ok(out);
+    }
+    loop {
+        let rows = t.admin.poll(t.timeout);
+        if json {
+            status(&render_json(&t.spec, rows));
+        } else {
+            status(&render_table(&rows, slow));
+            status("");
+        }
+        std::thread::sleep(t.interval);
+    }
+}
+
+/// Find the spec entry `--addr` names.
+fn addr_index(spec: &ClusterSpec, flags: &HashMap<String, String>) -> Result<usize> {
+    let addr = flags
+        .get("addr")
+        .ok_or_else(|| Error::Config(format!("--addr <host:port> is required\n\n{STATS_HELP}")))?;
+    let parsed: Option<SocketAddr> = addr.parse().ok();
+    spec.nodes
+        .iter()
+        .position(|(_, a)| Some(*a) == parsed || a.to_string() == *addr)
+        .ok_or_else(|| Error::Config(format!("--addr {addr}: not an address in the cluster spec")))
+}
+
+/// Poll the cluster and pull out the `--addr` node's row.
+fn poll_one(t: &TopArgs, idx: usize) -> NodeStats {
+    let mut rows = t.admin.poll(t.timeout);
+    rows.swap_remove(idx)
+}
+
+/// `ceh stats --cluster <spec> --addr <host:port>`: one live node's
+/// full snapshot, rendered (or raw with `--json`).
+pub fn run_live_stats(args: &[String]) -> Result<String> {
+    if args.iter().any(|a| a == "--help" || a == "help") || args.is_empty() {
+        return Ok(STATS_HELP.to_string());
+    }
+    let t = connect(args, 1501)?;
+    let idx = addr_index(&t.spec, &t.flags)?;
+    let row = poll_one(&t, idx);
+    let out = build_stats_output(&t, row)?;
+    t.admin.close();
+    Ok(out)
+}
+
+fn build_stats_output(t: &TopArgs, row: NodeStats) -> Result<String> {
+    let Some(doc) = &row.snapshot else {
+        return Ok(format!(
+            "node {} ({}@{}): stale — no answer within {}ms",
+            row.node,
+            row.role,
+            row.addr,
+            t.timeout.as_millis()
+        ));
+    };
+    if t.flags.contains_key("json") {
+        let mut out = String::new();
+        ceh_obs::json::write(&mut out, doc);
+        return Ok(out);
+    }
+    let mut out = format!(
+        "node {} ({}@{}) — up {:.0}s, version {} ({})\n",
+        row.node,
+        row.role,
+        row.addr,
+        num(doc, &["uptime_seconds"]),
+        at(doc, &["build", "version"])
+            .and_then(Json::as_str)
+            .unwrap_or("?"),
+        at(doc, &["build", "git"])
+            .and_then(Json::as_str)
+            .unwrap_or("?"),
+    );
+    for section in ["counters", "gauges"] {
+        if let Some(Json::Obj(m)) = at(doc, &[section]) {
+            if m.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("{section}:\n"));
+            for (k, v) in m {
+                out.push_str(&format!("  {k} = {}\n", v.as_f64().unwrap_or(0.0)));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "window ({:.1}s): {:.1} ops/s\n",
+        num(doc, &["window", "seconds"]),
+        ops_per_sec(doc)
+    ));
+    if let Some(Json::Obj(hists)) = at(doc, &["window", "hists"]) {
+        for (k, h) in hists {
+            out.push_str(&format!(
+                "  {k}: n={} p50={}ms p99={}ms max={}ms\n",
+                num(h, &["count"]),
+                ms(num(h, &["p50"])),
+                ms(num(h, &["p99"])),
+                ms(num(h, &["max"])),
+            ));
+        }
+    }
+    if let Some(Json::Obj(peers)) = at(doc, &["peers"]) {
+        out.push_str("peers:\n");
+        for (k, v) in peers {
+            out.push_str(&format!("  node {k}: {}\n", v.as_str().unwrap_or("?")));
+        }
+    }
+    out.push_str(&render_slow(std::slice::from_ref(&row)));
+    Ok(out.trim_end().to_string())
+}
+
+/// `ceh trace --addr <host:port> --cluster <spec>`: the live half of
+/// `ceh trace` — dump the node's slow-op log, whose trace ids
+/// cross-reference into the offline trace timelines.
+pub fn run_live_trace(args: &[String]) -> Result<String> {
+    let t = connect(args, 1502)?;
+    let idx = addr_index(&t.spec, &t.flags)?;
+    let row = poll_one(&t, idx);
+    t.admin.close();
+    if row.is_stale() {
+        return Ok(format!(
+            "node {} ({}@{}): stale — no answer within {}ms",
+            row.node,
+            row.role,
+            row.addr,
+            t.timeout.as_millis()
+        ));
+    }
+    Ok(render_slow(std::slice::from_ref(&row))
+        .trim_end()
+        .to_string())
+}

@@ -1,0 +1,281 @@
+//! top_smoke: the live observability plane end to end, as processes.
+//!
+//! Boots a real 4-node `ceh serve` cluster with an injected per-frame
+//! delay and a 1 ms slow-op threshold, drives a short workload, and
+//! checks the whole dashboard path: `ceh top --once --json` must return
+//! a document that validates against `schemas/live_snapshot.schema.json`
+//! with nonzero windowed ops/s, per-node window percentiles, peer
+//! supervisor states, and at least one captured slow op. Then a bucket
+//! manager is SIGKILLed and the next poll must come back within its
+//! bounded deadline with that node as a marked-stale row — never an
+//! error or a hang. This is the CI gate wired into `scripts/ci.sh` as
+//! `top_smoke`.
+
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ceh_obs::json::{self, Json};
+
+fn ceh() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ceh"))
+}
+
+/// Reserve `n` distinct loopback ports (bind-then-drop; the tiny race
+/// with other processes is acceptable in tests).
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind :0"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect()
+}
+
+fn spec_for(addrs: &[SocketAddr]) -> String {
+    let mut parts = Vec::new();
+    for (i, a) in addrs.iter().enumerate() {
+        let role = if i < 2 { "dir" } else { "bucket" };
+        parts.push(format!("{role}@{a}"));
+    }
+    parts.join(",")
+}
+
+/// A serve child that is SIGKILLed if the test panics before shutdown.
+struct Node {
+    child: Child,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn `ceh serve` for spec entry `idx`, retrying while the previous
+/// tenant's port lingers in TIME_WAIT, and wait until it accepts.
+fn spawn_serve(spec: &str, idx: usize, addr: SocketAddr, extra: &[&str]) -> Node {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut child = ceh()
+            .args(["serve", "--cluster", spec, "--node", &idx.to_string()])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn ceh serve");
+        loop {
+            if TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_ok() {
+                return Node { child };
+            }
+            match child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "serve node {idx} kept failing: {status}"
+                    );
+                    std::thread::sleep(Duration::from_millis(100));
+                    break; // bind raced TIME_WAIT — spawn again
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+/// Run one `ceh` invocation to completion, panicking on failure.
+fn run(args: &[&str]) -> String {
+    let out = ceh().args(args).output().expect("run ceh");
+    assert!(
+        out.status.success(),
+        "ceh {args:?} failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn load_schema() -> Json {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/live_snapshot.schema.json"
+    );
+    let src = std::fs::read_to_string(path).expect("read live_snapshot.schema.json");
+    json::parse(&src).expect("schema parses")
+}
+
+/// `ceh top --once --json` against the cluster, parsed and
+/// schema-validated.
+fn poll_json(spec: &str, node: &str) -> Json {
+    let out = run(&[
+        "top",
+        "--cluster",
+        spec,
+        "--node",
+        node,
+        "--once",
+        "--json",
+        "--timeout-ms",
+        "4000",
+    ]);
+    let doc = json::parse(out.trim()).expect("top --json parses");
+    let errors = json::validate(&doc, &load_schema());
+    assert!(errors.is_empty(), "schema violations: {errors:?}\n{out}");
+    doc
+}
+
+fn nodes_of(doc: &Json) -> &Vec<Json> {
+    match doc.get("nodes") {
+        Some(Json::Arr(a)) => a,
+        other => panic!("nodes should be an array, got {other:?}"),
+    }
+}
+
+fn num(doc: &Json, path: &[&str]) -> f64 {
+    let mut cur = doc;
+    for p in path {
+        cur = match cur.get(p) {
+            Some(v) => v,
+            None => return 0.0,
+        };
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+#[test]
+fn live_dashboard_sees_a_working_cluster_and_marks_a_killed_node_stale() {
+    let addrs = free_addrs(4);
+    let spec = spec_for(&addrs);
+    // Every data frame is delayed 5 ms and anything over 1 ms counts as
+    // slow: directory request latencies (several delayed round trips)
+    // must land in the slow-op log. The stats classes are fault-exempt,
+    // so the dashboard itself stays fast.
+    let flags = ["--delay", "1:5", "--slow-ms", "1", "--seed", "3"];
+    let mut nodes: Vec<Node> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| spawn_serve(&spec, i, a, &flags))
+        .collect();
+
+    run(&["client", "--cluster", &spec, "--node", "1201", "fill", "30"]);
+    let out = run(&[
+        "client",
+        "--cluster",
+        &spec,
+        "--node",
+        "1202",
+        "--seed",
+        "4",
+        "workload",
+        "--ops",
+        "60",
+        "--clients",
+        "2",
+    ]);
+    assert!(out.contains("oracle ok"), "workload failed: {out}");
+    // Let every node's 1 s admin sampler tick so the snapshot window
+    // (newest minus oldest ring sample) covers the workload.
+    std::thread::sleep(Duration::from_millis(1_500));
+
+    let doc = poll_json(&spec, "1203");
+    let rows = nodes_of(&doc);
+    assert_eq!(rows.len(), 4);
+
+    let mut windowed_ops = 0.0;
+    let mut slow_entries = 0.0;
+    let mut tail_latencies = 0;
+    for row in rows {
+        assert_eq!(row.get("stale"), Some(&Json::Bool(false)), "row: {row:?}");
+        let snap = row.get("snapshot").expect("fresh row carries a snapshot");
+        // Peer supervisor states: every peer of a healthy cluster
+        // reports in (the schema already pins the enum).
+        let peers = snap.get("peers").and_then(Json::as_obj).expect("peers");
+        assert_eq!(peers.len(), 3, "3 peers per node in a 4-node cluster");
+        assert!(
+            peers.values().all(|v| v.as_str() == Some("healthy")),
+            "all peers healthy before the kill: {peers:?}"
+        );
+        windowed_ops += num(snap, &["window", "counters", "dist.requests"])
+            + num(snap, &["window", "counters", "dist.bucket_ops"]);
+        slow_entries += num(snap, &["slow_ops", "buffered"]);
+        for hist in ["dist.request_ns", "dist.bucket_op_ns"] {
+            if num(snap, &["window", "hists", hist, "count"]) > 0.0 {
+                assert!(
+                    num(snap, &["window", "hists", hist, "p99"])
+                        >= num(snap, &["window", "hists", hist, "p50"]),
+                    "window p99 >= p50 for {hist}"
+                );
+                tail_latencies += 1;
+            }
+        }
+    }
+    assert!(
+        windowed_ops > 0.0,
+        "the workload must show up as windowed ops: {doc:?}"
+    );
+    assert!(
+        tail_latencies > 0,
+        "at least one node reports windowed p50/p99"
+    );
+    assert!(
+        slow_entries > 0.0,
+        "5 ms frame delays over a 1 ms threshold must capture slow ops"
+    );
+
+    // `ceh stats --addr` fetches one node's full snapshot live.
+    let stats = run(&[
+        "stats",
+        "--cluster",
+        &spec,
+        "--addr",
+        &addrs[0].to_string(),
+        "--node",
+        "1204",
+    ]);
+    assert!(
+        stats.contains("node 1 (dir@") && stats.contains("counters:"),
+        "live stats: {stats}"
+    );
+    // `ceh trace --addr` dumps the slow-op log with trace ids.
+    let trace = run(&[
+        "trace",
+        "--cluster",
+        &spec,
+        "--addr",
+        &addrs[0].to_string(),
+        "--node",
+        "1205",
+    ]);
+    assert!(
+        trace.contains("trace=0x"),
+        "live trace dump carries trace ids: {trace}"
+    );
+
+    // Kill bucket manager 1 (spec entry 3) outright. The next poll must
+    // return within its bounded deadline with a marked-stale row for the
+    // dead node — not an error, not a hang.
+    drop(nodes.pop().expect("bucket node")); // Drop SIGKILLs
+    let polled = Instant::now();
+    let doc = poll_json(&spec, "1206");
+    assert!(
+        polled.elapsed() < Duration::from_secs(20),
+        "stale poll must respect its deadline"
+    );
+    let rows = nodes_of(&doc);
+    for (i, row) in rows.iter().enumerate() {
+        let expect_stale = i == 3;
+        assert_eq!(
+            row.get("stale"),
+            Some(&Json::Bool(expect_stale)),
+            "row {i}: {row:?}"
+        );
+        assert_eq!(row.get("snapshot").is_none(), expect_stale);
+    }
+
+    // The survivors die by Drop (SIGKILL): graceful shutdown is
+    // transport_smoke's business, and a half-dead cluster cannot
+    // complete one anyway.
+    drop(nodes);
+}

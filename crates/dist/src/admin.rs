@@ -1,0 +1,510 @@
+//! The live observability plane: every serve node's admin endpoint plus
+//! the poller `ceh top` / `ceh stats --addr` drive against it.
+//!
+//! Each [`crate::ServeNode`] registers an `admin-<node>` port and runs
+//! one admin thread: a ~1 s sampler feeding a [`SnapshotRing`] of the
+//! node's registry, and a handler answering [`Msg::StatsRequest`] with a
+//! [`Msg::StatsReply`] carrying a JSON snapshot — cumulative counters,
+//! the windowed deltas (interval ops and per-window p50/p99), supervisor
+//! peer states, the slow-op log, uptime and build identity. The document
+//! shape is pinned by `schemas/live_snapshot.schema.json`.
+//!
+//! Failure policy ("fault-exempt but failure-isolated"): the stats
+//! classes are exempted from every probabilistic fault rule when a plan
+//! is installed (the dashboard must see through the chaos it is
+//! watching), but a node that is down, unreachable, or shedding load
+//! simply never answers — [`AdminClient::poll`] reports it as a stale
+//! row after a bounded deadline instead of erroring or hanging, and
+//! requests are never retried.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ceh_net::{RecvError, TcpPlane, Transport};
+use ceh_obs::json::Json;
+use ceh_obs::{HistogramSnapshot, MetricsHandle, SnapshotRing};
+use ceh_types::{Error, Result};
+
+use crate::msg::Msg;
+use crate::node::{ClusterSpec, NodeOptions, NodeRole};
+
+/// The admin port's registered name for plane node `node`.
+pub fn admin_name(node: u16) -> String {
+    format!("admin-{node}")
+}
+
+/// How far back a snapshot's window reaches: the delta is taken against
+/// the oldest ring sample no older than this.
+pub const WINDOW_MAX_AGE: Duration = Duration::from_secs(60);
+
+/// The admin thread's sampling cadence (one ring sample per tick while
+/// idle; every request also samples, so replies are never stale).
+pub(crate) const SAMPLE_INTERVAL: Duration = Duration::from_millis(1_000);
+
+/// How many slow-op entries a snapshot carries (the newest ones; the
+/// ring's full depth stays on the node).
+const SLOW_OPS_IN_SNAPSHOT: usize = 16;
+
+/// The admin endpoint loop for one serve node. Runs until `stop` is
+/// set, the plane closes, or a [`Msg::Shutdown`] arrives on the admin
+/// port.
+pub(crate) fn run_admin(
+    plane: TcpPlane<Msg>,
+    metrics: MetricsHandle,
+    node: u16,
+    role: NodeRole,
+    peers: Vec<u16>,
+    stop: Arc<AtomicBool>,
+) {
+    let (_port, rx) = Transport::<Msg>::create_port(&plane);
+    plane.register_name(&admin_name(node), rx.id());
+    // Two samples beyond the window so a full window is always
+    // subtractable once uptime exceeds WINDOW_MAX_AGE.
+    let ring = SnapshotRing::new(WINDOW_MAX_AGE.as_secs() as usize + 2);
+    ring.sample(&metrics);
+    while !stop.load(Ordering::Relaxed) {
+        match rx.recv_timeout(SAMPLE_INTERVAL) {
+            Ok(Msg::StatsRequest { reply_port }) => {
+                ring.sample(&metrics);
+                let json = snapshot_json(&metrics, &ring, &plane, node, role, &peers);
+                plane.send(reply_port, Msg::StatsReply { json });
+            }
+            Ok(Msg::Shutdown) | Err(RecvError::Disconnected) => break,
+            Ok(_) => {}
+            Err(RecvError::Empty) => ring.sample(&metrics),
+        }
+    }
+}
+
+fn hist_json(h: &HistogramSnapshot) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("count".to_string(), Json::Num(h.count as f64));
+    m.insert("min".to_string(), Json::Num(h.min as f64));
+    m.insert("max".to_string(), Json::Num(h.max as f64));
+    m.insert("mean".to_string(), Json::Num(h.mean));
+    m.insert("p50".to_string(), Json::Num(h.p50 as f64));
+    m.insert("p90".to_string(), Json::Num(h.p90 as f64));
+    m.insert("p99".to_string(), Json::Num(h.p99 as f64));
+    Json::Obj(m)
+}
+
+/// Assemble one node's live snapshot document (the `StatsReply`
+/// payload). Public surface is the JSON itself — see
+/// `schemas/live_snapshot.schema.json` for the pinned shape.
+pub(crate) fn snapshot_json(
+    metrics: &MetricsHandle,
+    ring: &SnapshotRing,
+    plane: &TcpPlane<Msg>,
+    node: u16,
+    role: NodeRole,
+    peers: &[u16],
+) -> String {
+    let snap = metrics.snapshot();
+    let mut root = BTreeMap::new();
+    root.insert("node".to_string(), Json::Num(f64::from(node)));
+    root.insert("role".to_string(), Json::Str(role.to_string()));
+    root.insert(
+        "uptime_seconds".to_string(),
+        Json::Num(metrics.uptime().as_secs_f64()),
+    );
+    let mut build = BTreeMap::new();
+    build.insert(
+        "version".to_string(),
+        Json::Str(env!("CARGO_PKG_VERSION").to_string()),
+    );
+    build.insert(
+        "git".to_string(),
+        Json::Str(
+            option_env!("CEH_BUILD_GIT_HASH")
+                .unwrap_or("unknown")
+                .to_string(),
+        ),
+    );
+    root.insert("build".to_string(), Json::Obj(build));
+
+    root.insert(
+        "counters".to_string(),
+        Json::Obj(
+            snap.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        ),
+    );
+    root.insert(
+        "gauges".to_string(),
+        Json::Obj(
+            snap.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        ),
+    );
+    root.insert(
+        "hists".to_string(),
+        Json::Obj(
+            snap.hists
+                .iter()
+                .map(|(k, h)| (k.clone(), hist_json(h)))
+                .collect(),
+        ),
+    );
+
+    // The windowed view: interval counter deltas plus per-window
+    // histogram summaries. Omitted until the ring holds two samples
+    // (the schema subset has no union types, so absence > null).
+    if let Some(w) = ring.window(WINDOW_MAX_AGE) {
+        let window = {
+            let mut obj = BTreeMap::new();
+            obj.insert("seconds".to_string(), Json::Num(w.span.as_secs_f64()));
+            obj.insert(
+                "counters".to_string(),
+                Json::Obj(
+                    w.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            );
+            obj.insert(
+                "hists".to_string(),
+                Json::Obj(
+                    w.hists
+                        .iter()
+                        .map(|(k, hw)| (k.clone(), hist_json(&hw.summary())))
+                        .collect(),
+                ),
+            );
+            Json::Obj(obj)
+        };
+        root.insert("window".to_string(), window);
+    }
+
+    root.insert(
+        "peers".to_string(),
+        Json::Obj(
+            peers
+                .iter()
+                .map(|&p| {
+                    let state = plane
+                        .peer_state(p)
+                        .map_or("unknown".to_string(), |s| format!("{s:?}").to_lowercase());
+                    (p.to_string(), Json::Str(state))
+                })
+                .collect(),
+        ),
+    );
+
+    let slow = metrics.slow_ops();
+    let entries = slow.entries();
+    let newest = entries.len().saturating_sub(SLOW_OPS_IN_SNAPSHOT);
+    let mut slow_obj = BTreeMap::new();
+    slow_obj.insert(
+        "threshold_ns".to_string(),
+        Json::Num(slow.threshold_ns() as f64),
+    );
+    slow_obj.insert("buffered".to_string(), Json::Num(entries.len() as f64));
+    slow_obj.insert("dropped".to_string(), Json::Num(slow.dropped() as f64));
+    slow_obj.insert(
+        "entries".to_string(),
+        Json::Arr(
+            entries[newest..]
+                .iter()
+                .map(|op| {
+                    let mut e = BTreeMap::new();
+                    e.insert("kind".to_string(), Json::Str(op.kind.to_string()));
+                    e.insert("latency_ns".to_string(), Json::Num(op.latency_ns as f64));
+                    e.insert("trace_id".to_string(), Json::Num(op.trace_id as f64));
+                    e.insert("key".to_string(), Json::Num(op.key as f64));
+                    e.insert(
+                        "age_ms".to_string(),
+                        Json::Num(op.at.elapsed().as_millis() as f64),
+                    );
+                    Json::Obj(e)
+                })
+                .collect(),
+        ),
+    );
+    root.insert("slow_ops".to_string(), Json::Obj(slow_obj));
+
+    let mut out = String::new();
+    ceh_obs::json::write(&mut out, &Json::Obj(root));
+    out
+}
+
+/// One polled node's row: identity from the spec, snapshot from the
+/// node itself — or `None` when the node never answered within the
+/// poll deadline (render as a stale row, not an error).
+#[derive(Debug)]
+pub struct NodeStats {
+    /// The node's plane id (spec position + 1).
+    pub node: u16,
+    /// Where the spec says it listens.
+    pub addr: SocketAddr,
+    /// What the spec says it runs.
+    pub role: NodeRole,
+    /// The parsed snapshot document, `None` if the node is stale.
+    pub snapshot: Option<Json>,
+}
+
+impl NodeStats {
+    /// Did the node answer this poll?
+    pub fn is_stale(&self) -> bool {
+        self.snapshot.is_none()
+    }
+}
+
+/// A dial-only plane node that polls every admin endpoint of a cluster.
+///
+/// Unlike [`crate::TcpClusterClient`], connecting does **not** wait for
+/// the cluster's manager names: a dashboard must come up against a
+/// half-dead cluster and show which half answers.
+pub struct AdminClient {
+    plane: TcpPlane<Msg>,
+    spec: ClusterSpec,
+}
+
+impl AdminClient {
+    /// Dial the spec's nodes. `client_node` must not collide with the
+    /// spec's manager ids (they use `1..=len`; pick something higher,
+    /// and different from any concurrently connected client).
+    pub fn connect(
+        spec: &ClusterSpec,
+        client_node: u16,
+        opts: &NodeOptions,
+    ) -> Result<AdminClient> {
+        spec.validate()?;
+        if usize::from(client_node) <= spec.nodes.len() {
+            return Err(Error::Config(format!(
+                "admin client node id {client_node} collides with the spec's manager nodes"
+            )));
+        }
+        let metrics = MetricsHandle::new();
+        let cfg = spec.tcp_config(None, client_node, opts);
+        let plane: TcpPlane<Msg> = TcpPlane::start(cfg, &metrics)
+            .map_err(|e| Error::Io(format!("starting admin plane: {e}")))?;
+        Ok(AdminClient {
+            plane,
+            spec: spec.clone(),
+        })
+    }
+
+    /// Poll every node once, waiting at most `timeout` overall. Always
+    /// returns one row per spec entry, in spec order; nodes that never
+    /// answered (down, partitioned, name never resolved) come back
+    /// stale rather than failing the poll.
+    pub fn poll(&self, timeout: Duration) -> Vec<NodeStats> {
+        let deadline = Instant::now() + timeout;
+        let (reply_port, rx) = Transport::<Msg>::create_port(&self.plane);
+        let n = self.spec.nodes.len();
+        let mut asked = vec![false; n];
+        let mut got: Vec<Option<Json>> = (0..n).map(|_| None).collect();
+        let mut remaining = n;
+        while remaining > 0 {
+            // Ask every node whose admin name has resolved by now (name
+            // replication races the poll; late resolvers get asked on a
+            // later pass).
+            for (i, sent) in asked.iter_mut().enumerate() {
+                if !*sent {
+                    if let Some(port) = self.plane.lookup(&admin_name(self.spec.node_id(i))) {
+                        self.plane.send(port, Msg::StatsRequest { reply_port });
+                        *sent = true;
+                    }
+                }
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(left.min(Duration::from_millis(25))) {
+                Ok(Msg::StatsReply { json }) => {
+                    let Ok(doc) = ceh_obs::json::parse(&json) else {
+                        continue;
+                    };
+                    let Some(node) = doc.get("node").and_then(Json::as_u64) else {
+                        continue;
+                    };
+                    if let Some(i) = (0..n).find(|&i| u64::from(self.spec.node_id(i)) == node) {
+                        if got[i].is_none() {
+                            got[i] = Some(doc);
+                            remaining -= 1;
+                        }
+                    }
+                }
+                Ok(_) | Err(RecvError::Empty) => {}
+                Err(RecvError::Disconnected) => break,
+            }
+        }
+        got.into_iter()
+            .enumerate()
+            .map(|(i, snapshot)| NodeStats {
+                node: self.spec.node_id(i),
+                addr: self.spec.nodes[i].1,
+                role: self.spec.nodes[i].0,
+                snapshot,
+            })
+            .collect()
+    }
+
+    /// The spec this client polls.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Close the local plane.
+    pub fn close(self) {
+        self.plane.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::bucket_mgr_name;
+    use crate::{NodeOptions, ServeNode};
+    use ceh_net::{FaultPlan, TcpConfig};
+    use ceh_types::ManagerId;
+
+    fn free_addrs(n: usize) -> Vec<SocketAddr> {
+        let listeners: Vec<std::net::TcpListener> = (0..n)
+            .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind :0"))
+            .collect();
+        listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr"))
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_document_carries_identity_window_and_slow_ops() {
+        let metrics = MetricsHandle::new();
+        let plane: TcpPlane<Msg> =
+            TcpPlane::start(TcpConfig::new(7), &metrics).expect("dial-only plane");
+        metrics.slow_ops().enable(1, 8);
+        metrics.counter("dist.requests").inc();
+        metrics.histogram("dist.request_ns").record(5_000);
+        metrics.slow_ops().observe("find", 5_000, 42, 9);
+        let ring = SnapshotRing::new(4);
+        ring.sample(&metrics);
+        metrics.counter("dist.requests").inc();
+        ring.sample(&metrics);
+
+        let doc = ceh_obs::json::parse(&snapshot_json(
+            &metrics,
+            &ring,
+            &plane,
+            7,
+            NodeRole::Bucket,
+            &[1, 2],
+        ))
+        .expect("valid json");
+        assert_eq!(doc.get("node").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("role").and_then(Json::as_str), Some("bucket"));
+        assert!(doc.get("uptime_seconds").and_then(Json::as_f64).is_some());
+        let build = doc.get("build").expect("build");
+        assert_eq!(
+            build.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("dist.requests"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let window = doc.get("window").expect("window");
+        assert_eq!(
+            window
+                .get("counters")
+                .and_then(|c| c.get("dist.requests"))
+                .and_then(Json::as_u64),
+            Some(1),
+            "window carries the interval delta, not the cumulative count"
+        );
+        // Unconnected peers show up, marked unknown, rather than vanishing.
+        let peers = doc.get("peers").expect("peers");
+        assert_eq!(peers.get("1").and_then(Json::as_str), Some("unknown"));
+        let slow = doc.get("slow_ops").expect("slow_ops");
+        assert_eq!(slow.get("buffered").and_then(Json::as_u64), Some(1));
+        let entries = match slow.get("entries") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("slow_ops.entries should be an array, got {other:?}"),
+        };
+        assert_eq!(entries[0].get("kind").and_then(Json::as_str), Some("find"));
+        assert_eq!(entries[0].get("trace_id").and_then(Json::as_u64), Some(42));
+        plane.close();
+    }
+
+    #[test]
+    fn poll_sees_through_total_frame_loss_and_marks_dead_nodes_stale() {
+        let addrs = free_addrs(3);
+        let spec = ClusterSpec {
+            nodes: vec![
+                (NodeRole::Dir, addrs[0]),
+                (NodeRole::Bucket, addrs[1]),
+                (NodeRole::Bucket, addrs[2]),
+            ],
+        };
+        // Every data frame drops — the observability plane must still
+        // answer (ServeNode exempts the stats classes itself).
+        let opts = NodeOptions {
+            faults: Some(FaultPlan::new(11).drop_all(1.0)),
+            ..NodeOptions::default()
+        };
+        let nodes: Vec<ServeNode> = (0..3)
+            .map(|i| ServeNode::start(&spec, i, &opts).expect("start node"))
+            .collect();
+
+        let admin = AdminClient::connect(&spec, 50, &opts).expect("admin connect");
+        let rows = admin.poll(Duration::from_secs(10));
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            let doc = row.snapshot.as_ref().unwrap_or_else(|| {
+                panic!("node {} should answer through the fault plan", row.node)
+            });
+            assert_eq!(
+                doc.get("node").and_then(Json::as_u64),
+                Some(u64::from(row.node))
+            );
+            assert_eq!(
+                doc.get("role").and_then(Json::as_str),
+                Some(row.role.to_string().as_str())
+            );
+            assert!(!row.is_stale());
+        }
+
+        // Kill bucket manager 1 (spec entry 2, plane node 3): its row
+        // must come back stale within the bounded deadline while the
+        // survivors stay fresh.
+        let victim = admin
+            .plane
+            .lookup(&bucket_mgr_name(ManagerId(1)))
+            .expect("name resolved");
+        admin.plane.send(victim, Msg::Shutdown);
+        let mut nodes = nodes;
+        nodes
+            .pop()
+            .expect("victim handle")
+            .join()
+            .expect("clean exit");
+
+        let rows = admin.poll(Duration::from_secs(2));
+        assert!(rows[0].snapshot.is_some(), "dir node still fresh");
+        assert!(rows[1].snapshot.is_some(), "bucket 0 still fresh");
+        assert!(rows[2].is_stale(), "dead node reported stale, not an error");
+
+        // Shut the survivors down from the admin client's clean plane
+        // (the serve nodes' own planes drop every non-stats frame).
+        for name in ["dir-mgr-0", "bucket-mgr-0"] {
+            let p = admin.plane.lookup(name).expect("name resolved");
+            admin.plane.send(p, Msg::Shutdown);
+        }
+        for node in nodes {
+            node.join().expect("clean exit");
+        }
+        admin.close();
+    }
+}

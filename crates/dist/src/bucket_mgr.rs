@@ -205,6 +205,7 @@ fn bucketdone(site: &Site, env: &OpEnvelope, success: bool, outcome: Option<User
 }
 
 fn slave_op(site: &Site, mut env: OpEnvelope, wrongbucket_ack_to: Option<PortId>) {
+    let started = std::time::Instant::now();
     let event = match env.op {
         OpKind::Find => "bucket.find",
         OpKind::Insert => "bucket.insert",
@@ -224,12 +225,19 @@ fn slave_op(site: &Site, mut env: OpEnvelope, wrongbucket_ack_to: Option<PortId>
     }
     // Downstream hops (forwarded envelopes) nest under this slave.
     env.ctx = span;
+    let (key, trace_id) = (env.key.0, span.trace_id);
     match env.op {
         OpKind::Find => slave_find(site, env, wrongbucket_ack_to),
         OpKind::Insert => slave_insert(site, env, wrongbucket_ack_to),
         OpKind::Delete => slave_delete(site, env, wrongbucket_ack_to),
     }
     site.metrics.trace_end(span, "dist", event, 0, 0);
+    // Bucket-side latency: everything this slave did, splits/merges and
+    // cross-site hops included (a forwarded op times only its own hop).
+    let ns = started.elapsed().as_nanos() as u64;
+    site.metrics.counter("dist.bucket_ops").inc();
+    site.metrics.histogram("dist.bucket_op_ns").record(ns);
+    site.metrics.slow_ops().observe(event, ns, trace_id, key);
 }
 
 /// Figure 14, `case find`.

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use ceh_net::{PortId, PortRx, RecvError};
-use ceh_obs::{Counter, MetricsHandle, TraceCtx};
+use ceh_obs::{Counter, Gauge, Histogram, MetricsHandle, TraceCtx};
 use ceh_types::{hash_key, Key, ManagerId, PageId, Value};
 
 use crate::msg::{Msg, OpEnvelope, OpKind, UserOutcome};
@@ -54,6 +54,10 @@ struct Context {
     /// When the current `BucketOp` was sent; a context stalled past
     /// `resend_after` is re-driven (lost message or crashed site).
     sent_at: Instant,
+    /// When the request first arrived. `sent_at` resets on every
+    /// re-drive, so end-to-end latency (the `dist.request_ns`
+    /// histogram and the slow-op log) is measured from here.
+    started: Instant,
     /// The dispatch span this transaction runs under (child of the
     /// client's request span); every `BucketOp` — including re-drives —
     /// carries it, so all hops attribute to the originating request.
@@ -141,6 +145,14 @@ pub(crate) struct DirectoryManager {
     /// `dist.resends.gc`: unacked garbage collections re-sent by the
     /// timer.
     resends_gc: std::sync::Arc<Counter>,
+    /// `dist.requests`: user requests accepted (dedupe hits and
+    /// duplicate retries excluded).
+    requests: std::sync::Arc<Counter>,
+    /// `dist.request_ns`: end-to-end request latency at this manager,
+    /// arrival to completion, re-drives included.
+    request_ns: std::sync::Arc<Histogram>,
+    /// `dist.inflight`: live mirror of `rho` for dashboards.
+    inflight_gauge: std::sync::Arc<Gauge>,
     /// For dispatch spans and dedupe/redrive instants.
     metrics: MetricsHandle,
 }
@@ -212,6 +224,9 @@ impl DirectoryManager {
             copyupdate_rounds: metrics.counter("dist.copyupdate_rounds"),
             resends_copyupdate: metrics.counter("dist.resends.copyupdate"),
             resends_gc: metrics.counter("dist.resends.gc"),
+            requests: metrics.counter("dist.requests"),
+            request_ns: metrics.histogram("dist.request_ns"),
+            inflight_gauge: metrics.gauge("dist.inflight"),
             metrics: metrics.clone(),
         }
     }
@@ -219,6 +234,28 @@ impl DirectoryManager {
     /// Figure 13's `alpha`: outstanding unacked copyupdates.
     fn alpha(&self) -> usize {
         self.outstanding_updates.len()
+    }
+
+    /// Mirror `rho` into the `dist.inflight` gauge; call after every
+    /// change so a live snapshot always sees the current depth.
+    fn sync_inflight(&self) {
+        self.inflight_gauge.set(self.rho as i64);
+    }
+
+    /// Record a completed (or abandoned) request's end-to-end latency:
+    /// the `dist.request_ns` histogram plus the slow-op log (a no-op
+    /// unless a threshold is armed).
+    fn observe_latency(&self, ctx: &Context) {
+        let ns = ctx.started.elapsed().as_nanos() as u64;
+        self.request_ns.record(ns);
+        let kind = match ctx.op {
+            OpKind::Find => "find",
+            OpKind::Insert => "insert",
+            OpKind::Delete => "delete",
+        };
+        self.metrics
+            .slow_ops()
+            .observe(kind, ns, ctx.ctx.trace_id, ctx.key.0);
     }
 
     /// The server loop (`while (true) { messageid = GetMessage (&msg); … }`),
@@ -302,6 +339,7 @@ impl DirectoryManager {
             if let Some(ctx) = self.contexts.remove(&txn) {
                 self.inflight.remove(&(ctx.user_port, ctx.req_id));
                 self.rho -= 1;
+                self.sync_inflight();
             }
         }
         // Retry dedupe. Prune first: the client is sequential per port
@@ -338,11 +376,14 @@ impl DirectoryManager {
                 req_id,
                 attempt: 0,
                 sent_at: Instant::now(),
+                started: Instant::now(),
                 ctx,
             },
         );
         self.inflight.insert((user_port, req_id), txn);
         self.rho += 1;
+        self.requests.inc();
+        self.sync_inflight();
         self.contact_bucket(txn);
     }
 
@@ -398,7 +439,9 @@ impl DirectoryManager {
             );
             self.metrics
                 .trace_end(ctx.ctx, "dist", "dispatch", ctx.key.0, txn);
+            self.observe_latency(&ctx);
             self.rho -= 1;
+            self.sync_inflight();
         }
     }
 
@@ -409,7 +452,9 @@ impl DirectoryManager {
             self.inflight.remove(&(ctx.user_port, ctx.req_id));
             self.metrics
                 .trace_end(ctx.ctx, "dist", "dispatch", ctx.key.0, txn);
+            self.observe_latency(&ctx);
             self.rho -= 1;
+            self.sync_inflight();
         }
     }
 

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admin;
 mod bucket_mgr;
 mod client;
 mod cluster;
@@ -58,6 +59,7 @@ pub mod wire;
 /// processes ([`node`]).
 pub type DistNet = std::sync::Arc<dyn ceh_net::Transport<Msg>>;
 
+pub use admin::{AdminClient, NodeStats};
 pub use client::DistClient;
 pub use cluster::{Cluster, ClusterConfig};
 pub use msg::Msg;

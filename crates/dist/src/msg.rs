@@ -33,6 +33,13 @@ use ceh_types::{BucketLink, DeleteOutcome, InsertOutcome, Key, PageId, Pseudokey
 
 use crate::replica::DirUpdate;
 
+/// The observability plane's message classes, exempted from every
+/// probabilistic fault rule when a plan is installed on a serve node
+/// (`FaultPlan::exempt_classes`): the dashboard must see through the
+/// chaos it is watching. Structural faults (a dead node) still apply —
+/// that is the poller's stale path.
+pub const ADMIN_CLASSES: &[&str] = &["stats-request", "stats-reply"];
+
 /// Which user operation a request/bucket message drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
@@ -298,6 +305,22 @@ pub enum Msg {
         /// Garbage pages remembered but not yet collected.
         pending_garbage: usize,
     },
+    /// Observability plane → any node's admin port: send back a live
+    /// stats snapshot. Fault-exempt on the wire (the dashboard must see
+    /// through the chaos it is watching) but never retried: a node that
+    /// does not answer within the poller's deadline is reported stale.
+    StatsRequest {
+        /// Where to send the `StatsReply`.
+        reply_port: PortId,
+    },
+    /// Reply to `StatsRequest`: one node's live snapshot as JSON
+    /// (validated against `schemas/live_snapshot.schema.json` on the
+    /// consumer side). JSON rather than a struct so the dashboard
+    /// never needs a lockstep upgrade with every new gauge.
+    StatsReply {
+        /// The snapshot document.
+        json: String,
+    },
     /// Orderly shutdown of a manager loop.
     Shutdown,
 }
@@ -329,6 +352,8 @@ impl MsgClass for Msg {
             Msg::GcAck { .. } => "gc-ack",
             Msg::Status { .. } => "status",
             Msg::StatusReply { .. } => "status-reply",
+            Msg::StatsRequest { .. } => "stats-request",
+            Msg::StatsReply { .. } => "stats-reply",
             Msg::Shutdown => "shutdown",
         }
     }

@@ -149,7 +149,12 @@ impl ClusterSpec {
 
     /// A [`TcpConfig`] for spec entry `idx` (or, with `idx == None`, for
     /// a dial-only client node with the given id).
-    fn tcp_config(&self, idx: Option<usize>, client_node: u16, opts: &NodeOptions) -> TcpConfig {
+    pub(crate) fn tcp_config(
+        &self,
+        idx: Option<usize>,
+        client_node: u16,
+        opts: &NodeOptions,
+    ) -> TcpConfig {
         let mut cfg = match idx {
             Some(i) => TcpConfig::new(self.node_id(i)).listen(self.nodes[i].1),
             None => TcpConfig::new(client_node),
@@ -212,6 +217,10 @@ pub struct NodeOptions {
     pub bootstrap_timeout_ms: u64,
     /// Connection supervisor tuning (heartbeats, backoff, deadlines).
     pub supervisor: SupervisorConfig,
+    /// Operations slower than this land in the node's slow-op log
+    /// (surfaced by the admin endpoint and `ceh top --slow`). `0`
+    /// disables capture entirely.
+    pub slow_op_threshold_ms: u64,
 }
 
 impl Default for NodeOptions {
@@ -226,6 +235,7 @@ impl Default for NodeOptions {
             seed: 0,
             bootstrap_timeout_ms: 30_000,
             supervisor: SupervisorConfig::default(),
+            slow_op_threshold_ms: 250,
         }
     }
 }
@@ -251,6 +261,8 @@ pub struct ServeNode {
     plane: TcpPlane<Msg>,
     metrics: MetricsHandle,
     handle: Option<std::thread::JoinHandle<Result<()>>>,
+    admin: Option<std::thread::JoinHandle<()>>,
+    admin_stop: Arc<std::sync::atomic::AtomicBool>,
     role: NodeRole,
     node: u16,
     fault_plan: Option<String>,
@@ -271,10 +283,21 @@ impl ServeNode {
             )));
         }
         let metrics = MetricsHandle::new();
+        if opts.slow_op_threshold_ms > 0 {
+            metrics
+                .slow_ops()
+                .enable(opts.slow_op_threshold_ms * 1_000_000, 256);
+        }
         let cfg = spec.tcp_config(Some(idx), 0, opts);
         let plane: TcpPlane<Msg> = TcpPlane::start(cfg, &metrics)
             .map_err(|e| Error::Io(format!("binding {}: {e}", spec.nodes[idx].1)))?;
-        plane.set_fault_plan(opts.faults.clone());
+        // The admin endpoint must see through whatever chaos it is
+        // watching: stats frames bypass every probabilistic fault rule.
+        plane.set_fault_plan(
+            opts.faults
+                .clone()
+                .map(|p| p.exempt_classes(crate::msg::ADMIN_CLASSES)),
+        );
         let net: DistNet = Arc::new(plane.clone());
         let role = spec.nodes[idx].0;
         let role_idx = spec.role_index(idx);
@@ -326,10 +349,29 @@ impl ServeNode {
                     .expect("spawn directory manager")
             }
         };
+        // The live observability plane: an admin port answering
+        // StatsRequest with windowed snapshots of this node's registry.
+        let admin_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let admin = {
+            let plane = plane.clone();
+            let metrics = metrics.clone();
+            let node = spec.node_id(idx);
+            let peers: Vec<u16> = (0..spec.nodes.len())
+                .filter(|&j| j != idx)
+                .map(|j| spec.node_id(j))
+                .collect();
+            let stop = admin_stop.clone();
+            std::thread::Builder::new()
+                .name(format!("admin-{node}"))
+                .spawn(move || crate::admin::run_admin(plane, metrics, node, role, peers, stop))
+                .expect("spawn admin endpoint")
+        };
         Ok(ServeNode {
             plane,
             metrics,
             handle: Some(handle),
+            admin: Some(admin),
+            admin_stop,
             role,
             node: spec.node_id(idx),
             fault_plan: opts.faults.as_ref().map(FaultPlan::describe),
@@ -370,7 +412,12 @@ impl ServeNode {
             Some(h) => h.join().map_err(|_| Error::Io("manager panicked".into()))?,
             None => Ok(()),
         };
+        self.admin_stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
         self.plane.close();
+        if let Some(h) = self.admin.take() {
+            let _ = h.join();
+        }
         out
     }
 }
@@ -512,7 +559,11 @@ impl TcpClusterClient {
         let cfg = spec.tcp_config(None, client_node, opts);
         let plane: TcpPlane<Msg> = TcpPlane::start(cfg, &metrics)
             .map_err(|e| Error::Io(format!("starting client plane: {e}")))?;
-        plane.set_fault_plan(opts.faults.clone());
+        plane.set_fault_plan(
+            opts.faults
+                .clone()
+                .map(|p| p.exempt_classes(crate::msg::ADMIN_CLASSES)),
+        );
         let names = spec.all_names();
         if !wait_for_names(
             &plane,

@@ -49,6 +49,8 @@ const TAG_GC_ACK: u8 = 18;
 const TAG_STATUS: u8 = 19;
 const TAG_STATUS_REPLY: u8 = 20;
 const TAG_SHUTDOWN: u8 = 21;
+const TAG_STATS_REQUEST: u8 = 22;
+const TAG_STATS_REPLY: u8 = 23;
 
 fn put_ctx(w: &mut WireWriter, ctx: TraceCtx) {
     w.u64(ctx.trace_id);
@@ -487,6 +489,14 @@ impl WireMsg for Msg {
                 }
                 w.u64(*pending_garbage as u64);
             }
+            Msg::StatsRequest { reply_port } => {
+                w.u8(TAG_STATS_REQUEST);
+                w.u64(reply_port.0);
+            }
+            Msg::StatsReply { json } => {
+                w.u8(TAG_STATS_REPLY);
+                w.str(json);
+            }
             Msg::Shutdown => w.u8(TAG_SHUTDOWN),
         }
     }
@@ -620,6 +630,12 @@ impl WireMsg for Msg {
                     entries
                 },
                 pending_garbage: r.u64()? as usize,
+            },
+            TAG_STATS_REQUEST => Msg::StatsRequest {
+                reply_port: PortId(r.u64()?),
+            },
+            TAG_STATS_REPLY => Msg::StatsReply {
+                json: r.str()?.to_string(),
             },
             TAG_SHUTDOWN => Msg::Shutdown,
             _ => return Err(WireError::Malformed("unknown Msg tag")),
@@ -834,6 +850,15 @@ mod tests {
                     },
                 ],
                 pending_garbage: 5,
+            },
+            Msg::StatsRequest {
+                reply_port: PortId::for_node(2, 7),
+            },
+            Msg::StatsReply {
+                json: "{\"node\":3,\"counters\":{\"dist.requests\":42}}".to_string(),
+            },
+            Msg::StatsReply {
+                json: String::new(),
             },
             Msg::Shutdown,
         ];

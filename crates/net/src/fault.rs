@@ -150,6 +150,10 @@ impl FaultProbs {
 pub struct FaultPlan {
     seed: u64,
     rules: Vec<Rule>,
+    /// Classes the probabilistic rules never touch (admin/control
+    /// traffic). Structural faults (blackholes, cuts) still apply: a
+    /// crashed process answers nothing, exempt or not.
+    exempt: HashSet<String>,
 }
 
 impl FaultPlan {
@@ -159,6 +163,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             rules: Vec::new(),
+            exempt: HashSet::new(),
         }
     }
 
@@ -318,6 +323,31 @@ impl FaultPlan {
         self
     }
 
+    /// Exempt `class` from every probabilistic rule, present and
+    /// future — including the `*_all` wildcards. The observability
+    /// plane installs this for its stats traffic: a chaos plan that
+    /// drops every application frame must not blind the dashboard
+    /// watching the chaos. Structural faults (blackholes, one-way
+    /// cuts) are *not* bypassed: they model a dead process or a cut
+    /// link, and those answer nothing regardless of class.
+    pub fn exempt_class(mut self, class: impl Into<String>) -> Self {
+        self.exempt.insert(class.into());
+        self
+    }
+
+    /// Exempt every listed class (see [`FaultPlan::exempt_class`]).
+    pub fn exempt_classes(mut self, classes: &[&str]) -> Self {
+        for c in classes {
+            self.exempt.insert((*c).to_string());
+        }
+        self
+    }
+
+    /// Is `class` exempt from the probabilistic rules?
+    pub fn is_exempt(&self, class: &str) -> bool {
+        self.exempt.contains(class)
+    }
+
     /// Does this plan inject any probabilistic faults at all?
     pub fn is_faulty(&self) -> bool {
         self.rules.iter().any(|r| {
@@ -345,6 +375,11 @@ impl FaultPlan {
                 out.push_str(&format!(" delay({target})={}@{}ms", r.delay, r.delay_ms));
             }
         }
+        if !self.exempt.is_empty() {
+            let mut classes: Vec<&str> = self.exempt.iter().map(String::as_str).collect();
+            classes.sort_unstable();
+            out.push_str(&format!(" exempt({})", classes.join(",")));
+        }
         out
     }
 
@@ -352,6 +387,9 @@ impl FaultPlan {
     /// independent draws, so probabilities combine as `1 - Π(1 - p)`
     /// (and delay hold times combine as the max over matching rules).
     pub fn probabilities(&self, class: &str) -> FaultProbs {
+        if self.exempt.contains(class) {
+            return FaultProbs::default();
+        }
         let mut keep = [1.0f64; 5];
         let mut delay_ms = 0u64;
         for r in &self.rules {
@@ -696,6 +734,37 @@ mod tests {
         assert!(d.contains("garble(find)=0.02"), "{d}");
         assert!(d.contains("sever(*)=0.001"), "{d}");
         assert!(d.contains("delay(insert)=0.1@25ms"), "{d}");
+    }
+
+    #[test]
+    fn exempt_classes_bypass_even_wildcard_rules_but_not_structural_faults() {
+        // The admin plane's contract: a chaos plan that drops, severs,
+        // and delays EVERYTHING must leave exempt (stats) traffic
+        // untouched...
+        let plan = FaultPlan::new(13)
+            .drop_all(1.0)
+            .sever_all(1.0)
+            .delay_all(1.0, 50)
+            .exempt_classes(&["stats-request", "stats-reply"]);
+        assert!(plan.is_exempt("stats-request"));
+        assert!(!plan.is_exempt("request"));
+        assert_eq!(plan.probabilities("stats-reply"), FaultProbs::default());
+        assert_eq!(plan.probabilities("request").drop, 1.0);
+        assert!(plan
+            .describe()
+            .contains("exempt(stats-reply,stats-request)"));
+
+        let mut st = FaultState::default();
+        st.set_plan(Some(plan));
+        for _ in 0..100 {
+            assert_eq!(st.verdict("stats-request", PortId(1)), Verdict::Deliver);
+            assert!(st.frame_verdict("stats-reply", PortId(1)).is_clean());
+            assert_eq!(st.verdict("request", PortId(1)), Verdict::Drop);
+        }
+        // ...but a blackholed (dead) port still answers nothing.
+        st.blackhole(PortId(2));
+        assert_eq!(st.verdict("stats-request", PortId(2)), Verdict::Drop);
+        assert!(st.frame_verdict("stats-request", PortId(2)).drop);
     }
 
     #[test]

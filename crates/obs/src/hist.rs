@@ -198,6 +198,32 @@ impl Histogram {
         self.min.store(u64::MAX, Ordering::Relaxed);
     }
 
+    /// A raw point-in-time capture of the bucket counts, for windowed
+    /// (delta) statistics: two captures of the same histogram subtract
+    /// bucket-wise ([`HistogramCapture::since`]) into the distribution
+    /// of just the samples recorded between them. Sparse — only
+    /// nonzero buckets are stored — so a capture of a mostly-idle
+    /// histogram is a few dozen bytes, cheap enough to take every
+    /// second.
+    ///
+    /// Concurrent recording during a capture yields a sample of *some*
+    /// recent state (same contract as [`Histogram::quantile`]); the
+    /// delta math saturates, so skew can never underflow.
+    pub fn capture(&self) -> HistogramCapture {
+        let mut counts = Vec::new();
+        for (idx, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                counts.push((idx as u16, n));
+            }
+        }
+        HistogramCapture {
+            counts,
+            count: self.len(),
+            sum: self.sum(),
+        }
+    }
+
     /// A plain-data summary for reports.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -243,6 +269,137 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+}
+
+/// A raw, sparse copy of a [`Histogram`]'s buckets at one instant.
+/// Produced by [`Histogram::capture`]; consumed by
+/// [`HistogramCapture::since`] to form a [`HistogramWindow`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramCapture {
+    /// `(bucket index, count)` for every nonzero bucket, ascending.
+    counts: Vec<(u16, u64)>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramCapture {
+    /// Total samples at capture time.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples at capture time (wrapping, like the histogram).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The distribution of samples recorded between `earlier` and
+    /// `self` (two captures of the *same* histogram, `earlier` taken
+    /// first): bucket-wise saturating subtraction. Identical captures
+    /// — an idle window — yield an empty window whose every quantile
+    /// is 0.
+    pub fn since(&self, earlier: &HistogramCapture) -> HistogramWindow {
+        let mut counts = Vec::new();
+        let mut count = 0u64;
+        let mut j = 0usize;
+        for &(idx, n) in &self.counts {
+            while j < earlier.counts.len() && earlier.counts[j].0 < idx {
+                j += 1;
+            }
+            let old = match earlier.counts.get(j) {
+                Some(&(eidx, en)) if eidx == idx => en,
+                _ => 0,
+            };
+            let d = n.saturating_sub(old);
+            if d > 0 {
+                counts.push((idx, d));
+                count += d;
+            }
+        }
+        HistogramWindow {
+            counts,
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+        }
+    }
+}
+
+/// The distribution of samples recorded inside one interval, from
+/// bucket subtraction of two [`HistogramCapture`]s.
+///
+/// Quantiles follow the crate's single percentile definition (nearest
+/// rank, reported as the bucket's lower bound) with one documented
+/// deviation: there is no clamp into `[min, max]`, because exact
+/// per-window extremes are not recoverable from monotone bucket
+/// counts. An empty window reports 0 for every statistic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramWindow {
+    counts: Vec<(u16, u64)>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramWindow {
+    /// Samples recorded inside the window.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// No samples inside the window?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of the window's samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of the window's samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile over the window's buckets, reported as
+    /// the bucket's lower bound; 0 when the window is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank =
+            ((q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64).min(self.count - 1);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.counts {
+            seen += n;
+            if seen > rank {
+                return Histogram::bucket_floor(idx as usize);
+            }
+        }
+        self.counts
+            .last()
+            .map(|&(idx, _)| Histogram::bucket_floor(idx as usize))
+            .unwrap_or(0)
+    }
+
+    /// A plain-data summary of the window, in the same shape reports
+    /// use for whole histograms. `min`/`max` are the p0/p100 bucket
+    /// floors (per-window exact extremes are not recoverable).
+    pub fn summary(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            min: self.quantile(0.0),
+            max: self.quantile(1.0),
+            sum: self.sum,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -359,6 +516,96 @@ mod tests {
         assert_eq!(h.len(), 40_000);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 39_999);
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_and_empty_window_is_zero() {
+        // The two edge cases windowed math hits constantly: a
+        // histogram nobody recorded into, and the delta of identical
+        // captures (an idle interval). Both must report 0 everywhere —
+        // no panic, no NaN.
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        let empty = h.capture().since(&h.capture());
+        assert!(empty.is_empty());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+        assert_eq!(empty.mean(), 0.0);
+        assert!(empty.mean().is_finite(), "no NaN from an empty window");
+        assert_eq!(empty.summary(), HistogramSnapshot::default());
+
+        h.record(123);
+        h.record(456);
+        let c = h.capture();
+        let idle = c.since(&c);
+        assert!(idle.is_empty(), "identical captures mean an idle window");
+        assert_eq!(idle.quantile(0.99), 0);
+        assert_eq!(idle.sum(), 0);
+    }
+
+    #[test]
+    fn window_delta_isolates_the_interval() {
+        let h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let before = h.capture();
+        for v in 100_000..=200_000u64 {
+            h.record(v);
+        }
+        let w = h.capture().since(&before);
+        assert_eq!(w.count(), 100_001);
+        assert_eq!(
+            w.sum(),
+            (100_000..=200_000u64).sum::<u64>(),
+            "window sum is the interval's sum"
+        );
+        // The window sees only the new samples, not the old 1..=1000.
+        let p50 = w.quantile(0.5) as f64;
+        assert!(
+            (p50 - 150_000.0).abs() / 150_000.0 < 0.07,
+            "window p50 {p50} should be ~150000"
+        );
+        assert!(w.quantile(0.0) >= Histogram::bucket_floor(Histogram::bucket_of(100_000)));
+        // The full histogram still reports the global distribution
+        // (rank ~101 of 101_001 lands in the old 1..=1000 samples).
+        assert!(h.quantile(0.001) < 50_000);
+    }
+
+    #[test]
+    fn all_one_bucket_window_reports_the_bucket_floor() {
+        // Every sample in one bucket: all quantiles agree on the
+        // bucket's floor, and nothing divides by zero on the way.
+        let h = Histogram::new();
+        let before = h.capture();
+        for _ in 0..50 {
+            h.record(1_000);
+        }
+        let w = h.capture().since(&before);
+        assert_eq!(w.count(), 50);
+        let floor = Histogram::bucket_floor(Histogram::bucket_of(1_000));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(w.quantile(q), floor, "q{q}");
+        }
+        assert!((w.mean() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capture_is_sparse() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(1 << 30);
+        let c = h.capture();
+        assert_eq!(c.count(), 3);
+        // Two nonzero buckets, not 1024 slots.
+        assert_eq!(
+            c.since(&HistogramCapture::default()).count(),
+            3,
+            "delta against the default (empty) capture is the whole histogram"
+        );
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //!   [registry](MetricsHandle::snapshot) of named metrics. Layers
 //!   resolve their named instruments once at construction and hold the
 //!   `Arc`s, so steady-state recording never touches the registry;
+//! * [`SnapshotRing`] / [`WindowDelta`] — windowed delta snapshots for
+//!   live dashboards: interval rates from monotone counters and
+//!   per-window p50/p99 from histogram bucket subtraction, without
+//!   resetting global state;
+//! * [`SlowOpLog`] — a bounded ring of operations whose latency crossed
+//!   a configurable threshold, each stamped with its trace id;
 //! * [`RunReport`] — one coherent snapshot of an entire run (all
 //!   layers, one registry), rendered as JSON ([`RunReport::to_json`])
 //!   or a pretty table ([`RunReport::to_table`]);
@@ -59,13 +65,17 @@ mod history;
 pub mod json;
 mod registry;
 mod report;
+mod slowlog;
 mod trace;
 mod trace_report;
+mod window;
 
 pub use counter::{Counter, Gauge};
-pub use hist::{Histogram, HistogramSnapshot};
+pub use hist::{Histogram, HistogramCapture, HistogramSnapshot, HistogramWindow};
 pub use history::{HistKind, HistRecord, HistResult, HistToken, HistoryLog};
 pub use registry::{MetricsHandle, MetricsSnapshot};
 pub use report::RunReport;
+pub use slowlog::{SlowOp, SlowOpLog};
 pub use trace::{CtxScope, EventKind, SpanId, TraceCtx, TraceEvent, Tracer};
 pub use trace_report::{lock_target_label, ContentionEntry, Span, TraceReport, TraceTree};
+pub use window::{Sample, SnapshotRing, WindowDelta};

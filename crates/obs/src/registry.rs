@@ -2,19 +2,36 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 use crate::counter::{Counter, Gauge};
-use crate::hist::{Histogram, HistogramSnapshot};
+use crate::hist::{Histogram, HistogramCapture, HistogramSnapshot};
 use crate::history::HistoryLog;
+use crate::slowlog::SlowOpLog;
 use crate::trace::{SpanId, TraceCtx, Tracer};
 
-#[derive(Default)]
 struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
     tracer: Tracer,
     history: HistoryLog,
+    slow: SlowOpLog,
+    epoch: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            counters: RwLock::default(),
+            gauges: RwLock::default(),
+            hists: RwLock::default(),
+            tracer: Tracer::default(),
+            history: HistoryLog::default(),
+            slow: SlowOpLog::default(),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 /// A cheaply clonable handle to one shared metrics registry.
@@ -105,6 +122,18 @@ impl MetricsHandle {
         &self.reg.history
     }
 
+    /// The registry's slow-op log (disabled by default; see
+    /// [`SlowOpLog`]).
+    pub fn slow_ops(&self) -> &SlowOpLog {
+        &self.reg.slow
+    }
+
+    /// Time since this registry was created — the process uptime when
+    /// one registry spans the process (the `ceh serve` wiring).
+    pub fn uptime(&self) -> Duration {
+        self.reg.epoch.elapsed()
+    }
+
     /// A fresh span id (shorthand for `tracer().new_span()`).
     pub fn new_span(&self) -> SpanId {
         self.reg.tracer.new_span()
@@ -185,6 +214,19 @@ impl MetricsHandle {
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
         }
+    }
+
+    /// Raw sparse bucket captures of every registered histogram, for
+    /// windowed delta math ([`crate::SnapshotRing`]); the summary-level
+    /// counterpart lives in [`MetricsHandle::snapshot`].
+    pub fn capture_hists(&self) -> BTreeMap<String, HistogramCapture> {
+        self.reg
+            .hists
+            .read()
+            .expect("registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.capture()))
+            .collect()
     }
 
     /// Zero every registered metric (between benchmark phases).

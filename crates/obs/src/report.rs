@@ -29,10 +29,30 @@ pub struct RunReport {
 
 impl RunReport {
     /// Snapshot `handle` into a named report.
+    ///
+    /// Stamps the registry's uptime into the `obs.uptime_seconds`
+    /// gauge and the build identity (crate version, plus the git hash
+    /// when the build exported `CEH_BUILD_GIT_HASH`) into the
+    /// metadata, so every report says *what* produced it and for how
+    /// long it had been running.
     pub fn collect(name: &str, handle: &MetricsHandle) -> Self {
+        handle
+            .gauge("obs.uptime_seconds")
+            .set(handle.uptime().as_secs() as i64);
+        let mut meta = BTreeMap::new();
+        meta.insert(
+            "build.version".to_string(),
+            env!("CARGO_PKG_VERSION").to_string(),
+        );
+        meta.insert(
+            "build.git".to_string(),
+            option_env!("CEH_BUILD_GIT_HASH")
+                .unwrap_or("unknown")
+                .to_string(),
+        );
         RunReport {
             name: name.to_string(),
-            meta: BTreeMap::new(),
+            meta,
             metrics: handle.snapshot(),
             trace_buffered: handle.tracer().len() as u64,
             trace_dropped: handle.tracer().dropped(),
@@ -187,10 +207,7 @@ impl RunReport {
                 }
             }
         }
-        if self.metrics.counters.is_empty()
-            && self.metrics.gauges.is_empty()
-            && self.metrics.hists.is_empty()
-        {
+        if groups.is_empty() {
             out.push_str("  (no metrics recorded)\n");
         }
         out
@@ -274,5 +291,28 @@ mod tests {
         assert!(report.to_table().contains("no metrics recorded"));
         let doc = parse(&report.to_json()).unwrap();
         assert_eq!(doc.get("counters").unwrap(), &Json::Obj(BTreeMap::new()));
+    }
+
+    #[test]
+    fn collect_stamps_uptime_and_build_info() {
+        let report = RunReport::collect("id", &MetricsHandle::new());
+        assert_eq!(
+            report.meta.get("build.version").map(String::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(report.meta.contains_key("build.git"));
+        assert!(
+            report.metrics.gauges.contains_key("obs.uptime_seconds"),
+            "uptime gauge registered by collect()"
+        );
+        let doc = parse(&report.to_json()).unwrap();
+        let secs = doc
+            .get("gauges")
+            .unwrap()
+            .get("obs.uptime_seconds")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(secs < 3600, "a fresh registry has tiny uptime");
     }
 }

@@ -1,0 +1,270 @@
+//! The slow-operation log: a bounded ring of operations whose latency
+//! crossed a configurable threshold.
+//!
+//! Aggregates (histograms, windowed p99s) say the tail got worse;
+//! the slow-op log says *which operations* sat in it. Each entry is
+//! stamped with the operation's `trace_id`, so a slow request can be
+//! cross-referenced into the causal trace timeline
+//! ([`crate::TraceReport`]) when tracing is on.
+//!
+//! Same discipline as the [`crate::Tracer`] ring: disabled by default
+//! (one relaxed atomic load per probe), bounded memory (newest entries
+//! win), overwrites counted ([`SlowOpLog::dropped`]) and surfaced in
+//! snapshots so a truncated log is never silently trusted, and the
+//! hot path never blocks — the ring mutex is only touched by the
+//! already-slow operations that cross the threshold.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One operation that crossed the slow threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowOp {
+    /// What ran ("find", "insert", "bucket_op", …).
+    pub kind: &'static str,
+    /// How long it took, in nanoseconds.
+    pub latency_ns: u64,
+    /// The operation's trace id (0 when tracing was off), for
+    /// cross-referencing into the trace timeline.
+    pub trace_id: u64,
+    /// Operation detail — typically the key.
+    pub key: u64,
+    /// When the operation completed (for age reporting).
+    pub at: Instant,
+}
+
+struct Ring {
+    buf: VecDeque<SlowOp>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// The bounded slow-op ring. One per registry
+/// ([`crate::MetricsHandle::slow_ops`]); see the module docs.
+pub struct SlowOpLog {
+    /// 0 = disabled. A single relaxed load gates the hot path.
+    threshold_ns: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Default for SlowOpLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlowOpLog {
+    /// A disabled log (the default state).
+    pub fn new() -> SlowOpLog {
+        SlowOpLog {
+            threshold_ns: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                capacity: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Start capturing operations slower than `threshold_ns`, keeping
+    /// the newest `capacity` entries.
+    ///
+    /// Same idempotence contract as [`crate::Tracer::enable`]:
+    /// re-enabling with the same capacity keeps the buffered entries
+    /// and the `dropped` count; a capacity *change* resizes the ring,
+    /// clearing both. Changing only the threshold never clears.
+    pub fn enable(&self, threshold_ns: u64, capacity: usize) {
+        let capacity = capacity.max(1);
+        {
+            let mut r = self.ring.lock().expect("slow-op ring");
+            if r.capacity != capacity {
+                r.capacity = capacity;
+                r.buf.clear();
+                r.dropped = 0;
+            }
+        }
+        self.threshold_ns
+            .store(threshold_ns.max(1), Ordering::Release);
+    }
+
+    /// Stop capturing (buffered entries stay).
+    pub fn disable(&self) {
+        self.threshold_ns.store(0, Ordering::Release);
+    }
+
+    /// Is the log capturing?
+    pub fn is_enabled(&self) -> bool {
+        self.threshold_ns.load(Ordering::Relaxed) != 0
+    }
+
+    /// The active threshold in nanoseconds (0 = disabled).
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Hot-path probe: record the operation if it crossed the
+    /// threshold. Fast path (disabled, or under threshold) is one
+    /// relaxed load and a compare — no locks, no allocation.
+    #[inline]
+    pub fn observe(&self, kind: &'static str, latency_ns: u64, trace_id: u64, key: u64) {
+        let t = self.threshold_ns.load(Ordering::Relaxed);
+        if t == 0 || latency_ns < t {
+            return;
+        }
+        self.record_slow(kind, latency_ns, trace_id, key);
+    }
+
+    #[cold]
+    fn record_slow(&self, kind: &'static str, latency_ns: u64, trace_id: u64, key: u64) {
+        let op = SlowOp {
+            kind,
+            latency_ns,
+            trace_id,
+            key,
+            at: Instant::now(),
+        };
+        let mut r = self.ring.lock().expect("slow-op ring");
+        if r.buf.len() == r.capacity {
+            r.buf.pop_front();
+            r.dropped += 1;
+        }
+        r.buf.push_back(op);
+    }
+
+    /// A non-destructive copy of the buffered entries, oldest first.
+    /// (Unlike [`crate::Tracer::drain`] this does not empty the ring:
+    /// several dashboards may poll the same node.)
+    pub fn entries(&self) -> Vec<SlowOp> {
+        let r = self.ring.lock().expect("slow-op ring");
+        r.buf.iter().copied().collect()
+    }
+
+    /// Entries currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("slow-op ring").buf.len()
+    }
+
+    /// Nothing buffered?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("slow-op ring").dropped
+    }
+}
+
+impl std::fmt::Debug for SlowOpLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowOpLog")
+            .field("threshold_ns", &self.threshold_ns())
+            .field("buffered", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = SlowOpLog::new();
+        log.observe("find", u64::MAX, 1, 2);
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn threshold_gates_capture() {
+        let log = SlowOpLog::new();
+        log.enable(1_000, 8);
+        log.observe("fast", 999, 0, 1);
+        log.observe("slow", 1_000, 7, 2);
+        log.observe("slower", 5_000, 8, 3);
+        let ops = log.entries();
+        assert_eq!(ops.len(), 2, "under-threshold ops are not captured");
+        assert_eq!(ops[0].kind, "slow");
+        assert_eq!(ops[0].trace_id, 7);
+        assert_eq!(ops[1].key, 3);
+        assert_eq!(log.len(), 2, "entries() is non-destructive");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let log = SlowOpLog::new();
+        log.enable(1, 4);
+        for i in 0..10u64 {
+            log.observe("op", 100 + i, 0, i);
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped(), 6);
+        let ops = log.entries();
+        assert_eq!(ops[0].key, 6, "oldest surviving entry");
+        assert_eq!(ops[3].key, 9, "newest entry");
+    }
+
+    #[test]
+    fn reenable_same_capacity_keeps_buffer_threshold_change_does_not_clear() {
+        let log = SlowOpLog::new();
+        log.enable(100, 2);
+        log.observe("a", 200, 0, 1);
+        log.observe("b", 200, 0, 2);
+        log.observe("c", 200, 0, 3);
+        assert_eq!(log.dropped(), 1);
+        log.enable(100, 2); // idempotent
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        log.enable(500, 2); // threshold change only: keeps everything
+        assert_eq!(log.threshold_ns(), 500);
+        assert_eq!(log.len(), 2);
+        log.observe("d", 300, 0, 4);
+        assert_eq!(log.len(), 2, "new threshold applies");
+        log.enable(500, 8); // capacity change clears
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_under_threads_counts_every_drop() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const OPS: u64 = 500;
+        const CAPACITY: usize = 32; // far smaller than the op volume
+        let log = Arc::new(SlowOpLog::new());
+        log.enable(1, CAPACITY);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        log.observe("op", 100, t, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every over-threshold op either sits in the ring or was
+        // counted as dropped; nothing blocked or panicked.
+        assert_eq!(log.len(), CAPACITY);
+        assert_eq!(log.dropped() + log.len() as u64, THREADS * OPS);
+    }
+
+    #[test]
+    fn disable_keeps_entries_for_inspection() {
+        let log = SlowOpLog::new();
+        log.enable(1, 4);
+        log.observe("op", 10, 0, 1);
+        log.disable();
+        log.observe("op", 10, 0, 2);
+        assert_eq!(log.len(), 1, "disabled probe is a no-op");
+        assert_eq!(log.entries()[0].key, 1);
+    }
+}

@@ -510,4 +510,32 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn overflow_under_threads_counts_every_drop_and_never_loses_events() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const EVENTS: u64 = 500;
+        const CAPACITY: usize = 64; // far smaller than the event volume
+        let t = Arc::new(Tracer::new());
+        t.enable(CAPACITY);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let s = t.new_span();
+                    for i in 0..EVENTS {
+                        t.record(s, "test", "tick", i, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // At capacity every record evicts one event: buffered + dropped
+        // accounts for all of them, and nothing panicked or deadlocked.
+        assert_eq!(t.len(), CAPACITY);
+        assert_eq!(t.dropped() + t.len() as u64, THREADS * EVENTS);
+    }
 }

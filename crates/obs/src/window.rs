@@ -1,0 +1,291 @@
+//! Windowed delta snapshots: "ops/s and tail latency over the last N
+//! seconds" from a live registry, without resetting anything.
+//!
+//! The registry's counters are monotone and its histograms never
+//! forget, which is exactly right for a post-mortem [`crate::RunReport`]
+//! and exactly wrong for a live dashboard: after ten minutes of uptime
+//! a load spike is invisible in the cumulative p99. The fix is
+//! *deltas*: a [`SnapshotRing`] keeps a small ring of timestamped raw
+//! [`Sample`]s (counter values plus sparse histogram bucket captures),
+//! and [`SnapshotRing::window`] subtracts the oldest in-range sample
+//! from the newest — counters become interval counts (divide by the
+//! span for rates), histogram buckets subtract into a
+//! [`HistogramWindow`] whose p50/p99 describe only the interval.
+//!
+//! Global state is never reset, so windowed consumers coexist with
+//! cumulative ones (`ceh stats`, the CI smokes) on the same registry.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::hist::{HistogramCapture, HistogramWindow};
+use crate::registry::MetricsHandle;
+
+/// One timestamped raw sample of a registry: counter values, gauge
+/// levels, and sparse histogram bucket captures.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub at: Instant,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Raw histogram captures by name.
+    pub hists: BTreeMap<String, HistogramCapture>,
+}
+
+impl Sample {
+    /// Sample every instrument registered on `handle` right now.
+    pub fn collect(handle: &MetricsHandle) -> Sample {
+        let snap = handle.snapshot();
+        Sample {
+            at: Instant::now(),
+            counters: snap.counters,
+            gauges: snap.gauges,
+            hists: handle.capture_hists(),
+        }
+    }
+}
+
+/// A fixed-capacity ring of recent [`Sample`]s. Push one per tick
+/// ([`SnapshotRing::sample`], typically ~1 s from a background thread);
+/// ask for the last-N-seconds delta with [`SnapshotRing::window`].
+#[derive(Debug)]
+pub struct SnapshotRing {
+    capacity: usize,
+    inner: Mutex<VecDeque<Sample>>,
+}
+
+impl SnapshotRing {
+    /// A ring keeping the newest `capacity` samples (at least 2 — a
+    /// window needs two endpoints).
+    pub fn new(capacity: usize) -> SnapshotRing {
+        let capacity = capacity.max(2);
+        SnapshotRing {
+            capacity,
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Take a fresh sample of `handle` and push it (evicting the
+    /// oldest when full).
+    pub fn sample(&self, handle: &MetricsHandle) {
+        self.push(Sample::collect(handle));
+    }
+
+    /// Push an externally built sample (tests, replay).
+    pub fn push(&self, sample: Sample) {
+        let mut ring = self.inner.lock().expect("snapshot ring");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(sample);
+    }
+
+    /// Samples currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("snapshot ring").len()
+    }
+
+    /// Nothing buffered yet?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The delta between the newest sample and the oldest sample no
+    /// older than `max_age` before it. `None` until two samples exist
+    /// (there is no interval to describe).
+    pub fn window(&self, max_age: Duration) -> Option<WindowDelta> {
+        let ring = self.inner.lock().expect("snapshot ring");
+        let newest = ring.back()?;
+        let base = ring
+            .iter()
+            .find(|s| newest.at.saturating_duration_since(s.at) <= max_age)?;
+        if std::ptr::eq(base, newest) {
+            // Only one in-range sample: zero-length window, nothing to
+            // subtract against.
+            return None;
+        }
+        Some(WindowDelta::between(base, newest))
+    }
+}
+
+/// The difference between two [`Sample`]s of one registry: counter
+/// deltas, latest gauge levels, and per-window histogram stats.
+#[derive(Debug, Clone)]
+pub struct WindowDelta {
+    /// The interval the delta covers.
+    pub span: Duration,
+    /// Counter deltas by name (events inside the window).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels from the newest sample (levels don't subtract).
+    pub gauges: BTreeMap<String, i64>,
+    /// Per-window histogram distributions by name.
+    pub hists: BTreeMap<String, HistogramWindow>,
+}
+
+impl WindowDelta {
+    /// Subtract `base` from `newest` (two samples of the same
+    /// registry, `base` taken first).
+    pub fn between(base: &Sample, newest: &Sample) -> WindowDelta {
+        let counters = newest
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let old = base.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(old))
+            })
+            .collect();
+        let empty = HistogramCapture::default();
+        let hists = newest
+            .hists
+            .iter()
+            .map(|(k, c)| {
+                let old = base.hists.get(k).unwrap_or(&empty);
+                (k.clone(), c.since(old))
+            })
+            .collect();
+        WindowDelta {
+            span: newest.at.saturating_duration_since(base.at),
+            counters,
+            gauges: newest.gauges.clone(),
+            hists,
+        }
+    }
+
+    /// A counter's delta inside the window (0 if never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's level at the newest sample (0 if never registered).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's per-window distribution (`None` if never
+    /// registered).
+    pub fn hist(&self, name: &str) -> Option<&HistogramWindow> {
+        self.hists.get(name)
+    }
+
+    /// A counter's rate over the window, per second (0.0 for a
+    /// zero-length window — never NaN).
+    pub fn rate(&self, name: &str) -> f64 {
+        let secs = self.span.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.counter(name) as f64 / secs
+    }
+
+    /// Sum of deltas of every counter whose name starts with `prefix`.
+    pub fn prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_needs_two_samples() {
+        let h = MetricsHandle::new();
+        let ring = SnapshotRing::new(8);
+        assert!(ring.window(Duration::from_secs(60)).is_none(), "empty");
+        ring.sample(&h);
+        assert!(
+            ring.window(Duration::from_secs(60)).is_none(),
+            "one sample is not an interval"
+        );
+        ring.sample(&h);
+        assert!(ring.window(Duration::from_secs(60)).is_some());
+    }
+
+    #[test]
+    fn counters_become_interval_counts_and_rates() {
+        let h = MetricsHandle::new();
+        let ring = SnapshotRing::new(8);
+        h.counter("dist.requests").add(100);
+        ring.sample(&h);
+        h.counter("dist.requests").add(40);
+        h.gauge("dist.inflight").set(7);
+        std::thread::sleep(Duration::from_millis(20));
+        ring.sample(&h);
+        let w = ring.window(Duration::from_secs(60)).expect("two samples");
+        assert_eq!(w.counter("dist.requests"), 40, "delta, not cumulative");
+        assert_eq!(w.gauge("dist.inflight"), 7, "gauges are latest levels");
+        assert!(w.span >= Duration::from_millis(20));
+        assert!(w.rate("dist.requests") > 0.0);
+        assert_eq!(w.rate("dist.never"), 0.0);
+    }
+
+    #[test]
+    fn hist_windows_describe_only_the_interval() {
+        let h = MetricsHandle::new();
+        let ring = SnapshotRing::new(8);
+        let lat = h.histogram("dist.request_ns");
+        for _ in 0..1_000 {
+            lat.record(100);
+        }
+        ring.sample(&h);
+        for _ in 0..100 {
+            lat.record(1_000_000);
+        }
+        ring.sample(&h);
+        let w = ring.window(Duration::from_secs(60)).expect("window");
+        let hw = w.hist("dist.request_ns").expect("captured");
+        assert_eq!(hw.count(), 100);
+        assert!(
+            hw.quantile(0.5) >= 900_000,
+            "window p50 {} sees only the slow interval",
+            hw.quantile(0.5)
+        );
+        // Cumulative view still dominated by the fast samples.
+        assert!(lat.quantile(0.5) <= 200);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_max_age_picks_the_base() {
+        let h = MetricsHandle::new();
+        let ring = SnapshotRing::new(4);
+        let t0 = Instant::now();
+        for i in 0..10u64 {
+            h.counter("c").add(1);
+            let mut s = Sample::collect(&h);
+            // Space the samples a synthetic second apart.
+            s.at = t0 + Duration::from_secs(i);
+            ring.push(s);
+        }
+        assert_eq!(ring.len(), 4, "ring keeps the newest capacity samples");
+        // All 4 retained samples (i=6..=9) are within 60s → base is the
+        // oldest retained (i=6, counter 7); newest is i=9 (counter 10).
+        let w = ring.window(Duration::from_secs(60)).expect("window");
+        assert_eq!(w.counter("c"), 3);
+        // A 2s window only reaches back to i=7 (counter 8).
+        let w = ring.window(Duration::from_secs(2)).expect("window");
+        assert_eq!(w.counter("c"), 2);
+    }
+
+    #[test]
+    fn idle_window_is_all_zero() {
+        let h = MetricsHandle::new();
+        h.counter("c").add(5);
+        h.histogram("lat").record(123);
+        let ring = SnapshotRing::new(4);
+        ring.sample(&h);
+        ring.sample(&h);
+        let w = ring.window(Duration::from_secs(60)).expect("window");
+        assert_eq!(w.counter("c"), 0);
+        let hw = w.hist("lat").expect("captured");
+        assert!(hw.is_empty());
+        assert_eq!(hw.quantile(0.99), 0, "idle window quantiles are 0");
+    }
+}

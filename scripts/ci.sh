@@ -35,6 +35,15 @@ echo "=== transport smoke ==="
 # workload's exact oracle must hold both times.
 CEH_QUICK=1 cargo test -q -p ceh-cli --release --test transport_smoke
 
+echo "=== top smoke ==="
+# The live observability plane: a 4-node `ceh serve` cluster under an
+# injected per-frame delay, a short workload, then `ceh top --once
+# --json` — the document must validate against
+# schemas/live_snapshot.schema.json with nonzero windowed ops/s and a
+# populated slow-op entry, and a SIGKILLed bucket manager must show as
+# a marked-stale row within the bounded poll deadline.
+CEH_QUICK=1 cargo test -q -p ceh-cli --release --test top_smoke
+
 echo "=== storage smoke ==="
 # Real durable files: `ceh serve --backend file --data-dir` children are
 # filled, every bucket manager is SIGKILLed with no warning, the
