@@ -106,6 +106,7 @@ fn main() {
         preemption_bound: 3,
         dpor: false,
         max_schedules: 500_000,
+        race: false,
     };
     for name in [
         "s1-insert-insert-split",
@@ -122,6 +123,7 @@ fn main() {
             preemption_bound: 2,
             dpor: true,
             max_schedules: 500_000,
+            race: false,
         },
     );
 

@@ -396,6 +396,7 @@ impl ArcWriteGuard {
         // SAFETY: the guard borrows the RwLock inside `arc`; we keep the
         // Arc alive in the same struct for as long as the guard exists,
         // and declare drop order so the guard dies first.
+        // ceh-lint: allow(unsafe-block) — lifetime extension sound per the SAFETY argument above; safe code can't name the self-referential lifetime
         let guard = unsafe {
             std::mem::transmute::<RwLockWriteGuard<'_, Node>, RwLockWriteGuard<'static, Node>>(
                 arc.write(),

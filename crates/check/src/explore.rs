@@ -38,6 +38,10 @@ pub struct ExploreConfig {
     pub dpor: bool,
     /// Hard cap on executions (the report says if it was hit).
     pub max_schedules: usize,
+    /// Also run the happens-before race detector over every explored
+    /// schedule (requires the `check-race` feature; exploring with this
+    /// set on a build without it is an error, not a silent skip).
+    pub race: bool,
 }
 
 impl Default for ExploreConfig {
@@ -46,6 +50,7 @@ impl Default for ExploreConfig {
             preemption_bound: 3,
             dpor: true,
             max_schedules: 500_000,
+            race: false,
         }
     }
 }
@@ -61,16 +66,21 @@ pub struct Violation {
     pub schedule: Vec<usize>,
     /// What went wrong (first failed check).
     pub detail: String,
+    /// True if the run was race-checked (replay must re-enable the
+    /// detector to reproduce a race violation).
+    pub race: bool,
 }
 
 impl Violation {
-    /// Package as a fixture for `tests/fixtures/schedules/`.
+    /// Package as a fixture for `tests/fixtures/schedules/` (or
+    /// `tests/fixtures/races/` for race violations).
     pub fn to_fixture(&self) -> ScheduleFixture {
         ScheduleFixture {
             workload: self.workload.clone(),
             preemption_bound: self.preemption_bound,
             schedule: self.schedule.clone(),
             violation: Some(self.detail.lines().next().unwrap_or("").to_string()),
+            race: self.race,
         }
     }
 }
@@ -90,17 +100,26 @@ pub struct ExploreReport {
     pub violation: Option<Violation>,
 }
 
-/// Explore every schedule of `w` up to the bound. `Err` is an
-/// infrastructure failure (the workload would not even build), not a
-/// verification result.
-pub fn explore(w: &Workload, cfg: &ExploreConfig) -> Result<ExploreReport, String> {
-    let ccfg = ControllerConfig {
-        preemption_bound: cfg.preemption_bound,
-        dpor: cfg.dpor,
-    };
-    // DFS over schedule prefixes. Decisions at positions < prefix.len()
-    // were enumerated by the run that pushed this prefix; only new
-    // positions fork further prefixes.
+/// Raw result of a [`dfs_explore`] pass: counts plus the first violating
+/// schedule's un-minimized choices and detail.
+pub(crate) struct DfsOutcome {
+    pub schedules: usize,
+    pub truncated: bool,
+    pub violation: Option<(Vec<usize>, String)>,
+}
+
+/// DFS over schedule prefixes, generic over how one prefix is executed
+/// (protocol workloads and litmus programs share this driver). Decisions
+/// at positions < prefix.len() were enumerated by the run that pushed
+/// the prefix; only new positions fork further prefixes.
+pub(crate) fn dfs_explore<F>(
+    mut run: F,
+    cfg: &ExploreConfig,
+    name: &str,
+) -> Result<DfsOutcome, String>
+where
+    F: FnMut(&[usize]) -> Result<(RunOutcome, Option<String>), String>,
+{
     let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
     let mut schedules = 0usize;
     let mut truncated = false;
@@ -110,25 +129,17 @@ pub fn explore(w: &Workload, cfg: &ExploreConfig) -> Result<ExploreReport, Strin
             break;
         }
         schedules += 1;
-        let (out, violation) = run_one(w, &prefix, &ccfg)?;
+        let (out, violation) = run(&prefix)?;
         if out.diverged {
             return Err(format!(
-                "workload {} is nondeterministic: schedule replay diverged",
-                w.name
+                "workload {name} is nondeterministic: schedule replay diverged"
             ));
         }
         if let Some(detail) = violation {
-            let (schedule, detail) = minimize(w, &out.choices(), detail, &ccfg)?;
-            return Ok(ExploreReport {
-                workload: w.name.to_string(),
+            return Ok(DfsOutcome {
                 schedules,
                 truncated,
-                violation: Some(Violation {
-                    workload: w.name.to_string(),
-                    preemption_bound: cfg.preemption_bound,
-                    schedule,
-                    detail,
-                }),
+                violation: Some((out.choices(), detail)),
             });
         }
         for i in prefix.len()..out.decisions.len() {
@@ -139,11 +150,47 @@ pub fn explore(w: &Workload, cfg: &ExploreConfig) -> Result<ExploreReport, Strin
             }
         }
     }
-    Ok(ExploreReport {
-        workload: w.name.to_string(),
+    Ok(DfsOutcome {
         schedules,
         truncated,
         violation: None,
+    })
+}
+
+/// Explore every schedule of `w` up to the bound. `Err` is an
+/// infrastructure failure (the workload would not even build), not a
+/// verification result.
+pub fn explore(w: &Workload, cfg: &ExploreConfig) -> Result<ExploreReport, String> {
+    let ccfg = ControllerConfig {
+        preemption_bound: cfg.preemption_bound,
+        dpor: cfg.dpor,
+    };
+    let dfs = dfs_explore(|prefix| run_one(w, prefix, &ccfg, cfg.race), cfg, w.name)?;
+    let violation = match dfs.violation {
+        Some((choices, detail)) => {
+            let (schedule, detail) = minimize_with(
+                |s| {
+                    let (out, v) = run_one(w, s, &ccfg, cfg.race)?;
+                    Ok(if out.diverged { None } else { v })
+                },
+                &choices,
+                detail,
+            )?;
+            Some(Violation {
+                workload: w.name.to_string(),
+                preemption_bound: cfg.preemption_bound,
+                schedule,
+                detail,
+                race: cfg.race,
+            })
+        }
+        None => None,
+    };
+    Ok(ExploreReport {
+        workload: w.name.to_string(),
+        schedules: dfs.schedules,
+        truncated: dfs.truncated,
+        violation,
     })
 }
 
@@ -151,14 +198,25 @@ pub fn explore(w: &Workload, cfg: &ExploreConfig) -> Result<ExploreReport, Strin
 /// the schedule now runs clean (a fixed bug — the regression test wants
 /// clean runs for checked-in fixtures of *fixed* bugs, and violations
 /// for fixtures guarding known-injected ones).
+///
+/// A fixture whose workload is `litmus:NAME` replays through the litmus
+/// corpus instead (requires the `check-race` feature).
 pub fn replay(fix: &ScheduleFixture) -> Result<Option<String>, String> {
+    if let Some(litmus_name) = fix.workload.strip_prefix("litmus:") {
+        #[cfg(feature = "check-race")]
+        return crate::litmus::replay_litmus(litmus_name, &fix.schedule, fix.preemption_bound);
+        #[cfg(not(feature = "check-race"))]
+        return Err(format!(
+            "fixture for litmus {litmus_name:?} requires ceh-check built with --features check-race"
+        ));
+    }
     let w = Workload::by_name(&fix.workload)
         .ok_or_else(|| format!("fixture names unknown workload {:?}", fix.workload))?;
     let ccfg = ControllerConfig {
         preemption_bound: fix.preemption_bound,
         dpor: false,
     };
-    let (out, violation) = run_one(&w, &fix.schedule, &ccfg)?;
+    let (out, violation) = run_one(&w, &fix.schedule, &ccfg, fix.race)?;
     if out.diverged {
         return Err(format!(
             "fixture schedule for {} diverged: the workload or protocol changed shape; \
@@ -170,16 +228,41 @@ pub fn replay(fix: &ScheduleFixture) -> Result<Option<String>, String> {
 }
 
 /// Run one serialized execution and verify it. Returns the outcome plus
-/// the first violated check, if any.
+/// the first violated check, if any. With `race` set the run is also
+/// race-checked: the detector is installed as the process-global shadow
+/// sink for the duration (serialized by the global run lock) and any
+/// race it finds outranks invariant/linearizability details.
 fn run_one(
     w: &Workload,
     prefix: &[usize],
     ccfg: &ControllerConfig,
+    race: bool,
 ) -> Result<(RunOutcome, Option<String>), String> {
+    #[cfg(not(feature = "check-race"))]
+    if race {
+        return Err(
+            "race checking requires ceh-check built with --features check-race".to_string(),
+        );
+    }
+    // Build (setup inserts, preloading) runs before any hook or sink is
+    // installed, so only the workload's own accesses are observed.
     let (file, locks, metrics) = w.build()?;
     let init = w.initial_map();
     metrics.history().enable();
     let sched = Scheduler::new(w.threads.len());
+    #[cfg(feature = "check-race")]
+    let race_run = race.then(|| {
+        // Workloads keep access-level yields off: a happens-before
+        // violation is visible in any serialization, and yielding at
+        // every shadowed access would explode the schedule space.
+        crate::race::RaceRun::begin(&sched, w.threads.len(), false)
+    });
+    #[cfg(feature = "check-race")]
+    match &race_run {
+        Some(rr) => locks.set_wait_hook(Some(rr.hook())),
+        None => locks.set_wait_hook(Some(Arc::new(ExplorerHook::new(Arc::clone(&sched))))),
+    }
+    #[cfg(not(feature = "check-race"))]
     locks.set_wait_hook(Some(Arc::new(ExplorerHook::new(Arc::clone(&sched)))));
     let file_ref = file.as_dyn();
     let bodies: Vec<Body<'_>> = w
@@ -201,6 +284,15 @@ fn run_one(
     let records = metrics.history().drain();
 
     let mut detail = out.failure.clone();
+    #[cfg(feature = "check-race")]
+    if let Some(rr) = race_run {
+        let races = rr.finish();
+        if detail.is_none() {
+            if let Some(r) = races.first() {
+                detail = Some(r.to_string());
+            }
+        }
+    }
     if detail.is_none() {
         if let Err(e) = ceh_core::invariants::check_concurrent_file(file.core()) {
             detail = Some(format!("structural invariant violated at quiescence: {e}"));
@@ -216,19 +308,17 @@ fn run_one(
 
 /// Shrink a violating schedule: first the shortest violating prefix
 /// (default policy fills in the rest), then greedy single-choice drops.
-/// Every candidate is validated by an actual re-run; diverged candidates
-/// are discarded.
-fn minimize(
-    w: &Workload,
+/// Every candidate is validated by an actual re-run through `violates`
+/// (which must report diverged candidates as `None` so they are
+/// discarded).
+pub(crate) fn minimize_with<F>(
+    violates: F,
     choices: &[usize],
     original_detail: String,
-    ccfg: &ControllerConfig,
-) -> Result<(Vec<usize>, String), String> {
-    let violates = |s: &[usize]| -> Result<Option<String>, String> {
-        let (out, v) = run_one(w, s, ccfg)?;
-        Ok(if out.diverged { None } else { v })
-    };
-
+) -> Result<(Vec<usize>, String), String>
+where
+    F: Fn(&[usize]) -> Result<Option<String>, String>,
+{
     let mut best = choices.to_vec();
     let mut detail = original_detail;
 
@@ -281,6 +371,7 @@ mod tests {
             preemption_bound: 2,
             dpor,
             max_schedules: 50_000,
+            race: false,
         }
     }
 
@@ -328,6 +419,7 @@ mod tests {
                 preemption_bound: 2,
                 dpor: false,
                 max_schedules: 2,
+                race: false,
             },
         )
         .unwrap();

@@ -15,7 +15,15 @@
 //! 3. **Lock-discipline lint** ([`lint`], shipped as the `ceh-lint`
 //!    binary): a source-level scan for violations of the paper's locking
 //!    rules — top-down lock order, ξ-locks held across network sends,
-//!    unpaired acquire/release, and unjustified `Ordering::Relaxed`.
+//!    unpaired acquire/release, unjustified `Ordering::Relaxed`, atomics-
+//!    ordering discipline, and unsafe-block auditing.
+//!
+//! A fifth pillar (feature `check-race`): the **happens-before race
+//! detector** ([`race`]) — a FastTrack-style vector-clock analysis fed
+//! by `ceh-locks`' shadow-access seam, run over every explored schedule
+//! (`ExploreConfig::race`) and proven against a [`litmus`] corpus of
+//! known racy/race-free programs, including the seqlock `VersionWord`
+//! pair that gates the optimistic read path.
 //!
 //! Failing schedules minimize to a replayable fixture
 //! ([`schedule::ScheduleFixture`]) checked into
@@ -34,6 +42,10 @@ pub mod crash;
 pub mod explore;
 pub mod linearize;
 pub mod lint;
+#[cfg(feature = "check-race")]
+pub mod litmus;
+#[cfg(feature = "check-race")]
+pub mod race;
 pub mod schedule;
 pub mod vthread;
 pub mod workload;
@@ -45,5 +57,9 @@ pub use crash::{
 pub use explore::{explore, replay, ExploreConfig, ExploreReport, Violation};
 pub use linearize::{check_linearizable, LinReport, LinViolation, Strictness};
 pub use lint::{lint_paths, lint_source, Finding};
+#[cfg(feature = "check-race")]
+pub use litmus::{explore_litmus, litmus_by_name, litmus_corpus, Litmus, LitmusReport};
+#[cfg(feature = "check-race")]
+pub use race::{Race, RaceDetector, RaceHook, RaceRun};
 pub use schedule::ScheduleFixture;
 pub use workload::{Op, Solution, Workload};

@@ -17,29 +17,44 @@
 //!   contains no release at all (releases in a callee, as in
 //!   `walk_to_owner`'s caller contract, must be annotated).
 //! * **`relaxed-ordering`** — `Ordering::Relaxed` is fine for counters
-//!   (`fetch_add`/`fetch_sub` are exempt) but anything load/store with
-//!   `Relaxed` needs a comment justifying why the lock protocol already
-//!   orders it.
+//!   (`fetch_add`/`fetch_sub`/`fetch_max`/`fetch_min` are exempt) but
+//!   anything load/store with `Relaxed` needs a comment justifying why
+//!   the lock protocol already orders it.
+//! * **`atomics-ordering`** — orderings outside the Acquire/Release
+//!   discipline the race detector models: `SeqCst` (the protocol proofs
+//!   argue pairwise edges, never a global order — if §2's reasoning
+//!   doesn't need it, the code shouldn't pay for it), and `Relaxed` on a
+//!   synchronizing read-modify-write (`compare_exchange`, `swap`,
+//!   `fetch_update`), which publishes nothing.
+//! * **`unsafe-block`** — every `unsafe` block, fn, or impl must carry
+//!   an allow comment stating the invariant that makes it sound.
+//! * **`allow-reason`** — an allow escape with no reason after the
+//!   closing paren is itself a finding: the waiver *is* the
+//!   justification, so an empty one defeats the audit.
 //!
 //! Escapes: append `// ceh-lint: allow(<rule>) — reason` on the
 //! offending line or the line above, or `// ceh-lint: allow-file(<rule>)
-//! — reason` anywhere in the file for a per-file waiver. Blanket scope
-//! cuts (documented, not silent): `crates/check` itself (its sources
-//! embed rule patterns and deliberately pathological schedules),
-//! `crates/locks` for the lock rules (it *implements* the discipline the
-//! rules describe), `crates/obs` for `relaxed-ordering` (a monotonic
-//! metrics plane), and test code (`tests/`, `benches/`, everything after
-//! a `#[cfg(test)]` line), which intentionally holds and leaks locks.
+//! — reason` anywhere in the file for a per-file waiver; the reason text
+//! is mandatory (see `allow-reason`). Blanket scope cuts (documented,
+//! not silent): `crates/check` itself (its sources embed rule patterns
+//! and deliberately pathological schedules), `crates/locks` for the lock
+//! rules only (it *implements* the discipline the rules describe — its
+//! atomics and allow comments are still audited), and test code
+//! (`tests/`, `benches/`, everything after a `#[cfg(test)]` line), which
+//! intentionally holds and leaks locks.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, as used in allow comments.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 7] = [
     "lock-order",
     "xi-across-send",
     "unpaired-lock",
     "relaxed-ordering",
+    "atomics-ordering",
+    "unsafe-block",
+    "allow-reason",
 ];
 
 /// One lint finding.
@@ -80,10 +95,14 @@ fn rules_for(path: &str) -> &'static [&'static str] {
         return &[];
     }
     if p.contains("crates/locks/") {
-        return &["relaxed-ordering"];
-    }
-    if p.contains("crates/obs/") {
-        return &["lock-order", "xi-across-send", "unpaired-lock"];
+        // The lock manager *implements* the discipline the lock rules
+        // describe, but its atomics and escapes are still audited.
+        return &[
+            "relaxed-ordering",
+            "atomics-ordering",
+            "unsafe-block",
+            "allow-reason",
+        ];
     }
     &RULES
 }
@@ -214,10 +233,10 @@ pub fn lint_source(path: &Path, text: &str) -> Vec<Finding> {
             );
         }
 
-        if line.contains("Ordering::Relaxed")
-            && !line.contains("fetch_add")
-            && !line.contains("fetch_sub")
-        {
+        let counter_rmw = ["fetch_add", "fetch_sub", "fetch_max", "fetch_min"]
+            .iter()
+            .any(|p| line.contains(p));
+        if line.contains("Ordering::Relaxed") && !counter_rmw {
             report(
                 "relaxed-ordering",
                 i,
@@ -225,6 +244,63 @@ pub fn lint_source(path: &Path, text: &str) -> Vec<Finding> {
                  already order this access?)"
                     .to_string(),
             );
+        }
+
+        if line.contains("Ordering::SeqCst") {
+            report(
+                "atomics-ordering",
+                i,
+                "SeqCst buys a global order the protocol proofs never argue from; \
+                 use Acquire/Release (or AcqRel) for the edge you need, or justify \
+                 why total order matters here"
+                    .to_string(),
+            );
+        }
+        let sync_rmw = ["compare_exchange", "fetch_update", ".swap("]
+            .iter()
+            .any(|p| line.contains(p));
+        if line.contains("Ordering::Relaxed") && sync_rmw {
+            report(
+                "atomics-ordering",
+                i,
+                "a synchronizing read-modify-write with Relaxed publishes nothing; \
+                 the winner's prior writes are invisible to whoever observes the swap"
+                    .to_string(),
+            );
+        }
+
+        if ["unsafe {", "unsafe fn ", "unsafe impl "]
+            .iter()
+            .any(|p| line.contains(p))
+        {
+            report(
+                "unsafe-block",
+                i,
+                "`unsafe` needs an allow comment stating the invariant that makes it \
+                 sound (and why safe code can't express it)"
+                    .to_string(),
+            );
+        }
+
+        // Audit the escapes themselves: an allow with no reason text
+        // after the closing paren defeats the point of the waiver.
+        // Matched on the raw line (allow markers live in comments).
+        if let Some(j) = raw.find("ceh-lint: allow") {
+            let rest = &raw[j..];
+            let reasoned = rest.find(')').is_some_and(|k| {
+                rest[k + 1..]
+                    .chars()
+                    .filter(|c| c.is_alphanumeric())
+                    .count()
+                    >= 3
+            });
+            if !reasoned {
+                report(
+                    "allow-reason",
+                    i,
+                    "allow escapes must say why: `// ceh-lint: allow(<rule>) — reason`".to_string(),
+                );
+            }
         }
     }
     close_fn(fn_start, &fn_name, fn_acquires, fn_releases, &mut report);
@@ -393,12 +469,13 @@ mod tests {
     fn flags_bare_relaxed_but_not_counters() {
         let src = "fn f(a: &AtomicU64) {\n\
                    a.fetch_add(1, Ordering::Relaxed);\n\
+                   a.fetch_max(7, Ordering::Relaxed);\n\
                    let _ = a.load(Ordering::Relaxed);\n\
                    }\n";
         let f = lint("crates/core/src/x.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "relaxed-ordering");
-        assert_eq!(f[0].line, 3);
+        assert_eq!(f[0].line, 4);
     }
 
     #[test]
@@ -409,17 +486,71 @@ mod tests {
         assert!(lint("crates/core/src/x.rs", src).is_empty());
         let bare = "fn f(a: &AtomicU64) { let _ = a.load(Ordering::Relaxed); }\n";
         assert!(
-            lint("crates/obs/src/x.rs", bare).is_empty(),
-            "obs is exempt"
+            !lint("crates/obs/src/x.rs", bare).is_empty(),
+            "obs is covered (the metrics plane lost its blanket waiver)"
         );
         assert!(
             !lint("crates/locks/src/x.rs", bare).is_empty(),
-            "locks is not"
+            "locks is covered for the atomics rules"
         );
         assert!(
             lint("crates/core/tests/x.rs", bare).is_empty(),
             "tests are exempt"
         );
+    }
+
+    #[test]
+    fn flags_seqcst_and_relaxed_sync_rmw() {
+        let src = "fn f(a: &AtomicU64) {\n\
+                   a.store(1, Ordering::SeqCst);\n\
+                   let _ = a.swap(2, Ordering::Relaxed);\n\
+                   }\n";
+        let f = lint("crates/net/src/x.rs", src);
+        let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"atomics-ordering"), "{f:?}");
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "atomics-ordering").count(),
+            2,
+            "{f:?}"
+        );
+        // AcqRel on the same RMW is the sanctioned shape.
+        let ok = "fn f(a: &AtomicU64) { let _ = a.swap(2, Ordering::AcqRel); }\n";
+        assert!(lint("crates/net/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn flags_unannotated_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 {\n\
+                   unsafe { *p }\n\
+                   }\n";
+        let f = lint("crates/btree/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unsafe-block");
+        let ok = "fn f(p: *const u8) -> u8 {\n\
+                   // ceh-lint: allow(unsafe-block) — p is non-null by the caller contract\n\
+                   unsafe { *p }\n\
+                   }\n";
+        assert!(lint("crates/btree/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn flags_reasonless_allow() {
+        let bad = "fn f(a: &AtomicU64) {\n\
+                   // ceh-lint: allow(relaxed-ordering)\n\
+                   let _ = a.load(Ordering::Relaxed);\n\
+                   }\n";
+        let f = lint("crates/core/src/x.rs", bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "allow-reason");
+        assert_eq!(f[0].line, 2);
+        // The reasonless allow still suppresses its target rule — the
+        // audit finding replaces it, it doesn't stack.
+        assert!(f.iter().all(|f| f.rule != "relaxed-ordering"), "{f:?}");
+        let good = "fn f(a: &AtomicU64) {\n\
+                   // ceh-lint: allow(relaxed-ordering) — ordered by the ξ handoff\n\
+                   let _ = a.load(Ordering::Relaxed);\n\
+                   }\n";
+        assert!(lint("crates/core/src/x.rs", good).is_empty());
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct ScheduleFixture {
     pub schedule: Vec<usize>,
     /// One-line description of the original violation (advisory).
     pub violation: Option<String>,
+    /// True if replay must run the happens-before race detector (the
+    /// fixture reproduces a data race, not a protocol violation).
+    /// Serialized as `race: true`; absent means false, so pre-existing
+    /// fixtures parse unchanged.
+    pub race: bool,
 }
 
 const HEADER: &str = "# ceh-check schedule fixture v1";
@@ -46,6 +51,9 @@ impl ScheduleFixture {
         let _ = writeln!(s, "preemption-bound: {}", self.preemption_bound);
         let sched: Vec<String> = self.schedule.iter().map(|c| c.to_string()).collect();
         let _ = writeln!(s, "schedule: {}", sched.join(" "));
+        if self.race {
+            let _ = writeln!(s, "race: true");
+        }
         if let Some(v) = &self.violation {
             let _ = writeln!(s, "violation: {}", v.lines().next().unwrap_or(""));
         }
@@ -63,6 +71,7 @@ impl ScheduleFixture {
         let mut preemption_bound = None;
         let mut schedule = None;
         let mut violation = None;
+        let mut race = false;
         for line in lines {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -87,6 +96,11 @@ impl ScheduleFixture {
                     schedule = Some(choices.map_err(|e| format!("bad schedule {value:?}: {e}"))?);
                 }
                 "violation" => violation = Some(value.to_string()),
+                "race" => {
+                    race = value
+                        .parse::<bool>()
+                        .map_err(|e| format!("bad race flag {value:?}: {e}"))?
+                }
                 other => return Err(format!("unknown fixture field {other:?}")),
             }
         }
@@ -95,6 +109,7 @@ impl ScheduleFixture {
             preemption_bound: preemption_bound.ok_or("fixture missing 'preemption-bound'")?,
             schedule: schedule.ok_or("fixture missing 'schedule'")?,
             violation,
+            race,
         })
     }
 }
@@ -110,6 +125,7 @@ mod tests {
             preemption_bound: 3,
             schedule: vec![0, 0, 1, 1, 0, 1],
             violation: Some("history for key 7 is not linearizable".into()),
+            race: false,
         };
         let parsed = ScheduleFixture::parse(&f.serialize()).unwrap();
         assert_eq!(parsed, f);
@@ -122,8 +138,23 @@ mod tests {
             preemption_bound: 0,
             schedule: vec![],
             violation: None,
+            race: false,
         };
         assert_eq!(ScheduleFixture::parse(&f.serialize()).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrip_race_fixture() {
+        let f = ScheduleFixture {
+            workload: "litmus:mp-relaxed".into(),
+            preemption_bound: 3,
+            schedule: vec![0, 0, 1],
+            violation: Some("data race on `mp.data`".into()),
+            race: true,
+        };
+        let text = f.serialize();
+        assert!(text.contains("race: true"), "{text}");
+        assert_eq!(ScheduleFixture::parse(&text).unwrap(), f);
     }
 
     #[test]

@@ -308,7 +308,7 @@ impl Scheduler {
         inner.st[me] = St::Running;
     }
 
-    fn yield_point(&self, me: usize, pending: Pending) {
+    pub(crate) fn yield_point(&self, me: usize, pending: Pending) {
         let mut inner = self.inner.lock();
         inner.st[me] = St::Ready;
         inner.pending[me] = pending;

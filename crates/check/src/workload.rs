@@ -53,8 +53,9 @@ pub enum Solution {
 /// A workload's freshly built hash file — concrete so the explorer can
 /// reach the [`FileCore`] for post-run invariant checks.
 pub enum BuiltFile {
-    /// A Solution 1 file.
-    S1(Solution1),
+    /// A Solution 1 file (boxed: with the `check-race` instrumentation
+    /// compiled in it is much larger than the `S2` variant).
+    S1(Box<Solution1>),
     /// A Solution 2 file (inline GC).
     S2(Solution2),
 }
@@ -63,7 +64,7 @@ impl BuiltFile {
     /// The file as the trait object the workload ops run against.
     pub fn as_dyn(&self) -> &dyn ConcurrentHashFile {
         match self {
-            BuiltFile::S1(f) => f,
+            BuiltFile::S1(f) => f.as_ref(),
             BuiltFile::S2(f) => f,
         }
     }
@@ -131,7 +132,7 @@ impl Workload {
         )
         .map_err(|e| format!("workload {}: build failed: {e}", self.name))?;
         let file = match self.solution {
-            Solution::S1 => BuiltFile::S1(Solution1::from_core(core)),
+            Solution::S1 => BuiltFile::S1(Box::new(Solution1::from_core(core))),
             Solution::S2 => BuiltFile::S2(Solution2::from_core_with_options(
                 core,
                 Solution2Options {

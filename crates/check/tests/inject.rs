@@ -17,6 +17,7 @@ fn cfg() -> ExploreConfig {
         preemption_bound: 3,
         dpor: false,
         max_schedules: 100_000,
+        race: false,
     }
 }
 

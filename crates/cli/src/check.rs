@@ -18,6 +18,7 @@ pub const CHECK_HELP: &str = "\
 usage: ceh check [--explore [WORKLOAD ...]] [--lint [PATH ...]]
                  [--replay FIXTURE ...] [--bound N] [--no-dpor]
        ceh check crash [--seed N] [--ops N] [--backend B] [--json] [--no-dist]
+       ceh check race [WORKLOAD ...] [--bound N] [--no-dpor]
 modes (default: --explore over every workload, then --lint crates):
   --explore [WORKLOAD ...]  run the named workloads (default: all) under
                             every schedule up to the preemption bound,
@@ -31,6 +32,12 @@ modes (default: --explore over every workload, then --lint crates):
                             point in turn, recovery checked against the
                             durability oracle; then one distributed
                             crash_site/restart_site round
+  race                      run the happens-before race detector: first
+                            the litmus corpus (every verdict must match
+                            its known racy/race-free answer), then the
+                            named workloads (default: all) explored with
+                            every access race-checked (needs a build
+                            with --features check-race)
 options:
   --bound N                 preemption bound for --explore (default 3)
   --no-dpor                 disable commutativity pruning (slower, but
@@ -52,6 +59,8 @@ struct Args {
     bound: usize,
     dpor: bool,
     list: bool,
+    race: bool,
+    race_workloads: Vec<String>,
     crash: bool,
     crash_seed: Option<u64>,
     crash_ops: Option<usize>,
@@ -68,6 +77,8 @@ fn parse_args(argv: &[String]) -> Result<Args> {
         bound: 3,
         dpor: true,
         list: false,
+        race: false,
+        race_workloads: Vec::new(),
         crash: false,
         crash_seed: None,
         crash_ops: None,
@@ -141,6 +152,11 @@ fn parse_args(argv: &[String]) -> Result<Args> {
                 mode = Some("crash");
                 explicit = true;
             }
+            "race" if mode.is_none() => {
+                a.race = true;
+                mode = Some("race");
+                explicit = true;
+            }
             operand => match mode {
                 Some("explore") => a
                     .explore_workloads
@@ -151,6 +167,7 @@ fn parse_args(argv: &[String]) -> Result<Args> {
                     .get_or_insert_with(Vec::new)
                     .push(operand.to_string()),
                 Some("replay") => a.replay_fixtures.push(operand.to_string()),
+                Some("race") => a.race_workloads.push(operand.to_string()),
                 _ => {
                     return Err(Error::Config(format!(
                         "unexpected operand {operand:?}\n{CHECK_HELP}"
@@ -290,6 +307,10 @@ pub fn run_check(argv: &[String]) -> Result<(String, bool)> {
         }
     }
 
+    if args.race {
+        run_race(&args, &mut out, &mut clean)?;
+    }
+
     if let Some(names) = &args.explore_workloads {
         let workloads: Vec<Workload> = if names.is_empty() {
             Workload::all()
@@ -380,6 +401,93 @@ pub fn run_check(argv: &[String]) -> Result<(String, bool)> {
     Ok((out, clean))
 }
 
+/// `ceh check race`: litmus-corpus verdicts, then the workloads explored
+/// with the happens-before detector observing every tracked access.
+#[cfg(feature = "check-race")]
+fn run_race(args: &Args, out: &mut String, clean: &mut bool) -> Result<()> {
+    use ceh_check::{explore_litmus, litmus_corpus};
+
+    let cfg = ExploreConfig {
+        preemption_bound: args.bound,
+        dpor: args.dpor,
+        race: true,
+        ..Default::default()
+    };
+
+    for l in litmus_corpus() {
+        let report = explore_litmus(&l, &cfg).map_err(Error::Config)?;
+        let matches = report.verdict_matches();
+        *clean = *clean && matches;
+        let verdict = match (&report.violation, matches) {
+            (None, true) => "race-free (as known)".to_string(),
+            (Some(v), true) => format!("racy (as known): {}", v.detail),
+            (None, false) => "MISSED: known racy, detector saw nothing".to_string(),
+            (Some(v), false) => format!("FALSE POSITIVE on race-free program: {}", v.detail),
+        };
+        let _ = writeln!(
+            out,
+            "race    litmus {:<24} {} [{} schedules]",
+            l.name, verdict, report.schedules
+        );
+    }
+
+    let workloads: Vec<Workload> = if args.race_workloads.is_empty() {
+        Workload::all()
+    } else {
+        args.race_workloads
+            .iter()
+            .map(|n| {
+                Workload::by_name(n).ok_or_else(|| {
+                    Error::Config(format!("unknown workload {n:?} (try --list-workloads)"))
+                })
+            })
+            .collect::<Result<_>>()?
+    };
+    for w in &workloads {
+        let report = explore(w, &cfg).map_err(Error::Config)?;
+        match &report.violation {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "race    {:<26} clean: {} schedules at bound {}{}",
+                    w.name,
+                    report.schedules,
+                    args.bound,
+                    if report.truncated { " [TRUNCATED]" } else { "" },
+                );
+            }
+            Some(v) => {
+                *clean = false;
+                let _ = writeln!(
+                    out,
+                    "race    {:<26} VIOLATION after {} schedules: {}",
+                    w.name, report.schedules, v.detail
+                );
+                let _ = writeln!(
+                    out,
+                    "--- minimized fixture (save under tests/fixtures/races/) ---"
+                );
+                out.push_str(&v.to_fixture().serialize());
+                let _ = writeln!(out, "---");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Without the `check-race` feature the detector seam compiles to
+/// nothing, so there is nothing to observe — fail loudly instead of
+/// reporting a vacuous "clean".
+#[cfg(not(feature = "check-race"))]
+fn run_race(_args: &Args, _out: &mut String, _clean: &mut bool) -> Result<()> {
+    Err(Error::Config(
+        "ceh check race needs a build with the race detector compiled in: \
+         rebuild with `--features check-race` (e.g. \
+         `cargo run -p ceh-cli --features check-race --bin ceh -- check race`)"
+            .into(),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +569,34 @@ mod tests {
         assert!(clean, "{out}");
         assert!(out.contains("file backend"), "{out}");
         assert!(out.contains("crash   clean"), "{out}");
+    }
+
+    /// On a default build the race mode must refuse to report a vacuous
+    /// "clean" — the seam compiled to nothing.
+    #[cfg(not(feature = "check-race"))]
+    #[test]
+    fn race_without_feature_is_a_loud_error() {
+        let err = run_check(&s(&["race"])).unwrap_err();
+        assert!(format!("{err}").contains("check-race"), "{err}");
+    }
+
+    /// With the detector compiled in, `race` runs the litmus corpus
+    /// (verdicts must match) and the named workloads race-checked.
+    #[cfg(feature = "check-race")]
+    #[test]
+    fn race_mode_runs_litmus_and_workloads() {
+        let (out, clean) =
+            run_check(&s(&["race", "s1-insert-insert-split", "--bound", "1"])).unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("race    litmus"), "{out}");
+        assert!(out.contains("racy (as known)"), "{out}");
+        assert!(out.contains("race-free (as known)"), "{out}");
+        assert!(out.contains("s1-insert-insert-split"), "{out}");
+    }
+
+    #[test]
+    fn race_is_a_mode_not_an_operand() {
+        assert!(run_check(&s(&["crash", "race"])).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! State and helpers shared by both concurrent solutions.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use ceh_locks::shadow::{self, TrackedAtomicUsize};
 use ceh_locks::{LockId, LockManager, LockManagerConfig, LockMode, OwnerId};
 use ceh_obs::MetricsHandle;
 use ceh_storage::{
@@ -52,7 +53,7 @@ pub struct FileCore {
     hasher: fn(Key) -> Pseudokey,
     stats: OpStats,
     metrics: MetricsHandle,
-    len: AtomicUsize,
+    len: TrackedAtomicUsize,
 }
 
 impl std::fmt::Debug for FileCore {
@@ -140,7 +141,7 @@ impl FileCore {
             hasher,
             stats: OpStats::with_handle(metrics),
             metrics: metrics.clone(),
-            len: AtomicUsize::new(0),
+            len: TrackedAtomicUsize::new(0, "core.len"),
         })
     }
 
@@ -181,7 +182,7 @@ impl FileCore {
             hasher,
             stats: OpStats::with_handle(metrics),
             metrics: metrics.clone(),
-            len: AtomicUsize::new(0),
+            len: TrackedAtomicUsize::new(0, "core.len"),
         })
     }
 
@@ -265,7 +266,7 @@ impl FileCore {
             hasher,
             stats: OpStats::with_handle(metrics),
             metrics: metrics.clone(),
-            len: AtomicUsize::new(len),
+            len: TrackedAtomicUsize::new(len, "core.len"),
         })
     }
 
@@ -423,16 +424,24 @@ impl FileCore {
         PageBuf::zeroed(self.store.page_size())
     }
 
-    /// `getbucket(page, buffer)`: read and decode.
+    /// `getbucket(page, buffer)`: read and decode. Announced to the race
+    /// detector as a page-granular acquire read (the page store
+    /// serializes the physical I/O; the ρ/α protocol is what keeps the
+    /// *contents* coherent, and that is what the shadow access models).
+    #[track_caller]
     pub fn getbucket(&self, page: PageId, buf: &mut PageBuf) -> Result<Bucket> {
+        shadow::page_read(page.0);
         self.store.read(page, buf)?;
         Bucket::decode(buf)
     }
 
     /// `putbucket(page, buffer)`: encode and write — through the WAL
-    /// when durable (redo record first, then the cache).
+    /// when durable (redo record first, then the cache). Announced to
+    /// the race detector as a page-granular release write.
+    #[track_caller]
     pub fn putbucket(&self, page: PageId, bucket: &Bucket, buf: &mut PageBuf) -> Result<()> {
         bucket.encode(buf)?;
+        shadow::page_write(page.0);
         match &self.wal {
             Some(w) => w.write(page, buf),
             None => self.store.write(page, buf),

@@ -28,22 +28,24 @@
 //! lock (α for double/update, ξ for halve); that is the protocol's
 //! responsibility, not this struct's.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 
+use ceh_locks::shadow::{TrackedAtomicU32, TrackedAtomicU64};
 use ceh_types::{Error, PageId, Pseudokey, Result};
 
 /// Atomic u64 array entry. `u64::MAX` (== `PageId::NULL`) marks entries
-/// that have never been written (beyond the current depth).
-type Entry = std::sync::atomic::AtomicU64;
+/// that have never been written (beyond the current depth). Tracked so
+/// `ceh check race` observes every directory-entry access.
+type Entry = TrackedAtomicU64;
 
 /// The concurrently-readable directory.
 pub struct Directory {
     entries: Box<[Entry]>,
-    depth: AtomicU32,
+    depth: TrackedAtomicU32,
     /// Number of buckets with `localdepth == depth` (§2.2). Mutated only
     /// under α or ξ on the directory; atomic so quiescent checkers can
     /// read it without locks.
-    depthcount: AtomicU32,
+    depthcount: TrackedAtomicU32,
     max_depth: u32,
 }
 
@@ -71,13 +73,13 @@ impl Directory {
             )));
         }
         let entries: Box<[Entry]> = (0..1usize << max_depth)
-            .map(|_| Entry::new(PageId::NULL.0))
+            .map(|_| Entry::new(PageId::NULL.0, "dir.entry"))
             .collect();
         entries[0].store(root.0, Ordering::Relaxed);
         Ok(Directory {
             entries,
-            depth: AtomicU32::new(0),
-            depthcount: AtomicU32::new(1),
+            depth: TrackedAtomicU32::new(0, "dir.depth"),
+            depthcount: TrackedAtomicU32::new(1, "dir.depthcount"),
             max_depth,
         })
     }

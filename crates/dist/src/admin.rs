@@ -65,7 +65,7 @@ pub(crate) fn run_admin(
     // subtractable once uptime exceeds WINDOW_MAX_AGE.
     let ring = SnapshotRing::new(WINDOW_MAX_AGE.as_secs() as usize + 2);
     ring.sample(&metrics);
-    while !stop.load(Ordering::Relaxed) {
+    while !stop.load(Ordering::Acquire) {
         match rx.recv_timeout(SAMPLE_INTERVAL) {
             Ok(Msg::StatsRequest { reply_port }) => {
                 ring.sample(&metrics);

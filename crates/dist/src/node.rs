@@ -413,7 +413,7 @@ impl ServeNode {
             None => Ok(()),
         };
         self.admin_stop
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+            .store(true, std::sync::atomic::Ordering::Release);
         self.plane.close();
         if let Some(h) = self.admin.take() {
             let _ = h.join();

@@ -14,12 +14,18 @@
 //!   thread until "something changed" replaces the internal condvar wait
 //!   entirely: the manager never sleeps on its own while a hook is
 //!   installed and the wait loop becomes deterministic.
+//! * **`at_granted`** — fired after an acquisition has actually been
+//!   granted (immediate, reentrant, conversion, or at the end of a wait).
+//!   The happens-before race detector records its lock-acquire edge here:
+//!   `at_acquire` fires *before* the grant decision, which is too early —
+//!   the edge must join the clocks of releases that happened while the
+//!   request waited.
 //! * **`at_release`** — fired after a release has been applied (waiters on
 //!   the resource are now eligible).
 //!
 //! A hook is per-manager and must be cheap to consult: the fast path is
-//! one relaxed atomic load when no hook is installed. All three callbacks
-//! run with **no** manager-internal mutex held, so a hook may block the
+//! one relaxed atomic load when no hook is installed. All callbacks run
+//! with **no** manager-internal mutex held, so a hook may block the
 //! calling thread for as long as it likes; it must not call back into the
 //! same `LockManager`.
 
@@ -43,6 +49,16 @@ pub trait WaitHook: Send + Sync {
     /// the manager re-checks grantability. A scheduler should park the
     /// calling thread here until another thread has released a lock.
     fn at_block(&self, owner: OwnerId, id: LockId, mode: LockMode) {
+        let _ = (owner, id, mode);
+    }
+
+    /// The acquisition of `mode` on `id` by `owner` has been granted
+    /// (including reentrant nesting and successful `try_lock`s). Called
+    /// with no lock-table mutex held. Under a serializing hook (the
+    /// schedule explorer) every release that made the grant possible has
+    /// already fired its [`WaitHook::at_release`] — the ordering the
+    /// race detector's lock edges rely on.
+    fn at_granted(&self, owner: OwnerId, id: LockId, mode: LockMode) {
         let _ = (owner, id, mode);
     }
 

@@ -37,7 +37,12 @@
 //! * a **waits-for deadlock detector** ([`LockManager::detect_deadlock`]),
 //!   armed by the stress tests to check the §2.3/§2.5 deadlock-freedom
 //!   arguments empirically, with an optional watchdog that panics with the
-//!   cycle when a wait exceeds a configured bound.
+//!   cycle when a wait exceeds a configured bound;
+//! * **shadow-access instrumentation** ([`shadow`]): `Tracked`/
+//!   `TrackedAtomic*` wrappers and a process-global [`shadow::ShadowSink`]
+//!   seam that `ceh check race`'s happens-before detector observes shared
+//!   accesses through (compiled away unless the `check-race` feature is
+//!   on), plus the seqlock [`VersionWord`] primitive the detector gates.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,10 +51,13 @@ mod guard;
 mod hook;
 mod manager;
 mod mode;
+pub mod shadow;
 mod stats;
+mod version;
 
 pub use guard::LockGuard;
 pub use hook::WaitHook;
 pub use manager::{LockManager, LockManagerConfig, OwnerId};
 pub use mode::{compatible, LockId, LockMode};
 pub use stats::{lock_trace_target, LockStats, LockStatsSnapshot};
+pub use version::VersionWord;

@@ -269,6 +269,10 @@ impl LockManager {
         {
             g.count += 1;
             self.stats.record_grant(mode, false, target);
+            drop(state);
+            if let Some(h) = &hook {
+                h.at_granted(owner, id, mode);
+            }
             return;
         }
 
@@ -284,6 +288,10 @@ impl LockManager {
             self.stats.record_grant(mode, false, target);
             if is_conversion {
                 self.stats.record_conversion(target);
+            }
+            drop(state);
+            if let Some(h) = &hook {
+                h.at_granted(owner, id, mode);
             }
             return;
         }
@@ -316,6 +324,8 @@ impl LockManager {
                     if is_conversion {
                         self.stats.record_conversion(target);
                     }
+                    drop(state);
+                    h.at_granted(owner, id, mode);
                     return;
                 }
             }
@@ -336,6 +346,10 @@ impl LockManager {
                                 target,
                                 wait_started.elapsed(),
                             );
+                            drop(state);
+                            if let Some(h) = self.hook() {
+                                h.at_granted(owner, id, mode);
+                            }
                             return;
                         }
                         drop(state);
@@ -359,6 +373,10 @@ impl LockManager {
                     .record_wait_end(wait_span, mode, target, wait_started.elapsed());
                 if is_conversion {
                     self.stats.record_conversion(target);
+                }
+                drop(state);
+                if let Some(h) = self.hook() {
+                    h.at_granted(owner, id, mode);
                 }
                 return;
             }
@@ -393,7 +411,8 @@ impl LockManager {
     /// granted. Respects the same fairness rules as [`LockManager::lock`]
     /// (it will not jump ahead of earlier waiters).
     pub fn try_lock(&self, owner: OwnerId, id: LockId, mode: LockMode) -> bool {
-        if let Some(h) = self.hook() {
+        let hook = self.hook();
+        if let Some(h) = &hook {
             h.at_acquire(owner, id, mode);
         }
         let target = crate::stats::lock_trace_target(id);
@@ -407,6 +426,10 @@ impl LockManager {
         {
             g.count += 1;
             self.stats.record_grant(mode, false, target);
+            drop(state);
+            if let Some(h) = &hook {
+                h.at_granted(owner, id, mode);
+            }
             return true;
         }
         let is_conversion = rs.holds(owner);
@@ -418,6 +441,10 @@ impl LockManager {
                 count: 1,
             });
             self.stats.record_grant(mode, false, target);
+            drop(state);
+            if let Some(h) = &hook {
+                h.at_granted(owner, id, mode);
+            }
             true
         } else {
             if rs.is_empty() {

@@ -1,0 +1,132 @@
+//! `VersionWord`: the seqlock version primitive for the optimistic
+//! lock-free read path (ROADMAP item 1).
+//!
+//! A single even/odd counter guarding a small payload:
+//!
+//! * **Writers** (serialized externally by the α/ξ protocol) bracket
+//!   payload mutation with [`VersionWord::write_begin`] (version goes
+//!   odd) and [`VersionWord::write_end`] (version goes even again). The
+//!   begin increment is `Acquire` so payload writes cannot hoist above
+//!   it; the end increment is `Release` so they cannot sink below it —
+//!   the end increment is the edge that *publishes* the payload.
+//! * **Readers** never lock: [`VersionWord::read_begin`] snapshots an
+//!   even version (odd means a writer is mid-flight — back off), the
+//!   payload is read speculatively ([`crate::shadow::Tracked::get_speculative`]
+//!   inside a [`crate::shadow::speculate`] scope), and
+//!   [`VersionWord::validate`] re-loads the version: unchanged means no
+//!   writer intervened and the `Acquire` re-load synchronizes with the
+//!   writer's `Release` end — committing the speculation is then
+//!   race-free by construction. A changed version means the values are
+//!   garbage; abort and retry (or fall back to the ρ protocol).
+//!
+//! The happens-before race detector (`ceh check race`) is the gate for
+//! this primitive: with the correct orderings the seqlock litmus runs
+//! clean, and the `check-inject`-gated
+//! [`VersionWord::write_end_missing_release`] variant — identical but for
+//! a `Relaxed` end increment — must be caught, because the reader's
+//! validating load then joins nothing and the committed payload reads are
+//! unordered with the writer's stores.
+
+use std::sync::atomic::Ordering;
+
+use crate::shadow::TrackedAtomicU64;
+
+/// A seqlock version word. Starts even (0); odd means a writer is active.
+#[derive(Debug)]
+pub struct VersionWord {
+    v: TrackedAtomicU64,
+}
+
+impl VersionWord {
+    /// A version word at version 0. `label` names it in race reports.
+    pub fn new(label: &'static str) -> Self {
+        VersionWord {
+            v: TrackedAtomicU64::new(0, label),
+        }
+    }
+
+    /// Begin an optimistic read: the current version if it is even,
+    /// `None` if a writer is mid-update (caller should back off/retry).
+    /// `Acquire`: pairs with the `Release` in [`VersionWord::write_end`].
+    #[track_caller]
+    pub fn read_begin(&self) -> Option<u64> {
+        let v = self.v.load(Ordering::Acquire);
+        (v % 2 == 0).then_some(v)
+    }
+
+    /// End an optimistic read: true iff the version still equals `v0`
+    /// (no writer intervened; speculative reads may be committed).
+    /// `Acquire`: this re-load is the edge that makes the commit sound.
+    #[track_caller]
+    #[must_use]
+    pub fn validate(&self, v0: u64) -> bool {
+        self.v.load(Ordering::Acquire) == v0
+    }
+
+    /// Writer entry: make the version odd. The caller must hold the
+    /// resource's α/ξ lock (writers are externally serialized; this is
+    /// checked with a debug assertion on evenness). `Acquire` keeps the
+    /// payload writes from hoisting above the increment.
+    #[track_caller]
+    pub fn write_begin(&self) {
+        let prev = self.v.fetch_add(1, Ordering::Acquire);
+        debug_assert!(prev % 2 == 0, "concurrent VersionWord writers");
+    }
+
+    /// Writer exit: make the version even again, `Release`-publishing
+    /// the payload writes to any reader whose `validate` sees the new
+    /// version.
+    #[track_caller]
+    pub fn write_end(&self) {
+        let prev = self.v.fetch_add(1, Ordering::Release);
+        debug_assert!(prev % 2 == 1, "write_end without write_begin");
+    }
+
+    /// Deliberately-broken writer exit for detector self-tests: the
+    /// increment is `Relaxed`, so the payload is *not* published and a
+    /// reader that validates against the new version commits reads with
+    /// no happens-before edge to the writer — the race `ceh check race`
+    /// must catch. Only exists under `check-inject`.
+    #[cfg(feature = "check-inject")]
+    #[track_caller]
+    pub fn write_end_missing_release(&self) {
+        // ceh-lint: allow(relaxed-ordering) — the injected bug under test: publication edge deliberately dropped
+        let prev = self.v.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(prev % 2 == 1, "write_end without write_begin");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_begins_even_and_validates() {
+        let w = VersionWord::new("test.version");
+        let v0 = w.read_begin().expect("fresh word is even");
+        assert_eq!(v0, 0);
+        assert!(w.validate(v0));
+    }
+
+    #[test]
+    fn writer_brackets_flip_parity() {
+        let w = VersionWord::new("test.version");
+        let v0 = w.read_begin().unwrap();
+        w.write_begin();
+        assert_eq!(w.read_begin(), None, "odd while a writer is active");
+        w.write_end();
+        let v1 = w.read_begin().unwrap();
+        assert_eq!(v1, v0 + 2);
+        assert!(!w.validate(v0), "stale snapshot must not validate");
+        assert!(w.validate(v1));
+    }
+
+    #[cfg(feature = "check-inject")]
+    #[test]
+    fn injected_end_still_advances_the_version() {
+        let w = VersionWord::new("test.version");
+        w.write_begin();
+        w.write_end_missing_release();
+        assert_eq!(w.read_begin(), Some(2));
+    }
+}

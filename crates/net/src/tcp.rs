@@ -186,7 +186,7 @@ impl<M: Send + 'static> Plane<M> {
 
 impl<M: Send + 'static> Drop for Plane<M> {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::Release);
         for s in self.conns.lock().iter() {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
@@ -284,7 +284,7 @@ where
         }
         // Give writers one beat to flush the goodbyes.
         std::thread::sleep(Duration::from_millis(30));
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.shutdown.store(true, Ordering::Release);
         for s in self.inner.conns.lock().iter() {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
@@ -545,7 +545,7 @@ where
         match listener.accept() {
             Ok((stream, _)) => {
                 let Some(inner) = plane.upgrade() else { return };
-                if inner.shutdown.load(Ordering::SeqCst) {
+                if inner.shutdown.load(Ordering::Acquire) {
                     return;
                 }
                 let _ = stream.set_nodelay(true);
@@ -563,7 +563,7 @@ where
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 let Some(inner) = plane.upgrade() else { return };
-                if inner.shutdown.load(Ordering::SeqCst) {
+                if inner.shutdown.load(Ordering::Acquire) {
                     return;
                 }
                 drop(inner);
@@ -592,7 +592,7 @@ where
             break;
         }
         let Some(inner) = plane.upgrade() else { break };
-        if inner.shutdown.load(Ordering::SeqCst) {
+        if inner.shutdown.load(Ordering::Acquire) {
             break;
         }
         let frame = match decode_header(&header) {
@@ -756,7 +756,7 @@ where
 {
     loop {
         let Some(inner) = plane.upgrade() else { return };
-        if inner.shutdown.load(Ordering::SeqCst) {
+        if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
         // --- obtain a connection ---------------------------------
@@ -787,7 +787,7 @@ where
                     link.inbound_cv
                         .wait_for(&mut slot, Duration::from_millis(100));
                     let Some(inner) = plane.upgrade() else { return };
-                    if inner.shutdown.load(Ordering::SeqCst) {
+                    if inner.shutdown.load(Ordering::Acquire) {
                         return;
                     }
                 }
@@ -837,7 +837,7 @@ where
         // --- pump ------------------------------------------------
         'pump: loop {
             let Some(inner) = plane.upgrade() else { return };
-            if inner.shutdown.load(Ordering::SeqCst) {
+            if inner.shutdown.load(Ordering::Acquire) {
                 let _ = stream.write_all(&encode_frame(FrameKind::Bye, &[]));
                 return;
             }
@@ -938,7 +938,7 @@ fn sleep_watching<M: Send + 'static>(plane: &Weak<Plane<M>>, total_ms: u64) {
         std::thread::sleep(Duration::from_millis(step));
         left -= step;
         let Some(inner) = plane.upgrade() else { return };
-        if inner.shutdown.load(Ordering::SeqCst) {
+        if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
         drop(inner);

@@ -1,4 +1,5 @@
 //! Sharded atomic counters and gauges.
+// ceh-lint: allow-file(relaxed-ordering) — monotonic statistics cells; snapshots are advisory and exact only at quiescence, no data is published through them
 
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 

@@ -1,5 +1,7 @@
 //! The one log2-bucketed latency histogram.
 //!
+// ceh-lint: allow-file(relaxed-ordering) — monotonic statistics cells; snapshots are advisory and exact only at quiescence, no data is published through them
+//!
 //! Recording is lock-free (relaxed atomics), O(1), and allocation-free
 //! after construction; memory is fixed no matter how many samples are
 //! recorded. Buckets are logarithmic with [`SUB_BUCKETS`] linear

@@ -117,6 +117,7 @@ impl HistoryLog {
     /// Is recording currently enabled?
     #[inline]
     pub fn is_enabled(&self) -> bool {
+        // ceh-lint: allow(relaxed-ordering) — hot-path enable probe; staleness only delays the toggle, and the paired enable/disable stores are Release
         self.enabled.load(Ordering::Relaxed)
     }
 

@@ -96,11 +96,13 @@ impl SlowOpLog {
 
     /// Is the log capturing?
     pub fn is_enabled(&self) -> bool {
+        // ceh-lint: allow(relaxed-ordering) — hot-path threshold probe; staleness only delays the knob, and the setter's store is Release
         self.threshold_ns.load(Ordering::Relaxed) != 0
     }
 
     /// The active threshold in nanoseconds (0 = disabled).
     pub fn threshold_ns(&self) -> u64 {
+        // ceh-lint: allow(relaxed-ordering) — hot-path threshold probe; staleness only delays the knob, and the setter's store is Release
         self.threshold_ns.load(Ordering::Relaxed)
     }
 
@@ -109,6 +111,7 @@ impl SlowOpLog {
     /// relaxed load and a compare — no locks, no allocation.
     #[inline]
     pub fn observe(&self, kind: &'static str, latency_ns: u64, trace_id: u64, key: u64) {
+        // ceh-lint: allow(relaxed-ordering) — hot-path threshold probe; staleness only delays the knob, and the setter's store is Release
         let t = self.threshold_ns.load(Ordering::Relaxed);
         if t == 0 || latency_ns < t {
             return;

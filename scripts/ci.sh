@@ -79,6 +79,22 @@ echo "=== detector self-test (check-inject) ==="
 # Separate invocation: the feature flips the code under test.
 cargo test -q -p ceh-check --release --features check-inject --test inject
 
+echo "=== race smoke (check-race) ==="
+# The happens-before race detector: litmus-corpus verdicts must match
+# (racy programs caught with a minimized two-access witness, race-free
+# programs clean), the four deterministic workloads must be race-clean
+# at preemption bound 3, and the committed race-fixture corpus must
+# still *reproduce* its races. Separate invocations: the feature
+# compiles the shadow-access seam in.
+cargo run -q --release -p ceh-cli --features check-race --bin ceh -- check race --bound 3
+cargo test -q -p ceh-check --release --features check-race --test race
+
+echo "=== race smoke (injected seqlock bug) ==="
+# The check-inject missing-Release seqlock writer must be caught, blamed
+# on the payload via the committed speculative read, minimized, and
+# reproducible from its committed fixture.
+cargo test -q -p ceh-check --release --features "check-race check-inject" --test race_inject
+
 echo "=== schedule-fixture corpus ==="
 # Every committed minimized schedule must replay clean on the current
 # protocol (a reproduced violation means a pinned bug is back).
